@@ -1,0 +1,29 @@
+//! # baselines
+//!
+//! Baseline schedulers for independent monotone malleable tasks, implementing
+//! the prior work the paper positions itself against (§1):
+//!
+//! * **Turek–Wolf–Yu two-phase method** ([`two_phase`]): select an allotment
+//!   minimising the trivial lower bound `Λ(α) = max(W(α)/m, t_max(α))`, then
+//!   schedule the resulting rigid tasks with a non-malleable heuristic.  TWY
+//!   proved that any ρ-approximation for the rigid problem transfers to the
+//!   malleable problem; Ludwig improved the allotment-selection complexity and
+//!   instantiated the rigid phase with Steinberg's 2-approximate strip
+//!   packing.  Our rigid phase offers the classical level algorithms
+//!   (FFDH / NFDH) and contiguous list scheduling — the substitution for
+//!   Steinberg is recorded in `DESIGN.md`.
+//! * **Gang scheduling** ([`naive::gang_schedule`]): every task runs on the
+//!   whole machine, one after another (optimal for perfectly parallel tasks,
+//!   terrible for sequential ones).
+//! * **Sequential LPT** ([`naive::sequential_lpt`]): every task runs on one
+//!   processor, scheduled by Graham's LPT rule (optimal-ish for sequential
+//!   tasks, terrible for wide ones).
+//!
+//! All baselines return plain [`malleable_core::Schedule`]s so they can be
+//! validated by the simulator and compared in the benchmark harness.
+
+pub mod naive;
+pub mod two_phase;
+
+pub use naive::{gang_schedule, sequential_lpt};
+pub use two_phase::{ludwig, twy_allotment, RigidScheduler, TwoPhaseScheduler};

@@ -1,0 +1,226 @@
+//! The Turek–Wolf–Yu / Ludwig two-phase method.
+//!
+//! Phase 1 — **allotment selection**: choose a processor count for every task
+//! so that the trivial lower bound of the induced rigid instance,
+//! `Λ(α) = max(W(α)/m, max_j t_j(α_j))`, is minimised.  Turek, Wolf and Yu
+//! observed that it suffices to consider, for every candidate value `τ` of the
+//! maximal execution time, the minimal-work allotment with `t_j(α_j) ≤ τ` —
+//! which under the monotone assumption is exactly the canonical allotment for
+//! the deadline `τ`.  The candidate values are the `O(n·m)` distinct profile
+//! entries; Ludwig's contribution was to organise this search efficiently.
+//!
+//! Phase 2 — **rigid scheduling**: schedule the fixed-allotment tasks with a
+//! non-malleable heuristic.  Ludwig used Steinberg's strip-packing algorithm
+//! (absolute guarantee 2); we provide the classical level algorithms FFDH and
+//! NFDH and contiguous list scheduling instead, which are the standard
+//! practical stand-ins (the substitution is documented in `DESIGN.md` and its
+//! effect measured in `EXPERIMENTS.md`).
+
+use malleable_core::allotment::Allotment;
+use malleable_core::canonical::CanonicalAllotment;
+use malleable_core::list::{schedule_rigid, ListOrder};
+use malleable_core::mrt::level_packing_schedule;
+use malleable_core::{Instance, ProcessorRange, Result, Schedule, ScheduledTask};
+use packing::rect::Rect;
+use packing::strip::nfdh;
+
+/// The rigid (phase 2) scheduler used on the selected allotment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RigidScheduler {
+    /// First Fit Decreasing Height level packing (the default; closest in
+    /// spirit and guarantee to Ludwig's Steinberg-based phase).
+    Ffdh,
+    /// Next Fit Decreasing Height level packing.
+    Nfdh,
+    /// Contiguous list scheduling by decreasing execution time.
+    List,
+}
+
+/// A configurable two-phase scheduler.
+#[derive(Debug, Clone, Copy)]
+pub struct TwoPhaseScheduler {
+    /// Which rigid scheduler runs in phase 2.
+    pub rigid: RigidScheduler,
+}
+
+impl Default for TwoPhaseScheduler {
+    fn default() -> Self {
+        TwoPhaseScheduler {
+            rigid: RigidScheduler::Ffdh,
+        }
+    }
+}
+
+/// Phase 1: the TWY/Ludwig allotment selection.
+///
+/// Returns the allotment minimising `Λ(α) = max(W(α)/m, t_max(α))` among all
+/// canonical allotments for candidate deadlines, together with the achieved
+/// bound value.
+pub fn twy_allotment(instance: &Instance) -> Result<(Allotment, f64)> {
+    let m = instance.processors() as f64;
+    // Candidate deadlines: every distinct execution time of every task, which
+    // is where t_max(α) can change value.
+    let mut candidates: Vec<f64> = Vec::new();
+    for (_, task) in instance.iter() {
+        candidates.extend_from_slice(task.profile.times());
+    }
+    candidates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    candidates.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+
+    let mut best: Option<(Allotment, f64)> = None;
+    for &tau in &candidates {
+        let allotment = match Allotment::canonical(instance, tau) {
+            Ok(a) => a,
+            Err(_) => continue, // some task cannot meet τ at all
+        };
+        let bound = (allotment.total_work(instance) / m).max(allotment.max_time(instance));
+        match &best {
+            Some((_, current)) if *current <= bound => {}
+            _ => best = Some((allotment, bound)),
+        }
+    }
+    best.ok_or(malleable_core::Error::NoFeasibleSchedule)
+}
+
+impl TwoPhaseScheduler {
+    /// Run both phases and return the schedule.
+    pub fn schedule(&self, instance: &Instance) -> Result<Schedule> {
+        let (allotment, _) = twy_allotment(instance)?;
+        Ok(self.schedule_rigid_phase(instance, &allotment))
+    }
+
+    /// Run only phase 2 on a given allotment (used by tests and ablations).
+    pub fn schedule_rigid_phase(&self, instance: &Instance, allotment: &Allotment) -> Schedule {
+        match self.rigid {
+            RigidScheduler::List => {
+                schedule_rigid(instance, allotment, ListOrder::DecreasingAllottedTime)
+            }
+            RigidScheduler::Ffdh => {
+                // Reuse the canonical-allotment level packer from the core
+                // crate by rebuilding the canonical wrapper around the chosen
+                // allotment's deadline; simpler: pack directly here.
+                let times: Vec<f64> = (0..instance.task_count())
+                    .map(|t| allotment.time(instance, t))
+                    .collect();
+                let canonical = CanonicalAllotment {
+                    omega: allotment.max_time(instance),
+                    allotment: allotment.clone(),
+                    times,
+                    total_work: allotment.total_work(instance),
+                };
+                level_packing_schedule(instance, &canonical)
+            }
+            RigidScheduler::Nfdh => {
+                let m = instance.processors();
+                let rects: Vec<Rect> = (0..instance.task_count())
+                    .map(|t| Rect::new(allotment.processors(t), allotment.time(instance, t)))
+                    .collect();
+                let packing = nfdh(&rects, m);
+                let mut schedule = Schedule::new(m);
+                for placement in &packing.placements {
+                    let t = placement.index;
+                    schedule.push(ScheduledTask {
+                        task: t,
+                        start: placement.y,
+                        duration: allotment.time(instance, t),
+                        processors: ProcessorRange::new(placement.x, allotment.processors(t)),
+                    });
+                }
+                schedule
+            }
+        }
+    }
+}
+
+/// The Ludwig-style baseline: TWY allotment selection followed by FFDH level
+/// packing.  This is the "guarantee 2" practical method the paper improves on.
+pub fn ludwig(instance: &Instance) -> Result<Schedule> {
+    TwoPhaseScheduler::default().schedule(instance)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use malleable_core::bounds;
+    use malleable_core::SpeedupProfile;
+    use proptest::prelude::*;
+
+    fn instance() -> Instance {
+        Instance::from_profiles(
+            vec![
+                SpeedupProfile::new(vec![6.0, 3.2, 2.4, 1.9]).unwrap(),
+                SpeedupProfile::new(vec![3.0, 1.7]).unwrap(),
+                SpeedupProfile::sequential(1.2).unwrap(),
+                SpeedupProfile::linear(4.0, 4).unwrap(),
+                SpeedupProfile::sequential(0.4).unwrap(),
+            ],
+            4,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn allotment_selection_minimises_lambda() {
+        let inst = instance();
+        let (allotment, bound) = twy_allotment(&inst).unwrap();
+        // The bound is a valid lower bound for the rigid instance and no
+        // coarser candidate (all sequential, all canonical at UB) beats it.
+        let sequential = Allotment::sequential(&inst);
+        let seq_bound = (sequential.total_work(&inst) / 4.0).max(sequential.max_time(&inst));
+        assert!(bound <= seq_bound + 1e-9);
+        assert!(bound >= bounds::area_bound(&inst) - 1e-9);
+        assert_eq!(allotment.len(), inst.task_count());
+    }
+
+    #[test]
+    fn all_rigid_schedulers_produce_valid_schedules() {
+        let inst = instance();
+        for rigid in [RigidScheduler::Ffdh, RigidScheduler::Nfdh, RigidScheduler::List] {
+            let scheduler = TwoPhaseScheduler { rigid };
+            let schedule = scheduler.schedule(&inst).unwrap();
+            assert!(
+                schedule.validate(&inst).is_ok(),
+                "{rigid:?} produced an invalid schedule"
+            );
+        }
+    }
+
+    #[test]
+    fn ludwig_baseline_stays_within_factor_three_of_lower_bound() {
+        // The theoretical guarantee with Steinberg is 2; with FFDH the proven
+        // bound is looser but the observed behaviour on monotone instances is
+        // comfortably below 2 — assert a conservative factor here and let the
+        // benchmarks report the measured distribution.
+        let inst = instance();
+        let schedule = ludwig(&inst).unwrap();
+        let lb = bounds::lower_bound(&inst);
+        assert!(schedule.makespan() <= 3.0 * lb + 1e-9);
+    }
+
+    #[test]
+    fn two_phase_handles_single_task() {
+        let inst =
+            Instance::from_profiles(vec![SpeedupProfile::linear(8.0, 8).unwrap()], 8).unwrap();
+        let schedule = ludwig(&inst).unwrap();
+        assert!((schedule.makespan() - 1.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        /// The two-phase baselines always produce valid schedules and stay
+        /// within a factor 3 of the certified lower bound on monotone
+        /// workloads (the paper's point is that √3 < 2 ≤ their guarantee, not
+        /// that they are bad in practice).
+        #[test]
+        fn two_phase_valid_and_bounded(seed in 0u64..200, n in 2usize..20, m in 2usize..12) {
+            let cfg = workload::WorkloadConfig::mixed(n, m, seed);
+            let inst = workload::WorkloadGenerator::new(cfg).generate().unwrap();
+            let lb = bounds::lower_bound(&inst);
+            for rigid in [RigidScheduler::Ffdh, RigidScheduler::Nfdh, RigidScheduler::List] {
+                let schedule = TwoPhaseScheduler { rigid }.schedule(&inst).unwrap();
+                prop_assert!(schedule.validate(&inst).is_ok());
+                prop_assert!(schedule.makespan() <= 3.0 * lb + 1e-6,
+                    "{:?} makespan {} vs lb {}", rigid, schedule.makespan(), lb);
+            }
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Timing comparison of every scheduler on the same instances — the cost side
+//! of the baseline comparison (`--bin compare_baselines` reports the quality
+//! side).  The paper's pitch is "low complexity with a better guarantee", so
+//! the MRT scheduler should stay in the same order of magnitude as the
+//! two-phase baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mrt_bench::{Algorithm, Family};
+use std::hint::black_box;
+
+fn bench_all_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+
+    let instance = Family::Mixed.instance(60, 32, 3);
+    for algorithm in Algorithm::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algorithm.name()),
+            &instance,
+            |b, inst| b.iter(|| black_box(algorithm.makespan(black_box(inst)))),
+        );
+    }
+
+    group.finish();
+}
+
+fn bench_wide_instances(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines_wide_tasks");
+    group.sample_size(10);
+
+    let instance = Family::WideTasks.instance(48, 64, 5);
+    for algorithm in [Algorithm::Mrt, Algorithm::Ludwig] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algorithm.name()),
+            &instance,
+            |b, inst| b.iter(|| black_box(algorithm.makespan(black_box(inst)))),
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_all_algorithms, bench_wide_instances);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Cost of one instrumented probe (the branch-statistics experiment): the
+//! probe evaluates all branches (two-shelf knapsack, canonical list, malleable
+//! list, level packing) and reports which one wins, so its cost bounds the
+//! per-guess overhead of the combined algorithm.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use malleable_core::bounds;
+use malleable_core::mrt::MrtScheduler;
+use mrt_bench::Family;
+use std::hint::black_box;
+
+fn bench_instrumented_probe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("branch_stats_probe");
+    group.sample_size(10);
+
+    let scheduler = MrtScheduler::default();
+    for family in Family::ALL {
+        let instance = family.instance(40, 32, 21);
+        let omega = bounds::lower_bound(&instance) * 1.05;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(family.name()),
+            &instance,
+            |b, inst| {
+                b.iter(|| {
+                    let (outcome, report) =
+                        scheduler.probe_with_report(black_box(inst), omega);
+                    black_box((outcome.is_feasible(), report.lambda_area))
+                })
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_instrumented_probe);
+criterion_main!(benches);

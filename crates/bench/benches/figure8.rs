@@ -1,0 +1,30 @@
+//! Criterion bench for the Figure 8 reproduction: computing the `m_λ` curve
+//! over the paper's λ range.  The quantity of interest is the report printed
+//! by `--bin figure8`; this bench tracks that computing the whole curve stays
+//! trivially cheap (it is a closed form, evaluated 50 times).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use malleable_core::canonical::{h_hat, k_star, m_lambda};
+use std::hint::black_box;
+
+fn bench_figure8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure8");
+    group.sample_size(20);
+
+    group.bench_function("m_lambda_curve_50_points", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in 0..=50 {
+                let lambda = 0.7551 + (1.0 - 0.7551) * i as f64 / 50.0;
+                acc += m_lambda(black_box(lambda)).unwrap();
+                acc += k_star(lambda) + h_hat(lambda);
+            }
+            black_box(acc)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure8);
+criterion_main!(benches);

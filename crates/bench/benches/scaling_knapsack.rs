@@ -1,0 +1,58 @@
+//! Complexity of the allotment-selection knapsack (Theorem 3: `O(n·m)` for the
+//! exact pseudo-polynomial resolution, `O(n³/ε)` for the FPTAS): solve
+//! scheduling-shaped knapsack instances of growing size with both strategies,
+//! and locate the crossover the paper's complexity discussion predicts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use knapsack::{solve_exact, solve_fptas, Item};
+use std::hint::black_box;
+
+/// Build a scheduling-shaped knapsack instance: weights are "processors to
+/// finish within λω" (a few units to a few dozen), profits are canonical
+/// counts (slightly smaller), capacity is a fraction of `n·mean_weight`.
+fn scheduling_items(n: usize, max_width: u64, seed: u64) -> (Vec<Item>, u64) {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let items: Vec<Item> = (0..n)
+        .map(|_| {
+            let weight = 1 + next() % max_width;
+            let profit = 1 + (weight.saturating_sub(1)).max(next() % max_width.max(1)) / 2;
+            Item { weight, profit }
+        })
+        .collect();
+    let total: u64 = items.iter().map(|i| i.weight).sum();
+    (items, total / 3)
+}
+
+fn bench_exact_vs_fptas(c: &mut Criterion) {
+    let mut group = c.benchmark_group("knapsack_exact_vs_fptas");
+    group.sample_size(10);
+
+    for &(n, width) in &[(50usize, 32u64), (200, 128), (600, 384)] {
+        let (items, capacity) = scheduling_items(n, width, 7);
+        group.bench_with_input(
+            BenchmarkId::new("exact_dp", format!("n{n}_m{width}")),
+            &items,
+            |b, items| {
+                b.iter(|| black_box(solve_exact(black_box(items), capacity)).profit)
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fptas_eps0.1", format!("n{n}_m{width}")),
+            &items,
+            |b, items| {
+                b.iter(|| black_box(solve_fptas(black_box(items), capacity, 0.1)).profit)
+            },
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_vs_fptas);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Complexity of the canonical list algorithm (Theorem 2:
+//! `O(n·(log n + log m))`): one probe at a fixed guess, swept over `n` and `m`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use malleable_core::bounds;
+use malleable_core::canonical::CanonicalListAlgorithm;
+use malleable_core::dual::DualApproximation;
+use mrt_bench::Family;
+use std::hint::black_box;
+
+fn bench_scaling_in_tasks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_list_tasks");
+    group.sample_size(10);
+    for &n in &[200usize, 800, 3_200, 12_800] {
+        let instance = Family::Mixed.instance(n, 64, 11);
+        let omega = bounds::upper_bound(&instance);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &instance, |b, inst| {
+            b.iter(|| {
+                let outcome = CanonicalListAlgorithm::default().probe(black_box(inst), omega);
+                black_box(outcome.is_feasible())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_scaling_in_processors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_list_processors");
+    group.sample_size(10);
+    for &m in &[32usize, 128, 512, 2_048] {
+        let instance = Family::Mixed.instance(2_000, m, 13);
+        let omega = bounds::upper_bound(&instance);
+        group.bench_with_input(BenchmarkId::from_parameter(m), &instance, |b, inst| {
+            b.iter(|| {
+                let outcome = CanonicalListAlgorithm::default().probe(black_box(inst), omega);
+                black_box(outcome.is_feasible())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling_in_tasks, bench_scaling_in_processors);
+criterion_main!(benches);

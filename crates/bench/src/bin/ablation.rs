@@ -1,0 +1,104 @@
+//! Ablation study: how much does each of the paper's mechanisms contribute?
+//!
+//! ```text
+//! cargo run -p mrt-bench --release --bin ablation [instances-per-cell]
+//! ```
+//!
+//! The combined scheduler evaluates four branches per probe (the §4 two-shelf
+//! knapsack construction, the §3.2 canonical list, the §3.1 malleable list,
+//! and FFDH level packing) and keeps the best schedule.  This report re-runs
+//! the evaluation with restricted branch sets and with a λ sweep to answer
+//! the design questions called out in `DESIGN.md`:
+//!
+//! * does the knapsack/two-shelf branch actually matter, or do the list
+//!   algorithms already deliver the quality?
+//! * how sensitive is the result to the shelf parameter λ (the paper's
+//!   choice is λ = √3 − 1)?
+//! * what does the exact-vs-FPTAS knapsack strategy cost in quality?
+
+use malleable_core::prelude::*;
+use mrt_bench::{summarize, Family};
+
+fn ratios(scheduler: &MrtScheduler, family: Family, per_cell: u64) -> Vec<f64> {
+    (0..per_cell)
+        .map(|seed| {
+            let instance = family.instance(40, 32, seed);
+            scheduler
+                .schedule(&instance)
+                .expect("scheduling succeeds")
+                .ratio()
+        })
+        .collect()
+}
+
+fn report(label: &str, scheduler: &MrtScheduler, per_cell: u64) {
+    print!("{label:<34}");
+    for family in Family::ALL {
+        let summary = summarize(&ratios(scheduler, family, per_cell));
+        print!("  {:>5.3}/{:<5.3}", summary.mean, summary.max);
+    }
+    println!();
+}
+
+fn main() {
+    let per_cell: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(15);
+
+    println!("ablation study — mean/max ratio per family (n = 40, m = 32, {per_cell} instances)");
+    print!("{:<34}", "configuration");
+    for family in Family::ALL {
+        print!("  {:^11}", family.name());
+    }
+    println!();
+
+    // Branch ablations.
+    report("all branches (paper)", &MrtScheduler::default(), per_cell);
+    report(
+        "two-shelf knapsack only",
+        &MrtScheduler::with_branches(BranchSet::two_shelf_only()).unwrap(),
+        per_cell,
+    );
+    report(
+        "list algorithms only (§3)",
+        &MrtScheduler::with_branches(BranchSet::lists_only()).unwrap(),
+        per_cell,
+    );
+    report(
+        "level packing only (TWY-like)",
+        &MrtScheduler::with_branches(BranchSet {
+            two_shelf: false,
+            canonical_list: false,
+            malleable_list: false,
+            level_packing: true,
+        })
+        .unwrap(),
+        per_cell,
+    );
+
+    println!();
+
+    // λ sweep.
+    for lambda in [0.6, 0.7, malleable_core::LAMBDA_SQRT3, 0.8, 0.9, 1.0] {
+        let scheduler = MrtScheduler::with_lambda(lambda).unwrap();
+        report(&format!("lambda = {lambda:.3}"), &scheduler, per_cell);
+    }
+
+    println!();
+
+    // Knapsack strategy.
+    let exact = MrtScheduler {
+        strategy: knapsack::Strategy::Exact,
+        ..Default::default()
+    };
+    let fptas = MrtScheduler {
+        strategy: knapsack::Strategy::Fptas(0.1),
+        ..Default::default()
+    };
+    report("knapsack: exact DP", &exact, per_cell);
+    report("knapsack: FPTAS eps=0.1", &fptas, per_cell);
+
+    println!();
+    println!("# columns: mean/max ratio vs certified lower bound, per workload family");
+}

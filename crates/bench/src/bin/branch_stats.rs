@@ -1,0 +1,99 @@
+//! Branch statistics of the combined MRT scheduler: which of the paper's
+//! mechanisms (two-shelf knapsack, canonical list, malleable list, level
+//! packing) wins the probe, and how the canonical λ-area condition of
+//! Theorem 2 splits the instances.
+//!
+//! ```text
+//! cargo run -p mrt-bench --release --bin branch_stats [instances-per-cell]
+//! ```
+
+use malleable_core::bounds;
+use malleable_core::mrt::{Branch, MrtScheduler};
+use malleable_core::two_shelf::TwoShelfKind;
+use mrt_bench::Family;
+
+#[derive(Default)]
+struct Counters {
+    two_shelf_empty: usize,
+    two_shelf_trivial: usize,
+    two_shelf_knapsack: usize,
+    two_shelf_dual: usize,
+    canonical_list: usize,
+    malleable_list: usize,
+    level_packing: usize,
+    area_condition_holds: usize,
+    total: usize,
+}
+
+impl Counters {
+    fn record(&mut self, branch: Branch, area_condition: bool) {
+        self.total += 1;
+        if area_condition {
+            self.area_condition_holds += 1;
+        }
+        match branch {
+            Branch::TwoShelf(TwoShelfKind::EmptyGamma) => self.two_shelf_empty += 1,
+            Branch::TwoShelf(TwoShelfKind::Trivial) => self.two_shelf_trivial += 1,
+            Branch::TwoShelf(TwoShelfKind::Knapsack) => self.two_shelf_knapsack += 1,
+            Branch::TwoShelf(TwoShelfKind::DualKnapsack) => self.two_shelf_dual += 1,
+            Branch::CanonicalList => self.canonical_list += 1,
+            Branch::MalleableList => self.malleable_list += 1,
+            Branch::LevelPacking => self.level_packing += 1,
+        }
+    }
+
+    fn pct(&self, value: usize) -> f64 {
+        100.0 * value as f64 / self.total.max(1) as f64
+    }
+}
+
+fn main() {
+    let per_cell: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
+    let tasks = 40;
+    let processors = 32;
+    let scheduler = MrtScheduler::default();
+
+    println!("branch statistics — {per_cell} instances per family, n = {tasks}, m = {processors}");
+    println!("(probe at ω = 1.05 × certified lower bound, i.e. just above the optimum)");
+    println!();
+
+    for family in Family::ALL {
+        let mut counters = Counters::default();
+        for seed in 0..per_cell {
+            let instance = family.instance(tasks, processors, seed);
+            let omega = bounds::lower_bound(&instance) * 1.05;
+            let (outcome, report) = scheduler.probe_with_report(&instance, omega);
+            if !outcome.is_feasible() {
+                continue;
+            }
+            counters.record(
+                report.branch.expect("feasible probes report a branch"),
+                report.area_condition.unwrap_or(false),
+            );
+        }
+        println!("family: {}", family.name());
+        println!(
+            "  probes with a schedule: {:>3}   λ-area condition (Thm 2) held: {:>5.1}%",
+            counters.total,
+            counters.pct(counters.area_condition_holds)
+        );
+        println!(
+            "  winning branch: two-shelf/empty {:>5.1}%  two-shelf/trivial {:>5.1}%  \
+             two-shelf/knapsack {:>5.1}%  two-shelf/dual {:>5.1}%",
+            counters.pct(counters.two_shelf_empty),
+            counters.pct(counters.two_shelf_trivial),
+            counters.pct(counters.two_shelf_knapsack),
+            counters.pct(counters.two_shelf_dual),
+        );
+        println!(
+            "                  canonical-list {:>5.1}%  malleable-list {:>5.1}%  level-packing {:>5.1}%",
+            counters.pct(counters.canonical_list),
+            counters.pct(counters.malleable_list),
+            counters.pct(counters.level_packing),
+        );
+        println!();
+    }
+}

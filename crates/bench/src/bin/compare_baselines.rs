@@ -1,0 +1,74 @@
+//! Head-to-head comparison of the MRT scheduler against the two-phase and
+//! naive baselines, with crossover analysis in the machine size.
+//!
+//! ```text
+//! cargo run -p mrt-bench --release --bin compare_baselines [instances-per-cell]
+//! ```
+//!
+//! The paper's claim is qualitative: the √3 algorithm improves on the best
+//! practical method (Ludwig's two-phase 2-approximation) in the worst case.
+//! This report measures, per workload family and machine size, the mean ratio
+//! of each algorithm and how often MRT is at least as good as each baseline.
+
+use malleable_core::bounds;
+use mrt_bench::{summarize, Algorithm, Family};
+
+fn main() {
+    let per_cell: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    let tasks = 40;
+
+    println!("baseline comparison — {per_cell} instances per cell, n = {tasks}");
+    println!(
+        "{:<18} {:>5} {:<16} {:>10} {:>10} {:>12}",
+        "family", "m", "algorithm", "mean", "max", "mrt wins (%)"
+    );
+
+    for family in Family::ALL {
+        for &m in &[8usize, 16, 32, 64] {
+            // Evaluate all algorithms on the same instances.
+            let instances: Vec<_> = (0..per_cell)
+                .map(|seed| family.instance(tasks, m, seed))
+                .collect();
+            let lower_bounds: Vec<f64> = instances.iter().map(bounds::lower_bound).collect();
+            let mrt: Vec<f64> = instances
+                .iter()
+                .map(|inst| Algorithm::Mrt.makespan(inst))
+                .collect();
+
+            for algorithm in Algorithm::ALL {
+                let makespans: Vec<f64> = if algorithm == Algorithm::Mrt {
+                    mrt.clone()
+                } else {
+                    instances
+                        .iter()
+                        .map(|inst| algorithm.makespan(inst))
+                        .collect()
+                };
+                let ratios: Vec<f64> = makespans
+                    .iter()
+                    .zip(&lower_bounds)
+                    .map(|(mk, lb)| mk / lb)
+                    .collect();
+                let wins = makespans
+                    .iter()
+                    .zip(&mrt)
+                    .filter(|(other, ours)| **ours <= **other + 1e-9)
+                    .count();
+                let summary = summarize(&ratios);
+                println!(
+                    "{:<18} {:>5} {:<16} {:>10.3} {:>10.3} {:>11.0}%",
+                    family.name(),
+                    m,
+                    algorithm.name(),
+                    summary.mean,
+                    summary.max,
+                    100.0 * wins as f64 / per_cell as f64
+                );
+            }
+            println!();
+        }
+    }
+}

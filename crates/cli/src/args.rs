@@ -1,0 +1,410 @@
+//! Hand-rolled argument parsing for the `malleable-sched` binary.
+//!
+//! The parser is deliberately dependency-free (the workspace keeps its
+//! dependency footprint to the numerical crates) and strict: unknown flags
+//! and missing values are reported with the offending token.
+
+use std::fmt;
+
+/// Which scheduling algorithm a `schedule` invocation should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgorithmChoice {
+    /// The paper's combined √3 scheduler (default).
+    Mrt,
+    /// The Ludwig-style two-phase baseline (TWY allotment + FFDH).
+    Ludwig,
+    /// Turek–Wolf–Yu allotment + contiguous list scheduling.
+    TwyList,
+    /// Gang scheduling.
+    Gang,
+    /// Sequential LPT.
+    Lpt,
+}
+
+impl AlgorithmChoice {
+    fn parse(token: &str) -> Result<Self, ParseError> {
+        match token {
+            "mrt" | "sqrt3" => Ok(AlgorithmChoice::Mrt),
+            "ludwig" | "two-phase" => Ok(AlgorithmChoice::Ludwig),
+            "twy-list" => Ok(AlgorithmChoice::TwyList),
+            "gang" => Ok(AlgorithmChoice::Gang),
+            "lpt" | "sequential" => Ok(AlgorithmChoice::Lpt),
+            other => Err(ParseError::InvalidValue {
+                flag: "--algorithm".into(),
+                value: other.into(),
+            }),
+        }
+    }
+
+    /// Stable name, used in the output header.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AlgorithmChoice::Mrt => "mrt-sqrt3",
+            AlgorithmChoice::Ludwig => "ludwig-2phase",
+            AlgorithmChoice::TwyList => "twy-list",
+            AlgorithmChoice::Gang => "gang",
+            AlgorithmChoice::Lpt => "sequential-lpt",
+        }
+    }
+}
+
+/// Which workload family a `generate` invocation should draw from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FamilyChoice {
+    /// Mixed Amdahl / power-law / communication / sequential tasks.
+    Mixed,
+    /// Wide parallel tasks dominating (knapsack regime).
+    Wide,
+    /// Small sequential tasks dominating (LPT regime).
+    Sequential,
+}
+
+impl FamilyChoice {
+    fn parse(token: &str) -> Result<Self, ParseError> {
+        match token {
+            "mixed" => Ok(FamilyChoice::Mixed),
+            "wide" | "wide-tasks" => Ok(FamilyChoice::Wide),
+            "sequential" | "sequential-heavy" => Ok(FamilyChoice::Sequential),
+            other => Err(ParseError::InvalidValue {
+                flag: "--family".into(),
+                value: other.into(),
+            }),
+        }
+    }
+}
+
+/// A parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Generate a synthetic instance and write it as JSON.
+    Generate {
+        family: FamilyChoice,
+        tasks: usize,
+        processors: usize,
+        seed: u64,
+        output: Option<String>,
+    },
+    /// Schedule an instance file.
+    Schedule {
+        instance: String,
+        algorithm: AlgorithmChoice,
+        gantt: bool,
+        output: Option<String>,
+    },
+    /// Validate a schedule file against an instance file.
+    Validate { instance: String, schedule: String },
+    /// Print bounds and statistics of an instance file.
+    Bounds { instance: String },
+    /// Print the usage text.
+    Help,
+}
+
+/// The parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cli {
+    /// The selected command.
+    pub command: Command,
+}
+
+/// Errors produced while parsing the command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// No subcommand was given.
+    MissingCommand,
+    /// The subcommand is not one of the known ones.
+    UnknownCommand(String),
+    /// A flag that is not understood by the subcommand.
+    UnknownFlag(String),
+    /// A flag that needs a value was given without one.
+    MissingValue(String),
+    /// A flag value could not be parsed.
+    InvalidValue { flag: String, value: String },
+    /// A required positional argument is missing.
+    MissingArgument(&'static str),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::MissingCommand => write!(f, "no command given (try `help`)"),
+            ParseError::UnknownCommand(c) => write!(f, "unknown command `{c}` (try `help`)"),
+            ParseError::UnknownFlag(flag) => write!(f, "unknown flag `{flag}`"),
+            ParseError::MissingValue(flag) => write!(f, "flag `{flag}` needs a value"),
+            ParseError::InvalidValue { flag, value } => {
+                write!(f, "invalid value `{value}` for `{flag}`")
+            }
+            ParseError::MissingArgument(name) => write!(f, "missing argument <{name}>"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// The usage text printed by `help` and on parse errors.
+pub const USAGE: &str = "\
+malleable-sched — scheduling independent monotonic malleable tasks (SPAA 1999 reproduction)
+
+USAGE:
+  malleable-sched generate --family <mixed|wide|sequential> [--tasks N] [--processors M]
+                           [--seed S] [--output FILE]
+  malleable-sched schedule <instance.json> [--algorithm <mrt|ludwig|twy-list|gang|lpt>]
+                           [--gantt] [--output schedule.json]
+  malleable-sched validate <instance.json> <schedule.json>
+  malleable-sched bounds   <instance.json>
+  malleable-sched help
+";
+
+struct TokenStream<'a> {
+    tokens: &'a [String],
+    index: usize,
+}
+
+impl<'a> TokenStream<'a> {
+    fn new(tokens: &'a [String]) -> Self {
+        TokenStream { tokens, index: 0 }
+    }
+
+    fn next(&mut self) -> Option<&'a str> {
+        let token = self.tokens.get(self.index).map(String::as_str);
+        self.index += 1;
+        token
+    }
+
+    fn value_for(&mut self, flag: &str) -> Result<&'a str, ParseError> {
+        self.next().ok_or_else(|| ParseError::MissingValue(flag.to_string()))
+    }
+}
+
+fn parse_number<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, ParseError> {
+    value.parse().map_err(|_| ParseError::InvalidValue {
+        flag: flag.to_string(),
+        value: value.to_string(),
+    })
+}
+
+impl Cli {
+    /// Parse an argument vector (without the program name).
+    pub fn parse(args: &[String]) -> Result<Self, ParseError> {
+        let mut stream = TokenStream::new(args);
+        let command = match stream.next() {
+            None => return Err(ParseError::MissingCommand),
+            Some("help" | "--help" | "-h") => Command::Help,
+            Some("generate") => Self::parse_generate(&mut stream)?,
+            Some("schedule") => Self::parse_schedule(&mut stream)?,
+            Some("validate") => Self::parse_validate(&mut stream)?,
+            Some("bounds") => Self::parse_bounds(&mut stream)?,
+            Some(other) => return Err(ParseError::UnknownCommand(other.to_string())),
+        };
+        Ok(Cli { command })
+    }
+
+    fn parse_generate(stream: &mut TokenStream) -> Result<Command, ParseError> {
+        let mut family = FamilyChoice::Mixed;
+        let mut tasks = 40usize;
+        let mut processors = 32usize;
+        let mut seed = 0u64;
+        let mut output = None;
+        while let Some(token) = stream.next() {
+            match token {
+                "--family" => family = FamilyChoice::parse(stream.value_for("--family")?)?,
+                "--tasks" => tasks = parse_number("--tasks", stream.value_for("--tasks")?)?,
+                "--processors" => {
+                    processors =
+                        parse_number("--processors", stream.value_for("--processors")?)?
+                }
+                "--seed" => seed = parse_number("--seed", stream.value_for("--seed")?)?,
+                "--output" | "-o" => output = Some(stream.value_for("--output")?.to_string()),
+                other => return Err(ParseError::UnknownFlag(other.to_string())),
+            }
+        }
+        Ok(Command::Generate {
+            family,
+            tasks,
+            processors,
+            seed,
+            output,
+        })
+    }
+
+    fn parse_schedule(stream: &mut TokenStream) -> Result<Command, ParseError> {
+        let mut instance = None;
+        let mut algorithm = AlgorithmChoice::Mrt;
+        let mut gantt = false;
+        let mut output = None;
+        while let Some(token) = stream.next() {
+            match token {
+                "--algorithm" | "-a" => {
+                    algorithm = AlgorithmChoice::parse(stream.value_for("--algorithm")?)?
+                }
+                "--gantt" => gantt = true,
+                "--output" | "-o" => output = Some(stream.value_for("--output")?.to_string()),
+                other if other.starts_with('-') => {
+                    return Err(ParseError::UnknownFlag(other.to_string()))
+                }
+                positional => instance = Some(positional.to_string()),
+            }
+        }
+        Ok(Command::Schedule {
+            instance: instance.ok_or(ParseError::MissingArgument("instance.json"))?,
+            algorithm,
+            gantt,
+            output,
+        })
+    }
+
+    fn parse_validate(stream: &mut TokenStream) -> Result<Command, ParseError> {
+        let mut positionals = Vec::new();
+        while let Some(token) = stream.next() {
+            if token.starts_with('-') {
+                return Err(ParseError::UnknownFlag(token.to_string()));
+            }
+            positionals.push(token.to_string());
+        }
+        let mut drain = positionals.into_iter();
+        Ok(Command::Validate {
+            instance: drain.next().ok_or(ParseError::MissingArgument("instance.json"))?,
+            schedule: drain.next().ok_or(ParseError::MissingArgument("schedule.json"))?,
+        })
+    }
+
+    fn parse_bounds(stream: &mut TokenStream) -> Result<Command, ParseError> {
+        let instance = match stream.next() {
+            Some(token) if !token.starts_with('-') => token.to_string(),
+            Some(token) => return Err(ParseError::UnknownFlag(token.to_string())),
+            None => return Err(ParseError::MissingArgument("instance.json")),
+        };
+        Ok(Command::Bounds { instance })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_generate_with_all_flags() {
+        let cli = Cli::parse(&args(&[
+            "generate", "--family", "wide", "--tasks", "10", "--processors", "16", "--seed",
+            "3", "--output", "x.json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Generate {
+                family: FamilyChoice::Wide,
+                tasks: 10,
+                processors: 16,
+                seed: 3,
+                output: Some("x.json".into()),
+            }
+        );
+    }
+
+    #[test]
+    fn generate_defaults_are_sensible() {
+        let cli = Cli::parse(&args(&["generate"])).unwrap();
+        match cli.command {
+            Command::Generate {
+                family,
+                tasks,
+                processors,
+                seed,
+                output,
+            } => {
+                assert_eq!(family, FamilyChoice::Mixed);
+                assert_eq!((tasks, processors, seed), (40, 32, 0));
+                assert!(output.is_none());
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_schedule_with_algorithm_and_gantt() {
+        let cli = Cli::parse(&args(&[
+            "schedule", "inst.json", "--algorithm", "ludwig", "--gantt",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Schedule {
+                instance: "inst.json".into(),
+                algorithm: AlgorithmChoice::Ludwig,
+                gantt: true,
+                output: None,
+            }
+        );
+    }
+
+    #[test]
+    fn schedule_requires_an_instance() {
+        assert_eq!(
+            Cli::parse(&args(&["schedule", "--gantt"])).unwrap_err(),
+            ParseError::MissingArgument("instance.json")
+        );
+    }
+
+    #[test]
+    fn parses_validate_and_bounds() {
+        assert_eq!(
+            Cli::parse(&args(&["validate", "a.json", "b.json"])).unwrap().command,
+            Command::Validate {
+                instance: "a.json".into(),
+                schedule: "b.json".into()
+            }
+        );
+        assert_eq!(
+            Cli::parse(&args(&["bounds", "a.json"])).unwrap().command,
+            Command::Bounds {
+                instance: "a.json".into()
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_commands_flags_and_values() {
+        assert!(matches!(
+            Cli::parse(&args(&["frobnicate"])).unwrap_err(),
+            ParseError::UnknownCommand(_)
+        ));
+        assert!(matches!(
+            Cli::parse(&args(&["generate", "--frequency", "3"])).unwrap_err(),
+            ParseError::UnknownFlag(_)
+        ));
+        assert!(matches!(
+            Cli::parse(&args(&["generate", "--tasks", "many"])).unwrap_err(),
+            ParseError::InvalidValue { .. }
+        ));
+        assert!(matches!(
+            Cli::parse(&args(&["schedule", "i.json", "--algorithm", "magic"])).unwrap_err(),
+            ParseError::InvalidValue { .. }
+        ));
+        assert_eq!(Cli::parse(&[]).unwrap_err(), ParseError::MissingCommand);
+    }
+
+    #[test]
+    fn algorithm_aliases_are_accepted() {
+        for (token, expected) in [
+            ("sqrt3", AlgorithmChoice::Mrt),
+            ("two-phase", AlgorithmChoice::Ludwig),
+            ("sequential", AlgorithmChoice::Lpt),
+        ] {
+            let cli = Cli::parse(&args(&["schedule", "i.json", "--algorithm", token])).unwrap();
+            match cli.command {
+                Command::Schedule { algorithm, .. } => assert_eq!(algorithm, expected),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn help_is_parsed_and_errors_display() {
+        assert_eq!(Cli::parse(&args(&["help"])).unwrap().command, Command::Help);
+        assert!(ParseError::MissingCommand.to_string().contains("help"));
+        assert!(ParseError::UnknownFlag("--x".into()).to_string().contains("--x"));
+    }
+}

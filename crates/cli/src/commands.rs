@@ -1,0 +1,310 @@
+//! Execution of the parsed CLI commands.
+
+use std::fmt;
+use std::fs;
+// The prelude glob exports `malleable_core::Result`; this command layer deals
+// with its own error type, so pull the standard `Result` back into scope.
+use std::result::Result;
+
+use baselines::{gang_schedule, ludwig, sequential_lpt, RigidScheduler, TwoPhaseScheduler};
+use malleable_core::prelude::*;
+use malleable_core::bounds;
+use simulator::{render_gantt, simulate, validate_schedule};
+use workload::{describe, instance_from_json, instance_to_json, WorkloadConfig, WorkloadGenerator};
+
+use crate::args::{AlgorithmChoice, Cli, Command, FamilyChoice, ParseError, USAGE};
+use crate::schedule_io::{schedule_from_json, schedule_to_json};
+
+/// Errors produced while executing a command.
+#[derive(Debug)]
+pub enum CliError {
+    /// The command line did not parse.
+    Parse(ParseError),
+    /// A file could not be read or written.
+    Io { path: String, message: String },
+    /// An input document could not be interpreted.
+    Invalid(String),
+    /// Scheduling failed.
+    Scheduling(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Parse(e) => write!(f, "{e}\n\n{USAGE}"),
+            CliError::Io { path, message } => write!(f, "cannot access `{path}`: {message}"),
+            CliError::Invalid(message) => write!(f, "invalid input: {message}"),
+            CliError::Scheduling(message) => write!(f, "scheduling failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn read_file(path: &str) -> Result<String, CliError> {
+    fs::read_to_string(path).map_err(|e| CliError::Io {
+        path: path.to_string(),
+        message: e.to_string(),
+    })
+}
+
+fn write_file(path: &str, content: &str) -> Result<(), CliError> {
+    fs::write(path, content).map_err(|e| CliError::Io {
+        path: path.to_string(),
+        message: e.to_string(),
+    })
+}
+
+fn load_instance(path: &str) -> Result<Instance, CliError> {
+    let text = read_file(path)?;
+    instance_from_json(&text).map_err(|e| CliError::Invalid(format!("{path}: {e}")))
+}
+
+/// Execute a parsed command and return the text to print.
+pub fn run(cli: &Cli) -> Result<String, CliError> {
+    match &cli.command {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Generate {
+            family,
+            tasks,
+            processors,
+            seed,
+            output,
+        } => generate(*family, *tasks, *processors, *seed, output.as_deref()),
+        Command::Schedule {
+            instance,
+            algorithm,
+            gantt,
+            output,
+        } => schedule(instance, *algorithm, *gantt, output.as_deref()),
+        Command::Validate { instance, schedule } => validate(instance, schedule),
+        Command::Bounds { instance } => print_bounds(instance),
+    }
+}
+
+fn generate(
+    family: FamilyChoice,
+    tasks: usize,
+    processors: usize,
+    seed: u64,
+    output: Option<&str>,
+) -> Result<String, CliError> {
+    let config = match family {
+        FamilyChoice::Mixed => WorkloadConfig::mixed(tasks, processors, seed),
+        FamilyChoice::Wide => WorkloadConfig::wide_tasks(tasks, processors, seed),
+        FamilyChoice::Sequential => WorkloadConfig::sequential_heavy(tasks, processors, seed),
+    };
+    let instance = WorkloadGenerator::new(config)
+        .generate()
+        .map_err(|e| CliError::Invalid(e.to_string()))?;
+    let json = instance_to_json(&instance);
+    match output {
+        Some(path) => {
+            write_file(path, &json)?;
+            Ok(format!(
+                "wrote {} tasks on {} processors to {path}\n",
+                instance.task_count(),
+                instance.processors()
+            ))
+        }
+        None => Ok(json),
+    }
+}
+
+fn run_algorithm(
+    algorithm: AlgorithmChoice,
+    instance: &Instance,
+) -> Result<Schedule, CliError> {
+    let schedule = match algorithm {
+        AlgorithmChoice::Mrt => {
+            MrtScheduler::default()
+                .schedule(instance)
+                .map_err(|e| CliError::Scheduling(e.to_string()))?
+                .schedule
+        }
+        AlgorithmChoice::Ludwig => {
+            ludwig(instance).map_err(|e| CliError::Scheduling(e.to_string()))?
+        }
+        AlgorithmChoice::TwyList => TwoPhaseScheduler {
+            rigid: RigidScheduler::List,
+        }
+        .schedule(instance)
+        .map_err(|e| CliError::Scheduling(e.to_string()))?,
+        AlgorithmChoice::Gang => gang_schedule(instance),
+        AlgorithmChoice::Lpt => sequential_lpt(instance),
+    };
+    Ok(schedule)
+}
+
+fn schedule(
+    instance_path: &str,
+    algorithm: AlgorithmChoice,
+    gantt: bool,
+    output: Option<&str>,
+) -> Result<String, CliError> {
+    let instance = load_instance(instance_path)?;
+    let schedule = run_algorithm(algorithm, &instance)?;
+    let lb = bounds::lower_bound(&instance);
+    let trace = simulate(&instance, &schedule);
+
+    let mut report = String::new();
+    report.push_str(&format!(
+        "algorithm        : {}\ninstance         : {} tasks on {} processors\nmakespan         : {:.4}\nlower bound      : {:.4}\nratio            : {:.4}\nutilisation      : {:.1}%\n",
+        algorithm.name(),
+        instance.task_count(),
+        instance.processors(),
+        schedule.makespan(),
+        lb,
+        schedule.makespan() / lb,
+        100.0 * trace.utilization,
+    ));
+    if gantt {
+        report.push('\n');
+        report.push_str(&render_gantt(&instance, &schedule, 72));
+    }
+    if let Some(path) = output {
+        write_file(path, &schedule_to_json(&schedule))?;
+        report.push_str(&format!("schedule written to {path}\n"));
+    }
+    Ok(report)
+}
+
+fn validate(instance_path: &str, schedule_path: &str) -> Result<String, CliError> {
+    let instance = load_instance(instance_path)?;
+    let schedule_text = read_file(schedule_path)?;
+    let schedule =
+        schedule_from_json(&schedule_text, &instance).map_err(CliError::Invalid)?;
+    let report = validate_schedule(&instance, &schedule, None);
+    if report.is_valid() {
+        Ok(format!(
+            "OK: {} tasks, makespan {:.4}, no violations\n",
+            schedule.len(),
+            schedule.makespan()
+        ))
+    } else {
+        let mut out = String::from("INVALID schedule:\n");
+        for violation in &report.violations {
+            out.push_str(&format!("  - {violation}\n"));
+        }
+        Err(CliError::Invalid(out))
+    }
+}
+
+fn print_bounds(instance_path: &str) -> Result<String, CliError> {
+    let instance = load_instance(instance_path)?;
+    let stats = describe(&instance);
+    Ok(format!(
+        "tasks             : {}\nprocessors        : {}\ntotal work        : {:.4}\nmean parallelism  : {:.2}\narea bound        : {:.4}\ncritical bound    : {:.4}\nlower bound       : {:.4}\nupper bound       : {:.4}\n",
+        stats.tasks,
+        stats.processors,
+        stats.total_work,
+        stats.mean_parallelism,
+        stats.area_bound,
+        stats.critical_bound,
+        stats.lower_bound,
+        stats.upper_bound,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::run_args;
+
+    fn args(raw: &[&str]) -> Vec<String> {
+        raw.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn temp_path(name: &str) -> String {
+        let dir = std::env::temp_dir().join("mrt-cli-tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{}-{name}", std::process::id()))
+            .to_string_lossy()
+            .into_owned()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run_args(&args(&["help"])).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn generate_schedule_validate_pipeline() {
+        let instance_path = temp_path("instance.json");
+        let schedule_path = temp_path("schedule.json");
+
+        let out = run_args(&args(&[
+            "generate",
+            "--family",
+            "mixed",
+            "--tasks",
+            "12",
+            "--processors",
+            "8",
+            "--seed",
+            "5",
+            "--output",
+            &instance_path,
+        ]))
+        .unwrap();
+        assert!(out.contains("12 tasks"));
+
+        let out = run_args(&args(&[
+            "schedule",
+            &instance_path,
+            "--algorithm",
+            "mrt",
+            "--gantt",
+            "--output",
+            &schedule_path,
+        ]))
+        .unwrap();
+        assert!(out.contains("makespan"));
+        assert!(out.contains("P0"), "gantt output expected");
+
+        let out = run_args(&args(&["validate", &instance_path, &schedule_path])).unwrap();
+        assert!(out.starts_with("OK"));
+
+        let out = run_args(&args(&["bounds", &instance_path])).unwrap();
+        assert!(out.contains("lower bound"));
+
+        fs::remove_file(instance_path).ok();
+        fs::remove_file(schedule_path).ok();
+    }
+
+    #[test]
+    fn every_algorithm_choice_runs() {
+        let instance_path = temp_path("algo-instance.json");
+        run_args(&args(&[
+            "generate", "--tasks", "8", "--processors", "4", "--seed", "1", "--output",
+            &instance_path,
+        ]))
+        .unwrap();
+        for algo in ["mrt", "ludwig", "twy-list", "gang", "lpt"] {
+            let out =
+                run_args(&args(&["schedule", &instance_path, "--algorithm", algo])).unwrap();
+            assert!(out.contains("ratio"), "{algo} did not report a ratio");
+        }
+        fs::remove_file(instance_path).ok();
+    }
+
+    #[test]
+    fn missing_files_are_reported() {
+        let err = run_args(&args(&["bounds", "/nonexistent/instance.json"])).unwrap_err();
+        assert!(matches!(err, CliError::Io { .. }));
+        assert!(err.to_string().contains("nonexistent"));
+    }
+
+    #[test]
+    fn parse_errors_carry_usage() {
+        let err = run_args(&args(&["explode"])).unwrap_err();
+        assert!(err.to_string().contains("USAGE"));
+    }
+
+    #[test]
+    fn generate_without_output_prints_json() {
+        let out = run_args(&args(&["generate", "--tasks", "3", "--processors", "2"])).unwrap();
+        assert!(out.contains("\"processors\": 2"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Exponential brute-force solver, used as an oracle in tests and for tiny
+//! instances (e.g. the "trivial solution" scan of §4.5 degenerates to very few
+//! items).
+
+use crate::{Item, Solution};
+
+/// Enumerate every subset of the items and return a maximum-profit subset that
+/// fits within `capacity`.
+///
+/// Complexity `O(2^n · n)`.  Panics in debug builds if `n > 25` to catch
+/// accidental use on large inputs; in release builds large inputs are simply
+/// slow.
+pub fn solve_brute_force(items: &[Item], capacity: u64) -> Solution {
+    let n = items.len();
+    debug_assert!(n <= 25, "brute-force knapsack called with {n} items");
+    if n == 0 {
+        return Solution::empty();
+    }
+    let mut best_profit = 0u64;
+    let mut best_weight = 0u64;
+    let mut best_mask = 0u64;
+    for mask in 0u64..(1u64 << n) {
+        let mut w = 0u64;
+        let mut p = 0u64;
+        for (i, it) in items.iter().enumerate() {
+            if mask >> i & 1 == 1 {
+                w += it.weight;
+                p += it.profit;
+            }
+        }
+        if w <= capacity && (p > best_profit || (p == best_profit && w < best_weight)) {
+            best_profit = p;
+            best_weight = w;
+            best_mask = mask;
+        }
+    }
+    let selected = (0..n).filter(|i| best_mask >> i & 1 == 1).collect();
+    Solution::from_indices(items, selected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty() {
+        assert_eq!(solve_brute_force(&[], 5), Solution::empty());
+    }
+
+    #[test]
+    fn single_item_fits() {
+        let items = [Item { weight: 2, profit: 9 }];
+        let sol = solve_brute_force(&items, 2);
+        assert_eq!(sol.profit, 9);
+        assert_eq!(sol.selected, vec![0]);
+    }
+
+    #[test]
+    fn single_item_does_not_fit() {
+        let items = [Item { weight: 3, profit: 9 }];
+        let sol = solve_brute_force(&items, 2);
+        assert_eq!(sol.profit, 0);
+        assert!(sol.selected.is_empty());
+    }
+
+    #[test]
+    fn prefers_lower_weight_on_profit_tie() {
+        let items = [
+            Item { weight: 5, profit: 10 },
+            Item { weight: 3, profit: 10 },
+        ];
+        let sol = solve_brute_force(&items, 6);
+        assert_eq!(sol.profit, 10);
+        assert_eq!(sol.selected, vec![1]);
+    }
+
+    #[test]
+    fn three_item_optimum() {
+        let items = [
+            Item { weight: 1, profit: 2 },
+            Item { weight: 2, profit: 3 },
+            Item { weight: 3, profit: 4 },
+        ];
+        let sol = solve_brute_force(&items, 4);
+        assert_eq!(sol.profit, 6);
+        assert_eq!(sol.selected, vec![0, 2]);
+    }
+}

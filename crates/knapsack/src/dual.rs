@@ -1,0 +1,195 @@
+//! Dual (covering) knapsack: minimise total weight subject to a profit target.
+//!
+//! §4.4 of the paper introduces the problem `K'(λ)`: *find `Γ ⊆ T₁` with
+//! `Σ q_j ≥ p₁`, minimising `Σ d_j`*.  Lemma 2 shows that whenever the primal
+//! approximation misses the feasibility window, an approximation of this dual
+//! problem recovers a feasible `λ`-schedule.  We provide an exact dynamic
+//! program over profit (pseudo-polynomial in the profit target, which in the
+//! scheduling application is bounded by the number of processors `m`), plus a
+//! brute-force oracle for testing.
+
+use crate::Item;
+
+/// Result of a dual (minimum-weight covering) knapsack resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DualSolution {
+    /// Indices of the selected items, in increasing order.
+    pub selected: Vec<usize>,
+    /// Total profit of the selected items (≥ the target when feasible).
+    pub profit: u64,
+    /// Total weight of the selected items (the minimised objective).
+    pub weight: u64,
+}
+
+impl DualSolution {
+    fn from_indices(items: &[Item], mut selected: Vec<usize>) -> Self {
+        selected.sort_unstable();
+        selected.dedup();
+        let profit = selected.iter().map(|&i| items[i].profit).sum();
+        let weight = selected.iter().map(|&i| items[i].weight).sum();
+        DualSolution {
+            selected,
+            profit,
+            weight,
+        }
+    }
+}
+
+/// Exact minimum-weight covering knapsack.
+///
+/// Returns `None` when the profit target is unreachable even by selecting
+/// every item; otherwise returns a selection of minimum total weight whose
+/// profit is at least `target`.
+///
+/// Complexity `O(n · P)` where `P` is the total profit, capped at the target
+/// (profits beyond the target are clamped, which preserves optimality for a
+/// covering objective).
+pub fn solve_dual_min_weight(items: &[Item], target: u64) -> Option<DualSolution> {
+    if target == 0 {
+        return Some(DualSolution::from_indices(items, Vec::new()));
+    }
+    let total_profit: u64 = items.iter().map(|it| it.profit).sum();
+    if total_profit < target {
+        return None;
+    }
+    let bound = target as usize;
+    const INFEASIBLE: u64 = u64::MAX;
+
+    // min_w[p] = minimum weight achieving clamped profit exactly p,
+    // where the clamped profit of a selection is min(Σ profit, target).
+    let mut min_w = vec![INFEASIBLE; bound + 1];
+    min_w[0] = 0;
+    let mut choice = vec![false; items.len() * (bound + 1)];
+
+    for (i, it) in items.iter().enumerate() {
+        let row = &mut choice[i * (bound + 1)..(i + 1) * (bound + 1)];
+        for p in (1..=bound).rev() {
+            let from = p.saturating_sub(it.profit as usize);
+            if min_w[from] == INFEASIBLE {
+                continue;
+            }
+            let cand = min_w[from].saturating_add(it.weight);
+            if cand < min_w[p] {
+                min_w[p] = cand;
+                row[p] = true;
+            }
+        }
+    }
+
+    if min_w[bound] == INFEASIBLE {
+        return None;
+    }
+
+    // Backtrack from the target profit.
+    let mut p = bound;
+    let mut selected = Vec::new();
+    for i in (0..items.len()).rev() {
+        if p == 0 {
+            break;
+        }
+        if choice[i * (bound + 1) + p] {
+            selected.push(i);
+            p = p.saturating_sub(items[i].profit as usize);
+        }
+    }
+    Some(DualSolution::from_indices(items, selected))
+}
+
+/// Brute-force oracle for the dual problem (testing only).
+pub fn solve_dual_brute_force(items: &[Item], target: u64) -> Option<DualSolution> {
+    let n = items.len();
+    debug_assert!(n <= 25, "brute-force dual knapsack called with {n} items");
+    let mut best: Option<(u64, u64)> = None; // (weight, mask)
+    for mask in 0u64..(1u64 << n) {
+        let mut w = 0u64;
+        let mut p = 0u64;
+        for (i, it) in items.iter().enumerate() {
+            if mask >> i & 1 == 1 {
+                w += it.weight;
+                p += it.profit;
+            }
+        }
+        if p >= target && best.map_or(true, |(bw, _)| w < bw) {
+            best = Some((w, mask));
+        }
+    }
+    best.map(|(_, mask)| {
+        let selected = (0..n).filter(|i| mask >> i & 1 == 1).collect();
+        DualSolution::from_indices(items, selected)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn items(raw: &[(u64, u64)]) -> Vec<Item> {
+        raw.iter()
+            .map(|&(w, p)| Item { weight: w, profit: p })
+            .collect()
+    }
+
+    #[test]
+    fn zero_target_selects_nothing() {
+        let it = items(&[(5, 5)]);
+        let sol = solve_dual_min_weight(&it, 0).unwrap();
+        assert!(sol.selected.is_empty());
+        assert_eq!(sol.weight, 0);
+    }
+
+    #[test]
+    fn unreachable_target() {
+        let it = items(&[(1, 2), (1, 3)]);
+        assert!(solve_dual_min_weight(&it, 6).is_none());
+        assert!(solve_dual_brute_force(&it, 6).is_none());
+    }
+
+    #[test]
+    fn picks_cheapest_cover() {
+        // Need profit >= 5: {0} has weight 10, {1,2} has weight 4.
+        let it = items(&[(10, 5), (2, 3), (2, 2)]);
+        let sol = solve_dual_min_weight(&it, 5).unwrap();
+        assert_eq!(sol.weight, 4);
+        assert_eq!(sol.selected, vec![1, 2]);
+    }
+
+    #[test]
+    fn exact_cover_preferred_over_overshoot() {
+        let it = items(&[(3, 4), (5, 10)]);
+        let sol = solve_dual_min_weight(&it, 4).unwrap();
+        assert_eq!(sol.weight, 3);
+    }
+
+    #[test]
+    fn scheduling_shaped_target() {
+        // Profits are canonical processor counts, weights are λ-processor counts.
+        let it = items(&[(4, 2), (6, 3), (3, 2), (8, 5)]);
+        let sol = solve_dual_min_weight(&it, 6).unwrap();
+        let brute = solve_dual_brute_force(&it, 6).unwrap();
+        assert_eq!(sol.weight, brute.weight);
+        assert!(sol.profit >= 6);
+    }
+
+    proptest! {
+        /// DP weight equals the brute-force optimum whenever feasible, and the
+        /// profit constraint is always satisfied.
+        #[test]
+        fn matches_brute(
+            raw in prop::collection::vec((0u64..12, 0u64..10), 0..10),
+            target in 0u64..30,
+        ) {
+            let it = items(&raw);
+            let dp = solve_dual_min_weight(&it, target);
+            let brute = solve_dual_brute_force(&it, target);
+            match (dp, brute) {
+                (None, None) => {}
+                (Some(d), Some(b)) => {
+                    prop_assert_eq!(d.weight, b.weight);
+                    prop_assert!(d.profit >= target);
+                }
+                (d, b) => prop_assert!(false, "feasibility mismatch: {:?} vs {:?}", d, b),
+            }
+        }
+    }
+}

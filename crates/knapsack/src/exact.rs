@@ -1,0 +1,160 @@
+//! Exact pseudo-polynomial dynamic program over capacity.
+
+use crate::{Item, Solution};
+
+/// Solve a 0/1 knapsack instance exactly with the classical capacity DP.
+///
+/// Time `O(n·C)`, space `O(n·C)` bits for the decision table plus `O(C)` words
+/// for the rolling profit row, where `n` is the number of items and `C` the
+/// capacity.  This is the "pseudo-polynomial algorithm that solves it exactly
+/// in time O(n·m)" referred to in §4.3 of the paper: in the scheduling
+/// application the capacity is the number of processors `m`, so the DP is
+/// perfectly affordable for any realistic machine size.
+///
+/// Items with weight larger than the capacity are never selected; items with
+/// zero weight are always selected (they are free profit).
+pub fn solve_exact(items: &[Item], capacity: u64) -> Solution {
+    let n = items.len();
+    if n == 0 {
+        return Solution::empty();
+    }
+    // Guard against absurd capacities: the caller (Strategy::Auto) is expected
+    // to route huge capacities to the FPTAS, but keep a hard safety net by
+    // clamping to the total weight (a capacity beyond the total weight is
+    // equivalent to the total weight).
+    let total_weight: u64 = items.iter().map(|it| it.weight).sum();
+    let cap = capacity.min(total_weight) as usize;
+
+    // best[c] = best profit achievable with capacity c using items 0..=i.
+    let mut best = vec![0u64; cap + 1];
+    // take[i][c] = whether item i is taken in an optimal solution for capacity c.
+    let mut take = vec![false; n * (cap + 1)];
+
+    for (i, it) in items.iter().enumerate() {
+        let w = it.weight as usize;
+        let row = &mut take[i * (cap + 1)..(i + 1) * (cap + 1)];
+        if w > cap {
+            continue;
+        }
+        // Iterate capacity downwards so that every item is used at most once.
+        for c in (w..=cap).rev() {
+            let candidate = best[c - w] + it.profit;
+            if candidate > best[c] {
+                best[c] = candidate;
+                row[c] = true;
+            }
+        }
+    }
+
+    // Recover the selected set by walking the decision table backwards.
+    let mut selected = Vec::new();
+    let mut c = cap;
+    for i in (0..n).rev() {
+        if take[i * (cap + 1) + c] {
+            selected.push(i);
+            c -= items[i].weight as usize;
+        }
+    }
+    selected.reverse();
+    let mut sol = Solution::from_indices(items, selected);
+    debug_assert_eq!(sol.profit, best[cap]);
+    // Normalise: the DP never exceeds the true capacity.
+    sol.weight = sol.weight.min(capacity);
+    sol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve_brute_force;
+    use proptest::prelude::*;
+
+    fn items(raw: &[(u64, u64)]) -> Vec<Item> {
+        raw.iter()
+            .map(|&(w, p)| Item { weight: w, profit: p })
+            .collect()
+    }
+
+    #[test]
+    fn empty_instance() {
+        let sol = solve_exact(&[], 10);
+        assert_eq!(sol, Solution::empty());
+    }
+
+    #[test]
+    fn zero_capacity_selects_only_zero_weight() {
+        let it = items(&[(0, 5), (1, 100)]);
+        let sol = solve_exact(&it, 0);
+        assert_eq!(sol.profit, 5);
+        assert_eq!(sol.selected, vec![0]);
+    }
+
+    #[test]
+    fn textbook_instance() {
+        let it = items(&[(10, 60), (20, 100), (30, 120)]);
+        let sol = solve_exact(&it, 50);
+        assert_eq!(sol.profit, 220);
+        assert_eq!(sol.selected, vec![1, 2]);
+    }
+
+    #[test]
+    fn all_items_fit() {
+        let it = items(&[(1, 1), (2, 2), (3, 3)]);
+        let sol = solve_exact(&it, 100);
+        assert_eq!(sol.profit, 6);
+        assert_eq!(sol.selected, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn item_heavier_than_capacity_is_skipped() {
+        let it = items(&[(100, 1000), (2, 3)]);
+        let sol = solve_exact(&it, 10);
+        assert_eq!(sol.profit, 3);
+        assert_eq!(sol.selected, vec![1]);
+    }
+
+    #[test]
+    fn ties_are_resolved_consistently() {
+        // Two identical items, capacity for one: profit must be that of one.
+        let it = items(&[(5, 7), (5, 7)]);
+        let sol = solve_exact(&it, 5);
+        assert_eq!(sol.profit, 7);
+        assert_eq!(sol.selected.len(), 1);
+    }
+
+    #[test]
+    fn scheduling_shaped_instance() {
+        // Weights/profits are small processor counts as in the paper's K(λ).
+        let it = items(&[(3, 2), (4, 3), (2, 2), (6, 4), (1, 1)]);
+        let brute = solve_brute_force(&it, 8);
+        let dp = solve_exact(&it, 8);
+        assert_eq!(dp.profit, brute.profit);
+    }
+
+    proptest! {
+        /// The DP matches the brute-force optimum on small random instances.
+        #[test]
+        fn matches_brute_force(
+            raw in prop::collection::vec((0u64..12, 0u64..20), 0..12),
+            capacity in 0u64..40,
+        ) {
+            let it = items(&raw);
+            let dp = solve_exact(&it, capacity);
+            let brute = solve_brute_force(&it, capacity);
+            prop_assert_eq!(dp.profit, brute.profit);
+            prop_assert!(dp.is_consistent(&it, capacity));
+        }
+
+        /// The returned selection always respects the capacity.
+        #[test]
+        fn respects_capacity(
+            raw in prop::collection::vec((0u64..50, 0u64..50), 0..30),
+            capacity in 0u64..100,
+        ) {
+            let it = items(&raw);
+            let dp = solve_exact(&it, capacity);
+            let weight: u64 = dp.selected.iter().map(|&i| it[i].weight).sum();
+            prop_assert!(weight <= capacity);
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Fully polynomial-time approximation scheme by profit scaling.
+
+use crate::{Item, Solution};
+
+/// Solve a 0/1 knapsack instance approximately with the classical FPTAS.
+///
+/// For any `ε > 0` the returned solution has profit at least `(1 − ε)` times
+/// the optimum and never exceeds the capacity.  The algorithm scales profits
+/// by `K = ε · P_max / n` and runs the minimum-weight-per-profit dynamic
+/// program on the scaled instance, giving `O(n³/ε)` time — this is the
+/// "fully approximable scheme" invoked in §4.4 of the paper (with the
+/// reference to Papadimitriou's textbook) to keep the allotment selection
+/// polynomial even when the number of processors is astronomically large.
+///
+/// `ε` values outside `(0, 1)` are clamped into that range; `ε → 0` degrades
+/// gracefully to the exact profit DP.
+pub fn solve_fptas(items: &[Item], capacity: u64, epsilon: f64) -> Solution {
+    let n = items.len();
+    if n == 0 {
+        return Solution::empty();
+    }
+    let eps = if epsilon.is_finite() {
+        epsilon.clamp(1e-9, 0.999_999)
+    } else {
+        0.5
+    };
+
+    // Only items that individually fit can ever be selected.
+    let fitting: Vec<usize> = (0..n).filter(|&i| items[i].weight <= capacity).collect();
+    if fitting.is_empty() {
+        return Solution::empty();
+    }
+    let p_max = fitting
+        .iter()
+        .map(|&i| items[i].profit)
+        .max()
+        .unwrap_or(0);
+    if p_max == 0 {
+        // All profits are zero: the empty solution is optimal.
+        return Solution::empty();
+    }
+
+    // Scaling factor. Keep it at least 1 so the scaled profits do not explode.
+    let k = (eps * p_max as f64 / fitting.len() as f64).max(1.0);
+    let scaled: Vec<u64> = fitting
+        .iter()
+        .map(|&i| (items[i].profit as f64 / k).floor() as u64)
+        .collect();
+
+    min_weight_profit_dp(items, capacity, &fitting, &scaled)
+}
+
+/// Dynamic program over (scaled) profit: `min_w[p]` is the minimum weight
+/// needed to collect scaled profit exactly `p`.  Returns the best real-profit
+/// solution among all reachable scaled profits that fit in the capacity.
+fn min_weight_profit_dp(
+    items: &[Item],
+    capacity: u64,
+    fitting: &[usize],
+    scaled: &[u64],
+) -> Solution {
+    let total_scaled: u64 = scaled.iter().sum();
+    let bound = total_scaled as usize;
+    const UNREACHABLE: u64 = u64::MAX;
+
+    let mut min_w = vec![UNREACHABLE; bound + 1];
+    min_w[0] = 0;
+    // choice[i][p] = item fitting[i] taken to reach scaled profit p at step i.
+    let mut choice = vec![false; fitting.len() * (bound + 1)];
+
+    for (idx, (&orig, &sp)) in fitting.iter().zip(scaled.iter()).enumerate() {
+        let w = items[orig].weight;
+        let row = &mut choice[idx * (bound + 1)..(idx + 1) * (bound + 1)];
+        for p in (sp as usize..=bound).rev() {
+            let prev = min_w[p - sp as usize];
+            if prev == UNREACHABLE {
+                continue;
+            }
+            let cand = prev.saturating_add(w);
+            if cand < min_w[p] {
+                min_w[p] = cand;
+                row[p] = true;
+            }
+        }
+    }
+
+    // Among reachable scaled profits that fit, pick the one whose *recovered
+    // real* profit is maximal (recovering by backtracking).
+    let mut best: Option<(u64, Vec<usize>)> = None;
+    for p in 0..=bound {
+        if min_w[p] > capacity {
+            continue;
+        }
+        let sel = backtrack(&choice, fitting, scaled, bound, p);
+        let real: u64 = sel.iter().map(|&i| items[i].profit).sum();
+        if best.as_ref().map_or(true, |(bp, _)| real > *bp) {
+            best = Some((real, sel));
+        }
+    }
+    match best {
+        Some((_, sel)) => Solution::from_indices(items, sel),
+        None => Solution::empty(),
+    }
+}
+
+fn backtrack(
+    choice: &[bool],
+    fitting: &[usize],
+    scaled: &[u64],
+    bound: usize,
+    target: usize,
+) -> Vec<usize> {
+    let mut p = target;
+    let mut selected = Vec::new();
+    for idx in (0..fitting.len()).rev() {
+        if choice[idx * (bound + 1) + p] {
+            selected.push(fitting[idx]);
+            p -= scaled[idx] as usize;
+        }
+    }
+    selected
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{solve_brute_force, solve_exact};
+    use proptest::prelude::*;
+
+    fn items(raw: &[(u64, u64)]) -> Vec<Item> {
+        raw.iter()
+            .map(|&(w, p)| Item { weight: w, profit: p })
+            .collect()
+    }
+
+    #[test]
+    fn empty_instance() {
+        assert_eq!(solve_fptas(&[], 10, 0.1), Solution::empty());
+    }
+
+    #[test]
+    fn zero_profit_items() {
+        let it = items(&[(1, 0), (2, 0)]);
+        let sol = solve_fptas(&it, 10, 0.1);
+        assert_eq!(sol.profit, 0);
+    }
+
+    #[test]
+    fn nothing_fits() {
+        let it = items(&[(10, 5), (12, 9)]);
+        let sol = solve_fptas(&it, 5, 0.25);
+        assert_eq!(sol, Solution::empty());
+    }
+
+    #[test]
+    fn textbook_instance_small_eps_is_exact() {
+        let it = items(&[(10, 60), (20, 100), (30, 120)]);
+        let sol = solve_fptas(&it, 50, 0.001);
+        assert_eq!(sol.profit, 220);
+    }
+
+    #[test]
+    fn degenerate_epsilon_values_are_clamped() {
+        let it = items(&[(2, 5), (3, 7)]);
+        for eps in [f64::NAN, f64::INFINITY, -1.0, 0.0, 7.5] {
+            let sol = solve_fptas(&it, 5, eps);
+            assert!(sol.is_consistent(&it, 5));
+            // Even with clamped eps the guarantee must hold for eps ≈ 1:
+            // the best single item achieves at least (1-eps)*OPT = 0.
+            assert!(sol.weight <= 5);
+        }
+    }
+
+    proptest! {
+        /// FPTAS profit is within (1-ε) of the exact optimum and feasible.
+        #[test]
+        fn within_guarantee(
+            raw in prop::collection::vec((1u64..15, 1u64..30), 1..10),
+            capacity in 1u64..50,
+            eps in 0.05f64..0.5,
+        ) {
+            let it = items(&raw);
+            let exact = solve_exact(&it, capacity);
+            let approx = solve_fptas(&it, capacity, eps);
+            prop_assert!(approx.is_consistent(&it, capacity));
+            prop_assert!(
+                approx.profit as f64 >= (1.0 - eps) * exact.profit as f64 - 1e-9,
+                "approx {} vs exact {} at eps {}",
+                approx.profit, exact.profit, eps
+            );
+        }
+
+        /// With tiny ε the FPTAS is exact on small instances.
+        #[test]
+        fn tiny_eps_matches_brute(
+            raw in prop::collection::vec((1u64..10, 1u64..10), 1..8),
+            capacity in 1u64..30,
+        ) {
+            let it = items(&raw);
+            let brute = solve_brute_force(&it, capacity);
+            let approx = solve_fptas(&it, capacity, 1e-6);
+            prop_assert_eq!(approx.profit, brute.profit);
+        }
+    }
+}

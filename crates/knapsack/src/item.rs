@@ -1,0 +1,91 @@
+//! Item and solution types shared by every knapsack solver.
+
+/// One item of a 0/1 knapsack instance.
+///
+/// In the allotment-selection problem of the paper, an item represents a task
+/// of the set `T₁` (canonical execution time larger than `λ`): its weight is
+/// `d_j`, the minimal number of processors executing the task in time at most
+/// `λ·ω`, and its profit is `q_j`, its canonical number of processors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Item {
+    /// Capacity consumed when the item is selected.
+    pub weight: u64,
+    /// Value gained when the item is selected.
+    pub profit: u64,
+}
+
+/// Result of a (primal) knapsack resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Solution {
+    /// Indices (into the input slice) of the selected items, in increasing order.
+    pub selected: Vec<usize>,
+    /// Total profit of the selected items.
+    pub profit: u64,
+    /// Total weight of the selected items.
+    pub weight: u64,
+}
+
+impl Solution {
+    /// The empty solution (nothing selected).
+    pub fn empty() -> Self {
+        Solution {
+            selected: Vec::new(),
+            profit: 0,
+            weight: 0,
+        }
+    }
+
+    /// Build a solution from item indices, recomputing totals from `items`.
+    pub fn from_indices(items: &[Item], mut selected: Vec<usize>) -> Self {
+        selected.sort_unstable();
+        selected.dedup();
+        let profit = selected.iter().map(|&i| items[i].profit).sum();
+        let weight = selected.iter().map(|&i| items[i].weight).sum();
+        Solution {
+            selected,
+            profit,
+            weight,
+        }
+    }
+
+    /// Check internal consistency against the originating item list.
+    pub fn is_consistent(&self, items: &[Item], capacity: u64) -> bool {
+        let profit: u64 = self.selected.iter().map(|&i| items[i].profit).sum();
+        let weight: u64 = self.selected.iter().map(|&i| items[i].weight).sum();
+        profit == self.profit && weight == self.weight && weight <= capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_indices_computes_totals() {
+        let items = vec![
+            Item { weight: 2, profit: 3 },
+            Item { weight: 5, profit: 7 },
+            Item { weight: 1, profit: 1 },
+        ];
+        let sol = Solution::from_indices(&items, vec![2, 0]);
+        assert_eq!(sol.selected, vec![0, 2]);
+        assert_eq!(sol.profit, 4);
+        assert_eq!(sol.weight, 3);
+        assert!(sol.is_consistent(&items, 3));
+        assert!(!sol.is_consistent(&items, 2));
+    }
+
+    #[test]
+    fn from_indices_dedups() {
+        let items = vec![Item { weight: 2, profit: 3 }];
+        let sol = Solution::from_indices(&items, vec![0, 0]);
+        assert_eq!(sol.selected, vec![0]);
+        assert_eq!(sol.profit, 3);
+    }
+
+    #[test]
+    fn empty_solution_is_consistent() {
+        let items = vec![Item { weight: 9, profit: 9 }];
+        assert!(Solution::empty().is_consistent(&items, 0));
+    }
+}

@@ -1,0 +1,127 @@
+//! # knapsack
+//!
+//! 0/1 knapsack solvers used by the malleable-task scheduling algorithms of
+//! Mounié, Rapine and Trystram (SPAA 1999).
+//!
+//! The allotment-selection phase of the two-shelf algorithm (§4 of the paper)
+//! is formulated as a knapsack problem `K(λ)`: every "large" task `j` is an
+//! item whose *weight* is the number of processors `d_j` it needs to finish
+//! within the second shelf (length `λ·ω`) and whose *profit* is its canonical
+//! number of processors `q_j`.  Selecting a maximum-profit subset that fits
+//! in the free capacity of the second shelf frees enough processors in the
+//! first shelf for the remaining tasks.
+//!
+//! The paper uses three flavours of resolution, all provided here:
+//!
+//! * [`solve_exact`] — the classical pseudo-polynomial dynamic program over
+//!   capacity, `O(n·C)` time, exact.
+//! * [`solve_fptas`] — the fully polynomial approximation scheme obtained by
+//!   profit scaling, `(1−ε)`-approximate, `O(n³/ε)` time.
+//! * [`solve_dual_min_weight`] — the *dual* knapsack `K'(λ)` of the paper:
+//!   minimise total weight subject to reaching a profit target (a covering
+//!   problem), solved by an exact DP over profit, plus a scaled variant.
+//!
+//! A brute-force solver ([`solve_brute_force`]) is provided for testing and
+//! for very small instances.
+//!
+//! All solvers work on integer weights/profits (`u64`).  The scheduling layer
+//! maps processor counts (small integers) onto these, so the exact DP is the
+//! common path; the FPTAS exists both for completeness with the paper and for
+//! instances where the capacity (number of processors `m`) is huge.
+
+mod brute;
+mod dual;
+mod exact;
+mod fptas;
+mod item;
+
+pub use brute::solve_brute_force;
+pub use dual::{solve_dual_brute_force, solve_dual_min_weight, DualSolution};
+pub use exact::solve_exact;
+pub use fptas::solve_fptas;
+pub use item::{Item, Solution};
+
+/// Strategy used to solve a knapsack instance.
+///
+/// The scheduling layer picks a strategy based on the instance size, mirroring
+/// the discussion in §4.3–4.4 of the paper: the exact DP is pseudo-polynomial
+/// (`O(n·m)`) and is preferred whenever the capacity is moderate; the FPTAS is
+/// used when the capacity is so large that the DP becomes the bottleneck.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Strategy {
+    /// Always run the exact dynamic program.
+    Exact,
+    /// Always run the FPTAS with the given `ε > 0`.
+    Fptas(f64),
+    /// Run the exact DP when `n · capacity` is at most the given budget,
+    /// otherwise fall back to the FPTAS with the given `ε`.
+    Auto { dp_budget: u64, epsilon: f64 },
+}
+
+impl Default for Strategy {
+    fn default() -> Self {
+        Strategy::Auto {
+            dp_budget: 50_000_000,
+            epsilon: 0.05,
+        }
+    }
+}
+
+/// Solve a 0/1 knapsack instance with the given [`Strategy`].
+///
+/// Returns the selected item indices and the achieved profit.  The solution is
+/// optimal when the exact path is taken and `(1−ε)`-optimal otherwise.
+pub fn solve(items: &[Item], capacity: u64, strategy: Strategy) -> Solution {
+    match strategy {
+        Strategy::Exact => solve_exact(items, capacity),
+        Strategy::Fptas(eps) => solve_fptas(items, capacity, eps),
+        Strategy::Auto { dp_budget, epsilon } => {
+            let cost = (items.len() as u64).saturating_mul(capacity.saturating_add(1));
+            if cost <= dp_budget {
+                solve_exact(items, capacity)
+            } else {
+                solve_fptas(items, capacity, epsilon)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn items(raw: &[(u64, u64)]) -> Vec<Item> {
+        raw.iter()
+            .map(|&(w, p)| Item { weight: w, profit: p })
+            .collect()
+    }
+
+    #[test]
+    fn strategy_auto_small_uses_exact() {
+        let it = items(&[(3, 4), (4, 5), (2, 3)]);
+        let sol = solve(&it, 6, Strategy::default());
+        assert_eq!(sol.profit, 8);
+    }
+
+    #[test]
+    fn strategy_fptas_close_to_exact() {
+        let it = items(&[(10, 60), (20, 100), (30, 120)]);
+        let exact = solve(&it, 50, Strategy::Exact);
+        let approx = solve(&it, 50, Strategy::Fptas(0.1));
+        assert!(approx.profit as f64 >= 0.9 * exact.profit as f64);
+    }
+
+    #[test]
+    fn strategy_auto_huge_capacity_falls_back() {
+        let it = items(&[(1_000_000_000, 5), (2_000_000_000, 9)]);
+        let sol = solve(
+            &it,
+            2_500_000_000,
+            Strategy::Auto {
+                dp_budget: 1_000,
+                epsilon: 0.01,
+            },
+        );
+        assert_eq!(sol.profit, 9);
+    }
+}

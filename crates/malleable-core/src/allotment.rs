@@ -1,0 +1,172 @@
+//! Allotments: the per-task processor counts chosen by the first phase of a
+//! two-phase malleable scheduler.
+
+use crate::error::{Error, Result};
+use crate::instance::Instance;
+use crate::task::TaskId;
+
+/// A processor count for every task of an instance.
+///
+/// The two-phase approach of Turek, Wolf and Yu (and of the paper) first picks
+/// an allotment and then schedules the resulting *rigid* (non-malleable)
+/// tasks.  The allotment determines each task's execution time and work, so
+/// the usual aggregate quantities (total work, longest task) live here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Allotment {
+    processors: Vec<usize>,
+}
+
+impl Allotment {
+    /// Wrap a raw processor-count vector, validating it against the instance:
+    /// one entry per task, each in `1..=m`.
+    pub fn new(instance: &Instance, processors: Vec<usize>) -> Result<Self> {
+        if processors.len() != instance.task_count() {
+            return Err(Error::InvalidAllotment {
+                task: processors.len().min(instance.task_count()),
+                processors: 0,
+            });
+        }
+        for (task, &p) in processors.iter().enumerate() {
+            if p == 0 || p > instance.processors() {
+                return Err(Error::InvalidAllotment { task, processors: p });
+            }
+        }
+        Ok(Allotment { processors })
+    }
+
+    /// The canonical allotment for a deadline (minimal processors per task).
+    pub fn canonical(instance: &Instance, deadline: f64) -> Result<Self> {
+        let processors = instance.canonical_allotment(deadline)?;
+        Allotment::new(instance, processors)
+    }
+
+    /// The all-sequential allotment (one processor per task).
+    pub fn sequential(instance: &Instance) -> Self {
+        Allotment {
+            processors: vec![1; instance.task_count()],
+        }
+    }
+
+    /// Number of processors allotted to a task.
+    pub fn processors(&self, task: TaskId) -> usize {
+        self.processors[task]
+    }
+
+    /// Raw access to the allotment vector.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.processors
+    }
+
+    /// Number of tasks covered.
+    pub fn len(&self) -> usize {
+        self.processors.len()
+    }
+
+    /// Whether the allotment is empty (never true for validated allotments).
+    pub fn is_empty(&self) -> bool {
+        self.processors.is_empty()
+    }
+
+    /// Execution time of a task under this allotment.
+    pub fn time(&self, instance: &Instance, task: TaskId) -> f64 {
+        instance.time(task, self.processors[task])
+    }
+
+    /// Work of a task under this allotment.
+    pub fn work(&self, instance: &Instance, task: TaskId) -> f64 {
+        instance.work(task, self.processors[task])
+    }
+
+    /// Total work `Σ_j p_j · t_j(p_j)` under this allotment.
+    pub fn total_work(&self, instance: &Instance) -> f64 {
+        (0..self.len()).map(|t| self.work(instance, t)).sum()
+    }
+
+    /// Longest task execution time under this allotment.
+    pub fn max_time(&self, instance: &Instance) -> f64 {
+        (0..self.len())
+            .map(|t| self.time(instance, t))
+            .fold(0.0, f64::max)
+    }
+
+    /// Sum of the allotted processor counts (the "width" demand).
+    pub fn total_processors(&self) -> usize {
+        self.processors.iter().sum()
+    }
+
+    /// The natural lower bound induced by this allotment on any schedule that
+    /// uses it: `max(total work / m, longest task)`.
+    pub fn makespan_lower_bound(&self, instance: &Instance) -> f64 {
+        (self.total_work(instance) / instance.processors() as f64)
+            .max(self.max_time(instance))
+    }
+
+    /// Replace the processor count of one task, returning a new allotment.
+    pub fn with_processors(&self, task: TaskId, processors: usize) -> Self {
+        let mut next = self.processors.clone();
+        next[task] = processors;
+        Allotment { processors: next }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::SpeedupProfile;
+
+    fn instance() -> Instance {
+        Instance::from_profiles(
+            vec![
+                SpeedupProfile::new(vec![4.0, 2.0, 1.5]).unwrap(),
+                SpeedupProfile::new(vec![3.0, 1.6]).unwrap(),
+                SpeedupProfile::sequential(0.5).unwrap(),
+            ],
+            4,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_bad_vectors() {
+        let inst = instance();
+        assert!(Allotment::new(&inst, vec![1, 1]).is_err());
+        assert!(Allotment::new(&inst, vec![1, 1, 0]).is_err());
+        assert!(Allotment::new(&inst, vec![1, 1, 5]).is_err());
+        assert!(Allotment::new(&inst, vec![1, 2, 1]).is_ok());
+    }
+
+    #[test]
+    fn aggregates_match_hand_computation() {
+        let inst = instance();
+        let a = Allotment::new(&inst, vec![2, 2, 1]).unwrap();
+        assert!((a.total_work(&inst) - (4.0 + 3.2 + 0.5)).abs() < 1e-12);
+        assert!((a.max_time(&inst) - 2.0).abs() < 1e-12);
+        assert_eq!(a.total_processors(), 5);
+        let lb = a.makespan_lower_bound(&inst);
+        assert!((lb - (7.7f64 / 4.0).max(2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn canonical_allotment_matches_instance_helper() {
+        let inst = instance();
+        let a = Allotment::canonical(&inst, 2.0).unwrap();
+        assert_eq!(a.as_slice(), &[2, 2, 1]);
+        assert!(Allotment::canonical(&inst, 1.0).is_err());
+    }
+
+    #[test]
+    fn sequential_allotment_is_all_ones() {
+        let inst = instance();
+        let a = Allotment::sequential(&inst);
+        assert_eq!(a.as_slice(), &[1, 1, 1]);
+        assert!((a.total_work(&inst) - inst.total_sequential_work()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_processors_changes_one_entry() {
+        let inst = instance();
+        let a = Allotment::sequential(&inst).with_processors(0, 3);
+        assert_eq!(a.as_slice(), &[3, 1, 1]);
+    }
+}

@@ -1,0 +1,273 @@
+//! Dual approximation algorithms and the binary search driving them.
+//!
+//! Following Hochbaum & Shmoys (and §2.2 of the paper), a *dual
+//! ρ-approximation* receives a guess `ω` of the optimal makespan and either
+//! returns a schedule of length at most `ρ·ω` or correctly reports that no
+//! schedule of length at most `ω` exists.  A dichotomic search over `ω`
+//! converts such an oracle into a `ρ(1 + 2^{-k})`-approximation after `k`
+//! probes.
+//!
+//! The driver below additionally keeps the best schedule seen over all probes
+//! and the largest ω it certified infeasible, so the caller gets both a
+//! schedule and a *certified* lower bound on the optimum — the ratio of the
+//! two is an instance-specific a-posteriori guarantee that is usually much
+//! better than the worst-case ρ.
+
+use crate::bounds;
+use crate::error::{Error, Result};
+use crate::instance::Instance;
+use crate::schedule::Schedule;
+
+/// Outcome of one dual-approximation probe at a guess `ω`.
+#[derive(Debug, Clone)]
+pub enum DualOutcome {
+    /// A schedule of length at most `ρ·ω` was constructed.
+    Feasible(Schedule),
+    /// No schedule of length at most `ω` exists (a certificate, not a failure).
+    Infeasible,
+}
+
+impl DualOutcome {
+    /// Whether this outcome carries a schedule.
+    pub fn is_feasible(&self) -> bool {
+        matches!(self, DualOutcome::Feasible(_))
+    }
+}
+
+/// A dual approximation algorithm for the malleable scheduling problem.
+pub trait DualApproximation {
+    /// A short human-readable name (used in benchmark reports).
+    fn name(&self) -> &'static str;
+
+    /// The worst-case guarantee ρ of the algorithm on the given instance
+    /// (some guarantees depend on `m`, e.g. `√3 + 3/(m+1)`).
+    fn guarantee(&self, instance: &Instance) -> f64;
+
+    /// Probe the guess `ω`.
+    fn probe(&self, instance: &Instance, omega: f64) -> DualOutcome;
+}
+
+/// Result of a dual-approximation binary search.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// The best (shortest) schedule found over all probes.
+    pub schedule: Schedule,
+    /// The largest guess that was certified infeasible, combined with the
+    /// static lower bounds of [`bounds::lower_bound`]; the optimum makespan is
+    /// at least this value.
+    pub certified_lower_bound: f64,
+    /// The smallest guess for which a schedule was obtained.
+    pub feasible_omega: f64,
+    /// Number of probes performed.
+    pub probes: usize,
+}
+
+impl SearchResult {
+    /// The a-posteriori approximation ratio `makespan / certified lower bound`.
+    pub fn ratio(&self) -> f64 {
+        if self.certified_lower_bound <= 0.0 {
+            return 1.0;
+        }
+        self.schedule.makespan() / self.certified_lower_bound
+    }
+}
+
+/// Configuration of the dichotomic search.
+#[derive(Debug, Clone, Copy)]
+pub struct DualSearch {
+    /// Number of bisection iterations (`k`); the interval shrinks by `2^{-k}`.
+    pub iterations: usize,
+    /// Stop early once the relative width of the interval drops below this.
+    pub relative_tolerance: f64,
+}
+
+impl Default for DualSearch {
+    fn default() -> Self {
+        DualSearch {
+            iterations: 30,
+            relative_tolerance: 1e-6,
+        }
+    }
+}
+
+impl DualSearch {
+    /// A search with a fixed number of iterations and no early stop.
+    pub fn with_iterations(iterations: usize) -> Self {
+        DualSearch {
+            iterations,
+            relative_tolerance: 0.0,
+        }
+    }
+
+    /// Run the dichotomic search of §2.2 on `algorithm`.
+    ///
+    /// The initial interval is `[LB, UB]` from the [`bounds`] module.  If the
+    /// algorithm rejects even the guaranteed-feasible upper bound (which a
+    /// correct dual approximation never should), the upper end is doubled a
+    /// few times before giving up with [`Error::NoFeasibleSchedule`].
+    pub fn solve(
+        &self,
+        instance: &Instance,
+        algorithm: &dyn DualApproximation,
+    ) -> Result<SearchResult> {
+        let mut lo = bounds::lower_bound(instance);
+        let mut hi = bounds::upper_bound(instance).max(lo);
+        let mut probes = 0usize;
+        let mut best: Option<Schedule>;
+        let mut feasible_omega: f64;
+
+        // Ensure the upper end is actually accepted by the oracle.
+        let mut attempts = 0;
+        loop {
+            probes += 1;
+            match algorithm.probe(instance, hi) {
+                DualOutcome::Feasible(s) => {
+                    feasible_omega = hi;
+                    best = Some(s);
+                    break;
+                }
+                DualOutcome::Infeasible => {
+                    lo = lo.max(hi);
+                    hi *= 2.0;
+                    attempts += 1;
+                    if attempts > 16 {
+                        return Err(Error::NoFeasibleSchedule);
+                    }
+                }
+            }
+        }
+
+        for _ in 0..self.iterations {
+            if hi - lo <= self.relative_tolerance * hi.max(1e-12) {
+                break;
+            }
+            let mid = 0.5 * (lo + hi);
+            probes += 1;
+            match algorithm.probe(instance, mid) {
+                DualOutcome::Feasible(s) => {
+                    feasible_omega = feasible_omega.min(mid);
+                    hi = mid;
+                    match &best {
+                        Some(b) if b.makespan() <= s.makespan() => {}
+                        _ => best = Some(s),
+                    }
+                }
+                DualOutcome::Infeasible => {
+                    lo = mid;
+                }
+            }
+        }
+
+        let schedule = best.ok_or(Error::NoFeasibleSchedule)?;
+        Ok(SearchResult {
+            schedule,
+            certified_lower_bound: lo.max(bounds::lower_bound(instance)),
+            feasible_omega,
+            probes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::allotment::Allotment;
+    use crate::list::{schedule_rigid, ListOrder};
+    use crate::task::SpeedupProfile;
+
+    /// A deliberately simple dual 2-approximation used to exercise the search:
+    /// canonical allotment + list scheduling, rejecting ω when the canonical
+    /// allotment does not exist or violates the area bound (Property 2).
+    struct CanonicalListOracle;
+
+    impl DualApproximation for CanonicalListOracle {
+        fn name(&self) -> &'static str {
+            "canonical-list-test-oracle"
+        }
+
+        fn guarantee(&self, _instance: &Instance) -> f64 {
+            2.0
+        }
+
+        fn probe(&self, instance: &Instance, omega: f64) -> DualOutcome {
+            if !bounds::may_be_feasible(instance, omega) {
+                return DualOutcome::Infeasible;
+            }
+            let allotment = match Allotment::canonical(instance, omega) {
+                Ok(a) => a,
+                Err(_) => return DualOutcome::Infeasible,
+            };
+            DualOutcome::Feasible(schedule_rigid(
+                instance,
+                &allotment,
+                ListOrder::DecreasingAllottedTime,
+            ))
+        }
+    }
+
+    fn instance() -> Instance {
+        Instance::from_profiles(
+            vec![
+                SpeedupProfile::new(vec![4.0, 2.2, 1.6, 1.4]).unwrap(),
+                SpeedupProfile::new(vec![3.0, 1.8]).unwrap(),
+                SpeedupProfile::sequential(0.7).unwrap(),
+                SpeedupProfile::linear(2.4, 4).unwrap(),
+            ],
+            4,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn search_produces_valid_schedule_and_bounds() {
+        let inst = instance();
+        let result = DualSearch::default()
+            .solve(&inst, &CanonicalListOracle)
+            .unwrap();
+        assert!(result.schedule.validate(&inst).is_ok());
+        assert!(result.certified_lower_bound > 0.0);
+        assert!(result.schedule.makespan() >= result.certified_lower_bound - 1e-9);
+        assert!(result.ratio() <= 2.0 + 1e-6, "ratio was {}", result.ratio());
+        assert!(result.probes >= 2);
+    }
+
+    #[test]
+    fn more_iterations_never_worsen_the_result() {
+        let inst = instance();
+        let coarse = DualSearch::with_iterations(2)
+            .solve(&inst, &CanonicalListOracle)
+            .unwrap();
+        let fine = DualSearch::with_iterations(40)
+            .solve(&inst, &CanonicalListOracle)
+            .unwrap();
+        assert!(fine.schedule.makespan() <= coarse.schedule.makespan() + 1e-9);
+        assert!(fine.certified_lower_bound >= coarse.certified_lower_bound - 1e-9);
+    }
+
+    #[test]
+    fn single_task_converges_to_its_best_time() {
+        let inst =
+            Instance::from_profiles(vec![SpeedupProfile::linear(8.0, 4).unwrap()], 4).unwrap();
+        let result = DualSearch::default()
+            .solve(&inst, &CanonicalListOracle)
+            .unwrap();
+        // The only schedule is the task alone; optimum is t(4) = 2.0.
+        assert!((result.schedule.makespan() - 2.0).abs() < 1e-6);
+        assert!((result.certified_lower_bound - 2.0).abs() < 1e-3);
+    }
+
+    /// Monotonicity of the oracle: feasible at ω implies feasible at ω' ≥ ω.
+    #[test]
+    fn oracle_is_monotone() {
+        let inst = instance();
+        let oracle = CanonicalListOracle;
+        let omegas = [0.5, 1.0, 1.5, 2.0, 3.0, 5.0];
+        let outcomes: Vec<bool> = omegas
+            .iter()
+            .map(|&w| oracle.probe(&inst, w).is_feasible())
+            .collect();
+        for w in outcomes.windows(2) {
+            assert!(!w[0] || w[1], "feasibility must be monotone in ω");
+        }
+    }
+}

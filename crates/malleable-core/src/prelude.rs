@@ -1,0 +1,24 @@
+//! Convenience re-exports for library users.
+//!
+//! ```rust
+//! use malleable_core::prelude::*;
+//!
+//! let task = SpeedupProfile::linear(4.0, 4).unwrap();
+//! let instance = Instance::from_profiles(vec![task], 4).unwrap();
+//! let result = MrtScheduler::default().schedule(&instance).unwrap();
+//! assert!(result.schedule.makespan() > 0.0);
+//! ```
+
+pub use crate::allotment::Allotment;
+pub use crate::bounds::{area_bound, critical_task_bound, lower_bound, upper_bound};
+pub use crate::canonical::{CanonicalAllotment, CanonicalListAlgorithm};
+pub use crate::dual::{DualApproximation, DualOutcome, DualSearch, SearchResult};
+pub use crate::error::{Error, Result};
+pub use crate::instance::Instance;
+pub use crate::list::{schedule_rigid, ListOrder};
+pub use crate::mla::MalleableListAlgorithm;
+pub use crate::mrt::{Branch, BranchSet, MrtScheduler};
+pub use crate::schedule::{ProcessorRange, Schedule, ScheduledTask};
+pub use crate::task::{MalleableTask, SpeedupProfile, TaskId};
+pub use crate::two_shelf::{TwoShelfKind, TwoShelfParams};
+pub use crate::{LAMBDA_SQRT3, SQRT3};

@@ -1,0 +1,55 @@
+//! Rectangles for strip packing.
+
+/// A rectangle to be placed in a strip of integer width.
+///
+/// In the scheduling application the width is a number of processors (an
+/// integer) and the height is an execution time (a real).  This is precisely
+/// the correspondence the paper uses when it observes that the non-malleable
+/// scheduling problem "is identical to a 2-dimensional strip-packing problem".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rect {
+    /// Width in discrete columns (processors). Must be at least 1.
+    pub width: usize,
+    /// Height in continuous units (time). Must be non-negative.
+    pub height: f64,
+}
+
+impl Rect {
+    /// Create a new rectangle, validating its dimensions.
+    pub fn new(width: usize, height: f64) -> Self {
+        assert!(width >= 1, "rectangle width must be at least 1");
+        assert!(
+            height >= 0.0 && height.is_finite(),
+            "rectangle height must be a finite non-negative number"
+        );
+        Rect { width, height }
+    }
+
+    /// Area of the rectangle (processors × time = work).
+    pub fn area(&self) -> f64 {
+        self.width as f64 * self.height
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_is_width_times_height() {
+        let r = Rect::new(4, 2.5);
+        assert!((r.area() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be at least 1")]
+    fn zero_width_rejected() {
+        Rect::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite non-negative")]
+    fn negative_height_rejected() {
+        Rect::new(1, -1.0);
+    }
+}

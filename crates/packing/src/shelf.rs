@@ -1,0 +1,138 @@
+//! Shelves: horizontal bands of the processors × time rectangle.
+//!
+//! The two-shelf construction of §4 of the paper fixes the schedule structure
+//! to two consecutive bands: a first shelf of length `ω` starting at time 0
+//! and a second shelf of length `λ·ω` starting at time `ω`.  Inside one shelf,
+//! parallel tasks are simply laid out side by side (each consumes a contiguous
+//! block of processors for the whole shelf slot), and small sequential tasks
+//! are stacked on individual processors with a one-dimensional packing
+//! algorithm (see [`crate::bin_packing`]).
+//!
+//! A [`Shelf`] only tracks the side-by-side width allocation; stacking within
+//! a column is the responsibility of the caller because it needs task-level
+//! information.
+
+/// A shelf: a band `[start, start + length)` across `width` processors, with a
+/// left-to-right cursor of already-consumed processors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Shelf {
+    start: f64,
+    length: f64,
+    width: usize,
+    cursor: usize,
+}
+
+/// A contiguous block of processors handed out by [`Shelf::place`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShelfSlot {
+    /// First processor index of the block (relative to the machine, i.e. the
+    /// shelf spans processors `0..width`).
+    pub first: usize,
+    /// Number of processors in the block.
+    pub count: usize,
+}
+
+impl Shelf {
+    /// Create a shelf starting at `start`, lasting `length`, across `width`
+    /// processors.
+    pub fn new(start: f64, length: f64, width: usize) -> Self {
+        assert!(width >= 1, "shelf must span at least one processor");
+        assert!(length > 0.0 && length.is_finite(), "shelf length must be positive");
+        assert!(start >= 0.0 && start.is_finite(), "shelf start must be non-negative");
+        Shelf {
+            start,
+            length,
+            width,
+            cursor: 0,
+        }
+    }
+
+    /// Start time of the shelf.
+    pub fn start(&self) -> f64 {
+        self.start
+    }
+
+    /// Duration of the shelf slot.
+    pub fn length(&self) -> f64 {
+        self.length
+    }
+
+    /// Total number of processors spanned by the shelf.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of processors still available.
+    pub fn remaining(&self) -> usize {
+        self.width - self.cursor
+    }
+
+    /// Number of processors already handed out.
+    pub fn used(&self) -> usize {
+        self.cursor
+    }
+
+    /// Whether a task of the given duration fits length-wise in the shelf.
+    pub fn fits_duration(&self, duration: f64) -> bool {
+        duration <= self.length + 1e-9
+    }
+
+    /// Try to allocate a block of `count` processors side by side.
+    ///
+    /// Returns `None` when fewer than `count` processors remain.
+    pub fn place(&mut self, count: usize) -> Option<ShelfSlot> {
+        if count == 0 || count > self.remaining() {
+            return None;
+        }
+        let slot = ShelfSlot {
+            first: self.cursor,
+            count,
+        };
+        self.cursor += count;
+        Some(slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placements_are_contiguous_and_disjoint() {
+        let mut shelf = Shelf::new(0.0, 1.0, 8);
+        let a = shelf.place(3).unwrap();
+        let b = shelf.place(4).unwrap();
+        assert_eq!((a.first, a.count), (0, 3));
+        assert_eq!((b.first, b.count), (3, 4));
+        assert_eq!(shelf.remaining(), 1);
+    }
+
+    #[test]
+    fn over_allocation_is_rejected() {
+        let mut shelf = Shelf::new(1.0, 0.5, 4);
+        assert!(shelf.place(5).is_none());
+        assert!(shelf.place(4).is_some());
+        assert!(shelf.place(1).is_none());
+        assert_eq!(shelf.used(), 4);
+    }
+
+    #[test]
+    fn zero_width_request_rejected() {
+        let mut shelf = Shelf::new(0.0, 1.0, 4);
+        assert!(shelf.place(0).is_none());
+    }
+
+    #[test]
+    fn duration_fit_check() {
+        let shelf = Shelf::new(0.0, 0.75, 2);
+        assert!(shelf.fits_duration(0.75));
+        assert!(shelf.fits_duration(0.5));
+        assert!(!shelf.fits_duration(0.8));
+    }
+
+    #[test]
+    #[should_panic(expected = "length must be positive")]
+    fn invalid_length_panics() {
+        Shelf::new(0.0, 0.0, 3);
+    }
+}

@@ -1,0 +1,96 @@
+//! Lower bounds for precedence-constrained malleable scheduling.
+//!
+//! Two classical bounds apply and are the ones the Prasanna–Musicus
+//! continuous analysis balances:
+//!
+//! * the **area bound** `Σ_j t_j(1) / m` (work cannot be processed faster
+//!   than `m` units per time unit, and the monotone assumption makes the
+//!   sequential work minimal);
+//! * the **critical-path bound**: along any precedence chain the execution
+//!   times add up, and each task needs at least its fastest execution time
+//!   `t_j(m)` — so the heaviest chain, measured in fastest times, bounds the
+//!   makespan from below.
+
+use crate::graph::PrecedenceInstance;
+
+/// The work/area bound `Σ_j t_j(1) / m`.
+pub fn area_bound(instance: &PrecedenceInstance) -> f64 {
+    let total: f64 = instance
+        .graph
+        .tasks()
+        .iter()
+        .map(|t| t.profile.sequential_time())
+        .sum();
+    total / instance.processors as f64
+}
+
+/// The critical-path bound: the longest chain when every task runs at its
+/// minimal achievable time (at most `m` processors).
+pub fn critical_path_bound(instance: &PrecedenceInstance) -> f64 {
+    let graph = &instance.graph;
+    let m = instance.processors;
+    let order = graph
+        .topological_order()
+        .expect("validated graphs are acyclic");
+    let mut finish = vec![0.0f64; graph.task_count()];
+    for &v in &order {
+        let ready = graph
+            .predecessors(v)
+            .iter()
+            .map(|&p| finish[p])
+            .fold(0.0, f64::max);
+        let best_time = graph.tasks()[v].profile.truncated(m).min_time();
+        finish[v] = ready + best_time;
+    }
+    finish.iter().cloned().fold(0.0, f64::max)
+}
+
+/// The combined lower bound.
+pub fn lower_bound(instance: &PrecedenceInstance) -> f64 {
+    area_bound(instance).max(critical_path_bound(instance))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TaskGraph;
+    use malleable_core::{MalleableTask, SpeedupProfile};
+
+    fn task(work: f64, m: usize) -> MalleableTask {
+        MalleableTask::new(SpeedupProfile::linear(work, m).unwrap())
+    }
+
+    #[test]
+    fn chain_critical_path_dominates() {
+        // Three linear tasks of work 4 in a chain on 4 processors: the area
+        // bound is 3, the critical path (each at 4 processors) is 3 × 1 = 3.
+        let graph = TaskGraph::chain(vec![task(4.0, 4), task(4.0, 4), task(4.0, 4)]).unwrap();
+        let instance = PrecedenceInstance::new(graph, 4).unwrap();
+        assert!((area_bound(&instance) - 3.0).abs() < 1e-12);
+        assert!((critical_path_bound(&instance) - 3.0).abs() < 1e-12);
+        assert!((lower_bound(&instance) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequential_chain_on_wide_machine() {
+        // Sequential tasks in a chain: the critical path is the total work,
+        // far above the area bound on a wide machine.
+        let tasks: Vec<MalleableTask> = (0..4)
+            .map(|_| MalleableTask::new(SpeedupProfile::sequential(1.0).unwrap()))
+            .collect();
+        let graph = TaskGraph::chain(tasks).unwrap();
+        let instance = PrecedenceInstance::new(graph, 16).unwrap();
+        assert!((critical_path_bound(&instance) - 4.0).abs() < 1e-12);
+        assert!(area_bound(&instance) < 1.0);
+        assert!((lower_bound(&instance) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn independent_tasks_reduce_to_area_or_tallest() {
+        let graph = TaskGraph::independent(vec![task(8.0, 2), task(8.0, 2)]).unwrap();
+        let instance = PrecedenceInstance::new(graph, 2).unwrap();
+        assert!((area_bound(&instance) - 8.0).abs() < 1e-12);
+        assert!((critical_path_bound(&instance) - 4.0).abs() < 1e-12);
+        assert!((lower_bound(&instance) - 8.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,298 @@
+//! Task graphs: malleable tasks plus precedence constraints.
+
+use malleable_core::{Error, Instance, MalleableTask, Result, Schedule, TaskId};
+
+/// A directed acyclic graph of malleable tasks.
+///
+/// Nodes are identified by their index in the task vector (the same
+/// convention as [`malleable_core::Instance`]); an edge `(u, v)` means task
+/// `v` cannot start before task `u` has completed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskGraph {
+    tasks: Vec<MalleableTask>,
+    edges: Vec<(TaskId, TaskId)>,
+    successors: Vec<Vec<TaskId>>,
+    predecessors: Vec<Vec<TaskId>>,
+}
+
+impl TaskGraph {
+    /// Build a graph, validating node indices and acyclicity.
+    pub fn new(tasks: Vec<MalleableTask>, edges: Vec<(TaskId, TaskId)>) -> Result<Self> {
+        if tasks.is_empty() {
+            return Err(Error::EmptyInstance);
+        }
+        let n = tasks.len();
+        let mut successors = vec![Vec::new(); n];
+        let mut predecessors = vec![Vec::new(); n];
+        for &(u, v) in &edges {
+            if u >= n {
+                return Err(Error::UnknownTask { task: u });
+            }
+            if v >= n {
+                return Err(Error::UnknownTask { task: v });
+            }
+            if u == v {
+                return Err(Error::UnknownTask { task: u });
+            }
+            successors[u].push(v);
+            predecessors[v].push(u);
+        }
+        let graph = TaskGraph {
+            tasks,
+            edges,
+            successors,
+            predecessors,
+        };
+        if graph.topological_order().is_none() {
+            return Err(Error::InvalidParameter {
+                name: "edges",
+                value: f64::NAN,
+            });
+        }
+        Ok(graph)
+    }
+
+    /// A graph with no precedence constraints (an independent instance).
+    pub fn independent(tasks: Vec<MalleableTask>) -> Result<Self> {
+        Self::new(tasks, Vec::new())
+    }
+
+    /// A simple chain `0 → 1 → … → n−1`.
+    pub fn chain(tasks: Vec<MalleableTask>) -> Result<Self> {
+        let edges = (1..tasks.len()).map(|i| (i - 1, i)).collect();
+        Self::new(tasks, edges)
+    }
+
+    /// A fork–join graph: a source, `tasks.len() − 2` parallel middle tasks,
+    /// and a sink (the first and last tasks of the vector are the source and
+    /// sink respectively).
+    pub fn fork_join(tasks: Vec<MalleableTask>) -> Result<Self> {
+        if tasks.len() < 3 {
+            return Err(Error::EmptyInstance);
+        }
+        let sink = tasks.len() - 1;
+        let mut edges = Vec::new();
+        for middle in 1..sink {
+            edges.push((0, middle));
+            edges.push((middle, sink));
+        }
+        Self::new(tasks, edges)
+    }
+
+    /// Number of tasks.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Access the tasks.
+    pub fn tasks(&self) -> &[MalleableTask] {
+        &self.tasks
+    }
+
+    /// Access the edges.
+    pub fn edges(&self) -> &[(TaskId, TaskId)] {
+        &self.edges
+    }
+
+    /// Direct successors of a task.
+    pub fn successors(&self, task: TaskId) -> &[TaskId] {
+        &self.successors[task]
+    }
+
+    /// Direct predecessors of a task.
+    pub fn predecessors(&self, task: TaskId) -> &[TaskId] {
+        &self.predecessors[task]
+    }
+
+    /// A topological order of the tasks, or `None` when the graph has a cycle.
+    pub fn topological_order(&self) -> Option<Vec<TaskId>> {
+        let n = self.tasks.len();
+        let mut indegree: Vec<usize> = (0..n).map(|v| self.predecessors[v].len()).collect();
+        let mut queue: Vec<TaskId> = (0..n).filter(|&v| indegree[v] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(v) = queue.pop() {
+            order.push(v);
+            for &s in &self.successors[v] {
+                indegree[s] -= 1;
+                if indegree[s] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// Partition the tasks into precedence levels: level 0 contains the
+    /// sources, level `k` the tasks whose longest predecessor chain has `k`
+    /// edges.  Tasks within one level are mutually independent.
+    pub fn levels(&self) -> Vec<Vec<TaskId>> {
+        let order = self
+            .topological_order()
+            .expect("validated graphs are acyclic");
+        let n = self.tasks.len();
+        // Longest-path depth via a single forward pass over the topological
+        // order: every predecessor is processed before its successors.
+        let mut depth = vec![0usize; n];
+        for &v in &order {
+            for &s in &self.successors[v] {
+                depth[s] = depth[s].max(depth[v] + 1);
+            }
+        }
+        let max_depth = depth.iter().copied().max().unwrap_or(0);
+        let mut levels = vec![Vec::new(); max_depth + 1];
+        for (task, &d) in depth.iter().enumerate() {
+            levels[d].push(task);
+        }
+        levels
+    }
+
+    /// View the node set as an independent [`Instance`] on `m` processors
+    /// (dropping the edges) — used by the level scheduler and by the bounds.
+    pub fn as_independent_instance(&self, processors: usize) -> Result<Instance> {
+        Instance::new(self.tasks.clone(), processors)
+    }
+}
+
+/// A precedence-constrained scheduling instance: a task graph plus a machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrecedenceInstance {
+    /// The task graph.
+    pub graph: TaskGraph,
+    /// Number of identical processors.
+    pub processors: usize,
+}
+
+impl PrecedenceInstance {
+    /// Build an instance, validating the machine size.
+    pub fn new(graph: TaskGraph, processors: usize) -> Result<Self> {
+        if processors == 0 {
+            return Err(Error::NoProcessors);
+        }
+        Ok(PrecedenceInstance { graph, processors })
+    }
+
+    /// The independent-task view of the instance (edges dropped).
+    pub fn independent(&self) -> Result<Instance> {
+        self.graph.as_independent_instance(self.processors)
+    }
+
+    /// Validate a schedule against both the machine model and the precedence
+    /// constraints.
+    pub fn validate(&self, schedule: &Schedule) -> Result<()> {
+        let instance = self.independent()?;
+        schedule.validate(&instance)?;
+        for &(u, v) in self.graph.edges() {
+            let pred = schedule.entry_for(u).ok_or(Error::UnknownTask { task: u })?;
+            let succ = schedule.entry_for(v).ok_or(Error::UnknownTask { task: v })?;
+            if succ.start + 1e-9 < pred.finish() {
+                return Err(Error::InvalidParameter {
+                    name: "precedence",
+                    value: succ.start,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use malleable_core::SpeedupProfile;
+
+    fn task(work: f64, m: usize) -> MalleableTask {
+        MalleableTask::new(SpeedupProfile::linear(work, m).unwrap())
+    }
+
+    #[test]
+    fn construction_validates_edges_and_cycles() {
+        let tasks = vec![task(1.0, 4), task(2.0, 4), task(3.0, 4)];
+        assert!(TaskGraph::new(tasks.clone(), vec![(0, 1), (1, 2)]).is_ok());
+        assert!(TaskGraph::new(tasks.clone(), vec![(0, 5)]).is_err());
+        assert!(TaskGraph::new(tasks.clone(), vec![(0, 0)]).is_err());
+        assert!(TaskGraph::new(tasks, vec![(0, 1), (1, 2), (2, 0)]).is_err());
+        assert!(TaskGraph::new(vec![], vec![]).is_err());
+    }
+
+    #[test]
+    fn chain_and_fork_join_shapes() {
+        let chain = TaskGraph::chain(vec![task(1.0, 2), task(1.0, 2), task(1.0, 2)]).unwrap();
+        assert_eq!(chain.edges(), &[(0, 1), (1, 2)]);
+        assert_eq!(chain.levels(), vec![vec![0], vec![1], vec![2]]);
+
+        let fj = TaskGraph::fork_join(vec![
+            task(1.0, 2),
+            task(2.0, 2),
+            task(2.0, 2),
+            task(1.0, 2),
+        ])
+        .unwrap();
+        assert_eq!(fj.levels(), vec![vec![0], vec![1, 2], vec![3]]);
+        assert_eq!(fj.predecessors(3), &[1, 2]);
+        assert_eq!(fj.successors(0), &[1, 2]);
+    }
+
+    #[test]
+    fn topological_order_covers_all_tasks() {
+        let graph = TaskGraph::new(
+            vec![task(1.0, 2), task(1.0, 2), task(1.0, 2), task(1.0, 2)],
+            vec![(0, 2), (1, 2), (2, 3)],
+        )
+        .unwrap();
+        let order = graph.topological_order().unwrap();
+        assert_eq!(order.len(), 4);
+        let pos = |t: usize| order.iter().position(|&x| x == t).unwrap();
+        assert!(pos(0) < pos(2));
+        assert!(pos(1) < pos(2));
+        assert!(pos(2) < pos(3));
+    }
+
+    #[test]
+    fn independent_graph_has_single_level() {
+        let graph = TaskGraph::independent(vec![task(1.0, 2), task(2.0, 2)]).unwrap();
+        assert_eq!(graph.levels(), vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn precedence_validation_rejects_violations() {
+        use malleable_core::{ProcessorRange, Schedule, ScheduledTask};
+        let graph = TaskGraph::chain(vec![task(2.0, 2), task(2.0, 2)]).unwrap();
+        let instance = PrecedenceInstance::new(graph, 2).unwrap();
+
+        let mut good = Schedule::new(2);
+        good.push(ScheduledTask {
+            task: 0,
+            start: 0.0,
+            duration: 1.0,
+            processors: ProcessorRange::new(0, 2),
+        });
+        good.push(ScheduledTask {
+            task: 1,
+            start: 1.0,
+            duration: 1.0,
+            processors: ProcessorRange::new(0, 2),
+        });
+        assert!(instance.validate(&good).is_ok());
+
+        let mut bad = Schedule::new(2);
+        bad.push(ScheduledTask {
+            task: 0,
+            start: 0.0,
+            duration: 2.0,
+            processors: ProcessorRange::new(0, 1),
+        });
+        bad.push(ScheduledTask {
+            task: 1,
+            start: 0.5,
+            duration: 2.0,
+            processors: ProcessorRange::new(1, 1),
+        });
+        assert!(instance.validate(&bad).is_err());
+    }
+
+    #[test]
+    fn zero_processor_machines_are_rejected() {
+        let graph = TaskGraph::independent(vec![task(1.0, 2)]).unwrap();
+        assert!(PrecedenceInstance::new(graph, 0).is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! # simulator
+//!
+//! A discrete-event multiprocessor simulator and an exhaustive schedule
+//! validator for the malleable-task schedules produced by `malleable-core`
+//! and `baselines`.
+//!
+//! The original paper evaluates its algorithms analytically (worst-case
+//! guarantees); the authors' parallel testbed is not available, so this crate
+//! is the substrate standing in for "run the schedule on the machine": it
+//! replays a [`malleable_core::Schedule`] event by event on a model of `m`
+//! identical processors, checks every structural invariant the paper's model
+//! imposes (§2), and reports machine-level statistics (utilisation, idle
+//! areas, per-processor load) used by the experiment harness.
+//!
+//! Three layers are provided:
+//!
+//! * [`validate`] — a strict validator returning a list of violations
+//!   (capacity, contiguity, overlap, allotment/time consistency, missing or
+//!   duplicated tasks);
+//! * [`engine`] — a discrete-event engine producing an [`engine::ExecutionTrace`]
+//!   with start/finish events and a per-processor busy/idle profile;
+//! * [`gantt`] — a plain-text Gantt rendering used by the examples.
+
+pub mod engine;
+pub mod gantt;
+pub mod validate;
+
+pub use engine::{simulate, Event, EventKind, ExecutionTrace};
+pub use gantt::render_gantt;
+pub use validate::{validate_schedule, ValidationReport, Violation};

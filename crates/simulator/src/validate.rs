@@ -1,0 +1,263 @@
+//! Strict schedule validation.
+//!
+//! [`malleable_core::Schedule::validate`] performs a fail-fast check used in
+//! unit tests; this module performs the same checks but collects *all*
+//! violations with human-readable context, plus two additional model checks
+//! the core type cannot do on its own:
+//!
+//! * **monotone consistency** — the recorded duration must equal the task's
+//!   profile time at the allotted count (guards against schedules built from
+//!   stale or transformed instances);
+//! * **deadline conformance** — optionally verify every task finishes before
+//!   a caller-supplied horizon (used by the dual-approximation tests to check
+//!   `makespan ≤ ρ·ω` claims).
+
+use malleable_core::{Instance, Schedule};
+
+/// A single violation discovered by the validator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// A task of the instance does not appear in the schedule.
+    MissingTask { task: usize },
+    /// A task appears more than once.
+    DuplicatedTask { task: usize },
+    /// The schedule references a task outside the instance.
+    UnknownTask { task: usize },
+    /// A placement uses processors outside `0..m`.
+    OutOfMachine { task: usize, first: usize, count: usize },
+    /// A placement starts before time zero or at a non-finite time.
+    InvalidStart { task: usize, start: f64 },
+    /// The recorded duration disagrees with the task's profile.
+    DurationMismatch { task: usize, expected: f64, actual: f64 },
+    /// Two placements overlap in time on a shared processor.
+    Overlap { first_task: usize, second_task: usize },
+    /// A task finishes after the supplied horizon.
+    DeadlineExceeded { task: usize, finish: f64, horizon: f64 },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::MissingTask { task } => write!(f, "task {task} is not scheduled"),
+            Violation::DuplicatedTask { task } => write!(f, "task {task} is scheduled twice"),
+            Violation::UnknownTask { task } => write!(f, "task {task} does not exist"),
+            Violation::OutOfMachine { task, first, count } => write!(
+                f,
+                "task {task} uses processors [{first}, {}) beyond the machine",
+                first + count
+            ),
+            Violation::InvalidStart { task, start } => {
+                write!(f, "task {task} has invalid start time {start}")
+            }
+            Violation::DurationMismatch {
+                task,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "task {task} records duration {actual} but its profile gives {expected}"
+            ),
+            Violation::Overlap {
+                first_task,
+                second_task,
+            } => write!(f, "tasks {first_task} and {second_task} overlap"),
+            Violation::DeadlineExceeded {
+                task,
+                finish,
+                horizon,
+            } => write!(f, "task {task} finishes at {finish}, after the horizon {horizon}"),
+        }
+    }
+}
+
+/// The result of a validation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ValidationReport {
+    /// All violations found (empty when the schedule is valid).
+    pub violations: Vec<Violation>,
+}
+
+impl ValidationReport {
+    /// Whether the schedule passed every check.
+    pub fn is_valid(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Validate a schedule against its instance, optionally against a horizon.
+pub fn validate_schedule(
+    instance: &Instance,
+    schedule: &Schedule,
+    horizon: Option<f64>,
+) -> ValidationReport {
+    let mut violations = Vec::new();
+    let m = instance.processors();
+    let n = instance.task_count();
+    let mut seen = vec![0usize; n];
+
+    for entry in schedule.entries() {
+        if entry.task >= n {
+            violations.push(Violation::UnknownTask { task: entry.task });
+            continue;
+        }
+        seen[entry.task] += 1;
+        if entry.processors.end() > m {
+            violations.push(Violation::OutOfMachine {
+                task: entry.task,
+                first: entry.processors.first,
+                count: entry.processors.count,
+            });
+        }
+        if !(entry.start.is_finite() && entry.start >= -1e-12) {
+            violations.push(Violation::InvalidStart {
+                task: entry.task,
+                start: entry.start,
+            });
+        }
+        let expected = instance.time(entry.task, entry.processors.count);
+        if (expected - entry.duration).abs() > 1e-6 {
+            violations.push(Violation::DurationMismatch {
+                task: entry.task,
+                expected,
+                actual: entry.duration,
+            });
+        }
+        if let Some(h) = horizon {
+            if entry.finish() > h + 1e-6 {
+                violations.push(Violation::DeadlineExceeded {
+                    task: entry.task,
+                    finish: entry.finish(),
+                    horizon: h,
+                });
+            }
+        }
+    }
+
+    for (task, &count) in seen.iter().enumerate() {
+        if count == 0 {
+            violations.push(Violation::MissingTask { task });
+        } else if count > 1 {
+            violations.push(Violation::DuplicatedTask { task });
+        }
+    }
+
+    let entries = schedule.entries();
+    for (i, a) in entries.iter().enumerate() {
+        for b in entries.iter().skip(i + 1) {
+            if a.conflicts_with(b) {
+                violations.push(Violation::Overlap {
+                    first_task: a.task,
+                    second_task: b.task,
+                });
+            }
+        }
+    }
+
+    ValidationReport { violations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use malleable_core::{ProcessorRange, ScheduledTask, SpeedupProfile};
+
+    fn instance() -> Instance {
+        Instance::from_profiles(
+            vec![
+                SpeedupProfile::new(vec![2.0, 1.2]).unwrap(),
+                SpeedupProfile::sequential(1.0).unwrap(),
+            ],
+            3,
+        )
+        .unwrap()
+    }
+
+    fn entry(task: usize, start: f64, duration: f64, first: usize, count: usize) -> ScheduledTask {
+        ScheduledTask {
+            task,
+            start,
+            duration,
+            processors: ProcessorRange::new(first, count),
+        }
+    }
+
+    #[test]
+    fn valid_schedule_has_no_violations() {
+        let inst = instance();
+        let mut s = Schedule::new(3);
+        s.push(entry(0, 0.0, 1.2, 0, 2));
+        s.push(entry(1, 0.0, 1.0, 2, 1));
+        let report = validate_schedule(&inst, &s, Some(1.2));
+        assert!(report.is_valid(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn missing_and_duplicate_tasks_are_reported() {
+        let inst = instance();
+        let mut s = Schedule::new(3);
+        s.push(entry(0, 0.0, 1.2, 0, 2));
+        s.push(entry(0, 2.0, 1.2, 0, 2));
+        let report = validate_schedule(&inst, &s, None);
+        assert!(report.violations.contains(&Violation::MissingTask { task: 1 }));
+        assert!(report.violations.contains(&Violation::DuplicatedTask { task: 0 }));
+    }
+
+    #[test]
+    fn overlap_and_capacity_violations_are_reported() {
+        let inst = instance();
+        let mut s = Schedule::new(3);
+        s.push(entry(0, 0.0, 1.2, 1, 2));
+        s.push(entry(1, 0.5, 1.0, 2, 1));
+        let report = validate_schedule(&inst, &s, None);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::Overlap { .. })));
+        let mut s2 = Schedule::new(3);
+        s2.push(entry(0, 0.0, 1.2, 2, 2));
+        s2.push(entry(1, 0.0, 1.0, 0, 1));
+        let report2 = validate_schedule(&inst, &s2, None);
+        assert!(report2
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::OutOfMachine { .. })));
+    }
+
+    #[test]
+    fn duration_mismatch_and_deadline_are_reported() {
+        let inst = instance();
+        let mut s = Schedule::new(3);
+        s.push(entry(0, 0.0, 0.7, 0, 2));
+        s.push(entry(1, 0.0, 1.0, 2, 1));
+        let report = validate_schedule(&inst, &s, Some(0.9));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::DurationMismatch { task: 0, .. })));
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::DeadlineExceeded { task: 1, .. })));
+    }
+
+    #[test]
+    fn unknown_task_is_reported() {
+        let inst = instance();
+        let mut s = Schedule::new(3);
+        s.push(entry(0, 0.0, 1.2, 0, 2));
+        s.push(entry(1, 0.0, 1.0, 2, 1));
+        s.push(entry(7, 0.0, 1.0, 2, 1));
+        let report = validate_schedule(&inst, &s, None);
+        assert!(report.violations.contains(&Violation::UnknownTask { task: 7 }));
+    }
+
+    #[test]
+    fn violations_render_messages() {
+        let v = Violation::DeadlineExceeded {
+            task: 3,
+            finish: 2.0,
+            horizon: 1.5,
+        };
+        assert!(v.to_string().contains("after the horizon"));
+    }
+}

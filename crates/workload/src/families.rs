@@ -1,0 +1,191 @@
+//! Monotone speed-up families.
+
+use malleable_core::{Result, SpeedupProfile};
+
+/// A parametric family of monotone speed-up curves.
+///
+/// Every variant maps a *sequential work* `w` (the execution time on one
+/// processor) to a full profile on `1..=m` processors.  All produced profiles
+/// satisfy the monotone assumptions of the paper (§2.1): non-increasing time
+/// and non-decreasing work.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpeedupFamily {
+    /// Perfect linear speed-up: `t(p) = w / p`.
+    Linear,
+    /// No speed-up at all: the task runs on one processor.
+    Sequential,
+    /// Amdahl's law with sequential fraction `alpha`:
+    /// `t(p) = w · (alpha + (1 − alpha)/p)`.
+    Amdahl {
+        /// Fraction of the work that cannot be parallelised, in `[0, 1]`.
+        alpha: f64,
+    },
+    /// Power-law (Downey-style) speed-up: `t(p) = w / p^sigma`.
+    PowerLaw {
+        /// Parallelisability exponent in `(0, 1]`; `1` is linear speed-up.
+        sigma: f64,
+    },
+    /// Linear speed-up plus a linear communication overhead:
+    /// `t(p) = w/p + overhead · (p − 1)`, repaired to stay monotone past the
+    /// processor count where the overhead starts dominating.
+    CommunicationOverhead {
+        /// Overhead added per extra processor, as a fraction of `w`.
+        overhead: f64,
+    },
+    /// Speed-up only at powers of two: `t(p) = w / 2^{⌊log2 p⌋·sigma}`.
+    Step {
+        /// Efficiency of each doubling, in `(0, 1]`.
+        sigma: f64,
+    },
+}
+
+impl SpeedupFamily {
+    /// A short stable name used in benchmark reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpeedupFamily::Linear => "linear",
+            SpeedupFamily::Sequential => "sequential",
+            SpeedupFamily::Amdahl { .. } => "amdahl",
+            SpeedupFamily::PowerLaw { .. } => "power-law",
+            SpeedupFamily::CommunicationOverhead { .. } => "comm-overhead",
+            SpeedupFamily::Step { .. } => "step",
+        }
+    }
+
+    /// Build the profile of a task with sequential work `w` on a machine of
+    /// `m` processors.
+    pub fn profile(&self, work: f64, m: usize) -> Result<SpeedupProfile> {
+        assert!(work > 0.0 && work.is_finite(), "work must be positive");
+        let m = m.max(1);
+        match *self {
+            SpeedupFamily::Sequential => SpeedupProfile::sequential(work),
+            SpeedupFamily::Linear => SpeedupProfile::linear(work, m),
+            SpeedupFamily::Amdahl { alpha } => {
+                let a = alpha.clamp(0.0, 1.0);
+                SpeedupProfile::from_fn(m, |p| work * (a + (1.0 - a) / p as f64))
+            }
+            SpeedupFamily::PowerLaw { sigma } => {
+                let s = sigma.clamp(0.05, 1.0);
+                SpeedupProfile::from_fn(m, |p| work / (p as f64).powf(s))
+            }
+            SpeedupFamily::CommunicationOverhead { overhead } => {
+                let c = overhead.max(0.0) * work;
+                SpeedupProfile::from_fn(m, |p| work / p as f64 + c * (p as f64 - 1.0))
+            }
+            SpeedupFamily::Step { sigma } => {
+                let s = sigma.clamp(0.05, 1.0);
+                SpeedupProfile::from_fn(m, |p| {
+                    let levels = (p as f64).log2().floor();
+                    work / 2f64.powf(levels * s)
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const FAMILIES: [SpeedupFamily; 6] = [
+        SpeedupFamily::Linear,
+        SpeedupFamily::Sequential,
+        SpeedupFamily::Amdahl { alpha: 0.2 },
+        SpeedupFamily::PowerLaw { sigma: 0.7 },
+        SpeedupFamily::CommunicationOverhead { overhead: 0.02 },
+        SpeedupFamily::Step { sigma: 0.9 },
+    ];
+
+    #[test]
+    fn every_family_produces_valid_profiles() {
+        for family in FAMILIES {
+            let profile = family.profile(10.0, 16).unwrap();
+            // Re-validating through the strict constructor must succeed.
+            assert!(
+                SpeedupProfile::new(profile.times().to_vec()).is_ok(),
+                "family {} produced a non-monotone profile",
+                family.name()
+            );
+            assert!((profile.time(1) - 10.0).abs() < 1e-9 || family.name() == "comm-overhead");
+        }
+    }
+
+    #[test]
+    fn amdahl_saturates_at_sequential_fraction() {
+        let profile = SpeedupFamily::Amdahl { alpha: 0.25 }
+            .profile(8.0, 64)
+            .unwrap();
+        // The asymptotic time is alpha·w = 2.0.
+        assert!(profile.time(64) >= 2.0 - 1e-9);
+        assert!(profile.time(64) < 2.3);
+    }
+
+    #[test]
+    fn power_law_with_sigma_one_is_linear() {
+        let pl = SpeedupFamily::PowerLaw { sigma: 1.0 }.profile(6.0, 8).unwrap();
+        let lin = SpeedupFamily::Linear.profile(6.0, 8).unwrap();
+        for p in 1..=8 {
+            assert!((pl.time(p) - lin.time(p)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn communication_overhead_never_speeds_up_past_optimum() {
+        let profile = SpeedupFamily::CommunicationOverhead { overhead: 0.1 }
+            .profile(4.0, 32)
+            .unwrap();
+        // Times are non-increasing even though the raw formula turns upward.
+        for p in 2..=32 {
+            assert!(profile.time(p) <= profile.time(p - 1) + 1e-9);
+        }
+    }
+
+    #[test]
+    fn step_profile_improves_only_at_powers_of_two() {
+        let profile = SpeedupFamily::Step { sigma: 1.0 }.profile(8.0, 8).unwrap();
+        assert!((profile.time(2) - profile.time(3)).abs() < 1e-9);
+        assert!(profile.time(4) < profile.time(3) - 1e-9);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        let names: Vec<&str> = FAMILIES.iter().map(|f| f.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "linear",
+                "sequential",
+                "amdahl",
+                "power-law",
+                "comm-overhead",
+                "step"
+            ]
+        );
+    }
+
+    proptest! {
+        /// All families produce monotone profiles for arbitrary parameters.
+        #[test]
+        fn profiles_always_monotone(
+            work in 0.1f64..50.0,
+            m in 1usize..64,
+            alpha in 0.0f64..1.0,
+            sigma in 0.05f64..1.0,
+            overhead in 0.0f64..0.5,
+        ) {
+            let families = [
+                SpeedupFamily::Linear,
+                SpeedupFamily::Sequential,
+                SpeedupFamily::Amdahl { alpha },
+                SpeedupFamily::PowerLaw { sigma },
+                SpeedupFamily::CommunicationOverhead { overhead },
+                SpeedupFamily::Step { sigma },
+            ];
+            for family in families {
+                let profile = family.profile(work, m).unwrap();
+                prop_assert!(SpeedupProfile::new(profile.times().to_vec()).is_ok());
+            }
+        }
+    }
+}

@@ -1,0 +1,272 @@
+//! Deterministic random workload generation.
+
+use crate::families::SpeedupFamily;
+use malleable_core::{Instance, MalleableTask, Result};
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// How the sequential works of the generated tasks are distributed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkMix {
+    /// Works drawn uniformly from `[min, max]`.
+    Uniform { min: f64, max: f64 },
+    /// A bimodal mix: a fraction `wide_fraction` of "wide" tasks with works in
+    /// `[wide_min, wide_max]`, the rest with works in `[min, max]`.  This is
+    /// the shape that stresses the knapsack branch of the paper (a few tasks
+    /// whose canonical allotment exceeds the machine, plus background noise).
+    Bimodal {
+        min: f64,
+        max: f64,
+        wide_min: f64,
+        wide_max: f64,
+        wide_fraction: f64,
+    },
+    /// Works following a truncated power law (many small tasks, few huge
+    /// ones), the classical shape of batch workloads.
+    PowerLaw { min: f64, max: f64, exponent: f64 },
+}
+
+impl WorkMix {
+    fn sample(&self, rng: &mut ChaCha8Rng) -> f64 {
+        match *self {
+            WorkMix::Uniform { min, max } => Uniform::new_inclusive(min, max).sample(rng),
+            WorkMix::Bimodal {
+                min,
+                max,
+                wide_min,
+                wide_max,
+                wide_fraction,
+            } => {
+                if rng.gen::<f64>() < wide_fraction {
+                    Uniform::new_inclusive(wide_min, wide_max).sample(rng)
+                } else {
+                    Uniform::new_inclusive(min, max).sample(rng)
+                }
+            }
+            WorkMix::PowerLaw { min, max, exponent } => {
+                // Inverse-CDF sampling of a bounded Pareto distribution.
+                let a = exponent.max(1.01);
+                let u: f64 = rng.gen();
+                let lo = min.powf(1.0 - a);
+                let hi = max.powf(1.0 - a);
+                (lo + u * (hi - lo)).powf(1.0 / (1.0 - a))
+            }
+        }
+    }
+}
+
+/// Full description of a synthetic workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadConfig {
+    /// Number of tasks to generate.
+    pub tasks: usize,
+    /// Number of processors of the target machine.
+    pub processors: usize,
+    /// Distribution of sequential works.
+    pub work_mix: WorkMix,
+    /// The speed-up families to draw from (uniformly).  Parameters inside a
+    /// family are themselves jittered per task.
+    pub families: Vec<SpeedupFamily>,
+    /// Seed of the deterministic generator.
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    /// A reasonable default configuration: a mixed batch of 50 tasks on 32
+    /// processors with Amdahl/power-law/communication profiles.
+    pub fn mixed(tasks: usize, processors: usize, seed: u64) -> Self {
+        WorkloadConfig {
+            tasks,
+            processors,
+            work_mix: WorkMix::Uniform { min: 0.5, max: 8.0 },
+            families: vec![
+                SpeedupFamily::Amdahl { alpha: 0.1 },
+                SpeedupFamily::PowerLaw { sigma: 0.8 },
+                SpeedupFamily::CommunicationOverhead { overhead: 0.02 },
+                SpeedupFamily::Linear,
+                SpeedupFamily::Sequential,
+            ],
+            seed,
+        }
+    }
+
+    /// A configuration dominated by wide parallel tasks, stressing the
+    /// knapsack/two-shelf branch.
+    pub fn wide_tasks(tasks: usize, processors: usize, seed: u64) -> Self {
+        WorkloadConfig {
+            tasks,
+            processors,
+            work_mix: WorkMix::Bimodal {
+                min: 0.2,
+                max: 1.5,
+                wide_min: processors as f64 * 0.5,
+                wide_max: processors as f64 * 1.5,
+                wide_fraction: 0.4,
+            },
+            families: vec![
+                SpeedupFamily::Amdahl { alpha: 0.05 },
+                SpeedupFamily::PowerLaw { sigma: 0.9 },
+                SpeedupFamily::Linear,
+            ],
+            seed,
+        }
+    }
+
+    /// A configuration of many small sequential-ish tasks, stressing the list
+    /// branch (LPT regime).
+    pub fn sequential_heavy(tasks: usize, processors: usize, seed: u64) -> Self {
+        WorkloadConfig {
+            tasks,
+            processors,
+            work_mix: WorkMix::PowerLaw {
+                min: 0.1,
+                max: 3.0,
+                exponent: 2.2,
+            },
+            families: vec![
+                SpeedupFamily::Sequential,
+                SpeedupFamily::Amdahl { alpha: 0.5 },
+                SpeedupFamily::PowerLaw { sigma: 0.4 },
+            ],
+            seed,
+        }
+    }
+}
+
+/// The deterministic workload generator.
+#[derive(Debug, Clone)]
+pub struct WorkloadGenerator {
+    config: WorkloadConfig,
+}
+
+impl WorkloadGenerator {
+    /// Wrap a configuration.
+    pub fn new(config: WorkloadConfig) -> Self {
+        WorkloadGenerator { config }
+    }
+
+    /// Access the configuration.
+    pub fn config(&self) -> &WorkloadConfig {
+        &self.config
+    }
+
+    /// Generate the instance described by the configuration.
+    pub fn generate(&self) -> Result<Instance> {
+        let cfg = &self.config;
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let mut tasks = Vec::with_capacity(cfg.tasks);
+        for index in 0..cfg.tasks {
+            let work = cfg.work_mix.sample(&mut rng).max(1e-6);
+            let family = cfg.families[rng.gen_range(0..cfg.families.len())];
+            let family = jitter(family, &mut rng);
+            let profile = family.profile(work, cfg.processors)?;
+            tasks.push(MalleableTask::named(
+                format!("{}-{index}", family.name()),
+                profile,
+            ));
+        }
+        Instance::new(tasks, cfg.processors)
+    }
+
+    /// Generate a batch of instances with consecutive seeds (for sweeps).
+    pub fn generate_batch(&self, count: usize) -> Result<Vec<Instance>> {
+        (0..count)
+            .map(|i| {
+                let mut cfg = self.config.clone();
+                cfg.seed = cfg.seed.wrapping_add(i as u64);
+                WorkloadGenerator::new(cfg).generate()
+            })
+            .collect()
+    }
+}
+
+/// Jitter family parameters per task so instances are not degenerate.
+fn jitter(family: SpeedupFamily, rng: &mut ChaCha8Rng) -> SpeedupFamily {
+    match family {
+        SpeedupFamily::Amdahl { alpha } => SpeedupFamily::Amdahl {
+            alpha: (alpha * rng.gen_range(0.5..1.5)).clamp(0.0, 0.95),
+        },
+        SpeedupFamily::PowerLaw { sigma } => SpeedupFamily::PowerLaw {
+            sigma: (sigma * rng.gen_range(0.8..1.2)).clamp(0.05, 1.0),
+        },
+        SpeedupFamily::CommunicationOverhead { overhead } => {
+            SpeedupFamily::CommunicationOverhead {
+                overhead: (overhead * rng.gen_range(0.5..2.0)).max(0.0),
+            }
+        }
+        SpeedupFamily::Step { sigma } => SpeedupFamily::Step {
+            sigma: (sigma * rng.gen_range(0.8..1.2)).clamp(0.05, 1.0),
+        },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use malleable_core::SpeedupProfile;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = WorkloadConfig::mixed(20, 16, 42);
+        let a = WorkloadGenerator::new(cfg.clone()).generate().unwrap();
+        let b = WorkloadGenerator::new(cfg).generate().unwrap();
+        assert_eq!(a, b);
+        let c = WorkloadGenerator::new(WorkloadConfig::mixed(20, 16, 43))
+            .generate()
+            .unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generated_instances_have_requested_shape() {
+        for cfg in [
+            WorkloadConfig::mixed(30, 8, 1),
+            WorkloadConfig::wide_tasks(12, 16, 2),
+            WorkloadConfig::sequential_heavy(40, 4, 3),
+        ] {
+            let inst = WorkloadGenerator::new(cfg.clone()).generate().unwrap();
+            assert_eq!(inst.task_count(), cfg.tasks);
+            assert_eq!(inst.processors(), cfg.processors);
+            for (_, task) in inst.iter() {
+                assert!(SpeedupProfile::new(task.profile.times().to_vec()).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn batch_generation_varies_seeds() {
+        let gen = WorkloadGenerator::new(WorkloadConfig::mixed(10, 8, 7));
+        let batch = gen.generate_batch(3).unwrap();
+        assert_eq!(batch.len(), 3);
+        assert_ne!(batch[0], batch[1]);
+        assert_ne!(batch[1], batch[2]);
+    }
+
+    #[test]
+    fn power_law_mix_respects_bounds() {
+        let mix = WorkMix::PowerLaw {
+            min: 0.5,
+            max: 10.0,
+            exponent: 2.0,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        for _ in 0..500 {
+            let w = mix.sample(&mut rng);
+            assert!((0.5..=10.0 + 1e-9).contains(&w), "sample {w} out of bounds");
+        }
+    }
+
+    #[test]
+    fn wide_tasks_config_produces_wide_canonical_allotments() {
+        let inst = WorkloadGenerator::new(WorkloadConfig::wide_tasks(20, 16, 11))
+            .generate()
+            .unwrap();
+        // At the area-bound deadline some tasks must need several processors.
+        let omega = malleable_core::bounds::upper_bound(&inst);
+        let allotment = inst.canonical_allotment(omega).unwrap();
+        assert!(allotment.iter().any(|&q| q >= 1));
+    }
+}

@@ -1,0 +1,141 @@
+//! JSON serialisation of instances.
+//!
+//! Instances are exchanged as a small, self-describing JSON document so that
+//! experiments can be re-run on exactly the same input and examples can ship
+//! reproducible scenarios.
+
+use malleable_core::{Instance, MalleableTask, Result, SpeedupProfile};
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Serialize, Deserialize)]
+struct InstanceDocument {
+    processors: usize,
+    tasks: Vec<TaskDocument>,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct TaskDocument {
+    name: Option<String>,
+    /// Execution times on 1..=k processors.
+    times: Vec<f64>,
+}
+
+/// Serialise an instance to a pretty-printed JSON string.
+pub fn instance_to_json(instance: &Instance) -> String {
+    let doc = InstanceDocument {
+        processors: instance.processors(),
+        tasks: instance
+            .iter()
+            .map(|(_, task)| TaskDocument {
+                name: task.name.clone(),
+                times: task.profile.times().to_vec(),
+            })
+            .collect(),
+    };
+    serde_json::to_string_pretty(&doc).expect("instance serialisation cannot fail")
+}
+
+/// Compare two instances up to a relative tolerance on the execution times.
+///
+/// JSON is a decimal text format: the installed `serde_json` printer is not
+/// guaranteed to emit the shortest round-tripping representation, so
+/// re-parsed instances can differ from the originals in the last unit of
+/// precision.  Use this helper instead of `==` when comparing across a
+/// serialisation boundary.
+pub fn instances_approx_equal(a: &Instance, b: &Instance, tolerance: f64) -> bool {
+    if a.processors() != b.processors() || a.task_count() != b.task_count() {
+        return false;
+    }
+    a.tasks().iter().zip(b.tasks()).all(|(ta, tb)| {
+        ta.name == tb.name
+            && ta.profile.times().len() == tb.profile.times().len()
+            && ta
+                .profile
+                .times()
+                .iter()
+                .zip(tb.profile.times())
+                .all(|(x, y)| (x - y).abs() <= tolerance * x.abs().max(1.0))
+    })
+}
+
+/// Parse an instance from its JSON representation, re-validating every
+/// profile (documents with non-monotone profiles are rejected).
+pub fn instance_from_json(json: &str) -> Result<Instance> {
+    let doc: InstanceDocument = serde_json::from_str(json).map_err(|_| {
+        malleable_core::Error::InvalidParameter {
+            name: "json",
+            value: f64::NAN,
+        }
+    })?;
+    let tasks = doc
+        .tasks
+        .into_iter()
+        .map(|t| {
+            let profile = SpeedupProfile::new(t.times)?;
+            Ok(match t.name {
+                Some(name) => MalleableTask::named(name, profile),
+                None => MalleableTask::new(profile),
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
+    Instance::new(tasks, doc.processors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{WorkloadConfig, WorkloadGenerator};
+
+    #[test]
+    fn round_trip_preserves_instances() {
+        let inst = WorkloadGenerator::new(WorkloadConfig::mixed(15, 8, 5))
+            .generate()
+            .unwrap();
+        let json = instance_to_json(&inst);
+        let parsed = instance_from_json(&json).unwrap();
+        assert!(instances_approx_equal(&inst, &parsed, 1e-12));
+    }
+
+    #[test]
+    fn approx_equality_detects_real_differences() {
+        let a = instance_from_json(
+            r#"{ "processors": 2, "tasks": [{ "name": null, "times": [1.0, 0.6] }] }"#,
+        )
+        .unwrap();
+        let b = instance_from_json(
+            r#"{ "processors": 2, "tasks": [{ "name": null, "times": [1.0, 0.7] }] }"#,
+        )
+        .unwrap();
+        assert!(instances_approx_equal(&a, &a, 1e-12));
+        assert!(!instances_approx_equal(&a, &b, 1e-12));
+    }
+
+    #[test]
+    fn malformed_json_is_rejected() {
+        assert!(instance_from_json("{ not json").is_err());
+    }
+
+    #[test]
+    fn non_monotone_documents_are_rejected() {
+        let json = r#"{
+            "processors": 2,
+            "tasks": [{ "name": null, "times": [1.0, 2.0] }]
+        }"#;
+        assert!(instance_from_json(json).is_err());
+    }
+
+    #[test]
+    fn hand_written_document_parses() {
+        let json = r#"{
+            "processors": 4,
+            "tasks": [
+                { "name": "solver", "times": [4.0, 2.2, 1.6, 1.3] },
+                { "name": "io", "times": [0.5] }
+            ]
+        }"#;
+        let inst = instance_from_json(json).unwrap();
+        assert_eq!(inst.task_count(), 2);
+        assert_eq!(inst.processors(), 4);
+        assert_eq!(inst.task(0).name.as_deref(), Some("solver"));
+    }
+}

@@ -1,0 +1,96 @@
+//! Descriptive statistics of instances, used by the experiment reports.
+
+use malleable_core::{bounds, Instance};
+
+/// Summary statistics of an instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceStats {
+    /// Number of tasks.
+    pub tasks: usize,
+    /// Number of processors.
+    pub processors: usize,
+    /// Total sequential work.
+    pub total_work: f64,
+    /// Area lower bound (`total work / m`).
+    pub area_bound: f64,
+    /// Critical-task lower bound.
+    pub critical_bound: f64,
+    /// Combined certified lower bound.
+    pub lower_bound: f64,
+    /// Trivial feasible upper bound.
+    pub upper_bound: f64,
+    /// Mean sequential work per task.
+    pub mean_work: f64,
+    /// Maximum sequential work over tasks.
+    pub max_work: f64,
+    /// Average parallelism: sequential work divided by the minimal achievable
+    /// execution time, averaged over tasks (1.0 for fully sequential tasks).
+    pub mean_parallelism: f64,
+}
+
+/// Compute the summary statistics of an instance.
+pub fn describe(instance: &Instance) -> InstanceStats {
+    let n = instance.task_count();
+    let works: Vec<f64> = (0..n).map(|t| instance.time(t, 1)).collect();
+    let total_work: f64 = works.iter().sum();
+    let max_work = works.iter().cloned().fold(0.0, f64::max);
+    let mean_parallelism = (0..n)
+        .map(|t| {
+            let seq = instance.time(t, 1);
+            let best = instance.task(t).profile.min_time();
+            seq / best
+        })
+        .sum::<f64>()
+        / n as f64;
+    InstanceStats {
+        tasks: n,
+        processors: instance.processors(),
+        total_work,
+        area_bound: bounds::area_bound(instance),
+        critical_bound: bounds::critical_task_bound(instance),
+        lower_bound: bounds::lower_bound(instance),
+        upper_bound: bounds::upper_bound(instance),
+        mean_work: total_work / n as f64,
+        max_work,
+        mean_parallelism,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{WorkloadConfig, WorkloadGenerator};
+    use malleable_core::SpeedupProfile;
+
+    #[test]
+    fn stats_match_hand_computation() {
+        let inst = Instance::from_profiles(
+            vec![
+                SpeedupProfile::linear(4.0, 4).unwrap(),
+                SpeedupProfile::sequential(2.0).unwrap(),
+            ],
+            4,
+        )
+        .unwrap();
+        let stats = describe(&inst);
+        assert_eq!(stats.tasks, 2);
+        assert_eq!(stats.processors, 4);
+        assert!((stats.total_work - 6.0).abs() < 1e-12);
+        assert!((stats.area_bound - 1.5).abs() < 1e-12);
+        assert!((stats.mean_work - 3.0).abs() < 1e-12);
+        assert!((stats.max_work - 4.0).abs() < 1e-12);
+        // Parallelism: task 0 achieves 4, task 1 achieves 1 → mean 2.5.
+        assert!((stats.mean_parallelism - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounds_are_ordered() {
+        let inst = WorkloadGenerator::new(WorkloadConfig::mixed(25, 8, 17))
+            .generate()
+            .unwrap();
+        let stats = describe(&inst);
+        assert!(stats.lower_bound >= stats.area_bound - 1e-9);
+        assert!(stats.lower_bound >= stats.critical_bound - 1e-9);
+        assert!(stats.upper_bound >= stats.lower_bound - 1e-9);
+    }
+}
