@@ -175,7 +175,11 @@ mod tests {
     #[test]
     fn all_rigid_schedulers_produce_valid_schedules() {
         let inst = instance();
-        for rigid in [RigidScheduler::Ffdh, RigidScheduler::Nfdh, RigidScheduler::List] {
+        for rigid in [
+            RigidScheduler::Ffdh,
+            RigidScheduler::Nfdh,
+            RigidScheduler::List,
+        ] {
             let scheduler = TwoPhaseScheduler { rigid };
             let schedule = scheduler.schedule(&inst).unwrap();
             assert!(

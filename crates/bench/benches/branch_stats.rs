@@ -22,8 +22,7 @@ fn bench_instrumented_probe(c: &mut Criterion) {
             &instance,
             |b, inst| {
                 b.iter(|| {
-                    let (outcome, report) =
-                        scheduler.probe_with_report(black_box(inst), omega);
+                    let (outcome, report) = scheduler.probe_with_report(black_box(inst), omega);
                     black_box((outcome.is_feasible(), report.lambda_area))
                 })
             },

@@ -1,0 +1,83 @@
+//! Timing of the online engine across arrival rates and policies.
+//!
+//! The sweep covers the load spectrum: at low rates the machine drains
+//! between arrivals (many small planning rounds), at high rates the pending
+//! batches grow and the offline solvers dominate the cost.  The greedy
+//! policy is the per-event-cost floor the re-planning policies are measured
+//! against.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use online::policy::{OfflineSolver, PolicyKind};
+use std::hint::black_box;
+use workload::{ArrivalPattern, ArrivalTrace, TraceConfig, WorkloadConfig};
+
+fn trace_at_rate(rate: f64) -> ArrivalTrace {
+    ArrivalTrace::generate(&TraceConfig {
+        workload: WorkloadConfig::mixed(150, 16, 7),
+        pattern: ArrivalPattern::Poisson { rate },
+    })
+    .expect("trace generation succeeds")
+}
+
+fn run_policy(trace: &ArrivalTrace, kind: PolicyKind) -> f64 {
+    let mut policy = kind.build().expect("valid policy");
+    online::run(trace, policy.as_mut())
+        .expect("engine run succeeds")
+        .makespan
+}
+
+fn bench_arrival_rates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online_engine_rates");
+    group.sample_size(10);
+
+    for rate in [0.5, 2.0, 8.0] {
+        let trace = trace_at_rate(rate);
+        for (name, kind) in [
+            ("greedy", PolicyKind::Greedy),
+            (
+                "epoch-mrt",
+                PolicyKind::Epoch {
+                    period: 1.0,
+                    solver: OfflineSolver::Mrt,
+                },
+            ),
+            (
+                "batch-mrt",
+                PolicyKind::Batch {
+                    solver: OfflineSolver::Mrt,
+                },
+            ),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("rate={rate}")),
+                &trace,
+                |b, trace| b.iter(|| black_box(run_policy(black_box(trace), kind))),
+            );
+        }
+    }
+
+    group.finish();
+}
+
+fn bench_epoch_periods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("online_engine_epochs");
+    group.sample_size(10);
+
+    let trace = trace_at_rate(4.0);
+    for period in [0.25, 1.0, 4.0] {
+        let kind = PolicyKind::Epoch {
+            period,
+            solver: OfflineSolver::Mrt,
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("period={period}")),
+            &trace,
+            |b, trace| b.iter(|| black_box(run_policy(black_box(trace), kind))),
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_arrival_rates, bench_epoch_periods);
+criterion_main!(benches);

@@ -38,16 +38,12 @@ fn bench_exact_vs_fptas(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("exact_dp", format!("n{n}_m{width}")),
             &items,
-            |b, items| {
-                b.iter(|| black_box(solve_exact(black_box(items), capacity)).profit)
-            },
+            |b, items| b.iter(|| black_box(solve_exact(black_box(items), capacity)).profit),
         );
         group.bench_with_input(
             BenchmarkId::new("fptas_eps0.1", format!("n{n}_m{width}")),
             &items,
-            |b, items| {
-                b.iter(|| black_box(solve_fptas(black_box(items), capacity, 0.1)).profit)
-            },
+            |b, items| b.iter(|| black_box(solve_fptas(black_box(items), capacity, 0.1)).profit),
         );
     }
 

@@ -30,7 +30,10 @@ fn main() {
 
     let sqrt3_over_2 = 3f64.sqrt() / 2.0;
     println!();
-    println!("# anchor: m_lambda(sqrt(3)/2) = {}", m_lambda(sqrt3_over_2).unwrap());
+    println!(
+        "# anchor: m_lambda(sqrt(3)/2) = {}",
+        m_lambda(sqrt3_over_2).unwrap()
+    );
     println!("# shape: non-increasing in lambda = {monotone}");
     println!(
         "# divergence near 3/4: m_lambda(0.76) = {}, m_lambda(0.99) = {}",

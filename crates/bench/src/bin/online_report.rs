@@ -1,0 +1,69 @@
+//! Competitive-ratio report: online policies vs the clairvoyant offline MRT
+//! run, per trace family, emitted as JSON for the perf trajectory.
+//!
+//! ```text
+//! cargo run -p bench --release --bin online_report [seeds-per-cell]
+//! ```
+//!
+//! Every cell runs `seeds-per-cell` traces (default 5) of a family through a
+//! policy and reports the makespan ratios against the offline MRT makespan
+//! and against the certified lower bound, plus flow-time statistics.  The
+//! output is one JSON document on stdout.
+
+use mrt_bench::online_traces::{online_policies, trace_families};
+use mrt_bench::summarize;
+use serde_json::{json, Value};
+
+fn main() {
+    let seeds_per_cell: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+
+    let mut cells: Vec<Value> = Vec::new();
+    for family in trace_families() {
+        for kind in online_policies() {
+            let mut vs_offline = Vec::new();
+            let mut vs_lower_bound = Vec::new();
+            let mut mean_flows = Vec::new();
+            let mut policy_name = String::new();
+            for seed in 0..seeds_per_cell {
+                let trace = family.trace(seed);
+                let mut policy = kind.build().expect("valid policy");
+                let result = online::run(&trace, policy.as_mut()).expect("engine run succeeds");
+                assert!(
+                    online::validate_against_trace(&trace, &result.schedule).is_empty(),
+                    "invalid schedule from {}",
+                    result.policy
+                );
+                let report = online::competitive_report(&trace, &result).expect("report succeeds");
+                vs_offline.push(report.ratio_vs_offline);
+                vs_lower_bound.push(report.ratio_vs_lower_bound);
+                mean_flows.push(result.mean_flow_time);
+                policy_name = result.policy;
+            }
+            let offline = summarize(&vs_offline);
+            let lower = summarize(&vs_lower_bound);
+            let flow = summarize(&mean_flows);
+            cells.push(json!({
+                "family": family.name,
+                "policy": policy_name,
+                "seeds": seeds_per_cell,
+                "ratio_vs_offline_mean": offline.mean,
+                "ratio_vs_offline_max": offline.max,
+                "ratio_vs_lower_bound_mean": lower.mean,
+                "ratio_vs_lower_bound_max": lower.max,
+                "mean_flow_time": flow.mean,
+            }));
+        }
+    }
+
+    let doc = json!({
+        "report": "online-competitive-ratio",
+        "cells": cells,
+    });
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&doc).expect("report serialisation")
+    );
+}

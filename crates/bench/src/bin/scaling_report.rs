@@ -25,7 +25,10 @@ fn time_probe(algorithm: &dyn DualApproximation, instance: &malleable_core::Inst
 
 fn main() {
     println!("scaling in the number of tasks (m = 64, mixed family)");
-    println!("{:>8} {:>18} {:>18}", "n", "canonical-list ms", "mrt probe ms");
+    println!(
+        "{:>8} {:>18} {:>18}",
+        "n", "canonical-list ms", "mrt probe ms"
+    );
     for &n in &[100usize, 316, 1_000, 3_162, 10_000, 31_623] {
         let instance = Family::Mixed.instance(n, 64, 42);
         let list_ms = time_probe(&CanonicalListAlgorithm::default(), &instance);
@@ -35,7 +38,10 @@ fn main() {
 
     println!();
     println!("scaling in the number of processors (n = 2000, mixed family)");
-    println!("{:>8} {:>18} {:>18}", "m", "canonical-list ms", "mrt probe ms");
+    println!(
+        "{:>8} {:>18} {:>18}",
+        "m", "canonical-list ms", "mrt probe ms"
+    );
     for &m in &[16usize, 32, 64, 128, 256, 512, 1024] {
         let instance = Family::Mixed.instance(2_000, m, 7);
         let list_ms = time_probe(&CanonicalListAlgorithm::default(), &instance);

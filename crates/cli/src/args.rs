@@ -73,6 +73,51 @@ impl FamilyChoice {
     }
 }
 
+/// Which arrival pattern a `trace` invocation should use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PatternChoice {
+    /// Poisson arrivals with the given rate.
+    Poisson { rate: f64 },
+    /// Bursts of simultaneous arrivals.
+    Bursty { burst_size: usize, burst_gap: f64 },
+}
+
+/// Which online policy an `online` invocation should run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolicyChoice {
+    /// Immediate greedy list scheduling.
+    Greedy,
+    /// Epoch-based offline re-planning.
+    Epoch,
+    /// Batch the queue until the machine is idle.
+    Batch,
+}
+
+/// Which offline solver the epoch/batch policies invoke.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverChoice {
+    /// The paper's √3 MRT scheduler (default).
+    Mrt,
+    /// The Ludwig-style two-phase baseline.
+    Ludwig,
+    /// Canonical allotment + contiguous list scheduling.
+    List,
+}
+
+impl SolverChoice {
+    fn parse(token: &str) -> Result<Self, ParseError> {
+        match token {
+            "mrt" | "sqrt3" => Ok(SolverChoice::Mrt),
+            "ludwig" | "two-phase" => Ok(SolverChoice::Ludwig),
+            "list" => Ok(SolverChoice::List),
+            other => Err(ParseError::InvalidValue {
+                flag: "--solver".into(),
+                value: other.into(),
+            }),
+        }
+    }
+}
+
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -82,6 +127,31 @@ pub enum Command {
         tasks: usize,
         processors: usize,
         seed: u64,
+        output: Option<String>,
+    },
+    /// Generate an arrival trace and write it as JSON.
+    Trace {
+        family: FamilyChoice,
+        pattern: PatternChoice,
+        tasks: usize,
+        processors: usize,
+        seed: u64,
+        output: Option<String>,
+    },
+    /// Run the online engine over an arrival trace.
+    Online {
+        /// Trace file; when absent a trace is generated from the flags below.
+        trace: Option<String>,
+        policy: PolicyChoice,
+        solver: SolverChoice,
+        epoch: f64,
+        family: FamilyChoice,
+        pattern: PatternChoice,
+        tasks: usize,
+        processors: usize,
+        seed: u64,
+        json: bool,
+        no_validate: bool,
         output: Option<String>,
     },
     /// Schedule an instance file.
@@ -147,6 +217,13 @@ malleable-sched — scheduling independent monotonic malleable tasks (SPAA 1999 
 USAGE:
   malleable-sched generate --family <mixed|wide|sequential> [--tasks N] [--processors M]
                            [--seed S] [--output FILE]
+  malleable-sched trace    --pattern <poisson|bursty> [--rate R] [--burst-size N] [--burst-gap G]
+                           [--family <mixed|wide|sequential>] [--tasks N] [--processors M]
+                           [--seed S] [--output FILE]
+  malleable-sched online   [--trace FILE] --policy <greedy|epoch-mrt|epoch-ludwig|epoch-list|batch-idle>
+                           [--epoch D] [--solver <mrt|ludwig|list>] [--json] [--no-validate]
+                           [--output schedule.json]
+                           (without --trace, the trace flags of `trace` generate one inline)
   malleable-sched schedule <instance.json> [--algorithm <mrt|ludwig|twy-list|gang|lpt>]
                            [--gantt] [--output schedule.json]
   malleable-sched validate <instance.json> <schedule.json>
@@ -171,7 +248,8 @@ impl<'a> TokenStream<'a> {
     }
 
     fn value_for(&mut self, flag: &str) -> Result<&'a str, ParseError> {
-        self.next().ok_or_else(|| ParseError::MissingValue(flag.to_string()))
+        self.next()
+            .ok_or_else(|| ParseError::MissingValue(flag.to_string()))
     }
 }
 
@@ -190,6 +268,8 @@ impl Cli {
             None => return Err(ParseError::MissingCommand),
             Some("help" | "--help" | "-h") => Command::Help,
             Some("generate") => Self::parse_generate(&mut stream)?,
+            Some("trace") => Self::parse_trace(&mut stream)?,
+            Some("online") => Self::parse_online(&mut stream)?,
             Some("schedule") => Self::parse_schedule(&mut stream)?,
             Some("validate") => Self::parse_validate(&mut stream)?,
             Some("bounds") => Self::parse_bounds(&mut stream)?,
@@ -209,8 +289,7 @@ impl Cli {
                 "--family" => family = FamilyChoice::parse(stream.value_for("--family")?)?,
                 "--tasks" => tasks = parse_number("--tasks", stream.value_for("--tasks")?)?,
                 "--processors" => {
-                    processors =
-                        parse_number("--processors", stream.value_for("--processors")?)?
+                    processors = parse_number("--processors", stream.value_for("--processors")?)?
                 }
                 "--seed" => seed = parse_number("--seed", stream.value_for("--seed")?)?,
                 "--output" | "-o" => output = Some(stream.value_for("--output")?.to_string()),
@@ -222,6 +301,147 @@ impl Cli {
             tasks,
             processors,
             seed,
+            output,
+        })
+    }
+
+    fn parse_trace(stream: &mut TokenStream) -> Result<Command, ParseError> {
+        let mut family = FamilyChoice::Mixed;
+        let mut pattern_name = "poisson".to_string();
+        let mut rate = 4.0f64;
+        let mut burst_size = 16usize;
+        let mut burst_gap = 4.0f64;
+        let mut tasks = 200usize;
+        let mut processors = 32usize;
+        let mut seed = 0u64;
+        let mut output = None;
+        while let Some(token) = stream.next() {
+            match token {
+                "--family" => family = FamilyChoice::parse(stream.value_for("--family")?)?,
+                "--pattern" => pattern_name = stream.value_for("--pattern")?.to_string(),
+                "--rate" => rate = parse_number("--rate", stream.value_for("--rate")?)?,
+                "--burst-size" => {
+                    burst_size = parse_number("--burst-size", stream.value_for("--burst-size")?)?
+                }
+                "--burst-gap" => {
+                    burst_gap = parse_number("--burst-gap", stream.value_for("--burst-gap")?)?
+                }
+                "--tasks" => tasks = parse_number("--tasks", stream.value_for("--tasks")?)?,
+                "--processors" => {
+                    processors = parse_number("--processors", stream.value_for("--processors")?)?
+                }
+                "--seed" => seed = parse_number("--seed", stream.value_for("--seed")?)?,
+                "--output" | "-o" => output = Some(stream.value_for("--output")?.to_string()),
+                other => return Err(ParseError::UnknownFlag(other.to_string())),
+            }
+        }
+        let pattern = Self::resolve_pattern(&pattern_name, rate, burst_size, burst_gap)?;
+        Ok(Command::Trace {
+            family,
+            pattern,
+            tasks,
+            processors,
+            seed,
+            output,
+        })
+    }
+
+    fn resolve_pattern(
+        name: &str,
+        rate: f64,
+        burst_size: usize,
+        burst_gap: f64,
+    ) -> Result<PatternChoice, ParseError> {
+        match name {
+            "poisson" => Ok(PatternChoice::Poisson { rate }),
+            "bursty" | "burst" => Ok(PatternChoice::Bursty {
+                burst_size,
+                burst_gap,
+            }),
+            other => Err(ParseError::InvalidValue {
+                flag: "--pattern".into(),
+                value: other.into(),
+            }),
+        }
+    }
+
+    fn parse_online(stream: &mut TokenStream) -> Result<Command, ParseError> {
+        let mut trace = None;
+        let mut policy = None;
+        let mut solver_flag: Option<SolverChoice> = None;
+        let mut solver_from_policy: Option<SolverChoice> = None;
+        let mut epoch = 1.0f64;
+        let mut family = FamilyChoice::Mixed;
+        let mut pattern_name = "poisson".to_string();
+        let mut rate = 4.0f64;
+        let mut burst_size = 16usize;
+        let mut burst_gap = 4.0f64;
+        let mut tasks = 200usize;
+        let mut processors = 32usize;
+        let mut seed = 0u64;
+        let mut json = false;
+        let mut no_validate = false;
+        let mut output = None;
+        while let Some(token) = stream.next() {
+            match token {
+                "--trace" | "-t" => trace = Some(stream.value_for("--trace")?.to_string()),
+                "--policy" | "-p" => {
+                    let value = stream.value_for("--policy")?;
+                    let (choice, implied) = match value {
+                        "greedy" | "greedy-list" => (PolicyChoice::Greedy, None),
+                        "epoch" | "epoch-mrt" => (PolicyChoice::Epoch, Some(SolverChoice::Mrt)),
+                        "epoch-ludwig" => (PolicyChoice::Epoch, Some(SolverChoice::Ludwig)),
+                        "epoch-list" => (PolicyChoice::Epoch, Some(SolverChoice::List)),
+                        "batch" | "batch-idle" => (PolicyChoice::Batch, None),
+                        other => {
+                            return Err(ParseError::InvalidValue {
+                                flag: "--policy".into(),
+                                value: other.into(),
+                            })
+                        }
+                    };
+                    policy = Some(choice);
+                    solver_from_policy = implied;
+                }
+                "--solver" => {
+                    solver_flag = Some(SolverChoice::parse(stream.value_for("--solver")?)?)
+                }
+                "--epoch" => epoch = parse_number("--epoch", stream.value_for("--epoch")?)?,
+                "--family" => family = FamilyChoice::parse(stream.value_for("--family")?)?,
+                "--pattern" => pattern_name = stream.value_for("--pattern")?.to_string(),
+                "--rate" => rate = parse_number("--rate", stream.value_for("--rate")?)?,
+                "--burst-size" => {
+                    burst_size = parse_number("--burst-size", stream.value_for("--burst-size")?)?
+                }
+                "--burst-gap" => {
+                    burst_gap = parse_number("--burst-gap", stream.value_for("--burst-gap")?)?
+                }
+                "--tasks" => tasks = parse_number("--tasks", stream.value_for("--tasks")?)?,
+                "--processors" => {
+                    processors = parse_number("--processors", stream.value_for("--processors")?)?
+                }
+                "--seed" => seed = parse_number("--seed", stream.value_for("--seed")?)?,
+                "--json" => json = true,
+                "--no-validate" => no_validate = true,
+                "--output" | "-o" => output = Some(stream.value_for("--output")?.to_string()),
+                other => return Err(ParseError::UnknownFlag(other.to_string())),
+            }
+        }
+        let pattern = Self::resolve_pattern(&pattern_name, rate, burst_size, burst_gap)?;
+        Ok(Command::Online {
+            trace,
+            policy: policy.ok_or(ParseError::MissingArgument("--policy"))?,
+            solver: solver_flag
+                .or(solver_from_policy)
+                .unwrap_or(SolverChoice::Mrt),
+            epoch,
+            family,
+            pattern,
+            tasks,
+            processors,
+            seed,
+            json,
+            no_validate,
             output,
         })
     }
@@ -262,8 +482,12 @@ impl Cli {
         }
         let mut drain = positionals.into_iter();
         Ok(Command::Validate {
-            instance: drain.next().ok_or(ParseError::MissingArgument("instance.json"))?,
-            schedule: drain.next().ok_or(ParseError::MissingArgument("schedule.json"))?,
+            instance: drain
+                .next()
+                .ok_or(ParseError::MissingArgument("instance.json"))?,
+            schedule: drain
+                .next()
+                .ok_or(ParseError::MissingArgument("schedule.json"))?,
         })
     }
 
@@ -288,8 +512,17 @@ mod tests {
     #[test]
     fn parses_generate_with_all_flags() {
         let cli = Cli::parse(&args(&[
-            "generate", "--family", "wide", "--tasks", "10", "--processors", "16", "--seed",
-            "3", "--output", "x.json",
+            "generate",
+            "--family",
+            "wide",
+            "--tasks",
+            "10",
+            "--processors",
+            "16",
+            "--seed",
+            "3",
+            "--output",
+            "x.json",
         ]))
         .unwrap();
         assert_eq!(
@@ -326,7 +559,11 @@ mod tests {
     #[test]
     fn parses_schedule_with_algorithm_and_gantt() {
         let cli = Cli::parse(&args(&[
-            "schedule", "inst.json", "--algorithm", "ludwig", "--gantt",
+            "schedule",
+            "inst.json",
+            "--algorithm",
+            "ludwig",
+            "--gantt",
         ]))
         .unwrap();
         assert_eq!(
@@ -351,7 +588,9 @@ mod tests {
     #[test]
     fn parses_validate_and_bounds() {
         assert_eq!(
-            Cli::parse(&args(&["validate", "a.json", "b.json"])).unwrap().command,
+            Cli::parse(&args(&["validate", "a.json", "b.json"]))
+                .unwrap()
+                .command,
             Command::Validate {
                 instance: "a.json".into(),
                 schedule: "b.json".into()
@@ -402,9 +641,119 @@ mod tests {
     }
 
     #[test]
+    fn parses_trace_with_patterns() {
+        let cli = Cli::parse(&args(&[
+            "trace",
+            "--pattern",
+            "bursty",
+            "--burst-size",
+            "8",
+            "--burst-gap",
+            "2.5",
+            "--tasks",
+            "64",
+            "--processors",
+            "16",
+            "--seed",
+            "9",
+            "--output",
+            "t.json",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cli.command,
+            Command::Trace {
+                family: FamilyChoice::Mixed,
+                pattern: PatternChoice::Bursty {
+                    burst_size: 8,
+                    burst_gap: 2.5
+                },
+                tasks: 64,
+                processors: 16,
+                seed: 9,
+                output: Some("t.json".into()),
+            }
+        );
+        assert!(matches!(
+            Cli::parse(&args(&["trace", "--pattern", "weird"])).unwrap_err(),
+            ParseError::InvalidValue { .. }
+        ));
+    }
+
+    #[test]
+    fn parses_online_policies_and_solvers() {
+        let cli = Cli::parse(&args(&[
+            "online",
+            "--policy",
+            "epoch-mrt",
+            "--trace",
+            "t.json",
+            "--epoch",
+            "0.5",
+        ]))
+        .unwrap();
+        match cli.command {
+            Command::Online {
+                trace,
+                policy,
+                solver,
+                epoch,
+                ..
+            } => {
+                assert_eq!(trace.as_deref(), Some("t.json"));
+                assert_eq!(policy, PolicyChoice::Epoch);
+                assert_eq!(solver, SolverChoice::Mrt);
+                assert_eq!(epoch, 0.5);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // The policy token implies a solver, an explicit flag overrides it.
+        let cli = Cli::parse(&args(&[
+            "online",
+            "--policy",
+            "epoch-ludwig",
+            "--solver",
+            "list",
+        ]))
+        .unwrap();
+        match cli.command {
+            Command::Online { policy, solver, .. } => {
+                assert_eq!(policy, PolicyChoice::Epoch);
+                assert_eq!(solver, SolverChoice::List);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Batch and greedy parse; --policy is mandatory.
+        for (token, expected) in [
+            ("greedy", PolicyChoice::Greedy),
+            ("batch-idle", PolicyChoice::Batch),
+        ] {
+            match Cli::parse(&args(&["online", "--policy", token]))
+                .unwrap()
+                .command
+            {
+                Command::Online { policy, .. } => assert_eq!(policy, expected),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(
+            Cli::parse(&args(&["online"])).unwrap_err(),
+            ParseError::MissingArgument("--policy")
+        );
+        assert!(matches!(
+            Cli::parse(&args(&["online", "--policy", "psychic"])).unwrap_err(),
+            ParseError::InvalidValue { .. }
+        ));
+    }
+
+    #[test]
     fn help_is_parsed_and_errors_display() {
         assert_eq!(Cli::parse(&args(&["help"])).unwrap().command, Command::Help);
         assert!(ParseError::MissingCommand.to_string().contains("help"));
-        assert!(ParseError::UnknownFlag("--x".into()).to_string().contains("--x"));
+        assert!(ParseError::UnknownFlag("--x".into())
+            .to_string()
+            .contains("--x"));
     }
 }

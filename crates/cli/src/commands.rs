@@ -7,12 +7,20 @@ use std::fs;
 use std::result::Result;
 
 use baselines::{gang_schedule, ludwig, sequential_lpt, RigidScheduler, TwoPhaseScheduler};
-use malleable_core::prelude::*;
 use malleable_core::bounds;
+use malleable_core::prelude::*;
+use online::{competitive_report, validate_against_trace, OfflineSolver, PolicyKind};
+use serde_json::json;
 use simulator::{render_gantt, simulate, validate_schedule};
-use workload::{describe, instance_from_json, instance_to_json, WorkloadConfig, WorkloadGenerator};
+use workload::{
+    describe, instance_from_json, instance_to_json, trace_from_json, trace_to_json, ArrivalPattern,
+    ArrivalTrace, TraceConfig, WorkloadConfig, WorkloadGenerator,
+};
 
-use crate::args::{AlgorithmChoice, Cli, Command, FamilyChoice, ParseError, USAGE};
+use crate::args::{
+    AlgorithmChoice, Cli, Command, FamilyChoice, ParseError, PatternChoice, PolicyChoice,
+    SolverChoice, USAGE,
+};
 use crate::schedule_io::{schedule_from_json, schedule_to_json};
 
 /// Errors produced while executing a command.
@@ -79,6 +87,219 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
         } => schedule(instance, *algorithm, *gantt, output.as_deref()),
         Command::Validate { instance, schedule } => validate(instance, schedule),
         Command::Bounds { instance } => print_bounds(instance),
+        Command::Trace {
+            family,
+            pattern,
+            tasks,
+            processors,
+            seed,
+            output,
+        } => generate_trace(
+            *family,
+            *pattern,
+            *tasks,
+            *processors,
+            *seed,
+            output.as_deref(),
+        ),
+        Command::Online {
+            trace,
+            policy,
+            solver,
+            epoch,
+            family,
+            pattern,
+            tasks,
+            processors,
+            seed,
+            json,
+            no_validate,
+            output,
+        } => run_online(OnlineArgs {
+            trace: trace.as_deref(),
+            policy: *policy,
+            solver: *solver,
+            epoch: *epoch,
+            family: *family,
+            pattern: *pattern,
+            tasks: *tasks,
+            processors: *processors,
+            seed: *seed,
+            json: *json,
+            no_validate: *no_validate,
+            output: output.as_deref(),
+        }),
+    }
+}
+
+fn trace_config(
+    family: FamilyChoice,
+    pattern: PatternChoice,
+    tasks: usize,
+    processors: usize,
+    seed: u64,
+) -> TraceConfig {
+    let workload = match family {
+        FamilyChoice::Mixed => WorkloadConfig::mixed(tasks, processors, seed),
+        FamilyChoice::Wide => WorkloadConfig::wide_tasks(tasks, processors, seed),
+        FamilyChoice::Sequential => WorkloadConfig::sequential_heavy(tasks, processors, seed),
+    };
+    let pattern = match pattern {
+        PatternChoice::Poisson { rate } => ArrivalPattern::Poisson { rate },
+        PatternChoice::Bursty {
+            burst_size,
+            burst_gap,
+        } => ArrivalPattern::Bursty {
+            burst_size,
+            burst_gap,
+        },
+    };
+    TraceConfig { workload, pattern }
+}
+
+fn generate_trace(
+    family: FamilyChoice,
+    pattern: PatternChoice,
+    tasks: usize,
+    processors: usize,
+    seed: u64,
+    output: Option<&str>,
+) -> Result<String, CliError> {
+    let config = trace_config(family, pattern, tasks, processors, seed);
+    let trace = ArrivalTrace::generate(&config).map_err(|e| CliError::Invalid(e.to_string()))?;
+    let json = trace_to_json(&trace);
+    match output {
+        Some(path) => {
+            write_file(path, &json)?;
+            Ok(format!(
+                "wrote {} arrivals on {} processors (last arrival {:.4}) to {path}\n",
+                trace.len(),
+                trace.processors(),
+                trace.last_arrival()
+            ))
+        }
+        None => Ok(json),
+    }
+}
+
+struct OnlineArgs<'a> {
+    trace: Option<&'a str>,
+    policy: PolicyChoice,
+    solver: SolverChoice,
+    epoch: f64,
+    family: FamilyChoice,
+    pattern: PatternChoice,
+    tasks: usize,
+    processors: usize,
+    seed: u64,
+    json: bool,
+    no_validate: bool,
+    output: Option<&'a str>,
+}
+
+fn run_online(args: OnlineArgs) -> Result<String, CliError> {
+    let trace = match args.trace {
+        Some(path) => {
+            let text = read_file(path)?;
+            trace_from_json(&text).map_err(|e| CliError::Invalid(format!("{path}: {e}")))?
+        }
+        None => {
+            let config = trace_config(
+                args.family,
+                args.pattern,
+                args.tasks,
+                args.processors,
+                args.seed,
+            );
+            ArrivalTrace::generate(&config).map_err(|e| CliError::Invalid(e.to_string()))?
+        }
+    };
+
+    let solver = match args.solver {
+        SolverChoice::Mrt => OfflineSolver::Mrt,
+        SolverChoice::Ludwig => OfflineSolver::TwoPhase,
+        SolverChoice::List => OfflineSolver::CanonicalList,
+    };
+    let kind = match args.policy {
+        PolicyChoice::Greedy => PolicyKind::Greedy,
+        PolicyChoice::Epoch => PolicyKind::Epoch {
+            period: args.epoch,
+            solver,
+        },
+        PolicyChoice::Batch => PolicyKind::Batch { solver },
+    };
+    let mut policy = kind.build().map_err(|e| CliError::Invalid(e.to_string()))?;
+    let result =
+        online::run(&trace, policy.as_mut()).map_err(|e| CliError::Scheduling(e.to_string()))?;
+    let report =
+        competitive_report(&trace, &result).map_err(|e| CliError::Scheduling(e.to_string()))?;
+
+    let validation = if args.no_validate {
+        None
+    } else {
+        Some(validate_against_trace(&trace, &result.schedule))
+    };
+    if let Some(violations) = &validation {
+        if !violations.is_empty() {
+            let mut out = String::from("INVALID online schedule:\n");
+            for violation in violations {
+                out.push_str(&format!("  - {violation}\n"));
+            }
+            return Err(CliError::Invalid(out));
+        }
+    }
+
+    if let Some(path) = args.output {
+        write_file(path, &schedule_to_json(&result.schedule))?;
+    }
+
+    let out = if args.json {
+        // Machine-readable mode: stdout is exactly one JSON document (the
+        // schedule path travels inside it, not as a trailing text line).
+        let doc = json!({
+            "policy": result.policy.clone(),
+            "tasks": trace.len(),
+            "processors": trace.processors(),
+            "last_arrival": report.last_arrival,
+            "online_makespan": report.online_makespan,
+            "offline_mrt_makespan": report.offline_makespan,
+            "certified_lower_bound": report.certified_lower_bound,
+            "ratio_vs_offline": report.ratio_vs_offline,
+            "ratio_vs_lower_bound": report.ratio_vs_lower_bound,
+            "mean_flow_time": result.mean_flow_time,
+            "max_flow_time": result.max_flow_time,
+            "utilization": result.utilization(),
+            "replans": result.replans,
+            "events": result.events,
+            "validated": validation.is_some(),
+            "schedule_file": args.output,
+        });
+        let mut text = serde_json::to_string_pretty(&doc).expect("report serialisation");
+        text.push('\n');
+        text
+    } else {
+        format!(
+            "policy           : {}\ntrace            : {} tasks on {} processors (last arrival {:.4})\nonline makespan  : {:.4}\noffline mrt      : {:.4}\ncertified LB     : {:.4}\nratio vs offline : {:.4}\nratio vs LB      : {:.4}\nmean flow time   : {:.4}\nmax flow time    : {:.4}\nutilisation      : {:.1}%\nreplans          : {}\nevents           : {}\nvalidation       : {}\n",
+            result.policy,
+            trace.len(),
+            trace.processors(),
+            report.last_arrival,
+            report.online_makespan,
+            report.offline_makespan,
+            report.certified_lower_bound,
+            report.ratio_vs_offline,
+            report.ratio_vs_lower_bound,
+            result.mean_flow_time,
+            result.max_flow_time,
+            100.0 * result.utilization(),
+            result.replans,
+            result.events,
+            if validation.is_some() { "OK" } else { "skipped" },
+        )
+    };
+    match args.output {
+        Some(path) if !args.json => Ok(out + &format!("schedule written to {path}\n")),
+        _ => Ok(out),
     }
 }
 
@@ -111,10 +332,7 @@ fn generate(
     }
 }
 
-fn run_algorithm(
-    algorithm: AlgorithmChoice,
-    instance: &Instance,
-) -> Result<Schedule, CliError> {
+fn run_algorithm(algorithm: AlgorithmChoice, instance: &Instance) -> Result<Schedule, CliError> {
     let schedule = match algorithm {
         AlgorithmChoice::Mrt => {
             MrtScheduler::default()
@@ -172,8 +390,7 @@ fn schedule(
 fn validate(instance_path: &str, schedule_path: &str) -> Result<String, CliError> {
     let instance = load_instance(instance_path)?;
     let schedule_text = read_file(schedule_path)?;
-    let schedule =
-        schedule_from_json(&schedule_text, &instance).map_err(CliError::Invalid)?;
+    let schedule = schedule_from_json(&schedule_text, &instance).map_err(CliError::Invalid)?;
     let report = validate_schedule(&instance, &schedule, None);
     if report.is_valid() {
         Ok(format!(
@@ -277,16 +494,124 @@ mod tests {
     fn every_algorithm_choice_runs() {
         let instance_path = temp_path("algo-instance.json");
         run_args(&args(&[
-            "generate", "--tasks", "8", "--processors", "4", "--seed", "1", "--output",
+            "generate",
+            "--tasks",
+            "8",
+            "--processors",
+            "4",
+            "--seed",
+            "1",
+            "--output",
             &instance_path,
         ]))
         .unwrap();
         for algo in ["mrt", "ludwig", "twy-list", "gang", "lpt"] {
-            let out =
-                run_args(&args(&["schedule", &instance_path, "--algorithm", algo])).unwrap();
+            let out = run_args(&args(&["schedule", &instance_path, "--algorithm", algo])).unwrap();
             assert!(out.contains("ratio"), "{algo} did not report a ratio");
         }
         fs::remove_file(instance_path).ok();
+    }
+
+    #[test]
+    fn trace_online_pipeline_round_trips() {
+        let trace_path = temp_path("trace.json");
+        let schedule_path = temp_path("online-schedule.json");
+
+        let out = run_args(&args(&[
+            "trace",
+            "--pattern",
+            "poisson",
+            "--rate",
+            "3",
+            "--tasks",
+            "40",
+            "--processors",
+            "8",
+            "--seed",
+            "11",
+            "--output",
+            &trace_path,
+        ]))
+        .unwrap();
+        assert!(out.contains("40 arrivals"));
+
+        let out = run_args(&args(&[
+            "online",
+            "--policy",
+            "epoch-mrt",
+            "--epoch",
+            "0.5",
+            "--trace",
+            &trace_path,
+            "--output",
+            &schedule_path,
+        ]))
+        .unwrap();
+        assert!(out.contains("validation       : OK"), "{out}");
+        assert!(out.contains("ratio vs LB"));
+
+        // The emitted schedule validates offline against the trace instance.
+        let text = fs::read_to_string(&trace_path).unwrap();
+        let trace = workload::trace_from_json(&text).unwrap();
+        let instance = trace.instance().unwrap();
+        let schedule_text = fs::read_to_string(&schedule_path).unwrap();
+        let schedule = crate::schedule_io::schedule_from_json(&schedule_text, &instance).unwrap();
+        assert!(schedule.validate(&instance).is_ok());
+
+        fs::remove_file(trace_path).ok();
+        fs::remove_file(schedule_path).ok();
+    }
+
+    #[test]
+    fn online_runs_every_policy_inline() {
+        for policy in [
+            "greedy",
+            "epoch-mrt",
+            "epoch-ludwig",
+            "epoch-list",
+            "batch-idle",
+        ] {
+            let out = run_args(&args(&[
+                "online",
+                "--policy",
+                policy,
+                "--tasks",
+                "25",
+                "--processors",
+                "8",
+                "--seed",
+                "2",
+                "--rate",
+                "5",
+            ]))
+            .unwrap();
+            assert!(out.contains("validation       : OK"), "{policy}: {out}");
+        }
+    }
+
+    #[test]
+    fn online_json_report_is_parseable() {
+        let out = run_args(&args(&[
+            "online",
+            "--policy",
+            "batch-idle",
+            "--pattern",
+            "bursty",
+            "--burst-size",
+            "6",
+            "--burst-gap",
+            "2",
+            "--tasks",
+            "18",
+            "--processors",
+            "4",
+            "--json",
+        ]))
+        .unwrap();
+        let doc = serde_json::from_str(&out).unwrap();
+        assert!(doc.get("online_makespan").unwrap().as_f64().unwrap() > 0.0);
+        assert!(doc.get("ratio_vs_lower_bound").unwrap().as_f64().unwrap() >= 1.0 - 1e-9);
+        assert_eq!(doc.get("tasks").unwrap().as_u64(), Some(18));
     }
 
     #[test]

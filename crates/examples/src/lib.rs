@@ -25,11 +25,8 @@ mod tests {
 
     #[test]
     fn comparison_row_mentions_name_and_ratio() {
-        let inst = Instance::from_profiles(
-            vec![SpeedupProfile::linear(4.0, 4).unwrap()],
-            4,
-        )
-        .unwrap();
+        let inst =
+            Instance::from_profiles(vec![SpeedupProfile::linear(4.0, 4).unwrap()], 4).unwrap();
         let result = MrtScheduler::default().schedule(&inst).unwrap();
         let row = comparison_row("mrt", &inst, &result.schedule);
         assert!(row.contains("mrt"));

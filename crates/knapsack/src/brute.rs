@@ -49,7 +49,10 @@ mod tests {
 
     #[test]
     fn single_item_fits() {
-        let items = [Item { weight: 2, profit: 9 }];
+        let items = [Item {
+            weight: 2,
+            profit: 9,
+        }];
         let sol = solve_brute_force(&items, 2);
         assert_eq!(sol.profit, 9);
         assert_eq!(sol.selected, vec![0]);
@@ -57,7 +60,10 @@ mod tests {
 
     #[test]
     fn single_item_does_not_fit() {
-        let items = [Item { weight: 3, profit: 9 }];
+        let items = [Item {
+            weight: 3,
+            profit: 9,
+        }];
         let sol = solve_brute_force(&items, 2);
         assert_eq!(sol.profit, 0);
         assert!(sol.selected.is_empty());
@@ -66,8 +72,14 @@ mod tests {
     #[test]
     fn prefers_lower_weight_on_profit_tie() {
         let items = [
-            Item { weight: 5, profit: 10 },
-            Item { weight: 3, profit: 10 },
+            Item {
+                weight: 5,
+                profit: 10,
+            },
+            Item {
+                weight: 3,
+                profit: 10,
+            },
         ];
         let sol = solve_brute_force(&items, 6);
         assert_eq!(sol.profit, 10);
@@ -77,9 +89,18 @@ mod tests {
     #[test]
     fn three_item_optimum() {
         let items = [
-            Item { weight: 1, profit: 2 },
-            Item { weight: 2, profit: 3 },
-            Item { weight: 3, profit: 4 },
+            Item {
+                weight: 1,
+                profit: 2,
+            },
+            Item {
+                weight: 2,
+                profit: 3,
+            },
+            Item {
+                weight: 3,
+                profit: 4,
+            },
         ];
         let sol = solve_brute_force(&items, 4);
         assert_eq!(sol.profit, 6);

@@ -109,7 +109,7 @@ pub fn solve_dual_brute_force(items: &[Item], target: u64) -> Option<DualSolutio
                 p += it.profit;
             }
         }
-        if p >= target && best.map_or(true, |(bw, _)| w < bw) {
+        if p >= target && best.is_none_or(|(bw, _)| w < bw) {
             best = Some((w, mask));
         }
     }
@@ -126,7 +126,10 @@ mod tests {
 
     fn items(raw: &[(u64, u64)]) -> Vec<Item> {
         raw.iter()
-            .map(|&(w, p)| Item { weight: w, profit: p })
+            .map(|&(w, p)| Item {
+                weight: w,
+                profit: p,
+            })
             .collect()
     }
 

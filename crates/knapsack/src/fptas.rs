@@ -30,11 +30,7 @@ pub fn solve_fptas(items: &[Item], capacity: u64, epsilon: f64) -> Solution {
     if fitting.is_empty() {
         return Solution::empty();
     }
-    let p_max = fitting
-        .iter()
-        .map(|&i| items[i].profit)
-        .max()
-        .unwrap_or(0);
+    let p_max = fitting.iter().map(|&i| items[i].profit).max().unwrap_or(0);
     if p_max == 0 {
         // All profits are zero: the empty solution is optimal.
         return Solution::empty();
@@ -87,13 +83,13 @@ fn min_weight_profit_dp(
     // Among reachable scaled profits that fit, pick the one whose *recovered
     // real* profit is maximal (recovering by backtracking).
     let mut best: Option<(u64, Vec<usize>)> = None;
-    for p in 0..=bound {
-        if min_w[p] > capacity {
+    for (p, &weight) in min_w.iter().enumerate().take(bound + 1) {
+        if weight > capacity {
             continue;
         }
         let sel = backtrack(&choice, fitting, scaled, bound, p);
         let real: u64 = sel.iter().map(|&i| items[i].profit).sum();
-        if best.as_ref().map_or(true, |(bp, _)| real > *bp) {
+        if best.as_ref().is_none_or(|(bp, _)| real > *bp) {
             best = Some((real, sel));
         }
     }
@@ -129,7 +125,10 @@ mod tests {
 
     fn items(raw: &[(u64, u64)]) -> Vec<Item> {
         raw.iter()
-            .map(|&(w, p)| Item { weight: w, profit: p })
+            .map(|&(w, p)| Item {
+                weight: w,
+                profit: p,
+            })
             .collect()
     }
 

@@ -63,9 +63,18 @@ mod tests {
     #[test]
     fn from_indices_computes_totals() {
         let items = vec![
-            Item { weight: 2, profit: 3 },
-            Item { weight: 5, profit: 7 },
-            Item { weight: 1, profit: 1 },
+            Item {
+                weight: 2,
+                profit: 3,
+            },
+            Item {
+                weight: 5,
+                profit: 7,
+            },
+            Item {
+                weight: 1,
+                profit: 1,
+            },
         ];
         let sol = Solution::from_indices(&items, vec![2, 0]);
         assert_eq!(sol.selected, vec![0, 2]);
@@ -77,7 +86,10 @@ mod tests {
 
     #[test]
     fn from_indices_dedups() {
-        let items = vec![Item { weight: 2, profit: 3 }];
+        let items = vec![Item {
+            weight: 2,
+            profit: 3,
+        }];
         let sol = Solution::from_indices(&items, vec![0, 0]);
         assert_eq!(sol.selected, vec![0]);
         assert_eq!(sol.profit, 3);
@@ -85,7 +97,10 @@ mod tests {
 
     #[test]
     fn empty_solution_is_consistent() {
-        let items = vec![Item { weight: 9, profit: 9 }];
+        let items = vec![Item {
+            weight: 9,
+            profit: 9,
+        }];
         assert!(Solution::empty().is_consistent(&items, 0));
     }
 }

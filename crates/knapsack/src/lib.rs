@@ -92,7 +92,10 @@ mod tests {
 
     fn items(raw: &[(u64, u64)]) -> Vec<Item> {
         raw.iter()
-            .map(|&(w, p)| Item { weight: w, profit: p })
+            .map(|&(w, p)| Item {
+                weight: w,
+                profit: p,
+            })
             .collect()
     }
 

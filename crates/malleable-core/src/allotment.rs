@@ -29,7 +29,10 @@ impl Allotment {
         }
         for (task, &p) in processors.iter().enumerate() {
             if p == 0 || p > instance.processors() {
-                return Err(Error::InvalidAllotment { task, processors: p });
+                return Err(Error::InvalidAllotment {
+                    task,
+                    processors: p,
+                });
             }
         }
         Ok(Allotment { processors })
@@ -98,8 +101,7 @@ impl Allotment {
     /// The natural lower bound induced by this allotment on any schedule that
     /// uses it: `max(total work / m, longest task)`.
     pub fn makespan_lower_bound(&self, instance: &Instance) -> f64 {
-        (self.total_work(instance) / instance.processors() as f64)
-            .max(self.max_time(instance))
+        (self.total_work(instance) / instance.processors() as f64).max(self.max_time(instance))
     }
 
     /// Replace the processor count of one task, returning a new allotment.

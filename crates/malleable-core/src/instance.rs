@@ -112,12 +112,7 @@ impl Instance {
         for (id, task) in self.iter() {
             match task.canonical_processors(deadline) {
                 Some(p) => allotment.push(p),
-                None => {
-                    return Err(Error::DeadlineUnreachable {
-                        task: id,
-                        deadline,
-                    })
-                }
+                None => return Err(Error::DeadlineUnreachable { task: id, deadline }),
             }
         }
         Ok(allotment)
@@ -144,8 +139,7 @@ mod tests {
             Error::EmptyInstance
         );
         assert_eq!(
-            Instance::from_profiles(vec![SpeedupProfile::sequential(1.0).unwrap()], 0)
-                .unwrap_err(),
+            Instance::from_profiles(vec![SpeedupProfile::sequential(1.0).unwrap()], 0).unwrap_err(),
             Error::NoProcessors
         );
     }
@@ -184,6 +178,9 @@ mod tests {
     fn unknown_task_is_reported() {
         let inst = simple_instance();
         assert!(inst.try_task(2).is_ok());
-        assert_eq!(inst.try_task(3).unwrap_err(), Error::UnknownTask { task: 3 });
+        assert_eq!(
+            inst.try_task(3).unwrap_err(),
+            Error::UnknownTask { task: 3 }
+        );
     }
 }

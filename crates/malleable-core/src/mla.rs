@@ -37,19 +37,11 @@ use crate::list::{schedule_rigid, ListOrder};
 use crate::schedule::Schedule;
 
 /// The malleable list algorithm as a dual approximation oracle.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct MalleableListAlgorithm {
     /// Optional override of the allotment threshold factor `θ` (must be ≥ 1).
     /// `None` selects the provable default `θ(m) = 2m/(m+1)`.
     pub threshold_override: Option<f64>,
-}
-
-impl Default for MalleableListAlgorithm {
-    fn default() -> Self {
-        MalleableListAlgorithm {
-            threshold_override: None,
-        }
-    }
 }
 
 impl MalleableListAlgorithm {
@@ -71,7 +63,11 @@ impl MalleableListAlgorithm {
     /// Build the §3.1 schedule (parallel tasks first, then LPT) for `ω`.
     pub fn build(&self, instance: &Instance, omega: f64) -> Result<Schedule> {
         let allotment = self.allotment(instance, omega)?;
-        Ok(schedule_rigid(instance, &allotment, ListOrder::ParallelFirst))
+        Ok(schedule_rigid(
+            instance,
+            &allotment,
+            ListOrder::ParallelFirst,
+        ))
     }
 }
 

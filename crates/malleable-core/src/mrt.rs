@@ -199,8 +199,7 @@ impl MrtScheduler {
         let m = instance.processors();
         let area = canonical.lambda_area(m);
         report.lambda_area = Some(area);
-        report.area_condition =
-            Some(area <= self.list_lambda * m as f64 * omega + 1e-9);
+        report.area_condition = Some(area <= self.list_lambda * m as f64 * omega + 1e-9);
 
         let mut best: Option<(Schedule, Branch)> = None;
         let mut consider = |schedule: Schedule, branch: Branch| match &best {
@@ -416,7 +415,11 @@ mod tests {
         assert!(result.schedule.validate(&inst).is_ok());
         // LPT on these durations is within 4/3 of the optimum; the MRT result
         // must not be worse than that.
-        assert!(result.ratio() <= 4.0 / 3.0 + 0.05, "ratio {}", result.ratio());
+        assert!(
+            result.ratio() <= 4.0 / 3.0 + 0.05,
+            "ratio {}",
+            result.ratio()
+        );
     }
 
     #[test]

@@ -67,8 +67,7 @@ impl ScheduledTask {
 
     /// Whether this placement overlaps another in both time and processors.
     pub fn conflicts_with(&self, other: &ScheduledTask) -> bool {
-        let time_overlap =
-            self.start < other.finish() - 1e-9 && other.start < self.finish() - 1e-9;
+        let time_overlap = self.start < other.finish() - 1e-9 && other.start < self.finish() - 1e-9;
         time_overlap && self.processors.overlaps(&other.processors)
     }
 }

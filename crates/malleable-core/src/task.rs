@@ -267,7 +267,10 @@ mod tests {
 
     #[test]
     fn rejects_empty_and_invalid_times() {
-        assert_eq!(SpeedupProfile::new(vec![]).unwrap_err(), Error::EmptyProfile);
+        assert_eq!(
+            SpeedupProfile::new(vec![]).unwrap_err(),
+            Error::EmptyProfile
+        );
         assert!(matches!(
             SpeedupProfile::new(vec![1.0, 0.0]).unwrap_err(),
             Error::InvalidTime { processors: 2, .. }

@@ -104,11 +104,7 @@ pub struct Partition {
 
 impl Partition {
     /// Compute the partition for a canonical allotment and a given λ.
-    pub fn compute(
-        instance: &Instance,
-        canonical: &CanonicalAllotment,
-        lambda: f64,
-    ) -> Partition {
+    pub fn compute(instance: &Instance, canonical: &CanonicalAllotment, lambda: f64) -> Partition {
         let omega = canonical.omega;
         let m = instance.processors() as i64;
         let mut t1 = Vec::new();
@@ -217,12 +213,13 @@ pub fn build_with_canonical(
 
     // The second shelf must at least hold the medium and small tasks.
     if partition.shelf2_capacity < 0 {
-        return try_trivial(instance, canonical, &partition, lambda)
-            .map(|(schedule, gamma)| TwoShelfSchedule {
+        return try_trivial(instance, canonical, &partition, lambda).map(|(schedule, gamma)| {
+            TwoShelfSchedule {
                 schedule,
                 kind: TwoShelfKind::Trivial,
                 gamma,
-            });
+            }
+        });
     }
 
     // Minimal processor count running each T1 task within λ·ω (shelf 2 width).
@@ -274,11 +271,7 @@ pub fn build_with_canonical(
 
     let primal = knapsack::solve(&items, capacity, params.strategy);
     if primal.profit >= target {
-        let gamma: Vec<TaskId> = primal
-            .selected
-            .iter()
-            .map(|&i| item_tasks[i].1)
-            .collect();
+        let gamma: Vec<TaskId> = primal.selected.iter().map(|&i| item_tasks[i].1).collect();
         let schedule = assemble(instance, canonical, &partition, &gamma, &d, lambda)?;
         return Some(TwoShelfSchedule {
             schedule,
@@ -606,8 +599,8 @@ mod tests {
         // One giant task taking the whole machine canonically plus tiny tasks:
         // moving the giant task to shelf 2 (still on all processors, compressed
         // in time) is the trivial solution.
-        let giant = SpeedupProfile::new(vec![5.0, 2.55, 1.72, 1.3, 1.05, 0.88, 0.76, 0.67])
-            .unwrap();
+        let giant =
+            SpeedupProfile::new(vec![5.0, 2.55, 1.72, 1.3, 1.05, 0.88, 0.76, 0.67]).unwrap();
         let inst = Instance::from_profiles(
             vec![
                 giant,

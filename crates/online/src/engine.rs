@@ -1,0 +1,424 @@
+//! The event-driven online scheduling engine.
+//!
+//! The engine replays an [`ArrivalTrace`] against a policy: arrivals enter a
+//! pending queue, the policy decides when the queue is planned and commits
+//! placements into the [`MachineState`], and every commitment schedules a
+//! completion event.  Epoch-driven policies additionally receive tick events
+//! on their epoch grid (ticks are only scheduled while work is pending, so
+//! the event loop always terminates).
+//!
+//! The output is a single [`Schedule`] over the whole trace on the global
+//! timeline — directly checkable by `simulator::validate` against the
+//! trace's offline instance, plus the release-date condition specific to the
+//! online setting ([`validate_against_trace`]).
+
+use crate::event::{EventKind, EventQueue};
+use crate::machine::MachineState;
+use crate::policy::{Commitment, OnlinePolicy, PendingTask, Trigger};
+use malleable_core::prelude::*;
+use workload::ArrivalTrace;
+
+/// The outcome of one engine run.
+#[derive(Debug, Clone)]
+pub struct OnlineResult {
+    /// Name of the policy that produced the run.
+    pub policy: String,
+    /// The committed schedule on the global timeline (task `j` = arrival `j`).
+    pub schedule: Schedule,
+    /// Completion time of the last task.
+    pub makespan: f64,
+    /// Mean flow time (completion − arrival) over all tasks.
+    pub mean_flow_time: f64,
+    /// Largest flow time over all tasks.
+    pub max_flow_time: f64,
+    /// Number of events processed.
+    pub events: usize,
+    /// Number of planning rounds (policy `plan` invocations).
+    pub replans: usize,
+}
+
+impl OnlineResult {
+    /// Machine utilisation over the makespan horizon.
+    pub fn utilization(&self) -> f64 {
+        self.schedule.utilization()
+    }
+}
+
+/// Run a policy over a trace.
+pub fn run(trace: &ArrivalTrace, policy: &mut dyn OnlinePolicy) -> Result<OnlineResult> {
+    let instance = trace.instance()?;
+    let mut machine = MachineState::new(instance.processors());
+    let mut queue = EventQueue::new();
+    for (index, arrival) in trace.arrivals().iter().enumerate() {
+        queue.push(arrival.at, EventKind::Arrival(index));
+    }
+
+    let mut pending: Vec<PendingTask> = Vec::new();
+    let mut schedule = Schedule::new(instance.processors());
+    let mut flow_sum = 0.0f64;
+    let mut flow_max = 0.0f64;
+    let mut events = 0usize;
+    let mut replans = 0usize;
+    let mut tick_scheduled = false;
+
+    let mut record = |commitments: Vec<Commitment>,
+                      schedule: &mut Schedule,
+                      trace: &ArrivalTrace|
+     -> Result<()> {
+        for c in commitments {
+            let arrived_at = trace.arrivals()[c.task].at;
+            if c.start < arrived_at - 1e-9 {
+                // A correct policy can never commit into a task's past; treat
+                // it as a hard model violation rather than a bad schedule.
+                return Err(Error::InvalidParameter {
+                    name: "start-before-arrival",
+                    value: c.start,
+                });
+            }
+            schedule.push(ScheduledTask {
+                task: c.task,
+                start: c.start,
+                duration: c.duration,
+                processors: ProcessorRange::new(c.first, c.count),
+            });
+            let flow = c.start + c.duration - arrived_at;
+            flow_sum += flow;
+            flow_max = flow_max.max(flow);
+        }
+        Ok(())
+    };
+
+    while let Some(event) = queue.pop() {
+        events += 1;
+        machine.advance_to(event.time);
+        let trigger = match event.kind {
+            EventKind::Arrival(index) => {
+                pending.push(PendingTask {
+                    id: index,
+                    arrived_at: event.time,
+                });
+                Trigger::Arrival
+            }
+            EventKind::Completion(_) => {
+                machine.complete_one();
+                Trigger::Completion
+            }
+            EventKind::EpochTick => {
+                tick_scheduled = false;
+                Trigger::EpochTick
+            }
+        };
+
+        if !pending.is_empty() && policy.should_plan(trigger, &machine) {
+            let commitments = policy.plan(&instance, &pending, &mut machine)?;
+            replans += 1;
+            pending.clear();
+            for c in &commitments {
+                queue.push(c.start + c.duration, EventKind::Completion(c.task));
+            }
+            record(commitments, &mut schedule, trace)?;
+        }
+
+        // Keep the epoch clock running only while there is work left to plan:
+        // a tick fires on the first grid point after `now`.
+        if let Some(period) = policy.epoch() {
+            if !pending.is_empty() && !tick_scheduled {
+                let now = machine.now();
+                let next = (now / period).floor() * period + period;
+                queue.push(next, EventKind::EpochTick);
+                tick_scheduled = true;
+            }
+        }
+    }
+
+    // Defensive: a policy that never planned its last tasks would leave the
+    // queue non-empty here (no such policy ships, but fail loudly if one
+    // appears).
+    if !pending.is_empty() {
+        return Err(Error::NoFeasibleSchedule);
+    }
+
+    let task_count = trace.len() as f64;
+    Ok(OnlineResult {
+        policy: policy.name(),
+        makespan: schedule.makespan(),
+        mean_flow_time: flow_sum / task_count,
+        max_flow_time: flow_max,
+        events,
+        replans,
+        schedule,
+    })
+}
+
+/// Validate an online schedule against its trace: the structural checks of
+/// `simulator::validate` on the offline instance, plus the release-date
+/// condition (no task may start before it arrived).  Returns human-readable
+/// violation messages (empty = valid).
+///
+/// Unlike the simulator's all-pairs overlap check this runs in
+/// `O(n·m + n·m·log n)` (a per-processor interval sweep), so it stays usable
+/// on traces with tens of thousands of tasks; on small schedules both
+/// validators agree (cross-checked in the integration tests).
+pub fn validate_against_trace(trace: &ArrivalTrace, schedule: &Schedule) -> Vec<String> {
+    let mut messages = Vec::new();
+    let instance = match trace.instance() {
+        Ok(instance) => instance,
+        Err(error) => {
+            messages.push(format!("trace has no offline instance: {error}"));
+            return messages;
+        }
+    };
+
+    let m = instance.processors();
+    if schedule.processors() != m {
+        messages.push(format!(
+            "schedule targets {} processors, the trace machine has {m}",
+            schedule.processors()
+        ));
+    }
+    let n = instance.task_count();
+    let mut seen = vec![0usize; n];
+    // (start, finish, task) intervals per processor for the overlap sweep.
+    let mut per_processor: Vec<Vec<(f64, f64, usize)>> = vec![Vec::new(); m];
+
+    for entry in schedule.entries() {
+        if entry.task >= n {
+            messages.push(format!("task {} does not exist", entry.task));
+            continue;
+        }
+        seen[entry.task] += 1;
+        if entry.processors.end() > m {
+            messages.push(format!(
+                "task {} uses processors [{}, {}) beyond the machine",
+                entry.task,
+                entry.processors.first,
+                entry.processors.end()
+            ));
+            continue;
+        }
+        if !(entry.start.is_finite() && entry.start >= -1e-12) {
+            messages.push(format!(
+                "task {} has invalid start time {}",
+                entry.task, entry.start
+            ));
+        }
+        let expected = instance.time(entry.task, entry.processors.count);
+        if (expected - entry.duration).abs() > 1e-6 {
+            messages.push(format!(
+                "task {} records duration {} but its profile gives {expected}",
+                entry.task, entry.duration
+            ));
+        }
+        if entry.start < trace.arrivals()[entry.task].at - 1e-9 {
+            messages.push(format!(
+                "task {} starts at {} before its arrival at {}",
+                entry.task,
+                entry.start,
+                trace.arrivals()[entry.task].at
+            ));
+        }
+        for intervals in &mut per_processor[entry.processors.first..entry.processors.end()] {
+            intervals.push((entry.start, entry.finish(), entry.task));
+        }
+    }
+
+    for (task, &count) in seen.iter().enumerate() {
+        if count == 0 {
+            messages.push(format!("task {task} is not scheduled"));
+        } else if count > 1 {
+            messages.push(format!("task {task} is scheduled {count} times"));
+        }
+    }
+
+    for (processor, intervals) in per_processor.iter_mut().enumerate() {
+        intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for pair in intervals.windows(2) {
+            let (_, finish, first_task) = pair[0];
+            let (start, _, second_task) = pair[1];
+            if start < finish - 1e-9 {
+                messages.push(format!(
+                    "tasks {first_task} and {second_task} overlap on processor {processor}"
+                ));
+            }
+        }
+    }
+
+    messages
+}
+
+/// Offline-vs-online comparison for one run: the competitive-ratio surface
+/// the benchmark suite tracks.
+#[derive(Debug, Clone)]
+pub struct CompetitiveReport {
+    /// Makespan of the online run.
+    pub online_makespan: f64,
+    /// Makespan of the offline MRT scheduler on the same task set, all tasks
+    /// released at time 0 (a clairvoyant √3-approximate baseline).
+    pub offline_makespan: f64,
+    /// Certified lower bound on the offline optimum (dual-search
+    /// certificate); every online makespan is ≥ this value.
+    pub certified_lower_bound: f64,
+    /// Arrival time of the last task (no online schedule can beat it plus
+    /// the task's best execution time).
+    pub last_arrival: f64,
+    /// `online_makespan / offline_makespan`.
+    pub ratio_vs_offline: f64,
+    /// `online_makespan / certified_lower_bound`.
+    pub ratio_vs_lower_bound: f64,
+}
+
+/// Compare an online result against the offline MRT run on the same tasks.
+pub fn competitive_report(
+    trace: &ArrivalTrace,
+    result: &OnlineResult,
+) -> Result<CompetitiveReport> {
+    let instance = trace.instance()?;
+    let offline = malleable_core::mrt::schedule(&instance)?;
+    let offline_makespan = offline.schedule.makespan();
+    let lb = offline.certified_lower_bound;
+    Ok(CompetitiveReport {
+        online_makespan: result.makespan,
+        offline_makespan,
+        certified_lower_bound: lb,
+        last_arrival: trace.last_arrival(),
+        ratio_vs_offline: result.makespan / offline_makespan,
+        ratio_vs_lower_bound: result.makespan / lb,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{BatchUntilIdle, EpochReplan, GreedyList, OfflineSolver, PolicyKind};
+    use workload::{Arrival, ArrivalPattern, ArrivalTrace, TraceConfig, WorkloadConfig};
+
+    fn sequential_trace(times: &[(f64, f64)], processors: usize) -> ArrivalTrace {
+        let arrivals = times
+            .iter()
+            .map(|&(at, duration)| Arrival {
+                at,
+                task: MalleableTask::new(SpeedupProfile::sequential(duration).unwrap()),
+            })
+            .collect();
+        ArrivalTrace::new(processors, arrivals).unwrap()
+    }
+
+    fn poisson_trace(tasks: usize, processors: usize, rate: f64, seed: u64) -> ArrivalTrace {
+        ArrivalTrace::generate(&TraceConfig {
+            workload: WorkloadConfig::mixed(tasks, processors, seed),
+            pattern: ArrivalPattern::Poisson { rate },
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn greedy_schedules_each_arrival_immediately() {
+        // Two unit tasks on two processors arriving together: both start on
+        // arrival, in parallel.
+        let trace = sequential_trace(&[(1.0, 2.0), (1.0, 2.0)], 2);
+        let result = run(&trace, &mut GreedyList).unwrap();
+        assert!((result.makespan - 3.0).abs() < 1e-9);
+        assert!(validate_against_trace(&trace, &result.schedule).is_empty());
+        assert_eq!(result.replans, 2);
+        assert!((result.mean_flow_time - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn epoch_policy_batches_on_the_grid() {
+        // Arrivals at 0.2 and 0.4; epoch period 1.0 → both planned at t=1.
+        let trace = sequential_trace(&[(0.2, 1.0), (0.4, 1.0)], 2);
+        let mut policy = EpochReplan::mrt(1.0).unwrap();
+        let result = run(&trace, &mut policy).unwrap();
+        assert_eq!(result.replans, 1);
+        // Both run in parallel starting at the epoch boundary.
+        assert!((result.makespan - 2.0).abs() < 1e-9);
+        for entry in result.schedule.entries() {
+            assert!(entry.start >= 1.0 - 1e-9);
+        }
+        assert!(validate_against_trace(&trace, &result.schedule).is_empty());
+    }
+
+    #[test]
+    fn batch_policy_waits_for_the_machine_to_drain() {
+        // Task A arrives at 0 (runs 4s); B and C arrive at 1 and must wait
+        // until A completes, then run as one batch.
+        let trace = sequential_trace(&[(0.0, 4.0), (1.0, 1.0), (1.0, 1.0)], 2);
+        let mut policy = BatchUntilIdle::default();
+        let result = run(&trace, &mut policy).unwrap();
+        assert_eq!(result.replans, 2);
+        let entries = result.schedule.entries();
+        assert!((entries[0].start - 0.0).abs() < 1e-9);
+        for entry in &entries[1..] {
+            assert!((entry.start - 4.0).abs() < 1e-9, "batch starts when idle");
+        }
+        assert!((result.makespan - 5.0).abs() < 1e-9);
+        assert!(validate_against_trace(&trace, &result.schedule).is_empty());
+    }
+
+    #[test]
+    fn all_policies_produce_valid_schedules_on_random_traces() {
+        let trace = poisson_trace(60, 8, 4.0, 17);
+        let offline = malleable_core::mrt::schedule(&trace.instance().unwrap()).unwrap();
+        for kind in [
+            PolicyKind::Greedy,
+            PolicyKind::Epoch {
+                period: 1.0,
+                solver: OfflineSolver::Mrt,
+            },
+            PolicyKind::Epoch {
+                period: 0.5,
+                solver: OfflineSolver::TwoPhase,
+            },
+            PolicyKind::Batch {
+                solver: OfflineSolver::CanonicalList,
+            },
+        ] {
+            let mut policy = kind.build().unwrap();
+            let result = run(&trace, policy.as_mut()).unwrap();
+            let violations = validate_against_trace(&trace, &result.schedule);
+            assert!(violations.is_empty(), "{}: {violations:?}", result.policy);
+            // The sweep validator must agree with the simulator's strict
+            // all-pairs validator.
+            let report =
+                simulator::validate_schedule(&trace.instance().unwrap(), &result.schedule, None);
+            assert!(
+                report.is_valid(),
+                "{}: {:?}",
+                result.policy,
+                report.violations
+            );
+            // No online schedule can beat the certified offline lower bound.
+            assert!(
+                result.makespan >= offline.certified_lower_bound - 1e-9,
+                "{} beat the offline lower bound",
+                result.policy
+            );
+            assert_eq!(result.schedule.len(), trace.len());
+        }
+    }
+
+    #[test]
+    fn competitive_report_is_consistent() {
+        let trace = poisson_trace(40, 8, 2.0, 3);
+        let mut policy = EpochReplan::mrt(1.0).unwrap();
+        let result = run(&trace, &mut policy).unwrap();
+        let report = competitive_report(&trace, &result).unwrap();
+        assert!(report.ratio_vs_lower_bound >= 1.0 - 1e-9);
+        assert!(report.ratio_vs_offline.is_finite());
+        assert!(report.online_makespan >= report.certified_lower_bound - 1e-9);
+        assert!(report.last_arrival > 0.0);
+    }
+
+    #[test]
+    fn ticks_do_not_leak_beyond_the_horizon() {
+        // A single arrival: the epoch policy must fire exactly one tick and
+        // terminate (no unbounded tick chain).
+        let trace = sequential_trace(&[(0.3, 1.0)], 1);
+        let mut policy = EpochReplan::mrt(0.25).unwrap();
+        let result = run(&trace, &mut policy).unwrap();
+        assert_eq!(result.replans, 1);
+        // arrival + one tick + one completion
+        assert_eq!(result.events, 3);
+        assert!((result.makespan - 1.5).abs() < 1e-9);
+    }
+}

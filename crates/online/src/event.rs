@@ -1,0 +1,162 @@
+//! The engine's event queue: a binary min-heap over timestamped events.
+//!
+//! Three event kinds drive the engine: task arrivals, task completions and
+//! epoch ticks.  Events at the same timestamp are ordered *completion →
+//! arrival → tick* so that an epoch tick observes the fully updated machine
+//! state (finished tasks released, simultaneous arrivals enqueued), and ties
+//! beyond that are broken by insertion order, keeping runs deterministic.
+
+use malleable_core::TaskId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A committed task finished (payload: its global task id).
+    Completion(TaskId),
+    /// Arrival `index` of the trace became available.
+    Arrival(usize),
+    /// An epoch boundary of an epoch-driven policy.
+    EpochTick,
+}
+
+impl EventKind {
+    /// Rank applied among events with equal timestamps.
+    fn rank(&self) -> u8 {
+        match self {
+            EventKind::Completion(_) => 0,
+            EventKind::Arrival(_) => 1,
+            EventKind::EpochTick => 2,
+        }
+    }
+}
+
+/// A timestamped event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// When the event fires.
+    pub time: f64,
+    /// What fires.
+    pub kind: EventKind,
+    /// Insertion sequence number (final tie-break).
+    seq: u64,
+}
+
+impl Eq for Event {}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, the queue needs the earliest
+        // event on top.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.kind.rank().cmp(&self.kind.rank()))
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The min-heap of future events.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule an event.
+    pub fn push(&mut self, time: f64, kind: EventKind) {
+        assert!(time.is_finite() && time >= 0.0, "invalid event time {time}");
+        self.heap.push(Event {
+            time,
+            kind,
+            seq: self.next_seq,
+        });
+        self.next_seq += 1;
+    }
+
+    /// Remove and return the earliest event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Timestamp of the earliest event, if any.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(2.0, EventKind::Arrival(0));
+        q.push(0.5, EventKind::Arrival(1));
+        q.push(1.0, EventKind::Completion(7));
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|e| e.time).collect();
+        assert_eq!(order, vec![0.5, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn equal_times_order_completion_arrival_tick() {
+        let mut q = EventQueue::new();
+        q.push(1.0, EventKind::EpochTick);
+        q.push(1.0, EventKind::Arrival(3));
+        q.push(1.0, EventKind::Completion(9));
+        let kinds: Vec<EventKind> = std::iter::from_fn(|| q.pop()).map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                EventKind::Completion(9),
+                EventKind::Arrival(3),
+                EventKind::EpochTick
+            ]
+        );
+    }
+
+    #[test]
+    fn insertion_order_breaks_remaining_ties() {
+        let mut q = EventQueue::new();
+        q.push(1.0, EventKind::Arrival(0));
+        q.push(1.0, EventKind::Arrival(1));
+        q.push(1.0, EventKind::Arrival(2));
+        let ids: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Arrival(i) => i,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid event time")]
+    fn non_finite_times_are_rejected() {
+        EventQueue::new().push(f64::NAN, EventKind::EpochTick);
+    }
+}

@@ -1,0 +1,71 @@
+//! # online
+//!
+//! An event-driven **online scheduling engine** for monotone malleable
+//! tasks: tasks arrive over time (see [`workload::ArrivalTrace`]) and the
+//! engine commits non-preemptive, contiguous placements as the trace
+//! unfolds, re-using the offline solvers of `malleable_core` and
+//! `baselines` as planning oracles.
+//!
+//! The offline model of the paper (Mounié–Rapine–Trystram, SPAA 1999)
+//! solves one fixed task set; a production scheduler instead faces a stream
+//! of submissions.  The classical bridge is batch-mode scheduling: collect
+//! what arrived, solve it offline, commit, repeat — each planning round
+//! inherits the offline √3 guarantee on its own batch.  This crate
+//! implements that bridge as an event loop with pluggable policies:
+//!
+//! * [`policy::GreedyList`] — immediate list scheduling on arrival;
+//! * [`policy::EpochReplan`] — periodic offline re-planning (MRT, Ludwig
+//!   two-phase or canonical-list solvers);
+//! * [`policy::BatchUntilIdle`] — plan a whole batch whenever the machine
+//!   drains.
+//!
+//! ## Quick start
+//!
+//! ```rust
+//! use online::policy::EpochReplan;
+//! use workload::{ArrivalPattern, ArrivalTrace, TraceConfig, WorkloadConfig};
+//!
+//! // 40 mixed tasks arriving as a Poisson stream on 8 processors.
+//! let trace = ArrivalTrace::generate(&TraceConfig {
+//!     workload: WorkloadConfig::mixed(40, 8, 7),
+//!     pattern: ArrivalPattern::Poisson { rate: 4.0 },
+//! })
+//! .unwrap();
+//!
+//! // Re-plan with the offline √3 scheduler once per time unit.
+//! let mut policy = EpochReplan::mrt(1.0).unwrap();
+//! let result = online::run(&trace, &mut policy).unwrap();
+//!
+//! // The committed schedule is a plain offline schedule over all tasks …
+//! assert!(online::validate_against_trace(&trace, &result.schedule).is_empty());
+//! // … and can be compared against the clairvoyant offline run.
+//! let report = online::competitive_report(&trace, &result).unwrap();
+//! assert!(report.ratio_vs_lower_bound >= 1.0 - 1e-9);
+//! ```
+//!
+//! ## Model and guarantees
+//!
+//! Commitments are irrevocable (no preemption, no re-allotment).  Planning
+//! rounds keep the offline schedule's allotments and priorities but replay
+//! them onto the live processor frontier, so a batch interleaves with the
+//! tail of the previous one instead of waiting behind a barrier.  The
+//! makespan of any run is at least the offline optimum of the full task set,
+//! and the `ratio_vs_lower_bound` of [`CompetitiveReport`] measures the
+//! price of online operation against the dual-search certificate.
+//! Backfilling into idle holes below the frontier, task departures and
+//! preemptive re-planning are tracked as follow-on work in the ROADMAP.
+
+pub mod engine;
+pub mod event;
+pub mod machine;
+pub mod policy;
+
+pub use engine::{
+    competitive_report, run, validate_against_trace, CompetitiveReport, OnlineResult,
+};
+pub use event::{Event, EventKind, EventQueue};
+pub use machine::{MachineState, Placement};
+pub use policy::{
+    BatchUntilIdle, Commitment, EpochReplan, GreedyList, OfflineSolver, OnlinePolicy, PendingTask,
+    PolicyKind, Trigger,
+};

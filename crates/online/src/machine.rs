@@ -1,0 +1,187 @@
+//! Incremental machine state: the committed frontier of every processor.
+//!
+//! The engine never revokes a commitment (non-preemptive model, like the
+//! paper's), so the machine is fully described by a per-processor "busy
+//! until" frontier — exactly the [`packing::ProcessorTimeline`] the offline
+//! list algorithms use — plus the simulation clock and the number of
+//! committed-but-unfinished tasks.  As the clock advances, the frontier of
+//! idle processors is pulled up to *now*: the past cannot be scheduled into.
+//!
+//! The read-only accessors (`now`, `is_idle`, `unfinished`, `free_horizon`,
+//! `earliest_start`) are the observability surface handed to
+//! [`crate::policy::OnlinePolicy::should_plan`] implementations: the shipped
+//! policies only need `is_idle`, but custom policies (e.g. "re-plan when the
+//! backlog horizon exceeds a threshold") decide on the rest.
+
+use packing::timeline::{ProcessorTimeline, TieBreak};
+
+/// The machine as seen by an online policy at a decision point.
+#[derive(Debug, Clone)]
+pub struct MachineState {
+    timeline: ProcessorTimeline,
+    now: f64,
+    unfinished: usize,
+}
+
+/// A placement chosen by [`MachineState::place_earliest`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Placement {
+    /// First processor of the contiguous block.
+    pub first: usize,
+    /// Number of processors.
+    pub count: usize,
+    /// Start time (never before the current clock).
+    pub start: f64,
+}
+
+impl MachineState {
+    /// A fresh machine with `processors` idle processors at time 0.
+    pub fn new(processors: usize) -> Self {
+        MachineState {
+            timeline: ProcessorTimeline::new(processors),
+            now: 0.0,
+            unfinished: 0,
+        }
+    }
+
+    /// Number of processors.
+    pub fn processors(&self) -> usize {
+        self.timeline.processors()
+    }
+
+    /// The simulation clock.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Whether no committed task is still unfinished.
+    pub fn is_idle(&self) -> bool {
+        self.unfinished == 0
+    }
+
+    /// Number of committed-but-unfinished tasks.
+    pub fn unfinished(&self) -> usize {
+        self.unfinished
+    }
+
+    /// The earliest time every current commitment is finished — the horizon
+    /// after which the whole machine is free.
+    pub fn free_horizon(&self) -> f64 {
+        self.timeline.makespan().max(self.now)
+    }
+
+    /// Advance the clock (monotone).  Idle processors' frontiers are pulled
+    /// up to the new time: schedules can never start in the past.
+    pub fn advance_to(&mut self, time: f64) {
+        assert!(
+            time >= self.now - 1e-9,
+            "clock must be monotone: now = {}, asked {time}",
+            self.now
+        );
+        if time > self.now {
+            self.now = time;
+            self.timeline.advance_all_to(time);
+        }
+    }
+
+    /// Earliest finish-time placement for a task needing `count` contiguous
+    /// processors for `duration` time, committed immediately.
+    pub fn place_earliest(&mut self, count: usize, duration: f64) -> Placement {
+        let window = self
+            .timeline
+            .earliest_window(count, TieBreak::PaperConvention);
+        self.timeline
+            .commit(window.first, count, window.start, duration);
+        self.unfinished += 1;
+        Placement {
+            first: window.first,
+            count,
+            start: window.start,
+        }
+    }
+
+    /// The start time [`MachineState::place_earliest`] would choose for a
+    /// `count`-processor task, without committing.
+    pub fn earliest_start(&self, count: usize) -> f64 {
+        self.timeline
+            .earliest_window(count, TieBreak::PaperConvention)
+            .start
+    }
+
+    /// Commit a task at an explicit position (used when mapping an offline
+    /// shelf schedule onto the machine).  Panics if the placement would
+    /// overlap an existing commitment or start in the past.
+    pub fn commit_at(&mut self, first: usize, count: usize, start: f64, duration: f64) {
+        assert!(
+            start >= self.now - 1e-9,
+            "commitment starts at {start}, before the clock {}",
+            self.now
+        );
+        self.timeline.commit(first, count, start, duration);
+        self.unfinished += 1;
+    }
+
+    /// Record the completion of one committed task.
+    pub fn complete_one(&mut self) {
+        assert!(self.unfinished > 0, "completion without a commitment");
+        self.unfinished -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances_and_blocks_the_past() {
+        let mut machine = MachineState::new(4);
+        machine.advance_to(2.0);
+        assert_eq!(machine.now(), 2.0);
+        let placement = machine.place_earliest(2, 1.0);
+        assert!(placement.start >= 2.0);
+        assert_eq!(machine.unfinished(), 1);
+    }
+
+    #[test]
+    fn free_horizon_tracks_commitments() {
+        let mut machine = MachineState::new(2);
+        assert_eq!(machine.free_horizon(), 0.0);
+        machine.commit_at(0, 2, 0.0, 3.0);
+        assert_eq!(machine.free_horizon(), 3.0);
+        machine.advance_to(1.0);
+        assert_eq!(machine.free_horizon(), 3.0);
+        machine.advance_to(5.0);
+        assert_eq!(machine.free_horizon(), 5.0);
+    }
+
+    #[test]
+    fn idle_flag_follows_completions() {
+        let mut machine = MachineState::new(2);
+        assert!(machine.is_idle());
+        machine.place_earliest(1, 1.0);
+        machine.place_earliest(1, 2.0);
+        assert!(!machine.is_idle());
+        machine.complete_one();
+        assert!(!machine.is_idle());
+        machine.complete_one();
+        assert!(machine.is_idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "before the clock")]
+    fn past_commitments_are_rejected() {
+        let mut machine = MachineState::new(2);
+        machine.advance_to(4.0);
+        machine.commit_at(0, 1, 1.0, 1.0);
+    }
+
+    #[test]
+    fn earliest_start_matches_place_earliest() {
+        let mut machine = MachineState::new(3);
+        machine.place_earliest(3, 2.0);
+        let probe = machine.earliest_start(2);
+        let placement = machine.place_earliest(2, 1.0);
+        assert_eq!(probe, placement.start);
+        assert_eq!(probe, 2.0);
+    }
+}

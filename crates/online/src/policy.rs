@@ -1,0 +1,443 @@
+//! Pluggable online scheduling policies.
+//!
+//! A policy answers two questions for the engine: *when* should the pending
+//! queue be planned (in reaction to which events), and *how* are the pending
+//! tasks mapped onto the machine.  Three policies are provided:
+//!
+//! * [`GreedyList`] — plan every task the moment it arrives, at the
+//!   processor count minimising its completion time on the current frontier
+//!   (the online analogue of the §3 list algorithms);
+//! * [`EpochReplan`] — collect arrivals and re-plan on a fixed epoch grid by
+//!   invoking an offline solver on the whole pending set, committing its
+//!   shelf schedule after the machine's free horizon;
+//! * [`BatchUntilIdle`] — collect arrivals while the machine is busy and
+//!   plan the whole batch the instant it drains (the classical batch-mode
+//!   online-to-offline reduction, as in Shmoys–Wein–Williamson).
+
+use crate::machine::MachineState;
+use malleable_core::prelude::*;
+
+/// Which offline solver an offline-driven policy invokes on the pending set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OfflineSolver {
+    /// The paper's combined √3 dual-approximation scheduler.
+    #[default]
+    Mrt,
+    /// The Ludwig-style two-phase baseline (TWY allotment + FFDH).
+    TwoPhase,
+    /// Canonical allotment at the guaranteed-feasible bound + contiguous
+    /// list scheduling.
+    CanonicalList,
+}
+
+impl OfflineSolver {
+    /// Stable name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OfflineSolver::Mrt => "mrt",
+            OfflineSolver::TwoPhase => "ludwig",
+            OfflineSolver::CanonicalList => "list",
+        }
+    }
+
+    /// Solve an offline instance.
+    pub fn solve(&self, instance: &Instance) -> Result<Schedule> {
+        match self {
+            OfflineSolver::Mrt => Ok(MrtScheduler::default().schedule(instance)?.schedule),
+            OfflineSolver::TwoPhase => baselines::ludwig(instance),
+            OfflineSolver::CanonicalList => {
+                let omega = malleable_core::bounds::upper_bound(instance);
+                let allotment = Allotment::canonical(instance, omega)?;
+                Ok(schedule_rigid(
+                    instance,
+                    &allotment,
+                    ListOrder::DecreasingAllottedTime,
+                ))
+            }
+        }
+    }
+}
+
+/// A task waiting in the pending queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PendingTask {
+    /// Global task id (= arrival index of the trace).
+    pub id: TaskId,
+    /// When the task arrived.
+    pub arrived_at: f64,
+}
+
+/// One scheduling decision: a task pinned to a processor block and a start
+/// time.  Commitments are irrevocable (non-preemptive model).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Commitment {
+    /// Global task id.
+    pub task: TaskId,
+    /// Start time on the global timeline.
+    pub start: f64,
+    /// Execution time at the committed processor count.
+    pub duration: f64,
+    /// First processor of the contiguous block.
+    pub first: usize,
+    /// Number of processors.
+    pub count: usize,
+}
+
+/// The event class that triggered a planning opportunity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trigger {
+    /// A task arrived.
+    Arrival,
+    /// A committed task finished.
+    Completion,
+    /// An epoch boundary fired.
+    EpochTick,
+}
+
+/// An online scheduling policy.
+///
+/// The engine calls [`OnlinePolicy::should_plan`] after every event; when it
+/// returns `true` (and tasks are pending) it calls [`OnlinePolicy::plan`],
+/// which commits the pending tasks into the machine and returns the
+/// commitments for the engine to record.
+pub trait OnlinePolicy {
+    /// Human-readable name used in reports.
+    fn name(&self) -> String;
+
+    /// Epoch period, for policies driven by a periodic tick.
+    fn epoch(&self) -> Option<f64> {
+        None
+    }
+
+    /// Whether the pending queue should be planned in reaction to `trigger`.
+    fn should_plan(&self, trigger: Trigger, machine: &MachineState) -> bool;
+
+    /// Plan (and commit) every pending task.  Implementations must commit
+    /// each returned placement into `machine` and never start a task before
+    /// `machine.now()` or before its arrival.
+    fn plan(
+        &mut self,
+        instance: &Instance,
+        pending: &[PendingTask],
+        machine: &mut MachineState,
+    ) -> Result<Vec<Commitment>>;
+}
+
+/// Plan the pending set with an offline solver: build the sub-instance of
+/// pending tasks, solve it as if released together, then replay the offline
+/// schedule's allotments onto the live machine frontier in offline start
+/// order.
+///
+/// The offline schedule assumes an empty machine, so its placements cannot be
+/// committed verbatim while earlier commitments are still running.  Instead
+/// of a barrier shift past the free horizon (which idles the whole machine
+/// between planning rounds), each task keeps its offline *processor count*
+/// and *priority* and is list-scheduled onto the earliest contiguous window —
+/// the same engine the offline list algorithms use, so the replay is
+/// work-conserving with respect to the frontier and exactly reproduces the
+/// offline schedule when the machine is empty.
+fn plan_with_offline_solver(
+    solver: OfflineSolver,
+    instance: &Instance,
+    pending: &[PendingTask],
+    machine: &mut MachineState,
+) -> Result<Vec<Commitment>> {
+    let tasks: Vec<MalleableTask> = pending
+        .iter()
+        .map(|p| instance.task(p.id).clone())
+        .collect();
+    let sub_instance = Instance::new(tasks, machine.processors())?;
+    let offline = solver.solve(&sub_instance)?;
+
+    let mut entries: Vec<&ScheduledTask> = offline.entries().iter().collect();
+    // Replay in offline start order (ties: wider tasks first, then task id,
+    // for determinism), the priority the offline schedule chose.
+    entries.sort_by(|a, b| {
+        a.start
+            .total_cmp(&b.start)
+            .then(b.processors.count.cmp(&a.processors.count))
+            .then(a.task.cmp(&b.task))
+    });
+    let mut commitments = Vec::with_capacity(entries.len());
+    for entry in entries {
+        let placement = machine.place_earliest(entry.processors.count, entry.duration);
+        commitments.push(Commitment {
+            task: pending[entry.task].id,
+            start: placement.start,
+            duration: entry.duration,
+            first: placement.first,
+            count: entry.processors.count,
+        });
+    }
+    Ok(commitments)
+}
+
+/// Immediate list scheduling: every arrival is planned on the spot at the
+/// processor count minimising its completion time on the current frontier.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GreedyList;
+
+impl OnlinePolicy for GreedyList {
+    fn name(&self) -> String {
+        "greedy-list".to_string()
+    }
+
+    fn should_plan(&self, trigger: Trigger, _machine: &MachineState) -> bool {
+        trigger == Trigger::Arrival
+    }
+
+    fn plan(
+        &mut self,
+        instance: &Instance,
+        pending: &[PendingTask],
+        machine: &mut MachineState,
+    ) -> Result<Vec<Commitment>> {
+        let mut commitments = Vec::with_capacity(pending.len());
+        for task in pending {
+            let profile = &instance.task(task.id).profile;
+            let widest = profile.max_processors().min(machine.processors());
+            // Minimise the completion time over all processor counts; prefer
+            // the narrower count on ties (it wastes less work).
+            let mut best = (1usize, f64::INFINITY);
+            for count in 1..=widest {
+                let finish = machine.earliest_start(count) + profile.time(count);
+                if finish < best.1 - 1e-12 {
+                    best = (count, finish);
+                }
+            }
+            let (count, _) = best;
+            let placement = machine.place_earliest(count, profile.time(count));
+            commitments.push(Commitment {
+                task: task.id,
+                start: placement.start,
+                duration: profile.time(count),
+                first: placement.first,
+                count,
+            });
+        }
+        Ok(commitments)
+    }
+}
+
+/// Periodic re-planning: pending tasks are batched and solved offline on a
+/// fixed epoch grid.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochReplan {
+    /// Distance between epoch boundaries.
+    pub period: f64,
+    /// The offline solver invoked on every epoch's pending set.
+    pub solver: OfflineSolver,
+}
+
+impl EpochReplan {
+    /// An epoch policy with the given period, solving with the MRT scheduler.
+    pub fn mrt(period: f64) -> Result<Self> {
+        if !(period.is_finite() && period > 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "epoch",
+                value: period,
+            });
+        }
+        Ok(EpochReplan {
+            period,
+            solver: OfflineSolver::Mrt,
+        })
+    }
+
+    /// Same, with an explicit solver.
+    pub fn with_solver(period: f64, solver: OfflineSolver) -> Result<Self> {
+        Ok(EpochReplan {
+            solver,
+            ..Self::mrt(period)?
+        })
+    }
+}
+
+impl OnlinePolicy for EpochReplan {
+    fn name(&self) -> String {
+        format!("epoch-{}(d={})", self.solver.name(), self.period)
+    }
+
+    fn epoch(&self) -> Option<f64> {
+        Some(self.period)
+    }
+
+    fn should_plan(&self, trigger: Trigger, _machine: &MachineState) -> bool {
+        trigger == Trigger::EpochTick
+    }
+
+    fn plan(
+        &mut self,
+        instance: &Instance,
+        pending: &[PendingTask],
+        machine: &mut MachineState,
+    ) -> Result<Vec<Commitment>> {
+        plan_with_offline_solver(self.solver, instance, pending, machine)
+    }
+}
+
+/// Batch-mode scheduling: wait until the machine drains, then plan the whole
+/// accumulated batch offline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchUntilIdle {
+    /// The offline solver invoked on every batch.
+    pub solver: OfflineSolver,
+}
+
+impl OnlinePolicy for BatchUntilIdle {
+    fn name(&self) -> String {
+        format!("batch-idle({})", self.solver.name())
+    }
+
+    fn should_plan(&self, trigger: Trigger, machine: &MachineState) -> bool {
+        matches!(trigger, Trigger::Arrival | Trigger::Completion) && machine.is_idle()
+    }
+
+    fn plan(
+        &mut self,
+        instance: &Instance,
+        pending: &[PendingTask],
+        machine: &mut MachineState,
+    ) -> Result<Vec<Commitment>> {
+        plan_with_offline_solver(self.solver, instance, pending, machine)
+    }
+}
+
+/// A policy selection, convertible into a boxed policy (used by the CLI and
+/// the benchmark harness).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolicyKind {
+    /// [`GreedyList`].
+    Greedy,
+    /// [`EpochReplan`] with the given period and solver.
+    Epoch {
+        /// Epoch period.
+        period: f64,
+        /// Offline solver.
+        solver: OfflineSolver,
+    },
+    /// [`BatchUntilIdle`] with the given solver.
+    Batch {
+        /// Offline solver.
+        solver: OfflineSolver,
+    },
+}
+
+impl PolicyKind {
+    /// Instantiate the policy.
+    pub fn build(&self) -> Result<Box<dyn OnlinePolicy>> {
+        Ok(match *self {
+            PolicyKind::Greedy => Box::new(GreedyList),
+            PolicyKind::Epoch { period, solver } => {
+                Box::new(EpochReplan::with_solver(period, solver)?)
+            }
+            PolicyKind::Batch { solver } => Box::new(BatchUntilIdle { solver }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solver_names_are_stable() {
+        assert_eq!(OfflineSolver::Mrt.name(), "mrt");
+        assert_eq!(OfflineSolver::TwoPhase.name(), "ludwig");
+        assert_eq!(OfflineSolver::CanonicalList.name(), "list");
+    }
+
+    #[test]
+    fn every_offline_solver_produces_valid_schedules() {
+        let instance = Instance::from_profiles(
+            vec![
+                SpeedupProfile::linear(6.0, 4).unwrap(),
+                SpeedupProfile::new(vec![3.0, 1.8, 1.4]).unwrap(),
+                SpeedupProfile::sequential(1.0).unwrap(),
+            ],
+            4,
+        )
+        .unwrap();
+        for solver in [
+            OfflineSolver::Mrt,
+            OfflineSolver::TwoPhase,
+            OfflineSolver::CanonicalList,
+        ] {
+            let schedule = solver.solve(&instance).unwrap();
+            assert!(schedule.validate(&instance).is_ok(), "{}", solver.name());
+        }
+    }
+
+    #[test]
+    fn epoch_policy_rejects_bad_periods() {
+        assert!(EpochReplan::mrt(0.0).is_err());
+        assert!(EpochReplan::mrt(-1.0).is_err());
+        assert!(EpochReplan::mrt(f64::NAN).is_err());
+        assert!(EpochReplan::mrt(2.5).is_ok());
+    }
+
+    #[test]
+    fn policy_kinds_build_their_policies() {
+        assert_eq!(PolicyKind::Greedy.build().unwrap().name(), "greedy-list");
+        let epoch = PolicyKind::Epoch {
+            period: 2.0,
+            solver: OfflineSolver::Mrt,
+        };
+        assert_eq!(epoch.build().unwrap().name(), "epoch-mrt(d=2)");
+        assert_eq!(epoch.build().unwrap().epoch(), Some(2.0));
+        let batch = PolicyKind::Batch {
+            solver: OfflineSolver::TwoPhase,
+        };
+        assert_eq!(batch.build().unwrap().name(), "batch-idle(ludwig)");
+    }
+
+    #[test]
+    fn greedy_prefers_the_count_minimising_completion() {
+        // One linear task on an idle 4-processor machine: the full width
+        // minimises the finish time.
+        let instance =
+            Instance::from_profiles(vec![SpeedupProfile::linear(4.0, 4).unwrap()], 4).unwrap();
+        let mut machine = MachineState::new(4);
+        let pending = [PendingTask {
+            id: 0,
+            arrived_at: 0.0,
+        }];
+        let commitments = GreedyList.plan(&instance, &pending, &mut machine).unwrap();
+        assert_eq!(commitments.len(), 1);
+        assert_eq!(commitments[0].count, 4);
+        assert!((commitments[0].duration - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn offline_plans_never_overlap_running_commitments() {
+        let instance = Instance::from_profiles(
+            vec![
+                SpeedupProfile::sequential(1.0).unwrap(),
+                SpeedupProfile::sequential(2.0).unwrap(),
+            ],
+            2,
+        )
+        .unwrap();
+        let mut machine = MachineState::new(2);
+        machine.commit_at(0, 2, 0.0, 5.0);
+        let pending = [
+            PendingTask {
+                id: 0,
+                arrived_at: 0.5,
+            },
+            PendingTask {
+                id: 1,
+                arrived_at: 0.5,
+            },
+        ];
+        let mut policy = BatchUntilIdle::default();
+        let commitments = policy.plan(&instance, &pending, &mut machine).unwrap();
+        assert_eq!(commitments.len(), 2);
+        for c in &commitments {
+            assert!(
+                c.start >= 5.0 - 1e-9,
+                "commitment {c:?} overlaps the running task"
+            );
+        }
+    }
+}

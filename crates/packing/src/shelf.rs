@@ -37,8 +37,14 @@ impl Shelf {
     /// processors.
     pub fn new(start: f64, length: f64, width: usize) -> Self {
         assert!(width >= 1, "shelf must span at least one processor");
-        assert!(length > 0.0 && length.is_finite(), "shelf length must be positive");
-        assert!(start >= 0.0 && start.is_finite(), "shelf start must be non-negative");
+        assert!(
+            length > 0.0 && length.is_finite(),
+            "shelf length must be positive"
+        );
+        assert!(
+            start >= 0.0 && start.is_finite(),
+            "shelf start must be non-negative"
+        );
         Shelf {
             start,
             length,

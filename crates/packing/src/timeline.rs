@@ -80,7 +80,10 @@ impl ProcessorTimeline {
     /// (monotone deque).
     pub fn earliest_window(&self, count: usize, tie: TieBreak) -> Window {
         let m = self.busy_until.len();
-        assert!(count >= 1 && count <= m, "window of {count} processors on {m}");
+        assert!(
+            count >= 1 && count <= m,
+            "window of {count} processors on {m}"
+        );
         // Sliding window maximum of busy_until over windows of size `count`.
         let mut deque: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
         let mut best_start = f64::INFINITY;

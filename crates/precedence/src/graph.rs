@@ -182,8 +182,12 @@ impl PrecedenceInstance {
         let instance = self.independent()?;
         schedule.validate(&instance)?;
         for &(u, v) in self.graph.edges() {
-            let pred = schedule.entry_for(u).ok_or(Error::UnknownTask { task: u })?;
-            let succ = schedule.entry_for(v).ok_or(Error::UnknownTask { task: v })?;
+            let pred = schedule
+                .entry_for(u)
+                .ok_or(Error::UnknownTask { task: u })?;
+            let succ = schedule
+                .entry_for(v)
+                .ok_or(Error::UnknownTask { task: v })?;
             if succ.start + 1e-9 < pred.finish() {
                 return Err(Error::InvalidParameter {
                     name: "precedence",
@@ -220,13 +224,8 @@ mod tests {
         assert_eq!(chain.edges(), &[(0, 1), (1, 2)]);
         assert_eq!(chain.levels(), vec![vec![0], vec![1], vec![2]]);
 
-        let fj = TaskGraph::fork_join(vec![
-            task(1.0, 2),
-            task(2.0, 2),
-            task(2.0, 2),
-            task(1.0, 2),
-        ])
-        .unwrap();
+        let fj = TaskGraph::fork_join(vec![task(1.0, 2), task(2.0, 2), task(2.0, 2), task(1.0, 2)])
+            .unwrap();
         assert_eq!(fj.levels(), vec![vec![0], vec![1, 2], vec![3]]);
         assert_eq!(fj.predecessors(3), &[1, 2]);
         assert_eq!(fj.successors(0), &[1, 2]);

@@ -56,19 +56,11 @@ impl LevelScheduler {
 /// The scheduling phase is a contiguous list schedule by decreasing bottom
 /// level that starts every task as early as its predecessors and the machine
 /// allow.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct CpaScheduler {
     /// Upper bound on the number of allotment-growing iterations, as a safety
     /// valve (the natural bound `n·m` is used when `None`).
     pub max_iterations: Option<usize>,
-}
-
-impl Default for CpaScheduler {
-    fn default() -> Self {
-        CpaScheduler {
-            max_iterations: None,
-        }
-    }
 }
 
 impl CpaScheduler {
@@ -241,7 +233,12 @@ mod tests {
         )
     }
 
-    fn random_layered_instance(seed: u64, layers: usize, width: usize, m: usize) -> PrecedenceInstance {
+    fn random_layered_instance(
+        seed: u64,
+        layers: usize,
+        width: usize,
+        m: usize,
+    ) -> PrecedenceInstance {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut tasks = Vec::new();
         for _ in 0..layers * width {
@@ -322,10 +319,7 @@ mod tests {
     fn cpa_allotment_balances_critical_path_and_area() {
         // One heavy chain plus many independent small tasks: CPA must give the
         // chain more than one processor.
-        let mut tasks = vec![
-            linear_task(12.0, 8),
-            linear_task(12.0, 8),
-        ];
+        let mut tasks = vec![linear_task(12.0, 8), linear_task(12.0, 8)];
         for _ in 0..10 {
             tasks.push(MalleableTask::new(SpeedupProfile::sequential(1.0).unwrap()));
         }

@@ -96,8 +96,8 @@ pub fn simulate(instance: &Instance, schedule: &Schedule) -> ExecutionTrace {
 
     let mut busy_per_processor = vec![0.0f64; m];
     for entry in schedule.entries() {
-        for p in entry.processors.first..entry.processors.end() {
-            busy_per_processor[p] += entry.duration;
+        for busy in &mut busy_per_processor[entry.processors.first..entry.processors.end()] {
+            *busy += entry.duration;
         }
     }
 
@@ -153,10 +153,7 @@ mod tests {
     }
 
     fn schedule_for(inst: &Instance) -> Schedule {
-        MrtScheduler::default()
-            .schedule(inst)
-            .unwrap()
-            .schedule
+        MrtScheduler::default().schedule(inst).unwrap().schedule
     }
 
     #[test]

@@ -21,8 +21,8 @@ pub fn render_gantt(instance: &Instance, schedule: &Schedule, columns: usize) ->
         let start_col = ((entry.start / makespan) * columns as f64).floor() as usize;
         let end_col = (((entry.finish()) / makespan) * columns as f64).ceil() as usize;
         let end_col = end_col.clamp(start_col + 1, columns);
-        for p in entry.processors.first..entry.processors.end().min(m) {
-            for cell in grid[p].iter_mut().take(end_col).skip(start_col) {
+        for row in &mut grid[entry.processors.first..entry.processors.end().min(m)] {
+            for cell in row.iter_mut().take(end_col).skip(start_col) {
                 *cell = label;
             }
         }

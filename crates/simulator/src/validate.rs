@@ -24,15 +24,30 @@ pub enum Violation {
     /// The schedule references a task outside the instance.
     UnknownTask { task: usize },
     /// A placement uses processors outside `0..m`.
-    OutOfMachine { task: usize, first: usize, count: usize },
+    OutOfMachine {
+        task: usize,
+        first: usize,
+        count: usize,
+    },
     /// A placement starts before time zero or at a non-finite time.
     InvalidStart { task: usize, start: f64 },
     /// The recorded duration disagrees with the task's profile.
-    DurationMismatch { task: usize, expected: f64, actual: f64 },
+    DurationMismatch {
+        task: usize,
+        expected: f64,
+        actual: f64,
+    },
     /// Two placements overlap in time on a shared processor.
-    Overlap { first_task: usize, second_task: usize },
+    Overlap {
+        first_task: usize,
+        second_task: usize,
+    },
     /// A task finishes after the supplied horizon.
-    DeadlineExceeded { task: usize, finish: f64, horizon: f64 },
+    DeadlineExceeded {
+        task: usize,
+        finish: f64,
+        horizon: f64,
+    },
 }
 
 impl std::fmt::Display for Violation {
@@ -65,7 +80,10 @@ impl std::fmt::Display for Violation {
                 task,
                 finish,
                 horizon,
-            } => write!(f, "task {task} finishes at {finish}, after the horizon {horizon}"),
+            } => write!(
+                f,
+                "task {task} finishes at {finish}, after the horizon {horizon}"
+            ),
         }
     }
 }
@@ -198,8 +216,12 @@ mod tests {
         s.push(entry(0, 0.0, 1.2, 0, 2));
         s.push(entry(0, 2.0, 1.2, 0, 2));
         let report = validate_schedule(&inst, &s, None);
-        assert!(report.violations.contains(&Violation::MissingTask { task: 1 }));
-        assert!(report.violations.contains(&Violation::DuplicatedTask { task: 0 }));
+        assert!(report
+            .violations
+            .contains(&Violation::MissingTask { task: 1 }));
+        assert!(report
+            .violations
+            .contains(&Violation::DuplicatedTask { task: 0 }));
     }
 
     #[test]
@@ -248,7 +270,9 @@ mod tests {
         s.push(entry(1, 0.0, 1.0, 2, 1));
         s.push(entry(7, 0.0, 1.0, 2, 1));
         let report = validate_schedule(&inst, &s, None);
-        assert!(report.violations.contains(&Violation::UnknownTask { task: 7 }));
+        assert!(report
+            .violations
+            .contains(&Violation::UnknownTask { task: 7 }));
     }
 
     #[test]

@@ -1,0 +1,422 @@
+//! Arrival traces: malleable tasks arriving over time.
+//!
+//! The offline model of the paper schedules a fixed task set; the online
+//! engine (crate `online`) instead consumes a stream of arrivals.  This
+//! module provides the trace model, deterministic generators for the two
+//! standard traffic shapes — Poisson arrivals (independent exponential
+//! inter-arrival times) and bursty arrivals (synchronised batches, the shape
+//! produced by periodic submission systems) — and a JSON representation so
+//! traces can be saved and replayed exactly.
+//!
+//! Generation is a pure function of the [`TraceConfig`]: the task profiles
+//! come from the deterministic [`WorkloadGenerator`] and the arrival clock
+//! from an independent, seed-derived stream, so a `(config, seed)` pair
+//! always produces the same trace.
+
+use crate::generator::{WorkloadConfig, WorkloadGenerator};
+use crate::io::task_from_value;
+use malleable_core::{Instance, MalleableTask, Result};
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde_json::{json, Value};
+
+/// One task arriving at a point in time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Arrival {
+    /// Arrival (release) time of the task.
+    pub at: f64,
+    /// The task itself.
+    pub task: MalleableTask,
+}
+
+/// A stream of task arrivals targeting a machine with a fixed processor
+/// count.  Arrivals are kept sorted by time; the index of an arrival is the
+/// task's identifier in every schedule the online engine produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalTrace {
+    processors: usize,
+    arrivals: Vec<Arrival>,
+}
+
+/// The arrival-time process of a generated trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalPattern {
+    /// Poisson process: exponential inter-arrival times with the given rate
+    /// (expected arrivals per unit of time).
+    Poisson {
+        /// Expected number of arrivals per unit of time (must be positive).
+        rate: f64,
+    },
+    /// Bursty arrivals: groups of `burst_size` tasks arrive simultaneously,
+    /// one group every `burst_gap` units of time starting at time 0.
+    Bursty {
+        /// Number of tasks arriving together in each burst (≥ 1).
+        burst_size: usize,
+        /// Time between consecutive bursts (must be positive).
+        burst_gap: f64,
+    },
+}
+
+impl ArrivalPattern {
+    /// Stable name used by reports and the CLI.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ArrivalPattern::Poisson { .. } => "poisson",
+            ArrivalPattern::Bursty { .. } => "bursty",
+        }
+    }
+
+    /// Check the pattern's parameters (positive rate / gap, non-empty
+    /// bursts).
+    pub fn validate(&self) -> Result<()> {
+        match *self {
+            ArrivalPattern::Poisson { rate } => {
+                if !(rate.is_finite() && rate > 0.0) {
+                    return Err(malleable_core::Error::InvalidParameter {
+                        name: "rate",
+                        value: rate,
+                    });
+                }
+            }
+            ArrivalPattern::Bursty {
+                burst_size,
+                burst_gap,
+            } => {
+                if burst_size == 0 {
+                    return Err(malleable_core::Error::InvalidParameter {
+                        name: "burst-size",
+                        value: 0.0,
+                    });
+                }
+                if !(burst_gap.is_finite() && burst_gap > 0.0) {
+                    return Err(malleable_core::Error::InvalidParameter {
+                        name: "burst-gap",
+                        value: burst_gap,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Full description of a generated trace: the task population (profiles,
+/// machine, seed) plus the arrival process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceConfig {
+    /// The task population; `workload.seed` also seeds the arrival clock.
+    pub workload: WorkloadConfig,
+    /// The arrival-time process.
+    pub pattern: ArrivalPattern,
+}
+
+impl ArrivalTrace {
+    /// Build a trace, sorting the arrivals by time and validating that the
+    /// machine is non-trivial and every arrival time is finite and
+    /// non-negative.
+    pub fn new(processors: usize, mut arrivals: Vec<Arrival>) -> Result<Self> {
+        if processors == 0 {
+            return Err(malleable_core::Error::NoProcessors);
+        }
+        if arrivals.is_empty() {
+            return Err(malleable_core::Error::EmptyInstance);
+        }
+        for arrival in &arrivals {
+            if !(arrival.at.is_finite() && arrival.at >= 0.0) {
+                return Err(malleable_core::Error::InvalidParameter {
+                    name: "arrival",
+                    value: arrival.at,
+                });
+            }
+        }
+        arrivals.sort_by(|a, b| a.at.partial_cmp(&b.at).unwrap());
+        Ok(ArrivalTrace {
+            processors,
+            arrivals,
+        })
+    }
+
+    /// Generate the trace described by `config` (deterministic per seed).
+    pub fn generate(config: &TraceConfig) -> Result<Self> {
+        config.pattern.validate()?;
+        let instance = WorkloadGenerator::new(config.workload.clone()).generate()?;
+        // Derive the arrival clock from an independent stream so the same
+        // task population can be re-used under different arrival patterns
+        // without correlating profiles and arrival times.
+        let mut rng = ChaCha8Rng::seed_from_u64(config.workload.seed ^ 0xA5A5_5A5A_0F0F_F0F0);
+        let times = sample_arrival_times(&config.pattern, instance.task_count(), &mut rng);
+        let arrivals = instance
+            .tasks()
+            .iter()
+            .zip(times)
+            .map(|(task, at)| Arrival {
+                at,
+                task: task.clone(),
+            })
+            .collect();
+        ArrivalTrace::new(config.workload.processors, arrivals)
+    }
+
+    /// Number of processors of the target machine.
+    pub fn processors(&self) -> usize {
+        self.processors
+    }
+
+    /// The arrivals, sorted by time.
+    pub fn arrivals(&self) -> &[Arrival] {
+        &self.arrivals
+    }
+
+    /// Number of arrivals.
+    pub fn len(&self) -> usize {
+        self.arrivals.len()
+    }
+
+    /// Whether the trace is empty (never true for a constructed trace).
+    pub fn is_empty(&self) -> bool {
+        self.arrivals.is_empty()
+    }
+
+    /// Arrival time of the last task.
+    pub fn last_arrival(&self) -> f64 {
+        self.arrivals.last().map(|a| a.at).unwrap_or(0.0)
+    }
+
+    /// The offline view of the trace: every task released at time 0.  Task
+    /// `j` of the instance is arrival `j` of the trace, so offline and online
+    /// schedules use the same task identifiers.
+    pub fn instance(&self) -> Result<Instance> {
+        Instance::new(
+            self.arrivals.iter().map(|a| a.task.clone()).collect(),
+            self.processors,
+        )
+    }
+}
+
+fn sample_arrival_times(pattern: &ArrivalPattern, count: usize, rng: &mut ChaCha8Rng) -> Vec<f64> {
+    use rand::Rng;
+    match *pattern {
+        ArrivalPattern::Poisson { rate } => {
+            assert!(
+                rate.is_finite() && rate > 0.0,
+                "Poisson rate must be positive, got {rate}"
+            );
+            let mut clock = 0.0f64;
+            (0..count)
+                .map(|_| {
+                    let u: f64 = rng.gen();
+                    clock += -(1.0 - u).ln() / rate;
+                    clock
+                })
+                .collect()
+        }
+        ArrivalPattern::Bursty {
+            burst_size,
+            burst_gap,
+        } => {
+            assert!(burst_size >= 1, "burst size must be at least 1");
+            assert!(
+                burst_gap.is_finite() && burst_gap > 0.0,
+                "burst gap must be positive, got {burst_gap}"
+            );
+            (0..count)
+                .map(|i| (i / burst_size) as f64 * burst_gap)
+                .collect()
+        }
+    }
+}
+
+/// Serialise a trace to a compact JSON string (traces can hold tens of
+/// thousands of tasks, so no pretty-printing).
+pub fn trace_to_json(trace: &ArrivalTrace) -> String {
+    let arrivals: Vec<Value> = trace
+        .arrivals()
+        .iter()
+        .map(|a| {
+            json!({
+                "at": a.at,
+                "name": a.task.name.clone(),
+                "times": a.task.profile.times().to_vec(),
+            })
+        })
+        .collect();
+    let doc = json!({
+        "processors": trace.processors(),
+        "arrivals": arrivals,
+    });
+    serde_json::to_string(&doc).expect("trace serialisation cannot fail")
+}
+
+/// Parse a trace from its JSON representation, re-validating every profile
+/// and arrival time.
+pub fn trace_from_json(json: &str) -> Result<ArrivalTrace> {
+    let invalid = || malleable_core::Error::InvalidParameter {
+        name: "json",
+        value: f64::NAN,
+    };
+    let doc = serde_json::from_str(json).map_err(|_| invalid())?;
+    let processors = doc
+        .get("processors")
+        .and_then(Value::as_u64)
+        .ok_or_else(invalid)? as usize;
+    let arrivals = doc
+        .get("arrivals")
+        .and_then(Value::as_array)
+        .ok_or_else(invalid)?
+        .iter()
+        .map(|entry| {
+            let at = entry
+                .get("at")
+                .and_then(Value::as_f64)
+                .ok_or_else(invalid)?;
+            Ok(Arrival {
+                at,
+                task: task_from_value(entry)?,
+            })
+        })
+        .collect::<Result<Vec<_>>>()?;
+    ArrivalTrace::new(processors, arrivals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use malleable_core::SpeedupProfile;
+
+    fn poisson_config(tasks: usize, seed: u64) -> TraceConfig {
+        TraceConfig {
+            workload: WorkloadConfig::mixed(tasks, 8, seed),
+            pattern: ArrivalPattern::Poisson { rate: 2.0 },
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = ArrivalTrace::generate(&poisson_config(30, 9)).unwrap();
+        let b = ArrivalTrace::generate(&poisson_config(30, 9)).unwrap();
+        let c = ArrivalTrace::generate(&poisson_config(30, 10)).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn poisson_arrivals_are_sorted_and_positive() {
+        let trace = ArrivalTrace::generate(&poisson_config(50, 1)).unwrap();
+        assert_eq!(trace.len(), 50);
+        let mut prev = 0.0;
+        for arrival in trace.arrivals() {
+            assert!(arrival.at >= prev);
+            assert!(arrival.at > 0.0);
+            prev = arrival.at;
+        }
+        // Mean inter-arrival should be in the ballpark of 1/rate = 0.5.
+        let mean = trace.last_arrival() / trace.len() as f64;
+        assert!((0.2..1.0).contains(&mean), "mean inter-arrival {mean}");
+    }
+
+    #[test]
+    fn bursty_arrivals_form_synchronised_groups() {
+        let config = TraceConfig {
+            workload: WorkloadConfig::mixed(10, 4, 3),
+            pattern: ArrivalPattern::Bursty {
+                burst_size: 4,
+                burst_gap: 5.0,
+            },
+        };
+        let trace = ArrivalTrace::generate(&config).unwrap();
+        let times: Vec<f64> = trace.arrivals().iter().map(|a| a.at).collect();
+        assert_eq!(
+            times,
+            vec![0.0, 0.0, 0.0, 0.0, 5.0, 5.0, 5.0, 5.0, 10.0, 10.0]
+        );
+    }
+
+    #[test]
+    fn json_round_trip_preserves_traces() {
+        let trace = ArrivalTrace::generate(&poisson_config(20, 5)).unwrap();
+        let json = trace_to_json(&trace);
+        let parsed = trace_from_json(&json).unwrap();
+        assert_eq!(parsed.processors(), trace.processors());
+        assert_eq!(parsed.len(), trace.len());
+        for (a, b) in trace.arrivals().iter().zip(parsed.arrivals()) {
+            assert_eq!(a.task.name, b.task.name);
+            assert_eq!(a.at, b.at, "arrival times must round-trip exactly");
+            assert_eq!(a.task.profile.times(), b.task.profile.times());
+        }
+    }
+
+    #[test]
+    fn malformed_trace_documents_are_rejected() {
+        assert!(trace_from_json("{ nope").is_err());
+        assert!(trace_from_json(r#"{ "processors": 2 }"#).is_err());
+        assert!(
+            trace_from_json(r#"{ "processors": 2, "arrivals": [{ "at": -1.0, "times": [1.0] }] }"#)
+                .is_err(),
+            "negative arrival times must be rejected"
+        );
+        assert!(
+            trace_from_json(
+                r#"{ "processors": 2, "arrivals": [{ "at": 0.0, "times": [1.0, 2.0] }] }"#
+            )
+            .is_err(),
+            "non-monotone profiles must be rejected"
+        );
+    }
+
+    #[test]
+    fn instance_view_uses_trace_order() {
+        let arrivals = vec![
+            Arrival {
+                at: 3.0,
+                task: MalleableTask::named("late", SpeedupProfile::sequential(1.0).unwrap()),
+            },
+            Arrival {
+                at: 1.0,
+                task: MalleableTask::named("early", SpeedupProfile::sequential(2.0).unwrap()),
+            },
+        ];
+        let trace = ArrivalTrace::new(2, arrivals).unwrap();
+        // Sorted by arrival: "early" first.
+        assert_eq!(trace.arrivals()[0].task.name.as_deref(), Some("early"));
+        let instance = trace.instance().unwrap();
+        assert_eq!(instance.task(0).name.as_deref(), Some("early"));
+        assert_eq!(instance.task(1).name.as_deref(), Some("late"));
+    }
+
+    #[test]
+    fn degenerate_patterns_are_rejected_not_panicking() {
+        for pattern in [
+            ArrivalPattern::Poisson { rate: 0.0 },
+            ArrivalPattern::Poisson { rate: -1.0 },
+            ArrivalPattern::Poisson { rate: f64::NAN },
+            ArrivalPattern::Bursty {
+                burst_size: 0,
+                burst_gap: 1.0,
+            },
+            ArrivalPattern::Bursty {
+                burst_size: 4,
+                burst_gap: 0.0,
+            },
+        ] {
+            let config = TraceConfig {
+                workload: WorkloadConfig::mixed(5, 2, 1),
+                pattern,
+            };
+            assert!(
+                ArrivalTrace::generate(&config).is_err(),
+                "{pattern:?} must be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_construction_validates_inputs() {
+        assert!(ArrivalTrace::new(0, vec![]).is_err());
+        assert!(ArrivalTrace::new(2, vec![]).is_err());
+        let bad = vec![Arrival {
+            at: f64::NAN,
+            task: MalleableTask::new(SpeedupProfile::sequential(1.0).unwrap()),
+        }];
+        assert!(ArrivalTrace::new(2, bad).is_err());
+    }
+}

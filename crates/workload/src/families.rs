@@ -123,7 +123,9 @@ mod tests {
 
     #[test]
     fn power_law_with_sigma_one_is_linear() {
-        let pl = SpeedupFamily::PowerLaw { sigma: 1.0 }.profile(6.0, 8).unwrap();
+        let pl = SpeedupFamily::PowerLaw { sigma: 1.0 }
+            .profile(6.0, 8)
+            .unwrap();
         let lin = SpeedupFamily::Linear.profile(6.0, 8).unwrap();
         for p in 1..=8 {
             assert!((pl.time(p) - lin.time(p)).abs() < 1e-9);

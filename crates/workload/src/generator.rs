@@ -191,11 +191,9 @@ fn jitter(family: SpeedupFamily, rng: &mut ChaCha8Rng) -> SpeedupFamily {
         SpeedupFamily::PowerLaw { sigma } => SpeedupFamily::PowerLaw {
             sigma: (sigma * rng.gen_range(0.8..1.2)).clamp(0.05, 1.0),
         },
-        SpeedupFamily::CommunicationOverhead { overhead } => {
-            SpeedupFamily::CommunicationOverhead {
-                overhead: (overhead * rng.gen_range(0.5..2.0)).max(0.0),
-            }
-        }
+        SpeedupFamily::CommunicationOverhead { overhead } => SpeedupFamily::CommunicationOverhead {
+            overhead: (overhead * rng.gen_range(0.5..2.0)).max(0.0),
+        },
         SpeedupFamily::Step { sigma } => SpeedupFamily::Step {
             sigma: (sigma * rng.gen_range(0.8..1.2)).clamp(0.05, 1.0),
         },

@@ -5,33 +5,23 @@
 //! reproducible scenarios.
 
 use malleable_core::{Instance, MalleableTask, Result, SpeedupProfile};
-use serde::{Deserialize, Serialize};
-
-#[derive(Debug, Serialize, Deserialize)]
-struct InstanceDocument {
-    processors: usize,
-    tasks: Vec<TaskDocument>,
-}
-
-#[derive(Debug, Serialize, Deserialize)]
-struct TaskDocument {
-    name: Option<String>,
-    /// Execution times on 1..=k processors.
-    times: Vec<f64>,
-}
+use serde_json::{json, Value};
 
 /// Serialise an instance to a pretty-printed JSON string.
 pub fn instance_to_json(instance: &Instance) -> String {
-    let doc = InstanceDocument {
-        processors: instance.processors(),
-        tasks: instance
-            .iter()
-            .map(|(_, task)| TaskDocument {
-                name: task.name.clone(),
-                times: task.profile.times().to_vec(),
+    let tasks: Vec<Value> = instance
+        .iter()
+        .map(|(_, task)| {
+            json!({
+                "name": task.name.clone(),
+                "times": task.profile.times().to_vec(),
             })
-            .collect(),
-    };
+        })
+        .collect();
+    let doc = json!({
+        "processors": instance.processors(),
+        "tasks": tasks,
+    });
     serde_json::to_string_pretty(&doc).expect("instance serialisation cannot fail")
 }
 
@@ -58,27 +48,48 @@ pub fn instances_approx_equal(a: &Instance, b: &Instance, tolerance: f64) -> boo
     })
 }
 
+/// The error every malformed document maps to: the core error type has no
+/// free-form variant, so parse failures surface as an invalid `json`
+/// parameter.
+fn invalid_json() -> malleable_core::Error {
+    malleable_core::Error::InvalidParameter {
+        name: "json",
+        value: f64::NAN,
+    }
+}
+
+/// Parse one task object (`{"name": ..., "times": [...]}`) of a document.
+pub(crate) fn task_from_value(value: &Value) -> Result<MalleableTask> {
+    let times: Vec<f64> = value
+        .get("times")
+        .and_then(Value::as_array)
+        .ok_or_else(invalid_json)?
+        .iter()
+        .map(|t| t.as_f64().ok_or_else(invalid_json))
+        .collect::<Result<_>>()?;
+    let profile = SpeedupProfile::new(times)?;
+    Ok(match value.get("name").and_then(Value::as_str) {
+        Some(name) => MalleableTask::named(name, profile),
+        None => MalleableTask::new(profile),
+    })
+}
+
 /// Parse an instance from its JSON representation, re-validating every
 /// profile (documents with non-monotone profiles are rejected).
 pub fn instance_from_json(json: &str) -> Result<Instance> {
-    let doc: InstanceDocument = serde_json::from_str(json).map_err(|_| {
-        malleable_core::Error::InvalidParameter {
-            name: "json",
-            value: f64::NAN,
-        }
-    })?;
+    let doc = serde_json::from_str(json).map_err(|_| invalid_json())?;
+    let processors = doc
+        .get("processors")
+        .and_then(Value::as_u64)
+        .ok_or_else(invalid_json)? as usize;
     let tasks = doc
-        .tasks
-        .into_iter()
-        .map(|t| {
-            let profile = SpeedupProfile::new(t.times)?;
-            Ok(match t.name {
-                Some(name) => MalleableTask::named(name, profile),
-                None => MalleableTask::new(profile),
-            })
-        })
+        .get("tasks")
+        .and_then(Value::as_array)
+        .ok_or_else(invalid_json)?
+        .iter()
+        .map(task_from_value)
         .collect::<Result<Vec<_>>>()?;
-    Instance::new(tasks, doc.processors)
+    Instance::new(tasks, processors)
 }
 
 #[cfg(test)]

@@ -27,13 +27,22 @@
 //! Every generated profile is validated (or repaired) to satisfy the paper's
 //! two monotonicity conditions, so the guarantees of `malleable-core` apply.
 //! Generation is fully deterministic given a [`WorkloadConfig`] seed.
+//!
+//! For the online engine (crate `online`), the [`arrivals`] module extends
+//! the same populations with *arrival times* — Poisson and bursty
+//! [`ArrivalPattern`]s — producing [`ArrivalTrace`]s with their own JSON
+//! representation.
 
+pub mod arrivals;
 pub mod families;
 pub mod generator;
 pub mod io;
 pub mod stats;
 
+pub use arrivals::{
+    trace_from_json, trace_to_json, Arrival, ArrivalPattern, ArrivalTrace, TraceConfig,
+};
 pub use families::SpeedupFamily;
-pub use generator::{WorkloadConfig, WorkloadGenerator, WorkMix};
+pub use generator::{WorkMix, WorkloadConfig, WorkloadGenerator};
 pub use io::{instance_from_json, instance_to_json, instances_approx_equal};
 pub use stats::{describe, InstanceStats};

@@ -10,7 +10,7 @@
 //! cargo run -p mrt-examples --release --example cluster_batch
 //! ```
 
-use baselines::{gang_schedule, ludwig, sequential_lpt, TwoPhaseScheduler, RigidScheduler};
+use baselines::{gang_schedule, ludwig, sequential_lpt, RigidScheduler, TwoPhaseScheduler};
 use malleable_core::prelude::*;
 use mrt_examples::comparison_row;
 use workload::{SpeedupFamily, WorkMix, WorkloadConfig, WorkloadGenerator};
@@ -48,14 +48,22 @@ fn main() {
 
     let mrt = MrtScheduler::default().schedule(&instance).expect("mrt");
     let ludwig_schedule = ludwig(&instance).expect("ludwig");
-    let twy_list = TwoPhaseScheduler { rigid: RigidScheduler::List }
-        .schedule(&instance)
-        .expect("twy+list");
+    let twy_list = TwoPhaseScheduler {
+        rigid: RigidScheduler::List,
+    }
+    .schedule(&instance)
+    .expect("twy+list");
     let gang = gang_schedule(&instance);
     let lpt = sequential_lpt(&instance);
 
-    println!("{}", comparison_row("MRT (sqrt(3))", &instance, &mrt.schedule));
-    println!("{}", comparison_row("Ludwig (TWY+FFDH)", &instance, &ludwig_schedule));
+    println!(
+        "{}",
+        comparison_row("MRT (sqrt(3))", &instance, &mrt.schedule)
+    );
+    println!(
+        "{}",
+        comparison_row("Ludwig (TWY+FFDH)", &instance, &ludwig_schedule)
+    );
     println!("{}", comparison_row("TWY + list", &instance, &twy_list));
     println!("{}", comparison_row("gang scheduling", &instance, &gang));
     println!("{}", comparison_row("sequential LPT", &instance, &lpt));

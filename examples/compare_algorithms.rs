@@ -39,8 +39,10 @@ impl Accumulator {
     }
 }
 
+type ConfigBuilder = fn(usize, usize, u64) -> WorkloadConfig;
+
 fn main() {
-    let families: [(&str, fn(usize, usize, u64) -> WorkloadConfig); 3] = [
+    let families: [(&str, ConfigBuilder); 3] = [
         ("mixed", WorkloadConfig::mixed),
         ("wide-tasks", WorkloadConfig::wide_tasks),
         ("sequential-heavy", WorkloadConfig::sequential_heavy),

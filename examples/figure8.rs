@@ -15,7 +15,10 @@ use malleable_core::canonical::{h_hat, k_star, m_lambda};
 
 fn main() {
     println!("Figure 8 — minimal number of processors m_lambda as a function of lambda");
-    println!("{:>8}  {:>6}  {:>6}  {:>9}", "lambda", "k*", "h_hat", "m_lambda");
+    println!(
+        "{:>8}  {:>6}  {:>6}  {:>9}",
+        "lambda", "k*", "h_hat", "m_lambda"
+    );
 
     let mut lambda = 0.755;
     while lambda <= 1.0 + 1e-9 {

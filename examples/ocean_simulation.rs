@@ -44,22 +44,86 @@ fn region_profile(region: &Region, processors: usize) -> SpeedupProfile {
 fn main() {
     let processors = 64;
     let regions = [
-        Region { name: "gulf-stream", cells: 90_000.0, refinement: 3 },
-        Region { name: "labrador", cells: 42_000.0, refinement: 2 },
-        Region { name: "azores", cells: 35_000.0, refinement: 2 },
-        Region { name: "equatorial", cells: 64_000.0, refinement: 1 },
-        Region { name: "benguela", cells: 28_000.0, refinement: 2 },
-        Region { name: "north-atlantic", cells: 120_000.0, refinement: 0 },
-        Region { name: "south-atlantic", cells: 110_000.0, refinement: 0 },
-        Region { name: "caribbean", cells: 22_000.0, refinement: 3 },
-        Region { name: "biscay", cells: 9_000.0, refinement: 1 },
-        Region { name: "baffin", cells: 7_000.0, refinement: 0 },
-        Region { name: "sargasso", cells: 30_000.0, refinement: 1 },
-        Region { name: "canaries", cells: 12_000.0, refinement: 1 },
-        Region { name: "falklands", cells: 16_000.0, refinement: 2 },
-        Region { name: "greenland-sea", cells: 14_000.0, refinement: 1 },
-        Region { name: "mid-ridge", cells: 48_000.0, refinement: 0 },
-        Region { name: "guinea", cells: 18_000.0, refinement: 1 },
+        Region {
+            name: "gulf-stream",
+            cells: 90_000.0,
+            refinement: 3,
+        },
+        Region {
+            name: "labrador",
+            cells: 42_000.0,
+            refinement: 2,
+        },
+        Region {
+            name: "azores",
+            cells: 35_000.0,
+            refinement: 2,
+        },
+        Region {
+            name: "equatorial",
+            cells: 64_000.0,
+            refinement: 1,
+        },
+        Region {
+            name: "benguela",
+            cells: 28_000.0,
+            refinement: 2,
+        },
+        Region {
+            name: "north-atlantic",
+            cells: 120_000.0,
+            refinement: 0,
+        },
+        Region {
+            name: "south-atlantic",
+            cells: 110_000.0,
+            refinement: 0,
+        },
+        Region {
+            name: "caribbean",
+            cells: 22_000.0,
+            refinement: 3,
+        },
+        Region {
+            name: "biscay",
+            cells: 9_000.0,
+            refinement: 1,
+        },
+        Region {
+            name: "baffin",
+            cells: 7_000.0,
+            refinement: 0,
+        },
+        Region {
+            name: "sargasso",
+            cells: 30_000.0,
+            refinement: 1,
+        },
+        Region {
+            name: "canaries",
+            cells: 12_000.0,
+            refinement: 1,
+        },
+        Region {
+            name: "falklands",
+            cells: 16_000.0,
+            refinement: 2,
+        },
+        Region {
+            name: "greenland-sea",
+            cells: 14_000.0,
+            refinement: 1,
+        },
+        Region {
+            name: "mid-ridge",
+            cells: 48_000.0,
+            refinement: 0,
+        },
+        Region {
+            name: "guinea",
+            cells: 18_000.0,
+            refinement: 1,
+        },
     ];
 
     let tasks: Vec<MalleableTask> = regions
@@ -86,8 +150,14 @@ fn main() {
     let gang = gang_schedule(&instance);
     let lpt = sequential_lpt(&instance);
 
-    println!("{}", comparison_row("MRT (sqrt(3))", &instance, &mrt.schedule));
-    println!("{}", comparison_row("Ludwig two-phase", &instance, &ludwig_schedule));
+    println!(
+        "{}",
+        comparison_row("MRT (sqrt(3))", &instance, &mrt.schedule)
+    );
+    println!(
+        "{}",
+        comparison_row("Ludwig two-phase", &instance, &ludwig_schedule)
+    );
     println!("{}", comparison_row("gang scheduling", &instance, &gang));
     println!("{}", comparison_row("sequential LPT", &instance, &lpt));
 

@@ -39,11 +39,7 @@ fn main() {
             .unwrap_or_else(|| format!("task-{}", entry.task));
         println!(
             "  {:<16} start {:>6.2}  duration {:>6.2}  processors {:>2} (first = {})",
-            name,
-            entry.start,
-            entry.duration,
-            entry.processors.count,
-            entry.processors.first
+            name, entry.start, entry.duration, entry.processors.count, entry.processors.first
         );
     }
     println!();

@@ -25,14 +25,14 @@ fn main() {
     //                └► solve-b ──► analyse-b ─┼─► reduce ──► report
     //                └► solve-c ──► analyse-c ─┘
     let tasks = vec![
-        amdahl("mesh", 6.0, 0.1, m),       // 0
-        amdahl("solve-a", 18.0, 0.05, m),  // 1
-        amdahl("solve-b", 14.0, 0.05, m),  // 2
-        amdahl("solve-c", 10.0, 0.05, m),  // 3
-        amdahl("analyse-a", 4.0, 0.3, m),  // 4
-        amdahl("analyse-b", 4.0, 0.3, m),  // 5
-        amdahl("analyse-c", 4.0, 0.3, m),  // 6
-        amdahl("reduce", 5.0, 0.2, m),     // 7
+        amdahl("mesh", 6.0, 0.1, m),      // 0
+        amdahl("solve-a", 18.0, 0.05, m), // 1
+        amdahl("solve-b", 14.0, 0.05, m), // 2
+        amdahl("solve-c", 10.0, 0.05, m), // 3
+        amdahl("analyse-a", 4.0, 0.3, m), // 4
+        amdahl("analyse-b", 4.0, 0.3, m), // 5
+        amdahl("analyse-c", 4.0, 0.3, m), // 6
+        amdahl("reduce", 5.0, 0.2, m),    // 7
         MalleableTask::named("report", SpeedupProfile::sequential(1.5).unwrap()), // 8
     ];
     let edges = vec![
@@ -60,7 +60,9 @@ fn main() {
         precedence::critical_path_bound(&instance),
     );
 
-    let level = LevelScheduler::default().schedule(&instance).expect("level");
+    let level = LevelScheduler::default()
+        .schedule(&instance)
+        .expect("level");
     let cpa = CpaScheduler::default().schedule(&instance).expect("cpa");
     instance.validate(&level).expect("level schedule is valid");
     instance.validate(&cpa).expect("cpa schedule is valid");
@@ -76,7 +78,11 @@ fn main() {
         cpa.makespan() / lb
     );
 
-    let best = if cpa.makespan() <= level.makespan() { &cpa } else { &level };
+    let best = if cpa.makespan() <= level.makespan() {
+        &cpa
+    } else {
+        &level
+    };
     println!("\nallotment of the better schedule:");
     for entry in best.entries() {
         println!(

@@ -37,7 +37,10 @@ fn every_algorithm_schedules_every_task_exactly_once() {
             ),
             (
                 "mrt".into(),
-                MrtScheduler::default().schedule(&instance).unwrap().schedule,
+                MrtScheduler::default()
+                    .schedule(&instance)
+                    .unwrap()
+                    .schedule,
             ),
             ("ludwig".into(), baselines::ludwig(&instance).unwrap()),
             ("gang".into(), baselines::gang_schedule(&instance)),
@@ -83,9 +86,7 @@ fn two_shelf_schedules_have_exactly_two_start_bands() {
                     entry.finish()
                 );
             }
-            assert!(
-                ts.schedule.makespan() <= (1.0 + malleable_core::LAMBDA_SQRT3) * omega + 1e-6
-            );
+            assert!(ts.schedule.makespan() <= (1.0 + malleable_core::LAMBDA_SQRT3) * omega + 1e-6);
         }
     }
 }

@@ -22,7 +22,10 @@ fn interval_shrinks_geometrically_with_iterations() {
             .solve(&inst, &scheduler)
             .unwrap();
         let gap = result.feasible_omega - result.certified_lower_bound;
-        assert!(gap <= previous_gap + 1e-9, "gap must not grow with iterations");
+        assert!(
+            gap <= previous_gap + 1e-9,
+            "gap must not grow with iterations"
+        );
         previous_gap = gap;
     }
     // After 32 iterations the interval is essentially closed.
@@ -66,7 +69,11 @@ fn all_oracles_are_monotone_in_omega() {
             );
             previous_feasible = feasible;
         }
-        assert!(previous_feasible, "{} must accept a generous ω", oracle.name());
+        assert!(
+            previous_feasible,
+            "{} must accept a generous ω",
+            oracle.name()
+        );
     }
 }
 
@@ -77,7 +84,9 @@ fn certified_bound_reaches_the_true_optimum_on_closed_form_instances() {
     let m = 8usize;
     let w = 4.0;
     let inst = Instance::from_profiles(
-        (0..n).map(|_| SpeedupProfile::linear(w, m).unwrap()).collect(),
+        (0..n)
+            .map(|_| SpeedupProfile::linear(w, m).unwrap())
+            .collect(),
         m,
     )
     .unwrap();

@@ -56,7 +56,11 @@ fn sequential_heavy_workloads_degenerate_to_lpt_quality() {
             .unwrap();
         let result = schedule_and_check(&instance);
         // LPT territory: the ratio should be well below the malleable bound.
-        assert!(result.ratio() <= 1.5, "seed {seed}: ratio {}", result.ratio());
+        assert!(
+            result.ratio() <= 1.5,
+            "seed {seed}: ratio {}",
+            result.ratio()
+        );
     }
 }
 
@@ -119,11 +123,8 @@ fn single_processor_machines_are_handled() {
 
 #[test]
 fn tiny_instances_are_handled() {
-    let instance = Instance::from_profiles(
-        vec![SpeedupProfile::sequential(0.5).unwrap()],
-        4,
-    )
-    .unwrap();
+    let instance =
+        Instance::from_profiles(vec![SpeedupProfile::sequential(0.5).unwrap()], 4).unwrap();
     let result = schedule_and_check(&instance);
     assert!((result.schedule.makespan() - 0.5).abs() < 1e-9);
 }

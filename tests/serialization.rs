@@ -2,7 +2,9 @@
 //! boundary.
 
 use malleable_core::prelude::*;
-use workload::{instance_from_json, instance_to_json, instances_approx_equal, WorkloadConfig, WorkloadGenerator};
+use workload::{
+    instance_from_json, instance_to_json, instances_approx_equal, WorkloadConfig, WorkloadGenerator,
+};
 
 #[test]
 fn json_round_trip_preserves_scheduling_results() {

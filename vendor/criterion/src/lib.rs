@@ -1,0 +1,229 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness, vendored because the build environment has no registry
+//! access.
+//!
+//! It keeps the same bench-authoring API (`criterion_group!`,
+//! `criterion_main!`, [`Criterion::benchmark_group`], `bench_function`,
+//! `bench_with_input`, [`black_box`]) but replaces the statistical machinery
+//! with a plain wall-clock loop: every benchmark is warmed up, then timed for
+//! a fixed number of iterations, and one line of results (mean and total) is
+//! printed.  Bench targets using it must set `harness = false`.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation (recorded, echoed in the report line).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark inside a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id made of a parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// The timing loop handed to benchmark closures.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: a few untimed runs so lazy initialisation is excluded.
+        for _ in 0..self.iterations.min(3) {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the iteration count used for every benchmark of the group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        // The real crate's sample_size counts statistical samples; here it
+        // directly scales the timing loop, clamped to keep runs short.
+        self.sample_size = (n as u64).clamp(1, 1000);
+        self
+    }
+
+    /// Record a throughput annotation.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    fn run_one(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher {
+            iterations: self.sample_size,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        let mean = if bencher.iterations > 0 {
+            bencher.elapsed / bencher.iterations as u32
+        } else {
+            Duration::ZERO
+        };
+        let throughput = match self.throughput {
+            Some(Throughput::Elements(n)) => format!("  ({n} elems/iter)"),
+            Some(Throughput::Bytes(n)) => format!("  ({n} bytes/iter)"),
+            None => String::new(),
+        };
+        println!(
+            "bench {:<48} mean {:>12.3?}  ({} iters, total {:.3?}){}",
+            format!("{}/{}", self.name, id),
+            mean,
+            bencher.iterations,
+            bencher.elapsed,
+            throughput
+        );
+        self.criterion.benchmarks_run += 1;
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let id = id.to_string();
+        self.run_one(&id, f);
+        self
+    }
+
+    /// Run one parameterised benchmark.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = id.to_string();
+        self.run_one(&id, |b| f(b, input));
+        self
+    }
+
+    /// End the group (kept for API compatibility; printing is immediate).
+    pub fn finish(&mut self) {}
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        let name = id.to_string();
+        let mut group = self.benchmark_group(name.clone());
+        group.run_one(&name, f);
+        self
+    }
+
+    /// Number of benchmarks executed so far (used by the macro-generated main).
+    pub fn benchmarks_run(&self) -> usize {
+        self.benchmarks_run
+    }
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group_name:ident, $($target:path),+ $(,)?) => {
+        pub fn $group_name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench entry point (`harness = false` targets).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(10).throughput(Throughput::Elements(4));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("scaled", 8), &8u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_and_macros_execute() {
+        benches();
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+        assert_eq!(c.benchmarks_run(), 2);
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,140 @@
+//! Value-generation strategies.
+//!
+//! A [`Strategy`] is a pure sampling function: given the deterministic
+//! [`TestRng`] of a case it produces one value.  There is no shrinking —
+//! failures report the sampled inputs instead.
+
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random values for property tests.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value: Debug;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as u128).wrapping_sub(lo as u128).wrapping_add(1);
+                lo.wrapping_add((rng.next_u64() as u128 % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty strategy range");
+        lo + rng.unit_f64() * (hi - lo)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit_f64() as f32 * (self.end - self.start)
+    }
+}
+
+/// A strategy that always yields a clone of one value (`Just` in the real
+/// crate).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy!((A / 0, B / 1)(A / 0, B / 1, C / 2)(
+    A / 0,
+    B / 1,
+    C / 2,
+    D / 3
+));
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn tuple_strategies_sample_componentwise() {
+        let strat = (0u64..10, 0.0f64..1.0, 1usize..3);
+        let mut rng = TestRng::for_case("tuple", 0);
+        for _ in 0..100 {
+            let (a, b, c) = strat.sample(&mut rng);
+            assert!(a < 10);
+            assert!((0.0..1.0).contains(&b));
+            assert!((1..3).contains(&c));
+        }
+    }
+
+    #[test]
+    fn just_yields_the_value() {
+        let mut rng = TestRng::for_case("just", 0);
+        assert_eq!(Just(41).sample(&mut rng), 41);
+    }
+
+    #[test]
+    fn inclusive_ranges_cover_both_ends() {
+        let mut rng = TestRng::for_case("incl", 0);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let v = (0usize..=2).sample(&mut rng);
+            seen[v] = true;
+        }
+        assert_eq!(seen, [true, true, true]);
+    }
+}

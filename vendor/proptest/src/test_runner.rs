@@ -1,0 +1,120 @@
+//! The per-case deterministic generator and the run configuration.
+
+/// Configuration of a `proptest!` block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// The case count after applying the `PROPTEST_CASES` override.
+    pub fn resolved_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.parse().unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; this lightweight shim trades a
+        // smaller default for suite speed and lets `PROPTEST_CASES` raise it.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The deterministic generator handed to strategies: a pure function of the
+/// fully-qualified test name and the case index.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: [u64; 4],
+}
+
+fn split_mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// The generator for one case of one test.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut hash: u64 = 0xCBF29CE484222325;
+        for byte in test_name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x100000001B3);
+        }
+        let mut seed = hash ^ ((case as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let mut state = [0u64; 4];
+        for word in &mut state {
+            *word = split_mix(&mut seed);
+        }
+        TestRng { state }
+    }
+
+    /// Next raw word (xoshiro256**).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.state[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn uniform_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range");
+        lo + (self.next_u64() as usize) % (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_default_and_override() {
+        assert_eq!(ProptestConfig::default().cases, 64);
+        assert_eq!(ProptestConfig::with_cases(7).cases, 7);
+    }
+
+    #[test]
+    fn rng_is_a_pure_function_of_name_and_case() {
+        let mut a = TestRng::for_case("x::y", 3);
+        let mut b = TestRng::for_case("x::y", 3);
+        let mut c = TestRng::for_case("x::y", 4);
+        let mut d = TestRng::for_case("x::z", 3);
+        let va: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        assert_eq!(va, (0..4).map(|_| b.next_u64()).collect::<Vec<_>>());
+        assert_ne!(va, (0..4).map(|_| c.next_u64()).collect::<Vec<_>>());
+        assert_ne!(va, (0..4).map(|_| d.next_u64()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn unit_f64_stays_in_range() {
+        let mut rng = TestRng::for_case("unit", 0);
+        for _ in 0..1000 {
+            let x = rng.unit_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}
