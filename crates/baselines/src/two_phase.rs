@@ -97,17 +97,13 @@ impl TwoPhaseScheduler {
             }
             RigidScheduler::Ffdh => {
                 // Reuse the canonical-allotment level packer from the core
-                // crate by rebuilding the canonical wrapper around the chosen
-                // allotment's deadline; simpler: pack directly here.
-                let times: Vec<f64> = (0..instance.task_count())
-                    .map(|t| allotment.time(instance, t))
-                    .collect();
-                let canonical = CanonicalAllotment {
-                    omega: allotment.max_time(instance),
-                    allotment: allotment.clone(),
-                    times,
-                    total_work: allotment.total_work(instance),
-                };
+                // crate by wrapping the chosen allotment in the canonical
+                // data structure at its own deadline.
+                let canonical = CanonicalAllotment::from_allotment(
+                    instance,
+                    allotment.clone(),
+                    allotment.max_time(instance),
+                );
                 level_packing_schedule(instance, &canonical)
             }
             RigidScheduler::Nfdh => {

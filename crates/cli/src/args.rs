@@ -93,6 +93,30 @@ pub enum PolicyChoice {
     Batch,
 }
 
+/// Which dual-search mode the MRT scheduler uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchChoice {
+    /// Breakpoint-index bisection: `⌈log₂(n·m)⌉ + O(1)` probes, exact
+    /// certified bound (default).
+    #[default]
+    Exact,
+    /// Classical 30-iteration `f64` midpoint bisection of §2.2.
+    Bisect,
+}
+
+impl SearchChoice {
+    fn parse(token: &str) -> Result<Self, ParseError> {
+        match token {
+            "exact" | "breakpoint" => Ok(SearchChoice::Exact),
+            "bisect" | "bisection" => Ok(SearchChoice::Bisect),
+            other => Err(ParseError::InvalidValue {
+                flag: "--search".into(),
+                value: other.into(),
+            }),
+        }
+    }
+}
+
 /// Which offline solver the epoch/batch policies invoke.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SolverChoice {
@@ -144,6 +168,7 @@ pub enum Command {
         trace: Option<String>,
         policy: PolicyChoice,
         solver: SolverChoice,
+        search: SearchChoice,
         epoch: f64,
         family: FamilyChoice,
         pattern: PatternChoice,
@@ -158,6 +183,8 @@ pub enum Command {
     Schedule {
         instance: String,
         algorithm: AlgorithmChoice,
+        search: SearchChoice,
+        parallel_branches: bool,
         gantt: bool,
         output: Option<String>,
     },
@@ -221,11 +248,15 @@ USAGE:
                            [--family <mixed|wide|sequential>] [--tasks N] [--processors M]
                            [--seed S] [--output FILE]
   malleable-sched online   [--trace FILE] --policy <greedy|epoch-mrt|epoch-ludwig|epoch-list|batch-idle>
-                           [--epoch D] [--solver <mrt|ludwig|list>] [--json] [--no-validate]
-                           [--output schedule.json]
+                           [--epoch D] [--solver <mrt|ludwig|list>] [--search <exact|bisect>]
+                           [--json] [--no-validate] [--output schedule.json]
                            (without --trace, the trace flags of `trace` generate one inline)
   malleable-sched schedule <instance.json> [--algorithm <mrt|ludwig|twy-list|gang|lpt>]
+                           [--search <exact|bisect>] [--parallel-branches]
                            [--gantt] [--output schedule.json]
+                           (--search and --parallel-branches only affect the mrt algorithm:
+                           `exact` bisects over the oracle's breakpoints, `bisect` is the
+                           classical midpoint search of the paper)
   malleable-sched validate <instance.json> <schedule.json>
   malleable-sched bounds   <instance.json>
   malleable-sched help
@@ -370,6 +401,7 @@ impl Cli {
         let mut policy = None;
         let mut solver_flag: Option<SolverChoice> = None;
         let mut solver_from_policy: Option<SolverChoice> = None;
+        let mut search = SearchChoice::default();
         let mut epoch = 1.0f64;
         let mut family = FamilyChoice::Mixed;
         let mut pattern_name = "poisson".to_string();
@@ -406,6 +438,7 @@ impl Cli {
                 "--solver" => {
                     solver_flag = Some(SolverChoice::parse(stream.value_for("--solver")?)?)
                 }
+                "--search" => search = SearchChoice::parse(stream.value_for("--search")?)?,
                 "--epoch" => epoch = parse_number("--epoch", stream.value_for("--epoch")?)?,
                 "--family" => family = FamilyChoice::parse(stream.value_for("--family")?)?,
                 "--pattern" => pattern_name = stream.value_for("--pattern")?.to_string(),
@@ -434,6 +467,7 @@ impl Cli {
             solver: solver_flag
                 .or(solver_from_policy)
                 .unwrap_or(SolverChoice::Mrt),
+            search,
             epoch,
             family,
             pattern,
@@ -449,6 +483,8 @@ impl Cli {
     fn parse_schedule(stream: &mut TokenStream) -> Result<Command, ParseError> {
         let mut instance = None;
         let mut algorithm = AlgorithmChoice::Mrt;
+        let mut search = SearchChoice::default();
+        let mut parallel_branches = false;
         let mut gantt = false;
         let mut output = None;
         while let Some(token) = stream.next() {
@@ -456,6 +492,8 @@ impl Cli {
                 "--algorithm" | "-a" => {
                     algorithm = AlgorithmChoice::parse(stream.value_for("--algorithm")?)?
                 }
+                "--search" => search = SearchChoice::parse(stream.value_for("--search")?)?,
+                "--parallel-branches" => parallel_branches = true,
                 "--gantt" => gantt = true,
                 "--output" | "-o" => output = Some(stream.value_for("--output")?.to_string()),
                 other if other.starts_with('-') => {
@@ -467,6 +505,8 @@ impl Cli {
         Ok(Command::Schedule {
             instance: instance.ok_or(ParseError::MissingArgument("instance.json"))?,
             algorithm,
+            search,
+            parallel_branches,
             gantt,
             output,
         })
@@ -571,10 +611,66 @@ mod tests {
             Command::Schedule {
                 instance: "inst.json".into(),
                 algorithm: AlgorithmChoice::Ludwig,
+                search: SearchChoice::Exact,
+                parallel_branches: false,
                 gantt: true,
                 output: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_schedule_search_and_parallel_flags() {
+        let cli = Cli::parse(&args(&[
+            "schedule",
+            "inst.json",
+            "--search",
+            "bisect",
+            "--parallel-branches",
+        ]))
+        .unwrap();
+        match cli.command {
+            Command::Schedule {
+                search,
+                parallel_branches,
+                ..
+            } => {
+                assert_eq!(search, SearchChoice::Bisect);
+                assert!(parallel_branches);
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+        // Aliases and the default.
+        for (token, expected) in [
+            ("exact", SearchChoice::Exact),
+            ("breakpoint", SearchChoice::Exact),
+            ("bisection", SearchChoice::Bisect),
+        ] {
+            match Cli::parse(&args(&["schedule", "i.json", "--search", token]))
+                .unwrap()
+                .command
+            {
+                Command::Schedule { search, .. } => assert_eq!(search, expected),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(matches!(
+            Cli::parse(&args(&["schedule", "i.json", "--search", "magic"])).unwrap_err(),
+            ParseError::InvalidValue { .. }
+        ));
+        match Cli::parse(&args(&[
+            "online",
+            "--policy",
+            "epoch-mrt",
+            "--search",
+            "bisect",
+        ]))
+        .unwrap()
+        .command
+        {
+            Command::Online { search, .. } => assert_eq!(search, SearchChoice::Bisect),
+            other => panic!("unexpected {other:?}"),
+        }
     }
 
     #[test]

@@ -9,7 +9,10 @@ use std::result::Result;
 use baselines::{gang_schedule, ludwig, sequential_lpt, RigidScheduler, TwoPhaseScheduler};
 use malleable_core::bounds;
 use malleable_core::prelude::*;
-use online::{competitive_report, validate_against_trace, OfflineSolver, PolicyKind};
+use online::{
+    competitive_report, validate_against_trace, EpochReplan, OfflineSolver, OnlinePolicy,
+    PolicyKind,
+};
 use serde_json::json;
 use simulator::{render_gantt, simulate, validate_schedule};
 use workload::{
@@ -19,7 +22,7 @@ use workload::{
 
 use crate::args::{
     AlgorithmChoice, Cli, Command, FamilyChoice, ParseError, PatternChoice, PolicyChoice,
-    SolverChoice, USAGE,
+    SearchChoice, SolverChoice, USAGE,
 };
 use crate::schedule_io::{schedule_from_json, schedule_to_json};
 
@@ -82,9 +85,18 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
         Command::Schedule {
             instance,
             algorithm,
+            search,
+            parallel_branches,
             gantt,
             output,
-        } => schedule(instance, *algorithm, *gantt, output.as_deref()),
+        } => schedule(
+            instance,
+            *algorithm,
+            *search,
+            *parallel_branches,
+            *gantt,
+            output.as_deref(),
+        ),
         Command::Validate { instance, schedule } => validate(instance, schedule),
         Command::Bounds { instance } => print_bounds(instance),
         Command::Trace {
@@ -106,6 +118,7 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             trace,
             policy,
             solver,
+            search,
             epoch,
             family,
             pattern,
@@ -119,6 +132,7 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             trace: trace.as_deref(),
             policy: *policy,
             solver: *solver,
+            search: *search,
             epoch: *epoch,
             family: *family,
             pattern: *pattern,
@@ -186,6 +200,7 @@ struct OnlineArgs<'a> {
     trace: Option<&'a str>,
     policy: PolicyChoice,
     solver: SolverChoice,
+    search: SearchChoice,
     epoch: f64,
     family: FamilyChoice,
     pattern: PatternChoice,
@@ -220,15 +235,21 @@ fn run_online(args: OnlineArgs) -> Result<String, CliError> {
         SolverChoice::Ludwig => OfflineSolver::TwoPhase,
         SolverChoice::List => OfflineSolver::CanonicalList,
     };
-    let kind = match args.policy {
-        PolicyChoice::Greedy => PolicyKind::Greedy,
-        PolicyChoice::Epoch => PolicyKind::Epoch {
-            period: args.epoch,
-            solver,
-        },
-        PolicyChoice::Batch => PolicyKind::Batch { solver },
+    let mut policy: Box<dyn OnlinePolicy> = match args.policy {
+        PolicyChoice::Greedy => PolicyKind::Greedy
+            .build()
+            .map_err(|e| CliError::Invalid(e.to_string()))?,
+        // The epoch policy is built directly so the warm-started MRT path can
+        // honour the --search flag.
+        PolicyChoice::Epoch => Box::new(
+            EpochReplan::with_solver(args.epoch, solver)
+                .map_err(|e| CliError::Invalid(e.to_string()))?
+                .with_search(search_mode(args.search)),
+        ),
+        PolicyChoice::Batch => PolicyKind::Batch { solver }
+            .build()
+            .map_err(|e| CliError::Invalid(e.to_string()))?,
     };
-    let mut policy = kind.build().map_err(|e| CliError::Invalid(e.to_string()))?;
     let result =
         online::run(&trace, policy.as_mut()).map_err(|e| CliError::Scheduling(e.to_string()))?;
     let report =
@@ -332,13 +353,29 @@ fn generate(
     }
 }
 
-fn run_algorithm(algorithm: AlgorithmChoice, instance: &Instance) -> Result<Schedule, CliError> {
+/// Map the CLI search flag onto the core search mode.
+fn search_mode(choice: SearchChoice) -> SearchMode {
+    match choice {
+        SearchChoice::Exact => SearchMode::Exact,
+        SearchChoice::Bisect => SearchMode::Bisect,
+    }
+}
+
+fn run_algorithm(
+    algorithm: AlgorithmChoice,
+    instance: &Instance,
+    search: SearchChoice,
+    parallel_branches: bool,
+) -> Result<Schedule, CliError> {
     let schedule = match algorithm {
         AlgorithmChoice::Mrt => {
-            MrtScheduler::default()
-                .schedule(instance)
-                .map_err(|e| CliError::Scheduling(e.to_string()))?
-                .schedule
+            MrtScheduler {
+                parallel_branches,
+                ..Default::default()
+            }
+            .schedule_with(instance, search_mode(search))
+            .map_err(|e| CliError::Scheduling(e.to_string()))?
+            .schedule
         }
         AlgorithmChoice::Ludwig => {
             ludwig(instance).map_err(|e| CliError::Scheduling(e.to_string()))?
@@ -357,11 +394,13 @@ fn run_algorithm(algorithm: AlgorithmChoice, instance: &Instance) -> Result<Sche
 fn schedule(
     instance_path: &str,
     algorithm: AlgorithmChoice,
+    search: SearchChoice,
+    parallel_branches: bool,
     gantt: bool,
     output: Option<&str>,
 ) -> Result<String, CliError> {
     let instance = load_instance(instance_path)?;
-    let schedule = run_algorithm(algorithm, &instance)?;
+    let schedule = run_algorithm(algorithm, &instance, search, parallel_branches)?;
     let lb = bounds::lower_bound(&instance);
     let trace = simulate(&instance, &schedule);
 
@@ -510,6 +549,57 @@ mod tests {
             assert!(out.contains("ratio"), "{algo} did not report a ratio");
         }
         fs::remove_file(instance_path).ok();
+    }
+
+    #[test]
+    fn schedule_runs_both_search_modes_and_parallel_branches() {
+        let instance_path = temp_path("search-instance.json");
+        run_args(&args(&[
+            "generate",
+            "--tasks",
+            "14",
+            "--processors",
+            "8",
+            "--seed",
+            "4",
+            "--output",
+            &instance_path,
+        ]))
+        .unwrap();
+        for extra in [
+            vec!["--search", "exact"],
+            vec!["--search", "bisect"],
+            vec!["--search", "exact", "--parallel-branches"],
+        ] {
+            let mut argv = vec!["schedule", instance_path.as_str(), "--algorithm", "mrt"];
+            argv.extend(extra.iter().copied());
+            let out = run_args(&args(&argv)).unwrap();
+            assert!(out.contains("ratio"), "{argv:?}: {out}");
+        }
+        fs::remove_file(instance_path).ok();
+    }
+
+    #[test]
+    fn online_honours_the_search_flag() {
+        for search in ["exact", "bisect"] {
+            let out = run_args(&args(&[
+                "online",
+                "--policy",
+                "epoch-mrt",
+                "--search",
+                search,
+                "--tasks",
+                "20",
+                "--processors",
+                "8",
+                "--seed",
+                "3",
+                "--rate",
+                "5",
+            ]))
+            .unwrap();
+            assert!(out.contains("validation       : OK"), "{search}: {out}");
+        }
     }
 
     #[test]

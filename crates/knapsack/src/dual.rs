@@ -8,7 +8,7 @@
 //! scheduling application is bounded by the number of processors `m`), plus a
 //! brute-force oracle for testing.
 
-use crate::Item;
+use crate::{DpWorkspace, Item};
 
 /// Result of a dual (minimum-weight covering) knapsack resolution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -45,6 +45,17 @@ impl DualSolution {
 /// (profits beyond the target are clamped, which preserves optimality for a
 /// covering objective).
 pub fn solve_dual_min_weight(items: &[Item], target: u64) -> Option<DualSolution> {
+    solve_dual_min_weight_in(items, target, &mut DpWorkspace::new())
+}
+
+/// Same as [`solve_dual_min_weight`], reusing the DP tables of `workspace` so
+/// that repeated resolutions stop allocating once the tables have reached
+/// their steady-state size.
+pub fn solve_dual_min_weight_in(
+    items: &[Item],
+    target: u64,
+    workspace: &mut DpWorkspace,
+) -> Option<DualSolution> {
     if target == 0 {
         return Some(DualSolution::from_indices(items, Vec::new()));
     }
@@ -57,9 +68,13 @@ pub fn solve_dual_min_weight(items: &[Item], target: u64) -> Option<DualSolution
 
     // min_w[p] = minimum weight achieving clamped profit exactly p,
     // where the clamped profit of a selection is min(Σ profit, target).
-    let mut min_w = vec![INFEASIBLE; bound + 1];
+    let min_w = &mut workspace.min_weight;
+    min_w.clear();
+    min_w.resize(bound + 1, INFEASIBLE);
     min_w[0] = 0;
-    let mut choice = vec![false; items.len() * (bound + 1)];
+    let choice = &mut workspace.decisions;
+    choice.clear();
+    choice.resize(items.len() * (bound + 1), false);
 
     for (i, it) in items.iter().enumerate() {
         let row = &mut choice[i * (bound + 1)..(i + 1) * (bound + 1)];

@@ -1,6 +1,6 @@
 //! Exact pseudo-polynomial dynamic program over capacity.
 
-use crate::{Item, Solution};
+use crate::{DpWorkspace, Item, Solution};
 
 /// Solve a 0/1 knapsack instance exactly with the classical capacity DP.
 ///
@@ -14,6 +14,13 @@ use crate::{Item, Solution};
 /// Items with weight larger than the capacity are never selected; items with
 /// zero weight are always selected (they are free profit).
 pub fn solve_exact(items: &[Item], capacity: u64) -> Solution {
+    solve_exact_in(items, capacity, &mut DpWorkspace::new())
+}
+
+/// Same as [`solve_exact`], reusing the DP tables of `workspace` so that
+/// repeated resolutions (one per oracle probe in the scheduling layer) stop
+/// allocating once the tables have reached their steady-state size.
+pub fn solve_exact_in(items: &[Item], capacity: u64, workspace: &mut DpWorkspace) -> Solution {
     let n = items.len();
     if n == 0 {
         return Solution::empty();
@@ -26,9 +33,13 @@ pub fn solve_exact(items: &[Item], capacity: u64) -> Solution {
     let cap = capacity.min(total_weight) as usize;
 
     // best[c] = best profit achievable with capacity c using items 0..=i.
-    let mut best = vec![0u64; cap + 1];
+    let best = &mut workspace.best;
+    best.clear();
+    best.resize(cap + 1, 0u64);
     // take[i][c] = whether item i is taken in an optimal solution for capacity c.
-    let mut take = vec![false; n * (cap + 1)];
+    let take = &mut workspace.decisions;
+    take.clear();
+    take.resize(n * (cap + 1), false);
 
     for (i, it) in items.iter().enumerate() {
         let w = it.weight as usize;
@@ -82,6 +93,26 @@ mod tests {
     fn empty_instance() {
         let sol = solve_exact(&[], 10);
         assert_eq!(sol, Solution::empty());
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh_solve() {
+        let mut ws = DpWorkspace::new();
+        let instances: [(&[(u64, u64)], u64); 3] = [
+            (&[(10, 60), (20, 100), (30, 120)], 50),
+            (&[(3, 4), (4, 5), (2, 3)], 6),
+            (&[(1, 1)], 0),
+        ];
+        for (raw, cap) in instances {
+            let it = items(raw);
+            assert_eq!(solve_exact_in(&it, cap, &mut ws), solve_exact(&it, cap));
+        }
+        // After a warm-up at the largest size, re-solving does not grow tables.
+        let it = items(&[(10, 60), (20, 100), (30, 120)]);
+        solve_exact_in(&it, 50, &mut ws);
+        let sig = ws.capacity_signature();
+        solve_exact_in(&it, 50, &mut ws);
+        assert_eq!(ws.capacity_signature(), sig);
     }
 
     #[test]

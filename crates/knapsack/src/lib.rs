@@ -36,10 +36,47 @@ mod fptas;
 mod item;
 
 pub use brute::solve_brute_force;
-pub use dual::{solve_dual_brute_force, solve_dual_min_weight, DualSolution};
-pub use exact::solve_exact;
+pub use dual::{
+    solve_dual_brute_force, solve_dual_min_weight, solve_dual_min_weight_in, DualSolution,
+};
+pub use exact::{solve_exact, solve_exact_in};
 pub use fptas::solve_fptas;
 pub use item::{Item, Solution};
+
+/// Reusable DP tables for the exact and dual solvers.
+///
+/// The scheduling layer solves one knapsack (and sometimes one covering
+/// knapsack) per oracle probe, and a dichotomic search performs dozens of
+/// probes per solve.  Allocating the `O(n·C)` decision table afresh each time
+/// dominates the solver cost on small machines; a `DpWorkspace` lets the
+/// caller keep the tables alive across probes.  Buffers only ever grow, so
+/// after a warm-up probe at the largest instance size the solvers stop
+/// touching the allocator entirely (observable via [`capacity_signature`]).
+///
+/// [`capacity_signature`]: DpWorkspace::capacity_signature
+#[derive(Debug, Clone, Default)]
+pub struct DpWorkspace {
+    /// Rolling best-profit row of the primal DP (`O(C)`).
+    pub(crate) best: Vec<u64>,
+    /// Minimum-weight row of the dual DP (`O(P)`).
+    pub(crate) min_weight: Vec<u64>,
+    /// Shared take/skip decision table (`O(n·C)` or `O(n·P)`); the primal and
+    /// dual solvers never run concurrently on one workspace, so they share it.
+    pub(crate) decisions: Vec<bool>,
+}
+
+impl DpWorkspace {
+    /// An empty workspace; tables are sized lazily by the first resolution.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sum of the capacities of all internal buffers.  Two equal signatures
+    /// around a resolution prove the resolution performed no allocation.
+    pub fn capacity_signature(&self) -> usize {
+        self.best.capacity() + self.min_weight.capacity() + self.decisions.capacity()
+    }
+}
 
 /// Strategy used to solve a knapsack instance.
 ///
@@ -72,13 +109,25 @@ impl Default for Strategy {
 /// Returns the selected item indices and the achieved profit.  The solution is
 /// optimal when the exact path is taken and `(1−ε)`-optimal otherwise.
 pub fn solve(items: &[Item], capacity: u64, strategy: Strategy) -> Solution {
+    solve_in(items, capacity, strategy, &mut DpWorkspace::new())
+}
+
+/// Same as [`solve`], reusing the DP tables of `workspace` on the exact path.
+/// (The FPTAS path still allocates; the scheduling layer never takes it, since
+/// its capacities are processor counts.)
+pub fn solve_in(
+    items: &[Item],
+    capacity: u64,
+    strategy: Strategy,
+    workspace: &mut DpWorkspace,
+) -> Solution {
     match strategy {
-        Strategy::Exact => solve_exact(items, capacity),
+        Strategy::Exact => solve_exact_in(items, capacity, workspace),
         Strategy::Fptas(eps) => solve_fptas(items, capacity, eps),
         Strategy::Auto { dp_budget, epsilon } => {
             let cost = (items.len() as u64).saturating_mul(capacity.saturating_add(1));
             if cost <= dp_budget {
-                solve_exact(items, capacity)
+                solve_exact_in(items, capacity, workspace)
             } else {
                 solve_fptas(items, capacity, epsilon)
             }

@@ -61,6 +61,18 @@ impl Allotment {
         &self.processors
     }
 
+    /// Mutable access to the raw vector, for in-place recomputation by the
+    /// canonical-allotment cache (callers must re-establish the `1..=m`
+    /// invariant before the allotment is used again).
+    pub(crate) fn processors_vec_mut(&mut self) -> &mut Vec<usize> {
+        &mut self.processors
+    }
+
+    /// Capacity of the backing vector (allocation-tracking telemetry).
+    pub(crate) fn buffer_capacity(&self) -> usize {
+        self.processors.capacity()
+    }
+
     /// Number of tasks covered.
     pub fn len(&self) -> usize {
         self.processors.len()

@@ -43,6 +43,37 @@ pub struct CanonicalAllotment {
     pub times: Vec<f64>,
     /// Total work of the canonical allotment (`Σ q_j · t_j(q_j)`).
     pub total_work: f64,
+    /// Task identifiers sorted by decreasing canonical time (ties broken by
+    /// task id), cached at compute time: the λ-area and the canonical list
+    /// algorithm both consume this order on every probe.
+    sorted: Vec<TaskId>,
+}
+
+/// Build the decreasing-time order (ties by increasing id) from scratch.
+fn sort_by_decreasing_time(times: &[f64]) -> Vec<TaskId> {
+    let mut sorted: Vec<TaskId> = (0..times.len()).collect();
+    sorted.sort_unstable_by(|&a, &b| times[b].total_cmp(&times[a]).then(a.cmp(&b)));
+    sorted
+}
+
+/// Restore the decreasing-time order (ties by increasing id) of `sorted` after
+/// `times` changed.  Insertion sort is adaptive: when the guess `ω` moves
+/// between two probes, only the tasks whose canonical count changed are out of
+/// place, so the repair costs `O(n + inversions)` instead of a full sort.  It
+/// is only used on the incremental [`CanonicalAllotment::recompute`] path —
+/// cold construction uses [`sort_by_decreasing_time`], which is `O(n·log n)`
+/// on arbitrary orders.
+fn resort_by_decreasing_time(sorted: &mut [TaskId], times: &[f64]) {
+    let after = |a: TaskId, b: TaskId| times[a] < times[b] || (times[a] == times[b] && a > b);
+    for i in 1..sorted.len() {
+        let id = sorted[i];
+        let mut j = i;
+        while j > 0 && after(sorted[j - 1], id) {
+            sorted[j] = sorted[j - 1];
+            j -= 1;
+        }
+        sorted[j] = id;
+    }
 }
 
 impl CanonicalAllotment {
@@ -54,20 +85,96 @@ impl CanonicalAllotment {
             .map(|t| allotment.time(instance, t))
             .collect();
         let total_work = allotment.total_work(instance);
+        let sorted = sort_by_decreasing_time(&times);
         Ok(CanonicalAllotment {
             omega,
             allotment,
             times,
             total_work,
+            sorted,
         })
     }
 
+    /// Wrap an arbitrary (not necessarily canonical) allotment in the
+    /// canonical data structure, deriving the per-task times, total work and
+    /// sort order from it — used by the baselines to reuse the level packer
+    /// on non-canonical allotments.
+    pub fn from_allotment(instance: &Instance, allotment: Allotment, omega: f64) -> Self {
+        let times: Vec<f64> = (0..allotment.len())
+            .map(|t| allotment.time(instance, t))
+            .collect();
+        let total_work = allotment.total_work(instance);
+        let sorted = sort_by_decreasing_time(&times);
+        CanonicalAllotment {
+            omega,
+            allotment,
+            times,
+            total_work,
+            sorted,
+        }
+    }
+
+    /// Recompute the allotment for a new guess (and possibly a new instance)
+    /// in place, reusing the existing buffers and repairing the cached sort
+    /// order incrementally.  On `Err` (the guess is unreachable — a
+    /// certificate that `OPT > ω`) the receiver is left untouched.
+    pub fn recompute(&mut self, instance: &Instance, omega: f64) -> Result<()> {
+        let n = instance.task_count();
+        // First pass without mutation, so an unreachable deadline leaves the
+        // receiver consistent with its previous guess.
+        for (id, task) in instance.iter() {
+            if task.canonical_processors(omega).is_none() {
+                return Err(crate::error::Error::DeadlineUnreachable {
+                    task: id,
+                    deadline: omega,
+                });
+            }
+        }
+        let same_tasks = self.times.len() == n;
+        let counts = self.allotment.processors_vec_mut();
+        counts.resize(n, 1);
+        self.times.resize(n, 0.0);
+        let mut changed = !same_tasks;
+        let mut total_work = 0.0;
+        for (id, task) in instance.iter() {
+            let q = task
+                .canonical_processors(omega)
+                .expect("checked in the first pass");
+            let t = task.time(q);
+            if counts[id] != q || self.times[id] != t {
+                changed = true;
+            }
+            counts[id] = q;
+            self.times[id] = t;
+            total_work += q as f64 * t;
+        }
+        self.omega = omega;
+        self.total_work = total_work;
+        if !same_tasks {
+            // A different task set: rebuild the order in place with a full
+            // sort (the adaptive repair is only a win on nearly-sorted data).
+            let times = &self.times;
+            self.sorted.clear();
+            self.sorted.extend(0..n);
+            self.sorted
+                .sort_unstable_by(|&a, &b| times[b].total_cmp(&times[a]).then(a.cmp(&b)));
+        } else if changed {
+            resort_by_decreasing_time(&mut self.sorted, &self.times);
+        }
+        Ok(())
+    }
+
     /// Task identifiers sorted by decreasing canonical execution time (the
-    /// order used by the canonical list algorithm and by the λ-area).
-    pub fn sorted_by_decreasing_time(&self) -> Vec<TaskId> {
-        let mut ids: Vec<TaskId> = (0..self.times.len()).collect();
-        ids.sort_by(|&a, &b| self.times[b].partial_cmp(&self.times[a]).unwrap());
-        ids
+    /// order used by the canonical list algorithm and by the λ-area).  The
+    /// permutation is cached at compute time and maintained incrementally by
+    /// [`CanonicalAllotment::recompute`].
+    pub fn sorted_by_decreasing_time(&self) -> &[TaskId] {
+        &self.sorted
+    }
+
+    /// Total capacity of the owned buffers (allocation-tracking telemetry).
+    pub(crate) fn buffer_capacity(&self) -> usize {
+        self.allotment.buffer_capacity() + self.times.capacity() + self.sorted.capacity()
     }
 
     /// The canonical λ-area `S_m` (Definition 1 of the paper): run the
@@ -78,10 +185,9 @@ impl CanonicalAllotment {
     /// When the canonical widths sum to less than `m`, the whole canonical
     /// work is returned.
     pub fn lambda_area(&self, m: usize) -> f64 {
-        let order = self.sorted_by_decreasing_time();
         let mut width_used = 0usize;
         let mut area = 0.0f64;
-        for id in order {
+        for &id in &self.sorted {
             let q = self.allotment.processors(id);
             let t = self.times[id];
             if width_used + q <= m {
@@ -91,13 +197,10 @@ impl CanonicalAllotment {
                     break;
                 }
             } else {
-                let remaining = m - width_used;
-                area += remaining as f64 * t;
-                width_used = m;
+                area += (m - width_used) as f64 * t;
                 break;
             }
         }
-        let _ = width_used;
         area
     }
 
@@ -239,6 +342,47 @@ mod tests {
         assert!((c.times[0] - 0.95).abs() < 1e-12);
         assert!((c.times[4] - 0.9).abs() < 1e-12);
         assert!(CanonicalAllotment::compute(&inst, 0.5).is_err());
+    }
+
+    #[test]
+    fn cached_sort_order_is_decreasing_with_id_tiebreak() {
+        let inst = instance();
+        let c = CanonicalAllotment::compute(&inst, 1.0).unwrap();
+        let order = c.sorted_by_decreasing_time();
+        assert_eq!(order.len(), inst.task_count());
+        for pair in order.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            assert!(
+                c.times[a] > c.times[b] || (c.times[a] == c.times[b] && a < b),
+                "order {order:?} violates decreasing time with id tie-break"
+            );
+        }
+    }
+
+    #[test]
+    fn recompute_matches_fresh_compute() {
+        let inst = instance();
+        let mut cached = CanonicalAllotment::compute(&inst, 2.0).unwrap();
+        for omega in [1.0, 0.95, 1.4, 3.0, 1.0] {
+            cached.recompute(&inst, omega).unwrap();
+            let fresh = CanonicalAllotment::compute(&inst, omega).unwrap();
+            assert_eq!(cached, fresh, "recompute diverged at ω = {omega}");
+        }
+        // An unreachable guess is rejected and leaves the cache untouched.
+        let before = cached.clone();
+        assert!(cached.recompute(&inst, 0.1).is_err());
+        assert_eq!(cached, before);
+        // A different instance (new task count) is handled by resizing.
+        let other = Instance::from_profiles(
+            vec![
+                SpeedupProfile::sequential(0.4).unwrap(),
+                SpeedupProfile::linear(2.0, 4).unwrap(),
+            ],
+            4,
+        )
+        .unwrap();
+        cached.recompute(&other, 1.0).unwrap();
+        assert_eq!(cached, CanonicalAllotment::compute(&other, 1.0).unwrap());
     }
 
     #[test]

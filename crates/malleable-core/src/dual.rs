@@ -14,9 +14,11 @@
 //! better than the worst-case ρ.
 
 use crate::bounds;
+use crate::breakpoints;
 use crate::error::{Error, Result};
 use crate::instance::Instance;
 use crate::schedule::Schedule;
+use crate::workspace::ProbeWorkspace;
 
 /// Outcome of one dual-approximation probe at a guess `ω`.
 #[derive(Debug, Clone)]
@@ -45,6 +47,22 @@ pub trait DualApproximation {
 
     /// Probe the guess `ω`.
     fn probe(&self, instance: &Instance, omega: f64) -> DualOutcome;
+
+    /// Probe the guess `ω`, reusing the buffers of `workspace` across probes.
+    ///
+    /// The default implementation delegates to [`DualApproximation::probe`];
+    /// algorithms with allocation-heavy probes (the combined MRT scheduler)
+    /// override it to reuse the canonical-allotment cache, the packing
+    /// scratch and the knapsack DP tables between probes.
+    fn probe_with_workspace(
+        &self,
+        instance: &Instance,
+        omega: f64,
+        workspace: &mut ProbeWorkspace,
+    ) -> DualOutcome {
+        let _ = workspace;
+        self.probe(instance, omega)
+    }
 }
 
 /// Result of a dual-approximation binary search.
@@ -71,6 +89,40 @@ impl SearchResult {
         self.schedule.makespan() / self.certified_lower_bound
     }
 }
+
+/// How the dichotomic search picks its probe points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchMode {
+    /// Blind `f64` midpoint bisection of §2.2 (the classical search).
+    #[default]
+    Bisect,
+    /// Bisection over the index space of the oracle's breakpoints (the
+    /// per-task canonical times plus the work/width feasibility kinks, see
+    /// [`crate::breakpoints`]).  The oracle's answer only changes at
+    /// breakpoints, so `⌈log₂(n·m)⌉ + O(1)` probes replace the fixed
+    /// iteration budget, and the certified lower bound is exact at a
+    /// breakpoint instead of tolerance-limited.
+    Exact,
+}
+
+impl SearchMode {
+    /// Stable name used in reports and on the CLI.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SearchMode::Bisect => "bisect",
+            SearchMode::Exact => "exact",
+        }
+    }
+}
+
+/// Probe budget of the quality-descent phase of [`SearchMode::Exact`]: after
+/// the breakpoint bisection has pinned the oracle's feasibility threshold,
+/// up to this many classical midpoint probes sweep the feasible region for
+/// *schedule quality* (branch quality, unlike feasibility, is not constant
+/// between breakpoints — the two-shelf construction moves continuously with
+/// ω).  Part of the `O(1)` in the exact mode's `⌈log₂(n·m)⌉ + O(1)` probe
+/// bound.
+pub const EXACT_QUALITY_PROBES: usize = 12;
 
 /// Configuration of the dichotomic search.
 #[derive(Debug, Clone, Copy)]
@@ -110,19 +162,76 @@ impl DualSearch {
         instance: &Instance,
         algorithm: &dyn DualApproximation,
     ) -> Result<SearchResult> {
-        let mut lo = bounds::lower_bound(instance);
+        self.solve_in(instance, algorithm, &mut ProbeWorkspace::new())
+    }
+
+    /// Same as [`DualSearch::solve`], reusing `workspace` across probes.
+    pub fn solve_in(
+        &self,
+        instance: &Instance,
+        algorithm: &dyn DualApproximation,
+        workspace: &mut ProbeWorkspace,
+    ) -> Result<SearchResult> {
+        self.solve_guided(instance, algorithm, SearchMode::Bisect, None, workspace)
+    }
+
+    /// Run the search in breakpoint-exact mode (see [`SearchMode::Exact`]).
+    pub fn solve_exact(
+        &self,
+        instance: &Instance,
+        algorithm: &dyn DualApproximation,
+    ) -> Result<SearchResult> {
+        self.solve_exact_in(instance, algorithm, &mut ProbeWorkspace::new())
+    }
+
+    /// Same as [`DualSearch::solve_exact`], reusing `workspace` across probes.
+    pub fn solve_exact_in(
+        &self,
+        instance: &Instance,
+        algorithm: &dyn DualApproximation,
+        workspace: &mut ProbeWorkspace,
+    ) -> Result<SearchResult> {
+        self.solve_guided(instance, algorithm, SearchMode::Exact, None, workspace)
+    }
+
+    /// The full-control entry point: run the search in the given mode, with
+    /// an optional warm-start hint for the upper end of the interval (a guess
+    /// believed feasible, e.g. scaled over from the previous epoch of an
+    /// online re-planner).  A hint below the true threshold only costs the
+    /// doubling probes needed to climb back; correctness is unaffected.
+    pub fn solve_guided(
+        &self,
+        instance: &Instance,
+        algorithm: &dyn DualApproximation,
+        mode: SearchMode,
+        upper_hint: Option<f64>,
+        workspace: &mut ProbeWorkspace,
+    ) -> Result<SearchResult> {
+        // The static lower bound is computed once per solve (it is itself a
+        // bisection over the feasibility conditions) and reused both as the
+        // initial `lo` and as the certified-bound floor.
+        let static_lb = bounds::lower_bound(instance);
+        let mut lo = static_lb;
         let mut hi = bounds::upper_bound(instance).max(lo);
+        if let Some(hint) = upper_hint {
+            if hint.is_finite() && hint > 0.0 {
+                hi = hi.min(hint.max(lo));
+            }
+        }
+
         let mut probes = 0usize;
         let mut best: Option<Schedule>;
+        let mut best_makespan: f64;
         let mut feasible_omega: f64;
 
         // Ensure the upper end is actually accepted by the oracle.
         let mut attempts = 0;
         loop {
             probes += 1;
-            match algorithm.probe(instance, hi) {
+            match algorithm.probe_with_workspace(instance, hi, workspace) {
                 DualOutcome::Feasible(s) => {
                     feasible_omega = hi;
+                    best_makespan = s.makespan();
                     best = Some(s);
                     break;
                 }
@@ -137,23 +246,124 @@ impl DualSearch {
             }
         }
 
-        for _ in 0..self.iterations {
-            if hi - lo <= self.relative_tolerance * hi.max(1e-12) {
-                break;
-            }
-            let mid = 0.5 * (lo + hi);
-            probes += 1;
-            match algorithm.probe(instance, mid) {
-                DualOutcome::Feasible(s) => {
-                    feasible_omega = feasible_omega.min(mid);
-                    hi = mid;
-                    match &best {
-                        Some(b) if b.makespan() <= s.makespan() => {}
-                        _ => best = Some(s),
+        match mode {
+            SearchMode::Bisect => {
+                for _ in 0..self.iterations {
+                    if hi - lo <= self.relative_tolerance * hi.max(1e-12) {
+                        break;
+                    }
+                    // A-posteriori ratio already 1: the best schedule matches
+                    // the certified bound, no probe can improve either side.
+                    if best_makespan <= lo * (1.0 + 1e-9) {
+                        break;
+                    }
+                    let mid = 0.5 * (lo + hi);
+                    probes += 1;
+                    match algorithm.probe_with_workspace(instance, mid, workspace) {
+                        DualOutcome::Feasible(s) => {
+                            feasible_omega = feasible_omega.min(mid);
+                            hi = mid;
+                            let makespan = s.makespan();
+                            if makespan < best_makespan {
+                                best_makespan = makespan;
+                                best = Some(s);
+                            }
+                        }
+                        DualOutcome::Infeasible => {
+                            lo = mid;
+                        }
                     }
                 }
-                DualOutcome::Infeasible => {
-                    lo = mid;
+            }
+            SearchMode::Exact => {
+                // Bisect over breakpoint indices: feasibility is constant
+                // between consecutive candidates, so the smallest feasible
+                // candidate is the oracle's true threshold.
+                let initial_hi = hi;
+                let candidates = breakpoints::search_candidates(instance, lo, hi);
+                let mut hi_idx = candidates.len() - 1; // == hi, probed feasible
+                let mut lo_idx: Option<usize> = None;
+                while lo_idx.map_or(0, |k| k + 1) < hi_idx {
+                    if best_makespan <= lo * (1.0 + 1e-9) {
+                        break;
+                    }
+                    let mid = (lo_idx.map_or(0, |k| k + 1) + hi_idx) / 2;
+                    probes += 1;
+                    match algorithm.probe_with_workspace(instance, candidates[mid], workspace) {
+                        DualOutcome::Feasible(s) => {
+                            hi_idx = mid;
+                            feasible_omega = feasible_omega.min(candidates[mid]);
+                            let makespan = s.makespan();
+                            if makespan < best_makespan {
+                                best_makespan = makespan;
+                                best = Some(s);
+                            }
+                        }
+                        DualOutcome::Infeasible => {
+                            lo_idx = Some(mid);
+                        }
+                    }
+                }
+                if let Some(k) = lo_idx {
+                    // The candidate set makes the *necessary feasibility
+                    // conditions* piecewise-constant, so verifying them at
+                    // one interior point certifies the whole half-open
+                    // interval: if they fail there, `OPT ≥ candidates[hi_idx]`
+                    // exactly.  An oracle may also reject for non-certificate
+                    // reasons (ablation branch subsets, custom oracles) whose
+                    // thresholds are not in the candidate set — in that case
+                    // only the probed guess itself is a (claimed) certificate,
+                    // the classical bisection semantics.
+                    let interior = 0.5 * (candidates[k] + candidates[hi_idx]);
+                    if !bounds::may_be_feasible(instance, interior) {
+                        lo = lo.max(candidates[hi_idx].min(best_makespan));
+                    } else {
+                        lo = lo.max(candidates[k]);
+                    }
+                }
+
+                // Quality descent: the certified bound is already exact, but
+                // branch quality (unlike feasibility) is not constant between
+                // breakpoints — the two-shelf construction moves continuously
+                // with ω.  Spend a small bounded budget on the classical
+                // midpoint descent through the known-feasible region; in the
+                // common case where the threshold sits at the static bound,
+                // this retraces the bisection search's own probe points.
+                let mut quality_hi = initial_hi;
+                let quality_lo = feasible_omega;
+                let mut stale = 0usize;
+                for _ in 0..EXACT_QUALITY_PROBES {
+                    // Stop on a stale streak, a closed a-posteriori gap, or a
+                    // region already narrower than the search tolerance (the
+                    // same stopping rule the bisection mode uses) — the last
+                    // is what keeps warm-started epoch re-solves cheap.
+                    if stale >= 8
+                        || best_makespan <= lo * (1.0 + 1e-9)
+                        || quality_hi - quality_lo
+                            <= self.relative_tolerance.max(1e-9) * quality_hi.max(1e-12)
+                    {
+                        break;
+                    }
+                    let mid = 0.5 * (quality_lo + quality_hi);
+                    probes += 1;
+                    match algorithm.probe_with_workspace(instance, mid, workspace) {
+                        DualOutcome::Feasible(s) => {
+                            quality_hi = mid;
+                            feasible_omega = feasible_omega.min(mid);
+                            let makespan = s.makespan();
+                            if makespan < best_makespan {
+                                best_makespan = makespan;
+                                best = Some(s);
+                                stale = 0;
+                            } else {
+                                stale += 1;
+                            }
+                        }
+                        // Above the certified threshold every guess is
+                        // feasible for a monotone oracle; stop rather than
+                        // fight a non-monotone one.
+                        DualOutcome::Infeasible => break,
+                    }
                 }
             }
         }
@@ -161,7 +371,7 @@ impl DualSearch {
         let schedule = best.ok_or(Error::NoFeasibleSchedule)?;
         Ok(SearchResult {
             schedule,
-            certified_lower_bound: lo.max(bounds::lower_bound(instance)),
+            certified_lower_bound: lo,
             feasible_omega,
             probes,
         })
@@ -254,6 +464,65 @@ mod tests {
         // The only schedule is the task alone; optimum is t(4) = 2.0.
         assert!((result.schedule.makespan() - 2.0).abs() < 1e-6);
         assert!((result.certified_lower_bound - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn search_mode_names_are_stable() {
+        assert_eq!(SearchMode::Bisect.name(), "bisect");
+        assert_eq!(SearchMode::Exact.name(), "exact");
+        assert_eq!(SearchMode::default(), SearchMode::Bisect);
+    }
+
+    #[test]
+    fn exact_mode_solves_the_test_oracle_with_fewer_probes() {
+        let inst = instance();
+        let bisect = DualSearch::default()
+            .solve(&inst, &CanonicalListOracle)
+            .unwrap();
+        let exact = DualSearch::default()
+            .solve_exact(&inst, &CanonicalListOracle)
+            .unwrap();
+        assert!(exact.schedule.validate(&inst).is_ok());
+        assert!(exact.certified_lower_bound >= bisect.certified_lower_bound - 1e-9);
+        assert!(
+            exact.probes < bisect.probes,
+            "exact used {} probes, bisect {}",
+            exact.probes,
+            bisect.probes
+        );
+        assert!(exact.schedule.makespan() >= exact.certified_lower_bound - 1e-9);
+    }
+
+    #[test]
+    fn solve_guided_accepts_upper_hints() {
+        let inst = instance();
+        let base = DualSearch::default()
+            .solve(&inst, &CanonicalListOracle)
+            .unwrap();
+        let mut ws = ProbeWorkspace::new();
+        // A hint just above the known-feasible guess narrows the interval.
+        let hinted = DualSearch::default()
+            .solve_guided(
+                &inst,
+                &CanonicalListOracle,
+                SearchMode::Bisect,
+                Some(base.feasible_omega * 1.01),
+                &mut ws,
+            )
+            .unwrap();
+        assert!(hinted.schedule.validate(&inst).is_ok());
+        assert!(hinted.probes <= base.probes);
+        // An absurd lowball hint is recovered by the doubling climb.
+        let lowball = DualSearch::default()
+            .solve_guided(
+                &inst,
+                &CanonicalListOracle,
+                SearchMode::Exact,
+                Some(1e-12),
+                &mut ws,
+            )
+            .unwrap();
+        assert!(lowball.schedule.validate(&inst).is_ok());
     }
 
     /// Monotonicity of the oracle: feasible at ω implies feasible at ω' ≥ ω.

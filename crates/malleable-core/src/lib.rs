@@ -47,6 +47,7 @@
 
 pub mod allotment;
 pub mod bounds;
+pub mod breakpoints;
 pub mod canonical;
 pub mod dual;
 pub mod error;
@@ -57,6 +58,7 @@ pub mod mrt;
 pub mod schedule;
 pub mod task;
 pub mod two_shelf;
+pub mod workspace;
 
 pub mod prelude;
 
@@ -65,6 +67,7 @@ pub use error::{Error, Result};
 pub use instance::Instance;
 pub use schedule::{ProcessorRange, Schedule, ScheduledTask};
 pub use task::{MalleableTask, SpeedupProfile, TaskId};
+pub use workspace::ProbeWorkspace;
 
 /// The paper's headline guarantee: `√3`.
 pub const SQRT3: f64 = 1.7320508075688772;

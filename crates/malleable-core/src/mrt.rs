@@ -24,13 +24,14 @@
 
 use crate::bounds;
 use crate::canonical::CanonicalAllotment;
-use crate::dual::{DualApproximation, DualOutcome, DualSearch, SearchResult};
+use crate::dual::{DualApproximation, DualOutcome, DualSearch, SearchMode, SearchResult};
 use crate::error::{Error, Result};
 use crate::instance::Instance;
-use crate::list::{schedule_rigid, ListOrder};
+use crate::list::schedule_rigid_in_order;
 use crate::mla::MalleableListAlgorithm;
 use crate::schedule::{ProcessorRange, Schedule, ScheduledTask};
 use crate::two_shelf::{self, TwoShelfKind, TwoShelfParams};
+use crate::workspace::ProbeWorkspace;
 use packing::rect::Rect;
 use packing::strip::ffdh;
 
@@ -129,6 +130,14 @@ pub struct MrtScheduler {
     pub strategy: knapsack::Strategy,
     /// Which branches are evaluated on every probe (all by default).
     pub branches: BranchSet,
+    /// Evaluate the independent branches concurrently with scoped threads.
+    ///
+    /// The two-shelf and malleable-list branches run on their own threads
+    /// while the main thread evaluates the list/packing branches.  Spawned
+    /// branches cannot borrow the probe workspace, so they fall back to their
+    /// allocating paths — the toggle trades the allocation-free invariant for
+    /// latency on large instances; off by default.
+    pub parallel_branches: bool,
 }
 
 impl Default for MrtScheduler {
@@ -138,6 +147,7 @@ impl Default for MrtScheduler {
             list_lambda: 3f64.sqrt() / 2.0,
             strategy: knapsack::Strategy::default(),
             branches: BranchSet::default(),
+            parallel_branches: false,
         }
     }
 }
@@ -182,6 +192,32 @@ impl MrtScheduler {
     /// Probe a guess and report which branch won, for the branch-statistics
     /// experiment (see `crates/bench`).
     pub fn probe_with_report(&self, instance: &Instance, omega: f64) -> (DualOutcome, ProbeReport) {
+        self.probe_with_report_in(instance, omega, &mut ProbeWorkspace::new())
+    }
+
+    /// Same as [`MrtScheduler::probe_with_report`], reusing the buffers of
+    /// `workspace`: the canonical allotment (with its sort order) is
+    /// recomputed in place, and every branch draws its scratch — rectangles,
+    /// First Fit bins, knapsack DP tables — from the workspace, so a
+    /// steady-state probe allocates nothing beyond the schedules it builds.
+    pub fn probe_with_report_in(
+        &self,
+        instance: &Instance,
+        omega: f64,
+        workspace: &mut ProbeWorkspace,
+    ) -> (DualOutcome, ProbeReport) {
+        let signature = workspace.capacity_signature();
+        let result = self.probe_branches(instance, omega, workspace);
+        workspace.note_probe(signature);
+        result
+    }
+
+    fn probe_branches(
+        &self,
+        instance: &Instance,
+        omega: f64,
+        workspace: &mut ProbeWorkspace,
+    ) -> (DualOutcome, ProbeReport) {
         let mut report = ProbeReport {
             omega,
             branch: None,
@@ -192,7 +228,7 @@ impl MrtScheduler {
         if !bounds::may_be_feasible(instance, omega) {
             return (DualOutcome::Infeasible, report);
         }
-        let canonical = match CanonicalAllotment::compute(instance, omega) {
+        let canonical = match workspace.take_canonical(instance, omega) {
             Ok(c) => c,
             Err(_) => return (DualOutcome::Infeasible, report),
         };
@@ -201,52 +237,114 @@ impl MrtScheduler {
         report.lambda_area = Some(area);
         report.area_condition = Some(area <= self.list_lambda * m as f64 * omega + 1e-9);
 
-        let mut best: Option<(Schedule, Branch)> = None;
-        let mut consider = |schedule: Schedule, branch: Branch| match &best {
-            Some((current, _)) if current.makespan() <= schedule.makespan() => {}
-            _ => best = Some((schedule, branch)),
+        // Keep the best schedule by *moving* candidates behind a cached
+        // makespan: at most one schedule is retained and every candidate's
+        // makespan is computed exactly once.
+        let mut best: Option<(Schedule, Branch, f64)> = None;
+        let mut consider = |candidate: Option<(Schedule, Branch)>| {
+            if let Some((schedule, branch)) = candidate {
+                let makespan = schedule.makespan();
+                if best.as_ref().is_none_or(|&(_, _, m)| makespan < m) {
+                    best = Some((schedule, branch, makespan));
+                }
+            }
         };
 
-        // Branch 1: two-shelf knapsack construction (§4).
-        if self.branches.two_shelf {
-            if let Some(ts) =
-                two_shelf::build_with_canonical(instance, &canonical, self.two_shelf_params())
-            {
-                consider(ts.schedule, Branch::TwoShelf(ts.kind));
+        if self.parallel_branches {
+            // The two-shelf and malleable-list branches are independent of
+            // the list/packing branches; evaluate them on scoped threads.
+            // Spawned branches cannot borrow the workspace, so they use the
+            // allocating paths.
+            let (two_shelf_result, mla_result, list_result, packing_result) =
+                std::thread::scope(|scope| {
+                    let two_shelf_handle = self.branches.two_shelf.then(|| {
+                        let canonical = &canonical;
+                        scope.spawn(move || {
+                            two_shelf::build_with_canonical(
+                                instance,
+                                canonical,
+                                self.two_shelf_params(),
+                            )
+                        })
+                    });
+                    let mla_handle = self.branches.malleable_list.then(|| {
+                        scope.spawn(move || {
+                            MalleableListAlgorithm::default()
+                                .build(instance, omega)
+                                .ok()
+                        })
+                    });
+                    let list = self
+                        .branches
+                        .canonical_list
+                        .then(|| canonical_list_schedule(instance, &canonical));
+                    // The packing branch runs on the main thread, so it can
+                    // still borrow the workspace's rect scratch.
+                    let packing = self.branches.level_packing.then(|| {
+                        level_packing_schedule_in(instance, &canonical, &mut workspace.rects)
+                    });
+                    (
+                        two_shelf_handle.map(|h| h.join().expect("two-shelf branch panicked")),
+                        mla_handle.map(|h| h.join().expect("malleable-list branch panicked")),
+                        list,
+                        packing,
+                    )
+                });
+            consider(
+                two_shelf_result
+                    .flatten()
+                    .map(|ts| (ts.schedule, Branch::TwoShelf(ts.kind))),
+            );
+            consider(list_result.map(|s| (s, Branch::CanonicalList)));
+            consider(mla_result.flatten().map(|s| (s, Branch::MalleableList)));
+            consider(packing_result.map(|s| (s, Branch::LevelPacking)));
+        } else {
+            // Branch 1: two-shelf knapsack construction (§4).
+            if self.branches.two_shelf {
+                consider(
+                    two_shelf::build_with_canonical_in(
+                        instance,
+                        &canonical,
+                        self.two_shelf_params(),
+                        workspace,
+                    )
+                    .map(|ts| (ts.schedule, Branch::TwoShelf(ts.kind))),
+                );
+            }
+
+            // Branch 2: canonical list algorithm (§3.2), reusing the cached
+            // decreasing-time order of the canonical allotment.
+            if self.branches.canonical_list {
+                consider(Some((
+                    canonical_list_schedule(instance, &canonical),
+                    Branch::CanonicalList,
+                )));
+            }
+
+            // Branch 3: malleable list algorithm (§3.1).
+            if self.branches.malleable_list {
+                consider(
+                    MalleableListAlgorithm::default()
+                        .build(instance, omega)
+                        .ok()
+                        .map(|s| (s, Branch::MalleableList)),
+                );
+            }
+
+            // Branch 4: FFDH level packing of the canonical allotment.
+            if self.branches.level_packing {
+                consider(Some((
+                    level_packing_schedule_in(instance, &canonical, &mut workspace.rects),
+                    Branch::LevelPacking,
+                )));
             }
         }
-
-        // Branch 2: canonical list algorithm (§3.2).
-        if self.branches.canonical_list {
-            consider(
-                schedule_rigid(
-                    instance,
-                    &canonical.allotment,
-                    ListOrder::DecreasingAllottedTime,
-                ),
-                Branch::CanonicalList,
-            );
-        }
-
-        // Branch 3: malleable list algorithm (§3.1).
-        if self.branches.malleable_list {
-            if let Ok(schedule) = MalleableListAlgorithm::default().build(instance, omega) {
-                consider(schedule, Branch::MalleableList);
-            }
-        }
-
-        // Branch 4: FFDH level packing of the canonical allotment.
-        if self.branches.level_packing {
-            consider(
-                level_packing_schedule(instance, &canonical),
-                Branch::LevelPacking,
-            );
-        }
+        workspace.store_canonical(canonical);
 
         match best {
-            Some((schedule, branch)) => {
+            Some((schedule, branch, makespan)) => {
                 report.branch = Some(branch);
-                report.makespan = Some(schedule.makespan());
+                report.makespan = Some(makespan);
                 (DualOutcome::Feasible(schedule), report)
             }
             None => (DualOutcome::Infeasible, report),
@@ -257,6 +355,21 @@ impl MrtScheduler {
     pub fn schedule(&self, instance: &Instance) -> Result<SearchResult> {
         DualSearch::default().solve(instance, self)
     }
+
+    /// Solve an instance with the given search mode (breakpoint-exact or
+    /// classical bisection) and a reusable workspace.
+    pub fn schedule_with(&self, instance: &Instance, mode: SearchMode) -> Result<SearchResult> {
+        DualSearch::default().solve_guided(instance, self, mode, None, &mut ProbeWorkspace::new())
+    }
+}
+
+/// The canonical list schedule (§3.2) via the cached decreasing-time order.
+fn canonical_list_schedule(instance: &Instance, canonical: &CanonicalAllotment) -> Schedule {
+    schedule_rigid_in_order(
+        instance,
+        &canonical.allotment,
+        canonical.sorted_by_decreasing_time(),
+    )
 }
 
 impl DualApproximation for MrtScheduler {
@@ -271,17 +384,39 @@ impl DualApproximation for MrtScheduler {
     fn probe(&self, instance: &Instance, omega: f64) -> DualOutcome {
         self.probe_with_report(instance, omega).0
     }
+
+    fn probe_with_workspace(
+        &self,
+        instance: &Instance,
+        omega: f64,
+        workspace: &mut ProbeWorkspace,
+    ) -> DualOutcome {
+        self.probe_with_report_in(instance, omega, workspace).0
+    }
 }
 
 /// Schedule the canonical allotment with FFDH level packing.  This is the
 /// Ludwig-style "strip packing on a fixed allotment" step, exposed here so the
 /// combined scheduler can use it as an extra branch.
 pub fn level_packing_schedule(instance: &Instance, canonical: &CanonicalAllotment) -> Schedule {
+    level_packing_schedule_in(instance, canonical, &mut Vec::new())
+}
+
+/// Same as [`level_packing_schedule`], writing the intermediate rectangles
+/// into a caller-provided scratch buffer (cleared first) so repeated probes
+/// reuse the same heap storage.
+pub fn level_packing_schedule_in(
+    instance: &Instance,
+    canonical: &CanonicalAllotment,
+    rects: &mut Vec<Rect>,
+) -> Schedule {
     let m = instance.processors();
-    let rects: Vec<Rect> = (0..instance.task_count())
-        .map(|t| Rect::new(canonical.allotment.processors(t), canonical.times[t]))
-        .collect();
-    let packing = ffdh(&rects, m);
+    rects.clear();
+    rects.extend(
+        (0..instance.task_count())
+            .map(|t| Rect::new(canonical.allotment.processors(t), canonical.times[t])),
+    );
+    let packing = ffdh(rects, m);
     let mut schedule = Schedule::new(m);
     for placement in &packing.placements {
         let t = placement.index;

@@ -12,7 +12,7 @@
 pub use crate::allotment::Allotment;
 pub use crate::bounds::{area_bound, critical_task_bound, lower_bound, upper_bound};
 pub use crate::canonical::{CanonicalAllotment, CanonicalListAlgorithm};
-pub use crate::dual::{DualApproximation, DualOutcome, DualSearch, SearchResult};
+pub use crate::dual::{DualApproximation, DualOutcome, DualSearch, SearchMode, SearchResult};
 pub use crate::error::{Error, Result};
 pub use crate::instance::Instance;
 pub use crate::list::{schedule_rigid, ListOrder};
@@ -21,4 +21,5 @@ pub use crate::mrt::{Branch, BranchSet, MrtScheduler};
 pub use crate::schedule::{ProcessorRange, Schedule, ScheduledTask};
 pub use crate::task::{MalleableTask, SpeedupProfile, TaskId};
 pub use crate::two_shelf::{TwoShelfKind, TwoShelfParams};
+pub use crate::workspace::ProbeWorkspace;
 pub use crate::{LAMBDA_SQRT3, SQRT3};

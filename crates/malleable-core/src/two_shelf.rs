@@ -31,8 +31,9 @@ use crate::error::{Error, Result};
 use crate::instance::Instance;
 use crate::schedule::{ProcessorRange, Schedule, ScheduledTask};
 use crate::task::TaskId;
+use crate::workspace::ProbeWorkspace;
 use knapsack::{Item, Strategy};
-use packing::bin_packing::first_fit;
+use packing::bin_packing::first_fit_into;
 
 /// Parameters of the two-shelf construction.
 #[derive(Debug, Clone, Copy)]
@@ -82,7 +83,7 @@ pub enum TwoShelfKind {
 }
 
 /// The canonical partition of §4.1 together with its aggregate quantities.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Partition {
     /// Tasks with canonical execution time `> λ·ω` (the knapsack items).
     pub t1: Vec<TaskId>,
@@ -105,44 +106,68 @@ pub struct Partition {
 impl Partition {
     /// Compute the partition for a canonical allotment and a given λ.
     pub fn compute(instance: &Instance, canonical: &CanonicalAllotment, lambda: f64) -> Partition {
+        let mut partition = Partition::default();
+        partition.recompute_in(
+            instance,
+            canonical,
+            lambda,
+            &mut Vec::new(),
+            &mut Vec::new(),
+            &mut Vec::new(),
+        );
+        partition
+    }
+
+    /// Refill the partition in place, reusing the task-set buffers and the
+    /// caller-provided First Fit scratch (cleared first).
+    fn recompute_in(
+        &mut self,
+        instance: &Instance,
+        canonical: &CanonicalAllotment,
+        lambda: f64,
+        t3_times: &mut Vec<f64>,
+        ff_assignment: &mut Vec<usize>,
+        ff_residual: &mut Vec<f64>,
+    ) {
         let omega = canonical.omega;
         let m = instance.processors() as i64;
-        let mut t1 = Vec::new();
-        let mut t2 = Vec::new();
-        let mut t3 = Vec::new();
+        self.t1.clear();
+        self.t2.clear();
+        self.t3.clear();
         for (id, &time) in canonical.times.iter().enumerate() {
             let q = canonical.allotment.processors(id);
             if time > lambda * omega + 1e-12 {
-                t1.push(id);
+                self.t1.push(id);
             } else if time > 0.5 * omega + 1e-12 || q > 1 {
-                t2.push(id);
+                self.t2.push(id);
             } else {
-                t3.push(id);
+                self.t3.push(id);
             }
         }
-        let q1: i64 = t1
+        let q1: i64 = self
+            .t1
             .iter()
             .map(|&id| canonical.allotment.processors(id) as i64)
             .sum();
-        let m2: usize = t2
+        self.m2 = self
+            .t2
             .iter()
             .map(|&id| canonical.allotment.processors(id))
             .sum();
-        let t3_times: Vec<f64> = t3.iter().map(|&id| canonical.times[id]).collect();
-        let m3 = if t3_times.is_empty() {
+        t3_times.clear();
+        t3_times.extend(self.t3.iter().map(|&id| canonical.times[id]));
+        self.m3 = if t3_times.is_empty() {
             0
         } else {
-            first_fit(&t3_times, lambda * omega).bins()
+            first_fit_into(t3_times, lambda * omega, ff_assignment, ff_residual)
         };
-        Partition {
-            t1,
-            t2,
-            t3,
-            p1: q1 - m,
-            m2,
-            m3,
-            shelf2_capacity: m - m2 as i64 - m3 as i64,
-        }
+        self.p1 = q1 - m;
+        self.shelf2_capacity = m - self.m2 as i64 - self.m3 as i64;
+    }
+
+    /// Total capacity of the owned buffers (allocation-tracking telemetry).
+    pub(crate) fn buffer_capacity(&self) -> usize {
+        self.t1.capacity() + self.t2.capacity() + self.t3.capacity()
     }
 }
 
@@ -206,38 +231,91 @@ pub fn build_with_canonical(
     canonical: &CanonicalAllotment,
     params: TwoShelfParams,
 ) -> Option<TwoShelfSchedule> {
+    build_with_canonical_in(instance, canonical, params, &mut ProbeWorkspace::new())
+}
+
+/// First Fit / shelf-assembly scratch borrowed from a [`ProbeWorkspace`].
+struct ShelfScratch<'a> {
+    t3_times: &'a mut Vec<f64>,
+    ff_assignment: &'a mut Vec<usize>,
+    ff_residual: &'a mut Vec<f64>,
+    column_offsets: &'a mut Vec<f64>,
+}
+
+/// Same as [`build_with_canonical`], with every recurring buffer — the
+/// partition, the `d_j` table, the knapsack items and DP tables, the First
+/// Fit scratch — borrowed from `workspace` so that repeated builds (one per
+/// oracle probe) stop allocating once the buffers reach steady-state size.
+pub fn build_with_canonical_in(
+    instance: &Instance,
+    canonical: &CanonicalAllotment,
+    params: TwoShelfParams,
+    workspace: &mut ProbeWorkspace,
+) -> Option<TwoShelfSchedule> {
     let lambda = params.lambda;
     let omega = canonical.omega;
     let m = instance.processors();
-    let partition = Partition::compute(instance, canonical, lambda);
+    let ProbeWorkspace {
+        partition,
+        d,
+        items,
+        item_tasks,
+        t3_times,
+        ff_assignment,
+        ff_residual,
+        column_offsets,
+        knapsack: dp,
+        ..
+    } = workspace;
+    let mut scratch = ShelfScratch {
+        t3_times,
+        ff_assignment,
+        ff_residual,
+        column_offsets,
+    };
+    partition.recompute_in(
+        instance,
+        canonical,
+        lambda,
+        scratch.t3_times,
+        scratch.ff_assignment,
+        scratch.ff_residual,
+    );
+    let partition = &*partition;
 
     // The second shelf must at least hold the medium and small tasks.
     if partition.shelf2_capacity < 0 {
-        return try_trivial(instance, canonical, &partition, lambda).map(|(schedule, gamma)| {
-            TwoShelfSchedule {
+        return try_trivial(instance, canonical, partition, lambda, &mut scratch).map(
+            |(schedule, gamma)| TwoShelfSchedule {
                 schedule,
                 kind: TwoShelfKind::Trivial,
                 gamma,
-            }
-        });
+            },
+        );
     }
 
     // Minimal processor count running each T1 task within λ·ω (shelf 2 width).
-    let d: Vec<Option<usize>> = partition
-        .t1
-        .iter()
-        .map(|&id| {
-            instance
-                .task(id)
-                .canonical_processors(lambda * omega)
-                .filter(|&p| p <= m)
-        })
-        .collect();
+    d.clear();
+    d.extend(partition.t1.iter().map(|&id| {
+        instance
+            .task(id)
+            .canonical_processors(lambda * omega)
+            .filter(|&p| p <= m)
+    }));
+    let d = &*d;
 
     // Case 1: no compression needed at all.
     if partition.p1 <= 0 {
         let gamma = Vec::new();
-        let schedule = assemble(instance, canonical, &partition, &gamma, &d, lambda)?;
+        let schedule = assemble(
+            instance,
+            canonical,
+            partition,
+            &gamma,
+            d,
+            lambda,
+            &mut scratch,
+        )?;
         return Some(TwoShelfSchedule {
             schedule,
             kind: TwoShelfKind::EmptyGamma,
@@ -246,7 +324,9 @@ pub fn build_with_canonical(
     }
 
     // Case 2: the trivial single-task solutions of §4.5.
-    if let Some((schedule, gamma)) = try_trivial(instance, canonical, &partition, lambda) {
+    if let Some((schedule, gamma)) =
+        try_trivial(instance, canonical, partition, lambda, &mut scratch)
+    {
         return Some(TwoShelfSchedule {
             schedule,
             kind: TwoShelfKind::Trivial,
@@ -256,8 +336,8 @@ pub fn build_with_canonical(
 
     // Case 3: the knapsack K(λ).
     let capacity = partition.shelf2_capacity as u64;
-    let mut item_tasks = Vec::new();
-    let mut items = Vec::new();
+    item_tasks.clear();
+    items.clear();
     for (slot, &id) in partition.t1.iter().enumerate() {
         if let Some(dj) = d[slot] {
             item_tasks.push((slot, id));
@@ -269,10 +349,18 @@ pub fn build_with_canonical(
     }
     let target = partition.p1 as u64;
 
-    let primal = knapsack::solve(&items, capacity, params.strategy);
+    let primal = knapsack::solve_in(items, capacity, params.strategy, dp);
     if primal.profit >= target {
         let gamma: Vec<TaskId> = primal.selected.iter().map(|&i| item_tasks[i].1).collect();
-        let schedule = assemble(instance, canonical, &partition, &gamma, &d, lambda)?;
+        let schedule = assemble(
+            instance,
+            canonical,
+            partition,
+            &gamma,
+            d,
+            lambda,
+            &mut scratch,
+        )?;
         return Some(TwoShelfSchedule {
             schedule,
             kind: TwoShelfKind::Knapsack,
@@ -282,10 +370,18 @@ pub fn build_with_canonical(
 
     // Case 4: the dual covering knapsack K'(λ) (§4.4, Lemma 2): reach the
     // profit target with minimal total width and check it still fits.
-    if let Some(dual) = knapsack::solve_dual_min_weight(&items, target) {
+    if let Some(dual) = knapsack::solve_dual_min_weight_in(items, target, dp) {
         if dual.weight <= capacity {
             let gamma: Vec<TaskId> = dual.selected.iter().map(|&i| item_tasks[i].1).collect();
-            let schedule = assemble(instance, canonical, &partition, &gamma, &d, lambda)?;
+            let schedule = assemble(
+                instance,
+                canonical,
+                partition,
+                &gamma,
+                d,
+                lambda,
+                &mut scratch,
+            )?;
             return Some(TwoShelfSchedule {
                 schedule,
                 kind: TwoShelfKind::DualKnapsack,
@@ -305,6 +401,7 @@ fn try_trivial(
     canonical: &CanonicalAllotment,
     partition: &Partition,
     lambda: f64,
+    scratch: &mut ShelfScratch<'_>,
 ) -> Option<(Schedule, Vec<TaskId>)> {
     let omega = canonical.omega;
     let m = instance.processors();
@@ -345,22 +442,31 @@ fn try_trivial(
             });
             cursor += q;
         }
-        let t3_times: Vec<f64> = partition.t3.iter().map(|&id| canonical.times[id]).collect();
-        if !t3_times.is_empty() {
-            let packing = first_fit(&t3_times, omega);
-            if cursor + packing.bins() > m {
+        if !partition.t3.is_empty() {
+            scratch.t3_times.clear();
+            scratch
+                .t3_times
+                .extend(partition.t3.iter().map(|&id| canonical.times[id]));
+            let bins = first_fit_into(
+                scratch.t3_times,
+                omega,
+                scratch.ff_assignment,
+                scratch.ff_residual,
+            );
+            if cursor + bins > m {
                 return None;
             }
-            let mut column_offsets = vec![0.0f64; packing.bins()];
+            scratch.column_offsets.clear();
+            scratch.column_offsets.resize(bins, 0.0);
             for (pos, &id) in partition.t3.iter().enumerate() {
-                let bin = packing.assignment[pos];
+                let bin = scratch.ff_assignment[pos];
                 schedule.push(ScheduledTask {
                     task: id,
-                    start: column_offsets[bin],
+                    start: scratch.column_offsets[bin],
                     duration: canonical.times[id],
                     processors: ProcessorRange::new(cursor + bin, 1),
                 });
-                column_offsets[bin] += canonical.times[id];
+                scratch.column_offsets[bin] += canonical.times[id];
             }
         }
         // Shelf 2: τ alone, compressed to d_τ processors.
@@ -383,6 +489,7 @@ fn assemble(
     gamma: &[TaskId],
     d: &[Option<usize>],
     lambda: f64,
+    scratch: &mut ShelfScratch<'_>,
 ) -> Option<Schedule> {
     let omega = canonical.omega;
     let m = instance.processors();
@@ -439,21 +546,30 @@ fn assemble(
         cursor2 += q;
     }
     if !partition.t3.is_empty() {
-        let t3_times: Vec<f64> = partition.t3.iter().map(|&id| canonical.times[id]).collect();
-        let packing = first_fit(&t3_times, lambda * omega);
-        if cursor2 + packing.bins() > m {
+        scratch.t3_times.clear();
+        scratch
+            .t3_times
+            .extend(partition.t3.iter().map(|&id| canonical.times[id]));
+        let bins = first_fit_into(
+            scratch.t3_times,
+            lambda * omega,
+            scratch.ff_assignment,
+            scratch.ff_residual,
+        );
+        if cursor2 + bins > m {
             return None;
         }
-        let mut column_offsets = vec![0.0f64; packing.bins()];
+        scratch.column_offsets.clear();
+        scratch.column_offsets.resize(bins, 0.0);
         for (pos, &id) in partition.t3.iter().enumerate() {
-            let bin = packing.assignment[pos];
+            let bin = scratch.ff_assignment[pos];
             schedule.push(ScheduledTask {
                 task: id,
-                start: omega + column_offsets[bin],
+                start: omega + scratch.column_offsets[bin],
                 duration: canonical.times[id],
                 processors: ProcessorRange::new(cursor2 + bin, 1),
             });
-            column_offsets[bin] += canonical.times[id];
+            scratch.column_offsets[bin] += canonical.times[id];
         }
     }
 

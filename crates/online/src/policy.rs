@@ -142,13 +142,32 @@ fn plan_with_offline_solver(
     pending: &[PendingTask],
     machine: &mut MachineState,
 ) -> Result<Vec<Commitment>> {
+    let sub_instance = pending_sub_instance(instance, pending, machine.processors())?;
+    let offline = solver.solve(&sub_instance)?;
+    Ok(replay_offline(&offline, pending, machine))
+}
+
+/// Build the offline sub-instance of the pending tasks, as if released
+/// together on an empty machine.
+fn pending_sub_instance(
+    instance: &Instance,
+    pending: &[PendingTask],
+    processors: usize,
+) -> Result<Instance> {
     let tasks: Vec<MalleableTask> = pending
         .iter()
         .map(|p| instance.task(p.id).clone())
         .collect();
-    let sub_instance = Instance::new(tasks, machine.processors())?;
-    let offline = solver.solve(&sub_instance)?;
+    Instance::new(tasks, processors)
+}
 
+/// Replay an offline schedule of the pending sub-instance onto the live
+/// machine frontier, preserving the offline processor counts and priorities.
+fn replay_offline(
+    offline: &Schedule,
+    pending: &[PendingTask],
+    machine: &mut MachineState,
+) -> Vec<Commitment> {
     let mut entries: Vec<&ScheduledTask> = offline.entries().iter().collect();
     // Replay in offline start order (ties: wider tasks first, then task id,
     // for determinism), the priority the offline schedule chose.
@@ -169,7 +188,7 @@ fn plan_with_offline_solver(
             count: entry.processors.count,
         });
     }
-    Ok(commitments)
+    commitments
 }
 
 /// Immediate list scheduling: every arrival is planned on the spot at the
@@ -221,12 +240,32 @@ impl OnlinePolicy for GreedyList {
 
 /// Periodic re-planning: pending tasks are batched and solved offline on a
 /// fixed epoch grid.
-#[derive(Debug, Clone, Copy)]
+///
+/// When the solver is the MRT scheduler, the policy runs the dual search
+/// itself instead of going through [`OfflineSolver::solve`], which lets it
+/// keep state between epochs: the probe workspace (canonical-allotment cache,
+/// packing scratch, knapsack DP tables) survives across solves, and the next
+/// epoch's search interval is seeded from the previous epoch's accepted guess
+/// (scaled to the new pending set's lower bound).  Per-epoch cost drops from
+/// a full cold solve to an incremental warm-started one.
+#[derive(Debug, Clone)]
 pub struct EpochReplan {
     /// Distance between epoch boundaries.
     pub period: f64,
     /// The offline solver invoked on every epoch's pending set.
     pub solver: OfflineSolver,
+    /// Search mode of the warm-started MRT path (breakpoint-exact by
+    /// default; ignored for the non-MRT solvers).
+    pub search: SearchMode,
+    /// Keep the probe workspace and the interval hint across epochs
+    /// (default).  Off, every epoch solves cold — the pre-warm-start
+    /// behaviour, kept as the benchmark baseline.
+    pub warm_start: bool,
+    /// Probe workspace kept across epochs (the warm state).
+    workspace: ProbeWorkspace,
+    /// `feasible ω / lower bound` of the previous epoch's solve, used to seed
+    /// the next search interval.
+    previous_omega_ratio: Option<f64>,
 }
 
 impl EpochReplan {
@@ -241,6 +280,10 @@ impl EpochReplan {
         Ok(EpochReplan {
             period,
             solver: OfflineSolver::Mrt,
+            search: SearchMode::Exact,
+            warm_start: true,
+            workspace: ProbeWorkspace::new(),
+            previous_omega_ratio: None,
         })
     }
 
@@ -250,6 +293,24 @@ impl EpochReplan {
             solver,
             ..Self::mrt(period)?
         })
+    }
+
+    /// Select the search mode of the MRT path (builder style).
+    pub fn with_search(mut self, search: SearchMode) -> Self {
+        self.search = search;
+        self
+    }
+
+    /// Enable or disable the cross-epoch warm start (builder style).
+    pub fn with_warm_start(mut self, warm_start: bool) -> Self {
+        self.warm_start = warm_start;
+        self
+    }
+
+    /// Number of oracle probes served by the warm-started MRT path so far
+    /// (0 for the other solvers); exposed for the benchmark reports.
+    pub fn probes(&self) -> usize {
+        self.workspace.probes()
     }
 }
 
@@ -272,7 +333,32 @@ impl OnlinePolicy for EpochReplan {
         pending: &[PendingTask],
         machine: &mut MachineState,
     ) -> Result<Vec<Commitment>> {
-        plan_with_offline_solver(self.solver, instance, pending, machine)
+        if self.solver != OfflineSolver::Mrt {
+            return plan_with_offline_solver(self.solver, instance, pending, machine);
+        }
+        let sub_instance = pending_sub_instance(instance, pending, machine.processors())?;
+        let static_lb = malleable_core::bounds::lower_bound(&sub_instance);
+        // Seed the upper end slightly above the previous epoch's accepted
+        // guess, rescaled to the new pending set.  An over-optimistic seed
+        // only costs the doubling probes needed to climb back.
+        let hint = self
+            .previous_omega_ratio
+            .filter(|_| self.warm_start && static_lb > 0.0)
+            .map(|ratio| ratio * static_lb * 1.05);
+        if !self.warm_start {
+            self.workspace.clear();
+        }
+        let result = DualSearch::default().solve_guided(
+            &sub_instance,
+            &MrtScheduler::default(),
+            self.search,
+            hint,
+            &mut self.workspace,
+        )?;
+        if static_lb > 0.0 {
+            self.previous_omega_ratio = Some(result.feasible_omega / static_lb);
+        }
+        Ok(replay_offline(&result.schedule, pending, machine))
     }
 }
 

@@ -90,9 +90,50 @@ where
 /// First Fit: place each item into the lowest-indexed bin it fits in, opening
 /// a new bin only when none fits.
 pub fn first_fit(sizes: &[f64], capacity: f64) -> BinPacking {
-    pack_with(sizes, capacity, |residual, size| {
-        residual.iter().position(|&r| r >= size - 1e-9)
-    })
+    let mut assignment = Vec::with_capacity(sizes.len());
+    let mut residual = Vec::new();
+    first_fit_into(sizes, capacity, &mut assignment, &mut residual);
+    BinPacking {
+        assignment,
+        residual,
+        capacity,
+    }
+}
+
+/// Allocation-free First Fit: same placement rule as [`first_fit`] (which
+/// delegates here), but the per-item bin assignment and the per-bin residual
+/// capacities are written into caller-provided buffers (cleared first), so
+/// repeated packings — one per oracle probe in the scheduling layer — reuse
+/// the same heap storage.  Returns the number of bins opened.
+pub fn first_fit_into(
+    sizes: &[f64],
+    capacity: f64,
+    assignment: &mut Vec<usize>,
+    residual: &mut Vec<f64>,
+) -> usize {
+    assert!(capacity > 0.0, "bin capacity must be positive");
+    assignment.clear();
+    residual.clear();
+    for &size in sizes {
+        assert!(
+            size <= capacity + 1e-9,
+            "item of size {size} exceeds bin capacity {capacity}"
+        );
+        let bin = match residual.iter().position(|&r| r >= size - 1e-9) {
+            Some(b) => b,
+            None => {
+                residual.push(capacity);
+                residual.len() - 1
+            }
+        };
+        residual[bin] -= size;
+        // Guard against tiny negative drift from floating point.
+        if residual[bin] < 0.0 {
+            residual[bin] = 0.0;
+        }
+        assignment.push(bin);
+    }
+    residual.len()
 }
 
 /// First Fit Decreasing: sort items by decreasing size, then apply First Fit.
@@ -155,6 +196,22 @@ mod tests {
         assert_eq!(packed.assignment, vec![0, 1, 0, 1]);
         assert_eq!(packed.bins(), 2);
         assert!(packed.is_valid(&[0.6, 0.5, 0.4, 0.3]));
+    }
+
+    #[test]
+    fn first_fit_into_matches_first_fit() {
+        let sizes = [0.6, 0.5, 0.4, 0.3, 0.9, 0.1];
+        let packed = first_fit(&sizes, 1.0);
+        let mut assignment = Vec::new();
+        let mut residual = Vec::new();
+        let bins = first_fit_into(&sizes, 1.0, &mut assignment, &mut residual);
+        assert_eq!(bins, packed.bins());
+        assert_eq!(assignment, packed.assignment);
+        assert_eq!(residual, packed.residual);
+        // Buffers are reusable: a second run on different input clears them.
+        let bins = first_fit_into(&[0.2, 0.2], 1.0, &mut assignment, &mut residual);
+        assert_eq!(bins, 1);
+        assert_eq!(assignment, vec![0, 0]);
     }
 
     #[test]
