@@ -5,7 +5,7 @@
 //! two-phase baseline.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use mrt_bench::{Algorithm, Family};
+use mrt_bench::{all_solvers, default_registry, solver_makespan, Family};
 use std::hint::black_box;
 
 fn bench_all_algorithms(c: &mut Criterion) {
@@ -13,11 +13,11 @@ fn bench_all_algorithms(c: &mut Criterion) {
     group.sample_size(10);
 
     let instance = Family::Mixed.instance(60, 32, 3);
-    for algorithm in Algorithm::ALL {
+    for algorithm in all_solvers() {
         group.bench_with_input(
             BenchmarkId::from_parameter(algorithm.name()),
             &instance,
-            |b, inst| b.iter(|| black_box(algorithm.makespan(black_box(inst)))),
+            |b, inst| b.iter(|| black_box(solver_makespan(algorithm.as_ref(), black_box(inst)))),
         );
     }
 
@@ -28,13 +28,13 @@ fn bench_wide_instances(c: &mut Criterion) {
     let mut group = c.benchmark_group("baselines_wide_tasks");
     group.sample_size(10);
 
+    let registry = default_registry();
     let instance = Family::WideTasks.instance(48, 64, 5);
-    for algorithm in [Algorithm::Mrt, Algorithm::Ludwig] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(algorithm.name()),
-            &instance,
-            |b, inst| b.iter(|| black_box(algorithm.makespan(black_box(inst)))),
-        );
+    for name in ["mrt", "ludwig"] {
+        let algorithm = registry.get(name).expect("registered solver");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &instance, |b, inst| {
+            b.iter(|| black_box(solver_makespan(algorithm.as_ref(), black_box(inst))))
+        });
     }
 
     group.finish();

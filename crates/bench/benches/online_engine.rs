@@ -7,9 +7,16 @@
 //! against.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use online::policy::{OfflineSolver, PolicyKind};
+use malleable_core::solver::SolverHandle;
+use malleable_core::MrtSolver;
+use online::policy::PolicyKind;
 use std::hint::black_box;
+use std::sync::Arc;
 use workload::{ArrivalPattern, ArrivalTrace, TraceConfig, WorkloadConfig};
+
+fn mrt() -> SolverHandle {
+    Arc::new(MrtSolver)
+}
 
 fn trace_at_rate(rate: f64) -> ArrivalTrace {
     ArrivalTrace::generate(&TraceConfig {
@@ -19,7 +26,7 @@ fn trace_at_rate(rate: f64) -> ArrivalTrace {
     .expect("trace generation succeeds")
 }
 
-fn run_policy(trace: &ArrivalTrace, kind: PolicyKind) -> f64 {
+fn run_policy(trace: &ArrivalTrace, kind: &PolicyKind) -> f64 {
     let mut policy = kind.build().expect("valid policy");
     online::run(trace, policy.as_mut())
         .expect("engine run succeeds")
@@ -38,20 +45,15 @@ fn bench_arrival_rates(c: &mut Criterion) {
                 "epoch-mrt",
                 PolicyKind::Epoch {
                     period: 1.0,
-                    solver: OfflineSolver::Mrt,
+                    solver: mrt(),
                 },
             ),
-            (
-                "batch-mrt",
-                PolicyKind::Batch {
-                    solver: OfflineSolver::Mrt,
-                },
-            ),
+            ("batch-mrt", PolicyKind::Batch { solver: mrt() }),
         ] {
             group.bench_with_input(
                 BenchmarkId::new(name, format!("rate={rate}")),
                 &trace,
-                |b, trace| b.iter(|| black_box(run_policy(black_box(trace), kind))),
+                |b, trace| b.iter(|| black_box(run_policy(black_box(trace), &kind))),
             );
         }
     }
@@ -67,12 +69,12 @@ fn bench_epoch_periods(c: &mut Criterion) {
     for period in [0.25, 1.0, 4.0] {
         let kind = PolicyKind::Epoch {
             period,
-            solver: OfflineSolver::Mrt,
+            solver: mrt(),
         };
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("period={period}")),
             &trace,
-            |b, trace| b.iter(|| black_box(run_policy(black_box(trace), kind))),
+            |b, trace| b.iter(|| black_box(run_policy(black_box(trace), &kind))),
         );
     }
 

@@ -11,7 +11,7 @@
 //! of each algorithm and how often MRT is at least as good as each baseline.
 
 use malleable_core::bounds;
-use mrt_bench::{summarize, Algorithm, Family};
+use mrt_bench::{all_solvers, solver_makespan, summarize, Family};
 
 fn main() {
     let per_cell: u64 = std::env::args()
@@ -26,25 +26,29 @@ fn main() {
         "family", "m", "algorithm", "mean", "max", "mrt wins (%)"
     );
 
+    let solvers = all_solvers();
     for family in Family::ALL {
         for &m in &[8usize, 16, 32, 64] {
-            // Evaluate all algorithms on the same instances.
+            // Evaluate every registered solver on the same instances.
             let instances: Vec<_> = (0..per_cell)
                 .map(|seed| family.instance(tasks, m, seed))
                 .collect();
             let lower_bounds: Vec<f64> = instances.iter().map(bounds::lower_bound).collect();
-            let mrt: Vec<f64> = instances
-                .iter()
-                .map(|inst| Algorithm::Mrt.makespan(inst))
-                .collect();
+            let mrt: Vec<f64> = {
+                let handle = mrt_bench::default_registry().get("mrt").expect("mrt");
+                instances
+                    .iter()
+                    .map(|inst| solver_makespan(handle.as_ref(), inst))
+                    .collect()
+            };
 
-            for algorithm in Algorithm::ALL {
-                let makespans: Vec<f64> = if algorithm == Algorithm::Mrt {
+            for algorithm in &solvers {
+                let makespans: Vec<f64> = if algorithm.name() == "mrt" {
                     mrt.clone()
                 } else {
                     instances
                         .iter()
-                        .map(|inst| algorithm.makespan(inst))
+                        .map(|inst| solver_makespan(algorithm.as_ref(), inst))
                         .collect()
                 };
                 let ratios: Vec<f64> = makespans

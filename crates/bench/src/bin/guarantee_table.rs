@@ -10,7 +10,7 @@
 //! two-phase baseline's guarantee of 2, and below the measured ratios of the
 //! naive baselines on the families that defeat them.
 
-use mrt_bench::{ratio_sweep, summarize, Algorithm, Family};
+use mrt_bench::{all_solvers, ratio_sweep, summarize, Family};
 
 fn main() {
     let per_cell: u64 = std::env::args()
@@ -30,15 +30,14 @@ fn main() {
     );
 
     let mut violations = 0usize;
+    let solvers = all_solvers();
     for family in Family::ALL {
-        for algorithm in Algorithm::ALL {
-            let ratios = ratio_sweep(algorithm, family, tasks, processors, 0..per_cell);
+        for algorithm in &solvers {
+            let ratios = ratio_sweep(algorithm.as_ref(), family, tasks, processors, 0..per_cell);
             let summary = summarize(&ratios);
-            let bound = match algorithm {
-                Algorithm::Mrt => malleable_core::SQRT3,
-                Algorithm::Ludwig => 2.0,
-                _ => f64::INFINITY,
-            };
+            // The claimed worst-case bound comes from the solver's own
+            // capability record, not a hard-coded table.
+            let bound = algorithm.capabilities().guarantee.unwrap_or(f64::INFINITY);
             let bound_label = if bound.is_finite() {
                 format!("{bound:.3}")
             } else {

@@ -26,9 +26,11 @@
 
 use std::time::Instant;
 
+use std::sync::Arc;
+
 use malleable_core::prelude::*;
 use mrt_bench::Family;
-use online::policy::{EpochReplan, OfflineSolver};
+use online::policy::EpochReplan;
 use serde_json::{json, Value};
 use workload::{ArrivalPattern, ArrivalTrace, TraceConfig, WorkloadConfig};
 
@@ -191,7 +193,7 @@ fn main() {
 
         // Truly cold baseline: the pre-warm-start behaviour — classical
         // bisection, no cross-epoch workspace reuse, no interval hint.
-        let mut cold_policy = EpochReplan::with_solver(1.0, OfflineSolver::Mrt)
+        let mut cold_policy = EpochReplan::with_solver(1.0, Arc::new(MrtSolver))
             .expect("policy")
             .with_search(SearchMode::Bisect)
             .with_warm_start(false);

@@ -6,46 +6,23 @@
 
 use std::fmt;
 
-/// Which scheduling algorithm a `schedule` invocation should use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum AlgorithmChoice {
-    /// The paper's combined √3 scheduler (default).
-    Mrt,
-    /// The Ludwig-style two-phase baseline (TWY allotment + FFDH).
-    Ludwig,
-    /// Turek–Wolf–Yu allotment + contiguous list scheduling.
-    TwyList,
-    /// Gang scheduling.
-    Gang,
-    /// Sequential LPT.
-    Lpt,
-}
-
-impl AlgorithmChoice {
-    fn parse(token: &str) -> Result<Self, ParseError> {
-        match token {
-            "mrt" | "sqrt3" => Ok(AlgorithmChoice::Mrt),
-            "ludwig" | "two-phase" => Ok(AlgorithmChoice::Ludwig),
-            "twy-list" => Ok(AlgorithmChoice::TwyList),
-            "gang" => Ok(AlgorithmChoice::Gang),
-            "lpt" | "sequential" => Ok(AlgorithmChoice::Lpt),
-            other => Err(ParseError::InvalidValue {
-                flag: "--algorithm".into(),
-                value: other.into(),
-            }),
-        }
-    }
-
-    /// Stable name, used in the output header.
-    pub fn name(&self) -> &'static str {
-        match self {
-            AlgorithmChoice::Mrt => "mrt-sqrt3",
-            AlgorithmChoice::Ludwig => "ludwig-2phase",
-            AlgorithmChoice::TwyList => "twy-list",
-            AlgorithmChoice::Gang => "gang",
-            AlgorithmChoice::Lpt => "sequential-lpt",
-        }
-    }
+/// Resolve a solver name or alias against the workspace [`SolverRegistry`],
+/// returning the canonical name.  Every algorithm the CLI can run — offline
+/// (`schedule --solver`) or as an online planning oracle (`online --solver`)
+/// — goes through this one lookup, so a solver registered in the `solver`
+/// crate is immediately available everywhere.
+///
+/// [`SolverRegistry`]: malleable_core::solver::SolverRegistry
+fn resolve_solver(flag: &str, token: &str) -> Result<String, ParseError> {
+    let registry = solver::default_registry();
+    registry
+        .resolve(token)
+        .map(str::to_string)
+        .ok_or_else(|| ParseError::UnknownSolver {
+            flag: flag.to_string(),
+            value: token.to_string(),
+            registered: registry.names().collect::<Vec<_>>().join(", "),
+        })
 }
 
 /// Which workload family a `generate` invocation should draw from.
@@ -117,31 +94,6 @@ impl SearchChoice {
     }
 }
 
-/// Which offline solver the epoch/batch policies invoke.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SolverChoice {
-    /// The paper's √3 MRT scheduler (default).
-    Mrt,
-    /// The Ludwig-style two-phase baseline.
-    Ludwig,
-    /// Canonical allotment + contiguous list scheduling.
-    List,
-}
-
-impl SolverChoice {
-    fn parse(token: &str) -> Result<Self, ParseError> {
-        match token {
-            "mrt" | "sqrt3" => Ok(SolverChoice::Mrt),
-            "ludwig" | "two-phase" => Ok(SolverChoice::Ludwig),
-            "list" => Ok(SolverChoice::List),
-            other => Err(ParseError::InvalidValue {
-                flag: "--solver".into(),
-                value: other.into(),
-            }),
-        }
-    }
-}
-
 /// A parsed command.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
@@ -167,7 +119,8 @@ pub enum Command {
         /// Trace file; when absent a trace is generated from the flags below.
         trace: Option<String>,
         policy: PolicyChoice,
-        solver: SolverChoice,
+        /// Canonical name of the offline solver (registry-resolved).
+        solver: String,
         search: SearchChoice,
         epoch: f64,
         family: FamilyChoice,
@@ -182,7 +135,8 @@ pub enum Command {
     /// Schedule an instance file.
     Schedule {
         instance: String,
-        algorithm: AlgorithmChoice,
+        /// Canonical name of the solver (registry-resolved).
+        solver: String,
         search: SearchChoice,
         parallel_branches: bool,
         gantt: bool,
@@ -192,6 +146,8 @@ pub enum Command {
     Validate { instance: String, schedule: String },
     /// Print bounds and statistics of an instance file.
     Bounds { instance: String },
+    /// List every registered solver with its aliases and capabilities.
+    Solvers,
     /// Print the usage text.
     Help,
 }
@@ -216,6 +172,12 @@ pub enum ParseError {
     MissingValue(String),
     /// A flag value could not be parsed.
     InvalidValue { flag: String, value: String },
+    /// A solver name that is not in the registry.
+    UnknownSolver {
+        flag: String,
+        value: String,
+        registered: String,
+    },
     /// A required positional argument is missing.
     MissingArgument(&'static str),
 }
@@ -229,6 +191,17 @@ impl fmt::Display for ParseError {
             ParseError::MissingValue(flag) => write!(f, "flag `{flag}` needs a value"),
             ParseError::InvalidValue { flag, value } => {
                 write!(f, "invalid value `{value}` for `{flag}`")
+            }
+            ParseError::UnknownSolver {
+                flag,
+                value,
+                registered,
+            } => {
+                write!(
+                    f,
+                    "unknown solver `{value}` for `{flag}` (registered: {registered}; \
+                     run `malleable-sched solvers` for details)"
+                )
             }
             ParseError::MissingArgument(name) => write!(f, "missing argument <{name}>"),
         }
@@ -248,18 +221,23 @@ USAGE:
                            [--family <mixed|wide|sequential>] [--tasks N] [--processors M]
                            [--seed S] [--output FILE]
   malleable-sched online   [--trace FILE] --policy <greedy|epoch-mrt|epoch-ludwig|epoch-list|batch-idle>
-                           [--epoch D] [--solver <mrt|ludwig|list>] [--search <exact|bisect>]
+                           [--epoch D] [--solver NAME] [--search <exact|bisect>]
                            [--json] [--no-validate] [--output schedule.json]
                            (without --trace, the trace flags of `trace` generate one inline)
-  malleable-sched schedule <instance.json> [--algorithm <mrt|ludwig|twy-list|gang|lpt>]
+  malleable-sched schedule <instance.json> [--solver NAME]
                            [--search <exact|bisect>] [--parallel-branches]
                            [--gantt] [--output schedule.json]
-                           (--search and --parallel-branches only affect the mrt algorithm:
-                           `exact` bisects over the oracle's breakpoints, `bisect` is the
-                           classical midpoint search of the paper)
+                           (--algorithm is a deprecated alias of --solver; --search and
+                           --parallel-branches only affect the mrt solver: `exact` bisects
+                           over the oracle's breakpoints, `bisect` is the classical
+                           midpoint search of the paper)
+  malleable-sched solvers  (list every registered solver: names, aliases, guarantees)
   malleable-sched validate <instance.json> <schedule.json>
   malleable-sched bounds   <instance.json>
   malleable-sched help
+
+Solver NAMEs are resolved through the workspace solver registry
+(mrt, list, ludwig, twy-list, twy-nfdh, gang, lpt, plus aliases — see `solvers`).
 ";
 
 struct TokenStream<'a> {
@@ -304,6 +282,7 @@ impl Cli {
             Some("schedule") => Self::parse_schedule(&mut stream)?,
             Some("validate") => Self::parse_validate(&mut stream)?,
             Some("bounds") => Self::parse_bounds(&mut stream)?,
+            Some("solvers") => Command::Solvers,
             Some(other) => return Err(ParseError::UnknownCommand(other.to_string())),
         };
         Ok(Cli { command })
@@ -399,8 +378,8 @@ impl Cli {
     fn parse_online(stream: &mut TokenStream) -> Result<Command, ParseError> {
         let mut trace = None;
         let mut policy = None;
-        let mut solver_flag: Option<SolverChoice> = None;
-        let mut solver_from_policy: Option<SolverChoice> = None;
+        let mut solver_flag: Option<String> = None;
+        let mut solver_from_policy: Option<String> = None;
         let mut search = SearchChoice::default();
         let mut epoch = 1.0f64;
         let mut family = FamilyChoice::Mixed;
@@ -419,24 +398,30 @@ impl Cli {
                 "--trace" | "-t" => trace = Some(stream.value_for("--trace")?.to_string()),
                 "--policy" | "-p" => {
                     let value = stream.value_for("--policy")?;
+                    // `epoch-<solver>` tokens imply the solver; any registered
+                    // solver name after the `epoch-` prefix is accepted.
                     let (choice, implied) = match value {
                         "greedy" | "greedy-list" => (PolicyChoice::Greedy, None),
-                        "epoch" | "epoch-mrt" => (PolicyChoice::Epoch, Some(SolverChoice::Mrt)),
-                        "epoch-ludwig" => (PolicyChoice::Epoch, Some(SolverChoice::Ludwig)),
-                        "epoch-list" => (PolicyChoice::Epoch, Some(SolverChoice::List)),
+                        "epoch" => (PolicyChoice::Epoch, Some("mrt".to_string())),
                         "batch" | "batch-idle" => (PolicyChoice::Batch, None),
-                        other => {
-                            return Err(ParseError::InvalidValue {
-                                flag: "--policy".into(),
-                                value: other.into(),
-                            })
-                        }
+                        other => match other.strip_prefix("epoch-") {
+                            Some(solver) => (
+                                PolicyChoice::Epoch,
+                                Some(resolve_solver("--policy", solver)?),
+                            ),
+                            None => {
+                                return Err(ParseError::InvalidValue {
+                                    flag: "--policy".into(),
+                                    value: other.into(),
+                                })
+                            }
+                        },
                     };
                     policy = Some(choice);
                     solver_from_policy = implied;
                 }
                 "--solver" => {
-                    solver_flag = Some(SolverChoice::parse(stream.value_for("--solver")?)?)
+                    solver_flag = Some(resolve_solver("--solver", stream.value_for("--solver")?)?)
                 }
                 "--search" => search = SearchChoice::parse(stream.value_for("--search")?)?,
                 "--epoch" => epoch = parse_number("--epoch", stream.value_for("--epoch")?)?,
@@ -466,7 +451,7 @@ impl Cli {
             policy: policy.ok_or(ParseError::MissingArgument("--policy"))?,
             solver: solver_flag
                 .or(solver_from_policy)
-                .unwrap_or(SolverChoice::Mrt),
+                .unwrap_or_else(|| "mrt".to_string()),
             search,
             epoch,
             family,
@@ -482,15 +467,20 @@ impl Cli {
 
     fn parse_schedule(stream: &mut TokenStream) -> Result<Command, ParseError> {
         let mut instance = None;
-        let mut algorithm = AlgorithmChoice::Mrt;
+        let mut solver = "mrt".to_string();
         let mut search = SearchChoice::default();
         let mut parallel_branches = false;
         let mut gantt = false;
         let mut output = None;
         while let Some(token) = stream.next() {
             match token {
+                "--solver" | "-s" => {
+                    solver = resolve_solver("--solver", stream.value_for("--solver")?)?
+                }
+                // Deprecated aliases of --solver, kept for scripts written
+                // against the pre-registry CLI.
                 "--algorithm" | "-a" => {
-                    algorithm = AlgorithmChoice::parse(stream.value_for("--algorithm")?)?
+                    solver = resolve_solver("--algorithm", stream.value_for("--algorithm")?)?
                 }
                 "--search" => search = SearchChoice::parse(stream.value_for("--search")?)?,
                 "--parallel-branches" => parallel_branches = true,
@@ -504,7 +494,7 @@ impl Cli {
         }
         Ok(Command::Schedule {
             instance: instance.ok_or(ParseError::MissingArgument("instance.json"))?,
-            algorithm,
+            solver,
             search,
             parallel_branches,
             gantt,
@@ -597,26 +587,24 @@ mod tests {
     }
 
     #[test]
-    fn parses_schedule_with_algorithm_and_gantt() {
-        let cli = Cli::parse(&args(&[
-            "schedule",
-            "inst.json",
-            "--algorithm",
-            "ludwig",
-            "--gantt",
-        ]))
-        .unwrap();
-        assert_eq!(
-            cli.command,
-            Command::Schedule {
-                instance: "inst.json".into(),
-                algorithm: AlgorithmChoice::Ludwig,
-                search: SearchChoice::Exact,
-                parallel_branches: false,
-                gantt: true,
-                output: None,
-            }
-        );
+    fn parses_schedule_with_solver_and_gantt() {
+        // --solver is the canonical flag; --algorithm stays as a deprecated
+        // alias of it.
+        for flag in ["--solver", "--algorithm"] {
+            let cli =
+                Cli::parse(&args(&["schedule", "inst.json", flag, "ludwig", "--gantt"])).unwrap();
+            assert_eq!(
+                cli.command,
+                Command::Schedule {
+                    instance: "inst.json".into(),
+                    solver: "ludwig".into(),
+                    search: SearchChoice::Exact,
+                    parallel_branches: false,
+                    gantt: true,
+                    output: None,
+                }
+            );
+        }
     }
 
     #[test]
@@ -716,24 +704,44 @@ mod tests {
         ));
         assert!(matches!(
             Cli::parse(&args(&["schedule", "i.json", "--algorithm", "magic"])).unwrap_err(),
-            ParseError::InvalidValue { .. }
+            ParseError::UnknownSolver { .. }
         ));
         assert_eq!(Cli::parse(&[]).unwrap_err(), ParseError::MissingCommand);
     }
 
     #[test]
-    fn algorithm_aliases_are_accepted() {
+    fn solver_aliases_resolve_to_canonical_names() {
         for (token, expected) in [
-            ("sqrt3", AlgorithmChoice::Mrt),
-            ("two-phase", AlgorithmChoice::Ludwig),
-            ("sequential", AlgorithmChoice::Lpt),
+            ("sqrt3", "mrt"),
+            ("mrt-sqrt3", "mrt"),
+            ("two-phase", "ludwig"),
+            ("sequential", "lpt"),
+            ("canonical-list", "list"),
+            ("twy-nfdh", "twy-nfdh"),
         ] {
-            let cli = Cli::parse(&args(&["schedule", "i.json", "--algorithm", token])).unwrap();
+            let cli = Cli::parse(&args(&["schedule", "i.json", "--solver", token])).unwrap();
             match cli.command {
-                Command::Schedule { algorithm, .. } => assert_eq!(algorithm, expected),
+                Command::Schedule { solver, .. } => assert_eq!(solver, expected, "{token}"),
                 other => panic!("unexpected {other:?}"),
             }
         }
+        // Unknown names are rejected with the registered list.
+        let err = Cli::parse(&args(&["schedule", "i.json", "--solver", "magic"])).unwrap_err();
+        match &err {
+            ParseError::UnknownSolver { registered, .. } => {
+                assert!(registered.contains("mrt") && registered.contains("gang"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(err.to_string().contains("registered"));
+    }
+
+    #[test]
+    fn solvers_subcommand_parses() {
+        assert_eq!(
+            Cli::parse(&args(&["solvers"])).unwrap().command,
+            Command::Solvers
+        );
     }
 
     #[test]
@@ -798,7 +806,7 @@ mod tests {
             } => {
                 assert_eq!(trace.as_deref(), Some("t.json"));
                 assert_eq!(policy, PolicyChoice::Epoch);
-                assert_eq!(solver, SolverChoice::Mrt);
+                assert_eq!(solver, "mrt");
                 assert_eq!(epoch, 0.5);
             }
             other => panic!("unexpected {other:?}"),
@@ -816,7 +824,19 @@ mod tests {
         match cli.command {
             Command::Online { policy, solver, .. } => {
                 assert_eq!(policy, PolicyChoice::Epoch);
-                assert_eq!(solver, SolverChoice::List);
+                assert_eq!(solver, "list");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+
+        // Any registered solver works behind the epoch- prefix.
+        match Cli::parse(&args(&["online", "--policy", "epoch-gang"]))
+            .unwrap()
+            .command
+        {
+            Command::Online { policy, solver, .. } => {
+                assert_eq!(policy, PolicyChoice::Epoch);
+                assert_eq!(solver, "gang");
             }
             other => panic!("unexpected {other:?}"),
         }

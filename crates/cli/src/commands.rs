@@ -6,13 +6,8 @@ use std::fs;
 // with its own error type, so pull the standard `Result` back into scope.
 use std::result::Result;
 
-use baselines::{gang_schedule, ludwig, sequential_lpt, RigidScheduler, TwoPhaseScheduler};
-use malleable_core::bounds;
 use malleable_core::prelude::*;
-use online::{
-    competitive_report, validate_against_trace, EpochReplan, OfflineSolver, OnlinePolicy,
-    PolicyKind,
-};
+use online::{competitive_report, validate_against_trace, EpochReplan, OnlinePolicy, PolicyKind};
 use serde_json::json;
 use simulator::{render_gantt, simulate, validate_schedule};
 use workload::{
@@ -21,8 +16,7 @@ use workload::{
 };
 
 use crate::args::{
-    AlgorithmChoice, Cli, Command, FamilyChoice, ParseError, PatternChoice, PolicyChoice,
-    SearchChoice, SolverChoice, USAGE,
+    Cli, Command, FamilyChoice, ParseError, PatternChoice, PolicyChoice, SearchChoice, USAGE,
 };
 use crate::schedule_io::{schedule_from_json, schedule_to_json};
 
@@ -84,14 +78,14 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
         } => generate(*family, *tasks, *processors, *seed, output.as_deref()),
         Command::Schedule {
             instance,
-            algorithm,
+            solver,
             search,
             parallel_branches,
             gantt,
             output,
         } => schedule(
             instance,
-            *algorithm,
+            solver,
             *search,
             *parallel_branches,
             *gantt,
@@ -99,6 +93,7 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
         ),
         Command::Validate { instance, schedule } => validate(instance, schedule),
         Command::Bounds { instance } => print_bounds(instance),
+        Command::Solvers => Ok(list_solvers()),
         Command::Trace {
             family,
             pattern,
@@ -131,7 +126,7 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
         } => run_online(OnlineArgs {
             trace: trace.as_deref(),
             policy: *policy,
-            solver: *solver,
+            solver,
             search: *search,
             epoch: *epoch,
             family: *family,
@@ -199,7 +194,7 @@ fn generate_trace(
 struct OnlineArgs<'a> {
     trace: Option<&'a str>,
     policy: PolicyChoice,
-    solver: SolverChoice,
+    solver: &'a str,
     search: SearchChoice,
     epoch: f64,
     family: FamilyChoice,
@@ -230,17 +225,13 @@ fn run_online(args: OnlineArgs) -> Result<String, CliError> {
         }
     };
 
-    let solver = match args.solver {
-        SolverChoice::Mrt => OfflineSolver::Mrt,
-        SolverChoice::Ludwig => OfflineSolver::TwoPhase,
-        SolverChoice::List => OfflineSolver::CanonicalList,
-    };
+    let solver = resolve_solver(args.solver)?;
     let mut policy: Box<dyn OnlinePolicy> = match args.policy {
         PolicyChoice::Greedy => PolicyKind::Greedy
             .build()
             .map_err(|e| CliError::Invalid(e.to_string()))?,
-        // The epoch policy is built directly so the warm-started MRT path can
-        // honour the --search flag.
+        // The epoch policy is built directly so warm-start-capable solvers
+        // can honour the --search flag.
         PolicyChoice::Epoch => Box::new(
             EpochReplan::with_solver(args.epoch, solver)
                 .map_err(|e| CliError::Invalid(e.to_string()))?
@@ -361,66 +352,86 @@ fn search_mode(choice: SearchChoice) -> SearchMode {
     }
 }
 
-fn run_algorithm(
-    algorithm: AlgorithmChoice,
+/// Resolve a (parse-time validated) solver name against the registry.
+fn resolve_solver(name: &str) -> Result<SolverHandle, CliError> {
+    solver::default_registry().get(name).ok_or_else(|| {
+        CliError::Invalid(format!(
+            "solver `{name}` is not registered (run `malleable-sched solvers`)"
+        ))
+    })
+}
+
+/// The `solvers` subcommand: one table row per registry entry.
+fn list_solvers() -> String {
+    let registry = solver::default_registry();
+    let mut out = format!(
+        "{:<10} {:>9} {:>12} {:>8} {:>10}  {}\n",
+        "solver", "guarantee", "certified-LB", "anytime", "warm-start", "aliases"
+    );
+    for handle in registry.solvers() {
+        let caps = handle.capabilities();
+        let yes_no = |b: bool| if b { "yes" } else { "no" };
+        out.push_str(&format!(
+            "{:<10} {:>9} {:>12} {:>8} {:>10}  {}\n",
+            handle.name(),
+            caps.guarantee
+                .map_or_else(|| "-".to_string(), |g| format!("{g:.3}")),
+            yes_no(caps.certified_lower_bound),
+            yes_no(caps.anytime),
+            yes_no(caps.supports_warm_start),
+            registry.aliases(handle.name()).join(", "),
+        ));
+    }
+    out
+}
+
+fn run_solver(
+    name: &str,
     instance: &Instance,
     search: SearchChoice,
     parallel_branches: bool,
-) -> Result<Schedule, CliError> {
-    let schedule = match algorithm {
-        AlgorithmChoice::Mrt => {
-            MrtScheduler {
-                parallel_branches,
-                ..Default::default()
-            }
-            .schedule_with(instance, search_mode(search))
-            .map_err(|e| CliError::Scheduling(e.to_string()))?
-            .schedule
-        }
-        AlgorithmChoice::Ludwig => {
-            ludwig(instance).map_err(|e| CliError::Scheduling(e.to_string()))?
-        }
-        AlgorithmChoice::TwyList => TwoPhaseScheduler {
-            rigid: RigidScheduler::List,
-        }
-        .schedule(instance)
-        .map_err(|e| CliError::Scheduling(e.to_string()))?,
-        AlgorithmChoice::Gang => gang_schedule(instance),
-        AlgorithmChoice::Lpt => sequential_lpt(instance),
-    };
-    Ok(schedule)
+) -> Result<SolveOutcome, CliError> {
+    let handle = resolve_solver(name)?;
+    let request = SolveRequest::new(instance)
+        .with_mode(search_mode(search))
+        .with_parallel_branches(parallel_branches);
+    handle
+        .solve(&request)
+        .map_err(|e| CliError::Scheduling(e.to_string()))
 }
 
 fn schedule(
     instance_path: &str,
-    algorithm: AlgorithmChoice,
+    solver_name: &str,
     search: SearchChoice,
     parallel_branches: bool,
     gantt: bool,
     output: Option<&str>,
 ) -> Result<String, CliError> {
     let instance = load_instance(instance_path)?;
-    let schedule = run_algorithm(algorithm, &instance, search, parallel_branches)?;
-    let lb = bounds::lower_bound(&instance);
-    let trace = simulate(&instance, &schedule);
+    let outcome = run_solver(solver_name, &instance, search, parallel_branches)?;
+    let trace = simulate(&instance, &outcome.schedule);
 
     let mut report = String::new();
     report.push_str(&format!(
-        "algorithm        : {}\ninstance         : {} tasks on {} processors\nmakespan         : {:.4}\nlower bound      : {:.4}\nratio            : {:.4}\nutilisation      : {:.1}%\n",
-        algorithm.name(),
+        "solver           : {}\ninstance         : {} tasks on {} processors\nmakespan         : {:.4}\nlower bound      : {:.4}{}\nratio            : {:.4}\nprobes           : {}\nsolve time       : {:.3} ms\nutilisation      : {:.1}%\n",
+        outcome.solver,
         instance.task_count(),
         instance.processors(),
-        schedule.makespan(),
-        lb,
-        schedule.makespan() / lb,
+        outcome.makespan(),
+        outcome.lower_bound,
+        if outcome.certified { " (certified)" } else { "" },
+        outcome.ratio(),
+        outcome.probes,
+        outcome.wall_time.as_secs_f64() * 1e3,
         100.0 * trace.utilization,
     ));
     if gantt {
         report.push('\n');
-        report.push_str(&render_gantt(&instance, &schedule, 72));
+        report.push_str(&render_gantt(&instance, &outcome.schedule, 72));
     }
     if let Some(path) = output {
-        write_file(path, &schedule_to_json(&schedule))?;
+        write_file(path, &schedule_to_json(&outcome.schedule))?;
         report.push_str(&format!("schedule written to {path}\n"));
     }
     Ok(report)
@@ -530,7 +541,7 @@ mod tests {
     }
 
     #[test]
-    fn every_algorithm_choice_runs() {
+    fn every_registered_solver_runs() {
         let instance_path = temp_path("algo-instance.json");
         run_args(&args(&[
             "generate",
@@ -544,11 +555,27 @@ mod tests {
             &instance_path,
         ]))
         .unwrap();
-        for algo in ["mrt", "ludwig", "twy-list", "gang", "lpt"] {
-            let out = run_args(&args(&["schedule", &instance_path, "--algorithm", algo])).unwrap();
-            assert!(out.contains("ratio"), "{algo} did not report a ratio");
+        // Every solver in the registry is reachable via --solver (nothing is
+        // hard-coded in the CLI), and the deprecated --algorithm alias still
+        // works.
+        for name in solver::default_registry().names() {
+            let out = run_args(&args(&["schedule", &instance_path, "--solver", name])).unwrap();
+            assert!(out.contains("ratio"), "{name} did not report a ratio");
+            assert!(out.contains(name), "{name} missing from the header: {out}");
         }
+        let out = run_args(&args(&["schedule", &instance_path, "--algorithm", "mrt"])).unwrap();
+        assert!(out.contains("certified"), "mrt bound must be certified");
         fs::remove_file(instance_path).ok();
+    }
+
+    #[test]
+    fn solvers_subcommand_lists_the_registry() {
+        let out = run_args(&args(&["solvers"])).unwrap();
+        for name in solver::default_registry().names() {
+            assert!(out.contains(name), "{name} missing: {out}");
+        }
+        assert!(out.contains("guarantee"));
+        assert!(out.contains("sqrt3"), "aliases should be listed");
     }
 
     #[test]

@@ -131,6 +131,14 @@ pub struct DualSearch {
     pub iterations: usize,
     /// Stop early once the relative width of the interval drops below this.
     pub relative_tolerance: f64,
+    /// Hard cap on the total oracle probes of one solve, counted across every
+    /// phase (both search modes and the exact mode's quality descent); `None`
+    /// is unbounded.  The probes needed to establish the first feasible guess
+    /// are exempt — without one there is no schedule to return — so a solve
+    /// can exceed the cap by the climb probes (one, when the static upper
+    /// bound is accepted).  Truncating the search early never invalidates the
+    /// certified lower bound; it only costs refinement.
+    pub max_probes: Option<usize>,
 }
 
 impl Default for DualSearch {
@@ -138,7 +146,86 @@ impl Default for DualSearch {
         DualSearch {
             iterations: 30,
             relative_tolerance: 1e-6,
+            max_probes: None,
         }
+    }
+}
+
+/// Probe bookkeeping shared by every phase of the search driver: the probe
+/// counter, the best (shortest) schedule seen with its cached makespan, and
+/// the smallest guess accepted so far.  Factoring it out is what lets the
+/// climb, bisection, breakpoint and quality-descent phases share one oracle
+/// call site instead of four hand-rolled copies.
+struct SearchState<'a> {
+    instance: &'a Instance,
+    algorithm: &'a dyn DualApproximation,
+    probes: usize,
+    best: Option<Schedule>,
+    best_makespan: f64,
+    feasible_omega: f64,
+}
+
+/// What one bookkept probe observed.
+struct ProbeStep {
+    /// The oracle accepted the guess.
+    feasible: bool,
+    /// The probe's schedule improved on the best seen so far.
+    improved: bool,
+}
+
+impl<'a> SearchState<'a> {
+    fn new(instance: &'a Instance, algorithm: &'a dyn DualApproximation) -> Self {
+        SearchState {
+            instance,
+            algorithm,
+            probes: 0,
+            best: None,
+            best_makespan: f64::INFINITY,
+            feasible_omega: f64::INFINITY,
+        }
+    }
+
+    /// Probe `omega` and fold the outcome into the running state.
+    fn probe(&mut self, omega: f64, workspace: &mut ProbeWorkspace) -> ProbeStep {
+        self.probes += 1;
+        match self
+            .algorithm
+            .probe_with_workspace(self.instance, omega, workspace)
+        {
+            DualOutcome::Feasible(s) => {
+                self.feasible_omega = self.feasible_omega.min(omega);
+                let makespan = s.makespan();
+                let improved = makespan < self.best_makespan;
+                if improved {
+                    self.best_makespan = makespan;
+                    self.best = Some(s);
+                }
+                ProbeStep {
+                    feasible: true,
+                    improved,
+                }
+            }
+            DualOutcome::Infeasible => ProbeStep {
+                feasible: false,
+                improved: false,
+            },
+        }
+    }
+
+    /// A-posteriori ratio already 1: the best schedule matches the certified
+    /// bound, no probe can improve either side.
+    fn gap_closed(&self, lo: f64) -> bool {
+        self.best_makespan <= lo * (1.0 + 1e-9)
+    }
+
+    fn into_result(self, certified_lower_bound: f64) -> Result<SearchResult> {
+        let schedule = self.best.ok_or(Error::NoFeasibleSchedule)?;
+        Ok(SearchResult {
+            schedule,
+            certified_lower_bound,
+            feasible_omega: self.feasible_omega,
+            probes: self.probes,
+        })
     }
 }
 
@@ -148,7 +235,21 @@ impl DualSearch {
         DualSearch {
             iterations,
             relative_tolerance: 0.0,
+            ..Default::default()
         }
+    }
+
+    /// A default search with a hard probe cap (see [`DualSearch::max_probes`]).
+    pub fn with_probe_cap(max_probes: usize) -> Self {
+        DualSearch {
+            max_probes: Some(max_probes),
+            ..Default::default()
+        }
+    }
+
+    /// Whether the probe cap is exhausted.
+    fn out_of_probes(&self, state: &SearchState<'_>) -> bool {
+        self.max_probes.is_some_and(|cap| state.probes >= cap)
     }
 
     /// Run the dichotomic search of §2.2 on `algorithm`.
@@ -157,6 +258,9 @@ impl DualSearch {
     /// algorithm rejects even the guaranteed-feasible upper bound (which a
     /// correct dual approximation never should), the upper end is doubled a
     /// few times before giving up with [`Error::NoFeasibleSchedule`].
+    ///
+    /// This and the other `solve_*` names are thin forwarding wrappers around
+    /// the one core driver, [`DualSearch::solve_guided`].
     pub fn solve(
         &self,
         instance: &Instance,
@@ -194,11 +298,12 @@ impl DualSearch {
         self.solve_guided(instance, algorithm, SearchMode::Exact, None, workspace)
     }
 
-    /// The full-control entry point: run the search in the given mode, with
-    /// an optional warm-start hint for the upper end of the interval (a guess
-    /// believed feasible, e.g. scaled over from the previous epoch of an
-    /// online re-planner).  A hint below the true threshold only costs the
-    /// doubling probes needed to climb back; correctness is unaffected.
+    /// The core driver every other `solve_*` entry point forwards to: run the
+    /// search in the given mode, with an optional warm-start hint for the
+    /// upper end of the interval (a guess believed feasible, e.g. scaled over
+    /// from the previous epoch of an online re-planner).  A hint below the
+    /// true threshold only costs the doubling probes needed to climb back;
+    /// correctness is unaffected.
     pub fn solve_guided(
         &self,
         instance: &Instance,
@@ -219,162 +324,142 @@ impl DualSearch {
             }
         }
 
-        let mut probes = 0usize;
-        let mut best: Option<Schedule>;
-        let mut best_makespan: f64;
-        let mut feasible_omega: f64;
+        let mut state = SearchState::new(instance, algorithm);
+        self.climb_to_feasible(&mut state, &mut lo, &mut hi, workspace)?;
+        match mode {
+            SearchMode::Bisect => self.bisect_phase(&mut state, &mut lo, &mut hi, workspace),
+            SearchMode::Exact => self.exact_phase(&mut state, &mut lo, hi, workspace),
+        }
+        state.into_result(lo)
+    }
 
-        // Ensure the upper end is actually accepted by the oracle.
+    /// Ensure the upper end of the interval is actually accepted by the
+    /// oracle, doubling past a lowball warm-start hint when necessary.
+    fn climb_to_feasible(
+        &self,
+        state: &mut SearchState<'_>,
+        lo: &mut f64,
+        hi: &mut f64,
+        workspace: &mut ProbeWorkspace,
+    ) -> Result<()> {
         let mut attempts = 0;
         loop {
-            probes += 1;
-            match algorithm.probe_with_workspace(instance, hi, workspace) {
-                DualOutcome::Feasible(s) => {
-                    feasible_omega = hi;
-                    best_makespan = s.makespan();
-                    best = Some(s);
-                    break;
-                }
-                DualOutcome::Infeasible => {
-                    lo = lo.max(hi);
-                    hi *= 2.0;
-                    attempts += 1;
-                    if attempts > 16 {
-                        return Err(Error::NoFeasibleSchedule);
-                    }
-                }
+            if state.probe(*hi, workspace).feasible {
+                return Ok(());
+            }
+            *lo = lo.max(*hi);
+            *hi *= 2.0;
+            attempts += 1;
+            if attempts > 16 {
+                return Err(Error::NoFeasibleSchedule);
+            }
+        }
+    }
+
+    /// The classical `f64` midpoint bisection of §2.2.
+    fn bisect_phase(
+        &self,
+        state: &mut SearchState<'_>,
+        lo: &mut f64,
+        hi: &mut f64,
+        workspace: &mut ProbeWorkspace,
+    ) {
+        for _ in 0..self.iterations {
+            if self.out_of_probes(state)
+                || *hi - *lo <= self.relative_tolerance * hi.max(1e-12)
+                || state.gap_closed(*lo)
+            {
+                break;
+            }
+            let mid = 0.5 * (*lo + *hi);
+            if state.probe(mid, workspace).feasible {
+                *hi = mid;
+            } else {
+                *lo = mid;
+            }
+        }
+    }
+
+    /// Breakpoint-index bisection plus the bounded quality descent of
+    /// [`SearchMode::Exact`].
+    fn exact_phase(
+        &self,
+        state: &mut SearchState<'_>,
+        lo: &mut f64,
+        hi: f64,
+        workspace: &mut ProbeWorkspace,
+    ) {
+        // Bisect over breakpoint indices: feasibility is constant between
+        // consecutive candidates, so the smallest feasible candidate is the
+        // oracle's true threshold.
+        let candidates = breakpoints::search_candidates(state.instance, *lo, hi);
+        let mut hi_idx = candidates.len() - 1; // == hi, probed feasible
+        let mut lo_idx: Option<usize> = None;
+        while lo_idx.map_or(0, |k| k + 1) < hi_idx {
+            if self.out_of_probes(state) || state.gap_closed(*lo) {
+                break;
+            }
+            let mid = (lo_idx.map_or(0, |k| k + 1) + hi_idx) / 2;
+            if state.probe(candidates[mid], workspace).feasible {
+                hi_idx = mid;
+            } else {
+                lo_idx = Some(mid);
+            }
+        }
+        if let Some(k) = lo_idx {
+            // The candidate set makes the *necessary feasibility conditions*
+            // piecewise-constant, so verifying them at one interior point
+            // certifies the whole half-open interval: if they fail there,
+            // `OPT ≥ candidates[hi_idx]` exactly.  An oracle may also reject
+            // for non-certificate reasons (ablation branch subsets, custom
+            // oracles) whose thresholds are not in the candidate set — in
+            // that case only the probed guess itself is a (claimed)
+            // certificate, the classical bisection semantics.
+            let interior = 0.5 * (candidates[k] + candidates[hi_idx]);
+            if !bounds::may_be_feasible(state.instance, interior) {
+                *lo = lo.max(candidates[hi_idx].min(state.best_makespan));
+            } else {
+                *lo = lo.max(candidates[k]);
             }
         }
 
-        match mode {
-            SearchMode::Bisect => {
-                for _ in 0..self.iterations {
-                    if hi - lo <= self.relative_tolerance * hi.max(1e-12) {
-                        break;
-                    }
-                    // A-posteriori ratio already 1: the best schedule matches
-                    // the certified bound, no probe can improve either side.
-                    if best_makespan <= lo * (1.0 + 1e-9) {
-                        break;
-                    }
-                    let mid = 0.5 * (lo + hi);
-                    probes += 1;
-                    match algorithm.probe_with_workspace(instance, mid, workspace) {
-                        DualOutcome::Feasible(s) => {
-                            feasible_omega = feasible_omega.min(mid);
-                            hi = mid;
-                            let makespan = s.makespan();
-                            if makespan < best_makespan {
-                                best_makespan = makespan;
-                                best = Some(s);
-                            }
-                        }
-                        DualOutcome::Infeasible => {
-                            lo = mid;
-                        }
-                    }
-                }
+        // Quality descent: the certified bound is already exact, but branch
+        // quality (unlike feasibility) is not constant between breakpoints —
+        // the two-shelf construction moves continuously with ω.  Spend a
+        // small bounded budget on the classical midpoint descent through the
+        // known-feasible region; in the common case where the threshold sits
+        // at the static bound, this retraces the bisection search's own probe
+        // points.
+        let mut quality_hi = hi;
+        let quality_lo = state.feasible_omega;
+        let mut stale = 0usize;
+        for _ in 0..EXACT_QUALITY_PROBES {
+            // Stop on a stale streak, a closed a-posteriori gap, or a region
+            // already narrower than the search tolerance (the same stopping
+            // rule the bisection mode uses) — the last is what keeps
+            // warm-started epoch re-solves cheap.
+            if self.out_of_probes(state)
+                || stale >= 8
+                || state.gap_closed(*lo)
+                || quality_hi - quality_lo
+                    <= self.relative_tolerance.max(1e-9) * quality_hi.max(1e-12)
+            {
+                break;
             }
-            SearchMode::Exact => {
-                // Bisect over breakpoint indices: feasibility is constant
-                // between consecutive candidates, so the smallest feasible
-                // candidate is the oracle's true threshold.
-                let initial_hi = hi;
-                let candidates = breakpoints::search_candidates(instance, lo, hi);
-                let mut hi_idx = candidates.len() - 1; // == hi, probed feasible
-                let mut lo_idx: Option<usize> = None;
-                while lo_idx.map_or(0, |k| k + 1) < hi_idx {
-                    if best_makespan <= lo * (1.0 + 1e-9) {
-                        break;
-                    }
-                    let mid = (lo_idx.map_or(0, |k| k + 1) + hi_idx) / 2;
-                    probes += 1;
-                    match algorithm.probe_with_workspace(instance, candidates[mid], workspace) {
-                        DualOutcome::Feasible(s) => {
-                            hi_idx = mid;
-                            feasible_omega = feasible_omega.min(candidates[mid]);
-                            let makespan = s.makespan();
-                            if makespan < best_makespan {
-                                best_makespan = makespan;
-                                best = Some(s);
-                            }
-                        }
-                        DualOutcome::Infeasible => {
-                            lo_idx = Some(mid);
-                        }
-                    }
-                }
-                if let Some(k) = lo_idx {
-                    // The candidate set makes the *necessary feasibility
-                    // conditions* piecewise-constant, so verifying them at
-                    // one interior point certifies the whole half-open
-                    // interval: if they fail there, `OPT ≥ candidates[hi_idx]`
-                    // exactly.  An oracle may also reject for non-certificate
-                    // reasons (ablation branch subsets, custom oracles) whose
-                    // thresholds are not in the candidate set — in that case
-                    // only the probed guess itself is a (claimed) certificate,
-                    // the classical bisection semantics.
-                    let interior = 0.5 * (candidates[k] + candidates[hi_idx]);
-                    if !bounds::may_be_feasible(instance, interior) {
-                        lo = lo.max(candidates[hi_idx].min(best_makespan));
-                    } else {
-                        lo = lo.max(candidates[k]);
-                    }
-                }
-
-                // Quality descent: the certified bound is already exact, but
-                // branch quality (unlike feasibility) is not constant between
-                // breakpoints — the two-shelf construction moves continuously
-                // with ω.  Spend a small bounded budget on the classical
-                // midpoint descent through the known-feasible region; in the
-                // common case where the threshold sits at the static bound,
-                // this retraces the bisection search's own probe points.
-                let mut quality_hi = initial_hi;
-                let quality_lo = feasible_omega;
-                let mut stale = 0usize;
-                for _ in 0..EXACT_QUALITY_PROBES {
-                    // Stop on a stale streak, a closed a-posteriori gap, or a
-                    // region already narrower than the search tolerance (the
-                    // same stopping rule the bisection mode uses) — the last
-                    // is what keeps warm-started epoch re-solves cheap.
-                    if stale >= 8
-                        || best_makespan <= lo * (1.0 + 1e-9)
-                        || quality_hi - quality_lo
-                            <= self.relative_tolerance.max(1e-9) * quality_hi.max(1e-12)
-                    {
-                        break;
-                    }
-                    let mid = 0.5 * (quality_lo + quality_hi);
-                    probes += 1;
-                    match algorithm.probe_with_workspace(instance, mid, workspace) {
-                        DualOutcome::Feasible(s) => {
-                            quality_hi = mid;
-                            feasible_omega = feasible_omega.min(mid);
-                            let makespan = s.makespan();
-                            if makespan < best_makespan {
-                                best_makespan = makespan;
-                                best = Some(s);
-                                stale = 0;
-                            } else {
-                                stale += 1;
-                            }
-                        }
-                        // Above the certified threshold every guess is
-                        // feasible for a monotone oracle; stop rather than
-                        // fight a non-monotone one.
-                        DualOutcome::Infeasible => break,
-                    }
-                }
+            let mid = 0.5 * (quality_lo + quality_hi);
+            let step = state.probe(mid, workspace);
+            if !step.feasible {
+                // Above the certified threshold every guess is feasible for a
+                // monotone oracle; stop rather than fight a non-monotone one.
+                break;
+            }
+            quality_hi = mid;
+            if step.improved {
+                stale = 0;
+            } else {
+                stale += 1;
             }
         }
-
-        let schedule = best.ok_or(Error::NoFeasibleSchedule)?;
-        Ok(SearchResult {
-            schedule,
-            certified_lower_bound: lo,
-            feasible_omega,
-            probes,
-        })
     }
 }
 

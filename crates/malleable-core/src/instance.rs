@@ -12,25 +12,67 @@ pub struct Instance {
     processors: usize,
 }
 
+/// What [`Instance::new`] did to its inputs while normalising them —
+/// returned by [`Instance::new_with_summary`] so callers can surface the
+/// silent adjustments (the CLI warns when profiles were truncated; tests
+/// assert the count is zero for generated workloads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InstanceSummary {
+    /// Number of tasks `n` in the constructed instance.
+    pub tasks: usize,
+    /// Number of processors `m` of the constructed instance.
+    pub processors: usize,
+    /// How many speed-up profiles were longer than `m` and therefore
+    /// truncated to the machine size.
+    pub truncated_profiles: usize,
+}
+
 impl Instance {
     /// Build an instance, validating that it has at least one task and one
-    /// processor.  Profiles longer than `processors` are truncated: a task can
-    /// never be allotted more processors than the machine has.
+    /// processor.
+    ///
+    /// **Truncation behaviour:** profiles longer than `processors` are
+    /// silently truncated — a task can never be allotted more processors than
+    /// the machine has, and under the monotone assumption the dropped entries
+    /// can only describe slower-or-equal configurations.  Use
+    /// [`Instance::new_with_summary`] when the caller needs to know whether
+    /// (and how often) this happened.
     pub fn new(tasks: Vec<MalleableTask>, processors: usize) -> Result<Self> {
+        Self::new_with_summary(tasks, processors).map(|(instance, _)| instance)
+    }
+
+    /// Same as [`Instance::new`], additionally reporting what was normalised:
+    /// the returned [`InstanceSummary`] carries the number of profiles that
+    /// were longer than `processors` and had to be truncated.
+    pub fn new_with_summary(
+        tasks: Vec<MalleableTask>,
+        processors: usize,
+    ) -> Result<(Self, InstanceSummary)> {
         if processors == 0 {
             return Err(Error::NoProcessors);
         }
         if tasks.is_empty() {
             return Err(Error::EmptyInstance);
         }
-        let tasks = tasks
+        let mut truncated_profiles = 0usize;
+        let tasks: Vec<MalleableTask> = tasks
             .into_iter()
-            .map(|t| MalleableTask {
-                name: t.name,
-                profile: t.profile.truncated(processors),
+            .map(|t| {
+                if t.profile.max_processors() > processors {
+                    truncated_profiles += 1;
+                }
+                MalleableTask {
+                    name: t.name,
+                    profile: t.profile.truncated(processors),
+                }
             })
             .collect();
-        Ok(Instance { tasks, processors })
+        let summary = InstanceSummary {
+            tasks: tasks.len(),
+            processors,
+            truncated_profiles,
+        };
+        Ok((Instance { tasks, processors }, summary))
     }
 
     /// Convenience constructor from bare profiles.
@@ -152,6 +194,36 @@ mod tests {
         assert_eq!(inst.time(0, 3), 3.0);
         // Beyond the machine size the time stays flat.
         assert_eq!(inst.time(0, 5), 3.0);
+    }
+
+    #[test]
+    fn construction_summary_counts_truncated_profiles() {
+        let tasks: Vec<MalleableTask> = vec![
+            SpeedupProfile::new(vec![8.0, 4.0, 3.0, 2.5, 2.2]).unwrap(), // truncated
+            SpeedupProfile::new(vec![3.0, 1.6]).unwrap(),                // fits
+            SpeedupProfile::linear(6.0, 5).unwrap(),                     // truncated
+        ]
+        .into_iter()
+        .map(MalleableTask::new)
+        .collect();
+        let (inst, summary) = Instance::new_with_summary(tasks, 3).unwrap();
+        assert_eq!(
+            summary,
+            InstanceSummary {
+                tasks: 3,
+                processors: 3,
+                truncated_profiles: 2,
+            }
+        );
+        assert_eq!(inst.task(0).profile.max_processors(), 3);
+
+        // Nothing to truncate → a zero count.
+        let (_, summary) = Instance::new_with_summary(
+            vec![MalleableTask::new(SpeedupProfile::sequential(1.0).unwrap())],
+            4,
+        )
+        .unwrap();
+        assert_eq!(summary.truncated_profiles, 0);
     }
 
     #[test]

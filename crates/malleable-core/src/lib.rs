@@ -44,6 +44,7 @@
 //! | [`canonical`] | §3.2 | canonical allotment, λ-area, canonical list algorithm, `m_λ` |
 //! | [`two_shelf`] | §4 | the knapsack-based two-shelf construction |
 //! | [`mrt`] | §3–§4, Thm 3 | the combined √3 scheduler and the one-call API |
+//! | [`solver`] | — | the unified `Solver` trait, `SolveRequest`/`SolveOutcome` pipeline and the solver registry |
 
 pub mod allotment;
 pub mod bounds;
@@ -56,6 +57,7 @@ pub mod list;
 pub mod mla;
 pub mod mrt;
 pub mod schedule;
+pub mod solver;
 pub mod task;
 pub mod two_shelf;
 pub mod workspace;
@@ -64,8 +66,12 @@ pub mod prelude;
 
 pub use allotment::Allotment;
 pub use error::{Error, Result};
-pub use instance::Instance;
+pub use instance::{Instance, InstanceSummary};
 pub use schedule::{ProcessorRange, Schedule, ScheduledTask};
+pub use solver::{
+    CanonicalListSolver, MrtSolver, SolveOutcome, SolveRequest, Solver, SolverCapabilities,
+    SolverHandle, SolverRegistry,
+};
 pub use task::{MalleableTask, SpeedupProfile, TaskId};
 pub use workspace::ProbeWorkspace;
 

@@ -14,11 +14,15 @@ pub use crate::bounds::{area_bound, critical_task_bound, lower_bound, upper_boun
 pub use crate::canonical::{CanonicalAllotment, CanonicalListAlgorithm};
 pub use crate::dual::{DualApproximation, DualOutcome, DualSearch, SearchMode, SearchResult};
 pub use crate::error::{Error, Result};
-pub use crate::instance::Instance;
+pub use crate::instance::{Instance, InstanceSummary};
 pub use crate::list::{schedule_rigid, ListOrder};
 pub use crate::mla::MalleableListAlgorithm;
 pub use crate::mrt::{Branch, BranchSet, MrtScheduler};
 pub use crate::schedule::{ProcessorRange, Schedule, ScheduledTask};
+pub use crate::solver::{
+    CanonicalListSolver, MrtSolver, SolveOutcome, SolveRequest, Solver, SolverCapabilities,
+    SolverHandle, SolverRegistry,
+};
 pub use crate::task::{MalleableTask, SpeedupProfile, TaskId};
 pub use crate::two_shelf::{TwoShelfKind, TwoShelfParams};
 pub use crate::workspace::ProbeWorkspace;

@@ -289,7 +289,7 @@ pub fn competitive_report(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::{BatchUntilIdle, EpochReplan, GreedyList, OfflineSolver, PolicyKind};
+    use crate::policy::{BatchUntilIdle, EpochReplan, GreedyList, PolicyKind};
     use workload::{Arrival, ArrivalPattern, ArrivalTrace, TraceConfig, WorkloadConfig};
 
     fn sequential_trace(times: &[(f64, f64)], processors: usize) -> ArrivalTrace {
@@ -359,18 +359,19 @@ mod tests {
     fn all_policies_produce_valid_schedules_on_random_traces() {
         let trace = poisson_trace(60, 8, 4.0, 17);
         let offline = malleable_core::mrt::schedule(&trace.instance().unwrap()).unwrap();
+        let registry = solver::default_registry();
         for kind in [
             PolicyKind::Greedy,
             PolicyKind::Epoch {
                 period: 1.0,
-                solver: OfflineSolver::Mrt,
+                solver: registry.get("mrt").unwrap(),
             },
             PolicyKind::Epoch {
                 period: 0.5,
-                solver: OfflineSolver::TwoPhase,
+                solver: registry.get("ludwig").unwrap(),
             },
             PolicyKind::Batch {
-                solver: OfflineSolver::CanonicalList,
+                solver: registry.get("list").unwrap(),
             },
         ] {
             let mut policy = kind.build().unwrap();

@@ -3,8 +3,9 @@
 //! An event-driven **online scheduling engine** for monotone malleable
 //! tasks: tasks arrive over time (see [`workload::ArrivalTrace`]) and the
 //! engine commits non-preemptive, contiguous placements as the trace
-//! unfolds, re-using the offline solvers of `malleable_core` and
-//! `baselines` as planning oracles.
+//! unfolds, re-using any offline solver behind the unified
+//! `malleable_core::solver::Solver` trait as a planning oracle (resolve one
+//! by name from the workspace `solver` crate's registry).
 //!
 //! The offline model of the paper (Mounié–Rapine–Trystram, SPAA 1999)
 //! solves one fixed task set; a production scheduler instead faces a stream
@@ -14,8 +15,8 @@
 //! implements that bridge as an event loop with pluggable policies:
 //!
 //! * [`policy::GreedyList`] — immediate list scheduling on arrival;
-//! * [`policy::EpochReplan`] — periodic offline re-planning (MRT, Ludwig
-//!   two-phase or canonical-list solvers);
+//! * [`policy::EpochReplan`] — periodic offline re-planning with any
+//!   registered solver (MRT, Ludwig two-phase, canonical list, …);
 //! * [`policy::BatchUntilIdle`] — plan a whole batch whenever the machine
 //!   drains.
 //!
@@ -66,6 +67,6 @@ pub use engine::{
 pub use event::{Event, EventKind, EventQueue};
 pub use machine::{MachineState, Placement};
 pub use policy::{
-    BatchUntilIdle, Commitment, EpochReplan, GreedyList, OfflineSolver, OnlinePolicy, PendingTask,
-    PolicyKind, Trigger,
+    BatchUntilIdle, Commitment, EpochReplan, GreedyList, OnlinePolicy, PendingTask, PolicyKind,
+    Trigger,
 };

@@ -13,50 +13,18 @@
 //! * [`BatchUntilIdle`] — collect arrivals while the machine is busy and
 //!   plan the whole batch the instant it drains (the classical batch-mode
 //!   online-to-offline reduction, as in Shmoys–Wein–Williamson).
+//!
+//! The offline-driven policies hold a [`SolverHandle`] — any implementation
+//! of the unified `malleable_core::solver::Solver` trait, typically resolved
+//! by name from the workspace `solver` crate's registry.  The policy adapts
+//! to the solver's capabilities: when the solver supports warm starts, the
+//! probe workspace and the previous epoch's accepted guess are threaded into
+//! every solve.
+
+use std::sync::Arc;
 
 use crate::machine::MachineState;
 use malleable_core::prelude::*;
-
-/// Which offline solver an offline-driven policy invokes on the pending set.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum OfflineSolver {
-    /// The paper's combined √3 dual-approximation scheduler.
-    #[default]
-    Mrt,
-    /// The Ludwig-style two-phase baseline (TWY allotment + FFDH).
-    TwoPhase,
-    /// Canonical allotment at the guaranteed-feasible bound + contiguous
-    /// list scheduling.
-    CanonicalList,
-}
-
-impl OfflineSolver {
-    /// Stable name used in reports.
-    pub fn name(&self) -> &'static str {
-        match self {
-            OfflineSolver::Mrt => "mrt",
-            OfflineSolver::TwoPhase => "ludwig",
-            OfflineSolver::CanonicalList => "list",
-        }
-    }
-
-    /// Solve an offline instance.
-    pub fn solve(&self, instance: &Instance) -> Result<Schedule> {
-        match self {
-            OfflineSolver::Mrt => Ok(MrtScheduler::default().schedule(instance)?.schedule),
-            OfflineSolver::TwoPhase => baselines::ludwig(instance),
-            OfflineSolver::CanonicalList => {
-                let omega = malleable_core::bounds::upper_bound(instance);
-                let allotment = Allotment::canonical(instance, omega)?;
-                Ok(schedule_rigid(
-                    instance,
-                    &allotment,
-                    ListOrder::DecreasingAllottedTime,
-                ))
-            }
-        }
-    }
-}
 
 /// A task waiting in the pending queue.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -123,30 +91,6 @@ pub trait OnlinePolicy {
     ) -> Result<Vec<Commitment>>;
 }
 
-/// Plan the pending set with an offline solver: build the sub-instance of
-/// pending tasks, solve it as if released together, then replay the offline
-/// schedule's allotments onto the live machine frontier in offline start
-/// order.
-///
-/// The offline schedule assumes an empty machine, so its placements cannot be
-/// committed verbatim while earlier commitments are still running.  Instead
-/// of a barrier shift past the free horizon (which idles the whole machine
-/// between planning rounds), each task keeps its offline *processor count*
-/// and *priority* and is list-scheduled onto the earliest contiguous window —
-/// the same engine the offline list algorithms use, so the replay is
-/// work-conserving with respect to the frontier and exactly reproduces the
-/// offline schedule when the machine is empty.
-fn plan_with_offline_solver(
-    solver: OfflineSolver,
-    instance: &Instance,
-    pending: &[PendingTask],
-    machine: &mut MachineState,
-) -> Result<Vec<Commitment>> {
-    let sub_instance = pending_sub_instance(instance, pending, machine.processors())?;
-    let offline = solver.solve(&sub_instance)?;
-    Ok(replay_offline(&offline, pending, machine))
-}
-
 /// Build the offline sub-instance of the pending tasks, as if released
 /// together on an empty machine.
 fn pending_sub_instance(
@@ -163,6 +107,15 @@ fn pending_sub_instance(
 
 /// Replay an offline schedule of the pending sub-instance onto the live
 /// machine frontier, preserving the offline processor counts and priorities.
+///
+/// The offline schedule assumes an empty machine, so its placements cannot be
+/// committed verbatim while earlier commitments are still running.  Instead
+/// of a barrier shift past the free horizon (which idles the whole machine
+/// between planning rounds), each task keeps its offline *processor count*
+/// and *priority* and is list-scheduled onto the earliest contiguous window —
+/// the same engine the offline list algorithms use, so the replay is
+/// work-conserving with respect to the frontier and exactly reproduces the
+/// offline schedule when the machine is empty.
 fn replay_offline(
     offline: &Schedule,
     pending: &[PendingTask],
@@ -241,21 +194,22 @@ impl OnlinePolicy for GreedyList {
 /// Periodic re-planning: pending tasks are batched and solved offline on a
 /// fixed epoch grid.
 ///
-/// When the solver is the MRT scheduler, the policy runs the dual search
-/// itself instead of going through [`OfflineSolver::solve`], which lets it
-/// keep state between epochs: the probe workspace (canonical-allotment cache,
-/// packing scratch, knapsack DP tables) survives across solves, and the next
-/// epoch's search interval is seeded from the previous epoch's accepted guess
-/// (scaled to the new pending set's lower bound).  Per-epoch cost drops from
-/// a full cold solve to an incremental warm-started one.
-#[derive(Debug, Clone)]
+/// The policy is generic over the offline solver: any [`SolverHandle`] works.
+/// When the solver's [`SolverCapabilities::supports_warm_start`] is set (the
+/// MRT dual search), the policy keeps state between epochs — the probe
+/// workspace (canonical-allotment cache, packing scratch, knapsack DP tables)
+/// survives across solves, and the next epoch's search interval is seeded
+/// from the previous epoch's accepted guess (scaled to the new pending set's
+/// lower bound).  Per-epoch cost drops from a full cold solve to an
+/// incremental warm-started one.
+#[derive(Clone)]
 pub struct EpochReplan {
     /// Distance between epoch boundaries.
     pub period: f64,
     /// The offline solver invoked on every epoch's pending set.
-    pub solver: OfflineSolver,
-    /// Search mode of the warm-started MRT path (breakpoint-exact by
-    /// default; ignored for the non-MRT solvers).
+    pub solver: SolverHandle,
+    /// Search mode of warm-start-capable solvers (breakpoint-exact by
+    /// default; ignored by one-shot constructions).
     pub search: SearchMode,
     /// Keep the probe workspace and the interval hint across epochs
     /// (default).  Off, every epoch solves cold — the pre-warm-start
@@ -268,9 +222,26 @@ pub struct EpochReplan {
     previous_omega_ratio: Option<f64>,
 }
 
+impl std::fmt::Debug for EpochReplan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochReplan")
+            .field("period", &self.period)
+            .field("solver", &self.solver.name())
+            .field("search", &self.search)
+            .field("warm_start", &self.warm_start)
+            .finish()
+    }
+}
+
 impl EpochReplan {
     /// An epoch policy with the given period, solving with the MRT scheduler.
     pub fn mrt(period: f64) -> Result<Self> {
+        Self::with_solver(period, Arc::new(MrtSolver))
+    }
+
+    /// Same, with an explicit solver handle (resolve one by name through the
+    /// workspace `solver` crate's registry).
+    pub fn with_solver(period: f64, solver: SolverHandle) -> Result<Self> {
         if !(period.is_finite() && period > 0.0) {
             return Err(Error::InvalidParameter {
                 name: "epoch",
@@ -279,7 +250,7 @@ impl EpochReplan {
         }
         Ok(EpochReplan {
             period,
-            solver: OfflineSolver::Mrt,
+            solver,
             search: SearchMode::Exact,
             warm_start: true,
             workspace: ProbeWorkspace::new(),
@@ -287,15 +258,7 @@ impl EpochReplan {
         })
     }
 
-    /// Same, with an explicit solver.
-    pub fn with_solver(period: f64, solver: OfflineSolver) -> Result<Self> {
-        Ok(EpochReplan {
-            solver,
-            ..Self::mrt(period)?
-        })
-    }
-
-    /// Select the search mode of the MRT path (builder style).
+    /// Select the search mode of warm-start-capable solvers (builder style).
     pub fn with_search(mut self, search: SearchMode) -> Self {
         self.search = search;
         self
@@ -307,8 +270,8 @@ impl EpochReplan {
         self
     }
 
-    /// Number of oracle probes served by the warm-started MRT path so far
-    /// (0 for the other solvers); exposed for the benchmark reports.
+    /// Number of oracle probes served by the warm-started solve path so far
+    /// (0 for one-shot solvers); exposed for the benchmark reports.
     pub fn probes(&self) -> usize {
         self.workspace.probes()
     }
@@ -333,41 +296,56 @@ impl OnlinePolicy for EpochReplan {
         pending: &[PendingTask],
         machine: &mut MachineState,
     ) -> Result<Vec<Commitment>> {
-        if self.solver != OfflineSolver::Mrt {
-            return plan_with_offline_solver(self.solver, instance, pending, machine);
-        }
         let sub_instance = pending_sub_instance(instance, pending, machine.processors())?;
-        let static_lb = malleable_core::bounds::lower_bound(&sub_instance);
+        let mut request = SolveRequest::new(&sub_instance).with_mode(self.search);
         // Seed the upper end slightly above the previous epoch's accepted
         // guess, rescaled to the new pending set.  An over-optimistic seed
-        // only costs the doubling probes needed to climb back.
-        let hint = self
-            .previous_omega_ratio
-            .filter(|_| self.warm_start && static_lb > 0.0)
-            .map(|ratio| ratio * static_lb * 1.05);
+        // only costs the doubling probes needed to climb back.  The static
+        // lower bound is only computed when the solver can use the seed.
+        let mut static_lb = 0.0;
+        if self.warm_start && self.solver.capabilities().supports_warm_start {
+            static_lb = malleable_core::bounds::lower_bound(&sub_instance);
+            if static_lb > 0.0 {
+                request.warm_start_hint = self.previous_omega_ratio.map(|r| r * static_lb * 1.05);
+            }
+        }
         if !self.warm_start {
             self.workspace.clear();
         }
-        let result = DualSearch::default().solve_guided(
-            &sub_instance,
-            &MrtScheduler::default(),
-            self.search,
-            hint,
-            &mut self.workspace,
-        )?;
-        if static_lb > 0.0 {
-            self.previous_omega_ratio = Some(result.feasible_omega / static_lb);
+        let outcome = self
+            .solver
+            .solve_with_workspace(&request, &mut self.workspace)?;
+        if let Some(omega) = outcome.feasible_omega {
+            if static_lb > 0.0 {
+                self.previous_omega_ratio = Some(omega / static_lb);
+            }
         }
-        Ok(replay_offline(&result.schedule, pending, machine))
+        Ok(replay_offline(&outcome.schedule, pending, machine))
     }
 }
 
 /// Batch-mode scheduling: wait until the machine drains, then plan the whole
 /// accumulated batch offline.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Clone)]
 pub struct BatchUntilIdle {
     /// The offline solver invoked on every batch.
-    pub solver: OfflineSolver,
+    pub solver: SolverHandle,
+}
+
+impl Default for BatchUntilIdle {
+    fn default() -> Self {
+        BatchUntilIdle {
+            solver: Arc::new(MrtSolver),
+        }
+    }
+}
+
+impl std::fmt::Debug for BatchUntilIdle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BatchUntilIdle")
+            .field("solver", &self.solver.name())
+            .finish()
+    }
 }
 
 impl OnlinePolicy for BatchUntilIdle {
@@ -385,13 +363,15 @@ impl OnlinePolicy for BatchUntilIdle {
         pending: &[PendingTask],
         machine: &mut MachineState,
     ) -> Result<Vec<Commitment>> {
-        plan_with_offline_solver(self.solver, instance, pending, machine)
+        let sub_instance = pending_sub_instance(instance, pending, machine.processors())?;
+        let outcome = self.solver.solve(&SolveRequest::new(&sub_instance))?;
+        Ok(replay_offline(&outcome.schedule, pending, machine))
     }
 }
 
 /// A policy selection, convertible into a boxed policy (used by the CLI and
 /// the benchmark harness).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Clone)]
 pub enum PolicyKind {
     /// [`GreedyList`].
     Greedy,
@@ -400,24 +380,43 @@ pub enum PolicyKind {
         /// Epoch period.
         period: f64,
         /// Offline solver.
-        solver: OfflineSolver,
+        solver: SolverHandle,
     },
     /// [`BatchUntilIdle`] with the given solver.
     Batch {
         /// Offline solver.
-        solver: OfflineSolver,
+        solver: SolverHandle,
     },
+}
+
+impl std::fmt::Debug for PolicyKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PolicyKind::Greedy => f.debug_struct("Greedy").finish(),
+            PolicyKind::Epoch { period, solver } => f
+                .debug_struct("Epoch")
+                .field("period", period)
+                .field("solver", &solver.name())
+                .finish(),
+            PolicyKind::Batch { solver } => f
+                .debug_struct("Batch")
+                .field("solver", &solver.name())
+                .finish(),
+        }
+    }
 }
 
 impl PolicyKind {
     /// Instantiate the policy.
     pub fn build(&self) -> Result<Box<dyn OnlinePolicy>> {
-        Ok(match *self {
+        Ok(match self {
             PolicyKind::Greedy => Box::new(GreedyList),
             PolicyKind::Epoch { period, solver } => {
-                Box::new(EpochReplan::with_solver(period, solver)?)
+                Box::new(EpochReplan::with_solver(*period, Arc::clone(solver))?)
             }
-            PolicyKind::Batch { solver } => Box::new(BatchUntilIdle { solver }),
+            PolicyKind::Batch { solver } => Box::new(BatchUntilIdle {
+                solver: Arc::clone(solver),
+            }),
         })
     }
 }
@@ -426,15 +425,12 @@ impl PolicyKind {
 mod tests {
     use super::*;
 
-    #[test]
-    fn solver_names_are_stable() {
-        assert_eq!(OfflineSolver::Mrt.name(), "mrt");
-        assert_eq!(OfflineSolver::TwoPhase.name(), "ludwig");
-        assert_eq!(OfflineSolver::CanonicalList.name(), "list");
+    fn mrt() -> SolverHandle {
+        Arc::new(MrtSolver)
     }
 
     #[test]
-    fn every_offline_solver_produces_valid_schedules() {
+    fn every_core_solver_produces_valid_schedules_through_batch_plan() {
         let instance = Instance::from_profiles(
             vec![
                 SpeedupProfile::linear(6.0, 4).unwrap(),
@@ -444,13 +440,20 @@ mod tests {
             4,
         )
         .unwrap();
-        for solver in [
-            OfflineSolver::Mrt,
-            OfflineSolver::TwoPhase,
-            OfflineSolver::CanonicalList,
-        ] {
-            let schedule = solver.solve(&instance).unwrap();
-            assert!(schedule.validate(&instance).is_ok(), "{}", solver.name());
+        let registry = malleable_core::solver::core_registry();
+        for solver in registry.solvers() {
+            let mut machine = MachineState::new(4);
+            let pending: Vec<PendingTask> = (0..3)
+                .map(|id| PendingTask {
+                    id,
+                    arrived_at: 0.0,
+                })
+                .collect();
+            let mut policy = BatchUntilIdle {
+                solver: Arc::clone(&solver),
+            };
+            let commitments = policy.plan(&instance, &pending, &mut machine).unwrap();
+            assert_eq!(commitments.len(), 3, "{}", solver.name());
         }
     }
 
@@ -467,14 +470,14 @@ mod tests {
         assert_eq!(PolicyKind::Greedy.build().unwrap().name(), "greedy-list");
         let epoch = PolicyKind::Epoch {
             period: 2.0,
-            solver: OfflineSolver::Mrt,
+            solver: mrt(),
         };
         assert_eq!(epoch.build().unwrap().name(), "epoch-mrt(d=2)");
         assert_eq!(epoch.build().unwrap().epoch(), Some(2.0));
         let batch = PolicyKind::Batch {
-            solver: OfflineSolver::TwoPhase,
+            solver: Arc::new(CanonicalListSolver),
         };
-        assert_eq!(batch.build().unwrap().name(), "batch-idle(ludwig)");
+        assert_eq!(batch.build().unwrap().name(), "batch-idle(list)");
     }
 
     #[test]
@@ -525,5 +528,31 @@ mod tests {
                 "commitment {c:?} overlaps the running task"
             );
         }
+    }
+
+    #[test]
+    fn epoch_replan_ignores_warm_state_for_one_shot_solvers() {
+        let instance = Instance::from_profiles(
+            vec![
+                SpeedupProfile::linear(4.0, 4).unwrap(),
+                SpeedupProfile::sequential(1.0).unwrap(),
+            ],
+            4,
+        )
+        .unwrap();
+        let mut machine = MachineState::new(4);
+        let pending: Vec<PendingTask> = (0..2)
+            .map(|id| PendingTask {
+                id,
+                arrived_at: 0.0,
+            })
+            .collect();
+        let mut policy = EpochReplan::with_solver(1.0, Arc::new(CanonicalListSolver)).unwrap();
+        let commitments = policy.plan(&instance, &pending, &mut machine).unwrap();
+        assert_eq!(commitments.len(), 2);
+        // One-shot solvers report no accepted guess, so no seed is stored and
+        // no probes flow through the workspace.
+        assert_eq!(policy.probes(), 0);
+        assert!(policy.previous_omega_ratio.is_none());
     }
 }

@@ -1,0 +1,253 @@
+//! # solver
+//!
+//! The workspace-level solver registry: every scheduling algorithm shipped by
+//! this workspace — the paper's √3 MRT dual approximation, the Ludwig/TWY
+//! two-phase baselines, gang scheduling, sequential LPT and the canonical
+//! list construction — behind the unified [`Solver`] trait of
+//! `malleable_core::solver`, resolved by name through one
+//! [`SolverRegistry`].
+//!
+//! The CLI (`--solver <name>`), the online policies (`EpochReplan`,
+//! `BatchUntilIdle`) and the benchmark harness all consume this registry, so
+//! adding an algorithm here — one `Solver` impl plus one `register` line —
+//! makes it available everywhere at once.
+//!
+//! ```rust
+//! use malleable_core::prelude::*;
+//! use workload::{WorkloadConfig, WorkloadGenerator};
+//!
+//! let instance = WorkloadGenerator::new(WorkloadConfig::mixed(12, 8, 7))
+//!     .generate()
+//!     .unwrap();
+//! let registry = solver::default_registry();
+//! // Every registered algorithm answers the same request.
+//! for handle in registry.solvers() {
+//!     let outcome = handle.solve(&SolveRequest::new(&instance)).unwrap();
+//!     assert!(outcome.schedule.validate(&instance).is_ok(), "{}", handle.name());
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use baselines::{gang_schedule, sequential_lpt, RigidScheduler, TwoPhaseScheduler};
+use malleable_core::bounds;
+use malleable_core::solver::core_registry;
+pub use malleable_core::solver::{
+    CanonicalListSolver, MrtSolver, SolveOutcome, SolveRequest, Solver, SolverCapabilities,
+    SolverHandle, SolverRegistry,
+};
+use malleable_core::{Instance, Schedule};
+
+/// Wrap a one-shot construction into a [`SolveOutcome`], timing it and
+/// pairing the schedule with the static lower bound.
+fn heuristic_outcome(
+    name: &'static str,
+    instance: &Instance,
+    build: impl FnOnce() -> malleable_core::Result<Schedule>,
+) -> malleable_core::Result<SolveOutcome> {
+    let timer = Instant::now();
+    let schedule = build()?;
+    Ok(SolveOutcome {
+        solver: name,
+        schedule,
+        lower_bound: bounds::lower_bound(instance),
+        certified: false,
+        feasible_omega: None,
+        probes: 0,
+        wall_time: timer.elapsed(),
+    })
+}
+
+/// The Turek–Wolf–Yu / Ludwig two-phase method behind the [`Solver`] trait:
+/// TWY allotment selection followed by the configured rigid phase.
+#[derive(Debug, Clone, Copy)]
+pub struct TwoPhaseSolver {
+    /// The rigid (phase 2) scheduler run on the selected allotment.
+    pub rigid: RigidScheduler,
+}
+
+impl TwoPhaseSolver {
+    /// The Ludwig-style default: TWY allotment + FFDH level packing.
+    pub fn ludwig() -> Self {
+        TwoPhaseSolver {
+            rigid: RigidScheduler::Ffdh,
+        }
+    }
+}
+
+impl Solver for TwoPhaseSolver {
+    fn name(&self) -> &'static str {
+        match self.rigid {
+            RigidScheduler::Ffdh => "ludwig",
+            RigidScheduler::Nfdh => "twy-nfdh",
+            RigidScheduler::List => "twy-list",
+        }
+    }
+
+    fn capabilities(&self) -> SolverCapabilities {
+        SolverCapabilities {
+            // Guarantee 2 holds for the method with Steinberg's strip packer,
+            // which the default FFDH phase stands in for (the substitution is
+            // documented in DESIGN.md and measured in EXPERIMENTS.md); the
+            // NFDH/list phases carry no claimed bound.
+            guarantee: match self.rigid {
+                RigidScheduler::Ffdh => Some(2.0),
+                RigidScheduler::Nfdh | RigidScheduler::List => None,
+            },
+            ..SolverCapabilities::heuristic()
+        }
+    }
+
+    fn solve(&self, request: &SolveRequest<'_>) -> malleable_core::Result<SolveOutcome> {
+        heuristic_outcome(self.name(), request.instance, || {
+            TwoPhaseScheduler { rigid: self.rigid }.schedule(request.instance)
+        })
+    }
+}
+
+/// Gang scheduling behind the [`Solver`] trait: every task runs on the whole
+/// machine, back to back.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GangSolver;
+
+impl Solver for GangSolver {
+    fn name(&self) -> &'static str {
+        "gang"
+    }
+
+    fn capabilities(&self) -> SolverCapabilities {
+        SolverCapabilities::heuristic()
+    }
+
+    fn solve(&self, request: &SolveRequest<'_>) -> malleable_core::Result<SolveOutcome> {
+        heuristic_outcome(self.name(), request.instance, || {
+            Ok(gang_schedule(request.instance))
+        })
+    }
+}
+
+/// Sequential LPT behind the [`Solver`] trait: every task on one processor,
+/// Graham's LPT order.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SequentialLptSolver;
+
+impl Solver for SequentialLptSolver {
+    fn name(&self) -> &'static str {
+        "lpt"
+    }
+
+    fn capabilities(&self) -> SolverCapabilities {
+        SolverCapabilities::heuristic()
+    }
+
+    fn solve(&self, request: &SolveRequest<'_>) -> malleable_core::Result<SolveOutcome> {
+        heuristic_outcome(self.name(), request.instance, || {
+            Ok(sequential_lpt(request.instance))
+        })
+    }
+}
+
+/// The full workspace registry: the core solvers (`mrt`, `list`) plus every
+/// baseline (`ludwig`, `twy-list`, `twy-nfdh`, `gang`, `lpt`), with the
+/// legacy CLI spellings registered as aliases.
+pub fn default_registry() -> SolverRegistry {
+    let mut registry = core_registry();
+    registry.register("ludwig", &["two-phase", "ludwig-2phase"], || {
+        Arc::new(TwoPhaseSolver::ludwig())
+    });
+    registry.register("twy-list", &[], || {
+        Arc::new(TwoPhaseSolver {
+            rigid: RigidScheduler::List,
+        })
+    });
+    registry.register("twy-nfdh", &[], || {
+        Arc::new(TwoPhaseSolver {
+            rigid: RigidScheduler::Nfdh,
+        })
+    });
+    registry.register("gang", &[], || Arc::new(GangSolver));
+    registry.register("lpt", &["sequential", "sequential-lpt"], || {
+        Arc::new(SequentialLptSolver)
+    });
+    registry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workload::{WorkloadConfig, WorkloadGenerator};
+
+    fn instance(seed: u64) -> Instance {
+        WorkloadGenerator::new(WorkloadConfig::mixed(14, 8, seed))
+            .generate()
+            .unwrap()
+    }
+
+    #[test]
+    fn default_registry_lists_every_algorithm() {
+        let registry = default_registry();
+        assert_eq!(
+            registry.names().collect::<Vec<_>>(),
+            vec!["mrt", "list", "ludwig", "twy-list", "twy-nfdh", "gang", "lpt"]
+        );
+        for (alias, canonical) in [
+            ("sqrt3", "mrt"),
+            ("two-phase", "ludwig"),
+            ("sequential", "lpt"),
+            ("canonical-list", "list"),
+        ] {
+            assert_eq!(registry.resolve(alias), Some(canonical), "{alias}");
+        }
+    }
+
+    #[test]
+    fn every_registered_solver_produces_a_valid_outcome() {
+        let inst = instance(3);
+        for handle in default_registry().solvers() {
+            let outcome = handle.solve(&SolveRequest::new(&inst)).unwrap();
+            assert!(
+                outcome.schedule.validate(&inst).is_ok(),
+                "{}",
+                handle.name()
+            );
+            assert_eq!(outcome.solver, handle.name());
+            assert!(outcome.lower_bound > 0.0);
+            assert!(outcome.ratio() >= 1.0 - 1e-9, "{}", handle.name());
+        }
+    }
+
+    #[test]
+    fn baseline_solvers_match_their_legacy_entry_points() {
+        let inst = instance(5);
+        let req = SolveRequest::new(&inst);
+        assert_eq!(
+            GangSolver.solve(&req).unwrap().schedule,
+            gang_schedule(&inst)
+        );
+        assert_eq!(
+            SequentialLptSolver.solve(&req).unwrap().schedule,
+            sequential_lpt(&inst)
+        );
+        assert_eq!(
+            TwoPhaseSolver::ludwig().solve(&req).unwrap().schedule,
+            baselines::ludwig(&inst).unwrap()
+        );
+    }
+
+    #[test]
+    fn capabilities_reflect_the_algorithm_class() {
+        let registry = default_registry();
+        let mrt = registry.get("mrt").unwrap().capabilities();
+        assert!(mrt.certified_lower_bound && mrt.supports_warm_start && mrt.anytime);
+        assert_eq!(mrt.guarantee, Some(malleable_core::SQRT3));
+        let gang = registry.get("gang").unwrap().capabilities();
+        assert!(!gang.certified_lower_bound && !gang.supports_warm_start);
+        assert_eq!(
+            registry.get("ludwig").unwrap().capabilities().guarantee,
+            Some(2.0)
+        );
+    }
+}

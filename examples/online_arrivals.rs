@@ -5,7 +5,7 @@
 //! cargo run -p examples --release --example online_arrivals
 //! ```
 
-use online::policy::{OfflineSolver, PolicyKind};
+use online::policy::PolicyKind;
 use workload::{ArrivalPattern, ArrivalTrace, TraceConfig, WorkloadConfig};
 
 fn main() {
@@ -32,18 +32,21 @@ fn main() {
         offline.certified_lower_bound
     );
 
+    // The offline planning oracles come from the workspace solver registry —
+    // the same lookup the CLI's `--solver` flag uses.
+    let registry = solver::default_registry();
     let policies = [
         PolicyKind::Greedy,
         PolicyKind::Epoch {
             period: 1.0,
-            solver: OfflineSolver::Mrt,
+            solver: registry.get("mrt").expect("registered"),
         },
         PolicyKind::Epoch {
             period: 1.0,
-            solver: OfflineSolver::TwoPhase,
+            solver: registry.get("ludwig").expect("registered"),
         },
         PolicyKind::Batch {
-            solver: OfflineSolver::Mrt,
+            solver: registry.get("mrt").expect("registered"),
         },
     ];
     println!(

@@ -39,11 +39,29 @@ fn probe_count_matches_iteration_budget() {
     let result = DualSearch {
         iterations: 10,
         relative_tolerance: 0.0,
+        ..Default::default()
     }
     .solve(&inst, &scheduler)
     .unwrap();
     // 1 probe to validate the upper end (it is feasible) + 10 bisections.
     assert_eq!(result.probes, 11);
+}
+
+#[test]
+fn probe_cap_bounds_both_search_modes() {
+    let inst = instance(4);
+    let scheduler = MrtScheduler::default();
+    let capped = DualSearch::with_probe_cap(3);
+    let mut ws = ProbeWorkspace::new();
+    for mode in [SearchMode::Bisect, SearchMode::Exact] {
+        let result = capped
+            .solve_guided(&inst, &scheduler, mode, None, &mut ws)
+            .unwrap();
+        // The cap plus the single climb probe establishing feasibility.
+        assert!(result.probes <= 4, "{mode:?}: {} probes", result.probes);
+        assert!(result.schedule.validate(&inst).is_ok());
+        assert!(result.schedule.makespan() >= result.certified_lower_bound - 1e-9);
+    }
 }
 
 #[test]

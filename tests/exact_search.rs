@@ -185,7 +185,9 @@ fn parallel_branches_match_the_sequential_probe() {
 
 #[test]
 fn warm_started_epoch_replan_stays_valid_and_competitive() {
-    use online::policy::{EpochReplan, OfflineSolver};
+    use malleable_core::MrtSolver;
+    use online::policy::EpochReplan;
+    use std::sync::Arc;
     use workload::{ArrivalPattern, ArrivalTrace, TraceConfig};
 
     let trace = ArrivalTrace::generate(&TraceConfig {
@@ -198,7 +200,7 @@ fn warm_started_epoch_replan_stays_valid_and_competitive() {
     let warm = online::run(&trace, &mut warm_exact).unwrap();
     assert!(online::validate_against_trace(&trace, &warm.schedule).is_empty());
 
-    let mut cold_bisect = EpochReplan::with_solver(1.0, OfflineSolver::Mrt)
+    let mut cold_bisect = EpochReplan::with_solver(1.0, Arc::new(MrtSolver))
         .unwrap()
         .with_search(SearchMode::Bisect);
     let cold = online::run(&trace, &mut cold_bisect).unwrap();

@@ -3,7 +3,7 @@
 //! policy against the offline MRT solver and the simulator's validator.
 
 use malleable_core::{MalleableTask, SpeedupProfile};
-use online::policy::{BatchUntilIdle, EpochReplan, GreedyList, OfflineSolver, PolicyKind};
+use online::policy::{BatchUntilIdle, EpochReplan, GreedyList, PolicyKind};
 use simulator::validate_schedule;
 use workload::{Arrival, ArrivalPattern, ArrivalTrace, TraceConfig, WorkloadConfig};
 
@@ -136,21 +136,23 @@ fn trace_families() -> Vec<(&'static str, ArrivalTrace)> {
 }
 
 fn all_policies() -> Vec<PolicyKind> {
+    // The offline planning oracles are resolved through the same registry
+    // the CLI and the benches use.
+    let registry = solver::default_registry();
+    let get = |name: &str| registry.get(name).expect("registered solver");
     vec![
         PolicyKind::Greedy,
         PolicyKind::Epoch {
             period: 1.0,
-            solver: OfflineSolver::Mrt,
+            solver: get("mrt"),
         },
         PolicyKind::Epoch {
             period: 2.0,
-            solver: OfflineSolver::TwoPhase,
+            solver: get("ludwig"),
         },
+        PolicyKind::Batch { solver: get("mrt") },
         PolicyKind::Batch {
-            solver: OfflineSolver::Mrt,
-        },
-        PolicyKind::Batch {
-            solver: OfflineSolver::CanonicalList,
+            solver: get("list"),
         },
     ]
 }
