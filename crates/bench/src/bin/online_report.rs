@@ -1,47 +1,79 @@
 //! Competitive-ratio report: online policies vs the clairvoyant offline MRT
-//! run, per trace family, emitted as JSON for the perf trajectory.
+//! run, per trace family, emitted as JSON for the perf trajectory
+//! (`BENCH_4.json` in CI).
 //!
 //! ```text
 //! cargo run -p bench --release --bin online_report [seeds-per-cell]
 //! ```
 //!
-//! Every cell runs `seeds-per-cell` traces (default 5) of a family through a
-//! policy and reports the makespan ratios against the offline MRT makespan
-//! and against the certified lower bound, plus flow-time statistics.  The
-//! output is one JSON document on stdout.
+//! Three sections:
+//!
+//! * `cells` — every policy × family of the classical evaluation (the PR-1
+//!   surface, unchanged);
+//! * `backfill` — frontier-only vs backfilling engine on the bursty suite
+//!   (with and without departures), per policy.  **Gate:** on every
+//!   departure-free bursty family the backfill mean competitive ratio must
+//!   not exceed the frontier-only engine's;
+//! * `preemption` — non-preemptive vs preemptive epoch re-planning, plus
+//!   the deterministic queued-reallotment scenario.  **Gate:** preemption
+//!   strictly beats the non-preemptive run on that shipped scenario.
+//!
+//! The process exits non-zero when a gate fails, so CI catches regressions.
 
-use mrt_bench::online_traces::{online_policies, trace_families};
+use mrt_bench::online_traces::{bursty_suite, online_policies, trace_families, TraceFamily};
 use mrt_bench::summarize;
+use online::policy::{EpochReplan, PolicyKind, PolicyOptions};
 use serde_json::{json, Value};
+
+fn run_family(
+    family: &TraceFamily,
+    kind: &PolicyKind,
+    options: PolicyOptions,
+    seeds: u64,
+) -> (Vec<f64>, Vec<f64>, Vec<f64>, usize, String) {
+    let mut vs_offline = Vec::new();
+    let mut vs_lower_bound = Vec::new();
+    let mut mean_flows = Vec::new();
+    let mut departed = 0usize;
+    let mut policy_name = String::new();
+    for seed in 0..seeds {
+        let trace = family.trace(seed);
+        let mut policy = kind.build_with(options).expect("valid policy");
+        let result = online::run(&trace, policy.as_mut()).expect("engine run succeeds");
+        assert!(
+            online::validate_against_trace(&trace, &result.schedule).is_empty(),
+            "invalid schedule from {}",
+            result.policy
+        );
+        let report = online::competitive_report(&trace, &result).expect("report succeeds");
+        vs_offline.push(report.ratio_vs_offline);
+        vs_lower_bound.push(report.ratio_vs_lower_bound);
+        mean_flows.push(result.mean_flow_time);
+        departed += result.departed;
+        policy_name = result.policy;
+    }
+    (
+        vs_offline,
+        vs_lower_bound,
+        mean_flows,
+        departed,
+        policy_name,
+    )
+}
 
 fn main() {
     let seeds_per_cell: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(5);
+    let mut gate_failures: Vec<String> = Vec::new();
 
+    // Section 1: the classical policy × family sweep.
     let mut cells: Vec<Value> = Vec::new();
     for family in trace_families() {
         for kind in online_policies() {
-            let mut vs_offline = Vec::new();
-            let mut vs_lower_bound = Vec::new();
-            let mut mean_flows = Vec::new();
-            let mut policy_name = String::new();
-            for seed in 0..seeds_per_cell {
-                let trace = family.trace(seed);
-                let mut policy = kind.build().expect("valid policy");
-                let result = online::run(&trace, policy.as_mut()).expect("engine run succeeds");
-                assert!(
-                    online::validate_against_trace(&trace, &result.schedule).is_empty(),
-                    "invalid schedule from {}",
-                    result.policy
-                );
-                let report = online::competitive_report(&trace, &result).expect("report succeeds");
-                vs_offline.push(report.ratio_vs_offline);
-                vs_lower_bound.push(report.ratio_vs_lower_bound);
-                mean_flows.push(result.mean_flow_time);
-                policy_name = result.policy;
-            }
+            let (vs_offline, vs_lower_bound, mean_flows, _, policy_name) =
+                run_family(&family, &kind, PolicyOptions::default(), seeds_per_cell);
             let offline = summarize(&vs_offline);
             let lower = summarize(&vs_lower_bound);
             let flow = summarize(&mean_flows);
@@ -58,12 +90,145 @@ fn main() {
         }
     }
 
+    // Section 2: frontier vs backfill on the bursty suite.  The epoch-mrt
+    // frontier runs double as section 3's non-preemptive baseline (same
+    // policy, same default options, same deterministic traces).
+    let registry = mrt_bench::default_registry();
+    let mut backfill_cells: Vec<Value> = Vec::new();
+    let mut epoch_frontier_by_family: Vec<(Vec<f64>, Vec<f64>)> = Vec::new();
+    for family in bursty_suite() {
+        for (label, kind) in [
+            ("greedy", PolicyKind::Greedy),
+            (
+                "epoch-mrt",
+                PolicyKind::Epoch {
+                    period: 1.0,
+                    solver: registry.get("mrt").expect("registered"),
+                },
+            ),
+        ] {
+            let (_, frontier_lb, frontier_flows, frontier_departed, _) =
+                run_family(&family, &kind, PolicyOptions::default(), seeds_per_cell);
+            if label == "epoch-mrt" {
+                epoch_frontier_by_family.push((frontier_lb.clone(), frontier_flows.clone()));
+            }
+            let (_, backfill_lb, backfill_flows, backfill_departed, _) = run_family(
+                &family,
+                &kind,
+                PolicyOptions {
+                    backfill: true,
+                    preempt_queued: false,
+                },
+                seeds_per_cell,
+            );
+            let frontier_mean = summarize(&frontier_lb).mean;
+            let backfill_mean = summarize(&backfill_lb).mean;
+            // The gate runs on the epoch re-planning policy (the engine's
+            // flagship).  Greedy is reported but not gated: per-trace
+            // Graham anomalies make its small-seed means noisy (see the
+            // `backfilling_dominates_on_average` workspace test for its
+            // statistical pin over a larger sweep).
+            if label == "epoch-mrt"
+                && !family.has_departures()
+                && backfill_mean > frontier_mean + 1e-9
+            {
+                gate_failures.push(format!(
+                    "backfill gate: {label} on {} regressed ({backfill_mean:.4} > {frontier_mean:.4})",
+                    family.name
+                ));
+            }
+            backfill_cells.push(json!({
+                "family": family.name,
+                "policy": label,
+                "seeds": seeds_per_cell,
+                "departures": family.has_departures(),
+                "frontier_ratio_vs_lb_mean": frontier_mean,
+                "backfill_ratio_vs_lb_mean": backfill_mean,
+                "improvement": frontier_mean - backfill_mean,
+                "frontier_mean_flow": summarize(&frontier_flows).mean,
+                "backfill_mean_flow": summarize(&backfill_flows).mean,
+                "frontier_departed": frontier_departed,
+                "backfill_departed": backfill_departed,
+            }));
+        }
+    }
+
+    // Section 3: preemptive epoch re-planning.
+    let mut preemption_cells: Vec<Value> = Vec::new();
+    for (family, (plain_lb, plain_flows)) in bursty_suite().iter().zip(epoch_frontier_by_family) {
+        let kind = PolicyKind::Epoch {
+            period: 1.0,
+            solver: registry.get("mrt").expect("registered"),
+        };
+        let (_, preempt_lb, preempt_flows, _, _) = run_family(
+            family,
+            &kind,
+            PolicyOptions {
+                backfill: false,
+                preempt_queued: true,
+            },
+            seeds_per_cell,
+        );
+        preemption_cells.push(json!({
+            "family": family.name,
+            "seeds": seeds_per_cell,
+            "plain_ratio_vs_lb_mean": summarize(&plain_lb).mean,
+            "preempt_ratio_vs_lb_mean": summarize(&preempt_lb).mean,
+            "plain_mean_flow": summarize(&plain_flows).mean,
+            "preempt_mean_flow": summarize(&preempt_flows).mean,
+        }));
+    }
+    // The shipped deterministic scenario (shared with the engine's
+    // hand-computed unit test): preemption must strictly win.
+    let scenario = online::queued_reallotment_scenario();
+    let scenario_makespan = |preempt: bool| {
+        let mut policy = EpochReplan::mrt(1.0)
+            .expect("valid period")
+            .with_preempt_queued(preempt);
+        let result = online::run(&scenario, &mut policy).expect("scenario run succeeds");
+        assert!(
+            online::validate_against_trace(&scenario, &result.schedule).is_empty(),
+            "invalid scenario schedule"
+        );
+        (result.makespan, result.preempted)
+    };
+    let (plain_makespan, _) = scenario_makespan(false);
+    let (preempt_makespan, preempted) = scenario_makespan(true);
+    if preempt_makespan >= plain_makespan - 1e-9 || preempted == 0 {
+        gate_failures.push(format!(
+            "preemption gate: scenario makespan {preempt_makespan:.4} (preempted {preempted}) \
+             does not beat non-preemptive {plain_makespan:.4}"
+        ));
+    }
+    preemption_cells.push(json!({
+        "family": "queued-reallotment-scenario",
+        "plain_makespan": plain_makespan,
+        "preempt_makespan": preempt_makespan,
+        "preempted_commitments": preempted,
+    }));
+
+    let backfill_gate_ok = !gate_failures.iter().any(|f| f.starts_with("backfill"));
+    let preemption_gate_ok = !gate_failures.iter().any(|f| f.starts_with("preemption"));
+    let gates = json!({
+        "backfill_mean_ratio_not_worse_on_bursty_suite": backfill_gate_ok,
+        "preemption_beats_plain_on_scenario": preemption_gate_ok,
+    });
     let doc = json!({
         "report": "online-competitive-ratio",
         "cells": cells,
+        "backfill": backfill_cells,
+        "preemption": preemption_cells,
+        "gates": gates,
     });
     println!(
         "{}",
         serde_json::to_string_pretty(&doc).expect("report serialisation")
     );
+
+    if !gate_failures.is_empty() {
+        for failure in &gate_failures {
+            eprintln!("GATE FAILURE: {failure}");
+        }
+        std::process::exit(1);
+    }
 }

@@ -112,6 +112,8 @@ pub enum Command {
         tasks: usize,
         processors: usize,
         seed: u64,
+        /// Mean patience before a queued task departs (None = no departures).
+        departure_patience: Option<f64>,
         output: Option<String>,
     },
     /// Run the online engine over an arrival trace.
@@ -123,11 +125,19 @@ pub enum Command {
         solver: String,
         search: SearchChoice,
         epoch: f64,
+        /// First-fit placements into idle holes below the frontier.
+        backfill: bool,
+        /// Revoke queued commitments at epoch boundaries and re-solve them
+        /// (epoch policies only).
+        preempt_queued: bool,
         family: FamilyChoice,
         pattern: PatternChoice,
         tasks: usize,
         processors: usize,
         seed: u64,
+        /// Mean patience for the inline-generated trace (None = no
+        /// departures; ignored when --trace is given).
+        departure_patience: Option<f64>,
         json: bool,
         no_validate: bool,
         output: Option<String>,
@@ -219,11 +229,18 @@ USAGE:
                            [--seed S] [--output FILE]
   malleable-sched trace    --pattern <poisson|bursty> [--rate R] [--burst-size N] [--burst-gap G]
                            [--family <mixed|wide|sequential>] [--tasks N] [--processors M]
-                           [--seed S] [--output FILE]
+                           [--seed S] [--departure-patience P] [--output FILE]
+                           (--departure-patience gives every task an exponential
+                           patience with mean P: tasks not started in time depart)
   malleable-sched online   [--trace FILE] --policy <greedy|epoch-mrt|epoch-ludwig|epoch-list|batch-idle>
                            [--epoch D] [--solver NAME] [--search <exact|bisect>]
+                           [--backfill] [--preempt-queued]
                            [--json] [--no-validate] [--output schedule.json]
-                           (without --trace, the trace flags of `trace` generate one inline)
+                           (without --trace, the trace flags of `trace` generate one
+                           inline; --backfill first-fits placements into idle holes
+                           below the frontier; --preempt-queued makes epoch policies
+                           revoke not-yet-started commitments at every epoch boundary
+                           and re-solve them with the pending set)
   malleable-sched schedule <instance.json> [--solver NAME]
                            [--search <exact|bisect>] [--parallel-branches]
                            [--gantt] [--output schedule.json]
@@ -324,6 +341,7 @@ impl Cli {
         let mut tasks = 200usize;
         let mut processors = 32usize;
         let mut seed = 0u64;
+        let mut departure_patience = None;
         let mut output = None;
         while let Some(token) = stream.next() {
             match token {
@@ -341,6 +359,12 @@ impl Cli {
                     processors = parse_number("--processors", stream.value_for("--processors")?)?
                 }
                 "--seed" => seed = parse_number("--seed", stream.value_for("--seed")?)?,
+                "--departure-patience" => {
+                    departure_patience = Some(parse_number(
+                        "--departure-patience",
+                        stream.value_for("--departure-patience")?,
+                    )?)
+                }
                 "--output" | "-o" => output = Some(stream.value_for("--output")?.to_string()),
                 other => return Err(ParseError::UnknownFlag(other.to_string())),
             }
@@ -352,6 +376,7 @@ impl Cli {
             tasks,
             processors,
             seed,
+            departure_patience,
             output,
         })
     }
@@ -382,6 +407,8 @@ impl Cli {
         let mut solver_from_policy: Option<String> = None;
         let mut search = SearchChoice::default();
         let mut epoch = 1.0f64;
+        let mut backfill = false;
+        let mut preempt_queued = false;
         let mut family = FamilyChoice::Mixed;
         let mut pattern_name = "poisson".to_string();
         let mut rate = 4.0f64;
@@ -390,6 +417,7 @@ impl Cli {
         let mut tasks = 200usize;
         let mut processors = 32usize;
         let mut seed = 0u64;
+        let mut departure_patience = None;
         let mut json = false;
         let mut no_validate = false;
         let mut output = None;
@@ -425,6 +453,8 @@ impl Cli {
                 }
                 "--search" => search = SearchChoice::parse(stream.value_for("--search")?)?,
                 "--epoch" => epoch = parse_number("--epoch", stream.value_for("--epoch")?)?,
+                "--backfill" => backfill = true,
+                "--preempt-queued" => preempt_queued = true,
                 "--family" => family = FamilyChoice::parse(stream.value_for("--family")?)?,
                 "--pattern" => pattern_name = stream.value_for("--pattern")?.to_string(),
                 "--rate" => rate = parse_number("--rate", stream.value_for("--rate")?)?,
@@ -439,6 +469,12 @@ impl Cli {
                     processors = parse_number("--processors", stream.value_for("--processors")?)?
                 }
                 "--seed" => seed = parse_number("--seed", stream.value_for("--seed")?)?,
+                "--departure-patience" => {
+                    departure_patience = Some(parse_number(
+                        "--departure-patience",
+                        stream.value_for("--departure-patience")?,
+                    )?)
+                }
                 "--json" => json = true,
                 "--no-validate" => no_validate = true,
                 "--output" | "-o" => output = Some(stream.value_for("--output")?.to_string()),
@@ -454,11 +490,14 @@ impl Cli {
                 .unwrap_or_else(|| "mrt".to_string()),
             search,
             epoch,
+            backfill,
+            preempt_queued,
             family,
             pattern,
             tasks,
             processors,
             seed,
+            departure_patience,
             json,
             no_validate,
             output,
@@ -775,12 +814,75 @@ mod tests {
                 tasks: 64,
                 processors: 16,
                 seed: 9,
+                departure_patience: None,
                 output: Some("t.json".into()),
             }
         );
         assert!(matches!(
             Cli::parse(&args(&["trace", "--pattern", "weird"])).unwrap_err(),
             ParseError::InvalidValue { .. }
+        ));
+        match Cli::parse(&args(&["trace", "--departure-patience", "2.5"]))
+            .unwrap()
+            .command
+        {
+            Command::Trace {
+                departure_patience, ..
+            } => assert_eq!(departure_patience, Some(2.5)),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_online_resource_model_flags() {
+        // Default: frontier-only, no preemption, no departures.
+        match Cli::parse(&args(&["online", "--policy", "greedy"]))
+            .unwrap()
+            .command
+        {
+            Command::Online {
+                backfill,
+                preempt_queued,
+                departure_patience,
+                ..
+            } => {
+                assert!(!backfill && !preempt_queued);
+                assert!(departure_patience.is_none());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match Cli::parse(&args(&[
+            "online",
+            "--policy",
+            "epoch-mrt",
+            "--backfill",
+            "--preempt-queued",
+            "--departure-patience",
+            "3",
+        ]))
+        .unwrap()
+        .command
+        {
+            Command::Online {
+                backfill,
+                preempt_queued,
+                departure_patience,
+                ..
+            } => {
+                assert!(backfill && preempt_queued);
+                assert_eq!(departure_patience, Some(3.0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            Cli::parse(&args(&[
+                "online",
+                "--policy",
+                "greedy",
+                "--departure-patience"
+            ]))
+            .unwrap_err(),
+            ParseError::MissingValue(_)
         ));
     }
 

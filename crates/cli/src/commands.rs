@@ -7,12 +7,15 @@ use std::fs;
 use std::result::Result;
 
 use malleable_core::prelude::*;
-use online::{competitive_report, validate_against_trace, EpochReplan, OnlinePolicy, PolicyKind};
+use online::{
+    competitive_report, validate_against_trace, EpochReplan, OnlinePolicy, PolicyKind,
+    PolicyOptions,
+};
 use serde_json::json;
 use simulator::{render_gantt, simulate, validate_schedule};
 use workload::{
     describe, instance_from_json, instance_to_json, trace_from_json, trace_to_json, ArrivalPattern,
-    ArrivalTrace, TraceConfig, WorkloadConfig, WorkloadGenerator,
+    ArrivalTrace, DeparturePolicy, TraceConfig, WorkloadConfig, WorkloadGenerator,
 };
 
 use crate::args::{
@@ -100,6 +103,7 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             tasks,
             processors,
             seed,
+            departure_patience,
             output,
         } => generate_trace(
             *family,
@@ -107,6 +111,7 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             *tasks,
             *processors,
             *seed,
+            *departure_patience,
             output.as_deref(),
         ),
         Command::Online {
@@ -115,11 +120,14 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             solver,
             search,
             epoch,
+            backfill,
+            preempt_queued,
             family,
             pattern,
             tasks,
             processors,
             seed,
+            departure_patience,
             json,
             no_validate,
             output,
@@ -129,11 +137,14 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             solver,
             search: *search,
             epoch: *epoch,
+            backfill: *backfill,
+            preempt_queued: *preempt_queued,
             family: *family,
             pattern: *pattern,
             tasks: *tasks,
             processors: *processors,
             seed: *seed,
+            departure_patience: *departure_patience,
             json: *json,
             no_validate: *no_validate,
             output: output.as_deref(),
@@ -166,25 +177,49 @@ fn trace_config(
     TraceConfig { workload, pattern }
 }
 
+/// Generate the trace of the given flags, attaching departures when asked.
+fn build_trace(
+    family: FamilyChoice,
+    pattern: PatternChoice,
+    tasks: usize,
+    processors: usize,
+    seed: u64,
+    departure_patience: Option<f64>,
+) -> Result<ArrivalTrace, CliError> {
+    let config = trace_config(family, pattern, tasks, processors, seed);
+    let trace = ArrivalTrace::generate(&config).map_err(|e| CliError::Invalid(e.to_string()))?;
+    match departure_patience {
+        Some(mean) => trace
+            .with_departures(DeparturePolicy::Patience { mean }, seed)
+            .map_err(|e| CliError::Invalid(e.to_string())),
+        None => Ok(trace),
+    }
+}
+
 fn generate_trace(
     family: FamilyChoice,
     pattern: PatternChoice,
     tasks: usize,
     processors: usize,
     seed: u64,
+    departure_patience: Option<f64>,
     output: Option<&str>,
 ) -> Result<String, CliError> {
-    let config = trace_config(family, pattern, tasks, processors, seed);
-    let trace = ArrivalTrace::generate(&config).map_err(|e| CliError::Invalid(e.to_string()))?;
+    let trace = build_trace(family, pattern, tasks, processors, seed, departure_patience)?;
     let json = trace_to_json(&trace);
     match output {
         Some(path) => {
             write_file(path, &json)?;
             Ok(format!(
-                "wrote {} arrivals on {} processors (last arrival {:.4}) to {path}\n",
+                "wrote {} arrivals on {} processors (last arrival {:.4}{}) to {path}\n",
                 trace.len(),
                 trace.processors(),
-                trace.last_arrival()
+                trace.last_arrival(),
+                if trace.has_departures() {
+                    ", with departures"
+                } else {
+                    ""
+                }
             ))
         }
         None => Ok(json),
@@ -197,11 +232,14 @@ struct OnlineArgs<'a> {
     solver: &'a str,
     search: SearchChoice,
     epoch: f64,
+    backfill: bool,
+    preempt_queued: bool,
     family: FamilyChoice,
     pattern: PatternChoice,
     tasks: usize,
     processors: usize,
     seed: u64,
+    departure_patience: Option<f64>,
     json: bool,
     no_validate: bool,
     output: Option<&'a str>,
@@ -213,32 +251,36 @@ fn run_online(args: OnlineArgs) -> Result<String, CliError> {
             let text = read_file(path)?;
             trace_from_json(&text).map_err(|e| CliError::Invalid(format!("{path}: {e}")))?
         }
-        None => {
-            let config = trace_config(
-                args.family,
-                args.pattern,
-                args.tasks,
-                args.processors,
-                args.seed,
-            );
-            ArrivalTrace::generate(&config).map_err(|e| CliError::Invalid(e.to_string()))?
-        }
+        None => build_trace(
+            args.family,
+            args.pattern,
+            args.tasks,
+            args.processors,
+            args.seed,
+            args.departure_patience,
+        )?,
     };
 
     let solver = resolve_solver(args.solver)?;
+    let options = PolicyOptions {
+        backfill: args.backfill,
+        preempt_queued: args.preempt_queued,
+    };
     let mut policy: Box<dyn OnlinePolicy> = match args.policy {
         PolicyChoice::Greedy => PolicyKind::Greedy
-            .build()
+            .build_with(options)
             .map_err(|e| CliError::Invalid(e.to_string()))?,
         // The epoch policy is built directly so warm-start-capable solvers
         // can honour the --search flag.
         PolicyChoice::Epoch => Box::new(
             EpochReplan::with_solver(args.epoch, solver)
                 .map_err(|e| CliError::Invalid(e.to_string()))?
-                .with_search(search_mode(args.search)),
+                .with_search(search_mode(args.search))
+                .with_backfill(args.backfill)
+                .with_preempt_queued(args.preempt_queued),
         ),
         PolicyChoice::Batch => PolicyKind::Batch { solver }
-            .build()
+            .build_with(options)
             .map_err(|e| CliError::Invalid(e.to_string()))?,
     };
     let result =
@@ -283,6 +325,8 @@ fn run_online(args: OnlineArgs) -> Result<String, CliError> {
             "utilization": result.utilization(),
             "replans": result.replans,
             "events": result.events,
+            "departed": result.departed,
+            "preempted": result.preempted,
             "validated": validation.is_some(),
             "schedule_file": args.output,
         });
@@ -291,7 +335,7 @@ fn run_online(args: OnlineArgs) -> Result<String, CliError> {
         text
     } else {
         format!(
-            "policy           : {}\ntrace            : {} tasks on {} processors (last arrival {:.4})\nonline makespan  : {:.4}\noffline mrt      : {:.4}\ncertified LB     : {:.4}\nratio vs offline : {:.4}\nratio vs LB      : {:.4}\nmean flow time   : {:.4}\nmax flow time    : {:.4}\nutilisation      : {:.1}%\nreplans          : {}\nevents           : {}\nvalidation       : {}\n",
+            "policy           : {}\ntrace            : {} tasks on {} processors (last arrival {:.4})\nonline makespan  : {:.4}\noffline mrt      : {:.4}\ncertified LB     : {:.4}\nratio vs offline : {:.4}\nratio vs LB      : {:.4}\nmean flow time   : {:.4}\nmax flow time    : {:.4}\nutilisation      : {:.1}%\nreplans          : {}\nevents           : {}\ndeparted         : {}\npreempted        : {}\nvalidation       : {}\n",
             result.policy,
             trace.len(),
             trace.processors(),
@@ -306,6 +350,8 @@ fn run_online(args: OnlineArgs) -> Result<String, CliError> {
             100.0 * result.utilization(),
             result.replans,
             result.events,
+            result.departed,
+            result.preempted,
             if validation.is_some() { "OK" } else { "skipped" },
         )
     };
@@ -704,6 +750,95 @@ mod tests {
             .unwrap();
             assert!(out.contains("validation       : OK"), "{policy}: {out}");
         }
+    }
+
+    #[test]
+    fn online_runs_backfill_preemption_and_departures() {
+        // Bursty traffic with departures through every new resource-model
+        // flag combination: all validate end to end.
+        for extra in [
+            vec!["--backfill"],
+            vec!["--preempt-queued"],
+            vec!["--backfill", "--preempt-queued"],
+        ] {
+            let mut argv = vec![
+                "online",
+                "--policy",
+                "epoch-mrt",
+                "--pattern",
+                "bursty",
+                "--burst-size",
+                "10",
+                "--burst-gap",
+                "2",
+                "--tasks",
+                "30",
+                "--processors",
+                "8",
+                "--seed",
+                "4",
+                "--departure-patience",
+                "3",
+            ];
+            argv.extend(extra.iter().copied());
+            let out = run_args(&args(&argv)).unwrap();
+            assert!(out.contains("validation       : OK"), "{argv:?}: {out}");
+            assert!(out.contains("departed"), "{argv:?}: {out}");
+        }
+        // The greedy policy accepts --backfill too.
+        let out = run_args(&args(&[
+            "online",
+            "--policy",
+            "greedy",
+            "--backfill",
+            "--tasks",
+            "20",
+            "--processors",
+            "8",
+            "--seed",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("greedy-list+backfill"), "{out}");
+    }
+
+    #[test]
+    fn departure_traces_round_trip_through_files() {
+        let trace_path = temp_path("departures-trace.json");
+        let out = run_args(&args(&[
+            "trace",
+            "--pattern",
+            "bursty",
+            "--burst-size",
+            "8",
+            "--burst-gap",
+            "3",
+            "--tasks",
+            "24",
+            "--processors",
+            "8",
+            "--seed",
+            "6",
+            "--departure-patience",
+            "2",
+            "--output",
+            &trace_path,
+        ]))
+        .unwrap();
+        assert!(out.contains("with departures"), "{out}");
+        let trace = workload::trace_from_json(&fs::read_to_string(&trace_path).unwrap()).unwrap();
+        assert!(trace.has_departures());
+        let out = run_args(&args(&[
+            "online",
+            "--policy",
+            "epoch-mrt",
+            "--backfill",
+            "--trace",
+            &trace_path,
+        ]))
+        .unwrap();
+        assert!(out.contains("validation       : OK"), "{out}");
+        fs::remove_file(trace_path).ok();
     }
 
     #[test]

@@ -78,6 +78,9 @@ pub struct SearchResult {
     pub feasible_omega: f64,
     /// Number of probes performed.
     pub probes: usize,
+    /// Whether the wall-clock budget ([`DualSearch::time_budget`]) expired
+    /// and truncated the search.
+    pub time_budget_exhausted: bool,
 }
 
 impl SearchResult {
@@ -139,6 +142,11 @@ pub struct DualSearch {
     /// bound is accepted).  Truncating the search early never invalidates the
     /// certified lower bound; it only costs refinement.
     pub max_probes: Option<usize>,
+    /// Wall-clock budget of one solve, enforced at the same points as
+    /// [`DualSearch::max_probes`] (checked before each refinement probe; the
+    /// climb to the first feasible guess is exempt for the same reason).  A
+    /// solve can overrun by at most one oracle probe.  `None` is unbounded.
+    pub time_budget: Option<std::time::Duration>,
 }
 
 impl Default for DualSearch {
@@ -147,6 +155,7 @@ impl Default for DualSearch {
             iterations: 30,
             relative_tolerance: 1e-6,
             max_probes: None,
+            time_budget: None,
         }
     }
 }
@@ -163,6 +172,10 @@ struct SearchState<'a> {
     best: Option<Schedule>,
     best_makespan: f64,
     feasible_omega: f64,
+    /// When the solve started, for the wall-clock budget.
+    started: std::time::Instant,
+    /// Set once the wall-clock budget truncated a phase.
+    time_budget_exhausted: bool,
 }
 
 /// What one bookkept probe observed.
@@ -182,6 +195,8 @@ impl<'a> SearchState<'a> {
             best: None,
             best_makespan: f64::INFINITY,
             feasible_omega: f64::INFINITY,
+            started: std::time::Instant::now(),
+            time_budget_exhausted: false,
         }
     }
 
@@ -225,6 +240,7 @@ impl<'a> SearchState<'a> {
             certified_lower_bound,
             feasible_omega: self.feasible_omega,
             probes: self.probes,
+            time_budget_exhausted: self.time_budget_exhausted,
         })
     }
 }
@@ -247,9 +263,20 @@ impl DualSearch {
         }
     }
 
-    /// Whether the probe cap is exhausted.
-    fn out_of_probes(&self, state: &SearchState<'_>) -> bool {
-        self.max_probes.is_some_and(|cap| state.probes >= cap)
+    /// Whether the probe cap or the wall-clock budget is exhausted (records
+    /// time exhaustion in the state so the result can report it).
+    fn out_of_budget(&self, state: &mut SearchState<'_>) -> bool {
+        if self.max_probes.is_some_and(|cap| state.probes >= cap) {
+            return true;
+        }
+        if self
+            .time_budget
+            .is_some_and(|budget| state.started.elapsed() >= budget)
+        {
+            state.time_budget_exhausted = true;
+            return true;
+        }
+        false
     }
 
     /// Run the dichotomic search of §2.2 on `algorithm`.
@@ -365,7 +392,7 @@ impl DualSearch {
         workspace: &mut ProbeWorkspace,
     ) {
         for _ in 0..self.iterations {
-            if self.out_of_probes(state)
+            if self.out_of_budget(state)
                 || *hi - *lo <= self.relative_tolerance * hi.max(1e-12)
                 || state.gap_closed(*lo)
             {
@@ -396,7 +423,7 @@ impl DualSearch {
         let mut hi_idx = candidates.len() - 1; // == hi, probed feasible
         let mut lo_idx: Option<usize> = None;
         while lo_idx.map_or(0, |k| k + 1) < hi_idx {
-            if self.out_of_probes(state) || state.gap_closed(*lo) {
+            if self.out_of_budget(state) || state.gap_closed(*lo) {
                 break;
             }
             let mid = (lo_idx.map_or(0, |k| k + 1) + hi_idx) / 2;
@@ -438,7 +465,7 @@ impl DualSearch {
             // already narrower than the search tolerance (the same stopping
             // rule the bisection mode uses) — the last is what keeps
             // warm-started epoch re-solves cheap.
-            if self.out_of_probes(state)
+            if self.out_of_budget(state)
                 || stale >= 8
                 || state.gap_closed(*lo)
                 || quality_hi - quality_lo
@@ -608,6 +635,40 @@ mod tests {
             )
             .unwrap();
         assert!(lowball.schedule.validate(&inst).is_ok());
+    }
+
+    #[test]
+    fn time_budget_truncates_but_stays_valid() {
+        let inst = instance();
+        for mode in [SearchMode::Bisect, SearchMode::Exact] {
+            // A zero budget expires before the first refinement probe: only
+            // the climb (exempt, it produces the schedule) runs.
+            let search = DualSearch {
+                time_budget: Some(std::time::Duration::ZERO),
+                ..Default::default()
+            };
+            let result = search
+                .solve_guided(
+                    &inst,
+                    &CanonicalListOracle,
+                    mode,
+                    None,
+                    &mut ProbeWorkspace::new(),
+                )
+                .unwrap();
+            assert!(result.time_budget_exhausted, "{mode:?}");
+            assert_eq!(result.probes, 1, "{mode:?}: climb only");
+            assert!(result.schedule.validate(&inst).is_ok());
+            assert!(result.schedule.makespan() >= result.certified_lower_bound - 1e-9);
+        }
+        // A generous budget never truncates.
+        let search = DualSearch {
+            time_budget: Some(std::time::Duration::from_secs(3600)),
+            ..Default::default()
+        };
+        let result = search.solve(&inst, &CanonicalListOracle).unwrap();
+        assert!(!result.time_budget_exhausted);
+        assert!(result.probes >= 2);
     }
 
     /// Monotonicity of the oracle: feasible at ω implies feasible at ω' ≥ ω.

@@ -109,6 +109,12 @@ pub struct SolveRequest<'a> {
     /// modes (the probes establishing the first feasible guess are exempt —
     /// see [`DualSearch::max_probes`]); `None` is unbounded.
     pub probe_budget: Option<usize>,
+    /// Wall-clock budget of one solve, enforced inside the dual search at
+    /// the same points as the probe budget (see [`DualSearch::time_budget`]);
+    /// whether it expired is reported in
+    /// [`SolveOutcome::time_budget_exhausted`].  `None` is unbounded; the
+    /// knob is ignored by one-shot constructions (they do no search).
+    pub time_budget: Option<Duration>,
     /// Evaluate independent oracle branches on scoped threads.
     pub parallel_branches: bool,
 }
@@ -123,6 +129,7 @@ impl<'a> SolveRequest<'a> {
             lambda: None,
             warm_start_hint: None,
             probe_budget: None,
+            time_budget: None,
             parallel_branches: false,
         }
     }
@@ -156,6 +163,12 @@ impl<'a> SolveRequest<'a> {
     /// Cap the dichotomic search's oracle probes (builder style).
     pub fn with_probe_budget(mut self, probes: usize) -> Self {
         self.probe_budget = Some(probes);
+        self
+    }
+
+    /// Cap the dichotomic search's wall time (builder style).
+    pub fn with_time_budget(mut self, budget: Duration) -> Self {
+        self.time_budget = Some(budget);
         self
     }
 
@@ -223,6 +236,11 @@ pub struct SolveOutcome {
     pub probes: usize,
     /// Wall time of the solve.
     pub wall_time: Duration,
+    /// Whether [`SolveRequest::time_budget`] expired and truncated the dual
+    /// search (always `false` for one-shot constructions and unbudgeted
+    /// solves; a truncated solve still returns a valid schedule and a valid
+    /// certified bound, just less refined).
+    pub time_budget_exhausted: bool,
 }
 
 impl SolveOutcome {
@@ -314,6 +332,7 @@ impl Solver for MrtSolver {
         scheduler.parallel_branches = request.parallel_branches;
         let search = DualSearch {
             max_probes: request.probe_budget,
+            time_budget: request.time_budget,
             ..Default::default()
         };
         let result = search.solve_guided(
@@ -331,6 +350,7 @@ impl Solver for MrtSolver {
             feasible_omega: Some(result.feasible_omega),
             probes: result.probes,
             wall_time: timer.elapsed(),
+            time_budget_exhausted: result.time_budget_exhausted,
         })
     }
 }
@@ -364,6 +384,7 @@ impl Solver for CanonicalListSolver {
             feasible_omega: None,
             probes: 0,
             wall_time: timer.elapsed(),
+            time_budget_exhausted: false,
         })
     }
 }
@@ -519,13 +540,38 @@ mod tests {
             .with_lambda(0.9)
             .with_warm_start_hint(3.0)
             .with_probe_budget(7)
+            .with_time_budget(Duration::from_millis(250))
             .with_parallel_branches(true);
         assert_eq!(req.mode, SearchMode::Exact);
         assert_eq!(req.branches, BranchSet::lists_only());
         assert_eq!(req.lambda, Some(0.9));
         assert_eq!(req.warm_start_hint, Some(3.0));
         assert_eq!(req.probe_budget, Some(7));
+        assert_eq!(req.time_budget, Some(Duration::from_millis(250)));
         assert!(req.parallel_branches);
+    }
+
+    #[test]
+    fn time_budget_is_enforced_and_reported() {
+        let inst = instance();
+        // A zero budget truncates right after the climb; the outcome still
+        // carries a valid schedule and certified bound, and reports the
+        // truncation.
+        let truncated = MrtSolver
+            .solve(&SolveRequest::new(&inst).with_time_budget(Duration::ZERO))
+            .unwrap();
+        assert!(truncated.time_budget_exhausted);
+        assert!(truncated.schedule.validate(&inst).is_ok());
+        assert!(truncated.makespan() >= truncated.lower_bound - 1e-9);
+        // An unbudgeted solve probes more and reports no truncation.
+        let full = MrtSolver.solve(&SolveRequest::new(&inst)).unwrap();
+        assert!(!full.time_budget_exhausted);
+        assert!(full.probes > truncated.probes);
+        // One-shot solvers ignore the knob entirely.
+        let one_shot = CanonicalListSolver
+            .solve(&SolveRequest::new(&inst).with_time_budget(Duration::ZERO))
+            .unwrap();
+        assert!(!one_shot.time_budget_exhausted);
     }
 
     #[test]

@@ -7,9 +7,22 @@
 //! on their epoch grid (ticks are only scheduled while work is pending, so
 //! the event loop always terminates).
 //!
-//! The output is a single [`Schedule`] over the whole trace on the global
+//! Commitments are backed by revocable reservations, which is what powers
+//! the two dynamic behaviours of the engine:
+//!
+//! * **departures** — a task whose [`workload::Arrival::departs_at`] deadline
+//!   fires before it started leaves the system; if it was already committed
+//!   (but still queued) its reservation is revoked and the space freed.
+//! * **preemptive re-allotment** — when the policy opts in
+//!   ([`OnlinePolicy::preempt_queued`]), every epoch tick first revokes all
+//!   queued commitments and hands their tasks back to the policy together
+//!   with the new arrivals, so the whole backlog is re-solved as one
+//!   instance.  Started tasks always run to completion.
+//!
+//! The output is a single [`Schedule`] over the executed tasks on the global
 //! timeline — directly checkable by `simulator::validate` against the
-//! trace's offline instance, plus the release-date condition specific to the
+//! trace's offline instance (via `validate_schedule_subset` when tasks
+//! departed), plus the release-date and departure conditions specific to the
 //! online setting ([`validate_against_trace`]).
 
 use crate::event::{EventKind, EventQueue};
@@ -23,18 +36,23 @@ use workload::ArrivalTrace;
 pub struct OnlineResult {
     /// Name of the policy that produced the run.
     pub policy: String,
-    /// The committed schedule on the global timeline (task `j` = arrival `j`).
+    /// The committed schedule on the global timeline (task `j` = arrival `j`;
+    /// departed tasks are absent).
     pub schedule: Schedule,
     /// Completion time of the last task.
     pub makespan: f64,
-    /// Mean flow time (completion − arrival) over all tasks.
+    /// Mean flow time (completion − arrival) over the executed tasks.
     pub mean_flow_time: f64,
-    /// Largest flow time over all tasks.
+    /// Largest flow time over the executed tasks.
     pub max_flow_time: f64,
     /// Number of events processed.
     pub events: usize,
     /// Number of planning rounds (policy `plan` invocations).
     pub replans: usize,
+    /// Number of tasks that departed before starting.
+    pub departed: usize,
+    /// Number of queued commitments revoked by preemptive re-planning.
+    pub preempted: usize,
 }
 
 impl OnlineResult {
@@ -44,49 +62,78 @@ impl OnlineResult {
     }
 }
 
+/// The shipped **queued-reallotment scenario**: two sequential tasks fill a
+/// two-processor machine, a malleable task is committed *queued* at a single
+/// processor behind them, and a tiny straggler arrives — a preemptive epoch
+/// re-planner ([`crate::policy::EpochReplan::with_preempt_queued`]) revokes
+/// the queued task, widens it to the whole machine and strictly beats the
+/// non-preemptive run (makespan 7.5 vs 9 with `EpochReplan::mrt(1.0)`).
+///
+/// Shared by the engine's hand-computed unit test and the `online_report`
+/// benchmark gate so the two can never drift apart.
+pub fn queued_reallotment_scenario() -> ArrivalTrace {
+    use workload::Arrival;
+    ArrivalTrace::new(
+        2,
+        vec![
+            Arrival::new(
+                0.1,
+                MalleableTask::new(SpeedupProfile::sequential(4.0).expect("valid profile")),
+            ),
+            Arrival::new(
+                0.1,
+                MalleableTask::new(SpeedupProfile::sequential(4.0).expect("valid profile")),
+            ),
+            Arrival::new(
+                0.1,
+                MalleableTask::new(SpeedupProfile::new(vec![4.0, 2.0]).expect("valid profile")),
+            ),
+            Arrival::new(
+                1.5,
+                MalleableTask::new(SpeedupProfile::sequential(0.5).expect("valid profile")),
+            ),
+        ],
+    )
+    .expect("valid scenario trace")
+}
+
+/// Per-task lifecycle state tracked by the engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum TaskState {
+    /// Not yet arrived, or waiting in the pending queue.
+    Waiting,
+    /// Committed into the machine (queued or running).
+    Committed(Commitment),
+    /// Finished executing.
+    Done(Commitment),
+    /// Left the system without starting.
+    Departed,
+}
+
 /// Run a policy over a trace.
 pub fn run(trace: &ArrivalTrace, policy: &mut dyn OnlinePolicy) -> Result<OnlineResult> {
     let instance = trace.instance()?;
-    let mut machine = MachineState::new(instance.processors());
+    let n = trace.len();
+    let mut machine = if policy.backfill() {
+        MachineState::with_backfill(instance.processors())
+    } else {
+        MachineState::new(instance.processors())
+    };
     let mut queue = EventQueue::new();
     for (index, arrival) in trace.arrivals().iter().enumerate() {
         queue.push(arrival.at, EventKind::Arrival(index));
+        if let Some(departs_at) = arrival.departs_at {
+            queue.push(departs_at, EventKind::Departure(index));
+        }
     }
 
     let mut pending: Vec<PendingTask> = Vec::new();
-    let mut schedule = Schedule::new(instance.processors());
-    let mut flow_sum = 0.0f64;
-    let mut flow_max = 0.0f64;
+    let mut states: Vec<TaskState> = vec![TaskState::Waiting; n];
     let mut events = 0usize;
     let mut replans = 0usize;
+    let mut departed = 0usize;
+    let mut preempted = 0usize;
     let mut tick_scheduled = false;
-
-    let mut record = |commitments: Vec<Commitment>,
-                      schedule: &mut Schedule,
-                      trace: &ArrivalTrace|
-     -> Result<()> {
-        for c in commitments {
-            let arrived_at = trace.arrivals()[c.task].at;
-            if c.start < arrived_at - 1e-9 {
-                // A correct policy can never commit into a task's past; treat
-                // it as a hard model violation rather than a bad schedule.
-                return Err(Error::InvalidParameter {
-                    name: "start-before-arrival",
-                    value: c.start,
-                });
-            }
-            schedule.push(ScheduledTask {
-                task: c.task,
-                start: c.start,
-                duration: c.duration,
-                processors: ProcessorRange::new(c.first, c.count),
-            });
-            let flow = c.start + c.duration - arrived_at;
-            flow_sum += flow;
-            flow_max = flow_max.max(flow);
-        }
-        Ok(())
-    };
 
     while let Some(event) = queue.pop() {
         events += 1;
@@ -97,36 +144,100 @@ pub fn run(trace: &ArrivalTrace, policy: &mut dyn OnlinePolicy) -> Result<Online
                     id: index,
                     arrived_at: event.time,
                 });
-                Trigger::Arrival
+                Some(Trigger::Arrival)
             }
-            EventKind::Completion(_) => {
-                machine.complete_one();
-                Trigger::Completion
-            }
+            EventKind::Completion(task) => match states[task] {
+                // A completion is only real when it matches the task's
+                // *current* commitment: events of revoked commitments stay in
+                // the heap and are skipped here.
+                TaskState::Committed(c) if (c.start + c.duration - event.time).abs() <= 1e-6 => {
+                    states[task] = TaskState::Done(c);
+                    machine.complete_one();
+                    Some(Trigger::Completion)
+                }
+                _ => None,
+            },
+            EventKind::Departure(index) => match states[index] {
+                TaskState::Waiting => {
+                    // Still queued (or never planned): the task leaves.
+                    if let Some(pos) = pending.iter().position(|p| p.id == index) {
+                        pending.remove(pos);
+                        states[index] = TaskState::Departed;
+                        departed += 1;
+                        Some(Trigger::Departure)
+                    } else {
+                        // Departure before arrival cannot happen (validated
+                        // by the trace); a Waiting task is always pending.
+                        None
+                    }
+                }
+                TaskState::Committed(c) if c.start > event.time + 1e-9 => {
+                    // Committed but not started: revoke the reservation.
+                    machine.revoke(c.reservation);
+                    states[index] = TaskState::Departed;
+                    departed += 1;
+                    Some(Trigger::Departure)
+                }
+                // Running, finished or already departed: nothing to do.
+                _ => None,
+            },
             EventKind::EpochTick => {
                 tick_scheduled = false;
-                Trigger::EpochTick
+                Some(Trigger::EpochTick)
             }
         };
 
-        if !pending.is_empty() && policy.should_plan(trigger, &machine) {
-            let commitments = policy.plan(&instance, &pending, &mut machine)?;
-            replans += 1;
-            pending.clear();
-            for c in &commitments {
-                queue.push(c.start + c.duration, EventKind::Completion(c.task));
+        if let Some(trigger) = trigger {
+            // Preemptive re-allotment: pull every queued (not yet started)
+            // commitment back into the pending set before planning, so the
+            // policy re-solves the whole backlog as one instance.
+            if trigger == Trigger::EpochTick && policy.preempt_queued() {
+                for (task, state) in states.iter_mut().enumerate() {
+                    if let TaskState::Committed(c) = *state {
+                        if c.start > machine.now() + 1e-9 {
+                            machine.revoke(c.reservation);
+                            *state = TaskState::Waiting;
+                            pending.push(PendingTask {
+                                id: task,
+                                arrived_at: trace.arrivals()[task].at,
+                            });
+                            preempted += 1;
+                        }
+                    }
+                }
+                // Deterministic plan input regardless of revocation order.
+                pending.sort_by_key(|p| p.id);
             }
-            record(commitments, &mut schedule, trace)?;
-        }
 
-        // Keep the epoch clock running only while there is work left to plan:
-        // a tick fires on the first grid point after `now`.
-        if let Some(period) = policy.epoch() {
-            if !pending.is_empty() && !tick_scheduled {
-                let now = machine.now();
-                let next = (now / period).floor() * period + period;
-                queue.push(next, EventKind::EpochTick);
-                tick_scheduled = true;
+            if !pending.is_empty() && policy.should_plan(trigger, &machine) {
+                let commitments = policy.plan(&instance, &pending, &mut machine)?;
+                replans += 1;
+                pending.clear();
+                for c in commitments {
+                    let arrived_at = trace.arrivals()[c.task].at;
+                    if c.start < arrived_at - 1e-9 {
+                        // A correct policy can never commit into a task's
+                        // past; treat it as a hard model violation rather
+                        // than a bad schedule.
+                        return Err(Error::InvalidParameter {
+                            name: "start-before-arrival",
+                            value: c.start,
+                        });
+                    }
+                    queue.push(c.start + c.duration, EventKind::Completion(c.task));
+                    states[c.task] = TaskState::Committed(c);
+                }
+            }
+
+            // Keep the epoch clock running only while there is work left to
+            // plan: a tick fires on the first grid point after `now`.
+            if let Some(period) = policy.epoch() {
+                if !pending.is_empty() && !tick_scheduled {
+                    let now = machine.now();
+                    let next = (now / period).floor() * period + period;
+                    queue.push(next, EventKind::EpochTick);
+                    tick_scheduled = true;
+                }
             }
         }
     }
@@ -138,22 +249,53 @@ pub fn run(trace: &ArrivalTrace, policy: &mut dyn OnlinePolicy) -> Result<Online
         return Err(Error::NoFeasibleSchedule);
     }
 
-    let task_count = trace.len() as f64;
+    let mut schedule = Schedule::new(instance.processors());
+    let mut flow_sum = 0.0f64;
+    let mut flow_max = 0.0f64;
+    let mut executed = 0usize;
+    for (task, state) in states.iter().enumerate() {
+        let c = match state {
+            TaskState::Done(c) => c,
+            TaskState::Departed => continue,
+            // A policy that commits only part of the pending set it was
+            // handed (the `plan` contract requires all of it) leaves tasks
+            // waiting forever; surface that as an error, not a panic.
+            TaskState::Waiting => return Err(Error::NoFeasibleSchedule),
+            // Every commitment has a completion event, and the loop only
+            // ends once the heap drained.
+            other => unreachable!("task {task} ended the run as {other:?}"),
+        };
+        schedule.push(ScheduledTask {
+            task,
+            start: c.start,
+            duration: c.duration,
+            processors: ProcessorRange::new(c.first, c.count),
+        });
+        let flow = c.start + c.duration - trace.arrivals()[task].at;
+        flow_sum += flow;
+        flow_max = flow_max.max(flow);
+        executed += 1;
+    }
+
     Ok(OnlineResult {
         policy: policy.name(),
         makespan: schedule.makespan(),
-        mean_flow_time: flow_sum / task_count,
+        mean_flow_time: flow_sum / executed.max(1) as f64,
         max_flow_time: flow_max,
         events,
         replans,
+        departed,
+        preempted,
         schedule,
     })
 }
 
 /// Validate an online schedule against its trace: the structural checks of
-/// `simulator::validate` on the offline instance, plus the release-date
-/// condition (no task may start before it arrived).  Returns human-readable
-/// violation messages (empty = valid).
+/// `simulator::validate` on the offline instance, plus the conditions
+/// specific to the online setting — no task may start before it arrived or
+/// after its departure deadline, and only tasks with a departure deadline
+/// may be absent from the schedule.  Returns human-readable violation
+/// messages (empty = valid).
 ///
 /// Unlike the simulator's all-pairs overlap check this runs in
 /// `O(n·m + n·m·log n)` (a per-processor interval sweep), so it stays usable
@@ -217,13 +359,23 @@ pub fn validate_against_trace(trace: &ArrivalTrace, schedule: &Schedule) -> Vec<
                 trace.arrivals()[entry.task].at
             ));
         }
+        if let Some(departs_at) = trace.arrivals()[entry.task].departs_at {
+            if entry.start > departs_at + 1e-9 {
+                messages.push(format!(
+                    "task {} starts at {} after its departure at {departs_at}",
+                    entry.task, entry.start
+                ));
+            }
+        }
         for intervals in &mut per_processor[entry.processors.first..entry.processors.end()] {
             intervals.push((entry.start, entry.finish(), entry.task));
         }
     }
 
     for (task, &count) in seen.iter().enumerate() {
-        if count == 0 {
+        if count == 0 && trace.arrivals()[task].departs_at.is_none() {
+            // Only tasks with a departure deadline may legitimately be
+            // dropped by the engine.
             messages.push(format!("task {task} is not scheduled"));
         } else if count > 1 {
             messages.push(format!("task {task} is scheduled {count} times"));
@@ -268,11 +420,40 @@ pub struct CompetitiveReport {
 }
 
 /// Compare an online result against the offline MRT run on the same tasks.
+///
+/// When tasks departed during the run, the clairvoyant baseline is the
+/// offline solve of the *executed* task set (the departed tasks consumed no
+/// machine time online either), so the ratio compares like with like.
 pub fn competitive_report(
     trace: &ArrivalTrace,
     result: &OnlineResult,
 ) -> Result<CompetitiveReport> {
-    let instance = trace.instance()?;
+    if result.schedule.is_empty() {
+        // Every task departed before starting: there is nothing to compare,
+        // so the report degenerates to the identity (ratio 1) instead of
+        // failing on an empty offline instance.
+        return Ok(CompetitiveReport {
+            online_makespan: 0.0,
+            offline_makespan: 0.0,
+            certified_lower_bound: 0.0,
+            last_arrival: trace.last_arrival(),
+            ratio_vs_offline: 1.0,
+            ratio_vs_lower_bound: 1.0,
+        });
+    }
+    let instance = if result.schedule.len() == trace.len() {
+        trace.instance()?
+    } else {
+        // Sub-instance of the executed tasks.  The comparison needs only the
+        // makespan and the certified bound, so the re-indexing is harmless.
+        let tasks: Vec<MalleableTask> = result
+            .schedule
+            .entries()
+            .iter()
+            .map(|e| trace.arrivals()[e.task].task.clone())
+            .collect();
+        Instance::new(tasks, trace.processors())?
+    };
     let offline = malleable_core::mrt::schedule(&instance)?;
     let offline_makespan = offline.schedule.makespan();
     let lb = offline.certified_lower_bound;
@@ -295,9 +476,11 @@ mod tests {
     fn sequential_trace(times: &[(f64, f64)], processors: usize) -> ArrivalTrace {
         let arrivals = times
             .iter()
-            .map(|&(at, duration)| Arrival {
-                at,
-                task: MalleableTask::new(SpeedupProfile::sequential(duration).unwrap()),
+            .map(|&(at, duration)| {
+                Arrival::new(
+                    at,
+                    MalleableTask::new(SpeedupProfile::sequential(duration).unwrap()),
+                )
             })
             .collect();
         ArrivalTrace::new(processors, arrivals).unwrap()
@@ -316,7 +499,7 @@ mod tests {
         // Two unit tasks on two processors arriving together: both start on
         // arrival, in parallel.
         let trace = sequential_trace(&[(1.0, 2.0), (1.0, 2.0)], 2);
-        let result = run(&trace, &mut GreedyList).unwrap();
+        let result = run(&trace, &mut GreedyList::new()).unwrap();
         assert!((result.makespan - 3.0).abs() < 1e-9);
         assert!(validate_against_trace(&trace, &result.schedule).is_empty());
         assert_eq!(result.replans, 2);
@@ -408,6 +591,227 @@ mod tests {
         assert!(report.ratio_vs_offline.is_finite());
         assert!(report.online_makespan >= report.certified_lower_bound - 1e-9);
         assert!(report.last_arrival > 0.0);
+    }
+
+    #[test]
+    fn pending_tasks_depart_before_being_planned() {
+        // The departing task leaves the queue before the first epoch tick and
+        // is never scheduled; the other task runs normally.
+        let trace = ArrivalTrace::new(
+            1,
+            vec![
+                Arrival::new(
+                    0.2,
+                    MalleableTask::new(SpeedupProfile::sequential(1.0).unwrap()),
+                )
+                .departing_at(0.5),
+                Arrival::new(
+                    0.2,
+                    MalleableTask::new(SpeedupProfile::sequential(2.0).unwrap()),
+                ),
+            ],
+        )
+        .unwrap();
+        let mut policy = EpochReplan::mrt(1.0).unwrap();
+        let result = run(&trace, &mut policy).unwrap();
+        assert_eq!(result.departed, 1);
+        assert_eq!(result.schedule.len(), 1);
+        assert_eq!(result.schedule.entries()[0].task, 1);
+        assert!((result.makespan - 3.0).abs() < 1e-9);
+        assert!(validate_against_trace(&trace, &result.schedule).is_empty());
+    }
+
+    #[test]
+    fn queued_commitments_are_revoked_on_departure() {
+        // Greedy commits B behind the running A ([4, 6], queued); B departs
+        // at t=3 before starting, freeing the machine for C at t=4.
+        let trace = ArrivalTrace::new(
+            1,
+            vec![
+                Arrival::new(
+                    0.0,
+                    MalleableTask::new(SpeedupProfile::sequential(4.0).unwrap()),
+                ),
+                Arrival::new(
+                    1.0,
+                    MalleableTask::new(SpeedupProfile::sequential(2.0).unwrap()),
+                )
+                .departing_at(3.0),
+                Arrival::new(
+                    3.5,
+                    MalleableTask::new(SpeedupProfile::sequential(1.0).unwrap()),
+                ),
+            ],
+        )
+        .unwrap();
+        let result = run(&trace, &mut GreedyList::new()).unwrap();
+        assert_eq!(result.departed, 1);
+        assert_eq!(result.schedule.len(), 2);
+        assert!(
+            (result.makespan - 5.0).abs() < 1e-9,
+            "C reclaims B's revoked slot: got {}",
+            result.makespan
+        );
+        assert!(validate_against_trace(&trace, &result.schedule).is_empty());
+        // A started task is never interrupted by its departure deadline.
+        let trace = ArrivalTrace::new(
+            1,
+            vec![Arrival::new(
+                0.0,
+                MalleableTask::new(SpeedupProfile::sequential(4.0).unwrap()),
+            )
+            .departing_at(2.0)],
+        )
+        .unwrap();
+        let result = run(&trace, &mut GreedyList::new()).unwrap();
+        assert_eq!(result.departed, 0);
+        assert!((result.makespan - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backfill_reuses_holes_the_frontier_engine_wastes() {
+        // A [0,1) on p0, then the wide B takes both processors over [1,3)
+        // leaving the hole [0,1) on p1; the final unit task C fits the hole
+        // only when backfilling.
+        let trace = ArrivalTrace::new(
+            2,
+            vec![
+                Arrival::new(
+                    0.0,
+                    MalleableTask::new(SpeedupProfile::sequential(1.0).unwrap()),
+                ),
+                Arrival::new(
+                    0.0,
+                    MalleableTask::new(SpeedupProfile::new(vec![4.0, 2.0]).unwrap()),
+                ),
+                Arrival::new(
+                    0.0,
+                    MalleableTask::new(SpeedupProfile::sequential(1.0).unwrap()),
+                ),
+            ],
+        )
+        .unwrap();
+        let frontier = run(&trace, &mut GreedyList::new()).unwrap();
+        assert!(
+            (frontier.makespan - 4.0).abs() < 1e-9,
+            "{}",
+            frontier.makespan
+        );
+        let backfill = run(&trace, &mut GreedyList::backfilling()).unwrap();
+        assert!(
+            (backfill.makespan - 3.0).abs() < 1e-9,
+            "{}",
+            backfill.makespan
+        );
+        for result in [&frontier, &backfill] {
+            assert!(validate_against_trace(&trace, &result.schedule).is_empty());
+            let report =
+                simulator::validate_schedule(&trace.instance().unwrap(), &result.schedule, None);
+            assert!(report.is_valid(), "{:?}", report.violations);
+        }
+    }
+
+    #[test]
+    fn preemptive_replanning_corrects_queued_placements() {
+        // The shipped scenario (see [`queued_reallotment_scenario`]): epoch 1
+        // plans {A, B, C} — the sequential A and B dominate the guess
+        // (ω ≥ 4), so the malleable C is allotted a single processor and
+        // committed *queued* over [5, 9).  When the tiny E arrives, the
+        // preemptive re-planner revokes the queued C and re-solves {C, E}
+        // jointly — on that pending set the bound drops to ~2.25, C widens
+        // to both processors ([5, 7)) and E rides behind it ([7, 7.5)),
+        // beating the non-preemptive makespan of 9.
+        let trace = queued_reallotment_scenario();
+        let run_with = |preempt: bool| {
+            let mut policy = EpochReplan::mrt(1.0).unwrap().with_preempt_queued(preempt);
+            run(&trace, &mut policy).unwrap()
+        };
+        let plain = run_with(false);
+        let preemptive = run_with(true);
+        assert_eq!(plain.preempted, 0);
+        assert!(preemptive.preempted >= 1, "no commitment was preempted");
+        assert!(
+            preemptive.makespan < plain.makespan - 1e-9,
+            "preemption did not help: {} vs {}",
+            preemptive.makespan,
+            plain.makespan
+        );
+        for result in [&plain, &preemptive] {
+            assert!(validate_against_trace(&trace, &result.schedule).is_empty());
+            let report =
+                simulator::validate_schedule(&trace.instance().unwrap(), &result.schedule, None);
+            assert!(report.is_valid(), "{:?}", report.violations);
+            assert_eq!(result.schedule.len(), trace.len());
+        }
+    }
+
+    #[test]
+    fn all_departed_runs_report_gracefully() {
+        // Nothing ever starts (the only tick is after every deadline): the
+        // run succeeds with an empty schedule and the competitive report
+        // degenerates to the identity instead of erroring.
+        let trace = ArrivalTrace::new(
+            1,
+            vec![
+                Arrival::new(
+                    0.1,
+                    MalleableTask::new(SpeedupProfile::sequential(1.0).unwrap()),
+                )
+                .departing_at(0.2),
+                Arrival::new(
+                    0.1,
+                    MalleableTask::new(SpeedupProfile::sequential(1.0).unwrap()),
+                )
+                .departing_at(0.3),
+            ],
+        )
+        .unwrap();
+        let mut policy = EpochReplan::mrt(1.0).unwrap();
+        let result = run(&trace, &mut policy).unwrap();
+        assert_eq!(result.departed, 2);
+        assert!(result.schedule.is_empty());
+        assert_eq!(result.makespan, 0.0);
+        let report = competitive_report(&trace, &result).unwrap();
+        assert_eq!(report.ratio_vs_offline, 1.0);
+        assert_eq!(report.ratio_vs_lower_bound, 1.0);
+    }
+
+    #[test]
+    fn partial_planning_policies_error_instead_of_panicking() {
+        // A broken policy that commits only the first pending task: the
+        // engine must refuse the run with an error, not crash.
+        struct FirstOnly;
+        impl OnlinePolicy for FirstOnly {
+            fn name(&self) -> String {
+                "first-only".into()
+            }
+            fn epoch(&self) -> Option<f64> {
+                Some(1.0)
+            }
+            fn should_plan(&self, trigger: Trigger, _machine: &MachineState) -> bool {
+                trigger == Trigger::EpochTick
+            }
+            fn plan(
+                &mut self,
+                instance: &Instance,
+                pending: &[PendingTask],
+                machine: &mut MachineState,
+            ) -> Result<Vec<Commitment>> {
+                let task = pending[0].id;
+                let duration = instance.time(task, 1);
+                let placement = machine.place_earliest(1, duration);
+                Ok(vec![Commitment {
+                    task,
+                    start: placement.start,
+                    duration,
+                    first: placement.first,
+                    count: 1,
+                    reservation: placement.reservation,
+                }])
+            }
+        }
+        let trace = sequential_trace(&[(0.0, 1.0), (0.0, 1.0)], 2);
+        assert!(run(&trace, &mut FirstOnly).is_err());
     }
 
     #[test]

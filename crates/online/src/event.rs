@@ -1,10 +1,18 @@
 //! The engine's event queue: a binary min-heap over timestamped events.
 //!
-//! Three event kinds drive the engine: task arrivals, task completions and
-//! epoch ticks.  Events at the same timestamp are ordered *completion →
-//! arrival → tick* so that an epoch tick observes the fully updated machine
-//! state (finished tasks released, simultaneous arrivals enqueued), and ties
-//! beyond that are broken by insertion order, keeping runs deterministic.
+//! Four event kinds drive the engine: task arrivals, task completions, task
+//! departures and epoch ticks.  Events at the same timestamp pop in a
+//! deterministic, documented order — **arrival → completion → departure →
+//! tick** — so traces replay identically across runs:
+//!
+//! * *arrivals first*, so any planning round triggered at time `t` sees every
+//!   task that is available at `t`;
+//! * *completions before departures*, so a task finishing exactly at its
+//!   departure time counts as completed, not departed;
+//! * *epoch ticks last*, so a tick observes the fully updated machine state
+//!   (simultaneous arrivals enqueued, finished tasks released, departed tasks
+//!   withdrawn);
+//! * ties beyond the kind are broken by insertion order.
 
 use malleable_core::TaskId;
 use std::cmp::Ordering;
@@ -13,21 +21,26 @@ use std::collections::BinaryHeap;
 /// What happened.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {
-    /// A committed task finished (payload: its global task id).
-    Completion(TaskId),
     /// Arrival `index` of the trace became available.
     Arrival(usize),
+    /// A committed task finished (payload: its global task id).
+    Completion(TaskId),
+    /// Arrival `index` departs: if the task has not started yet it leaves the
+    /// system (its queued reservation, if any, is revoked); a running task is
+    /// unaffected (non-preemptive execution).
+    Departure(usize),
     /// An epoch boundary of an epoch-driven policy.
     EpochTick,
 }
 
 impl EventKind {
-    /// Rank applied among events with equal timestamps.
+    /// Rank applied among events with equal timestamps (see the module docs).
     fn rank(&self) -> u8 {
         match self {
-            EventKind::Completion(_) => 0,
-            EventKind::Arrival(_) => 1,
-            EventKind::EpochTick => 2,
+            EventKind::Arrival(_) => 0,
+            EventKind::Completion(_) => 1,
+            EventKind::Departure(_) => 2,
+            EventKind::EpochTick => 3,
         }
     }
 }
@@ -123,17 +136,19 @@ mod tests {
     }
 
     #[test]
-    fn equal_times_order_completion_arrival_tick() {
+    fn equal_times_order_arrival_completion_departure_tick() {
         let mut q = EventQueue::new();
         q.push(1.0, EventKind::EpochTick);
+        q.push(1.0, EventKind::Departure(4));
         q.push(1.0, EventKind::Arrival(3));
         q.push(1.0, EventKind::Completion(9));
         let kinds: Vec<EventKind> = std::iter::from_fn(|| q.pop()).map(|e| e.kind).collect();
         assert_eq!(
             kinds,
             vec![
-                EventKind::Completion(9),
                 EventKind::Arrival(3),
+                EventKind::Completion(9),
+                EventKind::Departure(4),
                 EventKind::EpochTick
             ]
         );

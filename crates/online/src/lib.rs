@@ -46,15 +46,34 @@
 //!
 //! ## Model and guarantees
 //!
-//! Commitments are irrevocable (no preemption, no re-allotment).  Planning
-//! rounds keep the offline schedule's allotments and priorities but replay
-//! them onto the live processor frontier, so a batch interleaves with the
-//! tail of the previous one instead of waiting behind a barrier.  The
-//! makespan of any run is at least the offline optimum of the full task set,
+//! The machine is an **interval-reservation book**
+//! ([`packing::reservations`]): every commitment is a revocable reservation,
+//! and the clock never destroys idle holes.  *Execution* stays non-preemptive
+//! — a task that has started always runs to completion, matching the paper's
+//! model — but *queued* commitments are first-class citizens that can be
+//! revoked:
+//!
+//! * **departures** — arrivals may carry a `departs_at` deadline; a task
+//!   that has not started by its deadline leaves the system, and its queued
+//!   reservation (if any) is cancelled and the space reclaimed;
+//! * **backfill** — with [`policy::PolicyOptions::backfill`] (CLI
+//!   `--backfill`) placements first-fit into idle holes below the processor
+//!   frontier instead of always queueing behind it;
+//! * **preemptive re-allotment** — with
+//!   [`policy::PolicyOptions::preempt_queued`] (CLI `--preempt-queued`) an
+//!   epoch boundary revokes every not-yet-started commitment and re-solves
+//!   it jointly with the new arrivals, so early placement mistakes are
+//!   corrected while the machine state is still fluid.
+//!
+//! By default all three are off and the engine reproduces the historical
+//! frontier-only behaviour exactly (planning rounds keep the offline
+//! schedule's allotments and priorities but replay them onto the live
+//! processor frontier, so a batch interleaves with the tail of the previous
+//! one instead of waiting behind a barrier).  The makespan of any run
+//! without departures is at least the offline optimum of the full task set,
 //! and the `ratio_vs_lower_bound` of [`CompetitiveReport`] measures the
-//! price of online operation against the dual-search certificate.
-//! Backfilling into idle holes below the frontier, task departures and
-//! preemptive re-planning are tracked as follow-on work in the ROADMAP.
+//! price of online operation against the dual-search certificate (computed
+//! over the executed task set when tasks departed).
 
 pub mod engine;
 pub mod event;
@@ -62,11 +81,12 @@ pub mod machine;
 pub mod policy;
 
 pub use engine::{
-    competitive_report, run, validate_against_trace, CompetitiveReport, OnlineResult,
+    competitive_report, queued_reallotment_scenario, run, validate_against_trace,
+    CompetitiveReport, OnlineResult,
 };
 pub use event::{Event, EventKind, EventQueue};
-pub use machine::{MachineState, Placement};
+pub use machine::{MachineState, Placement, ReservationId};
 pub use policy::{
     BatchUntilIdle, Commitment, EpochReplan, GreedyList, OnlinePolicy, PendingTask, PolicyKind,
-    Trigger,
+    PolicyOptions, Trigger,
 };

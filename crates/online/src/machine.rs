@@ -1,11 +1,25 @@
-//! Incremental machine state: the committed frontier of every processor.
+//! Incremental machine state: the live reservation book of every processor.
 //!
-//! The engine never revokes a commitment (non-preemptive model, like the
-//! paper's), so the machine is fully described by a per-processor "busy
-//! until" frontier — exactly the [`packing::ProcessorTimeline`] the offline
-//! list algorithms use — plus the simulation clock and the number of
-//! committed-but-unfinished tasks.  As the clock advances, the frontier of
-//! idle processors is pulled up to *now*: the past cannot be scheduled into.
+//! The machine is backed by an interval-reservation timeline
+//! ([`packing::reservations::ReservationTimeline`]): every placement is a
+//! first-class reservation identified by a revocable
+//! [`ReservationId`] handle, and the clock ([`MachineState::advance_to`]) no
+//! longer destroys idle holes.  Two resource models are offered:
+//!
+//! * **frontier mode** ([`MachineState::new`]) — placements start at or
+//!   after the per-processor "busy until" frontier, idle holes below it are
+//!   never reused.  This is exactly the schedule structure of the paper's §3
+//!   list algorithms (the staircase idle areas of its Figure 2 are discarded
+//!   on purpose) and the engine's historical behaviour.
+//! * **backfill mode** ([`MachineState::with_backfill`]) — window queries
+//!   are duration-aware and first-fit into existing holes below the
+//!   frontier, the resource model of cloud-facing malleable schedulers.
+//!
+//! In both modes commitments *can* be revoked while still queued
+//! ([`MachineState::revoke`]): task departures cancel reservations that have
+//! not started, and preemptive epoch re-planning pulls queued reservations
+//! back into the pending set.  Running tasks stay committed — the execution
+//! model remains non-preemptive, matching the paper.
 //!
 //! The read-only accessors (`now`, `is_idle`, `unfinished`, `free_horizon`,
 //! `earliest_start`) are the observability surface handed to
@@ -13,12 +27,15 @@
 //! policies only need `is_idle`, but custom policies (e.g. "re-plan when the
 //! backlog horizon exceeds a threshold") decide on the rest.
 
-use packing::timeline::{ProcessorTimeline, TieBreak};
+use packing::reservations::{HolePolicy, ReservationTimeline};
+use packing::timeline::TieBreak;
+
+pub use packing::reservations::ReservationId;
 
 /// The machine as seen by an online policy at a decision point.
 #[derive(Debug, Clone)]
 pub struct MachineState {
-    timeline: ProcessorTimeline,
+    timeline: ReservationTimeline,
     now: f64,
     unfinished: usize,
 }
@@ -32,13 +49,27 @@ pub struct Placement {
     pub count: usize,
     /// Start time (never before the current clock).
     pub start: f64,
+    /// Handle for revoking the commitment while it is still queued.
+    pub reservation: ReservationId,
 }
 
 impl MachineState {
-    /// A fresh machine with `processors` idle processors at time 0.
+    /// A fresh frontier-mode machine with `processors` idle processors at
+    /// time 0 (holes below the frontier are never reused).
     pub fn new(processors: usize) -> Self {
+        Self::with_policy(processors, HolePolicy::FrontierOnly)
+    }
+
+    /// A fresh backfill-mode machine: placements first-fit into idle holes
+    /// below the frontier.
+    pub fn with_backfill(processors: usize) -> Self {
+        Self::with_policy(processors, HolePolicy::Backfill)
+    }
+
+    /// A fresh machine with an explicit hole policy.
+    pub fn with_policy(processors: usize, policy: HolePolicy) -> Self {
         MachineState {
-            timeline: ProcessorTimeline::new(processors),
+            timeline: ReservationTimeline::new(processors, policy),
             now: 0.0,
             unfinished: 0,
         }
@@ -47,6 +78,11 @@ impl MachineState {
     /// Number of processors.
     pub fn processors(&self) -> usize {
         self.timeline.processors()
+    }
+
+    /// Whether placements may backfill into holes below the frontier.
+    pub fn backfills(&self) -> bool {
+        self.timeline.policy() == HolePolicy::Backfill
     }
 
     /// The simulation clock.
@@ -70,8 +106,9 @@ impl MachineState {
         self.timeline.makespan().max(self.now)
     }
 
-    /// Advance the clock (monotone).  Idle processors' frontiers are pulled
-    /// up to the new time: schedules can never start in the past.
+    /// Advance the clock (monotone).  Schedules can never start in the past;
+    /// in frontier mode idle processors' frontiers are pulled up to the new
+    /// time, in backfill mode holes after the new time stay usable.
     pub fn advance_to(&mut self, time: f64) {
         assert!(
             time >= self.now - 1e-9,
@@ -80,7 +117,7 @@ impl MachineState {
         );
         if time > self.now {
             self.now = time;
-            self.timeline.advance_all_to(time);
+            self.timeline.advance_to(time);
         }
     }
 
@@ -89,36 +126,54 @@ impl MachineState {
     pub fn place_earliest(&mut self, count: usize, duration: f64) -> Placement {
         let window = self
             .timeline
-            .earliest_window(count, TieBreak::PaperConvention);
-        self.timeline
-            .commit(window.first, count, window.start, duration);
+            .earliest_window(count, duration, TieBreak::PaperConvention);
+        let reservation = self
+            .timeline
+            .reserve(window.first, count, window.start, duration);
         self.unfinished += 1;
         Placement {
             first: window.first,
             count,
             start: window.start,
+            reservation,
         }
     }
 
     /// The start time [`MachineState::place_earliest`] would choose for a
-    /// `count`-processor task, without committing.
-    pub fn earliest_start(&self, count: usize) -> f64 {
+    /// `count`-processor, `duration`-long task, without committing.
+    pub fn earliest_start(&self, count: usize, duration: f64) -> f64 {
         self.timeline
-            .earliest_window(count, TieBreak::PaperConvention)
+            .earliest_window(count, duration, TieBreak::PaperConvention)
             .start
     }
 
     /// Commit a task at an explicit position (used when mapping an offline
     /// shelf schedule onto the machine).  Panics if the placement would
     /// overlap an existing commitment or start in the past.
-    pub fn commit_at(&mut self, first: usize, count: usize, start: f64, duration: f64) {
+    pub fn commit_at(
+        &mut self,
+        first: usize,
+        count: usize,
+        start: f64,
+        duration: f64,
+    ) -> ReservationId {
         assert!(
             start >= self.now - 1e-9,
             "commitment starts at {start}, before the clock {}",
             self.now
         );
-        self.timeline.commit(first, count, start, duration);
+        let reservation = self.timeline.reserve(first, count, start, duration);
         self.unfinished += 1;
+        reservation
+    }
+
+    /// Revoke a commitment that has not started yet, freeing its space.
+    /// Panics if the reservation is running or finished (the execution model
+    /// is non-preemptive) or was already revoked.
+    pub fn revoke(&mut self, reservation: ReservationId) {
+        self.timeline.cancel(reservation);
+        assert!(self.unfinished > 0, "revocation without a commitment");
+        self.unfinished -= 1;
     }
 
     /// Record the completion of one committed task.
@@ -179,9 +234,64 @@ mod tests {
     fn earliest_start_matches_place_earliest() {
         let mut machine = MachineState::new(3);
         machine.place_earliest(3, 2.0);
-        let probe = machine.earliest_start(2);
+        let probe = machine.earliest_start(2, 1.0);
         let placement = machine.place_earliest(2, 1.0);
         assert_eq!(probe, placement.start);
         assert_eq!(probe, 2.0);
+    }
+
+    #[test]
+    fn frontier_mode_hides_holes_backfill_mode_reuses_them() {
+        // A long 1-wide task plus a short 2-wide one leave a hole on one
+        // processor; a subsequent 1-unit task lands in the hole only with
+        // backfill enabled.
+        let build = |backfill: bool| {
+            let mut machine = if backfill {
+                MachineState::with_backfill(2)
+            } else {
+                MachineState::new(2)
+            };
+            machine.commit_at(0, 1, 0.0, 4.0);
+            machine.commit_at(1, 1, 0.0, 1.0);
+            machine.commit_at(1, 1, 3.0, 2.0); // hole on p1 over [1, 3)
+            machine.place_earliest(1, 1.0)
+        };
+        let frontier = build(false);
+        assert!(frontier.start >= 4.0 - 1e-9, "frontier mode must wait");
+        let backfill = build(true);
+        assert_eq!((backfill.first, backfill.start), (1, 1.0));
+    }
+
+    #[test]
+    fn revoked_commitments_free_their_space() {
+        let mut machine = MachineState::new(2);
+        machine.commit_at(0, 2, 0.0, 1.0);
+        let queued = machine.commit_at(0, 2, 1.0, 5.0);
+        assert_eq!(machine.free_horizon(), 6.0);
+        assert_eq!(machine.unfinished(), 2);
+        machine.revoke(queued);
+        assert_eq!(machine.free_horizon(), 1.0);
+        assert_eq!(machine.unfinished(), 1);
+        let placement = machine.place_earliest(2, 1.0);
+        assert_eq!(placement.start, 1.0, "the revoked space is reusable");
+    }
+
+    #[test]
+    #[should_panic(expected = "running tasks cannot be revoked")]
+    fn running_commitments_cannot_be_revoked() {
+        let mut machine = MachineState::new(1);
+        let id = machine.commit_at(0, 1, 0.0, 4.0);
+        machine.advance_to(2.0);
+        machine.revoke(id);
+    }
+
+    #[test]
+    fn advance_preserves_holes_in_backfill_mode() {
+        let mut machine = MachineState::with_backfill(1);
+        machine.commit_at(0, 1, 5.0, 1.0);
+        machine.advance_to(2.0);
+        // The hole [2, 5) survives the clock advance.
+        let placement = machine.place_earliest(1, 2.0);
+        assert_eq!(placement.start, 2.0);
     }
 }

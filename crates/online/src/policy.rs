@@ -20,10 +20,18 @@
 //! to the solver's capabilities: when the solver supports warm starts, the
 //! probe workspace and the previous epoch's accepted guess are threaded into
 //! every solve.
+//!
+//! Two cross-cutting resource-model capabilities ride on every policy (see
+//! [`PolicyOptions`]): **backfill** switches the machine to the
+//! interval-reservation model so placements first-fit into idle holes below
+//! the frontier, and **preempt-queued** (epoch policies) makes the engine
+//! revoke not-yet-started commitments at every epoch boundary and re-solve
+//! them jointly with the new arrivals.  Running tasks are never interrupted
+//! in either mode — execution stays non-preemptive, as in the paper.
 
 use std::sync::Arc;
 
-use crate::machine::MachineState;
+use crate::machine::{MachineState, ReservationId};
 use malleable_core::prelude::*;
 
 /// A task waiting in the pending queue.
@@ -36,7 +44,10 @@ pub struct PendingTask {
 }
 
 /// One scheduling decision: a task pinned to a processor block and a start
-/// time.  Commitments are irrevocable (non-preemptive model).
+/// time.  A commitment is revocable while it is still queued (the engine
+/// revokes on task departures and, under preemptive re-planning, at epoch
+/// boundaries); once the task has started it runs to completion
+/// (non-preemptive execution model).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Commitment {
     /// Global task id.
@@ -49,6 +60,8 @@ pub struct Commitment {
     pub first: usize,
     /// Number of processors.
     pub count: usize,
+    /// Handle for revoking the commitment while it is still queued.
+    pub reservation: ReservationId,
 }
 
 /// The event class that triggered a planning opportunity.
@@ -58,6 +71,9 @@ pub enum Trigger {
     Arrival,
     /// A committed task finished.
     Completion,
+    /// A task departed (withdrawn from the pending queue or revoked while
+    /// still queued).
+    Departure,
     /// An epoch boundary fired.
     EpochTick,
 }
@@ -75,6 +91,22 @@ pub trait OnlinePolicy {
     /// Epoch period, for policies driven by a periodic tick.
     fn epoch(&self) -> Option<f64> {
         None
+    }
+
+    /// Whether the engine should run the machine in backfill mode: new
+    /// placements first-fit into idle holes below the processor frontier
+    /// instead of always waiting for it.  Defaults to the frontier-only
+    /// model of the paper's list schedules.
+    fn backfill(&self) -> bool {
+        false
+    }
+
+    /// Whether the engine should, at every epoch tick, revoke commitments
+    /// that have not started yet and hand their tasks back to this policy as
+    /// part of the pending set (preemptive re-allotment of *queued* work;
+    /// running tasks always stay committed).
+    fn preempt_queued(&self) -> bool {
+        false
     }
 
     /// Whether the pending queue should be planned in reaction to `trigger`.
@@ -139,19 +171,45 @@ fn replay_offline(
             duration: entry.duration,
             first: placement.first,
             count: entry.processors.count,
+            reservation: placement.reservation,
         });
     }
     commitments
 }
 
 /// Immediate list scheduling: every arrival is planned on the spot at the
-/// processor count minimising its completion time on the current frontier.
+/// processor count minimising its completion time on the current machine
+/// state (the frontier, or with [`GreedyList::backfilling`] the earliest
+/// fitting hole).
 #[derive(Debug, Clone, Copy, Default)]
-pub struct GreedyList;
+pub struct GreedyList {
+    /// First-fit new arrivals into idle holes below the frontier.
+    pub backfill: bool,
+}
+
+impl GreedyList {
+    /// The classical frontier-only greedy list policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A greedy list policy that backfills into idle holes.
+    pub fn backfilling() -> Self {
+        GreedyList { backfill: true }
+    }
+}
 
 impl OnlinePolicy for GreedyList {
     fn name(&self) -> String {
-        "greedy-list".to_string()
+        if self.backfill {
+            "greedy-list+backfill".to_string()
+        } else {
+            "greedy-list".to_string()
+        }
+    }
+
+    fn backfill(&self) -> bool {
+        self.backfill
     }
 
     fn should_plan(&self, trigger: Trigger, _machine: &MachineState) -> bool {
@@ -172,7 +230,8 @@ impl OnlinePolicy for GreedyList {
             // the narrower count on ties (it wastes less work).
             let mut best = (1usize, f64::INFINITY);
             for count in 1..=widest {
-                let finish = machine.earliest_start(count) + profile.time(count);
+                let finish =
+                    machine.earliest_start(count, profile.time(count)) + profile.time(count);
                 if finish < best.1 - 1e-12 {
                     best = (count, finish);
                 }
@@ -185,6 +244,7 @@ impl OnlinePolicy for GreedyList {
                 duration: profile.time(count),
                 first: placement.first,
                 count,
+                reservation: placement.reservation,
             });
         }
         Ok(commitments)
@@ -215,6 +275,13 @@ pub struct EpochReplan {
     /// (default).  Off, every epoch solves cold — the pre-warm-start
     /// behaviour, kept as the benchmark baseline.
     pub warm_start: bool,
+    /// Run the machine in backfill mode: replayed shelf schedules first-fit
+    /// into idle holes below the frontier.
+    pub backfill: bool,
+    /// Revoke queued (not yet started) commitments at every epoch boundary
+    /// and re-solve them together with the new arrivals.  Running tasks stay
+    /// committed — execution remains non-preemptive.
+    pub preempt_queued: bool,
     /// Probe workspace kept across epochs (the warm state).
     workspace: ProbeWorkspace,
     /// `feasible ω / lower bound` of the previous epoch's solve, used to seed
@@ -229,6 +296,8 @@ impl std::fmt::Debug for EpochReplan {
             .field("solver", &self.solver.name())
             .field("search", &self.search)
             .field("warm_start", &self.warm_start)
+            .field("backfill", &self.backfill)
+            .field("preempt_queued", &self.preempt_queued)
             .finish()
     }
 }
@@ -253,6 +322,8 @@ impl EpochReplan {
             solver,
             search: SearchMode::Exact,
             warm_start: true,
+            backfill: false,
+            preempt_queued: false,
             workspace: ProbeWorkspace::new(),
             previous_omega_ratio: None,
         })
@@ -270,6 +341,19 @@ impl EpochReplan {
         self
     }
 
+    /// Enable or disable backfilling into idle holes (builder style).
+    pub fn with_backfill(mut self, backfill: bool) -> Self {
+        self.backfill = backfill;
+        self
+    }
+
+    /// Enable or disable preemptive re-planning of queued commitments at
+    /// epoch boundaries (builder style).
+    pub fn with_preempt_queued(mut self, preempt_queued: bool) -> Self {
+        self.preempt_queued = preempt_queued;
+        self
+    }
+
     /// Number of oracle probes served by the warm-started solve path so far
     /// (0 for one-shot solvers); exposed for the benchmark reports.
     pub fn probes(&self) -> usize {
@@ -279,11 +363,26 @@ impl EpochReplan {
 
 impl OnlinePolicy for EpochReplan {
     fn name(&self) -> String {
-        format!("epoch-{}(d={})", self.solver.name(), self.period)
+        let mut name = format!("epoch-{}(d={})", self.solver.name(), self.period);
+        if self.backfill {
+            name.push_str("+backfill");
+        }
+        if self.preempt_queued {
+            name.push_str("+preempt");
+        }
+        name
     }
 
     fn epoch(&self) -> Option<f64> {
         Some(self.period)
+    }
+
+    fn backfill(&self) -> bool {
+        self.backfill
+    }
+
+    fn preempt_queued(&self) -> bool {
+        self.preempt_queued
     }
 
     fn should_plan(&self, trigger: Trigger, _machine: &MachineState) -> bool {
@@ -330,13 +429,24 @@ impl OnlinePolicy for EpochReplan {
 pub struct BatchUntilIdle {
     /// The offline solver invoked on every batch.
     pub solver: SolverHandle,
+    /// Run the machine in backfill mode (holes left by one batch are reusable
+    /// by the next).
+    pub backfill: bool,
+}
+
+impl BatchUntilIdle {
+    /// A batch policy with an explicit solver handle.
+    pub fn with_solver(solver: SolverHandle) -> Self {
+        BatchUntilIdle {
+            solver,
+            backfill: false,
+        }
+    }
 }
 
 impl Default for BatchUntilIdle {
     fn default() -> Self {
-        BatchUntilIdle {
-            solver: Arc::new(MrtSolver),
-        }
+        Self::with_solver(Arc::new(MrtSolver))
     }
 }
 
@@ -344,13 +454,22 @@ impl std::fmt::Debug for BatchUntilIdle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("BatchUntilIdle")
             .field("solver", &self.solver.name())
+            .field("backfill", &self.backfill)
             .finish()
     }
 }
 
 impl OnlinePolicy for BatchUntilIdle {
     fn name(&self) -> String {
-        format!("batch-idle({})", self.solver.name())
+        if self.backfill {
+            format!("batch-idle({})+backfill", self.solver.name())
+        } else {
+            format!("batch-idle({})", self.solver.name())
+        }
+    }
+
+    fn backfill(&self) -> bool {
+        self.backfill
     }
 
     fn should_plan(&self, trigger: Trigger, machine: &MachineState) -> bool {
@@ -406,16 +525,39 @@ impl std::fmt::Debug for PolicyKind {
     }
 }
 
+/// Cross-cutting policy options applied by [`PolicyKind::build_with`]: the
+/// resource-model knobs the CLI exposes as `--backfill` and
+/// `--preempt-queued`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PolicyOptions {
+    /// First-fit placements into idle holes below the frontier.
+    pub backfill: bool,
+    /// Revoke queued commitments at epoch boundaries and re-solve them with
+    /// the pending set (epoch policies only; ignored by the others).
+    pub preempt_queued: bool,
+}
+
 impl PolicyKind {
-    /// Instantiate the policy.
+    /// Instantiate the policy with default options (frontier-only, no
+    /// preemption — the historical engine behaviour).
     pub fn build(&self) -> Result<Box<dyn OnlinePolicy>> {
+        self.build_with(PolicyOptions::default())
+    }
+
+    /// Instantiate the policy with explicit resource-model options.
+    pub fn build_with(&self, options: PolicyOptions) -> Result<Box<dyn OnlinePolicy>> {
         Ok(match self {
-            PolicyKind::Greedy => Box::new(GreedyList),
-            PolicyKind::Epoch { period, solver } => {
-                Box::new(EpochReplan::with_solver(*period, Arc::clone(solver))?)
-            }
+            PolicyKind::Greedy => Box::new(GreedyList {
+                backfill: options.backfill,
+            }),
+            PolicyKind::Epoch { period, solver } => Box::new(
+                EpochReplan::with_solver(*period, Arc::clone(solver))?
+                    .with_backfill(options.backfill)
+                    .with_preempt_queued(options.preempt_queued),
+            ),
             PolicyKind::Batch { solver } => Box::new(BatchUntilIdle {
                 solver: Arc::clone(solver),
+                backfill: options.backfill,
             }),
         })
     }
@@ -449,9 +591,7 @@ mod tests {
                     arrived_at: 0.0,
                 })
                 .collect();
-            let mut policy = BatchUntilIdle {
-                solver: Arc::clone(&solver),
-            };
+            let mut policy = BatchUntilIdle::with_solver(Arc::clone(&solver));
             let commitments = policy.plan(&instance, &pending, &mut machine).unwrap();
             assert_eq!(commitments.len(), 3, "{}", solver.name());
         }
@@ -491,7 +631,9 @@ mod tests {
             id: 0,
             arrived_at: 0.0,
         }];
-        let commitments = GreedyList.plan(&instance, &pending, &mut machine).unwrap();
+        let commitments = GreedyList::new()
+            .plan(&instance, &pending, &mut machine)
+            .unwrap();
         assert_eq!(commitments.len(), 1);
         assert_eq!(commitments[0].count, 4);
         assert!((commitments[0].duration - 1.0).abs() < 1e-12);

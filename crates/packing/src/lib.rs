@@ -25,6 +25,12 @@
 //!   algorithms (Coffman–Garey–Johnson–Tarjan), which are the classical
 //!   practical stand-ins for Steinberg's absolute 2-approximation used by
 //!   Ludwig.  The substitution is documented in `DESIGN.md`.
+//! * **Interval reservations** ([`reservations`]): the online engine's
+//!   resource model — per-processor sorted busy/free interval sets with
+//!   duration-aware contiguous-window queries inside holes, revocable
+//!   reservation handles (cancel/truncate), and a frontier-compatible mode
+//!   that reproduces [`timeline::ProcessorTimeline`] exactly for the offline
+//!   list algorithms.
 //!
 //! The crate is deliberately independent of the task model: it works on plain
 //! numbers (`f64` sizes/heights, `usize` widths) so it can be reused and
@@ -32,12 +38,14 @@
 
 pub mod bin_packing;
 pub mod rect;
+pub mod reservations;
 pub mod shelf;
 pub mod strip;
 pub mod timeline;
 
 pub use bin_packing::{best_fit, first_fit, first_fit_decreasing, next_fit, BinPacking};
 pub use rect::Rect;
+pub use reservations::{HolePolicy, ReservationId, ReservationTimeline};
 pub use shelf::Shelf;
 pub use strip::{ffdh, nfdh, Placement, StripPacking};
 pub use timeline::ProcessorTimeline;

@@ -42,6 +42,75 @@ pub struct Window {
     pub start: f64,
 }
 
+/// Sliding-window search for the earliest contiguous window over a frontier
+/// array, shared by [`ProcessorTimeline`] and the frontier-compatible mode of
+/// [`crate::reservations::ReservationTimeline`] so the two can never drift.
+///
+/// Complexity `O(m)` using a sliding-window maximum (monotone deque).
+pub(crate) fn earliest_frontier_window(busy_until: &[f64], count: usize, tie: TieBreak) -> Window {
+    let m = busy_until.len();
+    assert!(
+        count >= 1 && count <= m,
+        "window of {count} processors on {m}"
+    );
+    // Sliding window maximum of busy_until over windows of size `count`.
+    let mut deque: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    let mut best_start = f64::INFINITY;
+    let mut best_first = 0usize;
+    let mut candidates: Vec<(usize, f64)> = Vec::new();
+    for i in 0..m {
+        while let Some(&back) = deque.back() {
+            if busy_until[back] <= busy_until[i] {
+                deque.pop_back();
+            } else {
+                break;
+            }
+        }
+        deque.push_back(i);
+        if i + 1 >= count {
+            let first = i + 1 - count;
+            while let Some(&front) = deque.front() {
+                if front < first {
+                    deque.pop_front();
+                } else {
+                    break;
+                }
+            }
+            let start = busy_until[*deque.front().unwrap()];
+            candidates.push((first, start));
+            if start < best_start - 1e-12 {
+                best_start = start;
+                best_first = first;
+            }
+        }
+    }
+    // Apply the tie-break among windows whose start equals the best start.
+    let effective_tie = match tie {
+        TieBreak::PaperConvention => {
+            if best_start <= 1e-12 {
+                TieBreak::Leftmost
+            } else {
+                TieBreak::Rightmost
+            }
+        }
+        other => other,
+    };
+    let chosen = candidates
+        .iter()
+        .filter(|(_, s)| (*s - best_start).abs() <= 1e-12)
+        .map(|&(f, _)| f);
+    let first = match effective_tie {
+        TieBreak::Leftmost => chosen.min().unwrap_or(best_first),
+        TieBreak::Rightmost => chosen.max().unwrap_or(best_first),
+        TieBreak::PaperConvention => unreachable!("resolved above"),
+    };
+    Window {
+        first,
+        count,
+        start: best_start,
+    }
+}
+
 impl ProcessorTimeline {
     /// A timeline for `processors` processors, all free at time 0.
     pub fn new(processors: usize) -> Self {
@@ -79,67 +148,7 @@ impl ProcessorTimeline {
     /// Complexity `O(m)` using a sliding-window maximum over the frontier
     /// (monotone deque).
     pub fn earliest_window(&self, count: usize, tie: TieBreak) -> Window {
-        let m = self.busy_until.len();
-        assert!(
-            count >= 1 && count <= m,
-            "window of {count} processors on {m}"
-        );
-        // Sliding window maximum of busy_until over windows of size `count`.
-        let mut deque: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
-        let mut best_start = f64::INFINITY;
-        let mut best_first = 0usize;
-        let mut candidates: Vec<(usize, f64)> = Vec::new();
-        for i in 0..m {
-            while let Some(&back) = deque.back() {
-                if self.busy_until[back] <= self.busy_until[i] {
-                    deque.pop_back();
-                } else {
-                    break;
-                }
-            }
-            deque.push_back(i);
-            if i + 1 >= count {
-                let first = i + 1 - count;
-                while let Some(&front) = deque.front() {
-                    if front < first {
-                        deque.pop_front();
-                    } else {
-                        break;
-                    }
-                }
-                let start = self.busy_until[*deque.front().unwrap()];
-                candidates.push((first, start));
-                if start < best_start - 1e-12 {
-                    best_start = start;
-                    best_first = first;
-                }
-            }
-        }
-        // Apply the tie-break among windows whose start equals the best start.
-        let effective_tie = match tie {
-            TieBreak::PaperConvention => {
-                if best_start <= 1e-12 {
-                    TieBreak::Leftmost
-                } else {
-                    TieBreak::Rightmost
-                }
-            }
-            other => other,
-        };
-        let chosen = candidates
-            .iter()
-            .filter(|(_, s)| (*s - best_start).abs() <= 1e-12)
-            .map(|&(f, _)| f);
-        let first = match effective_tie {
-            TieBreak::Leftmost => chosen.min().unwrap_or(best_first),
-            TieBreak::Rightmost => chosen.max().unwrap_or(best_first),
-            TieBreak::PaperConvention => unreachable!("resolved above"),
-        };
-        Window {
-            first,
-            count,
-            start: best_start,
-        }
+        earliest_frontier_window(&self.busy_until, count, tie)
     }
 
     /// Commit a task to the processors `[first, first+count)` starting at

@@ -27,4 +27,4 @@ pub mod validate;
 
 pub use engine::{simulate, Event, EventKind, ExecutionTrace};
 pub use gantt::render_gantt;
-pub use validate::{validate_schedule, ValidationReport, Violation};
+pub use validate::{validate_schedule, validate_schedule_subset, ValidationReport, Violation};

@@ -108,6 +108,29 @@ pub fn validate_schedule(
     schedule: &Schedule,
     horizon: Option<f64>,
 ) -> ValidationReport {
+    validate_schedule_impl(instance, schedule, horizon, false)
+}
+
+/// Validate a schedule that legitimately covers only a *subset* of the
+/// instance's tasks — the online engine's output when tasks departed before
+/// starting.  Identical to [`validate_schedule`] except that absent tasks are
+/// not reported as [`Violation::MissingTask`]; every scheduled task is still
+/// held to the full machine-model, duration and overlap checks (backfilled
+/// and preempted-then-replanned placements must pass them unchanged).
+pub fn validate_schedule_subset(
+    instance: &Instance,
+    schedule: &Schedule,
+    horizon: Option<f64>,
+) -> ValidationReport {
+    validate_schedule_impl(instance, schedule, horizon, true)
+}
+
+fn validate_schedule_impl(
+    instance: &Instance,
+    schedule: &Schedule,
+    horizon: Option<f64>,
+    allow_missing: bool,
+) -> ValidationReport {
     let mut violations = Vec::new();
     let m = instance.processors();
     let n = instance.task_count();
@@ -152,7 +175,7 @@ pub fn validate_schedule(
     }
 
     for (task, &count) in seen.iter().enumerate() {
-        if count == 0 {
+        if count == 0 && !allow_missing {
             violations.push(Violation::MissingTask { task });
         } else if count > 1 {
             violations.push(Violation::DuplicatedTask { task });
@@ -260,6 +283,31 @@ mod tests {
             .violations
             .iter()
             .any(|v| matches!(v, Violation::DeadlineExceeded { task: 1, .. })));
+    }
+
+    #[test]
+    fn subset_validation_tolerates_missing_tasks_only() {
+        let inst = instance();
+        let mut s = Schedule::new(3);
+        s.push(entry(0, 0.0, 1.2, 0, 2));
+        // Task 1 absent: the strict validator objects, the subset one not.
+        assert!(!validate_schedule(&inst, &s, None).is_valid());
+        assert!(validate_schedule_subset(&inst, &s, None).is_valid());
+        // Every other violation class still fires in subset mode.
+        let mut overlapping = Schedule::new(3);
+        overlapping.push(entry(0, 0.0, 1.2, 0, 2));
+        overlapping.push(entry(1, 0.5, 1.0, 1, 1));
+        let report = validate_schedule_subset(&inst, &overlapping, None);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::Overlap { .. })));
+        let mut duplicated = Schedule::new(3);
+        duplicated.push(entry(0, 0.0, 1.2, 0, 2));
+        duplicated.push(entry(0, 2.0, 1.2, 0, 2));
+        assert!(validate_schedule_subset(&inst, &duplicated, None)
+            .violations
+            .contains(&Violation::DuplicatedTask { task: 0 }));
     }
 
     #[test]

@@ -2,10 +2,10 @@
 //!
 //! The workspace-level solver registry: every scheduling algorithm shipped by
 //! this workspace — the paper's √3 MRT dual approximation, the Ludwig/TWY
-//! two-phase baselines, gang scheduling, sequential LPT and the canonical
-//! list construction — behind the unified [`Solver`] trait of
-//! `malleable_core::solver`, resolved by name through one
-//! [`SolverRegistry`].
+//! two-phase baselines, gang scheduling, sequential LPT, the canonical
+//! list construction and the precedence-extension CPA heuristic — behind the
+//! unified [`Solver`] trait of `malleable_core::solver`, resolved by name
+//! through one [`SolverRegistry`].
 //!
 //! The CLI (`--solver <name>`), the online policies (`EpochReplan`,
 //! `BatchUntilIdle`) and the benchmark harness all consume this registry, so
@@ -58,6 +58,7 @@ fn heuristic_outcome(
         feasible_omega: None,
         probes: 0,
         wall_time: timer.elapsed(),
+        time_budget_exhausted: false,
     })
 }
 
@@ -129,6 +130,39 @@ impl Solver for GangSolver {
     }
 }
 
+/// The precedence-extension scheduler behind the [`Solver`] trait: the
+/// Critical-Path-and-Area allotment heuristic of the `precedence` crate
+/// ([`precedence::CpaScheduler`]), run on the edgeless DAG view of the
+/// independent instance.
+///
+/// On independent tasks CPA grants processors to the longest tasks until the
+/// critical-path bound and the area bound balance — a different operating
+/// point than the dual-approximation allotments, exposed so the extension
+/// crate's machinery is reachable from every consumer layer (CLI
+/// `--solver precedence`, online planning oracle, bench sweeps).  No
+/// worst-case bound is claimed (see the `precedence` crate docs).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PrecedenceSolver;
+
+impl Solver for PrecedenceSolver {
+    fn name(&self) -> &'static str {
+        "precedence"
+    }
+
+    fn capabilities(&self) -> SolverCapabilities {
+        SolverCapabilities::heuristic()
+    }
+
+    fn solve(&self, request: &SolveRequest<'_>) -> malleable_core::Result<SolveOutcome> {
+        heuristic_outcome(self.name(), request.instance, || {
+            let graph = precedence::TaskGraph::independent(request.instance.tasks().to_vec())?;
+            let pinstance =
+                precedence::PrecedenceInstance::new(graph, request.instance.processors())?;
+            precedence::CpaScheduler::default().schedule(&pinstance)
+        })
+    }
+}
+
 /// Sequential LPT behind the [`Solver`] trait: every task on one processor,
 /// Graham's LPT order.
 #[derive(Debug, Clone, Copy, Default)]
@@ -151,8 +185,9 @@ impl Solver for SequentialLptSolver {
 }
 
 /// The full workspace registry: the core solvers (`mrt`, `list`) plus every
-/// baseline (`ludwig`, `twy-list`, `twy-nfdh`, `gang`, `lpt`), with the
-/// legacy CLI spellings registered as aliases.
+/// baseline (`ludwig`, `twy-list`, `twy-nfdh`, `gang`, `lpt`) and the
+/// `precedence` extension scheduler, with the legacy CLI spellings
+/// registered as aliases.
 pub fn default_registry() -> SolverRegistry {
     let mut registry = core_registry();
     registry.register("ludwig", &["two-phase", "ludwig-2phase"], || {
@@ -171,6 +206,9 @@ pub fn default_registry() -> SolverRegistry {
     registry.register("gang", &[], || Arc::new(GangSolver));
     registry.register("lpt", &["sequential", "sequential-lpt"], || {
         Arc::new(SequentialLptSolver)
+    });
+    registry.register("precedence", &["cpa", "precedence-cpa"], || {
+        Arc::new(PrecedenceSolver)
     });
     registry
 }
@@ -191,13 +229,23 @@ mod tests {
         let registry = default_registry();
         assert_eq!(
             registry.names().collect::<Vec<_>>(),
-            vec!["mrt", "list", "ludwig", "twy-list", "twy-nfdh", "gang", "lpt"]
+            vec![
+                "mrt",
+                "list",
+                "ludwig",
+                "twy-list",
+                "twy-nfdh",
+                "gang",
+                "lpt",
+                "precedence"
+            ]
         );
         for (alias, canonical) in [
             ("sqrt3", "mrt"),
             ("two-phase", "ludwig"),
             ("sequential", "lpt"),
             ("canonical-list", "list"),
+            ("cpa", "precedence"),
         ] {
             assert_eq!(registry.resolve(alias), Some(canonical), "{alias}");
         }
@@ -234,6 +282,14 @@ mod tests {
         assert_eq!(
             TwoPhaseSolver::ludwig().solve(&req).unwrap().schedule,
             baselines::ludwig(&inst).unwrap()
+        );
+        let graph = precedence::TaskGraph::independent(inst.tasks().to_vec()).unwrap();
+        let pinstance = precedence::PrecedenceInstance::new(graph, inst.processors()).unwrap();
+        assert_eq!(
+            PrecedenceSolver.solve(&req).unwrap().schedule,
+            precedence::CpaScheduler::default()
+                .schedule(&pinstance)
+                .unwrap()
         );
     }
 

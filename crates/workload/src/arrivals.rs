@@ -8,6 +8,12 @@
 //! produced by periodic submission systems) — and a JSON representation so
 //! traces can be saved and replayed exactly.
 //!
+//! Arrivals may also carry a **departure deadline** ([`Arrival::departs_at`]):
+//! a task that has not started by its deadline leaves the system
+//! (cancellation), which is how impatient users and revoked cloud jobs show
+//! up in a trace.  [`ArrivalTrace::with_departures`] attaches deterministic,
+//! seed-derived deadlines to a generated trace.
+//!
 //! Generation is a pure function of the [`TraceConfig`]: the task profiles
 //! come from the deterministic [`WorkloadGenerator`] and the arrival clock
 //! from an independent, seed-derived stream, so a `(config, seed)` pair
@@ -20,13 +26,46 @@ use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde_json::{json, Value};
 
-/// One task arriving at a point in time.
+/// One task arriving at a point in time, optionally departing again.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Arrival {
     /// Arrival (release) time of the task.
     pub at: f64,
     /// The task itself.
     pub task: MalleableTask,
+    /// Departure (cancellation) deadline: if the task has not *started* by
+    /// this time it leaves the system and is never executed.  A task that
+    /// started before its departure runs to completion (non-preemptive
+    /// execution).  `None` means the task waits forever.
+    pub departs_at: Option<f64>,
+}
+
+impl Arrival {
+    /// A task arriving at `at` with no departure deadline.
+    pub fn new(at: f64, task: MalleableTask) -> Self {
+        Arrival {
+            at,
+            task,
+            departs_at: None,
+        }
+    }
+
+    /// Attach a departure deadline (builder style).
+    pub fn departing_at(mut self, departs_at: f64) -> Self {
+        self.departs_at = Some(departs_at);
+        self
+    }
+}
+
+/// How departure deadlines are attached to a generated trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeparturePolicy {
+    /// Every task waits an exponentially distributed patience with the given
+    /// mean before departing (sampled deterministically from the seed).
+    Patience {
+        /// Mean patience (must be positive and finite).
+        mean: f64,
+    },
 }
 
 /// A stream of task arrivals targeting a machine with a fixed processor
@@ -128,6 +167,14 @@ impl ArrivalTrace {
                     value: arrival.at,
                 });
             }
+            if let Some(departs_at) = arrival.departs_at {
+                if !(departs_at.is_finite() && departs_at >= arrival.at) {
+                    return Err(malleable_core::Error::InvalidParameter {
+                        name: "departure",
+                        value: departs_at,
+                    });
+                }
+            }
         }
         arrivals.sort_by(|a, b| a.at.partial_cmp(&b.at).unwrap());
         Ok(ArrivalTrace {
@@ -149,12 +196,35 @@ impl ArrivalTrace {
             .tasks()
             .iter()
             .zip(times)
-            .map(|(task, at)| Arrival {
-                at,
-                task: task.clone(),
-            })
+            .map(|(task, at)| Arrival::new(at, task.clone()))
             .collect();
         ArrivalTrace::new(config.workload.processors, arrivals)
+    }
+
+    /// Attach departure deadlines to every arrival, sampled deterministically
+    /// from `seed` (an independent stream, so the same trace can be replayed
+    /// under different departure policies).
+    pub fn with_departures(mut self, policy: DeparturePolicy, seed: u64) -> Result<Self> {
+        use rand::Rng;
+        let DeparturePolicy::Patience { mean } = policy;
+        if !(mean.is_finite() && mean > 0.0) {
+            return Err(malleable_core::Error::InvalidParameter {
+                name: "patience",
+                value: mean,
+            });
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5EED_DEAD_BEEF_CAFE);
+        for arrival in &mut self.arrivals {
+            let u: f64 = rng.gen();
+            let patience = -(1.0 - u).ln() * mean;
+            arrival.departs_at = Some(arrival.at + patience);
+        }
+        Ok(self)
+    }
+
+    /// Whether any arrival carries a departure deadline.
+    pub fn has_departures(&self) -> bool {
+        self.arrivals.iter().any(|a| a.departs_at.is_some())
     }
 
     /// Number of processors of the target machine.
@@ -232,12 +302,18 @@ pub fn trace_to_json(trace: &ArrivalTrace) -> String {
     let arrivals: Vec<Value> = trace
         .arrivals()
         .iter()
-        .map(|a| {
-            json!({
+        .map(|a| match a.departs_at {
+            Some(departs_at) => json!({
                 "at": a.at,
                 "name": a.task.name.clone(),
                 "times": a.task.profile.times().to_vec(),
-            })
+                "departs_at": departs_at,
+            }),
+            None => json!({
+                "at": a.at,
+                "name": a.task.name.clone(),
+                "times": a.task.profile.times().to_vec(),
+            }),
         })
         .collect();
     let doc = json!({
@@ -269,9 +345,14 @@ pub fn trace_from_json(json: &str) -> Result<ArrivalTrace> {
                 .get("at")
                 .and_then(Value::as_f64)
                 .ok_or_else(invalid)?;
+            let departs_at = match entry.get("departs_at") {
+                Some(value) => Some(value.as_f64().ok_or_else(invalid)?),
+                None => None,
+            };
             Ok(Arrival {
                 at,
                 task: task_from_value(entry)?,
+                departs_at,
             })
         })
         .collect::<Result<Vec<_>>>()?;
@@ -366,14 +447,14 @@ mod tests {
     #[test]
     fn instance_view_uses_trace_order() {
         let arrivals = vec![
-            Arrival {
-                at: 3.0,
-                task: MalleableTask::named("late", SpeedupProfile::sequential(1.0).unwrap()),
-            },
-            Arrival {
-                at: 1.0,
-                task: MalleableTask::named("early", SpeedupProfile::sequential(2.0).unwrap()),
-            },
+            Arrival::new(
+                3.0,
+                MalleableTask::named("late", SpeedupProfile::sequential(1.0).unwrap()),
+            ),
+            Arrival::new(
+                1.0,
+                MalleableTask::named("early", SpeedupProfile::sequential(2.0).unwrap()),
+            ),
         ];
         let trace = ArrivalTrace::new(2, arrivals).unwrap();
         // Sorted by arrival: "early" first.
@@ -413,10 +494,59 @@ mod tests {
     fn trace_construction_validates_inputs() {
         assert!(ArrivalTrace::new(0, vec![]).is_err());
         assert!(ArrivalTrace::new(2, vec![]).is_err());
-        let bad = vec![Arrival {
-            at: f64::NAN,
-            task: MalleableTask::new(SpeedupProfile::sequential(1.0).unwrap()),
-        }];
+        let bad = vec![Arrival::new(
+            f64::NAN,
+            MalleableTask::new(SpeedupProfile::sequential(1.0).unwrap()),
+        )];
         assert!(ArrivalTrace::new(2, bad).is_err());
+        // Departures before the arrival (or non-finite) are rejected.
+        let task = || MalleableTask::new(SpeedupProfile::sequential(1.0).unwrap());
+        assert!(ArrivalTrace::new(2, vec![Arrival::new(2.0, task()).departing_at(1.0)]).is_err());
+        assert!(
+            ArrivalTrace::new(2, vec![Arrival::new(2.0, task()).departing_at(f64::NAN)]).is_err()
+        );
+        assert!(ArrivalTrace::new(2, vec![Arrival::new(2.0, task()).departing_at(2.0)]).is_ok());
+    }
+
+    #[test]
+    fn departures_are_deterministic_and_respect_arrivals() {
+        let base = ArrivalTrace::generate(&poisson_config(40, 6)).unwrap();
+        let policy = DeparturePolicy::Patience { mean: 2.0 };
+        let a = base.clone().with_departures(policy, 9).unwrap();
+        let b = base.clone().with_departures(policy, 9).unwrap();
+        let c = base.clone().with_departures(policy, 10).unwrap();
+        assert_eq!(a, b, "same seed, same deadlines");
+        assert_ne!(a, c, "different seed, different deadlines");
+        assert!(a.has_departures() && !base.has_departures());
+        for arrival in a.arrivals() {
+            let d = arrival.departs_at.unwrap();
+            assert!(
+                d >= arrival.at,
+                "departure {d} before arrival {}",
+                arrival.at
+            );
+        }
+        assert!(base
+            .with_departures(DeparturePolicy::Patience { mean: 0.0 }, 1)
+            .is_err());
+    }
+
+    #[test]
+    fn departures_round_trip_through_json() {
+        let trace = ArrivalTrace::generate(&poisson_config(15, 3))
+            .unwrap()
+            .with_departures(DeparturePolicy::Patience { mean: 1.5 }, 3)
+            .unwrap();
+        let parsed = trace_from_json(&trace_to_json(&trace)).unwrap();
+        assert_eq!(parsed, trace, "departure deadlines must round-trip exactly");
+        // Malformed departures are rejected at parse time.
+        assert!(trace_from_json(
+            r#"{ "processors": 2, "arrivals": [{ "at": 1.0, "times": [1.0], "departs_at": 0.5 }] }"#
+        )
+        .is_err());
+        assert!(trace_from_json(
+            r#"{ "processors": 2, "arrivals": [{ "at": 1.0, "times": [1.0], "departs_at": "x" }] }"#
+        )
+        .is_err());
     }
 }

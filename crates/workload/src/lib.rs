@@ -40,7 +40,8 @@ pub mod io;
 pub mod stats;
 
 pub use arrivals::{
-    trace_from_json, trace_to_json, Arrival, ArrivalPattern, ArrivalTrace, TraceConfig,
+    trace_from_json, trace_to_json, Arrival, ArrivalPattern, ArrivalTrace, DeparturePolicy,
+    TraceConfig,
 };
 pub use families::SpeedupFamily;
 pub use generator::{WorkMix, WorkloadConfig, WorkloadGenerator};

@@ -187,6 +187,15 @@ fn registry_solvers_match_their_legacy_entry_points() {
                 .unwrap(),
                 "gang" => baselines::gang_schedule(&instance),
                 "lpt" => baselines::sequential_lpt(&instance),
+                "precedence" => {
+                    let graph =
+                        precedence::TaskGraph::independent(instance.tasks().to_vec()).unwrap();
+                    let pinstance =
+                        precedence::PrecedenceInstance::new(graph, instance.processors()).unwrap();
+                    precedence::CpaScheduler::default()
+                        .schedule(&pinstance)
+                        .unwrap()
+                }
                 other => panic!("no legacy entry point mapped for solver `{other}`"),
             };
             assert_eq!(

@@ -8,17 +8,17 @@ use simulator::validate_schedule;
 use workload::{Arrival, ArrivalPattern, ArrivalTrace, TraceConfig, WorkloadConfig};
 
 fn sequential(at: f64, duration: f64) -> Arrival {
-    Arrival {
+    Arrival::new(
         at,
-        task: MalleableTask::new(SpeedupProfile::sequential(duration).unwrap()),
-    }
+        MalleableTask::new(SpeedupProfile::sequential(duration).unwrap()),
+    )
 }
 
 fn linear(at: f64, work: f64, width: usize) -> Arrival {
-    Arrival {
+    Arrival::new(
         at,
-        task: MalleableTask::new(SpeedupProfile::linear(work, width).unwrap()),
-    }
+        MalleableTask::new(SpeedupProfile::linear(work, width).unwrap()),
+    )
 }
 
 /// A hand-computable trace on 2 processors:
@@ -42,7 +42,7 @@ fn greedy_makespan_is_exact_on_the_known_trace() {
     // finish).  The sequential tasks arriving at t=1 each wait for a free
     // processor and run over [2, 3] in parallel.
     let trace = known_trace();
-    let result = online::run(&trace, &mut GreedyList).unwrap();
+    let result = online::run(&trace, &mut GreedyList::new()).unwrap();
     assert!(
         (result.makespan - 3.0).abs() < 1e-9,
         "got {}",
@@ -54,8 +54,8 @@ fn greedy_makespan_is_exact_on_the_known_trace() {
 #[test]
 fn epoch_mrt_makespan_is_exact_on_the_known_trace() {
     // Epoch 1.0: arrivals at a tick instant are queued before the tick fires
-    // (completion → arrival → tick event order), so the t=1 batch holds all
-    // three tasks.  Offline MRT packs them into the area-bound optimum of 3
+    // (arrival → completion → departure → tick event order), so the t=1
+    // batch holds all three tasks.  Offline MRT packs them into the area-bound optimum of 3
     // time units (linear task on both processors, then the two sequential
     // tasks in parallel); committed at t=1 the last completion is at 4.
     let trace = known_trace();
@@ -100,7 +100,7 @@ fn staggered_sequential_arrivals_have_exact_greedy_makespans() {
         ],
     )
     .unwrap();
-    let result = online::run(&trace, &mut GreedyList).unwrap();
+    let result = online::run(&trace, &mut GreedyList::new()).unwrap();
     assert!((result.makespan - 5.0).abs() < 1e-9);
     assert!((result.max_flow_time - 2.0).abs() < 1e-9);
 }
