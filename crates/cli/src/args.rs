@@ -130,6 +130,10 @@ pub enum Command {
         /// Revoke queued commitments at epoch boundaries and re-solve them
         /// (epoch policies only).
         preempt_queued: bool,
+        /// Truncate running commitments at epoch boundaries and re-solve
+        /// their residuals — mid-execution re-allotment (epoch policies
+        /// only; implies --preempt-queued).
+        preempt_running: bool,
         family: FamilyChoice,
         pattern: PatternChoice,
         tasks: usize,
@@ -234,13 +238,16 @@ USAGE:
                            patience with mean P: tasks not started in time depart)
   malleable-sched online   [--trace FILE] --policy <greedy|epoch-mrt|epoch-ludwig|epoch-list|batch-idle>
                            [--epoch D] [--solver NAME] [--search <exact|bisect>]
-                           [--backfill] [--preempt-queued]
+                           [--backfill] [--preempt-queued] [--preempt-running]
                            [--json] [--no-validate] [--output schedule.json]
                            (without --trace, the trace flags of `trace` generate one
                            inline; --backfill first-fits placements into idle holes
                            below the frontier; --preempt-queued makes epoch policies
                            revoke not-yet-started commitments at every epoch boundary
-                           and re-solve them with the pending set)
+                           and re-solve them with the pending set; --preempt-running
+                           additionally truncates running commitments at the boundary
+                           and re-solves their residuals — mid-execution re-allotment,
+                           work conserved under the speed-up model)
   malleable-sched schedule <instance.json> [--solver NAME]
                            [--search <exact|bisect>] [--parallel-branches]
                            [--gantt] [--output schedule.json]
@@ -409,6 +416,7 @@ impl Cli {
         let mut epoch = 1.0f64;
         let mut backfill = false;
         let mut preempt_queued = false;
+        let mut preempt_running = false;
         let mut family = FamilyChoice::Mixed;
         let mut pattern_name = "poisson".to_string();
         let mut rate = 4.0f64;
@@ -455,6 +463,7 @@ impl Cli {
                 "--epoch" => epoch = parse_number("--epoch", stream.value_for("--epoch")?)?,
                 "--backfill" => backfill = true,
                 "--preempt-queued" => preempt_queued = true,
+                "--preempt-running" => preempt_running = true,
                 "--family" => family = FamilyChoice::parse(stream.value_for("--family")?)?,
                 "--pattern" => pattern_name = stream.value_for("--pattern")?.to_string(),
                 "--rate" => rate = parse_number("--rate", stream.value_for("--rate")?)?,
@@ -492,6 +501,7 @@ impl Cli {
             epoch,
             backfill,
             preempt_queued,
+            preempt_running,
             family,
             pattern,
             tasks,
@@ -843,10 +853,11 @@ mod tests {
             Command::Online {
                 backfill,
                 preempt_queued,
+                preempt_running,
                 departure_patience,
                 ..
             } => {
-                assert!(!backfill && !preempt_queued);
+                assert!(!backfill && !preempt_queued && !preempt_running);
                 assert!(departure_patience.is_none());
             }
             other => panic!("unexpected {other:?}"),
@@ -857,6 +868,7 @@ mod tests {
             "epoch-mrt",
             "--backfill",
             "--preempt-queued",
+            "--preempt-running",
             "--departure-patience",
             "3",
         ]))
@@ -866,10 +878,11 @@ mod tests {
             Command::Online {
                 backfill,
                 preempt_queued,
+                preempt_running,
                 departure_patience,
                 ..
             } => {
-                assert!(backfill && preempt_queued);
+                assert!(backfill && preempt_queued && preempt_running);
                 assert_eq!(departure_patience, Some(3.0));
             }
             other => panic!("unexpected {other:?}"),

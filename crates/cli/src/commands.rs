@@ -122,6 +122,7 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             epoch,
             backfill,
             preempt_queued,
+            preempt_running,
             family,
             pattern,
             tasks,
@@ -139,6 +140,7 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             epoch: *epoch,
             backfill: *backfill,
             preempt_queued: *preempt_queued,
+            preempt_running: *preempt_running,
             family: *family,
             pattern: *pattern,
             tasks: *tasks,
@@ -234,6 +236,7 @@ struct OnlineArgs<'a> {
     epoch: f64,
     backfill: bool,
     preempt_queued: bool,
+    preempt_running: bool,
     family: FamilyChoice,
     pattern: PatternChoice,
     tasks: usize,
@@ -265,6 +268,7 @@ fn run_online(args: OnlineArgs) -> Result<String, CliError> {
     let options = PolicyOptions {
         backfill: args.backfill,
         preempt_queued: args.preempt_queued,
+        preempt_running: args.preempt_running,
     };
     let mut policy: Box<dyn OnlinePolicy> = match args.policy {
         PolicyChoice::Greedy => PolicyKind::Greedy
@@ -277,7 +281,8 @@ fn run_online(args: OnlineArgs) -> Result<String, CliError> {
                 .map_err(|e| CliError::Invalid(e.to_string()))?
                 .with_search(search_mode(args.search))
                 .with_backfill(args.backfill)
-                .with_preempt_queued(args.preempt_queued),
+                .with_preempt_queued(args.preempt_queued)
+                .with_preempt_running(args.preempt_running),
         ),
         PolicyChoice::Batch => PolicyKind::Batch { solver }
             .build_with(options)
@@ -327,6 +332,7 @@ fn run_online(args: OnlineArgs) -> Result<String, CliError> {
             "events": result.events,
             "departed": result.departed,
             "preempted": result.preempted,
+            "reallotted": result.reallotted,
             "validated": validation.is_some(),
             "schedule_file": args.output,
         });
@@ -334,8 +340,13 @@ fn run_online(args: OnlineArgs) -> Result<String, CliError> {
         text.push('\n');
         text
     } else {
+        // Ratios are absent when every task departed before starting.
+        let ratio = |r: Option<f64>| match r {
+            Some(r) => format!("{r:.4}"),
+            None => "n/a (all tasks departed)".to_string(),
+        };
         format!(
-            "policy           : {}\ntrace            : {} tasks on {} processors (last arrival {:.4})\nonline makespan  : {:.4}\noffline mrt      : {:.4}\ncertified LB     : {:.4}\nratio vs offline : {:.4}\nratio vs LB      : {:.4}\nmean flow time   : {:.4}\nmax flow time    : {:.4}\nutilisation      : {:.1}%\nreplans          : {}\nevents           : {}\ndeparted         : {}\npreempted        : {}\nvalidation       : {}\n",
+            "policy           : {}\ntrace            : {} tasks on {} processors (last arrival {:.4})\nonline makespan  : {:.4}\noffline mrt      : {:.4}\ncertified LB     : {:.4}\nratio vs offline : {}\nratio vs LB      : {}\nmean flow time   : {:.4}\nmax flow time    : {:.4}\nutilisation      : {:.1}%\nreplans          : {}\nevents           : {}\ndeparted         : {}\npreempted        : {}\nreallotted       : {}\nvalidation       : {}\n",
             result.policy,
             trace.len(),
             trace.processors(),
@@ -343,8 +354,8 @@ fn run_online(args: OnlineArgs) -> Result<String, CliError> {
             report.online_makespan,
             report.offline_makespan,
             report.certified_lower_bound,
-            report.ratio_vs_offline,
-            report.ratio_vs_lower_bound,
+            ratio(report.ratio_vs_offline),
+            ratio(report.ratio_vs_lower_bound),
             result.mean_flow_time,
             result.max_flow_time,
             100.0 * result.utilization(),
@@ -352,6 +363,7 @@ fn run_online(args: OnlineArgs) -> Result<String, CliError> {
             result.events,
             result.departed,
             result.preempted,
+            result.reallotted,
             if validation.is_some() { "OK" } else { "skipped" },
         )
     };
@@ -760,6 +772,8 @@ mod tests {
             vec!["--backfill"],
             vec!["--preempt-queued"],
             vec!["--backfill", "--preempt-queued"],
+            vec!["--preempt-running"],
+            vec!["--backfill", "--preempt-running"],
         ] {
             let mut argv = vec![
                 "online",

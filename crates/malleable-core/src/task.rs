@@ -185,6 +185,23 @@ impl SpeedupProfile {
         &self.times
     }
 
+    /// Return a copy of the profile with every execution time multiplied by
+    /// `factor` (finite and positive).
+    ///
+    /// Scaling by a constant preserves both monotonicity conditions, which is
+    /// what makes the *residual-task* model of mid-execution re-allotment
+    /// sound: a task that has `factor` of its work left behaves exactly like
+    /// a fresh task whose profile is the original scaled by `factor`.
+    pub fn scaled(&self, factor: f64) -> Result<Self> {
+        if !(factor.is_finite() && factor > 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "scale",
+                value: factor,
+            });
+        }
+        Self::new(self.times.iter().map(|t| t * factor).collect())
+    }
+
     /// Return a copy of the profile truncated to at most `max_processors`
     /// entries (used when an instance has fewer processors than the profile).
     pub fn truncated(&self, max_processors: usize) -> Self {
@@ -331,6 +348,18 @@ mod tests {
     }
 
     #[test]
+    fn scaled_profile_multiplies_every_time() {
+        let p = SpeedupProfile::new(vec![4.0, 2.5, 2.0, 1.8]).unwrap();
+        let half = p.scaled(0.5).unwrap();
+        assert_eq!(half.time(1), 2.0);
+        assert_eq!(half.time(3), 1.0);
+        assert!(SpeedupProfile::new(half.times().to_vec()).is_ok());
+        assert!(p.scaled(0.0).is_err());
+        assert!(p.scaled(-1.0).is_err());
+        assert!(p.scaled(f64::NAN).is_err());
+    }
+
+    #[test]
     fn truncated_profile_keeps_prefix() {
         let p = SpeedupProfile::new(vec![4.0, 2.5, 2.0, 1.8]).unwrap();
         let t = p.truncated(2);
@@ -406,6 +435,22 @@ mod tests {
                 if q > 1 {
                     prop_assert!(p.time(q - 1) > d - 1e-9);
                 }
+            }
+        }
+
+        /// Scaling a valid profile by any positive factor yields a profile
+        /// the validating constructor accepts (the residual-task soundness
+        /// condition).
+        #[test]
+        fn scaling_preserves_validity(
+            times in prop::collection::vec(0.01f64..100.0, 1..32),
+            factor in 1e-6f64..1.0,
+        ) {
+            let p = SpeedupProfile::repair(times);
+            let scaled = p.scaled(factor).expect("positive factor scales");
+            prop_assert!(SpeedupProfile::new(scaled.times().to_vec()).is_ok());
+            for q in 1..=p.max_processors() {
+                prop_assert!((scaled.time(q) - factor * p.time(q)).abs() <= 1e-12);
             }
         }
 

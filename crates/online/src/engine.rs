@@ -8,22 +8,38 @@
 //! the event loop always terminates).
 //!
 //! Commitments are backed by revocable reservations, which is what powers
-//! the two dynamic behaviours of the engine:
+//! the three dynamic behaviours of the engine:
 //!
 //! * **departures** — a task whose [`workload::Arrival::departs_at`] deadline
 //!   fires before it started leaves the system; if it was already committed
-//!   (but still queued) its reservation is revoked and the space freed.
-//! * **preemptive re-allotment** — when the policy opts in
-//!   ([`OnlinePolicy::preempt_queued`]), every epoch tick first revokes all
-//!   queued commitments and hands their tasks back to the policy together
-//!   with the new arrivals, so the whole backlog is re-solved as one
-//!   instance.  Started tasks always run to completion.
+//!   (but still queued) its reservation is revoked and the space freed.  A
+//!   task completing *exactly* at its deadline counts as completed, never
+//!   departed (completions order before departures at equal timestamps), and
+//!   a task that executed any work is immune to its deadline.
+//! * **preemptive re-allotment of queued commitments** — when the policy
+//!   opts in ([`OnlinePolicy::preempt_queued`]), every epoch tick first
+//!   revokes all queued commitments and hands their tasks back to the policy
+//!   together with the new arrivals, so the whole backlog is re-solved as
+//!   one instance.
+//! * **mid-execution re-allotment of running tasks** — when the policy opts
+//!   in ([`OnlinePolicy::preempt_running`]), an epoch tick with fresh work
+//!   additionally *truncates* every running commitment at the clock: the
+//!   executed segment stays on the books, the unexecuted tail is revoked,
+//!   and the task re-enters the pending set as a **residual task** — its
+//!   profile scaled by the remaining work fraction
+//!   ([`workload::residual`]) — so the policy re-solves running and pending
+//!   work jointly and may shrink, widen or move the tail.  Work executed at
+//!   the old allotment is conserved by construction.
 //!
 //! The output is a single [`Schedule`] over the executed tasks on the global
-//! timeline — directly checkable by `simulator::validate` against the
-//! trace's offline instance (via `validate_schedule_subset` when tasks
-//! departed), plus the release-date and departure conditions specific to the
-//! online setting ([`validate_against_trace`]).
+//! timeline.  Without running re-allotment every task is one contiguous
+//! placement, checkable by `simulator::validate` against the trace's offline
+//! instance (via `validate_schedule_subset` when tasks departed).  With it,
+//! a task may appear as several piecewise-constant allotment segments;
+//! `simulator::validate_piecewise_subset` checks per-segment feasibility and
+//! per-task work conservation, and [`validate_against_trace`] accepts both
+//! shapes plus the release-date and departure conditions specific to the
+//! online setting.
 
 use crate::event::{EventKind, EventQueue};
 use crate::machine::MachineState;
@@ -53,6 +69,9 @@ pub struct OnlineResult {
     pub departed: usize,
     /// Number of queued commitments revoked by preemptive re-planning.
     pub preempted: usize,
+    /// Number of running commitments truncated for mid-execution
+    /// re-allotment (each adds one executed segment to the schedule).
+    pub reallotted: usize,
 }
 
 impl OnlineResult {
@@ -97,17 +116,70 @@ pub fn queued_reallotment_scenario() -> ArrivalTrace {
     .expect("valid scenario trace")
 }
 
+/// The shipped **running-reallotment scenario**: a malleable task is planned
+/// alone and allotted the whole two-processor machine; a long sequential
+/// task then arrives while it runs.  A mid-execution re-allotter
+/// ([`crate::policy::EpochReplan::with_preempt_running`]) truncates the
+/// running task at the next tick, re-solves its residual jointly with the
+/// newcomer, *narrows* the malleable task to one processor and runs the
+/// sequential task beside it (makespan ≈ 8.22 vs 11.5 when started tasks
+/// are frozen — queued-only preemption cannot help because nothing is
+/// queued).
+///
+/// Shared by the engine's hand-computed unit test and the `online_report`
+/// benchmark gate so the two can never drift apart.
+pub fn running_reallotment_scenario() -> ArrivalTrace {
+    use workload::Arrival;
+    ArrivalTrace::new(
+        2,
+        vec![
+            Arrival::new(
+                0.1,
+                MalleableTask::new(SpeedupProfile::new(vec![8.0, 4.5]).expect("valid profile")),
+            ),
+            Arrival::new(
+                1.5,
+                MalleableTask::new(SpeedupProfile::sequential(6.0).expect("valid profile")),
+            ),
+        ],
+    )
+    .expect("valid scenario trace")
+}
+
 /// Per-task lifecycle state tracked by the engine.
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum TaskState {
-    /// Not yet arrived, or waiting in the pending queue.
+    /// Not yet arrived, or waiting in the pending queue — possibly as a
+    /// *residual* with executed segments already behind it, after a running
+    /// preemption.
     Waiting,
-    /// Committed into the machine (queued or running).
+    /// Committed into the machine, not yet observed running.
     Committed(Commitment),
+    /// Observed running: the current segment's start has passed.  Running
+    /// tasks complete normally; under
+    /// [`OnlinePolicy::preempt_running`] they may instead be truncated at a
+    /// tick and re-planned as residuals.
+    Running(RunningTask),
     /// Finished executing.
-    Done(Commitment),
-    /// Left the system without starting.
+    Done {
+        /// Completion time of the final segment.
+        finished_at: f64,
+    },
+    /// Left the system without executing any work.
     Departed,
+}
+
+/// The in-flight segment of a running task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct RunningTask {
+    /// The commitment backing the segment.
+    commitment: Commitment,
+    /// When the segment started executing (= its commitment's start).
+    started_at: f64,
+    /// Fraction of the whole task still unexecuted when the segment started
+    /// (1.0 unless earlier segments were preempted); the segment's
+    /// remaining-work bookkeeping anchor.
+    remaining_at_start: f64,
 }
 
 /// Run a policy over a trace.
@@ -129,10 +201,18 @@ pub fn run(trace: &ArrivalTrace, policy: &mut dyn OnlinePolicy) -> Result<Online
 
     let mut pending: Vec<PendingTask> = Vec::new();
     let mut states: Vec<TaskState> = vec![TaskState::Waiting; n];
+    // Fraction of each task still unexecuted (1.0 until its first segment
+    // closes, 0.0 once completed) — the residual-task bookkeeping.
+    let mut remaining: Vec<f64> = vec![1.0; n];
+    // Closed (executed) segments per task; the final schedule is their
+    // concatenation.  One entry per task unless running re-allotment split
+    // its execution into several piecewise-constant allotments.
+    let mut segments: Vec<Vec<ScheduledTask>> = vec![Vec::new(); n];
     let mut events = 0usize;
     let mut replans = 0usize;
     let mut departed = 0usize;
     let mut preempted = 0usize;
+    let mut reallotted = 0usize;
     let mut tick_scheduled = false;
 
     while let Some(event) = queue.pop() {
@@ -143,22 +223,44 @@ pub fn run(trace: &ArrivalTrace, policy: &mut dyn OnlinePolicy) -> Result<Online
                 pending.push(PendingTask {
                     id: index,
                     arrived_at: event.time,
+                    remaining: 1.0,
                 });
                 Some(Trigger::Arrival)
             }
-            EventKind::Completion(task) => match states[task] {
+            EventKind::Completion(task) => {
                 // A completion is only real when it matches the task's
                 // *current* commitment: events of revoked commitments stay in
                 // the heap and are skipped here.
-                TaskState::Committed(c) if (c.start + c.duration - event.time).abs() <= 1e-6 => {
-                    states[task] = TaskState::Done(c);
-                    machine.complete_one();
-                    Some(Trigger::Completion)
+                let current = match states[task] {
+                    TaskState::Committed(c) => Some(c),
+                    TaskState::Running(r) => Some(r.commitment),
+                    _ => None,
+                };
+                match current {
+                    Some(c) if (c.start + c.duration - event.time).abs() <= 1e-6 => {
+                        segments[task].push(ScheduledTask {
+                            task,
+                            start: c.start,
+                            duration: c.duration,
+                            processors: ProcessorRange::new(c.first, c.count),
+                        });
+                        remaining[task] = 0.0;
+                        states[task] = TaskState::Done {
+                            finished_at: c.start + c.duration,
+                        };
+                        machine.complete_one();
+                        Some(Trigger::Completion)
+                    }
+                    _ => None,
                 }
-                _ => None,
-            },
+            }
             EventKind::Departure(index) => match states[index] {
-                TaskState::Waiting => {
+                // A task that executed any work is immune to its deadline:
+                // work is conserved, so tearing it down would strand
+                // executed segments.  (A completion at exactly `departs_at`
+                // popped before this event — completions order before
+                // departures — so the task is already `Done` here.)
+                TaskState::Waiting if segments[index].is_empty() => {
                     // Still queued (or never planned): the task leaves.
                     if let Some(pos) = pending.iter().position(|p| p.id == index) {
                         pending.remove(pos);
@@ -171,14 +273,19 @@ pub fn run(trace: &ArrivalTrace, policy: &mut dyn OnlinePolicy) -> Result<Online
                         None
                     }
                 }
-                TaskState::Committed(c) if c.start > event.time + 1e-9 => {
+                TaskState::Committed(c)
+                    if segments[index].is_empty() && c.start > event.time + 1e-9 =>
+                {
                     // Committed but not started: revoke the reservation.
-                    machine.revoke(c.reservation);
+                    machine
+                        .revoke(c.reservation)
+                        .expect("queued commitments are revocable");
                     states[index] = TaskState::Departed;
                     departed += 1;
                     Some(Trigger::Departure)
                 }
-                // Running, finished or already departed: nothing to do.
+                // Running, finished, already departed, or a residual that
+                // already executed work: nothing to do.
                 _ => None,
             },
             EventKind::EpochTick => {
@@ -188,20 +295,100 @@ pub fn run(trace: &ArrivalTrace, policy: &mut dyn OnlinePolicy) -> Result<Online
         };
 
         if let Some(trigger) = trigger {
-            // Preemptive re-allotment: pull every queued (not yet started)
-            // commitment back into the pending set before planning, so the
-            // policy re-solves the whole backlog as one instance.
-            if trigger == Trigger::EpochTick && policy.preempt_queued() {
+            if trigger == Trigger::EpochTick {
+                let now = machine.now();
+                // Promote commitments whose start has passed into the
+                // `Running` lifecycle state, capturing the remaining-work
+                // anchor of the in-flight segment.
                 for (task, state) in states.iter_mut().enumerate() {
                     if let TaskState::Committed(c) = *state {
-                        if c.start > machine.now() + 1e-9 {
-                            machine.revoke(c.reservation);
+                        if c.start <= now + 1e-9 {
+                            *state = TaskState::Running(RunningTask {
+                                commitment: c,
+                                started_at: c.start,
+                                remaining_at_start: remaining[task],
+                            });
+                        }
+                    }
+                }
+                // Preemptive re-allotment of queued commitments: pull every
+                // not-yet-started commitment back into the pending set
+                // before planning, so the policy re-solves the whole
+                // backlog as one instance.  Running re-allotment subsumes
+                // this — a frozen queued placement would defeat the joint
+                // re-solve.
+                if policy.preempt_queued() || policy.preempt_running() {
+                    for (task, state) in states.iter_mut().enumerate() {
+                        if let TaskState::Committed(c) = *state {
+                            machine
+                                .revoke(c.reservation)
+                                .expect("queued commitments are revocable");
                             *state = TaskState::Waiting;
                             pending.push(PendingTask {
                                 id: task,
                                 arrived_at: trace.arrivals()[task].at,
+                                remaining: remaining[task],
                             });
                             preempted += 1;
+                        }
+                    }
+                }
+                // Mid-execution re-allotment: truncate every running
+                // commitment at the clock — the executed head becomes a
+                // closed segment, the tail is freed — and hand the task
+                // back as a residual (profile scaled by the remaining
+                // fraction).  Only worthwhile when there is fresh or
+                // re-queued work to co-schedule: with an empty pending set
+                // the re-solve could only replay the same tails.
+                if policy.preempt_running() && !pending.is_empty() {
+                    for (task, state) in states.iter_mut().enumerate() {
+                        if let TaskState::Running(r) = *state {
+                            let c = r.commitment;
+                            if c.start + c.duration <= now + 1e-6 {
+                                // About to finish (its completion event is
+                                // due this instant): let it.
+                                continue;
+                            }
+                            let elapsed = now - r.started_at;
+                            let truncated = elapsed > 1e-9;
+                            if !truncated {
+                                // Started exactly now — nothing executed
+                                // yet, a plain revocation.
+                                machine
+                                    .revoke(c.reservation)
+                                    .expect("zero-elapsed commitments are revocable");
+                            } else {
+                                let freed = machine
+                                    .truncate_at(c.reservation, now)
+                                    .expect("running commitments are truncatable at the clock");
+                                // The about-to-finish guard above ensures the
+                                // cut lands strictly inside the reservation.
+                                assert!(freed, "truncation at the clock freed no tail");
+                                segments[task].push(ScheduledTask {
+                                    task,
+                                    start: c.start,
+                                    duration: elapsed,
+                                    processors: ProcessorRange::new(c.first, c.count),
+                                });
+                                remaining[task] = (r.remaining_at_start
+                                    - workload::executed_fraction(
+                                        &instance.task(task).profile,
+                                        c.count,
+                                        elapsed,
+                                    ))
+                                .max(1e-12);
+                            }
+                            *state = TaskState::Waiting;
+                            pending.push(PendingTask {
+                                id: task,
+                                arrived_at: trace.arrivals()[task].at,
+                                remaining: remaining[task],
+                            });
+                            if truncated {
+                                reallotted += 1;
+                            } else {
+                                preempted += 1;
+                            }
                         }
                     }
                 }
@@ -254,8 +441,8 @@ pub fn run(trace: &ArrivalTrace, policy: &mut dyn OnlinePolicy) -> Result<Online
     let mut flow_max = 0.0f64;
     let mut executed = 0usize;
     for (task, state) in states.iter().enumerate() {
-        let c = match state {
-            TaskState::Done(c) => c,
+        let finished_at = match state {
+            TaskState::Done { finished_at } => *finished_at,
             TaskState::Departed => continue,
             // A policy that commits only part of the pending set it was
             // handed (the `plan` contract requires all of it) leaves tasks
@@ -265,13 +452,12 @@ pub fn run(trace: &ArrivalTrace, policy: &mut dyn OnlinePolicy) -> Result<Online
             // ends once the heap drained.
             other => unreachable!("task {task} ended the run as {other:?}"),
         };
-        schedule.push(ScheduledTask {
-            task,
-            start: c.start,
-            duration: c.duration,
-            processors: ProcessorRange::new(c.first, c.count),
-        });
-        let flow = c.start + c.duration - trace.arrivals()[task].at;
+        // The task's executed segments, in chronological order (one unless
+        // running re-allotment split it).
+        for segment in &segments[task] {
+            schedule.push(*segment);
+        }
+        let flow = finished_at - trace.arrivals()[task].at;
         flow_sum += flow;
         flow_max = flow_max.max(flow);
         executed += 1;
@@ -286,16 +472,25 @@ pub fn run(trace: &ArrivalTrace, policy: &mut dyn OnlinePolicy) -> Result<Online
         replans,
         departed,
         preempted,
+        reallotted,
         schedule,
     })
 }
 
 /// Validate an online schedule against its trace: the structural checks of
 /// `simulator::validate` on the offline instance, plus the conditions
-/// specific to the online setting — no task may start before it arrived or
-/// after its departure deadline, and only tasks with a departure deadline
-/// may be absent from the schedule.  Returns human-readable violation
-/// messages (empty = valid).
+/// specific to the online setting — no task may *first* start before it
+/// arrived or after its departure deadline, and only tasks with a departure
+/// deadline may be absent from the schedule.  Returns human-readable
+/// violation messages (empty = valid).
+///
+/// A task may appear as several **piecewise-constant allotment segments**
+/// (the output of mid-execution re-allotment): its segments must be
+/// chronologically disjoint and their executed fractions — segment duration
+/// over the profile time at the segment's allotment — must sum to one
+/// (work conservation under the speed-up model, tolerance `1e-6`).  For a
+/// single-segment task that degenerates to the classical "duration matches
+/// the profile" check.
 ///
 /// Unlike the simulator's all-pairs overlap check this runs in
 /// `O(n·m + n·m·log n)` (a per-processor interval sweep), so it stays usable
@@ -319,7 +514,8 @@ pub fn validate_against_trace(trace: &ArrivalTrace, schedule: &Schedule) -> Vec<
         ));
     }
     let n = instance.task_count();
-    let mut seen = vec![0usize; n];
+    // Per-task segment lists for the piecewise checks.
+    let mut segments: Vec<Vec<(f64, f64, usize)>> = vec![Vec::new(); n];
     // (start, finish, task) intervals per processor for the overlap sweep.
     let mut per_processor: Vec<Vec<(f64, f64, usize)>> = vec![Vec::new(); m];
 
@@ -328,7 +524,6 @@ pub fn validate_against_trace(trace: &ArrivalTrace, schedule: &Schedule) -> Vec<
             messages.push(format!("task {} does not exist", entry.task));
             continue;
         }
-        seen[entry.task] += 1;
         if entry.processors.end() > m {
             messages.push(format!(
                 "task {} uses processors [{}, {}) beyond the machine",
@@ -344,41 +539,70 @@ pub fn validate_against_trace(trace: &ArrivalTrace, schedule: &Schedule) -> Vec<
                 entry.task, entry.start
             ));
         }
-        let expected = instance.time(entry.task, entry.processors.count);
-        if (expected - entry.duration).abs() > 1e-6 {
+        if !(entry.duration.is_finite() && entry.duration > 1e-12) {
             messages.push(format!(
-                "task {} records duration {} but its profile gives {expected}",
+                "task {} has a degenerate segment duration {}",
                 entry.task, entry.duration
             ));
+            // A degenerate duration would poison the per-task conservation
+            // sum (NaN compares false against every threshold) and the
+            // overlap sweep, so the segment is excluded from both.
+            continue;
         }
-        if entry.start < trace.arrivals()[entry.task].at - 1e-9 {
-            messages.push(format!(
-                "task {} starts at {} before its arrival at {}",
-                entry.task,
-                entry.start,
-                trace.arrivals()[entry.task].at
-            ));
-        }
-        if let Some(departs_at) = trace.arrivals()[entry.task].departs_at {
-            if entry.start > departs_at + 1e-9 {
-                messages.push(format!(
-                    "task {} starts at {} after its departure at {departs_at}",
-                    entry.task, entry.start
-                ));
-            }
-        }
+        segments[entry.task].push((entry.start, entry.duration, entry.processors.count));
         for intervals in &mut per_processor[entry.processors.first..entry.processors.end()] {
             intervals.push((entry.start, entry.finish(), entry.task));
         }
     }
 
-    for (task, &count) in seen.iter().enumerate() {
-        if count == 0 && trace.arrivals()[task].departs_at.is_none() {
-            // Only tasks with a departure deadline may legitimately be
-            // dropped by the engine.
-            messages.push(format!("task {task} is not scheduled"));
-        } else if count > 1 {
-            messages.push(format!("task {task} is scheduled {count} times"));
+    for (task, segs) in segments.iter_mut().enumerate() {
+        if segs.is_empty() {
+            if trace.arrivals()[task].departs_at.is_none() {
+                // Only tasks with a departure deadline may legitimately be
+                // dropped by the engine.
+                messages.push(format!("task {task} is not scheduled"));
+            }
+            continue;
+        }
+        segs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        // The *first* segment is bound by arrival and departure; later
+        // segments are re-allotted continuations of already-started work.
+        let first_start = segs[0].0;
+        if first_start < trace.arrivals()[task].at - 1e-9 {
+            messages.push(format!(
+                "task {task} starts at {first_start} before its arrival at {}",
+                trace.arrivals()[task].at
+            ));
+        }
+        if let Some(departs_at) = trace.arrivals()[task].departs_at {
+            if first_start > departs_at + 1e-9 {
+                messages.push(format!(
+                    "task {task} starts at {first_start} after its departure at {departs_at}"
+                ));
+            }
+        }
+        // A task runs at one allotment at a time: segments must be
+        // chronologically disjoint.
+        for pair in segs.windows(2) {
+            let (prev_start, prev_duration, _) = pair[0];
+            let (next_start, _, _) = pair[1];
+            if next_start < prev_start + prev_duration - 1e-9 {
+                messages.push(format!(
+                    "task {task} runs two segments concurrently (at {next_start})"
+                ));
+            }
+        }
+        // Work conservation under the speed-up model: the executed
+        // fractions of the segments sum to the whole task.
+        let executed: f64 = segs
+            .iter()
+            .map(|&(_, duration, count)| duration / instance.time(task, count))
+            .sum();
+        if (executed - 1.0).abs() > 1e-6 {
+            messages.push(format!(
+                "task {task} executes fraction {executed} of its work across {} segment(s)",
+                segs.len()
+            ));
         }
     }
 
@@ -413,44 +637,52 @@ pub struct CompetitiveReport {
     /// Arrival time of the last task (no online schedule can beat it plus
     /// the task's best execution time).
     pub last_arrival: f64,
-    /// `online_makespan / offline_makespan`.
-    pub ratio_vs_offline: f64,
-    /// `online_makespan / certified_lower_bound`.
-    pub ratio_vs_lower_bound: f64,
+    /// `online_makespan / offline_makespan`, or `None` when every task
+    /// departed before starting — an empty executed subset has no offline
+    /// baseline, so there is no ratio to report (serialised as `null`, and
+    /// excluded from benchmark gates).
+    pub ratio_vs_offline: Option<f64>,
+    /// `online_makespan / certified_lower_bound`, or `None` when the
+    /// executed subset is empty (see
+    /// [`CompetitiveReport::ratio_vs_offline`]).
+    pub ratio_vs_lower_bound: Option<f64>,
 }
 
 /// Compare an online result against the offline MRT run on the same tasks.
 ///
 /// When tasks departed during the run, the clairvoyant baseline is the
 /// offline solve of the *executed* task set (the departed tasks consumed no
-/// machine time online either), so the ratio compares like with like.
+/// machine time online either), so the ratio compares like with like.  When
+/// *every* task departed the executed subset is empty: dividing by its
+/// offline makespan would produce `NaN`, so both ratios are `None` instead
+/// and callers (JSON reports, CI gates) skip the scenario.
 pub fn competitive_report(
     trace: &ArrivalTrace,
     result: &OnlineResult,
 ) -> Result<CompetitiveReport> {
     if result.schedule.is_empty() {
-        // Every task departed before starting: there is nothing to compare,
-        // so the report degenerates to the identity (ratio 1) instead of
-        // failing on an empty offline instance.
         return Ok(CompetitiveReport {
             online_makespan: 0.0,
             offline_makespan: 0.0,
             certified_lower_bound: 0.0,
             last_arrival: trace.last_arrival(),
-            ratio_vs_offline: 1.0,
-            ratio_vs_lower_bound: 1.0,
+            ratio_vs_offline: None,
+            ratio_vs_lower_bound: None,
         });
     }
-    let instance = if result.schedule.len() == trace.len() {
+    // The executed task set: piecewise re-allotted tasks appear once per
+    // segment in the schedule, so deduplicate by task id.
+    let mut executed: Vec<usize> = result.schedule.entries().iter().map(|e| e.task).collect();
+    executed.sort_unstable();
+    executed.dedup();
+    let instance = if executed.len() == trace.len() {
         trace.instance()?
     } else {
         // Sub-instance of the executed tasks.  The comparison needs only the
         // makespan and the certified bound, so the re-indexing is harmless.
-        let tasks: Vec<MalleableTask> = result
-            .schedule
-            .entries()
+        let tasks: Vec<MalleableTask> = executed
             .iter()
-            .map(|e| trace.arrivals()[e.task].task.clone())
+            .map(|&task| trace.arrivals()[task].task.clone())
             .collect();
         Instance::new(tasks, trace.processors())?
     };
@@ -462,8 +694,8 @@ pub fn competitive_report(
         offline_makespan,
         certified_lower_bound: lb,
         last_arrival: trace.last_arrival(),
-        ratio_vs_offline: result.makespan / offline_makespan,
-        ratio_vs_lower_bound: result.makespan / lb,
+        ratio_vs_offline: Some(result.makespan / offline_makespan),
+        ratio_vs_lower_bound: Some(result.makespan / lb),
     })
 }
 
@@ -587,8 +819,8 @@ mod tests {
         let mut policy = EpochReplan::mrt(1.0).unwrap();
         let result = run(&trace, &mut policy).unwrap();
         let report = competitive_report(&trace, &result).unwrap();
-        assert!(report.ratio_vs_lower_bound >= 1.0 - 1e-9);
-        assert!(report.ratio_vs_offline.is_finite());
+        assert!(report.ratio_vs_lower_bound.unwrap() >= 1.0 - 1e-9);
+        assert!(report.ratio_vs_offline.unwrap().is_finite());
         assert!(report.online_makespan >= report.certified_lower_bound - 1e-9);
         assert!(report.last_arrival > 0.0);
     }
@@ -746,6 +978,178 @@ mod tests {
     }
 
     #[test]
+    fn running_reallotment_narrows_the_running_task() {
+        // The shipped scenario (see [`running_reallotment_scenario`]): the
+        // malleable A ([8, 4.5]) is planned alone at tick 1 and takes the
+        // whole machine ([1, 5.5) at 2 processors).  The sequential B (6.0)
+        // arrives at 1.5; with running tasks frozen it must queue behind A
+        // (makespan 11.5).  The mid-execution re-allotter truncates A at
+        // tick 2 (elapsed 1.0 of 4.5 → remaining 7/9), re-solves
+        // {A' = [8, 4.5]·7/9, B} and runs them side by side at one
+        // processor each: A' finishes at 2 + 8·7/9 ≈ 8.22.
+        let trace = running_reallotment_scenario();
+        let run_with = |running: bool| {
+            let mut policy = EpochReplan::mrt(1.0)
+                .unwrap()
+                .with_preempt_queued(true)
+                .with_preempt_running(running);
+            run(&trace, &mut policy).unwrap()
+        };
+        let frozen = run_with(false);
+        let reallotted = run_with(true);
+        assert_eq!(frozen.reallotted, 0);
+        assert!((frozen.makespan - 11.5).abs() < 1e-9, "{}", frozen.makespan);
+        assert!(reallotted.reallotted >= 1, "no running task was truncated");
+        let expected = 2.0 + 8.0 * (7.0 / 9.0);
+        assert!(
+            (reallotted.makespan - expected).abs() < 1e-6,
+            "re-allotment makespan {} (expected {expected})",
+            reallotted.makespan
+        );
+        // Task A appears as two piecewise segments: [1, 2) at 2 processors
+        // and [2, 8.22) at 1 processor; work is conserved.
+        let a_segments: Vec<_> = reallotted
+            .schedule
+            .entries()
+            .iter()
+            .filter(|e| e.task == 0)
+            .collect();
+        assert_eq!(a_segments.len(), 2);
+        assert_eq!(a_segments[0].processors.count, 2);
+        assert_eq!(a_segments[1].processors.count, 1);
+        for result in [&frozen, &reallotted] {
+            assert!(
+                validate_against_trace(&trace, &result.schedule).is_empty(),
+                "{:?}",
+                validate_against_trace(&trace, &result.schedule)
+            );
+            let report = simulator::validate_piecewise_subset(
+                &trace.instance().unwrap(),
+                &result.schedule,
+                None,
+            );
+            assert!(report.is_valid(), "{:?}", report.violations);
+        }
+    }
+
+    #[test]
+    fn reallotment_skips_ticks_without_fresh_work() {
+        // A single task, nothing else ever arrives: ticks with an empty
+        // pending set must leave the running task alone (re-solving it in
+        // isolation could only replay the same tail).
+        let trace = sequential_trace(&[(0.3, 4.0)], 1);
+        let mut policy = EpochReplan::mrt(1.0)
+            .unwrap()
+            .with_preempt_queued(true)
+            .with_preempt_running(true);
+        let result = run(&trace, &mut policy).unwrap();
+        assert_eq!(result.reallotted, 0);
+        assert_eq!(result.schedule.len(), 1);
+        assert!((result.makespan - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn completion_exactly_at_departure_counts_as_completed() {
+        // Satellite bugfix pin: a task completing at t == departs_at is
+        // completed, never departed — completions order before departures
+        // at equal timestamps, exactly.
+        let trace = ArrivalTrace::new(
+            1,
+            vec![Arrival::new(
+                0.0,
+                MalleableTask::new(SpeedupProfile::sequential(2.0).unwrap()),
+            )
+            .departing_at(2.0)],
+        )
+        .unwrap();
+        let result = run(&trace, &mut GreedyList::new()).unwrap();
+        assert_eq!(result.departed, 0, "the exact tie must complete");
+        assert_eq!(result.schedule.len(), 1);
+        assert!((result.makespan - 2.0).abs() < 1e-9);
+        assert!(validate_against_trace(&trace, &result.schedule).is_empty());
+
+        // Same tie through an epoch policy, where the deadline coincides
+        // with an epoch tick as well: planned at t=1, runs [1, 2), departs
+        // at 2 — completion still wins the tie (tick order is last).
+        let trace = ArrivalTrace::new(
+            1,
+            vec![Arrival::new(
+                0.5,
+                MalleableTask::new(SpeedupProfile::sequential(1.0).unwrap()),
+            )
+            .departing_at(2.0)],
+        )
+        .unwrap();
+        let mut policy = EpochReplan::mrt(1.0).unwrap();
+        let result = run(&trace, &mut policy).unwrap();
+        assert_eq!(result.departed, 0);
+        assert_eq!(result.schedule.len(), 1);
+        assert!((result.makespan - 2.0).abs() < 1e-9);
+
+        // And the contrasting case: starting exactly at the deadline is
+        // allowed (only strictly-later starts are revoked), so the task
+        // runs rather than departing.
+        let trace = ArrivalTrace::new(
+            1,
+            vec![
+                Arrival::new(
+                    0.0,
+                    MalleableTask::new(SpeedupProfile::sequential(2.0).unwrap()),
+                ),
+                Arrival::new(
+                    0.0,
+                    MalleableTask::new(SpeedupProfile::sequential(1.0).unwrap()),
+                )
+                .departing_at(2.0),
+            ],
+        )
+        .unwrap();
+        let result = run(&trace, &mut GreedyList::new()).unwrap();
+        assert_eq!(result.departed, 0, "a start at t == departs_at counts");
+        assert_eq!(result.schedule.len(), 2);
+        assert!((result.makespan - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn preempted_residuals_are_immune_to_departure() {
+        // A task with a deadline *starts*, is then preempted back into the
+        // pending set as a residual, and its departure fires while it waits:
+        // started work is conserved, so the task must not depart.  Machine
+        // with 1 processor: A starts at tick 1; B (tiny) arrives at 1.5
+        // forcing a re-allotment at tick 2; A's departure at 2.5 hits the
+        // waiting residual and must be ignored.
+        let trace = ArrivalTrace::new(
+            1,
+            vec![
+                Arrival::new(
+                    0.5,
+                    MalleableTask::new(SpeedupProfile::sequential(4.0).unwrap()),
+                )
+                .departing_at(2.5),
+                Arrival::new(
+                    1.5,
+                    MalleableTask::new(SpeedupProfile::sequential(0.5).unwrap()),
+                ),
+            ],
+        )
+        .unwrap();
+        let mut policy = EpochReplan::mrt(1.0)
+            .unwrap()
+            .with_preempt_queued(true)
+            .with_preempt_running(true);
+        let result = run(&trace, &mut policy).unwrap();
+        assert_eq!(result.departed, 0, "started residuals never depart");
+        // Both tasks executed; A's segments conserve its 4.0 of work.
+        let report = simulator::validate_piecewise_subset(
+            &trace.instance().unwrap(),
+            &result.schedule,
+            None,
+        );
+        assert!(report.is_valid(), "{:?}", report.violations);
+        assert!(validate_against_trace(&trace, &result.schedule).is_empty());
+    }
+
+    #[test]
     fn all_departed_runs_report_gracefully() {
         // Nothing ever starts (the only tick is after every deadline): the
         // run succeeds with an empty schedule and the competitive report
@@ -772,8 +1176,8 @@ mod tests {
         assert!(result.schedule.is_empty());
         assert_eq!(result.makespan, 0.0);
         let report = competitive_report(&trace, &result).unwrap();
-        assert_eq!(report.ratio_vs_offline, 1.0);
-        assert_eq!(report.ratio_vs_lower_bound, 1.0);
+        assert_eq!(report.ratio_vs_offline, None, "empty subset has no ratio");
+        assert_eq!(report.ratio_vs_lower_bound, None);
     }
 
     #[test]

@@ -39,33 +39,45 @@
 //!
 //! // The committed schedule is a plain offline schedule over all tasks …
 //! assert!(online::validate_against_trace(&trace, &result.schedule).is_empty());
-//! // … and can be compared against the clairvoyant offline run.
+//! // … and can be compared against the clairvoyant offline run (the ratios
+//! // are `None` only when every task departed before starting).
 //! let report = online::competitive_report(&trace, &result).unwrap();
-//! assert!(report.ratio_vs_lower_bound >= 1.0 - 1e-9);
+//! assert!(report.ratio_vs_lower_bound.unwrap() >= 1.0 - 1e-9);
 //! ```
 //!
 //! ## Model and guarantees
 //!
 //! The machine is an **interval-reservation book**
 //! ([`packing::reservations`]): every commitment is a revocable reservation,
-//! and the clock never destroys idle holes.  *Execution* stays non-preemptive
-//! — a task that has started always runs to completion, matching the paper's
-//! model — but *queued* commitments are first-class citizens that can be
-//! revoked:
+//! and the clock never destroys idle holes.  Both *queued* and *running*
+//! commitments are first-class citizens:
 //!
 //! * **departures** — arrivals may carry a `departs_at` deadline; a task
 //!   that has not started by its deadline leaves the system, and its queued
-//!   reservation (if any) is cancelled and the space reclaimed;
+//!   reservation (if any) is cancelled and the space reclaimed.  A task
+//!   completing exactly at its deadline counts as completed, and a task
+//!   that executed any work is immune to its deadline;
 //! * **backfill** — with [`policy::PolicyOptions::backfill`] (CLI
 //!   `--backfill`) placements first-fit into idle holes below the processor
 //!   frontier instead of always queueing behind it;
-//! * **preemptive re-allotment** — with
+//! * **preemptive re-allotment of queued work** — with
 //!   [`policy::PolicyOptions::preempt_queued`] (CLI `--preempt-queued`) an
 //!   epoch boundary revokes every not-yet-started commitment and re-solves
 //!   it jointly with the new arrivals, so early placement mistakes are
-//!   corrected while the machine state is still fluid.
+//!   corrected while the machine state is still fluid;
+//! * **mid-execution re-allotment of running tasks** — with
+//!   [`policy::PolicyOptions::preempt_running`] (CLI `--preempt-running`)
+//!   an epoch boundary with fresh work additionally *truncates* running
+//!   commitments at the clock and re-solves their **residuals** (profiles
+//!   scaled by the remaining work fraction, [`workload::residual`]) jointly
+//!   with the pending set: the true malleable model, where a task's
+//!   allotment may change while it runs.  Work executed at the old
+//!   allotment is conserved by construction, and the output schedule
+//!   records one segment per allotment
+//!   (`simulator::validate_piecewise_subset` checks per-segment feasibility
+//!   and per-task work conservation).
 //!
-//! By default all three are off and the engine reproduces the historical
+//! By default all four are off and the engine reproduces the historical
 //! frontier-only behaviour exactly (planning rounds keep the offline
 //! schedule's allotments and priorities but replay them onto the live
 //! processor frontier, so a batch interleaves with the tail of the previous
@@ -73,7 +85,8 @@
 //! without departures is at least the offline optimum of the full task set,
 //! and the `ratio_vs_lower_bound` of [`CompetitiveReport`] measures the
 //! price of online operation against the dual-search certificate (computed
-//! over the executed task set when tasks departed).
+//! over the executed task set when tasks departed; `None` when every task
+//! departed — an empty subset has no baseline).
 
 pub mod engine;
 pub mod event;
@@ -81,11 +94,11 @@ pub mod machine;
 pub mod policy;
 
 pub use engine::{
-    competitive_report, queued_reallotment_scenario, run, validate_against_trace,
-    CompetitiveReport, OnlineResult,
+    competitive_report, queued_reallotment_scenario, run, running_reallotment_scenario,
+    validate_against_trace, CompetitiveReport, OnlineResult,
 };
 pub use event::{Event, EventKind, EventQueue};
-pub use machine::{MachineState, Placement, ReservationId};
+pub use machine::{MachineState, Placement, ReservationError, ReservationId};
 pub use policy::{
     BatchUntilIdle, Commitment, EpochReplan, GreedyList, OnlinePolicy, PendingTask, PolicyKind,
     PolicyOptions, Trigger,

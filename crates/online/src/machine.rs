@@ -18,8 +18,12 @@
 //! In both modes commitments *can* be revoked while still queued
 //! ([`MachineState::revoke`]): task departures cancel reservations that have
 //! not started, and preemptive epoch re-planning pulls queued reservations
-//! back into the pending set.  Running tasks stay committed — the execution
-//! model remains non-preemptive, matching the paper.
+//! back into the pending set.  Running commitments can additionally be
+//! *preempted* ([`MachineState::truncate_at`]): the reservation is cut at
+//! the current clock, the executed head stays on the books and the
+//! unexecuted tail is freed — the machine-level primitive behind
+//! mid-execution re-allotment of running tasks (the engine re-plans the
+//! task's residual as a fresh commitment).
 //!
 //! The read-only accessors (`now`, `is_idle`, `unfinished`, `free_horizon`,
 //! `earliest_start`) are the observability surface handed to
@@ -30,7 +34,7 @@
 use packing::reservations::{HolePolicy, ReservationTimeline};
 use packing::timeline::TieBreak;
 
-pub use packing::reservations::ReservationId;
+pub use packing::reservations::{ReservationError, ReservationId};
 
 /// The machine as seen by an online policy at a decision point.
 #[derive(Debug, Clone)]
@@ -168,12 +172,37 @@ impl MachineState {
     }
 
     /// Revoke a commitment that has not started yet, freeing its space.
-    /// Panics if the reservation is running or finished (the execution model
-    /// is non-preemptive) or was already revoked.
-    pub fn revoke(&mut self, reservation: ReservationId) {
-        self.timeline.cancel(reservation);
+    /// Fails with a typed [`ReservationError`] if the reservation is running
+    /// or finished (revoke a running commitment's unexecuted tail with
+    /// [`MachineState::truncate_at`] instead) or was already revoked; a
+    /// failed request leaves the machine untouched.
+    pub fn revoke(&mut self, reservation: ReservationId) -> Result<(), ReservationError> {
+        self.timeline.cancel(reservation)?;
         assert!(self.unfinished > 0, "revocation without a commitment");
         self.unfinished -= 1;
+        Ok(())
+    }
+
+    /// Preempt a *running* commitment: truncate its reservation at `time`
+    /// (usually the current clock), freeing the unexecuted tail while the
+    /// executed head stays on the books.  When a tail was actually freed
+    /// (`Ok(true)`) the commitment no longer counts as unfinished — the
+    /// caller re-plans the task's residual as a fresh commitment.  A cut at
+    /// or after the commitment's end is a no-op (`Ok(false)`): the
+    /// commitment stands and still completes normally.  Fails with a typed
+    /// [`ReservationError`] when the cut would rewrite executed history (see
+    /// [`packing::reservations::ReservationTimeline::truncate_at`]).
+    pub fn truncate_at(
+        &mut self,
+        reservation: ReservationId,
+        time: f64,
+    ) -> Result<bool, ReservationError> {
+        let truncated = self.timeline.truncate_at(reservation, time)?;
+        if truncated {
+            assert!(self.unfinished > 0, "truncation without a commitment");
+            self.unfinished -= 1;
+        }
+        Ok(truncated)
     }
 
     /// Record the completion of one committed task.
@@ -269,7 +298,7 @@ mod tests {
         let queued = machine.commit_at(0, 2, 1.0, 5.0);
         assert_eq!(machine.free_horizon(), 6.0);
         assert_eq!(machine.unfinished(), 2);
-        machine.revoke(queued);
+        machine.revoke(queued).unwrap();
         assert_eq!(machine.free_horizon(), 1.0);
         assert_eq!(machine.unfinished(), 1);
         let placement = machine.place_earliest(2, 1.0);
@@ -277,12 +306,25 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "running tasks cannot be revoked")]
-    fn running_commitments_cannot_be_revoked() {
+    fn running_commitments_cannot_be_revoked_but_can_be_truncated() {
         let mut machine = MachineState::new(1);
         let id = machine.commit_at(0, 1, 0.0, 4.0);
         machine.advance_to(2.0);
-        machine.revoke(id);
+        assert!(matches!(
+            machine.revoke(id),
+            Err(ReservationError::StartedBeforeFloor { .. })
+        ));
+        assert_eq!(machine.unfinished(), 1, "failed revoke must not mutate");
+        // A cut at or after the end is a no-op: the commitment stands and
+        // still counts as unfinished.
+        assert!(!machine.truncate_at(id, 5.0).unwrap());
+        assert_eq!(machine.unfinished(), 1, "no-op cut must not mutate");
+        // Mid-execution preemption: the tail [2, 4) is freed, the head stays.
+        assert!(machine.truncate_at(id, 2.0).unwrap());
+        assert_eq!(machine.unfinished(), 0);
+        assert_eq!(machine.free_horizon(), 2.0);
+        let placement = machine.place_earliest(1, 1.0);
+        assert_eq!(placement.start, 2.0, "the freed tail is reusable");
     }
 
     #[test]

@@ -21,13 +21,17 @@
 //! probe workspace and the previous epoch's accepted guess are threaded into
 //! every solve.
 //!
-//! Two cross-cutting resource-model capabilities ride on every policy (see
+//! Three cross-cutting resource-model capabilities ride on every policy (see
 //! [`PolicyOptions`]): **backfill** switches the machine to the
 //! interval-reservation model so placements first-fit into idle holes below
-//! the frontier, and **preempt-queued** (epoch policies) makes the engine
+//! the frontier; **preempt-queued** (epoch policies) makes the engine
 //! revoke not-yet-started commitments at every epoch boundary and re-solve
-//! them jointly with the new arrivals.  Running tasks are never interrupted
-//! in either mode — execution stays non-preemptive, as in the paper.
+//! them jointly with the new arrivals; and **preempt-running** (epoch
+//! policies) additionally truncates *running* commitments at the boundary —
+//! the executed segment stays on the books and the task re-enters the
+//! pending set as a residual ([`workload::residual`]), so the solver may
+//! shrink, widen or move the unexecuted tail.  True malleable re-allotment
+//! mid-execution, with work conserved under the speed-up model.
 
 use std::sync::Arc;
 
@@ -41,13 +45,33 @@ pub struct PendingTask {
     pub id: TaskId,
     /// When the task arrived.
     pub arrived_at: f64,
+    /// Fraction of the task's work still unexecuted: `1.0` for a fresh
+    /// arrival, less for a *residual* — a running task preempted
+    /// mid-execution and handed back for re-allotment.  Policies plan the
+    /// residual task (the profile scaled by this fraction, see
+    /// [`workload::residual`]), so work executed at the old allotment is
+    /// conserved.
+    pub remaining: f64,
+}
+
+impl PendingTask {
+    /// A fresh (fully unexecuted) pending task.
+    pub fn new(id: TaskId, arrived_at: f64) -> Self {
+        PendingTask {
+            id,
+            arrived_at,
+            remaining: 1.0,
+        }
+    }
 }
 
 /// One scheduling decision: a task pinned to a processor block and a start
 /// time.  A commitment is revocable while it is still queued (the engine
 /// revokes on task departures and, under preemptive re-planning, at epoch
-/// boundaries); once the task has started it runs to completion
-/// (non-preemptive execution model).
+/// boundaries); once the task has started it runs to completion unless the
+/// policy opts into mid-execution re-allotment
+/// ([`OnlinePolicy::preempt_running`]), in which case an epoch boundary may
+/// truncate the commitment and re-plan the task's residual.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Commitment {
     /// Global task id.
@@ -103,9 +127,19 @@ pub trait OnlinePolicy {
 
     /// Whether the engine should, at every epoch tick, revoke commitments
     /// that have not started yet and hand their tasks back to this policy as
-    /// part of the pending set (preemptive re-allotment of *queued* work;
-    /// running tasks always stay committed).
+    /// part of the pending set (preemptive re-allotment of *queued* work).
     fn preempt_queued(&self) -> bool {
+        false
+    }
+
+    /// Whether the engine should, at every epoch tick with fresh work,
+    /// additionally truncate *running* commitments at the clock and hand
+    /// their tasks back as residuals — mid-execution re-allotment: the
+    /// executed segment stays on the books, the unexecuted tail (profile
+    /// scaled by the remaining work fraction) is re-solved jointly with the
+    /// pending set and may restart at a different allotment.  Implies the
+    /// queued preemption of [`OnlinePolicy::preempt_queued`].
+    fn preempt_running(&self) -> bool {
         false
     }
 
@@ -124,7 +158,9 @@ pub trait OnlinePolicy {
 }
 
 /// Build the offline sub-instance of the pending tasks, as if released
-/// together on an empty machine.
+/// together on an empty machine.  Residual tasks (preempted mid-execution,
+/// `remaining < 1`) enter with their profile scaled by the remaining work
+/// fraction, so the solver sees exactly the unexecuted tails.
 fn pending_sub_instance(
     instance: &Instance,
     pending: &[PendingTask],
@@ -132,8 +168,8 @@ fn pending_sub_instance(
 ) -> Result<Instance> {
     let tasks: Vec<MalleableTask> = pending
         .iter()
-        .map(|p| instance.task(p.id).clone())
-        .collect();
+        .map(|p| workload::residual_task(instance.task(p.id), p.remaining))
+        .collect::<Result<_>>()?;
     Instance::new(tasks, processors)
 }
 
@@ -224,7 +260,17 @@ impl OnlinePolicy for GreedyList {
     ) -> Result<Vec<Commitment>> {
         let mut commitments = Vec::with_capacity(pending.len());
         for task in pending {
-            let profile = &instance.task(task.id).profile;
+            // Residual-aware: a preempted task is planned as its unexecuted
+            // tail (greedy policies never produce residuals themselves, but
+            // the `plan` contract accepts them).  Fresh tasks — the entire
+            // greedy hot path — borrow their profile without cloning.
+            let residual;
+            let profile = if task.remaining < 1.0 {
+                residual = workload::residual_task(instance.task(task.id), task.remaining)?;
+                &residual.profile
+            } else {
+                &instance.task(task.id).profile
+            };
             let widest = profile.max_processors().min(machine.processors());
             // Minimise the completion time over all processor counts; prefer
             // the narrower count on ties (it wastes less work).
@@ -280,8 +326,14 @@ pub struct EpochReplan {
     pub backfill: bool,
     /// Revoke queued (not yet started) commitments at every epoch boundary
     /// and re-solve them together with the new arrivals.  Running tasks stay
-    /// committed — execution remains non-preemptive.
+    /// committed unless [`EpochReplan::preempt_running`] is also set.
     pub preempt_queued: bool,
+    /// Truncate *running* commitments at epoch boundaries with fresh work
+    /// and re-solve their residuals (profiles scaled by the remaining work
+    /// fraction) jointly with the pending set — true malleable
+    /// re-allotment mid-execution.  Implies the queued preemption of
+    /// [`EpochReplan::preempt_queued`].
+    pub preempt_running: bool,
     /// Probe workspace kept across epochs (the warm state).
     workspace: ProbeWorkspace,
     /// `feasible ω / lower bound` of the previous epoch's solve, used to seed
@@ -298,6 +350,7 @@ impl std::fmt::Debug for EpochReplan {
             .field("warm_start", &self.warm_start)
             .field("backfill", &self.backfill)
             .field("preempt_queued", &self.preempt_queued)
+            .field("preempt_running", &self.preempt_running)
             .finish()
     }
 }
@@ -324,6 +377,7 @@ impl EpochReplan {
             warm_start: true,
             backfill: false,
             preempt_queued: false,
+            preempt_running: false,
             workspace: ProbeWorkspace::new(),
             previous_omega_ratio: None,
         })
@@ -354,6 +408,13 @@ impl EpochReplan {
         self
     }
 
+    /// Enable or disable mid-execution re-allotment of running tasks at
+    /// epoch boundaries (builder style).  Implies queued preemption.
+    pub fn with_preempt_running(mut self, preempt_running: bool) -> Self {
+        self.preempt_running = preempt_running;
+        self
+    }
+
     /// Number of oracle probes served by the warm-started solve path so far
     /// (0 for one-shot solvers); exposed for the benchmark reports.
     pub fn probes(&self) -> usize {
@@ -367,7 +428,9 @@ impl OnlinePolicy for EpochReplan {
         if self.backfill {
             name.push_str("+backfill");
         }
-        if self.preempt_queued {
+        if self.preempt_running {
+            name.push_str("+preempt-running");
+        } else if self.preempt_queued {
             name.push_str("+preempt");
         }
         name
@@ -383,6 +446,10 @@ impl OnlinePolicy for EpochReplan {
 
     fn preempt_queued(&self) -> bool {
         self.preempt_queued
+    }
+
+    fn preempt_running(&self) -> bool {
+        self.preempt_running
     }
 
     fn should_plan(&self, trigger: Trigger, _machine: &MachineState) -> bool {
@@ -526,8 +593,8 @@ impl std::fmt::Debug for PolicyKind {
 }
 
 /// Cross-cutting policy options applied by [`PolicyKind::build_with`]: the
-/// resource-model knobs the CLI exposes as `--backfill` and
-/// `--preempt-queued`.
+/// resource-model knobs the CLI exposes as `--backfill`, `--preempt-queued`
+/// and `--preempt-running`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct PolicyOptions {
     /// First-fit placements into idle holes below the frontier.
@@ -535,6 +602,10 @@ pub struct PolicyOptions {
     /// Revoke queued commitments at epoch boundaries and re-solve them with
     /// the pending set (epoch policies only; ignored by the others).
     pub preempt_queued: bool,
+    /// Truncate running commitments at epoch boundaries and re-solve their
+    /// residuals jointly with the pending set — mid-execution re-allotment
+    /// (epoch policies only; implies `preempt_queued`).
+    pub preempt_running: bool,
 }
 
 impl PolicyKind {
@@ -553,7 +624,8 @@ impl PolicyKind {
             PolicyKind::Epoch { period, solver } => Box::new(
                 EpochReplan::with_solver(*period, Arc::clone(solver))?
                     .with_backfill(options.backfill)
-                    .with_preempt_queued(options.preempt_queued),
+                    .with_preempt_queued(options.preempt_queued)
+                    .with_preempt_running(options.preempt_running),
             ),
             PolicyKind::Batch { solver } => Box::new(BatchUntilIdle {
                 solver: Arc::clone(solver),
@@ -585,12 +657,7 @@ mod tests {
         let registry = malleable_core::solver::core_registry();
         for solver in registry.solvers() {
             let mut machine = MachineState::new(4);
-            let pending: Vec<PendingTask> = (0..3)
-                .map(|id| PendingTask {
-                    id,
-                    arrived_at: 0.0,
-                })
-                .collect();
+            let pending: Vec<PendingTask> = (0..3).map(|id| PendingTask::new(id, 0.0)).collect();
             let mut policy = BatchUntilIdle::with_solver(Arc::clone(&solver));
             let commitments = policy.plan(&instance, &pending, &mut machine).unwrap();
             assert_eq!(commitments.len(), 3, "{}", solver.name());
@@ -627,10 +694,7 @@ mod tests {
         let instance =
             Instance::from_profiles(vec![SpeedupProfile::linear(4.0, 4).unwrap()], 4).unwrap();
         let mut machine = MachineState::new(4);
-        let pending = [PendingTask {
-            id: 0,
-            arrived_at: 0.0,
-        }];
+        let pending = [PendingTask::new(0, 0.0)];
         let commitments = GreedyList::new()
             .plan(&instance, &pending, &mut machine)
             .unwrap();
@@ -651,16 +715,7 @@ mod tests {
         .unwrap();
         let mut machine = MachineState::new(2);
         machine.commit_at(0, 2, 0.0, 5.0);
-        let pending = [
-            PendingTask {
-                id: 0,
-                arrived_at: 0.5,
-            },
-            PendingTask {
-                id: 1,
-                arrived_at: 0.5,
-            },
-        ];
+        let pending = [PendingTask::new(0, 0.5), PendingTask::new(1, 0.5)];
         let mut policy = BatchUntilIdle::default();
         let commitments = policy.plan(&instance, &pending, &mut machine).unwrap();
         assert_eq!(commitments.len(), 2);
@@ -683,12 +738,7 @@ mod tests {
         )
         .unwrap();
         let mut machine = MachineState::new(4);
-        let pending: Vec<PendingTask> = (0..2)
-            .map(|id| PendingTask {
-                id,
-                arrived_at: 0.0,
-            })
-            .collect();
+        let pending: Vec<PendingTask> = (0..2).map(|id| PendingTask::new(id, 0.0)).collect();
         let mut policy = EpochReplan::with_solver(1.0, Arc::new(CanonicalListSolver)).unwrap();
         let commitments = policy.plan(&instance, &pending, &mut machine).unwrap();
         assert_eq!(commitments.len(), 2);

@@ -13,8 +13,12 @@
 //! intervals (equivalently: its complement, the sorted free-interval set)
 //! instead of a single frontier.  Every commitment is a first-class
 //! reservation identified by a [`ReservationId`] handle that supports
-//! [`ReservationTimeline::cancel`] and [`ReservationTimeline::truncate`];
-//! window queries are *duration-aware* and may land inside holes.
+//! [`ReservationTimeline::cancel`] and [`ReservationTimeline::truncate_at`]
+//! (the latter also preempts *running* reservations: the executed head stays
+//! on the books, only the unexecuted tail is revoked); window queries are
+//! *duration-aware* and may land inside holes.  Requests that would rewrite
+//! garbage-collected or executed history fail with a typed
+//! [`ReservationError`] instead of panicking.
 //!
 //! Two query modes are provided ([`HolePolicy`]):
 //!
@@ -35,9 +39,84 @@ use crate::timeline::{earliest_frontier_window, TieBreak, Window};
 
 /// Opaque handle to one reservation, returned by
 /// [`ReservationTimeline::reserve`] and accepted by
-/// [`ReservationTimeline::cancel`] / [`ReservationTimeline::truncate`].
+/// [`ReservationTimeline::cancel`] / [`ReservationTimeline::truncate_at`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ReservationId(usize);
+
+/// Why a revocation or truncation request was rejected.
+///
+/// Revocation interacts with the floor-advance garbage collection: once the
+/// floor has moved past (part of) a reservation, that history is immutable —
+/// cancelling it or cutting into it would silently rewrite the past, so such
+/// requests fail with a typed error instead of panicking or dropping
+/// history.  The timeline state is untouched by a failed request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReservationError {
+    /// The handle was already cancelled (or never issued by this timeline).
+    AlreadyCancelled {
+        /// The offending handle.
+        id: ReservationId,
+    },
+    /// `cancel` on a reservation that started at or before the advanced
+    /// floor: it is running (straddles the floor) or lies entirely in the
+    /// past, and its history cannot be unwritten.  Running reservations are
+    /// preempted with [`ReservationTimeline::truncate_at`] instead.
+    StartedBeforeFloor {
+        /// The offending handle.
+        id: ReservationId,
+        /// Where the reservation starts.
+        start: f64,
+        /// The current floor.
+        floor: f64,
+    },
+    /// `truncate_at` with a cut before the reservation's start (a negative
+    /// reservation is meaningless; use [`ReservationTimeline::cancel`] on a
+    /// not-yet-started reservation instead).
+    CutBeforeStart {
+        /// The offending handle.
+        id: ReservationId,
+        /// The requested cut.
+        cut: f64,
+        /// Where the reservation starts.
+        start: f64,
+    },
+    /// `truncate_at` with a cut before the advanced floor: the part of the
+    /// reservation at or before the floor already executed and cannot be
+    /// reclaimed.
+    CutBeforeFloor {
+        /// The offending handle.
+        id: ReservationId,
+        /// The requested cut.
+        cut: f64,
+        /// The current floor.
+        floor: f64,
+    },
+}
+
+impl std::fmt::Display for ReservationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReservationError::AlreadyCancelled { id } => {
+                write!(f, "reservation {id:?} was already cancelled")
+            }
+            ReservationError::StartedBeforeFloor { id, start, floor } => write!(
+                f,
+                "reservation {id:?} started at {start}, at or before the floor {floor} — \
+                 its history cannot be cancelled (truncate the tail instead)"
+            ),
+            ReservationError::CutBeforeStart { id, cut, start } => write!(
+                f,
+                "cut {cut} precedes the start {start} of reservation {id:?}"
+            ),
+            ReservationError::CutBeforeFloor { id, cut, floor } => write!(
+                f,
+                "cut {cut} for reservation {id:?} rewrites the past (floor {floor})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReservationError {}
 
 /// Whether window queries may reuse idle holes below the frontier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -330,55 +409,76 @@ impl ReservationTimeline {
 
     /// Revoke a reservation that has not started yet, freeing its intervals.
     ///
-    /// Panics if the handle was already cancelled or the reservation started
-    /// at or before the floor (a running or finished task cannot be revoked —
-    /// the execution model is non-preemptive).
-    pub fn cancel(&mut self, id: ReservationId) {
-        let record = self.reservations[id.0]
-            .take()
-            .expect("reservation already cancelled");
-        assert!(
-            record.start >= self.floor - 1e-9,
-            "reservation started at {}, before the floor {} — running tasks cannot be revoked",
-            record.start,
-            self.floor
-        );
+    /// Fails with a typed [`ReservationError`] (leaving the timeline
+    /// untouched) when the handle was already cancelled or the reservation
+    /// started at or before the floor: a running reservation's history
+    /// cannot be unwritten — preempt it with
+    /// [`ReservationTimeline::truncate_at`] instead — and a reservation the
+    /// floor-advance GC already passed is immutable.
+    pub fn cancel(&mut self, id: ReservationId) -> Result<(), ReservationError> {
+        let record = match self.reservations.get(id.0).copied().flatten() {
+            Some(record) => record,
+            None => return Err(ReservationError::AlreadyCancelled { id }),
+        };
+        if record.start < self.floor - 1e-9 {
+            return Err(ReservationError::StartedBeforeFloor {
+                id,
+                start: record.start,
+                floor: self.floor,
+            });
+        }
+        self.reservations[id.0] = None;
         for p in record.first..record.first + record.count {
             self.busy[p].retain(|iv| iv.id != id);
             self.recompute_frontier(p);
         }
+        Ok(())
     }
 
-    /// Shrink a reservation's end to `new_end` (e.g. a task that finished
-    /// early), freeing the tail `[new_end, end)`.
+    /// Shrink a reservation's end to `cut`, freeing the tail `[cut, end)` —
+    /// a task that finished early, or a *running* task preempted for
+    /// re-allotment (the segment executed before `cut` stays on the books;
+    /// only the unexecuted tail is revoked).  Returns whether a tail was
+    /// actually freed: a cut at or after the current end is a no-op and
+    /// returns `Ok(false)`, so callers tracking per-reservation state can
+    /// tell the difference.
     ///
-    /// Panics if the handle was cancelled, `new_end` precedes the
-    /// reservation's start, or `new_end` precedes the floor.
-    pub fn truncate(&mut self, id: ReservationId, new_end: f64) {
-        let record = self.reservations[id.0]
-            .as_mut()
-            .expect("reservation already cancelled");
-        assert!(
-            new_end >= record.start - 1e-9,
-            "truncation to {new_end} precedes the reservation start {}",
-            record.start
-        );
-        assert!(
-            new_end >= self.floor - 1e-9,
-            "truncation to {new_end} rewrites the past (floor {})",
-            self.floor
-        );
-        if new_end >= record.end {
-            return;
+    /// Fails with a typed [`ReservationError`] (leaving the timeline
+    /// untouched) when the handle was already cancelled, `cut` precedes the
+    /// reservation's start, or `cut` precedes the floor — the part of a
+    /// straddling reservation at or before the advanced floor already
+    /// executed and cannot be reclaimed.
+    pub fn truncate_at(&mut self, id: ReservationId, cut: f64) -> Result<bool, ReservationError> {
+        let record = match self.reservations.get(id.0).copied().flatten() {
+            Some(record) => record,
+            None => return Err(ReservationError::AlreadyCancelled { id }),
+        };
+        if cut < record.start - 1e-9 {
+            return Err(ReservationError::CutBeforeStart {
+                id,
+                cut,
+                start: record.start,
+            });
         }
-        record.end = new_end;
-        let (first, count) = (record.first, record.count);
-        for p in first..first + count {
+        if cut < self.floor - 1e-9 {
+            return Err(ReservationError::CutBeforeFloor {
+                id,
+                cut,
+                floor: self.floor,
+            });
+        }
+        if cut >= record.end {
+            return Ok(false);
+        }
+        let stored = self.reservations[id.0].as_mut().expect("checked live");
+        stored.end = cut;
+        for p in record.first..record.first + record.count {
             if let Some(iv) = self.busy[p].iter_mut().find(|iv| iv.id == id) {
-                iv.end = new_end;
+                iv.end = cut;
             }
             self.recompute_frontier(p);
         }
+        Ok(true)
     }
 
     /// Restore `frontier[p] = max(floor, latest busy end on p)` after a
@@ -455,7 +555,7 @@ mod tests {
         let keep = tl.reserve(0, 2, 0.0, 1.0);
         let revoke = tl.reserve(0, 2, 1.0, 4.0);
         assert_eq!(tl.makespan(), 5.0);
-        tl.cancel(revoke);
+        tl.cancel(revoke).unwrap();
         assert_eq!(tl.makespan(), 1.0);
         let w = tl.earliest_window(2, 3.0, TieBreak::Leftmost);
         assert_eq!(w.start, 1.0, "the revoked space is reusable");
@@ -465,34 +565,100 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "already cancelled")]
-    fn double_cancel_is_rejected() {
+    fn double_cancel_is_a_typed_error() {
         let mut tl = ReservationTimeline::new(1, HolePolicy::Backfill);
         let id = tl.reserve(0, 1, 0.0, 1.0);
-        tl.cancel(id);
-        tl.cancel(id);
+        tl.cancel(id).unwrap();
+        assert_eq!(
+            tl.cancel(id),
+            Err(ReservationError::AlreadyCancelled { id })
+        );
+        assert_eq!(
+            tl.truncate_at(id, 0.5),
+            Err(ReservationError::AlreadyCancelled { id })
+        );
     }
 
     #[test]
-    #[should_panic(expected = "running tasks cannot be revoked")]
-    fn cancelling_a_started_reservation_is_rejected() {
+    fn cancelling_a_started_reservation_is_a_typed_error() {
         let mut tl = ReservationTimeline::new(1, HolePolicy::Backfill);
         let id = tl.reserve(0, 1, 0.0, 4.0);
         tl.advance_to(2.0);
-        tl.cancel(id);
+        let before = tl.clone();
+        assert_eq!(
+            tl.cancel(id),
+            Err(ReservationError::StartedBeforeFloor {
+                id,
+                start: 0.0,
+                floor: 2.0
+            })
+        );
+        // A failed request leaves the timeline untouched.
+        assert_eq!(tl, before);
+        // The running reservation *can* be preempted: its unexecuted tail is
+        // revoked, the executed head stays on the books.
+        tl.truncate_at(id, 2.5).unwrap();
+        assert_eq!(tl.makespan(), 2.5);
     }
 
     #[test]
     fn truncate_frees_the_tail() {
         let mut tl = ReservationTimeline::new(1, HolePolicy::Backfill);
         let id = tl.reserve(0, 1, 0.0, 5.0);
-        tl.truncate(id, 2.0);
+        tl.truncate_at(id, 2.0).unwrap();
         assert_eq!(tl.makespan(), 2.0);
         let w = tl.earliest_window(1, 1.0, TieBreak::Leftmost);
         assert_eq!(w.start, 2.0);
         // Growing back via truncate is a no-op.
-        tl.truncate(id, 4.0);
+        tl.truncate_at(id, 4.0).unwrap();
         assert_eq!(tl.makespan(), 2.0);
+    }
+
+    #[test]
+    fn truncation_cannot_rewrite_history() {
+        let mut tl = ReservationTimeline::new(1, HolePolicy::Backfill);
+        let id = tl.reserve(0, 1, 1.0, 5.0);
+        assert_eq!(
+            tl.truncate_at(id, 0.5),
+            Err(ReservationError::CutBeforeStart {
+                id,
+                cut: 0.5,
+                start: 1.0
+            })
+        );
+        tl.advance_to(3.0);
+        let before = tl.clone();
+        assert_eq!(
+            tl.truncate_at(id, 2.0),
+            Err(ReservationError::CutBeforeFloor {
+                id,
+                cut: 2.0,
+                floor: 3.0
+            })
+        );
+        assert_eq!(tl, before, "failed truncation must not mutate");
+        // At the floor itself the cut is legal (the preemption case).
+        tl.truncate_at(id, 3.0).unwrap();
+        assert_eq!(tl.makespan(), 3.0);
+    }
+
+    #[test]
+    fn gc_passed_reservations_reject_revocation_without_dropping_history() {
+        let mut tl = ReservationTimeline::new(1, HolePolicy::Backfill);
+        let past = tl.reserve(0, 1, 0.0, 1.0);
+        tl.reserve(0, 1, 1.0, 1.0);
+        tl.advance_to(2.5); // both reservations fully behind the floor
+        assert!(matches!(
+            tl.cancel(past),
+            Err(ReservationError::StartedBeforeFloor { .. })
+        ));
+        // Truncating a fully-past reservation at or after the floor is a
+        // no-op (its end precedes the cut), never a history rewrite.
+        tl.truncate_at(past, 2.5).unwrap();
+        assert!(matches!(
+            tl.truncate_at(past, 0.5),
+            Err(ReservationError::CutBeforeFloor { .. })
+        ));
     }
 
     #[test]
@@ -554,6 +720,74 @@ mod tests {
                     prop_assert!((legacy.free_at(p) - modern.free_at(p)).abs() <= 1e-12);
                 }
                 prop_assert_eq!(legacy.makespan(), modern.makespan());
+            }
+        }
+
+        /// Revocation vs the floor-advance GC: on arbitrary
+        /// place/advance/cancel/truncate sequences, `cancel` succeeds exactly
+        /// on live reservations starting at or after the floor, `truncate_at`
+        /// fails exactly when the cut precedes the floor or the start, no
+        /// request ever panics, and a failed request leaves the timeline
+        /// bit-identical.
+        #[test]
+        fn revocation_respects_the_advanced_floor(
+            ops in prop::collection::vec((1usize..4, 0.1f64..2.0, 0.0f64..1.0, 0.0f64..6.0), 1..40),
+            m in 2usize..6,
+        ) {
+            let mut tl = ReservationTimeline::new(m, HolePolicy::Backfill);
+            let mut issued: Vec<(ReservationId, f64, bool)> = Vec::new(); // (id, start, cancelled)
+            let mut clock = 0.0f64;
+            for (i, (count, duration, advance, cut)) in ops.into_iter().enumerate() {
+                let count = count.min(m);
+                if advance > 0.6 {
+                    clock += advance;
+                    tl.advance_to(clock);
+                }
+                let (w, id) = tl.place(count, duration, TieBreak::PaperConvention);
+                issued.push((id, w.start, false));
+                // Attack an arbitrary earlier reservation with both requests.
+                let victim = i % issued.len();
+                let (vid, vstart, cancelled) = issued[victim];
+                let before = tl.clone();
+                match tl.cancel(vid) {
+                    Ok(()) => {
+                        prop_assert!(!cancelled, "double cancel accepted");
+                        prop_assert!(vstart >= tl.floor() - 1e-9, "cancelled a started reservation");
+                        issued[victim].2 = true;
+                    }
+                    Err(ReservationError::AlreadyCancelled { .. }) => {
+                        prop_assert!(cancelled);
+                        prop_assert_eq!(&tl, &before);
+                    }
+                    Err(ReservationError::StartedBeforeFloor { .. }) => {
+                        prop_assert!(!cancelled && vstart < tl.floor() - 1e-9);
+                        prop_assert_eq!(&tl, &before);
+                    }
+                    Err(other) => prop_assert!(false, "unexpected cancel error {other:?}"),
+                }
+                let before = tl.clone();
+                match tl.truncate_at(vid, cut) {
+                    Ok(_) => {
+                        prop_assert!(!issued[victim].2, "truncated a cancelled reservation");
+                        prop_assert!(
+                            cut >= tl.floor() - 1e-9 && cut >= vstart - 1e-9,
+                            "truncation rewrote history"
+                        );
+                    }
+                    Err(ReservationError::AlreadyCancelled { .. }) => {
+                        prop_assert!(issued[victim].2);
+                        prop_assert_eq!(&tl, &before);
+                    }
+                    Err(ReservationError::CutBeforeStart { .. }) => {
+                        prop_assert!(cut < vstart - 1e-9);
+                        prop_assert_eq!(&tl, &before);
+                    }
+                    Err(ReservationError::CutBeforeFloor { .. }) => {
+                        prop_assert!(cut < tl.floor() - 1e-9);
+                        prop_assert_eq!(&tl, &before);
+                    }
+                    Err(other) => prop_assert!(false, "unexpected truncate error {other:?}"),
+                }
             }
         }
 

@@ -16,7 +16,10 @@
 //!
 //! * [`validate`] — a strict validator returning a list of violations
 //!   (capacity, contiguity, overlap, allotment/time consistency, missing or
-//!   duplicated tasks);
+//!   duplicated tasks), with a piecewise-allotment mode
+//!   ([`validate_piecewise_subset`]) that checks per-segment feasibility and
+//!   per-task work conservation for schedules produced by mid-execution
+//!   re-allotment;
 //! * [`engine`] — a discrete-event engine producing an [`engine::ExecutionTrace`]
 //!   with start/finish events and a per-processor busy/idle profile;
 //! * [`gantt`] — a plain-text Gantt rendering used by the examples.
@@ -27,4 +30,7 @@ pub mod validate;
 
 pub use engine::{simulate, Event, EventKind, ExecutionTrace};
 pub use gantt::render_gantt;
-pub use validate::{validate_schedule, validate_schedule_subset, ValidationReport, Violation};
+pub use validate::{
+    validate_piecewise_subset, validate_schedule, validate_schedule_subset, ValidationReport,
+    Violation,
+};

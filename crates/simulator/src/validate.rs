@@ -48,6 +48,17 @@ pub enum Violation {
         finish: f64,
         horizon: f64,
     },
+    /// A segment's duration is non-finite or not positive (piecewise
+    /// schedules only — a degenerate duration would also poison the work
+    /// conservation sum into an unreportable NaN).
+    InvalidDuration { task: usize, duration: f64 },
+    /// Two segments of the same task overlap in time (a malleable task runs
+    /// at one allotment at a time; piecewise schedules only).
+    ConcurrentSegments { task: usize },
+    /// The executed fractions of a task's segments do not sum to one
+    /// (work conservation under the speed-up model; piecewise schedules
+    /// only).
+    WorkNotConserved { task: usize, executed: f64 },
 }
 
 impl std::fmt::Display for Violation {
@@ -83,6 +94,19 @@ impl std::fmt::Display for Violation {
             } => write!(
                 f,
                 "task {task} finishes at {finish}, after the horizon {horizon}"
+            ),
+            Violation::InvalidDuration { task, duration } => {
+                write!(
+                    f,
+                    "task {task} has a degenerate segment duration {duration}"
+                )
+            }
+            Violation::ConcurrentSegments { task } => {
+                write!(f, "task {task} runs two segments concurrently")
+            }
+            Violation::WorkNotConserved { task, executed } => write!(
+                f,
+                "task {task} executes fraction {executed} of its work across its segments"
             ),
         }
     }
@@ -123,6 +147,108 @@ pub fn validate_schedule_subset(
     horizon: Option<f64>,
 ) -> ValidationReport {
     validate_schedule_impl(instance, schedule, horizon, true)
+}
+
+/// Validate a **piecewise-allotment** schedule covering a subset of the
+/// instance's tasks — the online engine's output under mid-execution
+/// re-allotment, where a task may appear as several segments, each at a
+/// different (constant) allotment.
+///
+/// Checks, per segment: machine-model feasibility (processors within the
+/// machine, a finite non-negative start, a positive width) and the optional
+/// horizon; per task: segments chronologically disjoint
+/// ([`Violation::ConcurrentSegments`]) and **work conservation** under the
+/// speed-up model — each segment executes `duration / t(allotment)` of the
+/// task, and the fractions must sum to one within `1e-6`
+/// ([`Violation::WorkNotConserved`]); across tasks: the all-pairs processor
+/// overlap check.  Absent tasks are tolerated (subset semantics, as in
+/// [`validate_schedule_subset`]).  A single-segment task degenerates to the
+/// classical duration-matches-profile check, so this validator accepts every
+/// schedule the non-preemptive engine produces, too.
+pub fn validate_piecewise_subset(
+    instance: &Instance,
+    schedule: &Schedule,
+    horizon: Option<f64>,
+) -> ValidationReport {
+    let mut violations = Vec::new();
+    let m = instance.processors();
+    let n = instance.task_count();
+    let mut segments: Vec<Vec<(f64, f64, usize)>> = vec![Vec::new(); n];
+
+    for entry in schedule.entries() {
+        if entry.task >= n {
+            violations.push(Violation::UnknownTask { task: entry.task });
+            continue;
+        }
+        if entry.processors.end() > m {
+            violations.push(Violation::OutOfMachine {
+                task: entry.task,
+                first: entry.processors.first,
+                count: entry.processors.count,
+            });
+        }
+        if !(entry.start.is_finite() && entry.start >= -1e-12) {
+            violations.push(Violation::InvalidStart {
+                task: entry.task,
+                start: entry.start,
+            });
+        }
+        if !(entry.duration.is_finite() && entry.duration > 1e-12) {
+            violations.push(Violation::InvalidDuration {
+                task: entry.task,
+                duration: entry.duration,
+            });
+            // A degenerate duration would poison the per-task sums (NaN
+            // compares false against every threshold), so the segment is
+            // excluded from the chronology and conservation checks.
+            continue;
+        }
+        if let Some(h) = horizon {
+            if entry.finish() > h + 1e-6 {
+                violations.push(Violation::DeadlineExceeded {
+                    task: entry.task,
+                    finish: entry.finish(),
+                    horizon: h,
+                });
+            }
+        }
+        segments[entry.task].push((entry.start, entry.duration, entry.processors.count));
+    }
+
+    for (task, segs) in segments.iter_mut().enumerate() {
+        if segs.is_empty() {
+            continue; // subset semantics: absent tasks are legitimate
+        }
+        segs.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for pair in segs.windows(2) {
+            let (prev_start, prev_duration, _) = pair[0];
+            let (next_start, _, _) = pair[1];
+            if next_start < prev_start + prev_duration - 1e-9 {
+                violations.push(Violation::ConcurrentSegments { task });
+            }
+        }
+        let executed: f64 = segs
+            .iter()
+            .map(|&(_, duration, count)| duration / instance.time(task, count))
+            .sum();
+        if (executed - 1.0).abs() > 1e-6 {
+            violations.push(Violation::WorkNotConserved { task, executed });
+        }
+    }
+
+    let entries = schedule.entries();
+    for (i, a) in entries.iter().enumerate() {
+        for b in entries.iter().skip(i + 1) {
+            if a.conflicts_with(b) {
+                violations.push(Violation::Overlap {
+                    first_task: a.task,
+                    second_task: b.task,
+                });
+            }
+        }
+    }
+
+    ValidationReport { violations }
 }
 
 fn validate_schedule_impl(
@@ -308,6 +434,96 @@ mod tests {
         assert!(validate_schedule_subset(&inst, &duplicated, None)
             .violations
             .contains(&Violation::DuplicatedTask { task: 0 }));
+    }
+
+    #[test]
+    fn piecewise_segments_conserving_work_are_valid() {
+        let inst = instance();
+        // Task 0 (t(1)=2.0, t(2)=1.2) split mid-execution: half its work at
+        // one processor (1.0 time unit), the other half at two (0.6 units).
+        let mut s = Schedule::new(3);
+        s.push(entry(0, 0.0, 1.0, 0, 1));
+        s.push(entry(0, 1.0, 0.6, 0, 2));
+        s.push(entry(1, 0.0, 1.0, 2, 1));
+        let report = validate_piecewise_subset(&inst, &s, Some(1.6));
+        assert!(report.is_valid(), "{:?}", report.violations);
+        // The same schedule fails the single-allotment validator (duplicate
+        // + duration mismatch), which is exactly why the piecewise mode
+        // exists.
+        assert!(!validate_schedule_subset(&inst, &s, None).is_valid());
+    }
+
+    #[test]
+    fn piecewise_validator_accepts_single_allotment_schedules() {
+        let inst = instance();
+        let mut s = Schedule::new(3);
+        s.push(entry(0, 0.0, 1.2, 0, 2));
+        s.push(entry(1, 0.0, 1.0, 2, 1));
+        assert!(validate_piecewise_subset(&inst, &s, Some(1.2)).is_valid());
+        // Subset semantics: a missing task is fine, a short duration is not.
+        let mut partial = Schedule::new(3);
+        partial.push(entry(1, 0.0, 1.0, 2, 1));
+        assert!(validate_piecewise_subset(&inst, &partial, None).is_valid());
+        let mut short = Schedule::new(3);
+        short.push(entry(0, 0.0, 0.9, 0, 2));
+        let report = validate_piecewise_subset(&inst, &short, None);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::WorkNotConserved { task: 0, .. })));
+    }
+
+    #[test]
+    fn piecewise_violations_are_reported() {
+        let inst = instance();
+        // Work over-executed (both segments run the whole task).
+        let mut over = Schedule::new(3);
+        over.push(entry(0, 0.0, 1.2, 0, 2));
+        over.push(entry(0, 2.0, 1.2, 0, 2));
+        let report = validate_piecewise_subset(&inst, &over, None);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::WorkNotConserved { task: 0, .. })));
+        // Concurrent segments of one task (disjoint processors, overlapping
+        // time): caught by the per-task chronology check, not the processor
+        // overlap check.
+        let mut concurrent = Schedule::new(3);
+        concurrent.push(entry(0, 0.0, 1.0, 0, 1));
+        concurrent.push(entry(0, 0.5, 0.6, 1, 2));
+        let report = validate_piecewise_subset(&inst, &concurrent, None);
+        assert!(report
+            .violations
+            .contains(&Violation::ConcurrentSegments { task: 0 }));
+        // Cross-task processor overlaps still fire.
+        let mut overlap = Schedule::new(3);
+        overlap.push(entry(0, 0.0, 1.2, 0, 2));
+        overlap.push(entry(1, 0.5, 1.0, 1, 1));
+        let report = validate_piecewise_subset(&inst, &overlap, None);
+        assert!(report
+            .violations
+            .iter()
+            .any(|v| matches!(v, Violation::Overlap { .. })));
+        // Degenerate durations are reported, never silently accepted — a
+        // NaN would otherwise poison the conservation sum into a value that
+        // compares false against every threshold.
+        for bad in [f64::NAN, -1.0, 0.0, f64::INFINITY] {
+            let mut degenerate = Schedule::new(3);
+            degenerate.push(entry(0, 0.0, bad, 0, 2));
+            let report = validate_piecewise_subset(&inst, &degenerate, Some(10.0));
+            assert!(
+                report.violations.contains(&Violation::InvalidDuration {
+                    task: 0,
+                    duration: bad
+                }) || (bad.is_nan()
+                    && report
+                        .violations
+                        .iter()
+                        .any(|v| matches!(v, Violation::InvalidDuration { task: 0, .. }))),
+                "duration {bad}: {:?}",
+                report.violations
+            );
+        }
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod arrivals;
 pub mod families;
 pub mod generator;
 pub mod io;
+pub mod residual;
 pub mod stats;
 
 pub use arrivals::{
@@ -46,4 +47,5 @@ pub use arrivals::{
 pub use families::SpeedupFamily;
 pub use generator::{WorkMix, WorkloadConfig, WorkloadGenerator};
 pub use io::{instance_from_json, instance_to_json, instances_approx_equal};
+pub use residual::{executed_fraction, residual_profile, residual_task};
 pub use stats::{describe, InstanceStats};

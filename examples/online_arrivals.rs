@@ -65,7 +65,7 @@ fn main() {
             "{:<22} {:>9.3} {:>11.3} {:>11.3} {:>9.1}% {:>8}",
             result.policy,
             result.makespan,
-            report.ratio_vs_offline,
+            report.ratio_vs_offline.expect("tasks executed"),
             result.mean_flow_time,
             100.0 * result.utilization(),
             result.replans

@@ -209,11 +209,13 @@ fn warm_started_epoch_replan_stays_valid_and_competitive() {
     // Competitive quality unchanged up to search slack.
     let warm_report = online::competitive_report(&trace, &warm).unwrap();
     let cold_report = online::competitive_report(&trace, &cold).unwrap();
+    let (warm_ratio, cold_ratio) = (
+        warm_report.ratio_vs_lower_bound.unwrap(),
+        cold_report.ratio_vs_lower_bound.unwrap(),
+    );
     assert!(
-        warm_report.ratio_vs_lower_bound <= cold_report.ratio_vs_lower_bound * 1.05 + 1e-9,
-        "warm {} vs cold {}",
-        warm_report.ratio_vs_lower_bound,
-        cold_report.ratio_vs_lower_bound
+        warm_ratio <= cold_ratio * 1.05 + 1e-9,
+        "warm {warm_ratio} vs cold {cold_ratio}"
     );
     // The warm-started exact path does strictly less oracle work.
     assert!(

@@ -231,15 +231,15 @@ fn competitive_reports_are_finite_on_every_family() {
         let mut policy = EpochReplan::mrt(1.0).unwrap();
         let result = online::run(&trace, &mut policy).unwrap();
         let report = online::competitive_report(&trace, &result).unwrap();
+        let vs_offline = report.ratio_vs_offline.expect("tasks executed");
+        let vs_lb = report.ratio_vs_lower_bound.expect("tasks executed");
         assert!(
-            report.ratio_vs_offline.is_finite() && report.ratio_vs_offline >= 1.0 - 1e-9,
-            "{family}: ratio vs offline {}",
-            report.ratio_vs_offline
+            vs_offline.is_finite() && vs_offline >= 1.0 - 1e-9,
+            "{family}: ratio vs offline {vs_offline}"
         );
         assert!(
-            report.ratio_vs_lower_bound.is_finite() && report.ratio_vs_lower_bound >= 1.0 - 1e-9,
-            "{family}: ratio vs LB {}",
-            report.ratio_vs_lower_bound
+            vs_lb.is_finite() && vs_lb >= 1.0 - 1e-9,
+            "{family}: ratio vs LB {vs_lb}"
         );
     }
 }

@@ -9,7 +9,7 @@ use online::policy::{EpochReplan, GreedyList, PolicyKind, PolicyOptions};
 use packing::reservations::{HolePolicy, ReservationTimeline};
 use packing::timeline::TieBreak;
 use proptest::prelude::*;
-use simulator::{validate_schedule, validate_schedule_subset};
+use simulator::{validate_piecewise_subset, validate_schedule, validate_schedule_subset};
 use workload::{ArrivalPattern, ArrivalTrace, DeparturePolicy, TraceConfig, WorkloadConfig};
 
 fn trace(tasks: usize, processors: usize, seed: u64, bursty: bool) -> ArrivalTrace {
@@ -47,9 +47,9 @@ proptest! {
         let instance = trace.instance().unwrap();
         let registry = solver::default_registry();
         let combos = [
-            PolicyOptions { backfill: true, preempt_queued: false },
-            PolicyOptions { backfill: false, preempt_queued: true },
-            PolicyOptions { backfill: true, preempt_queued: true },
+            PolicyOptions { backfill: true, ..PolicyOptions::default() },
+            PolicyOptions { preempt_queued: true, ..PolicyOptions::default() },
+            PolicyOptions { backfill: true, preempt_queued: true, ..PolicyOptions::default() },
         ];
         for kind in [
             PolicyKind::Greedy,
@@ -127,7 +127,7 @@ fn backfilling_dominates_on_average() {
                     let mut policy = kind
                         .build_with(PolicyOptions {
                             backfill: true,
-                            preempt_queued: false,
+                            ..PolicyOptions::default()
                         })
                         .unwrap();
                     online::run(&trace, policy.as_mut()).unwrap()
@@ -250,6 +250,83 @@ fn preemptive_epoch_replanning_validates_on_random_bursts() {
         // Preemption must never break the certified offline bound.
         let offline = malleable_core::mrt::schedule(&instance).unwrap();
         assert!(preemptive.makespan >= offline.certified_lower_bound - 1e-9);
+    }
+}
+
+// Mid-execution re-allotment across every speed-up profile generator and
+// arrival pattern: any sequence of re-allotments the engine performs
+// conserves total work within 1e-6 (checked per task on the piecewise
+// schedule), the extended simulator validation accepts every
+// engine-produced piecewise schedule, and the online conditions still hold.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    #[test]
+    fn reallotted_schedules_conserve_work_and_validate(
+        tasks in 10usize..26,
+        seed in 0u64..1000,
+        family in 0usize..3,
+        bursty in 0usize..2,
+        with_departures in 0usize..2,
+        backfill in 0usize..2,
+    ) {
+        // Each workload family draws from a different mix of the speed-up
+        // generators (Amdahl, power-law, communication-overhead, step,
+        // linear, sequential).
+        let workload = match family {
+            0 => WorkloadConfig::mixed(tasks, 8, seed),
+            1 => WorkloadConfig::wide_tasks(tasks, 8, seed),
+            _ => WorkloadConfig::sequential_heavy(tasks, 8, seed),
+        };
+        let pattern = if bursty == 1 {
+            ArrivalPattern::Bursty { burst_size: (tasks / 3).max(2), burst_gap: 2.0 }
+        } else {
+            ArrivalPattern::Poisson { rate: 4.0 }
+        };
+        let mut trace = ArrivalTrace::generate(&TraceConfig { workload, pattern }).unwrap();
+        if with_departures == 1 {
+            trace = trace
+                .with_departures(DeparturePolicy::Patience { mean: 4.0 }, seed)
+                .unwrap();
+        }
+        let instance = trace.instance().unwrap();
+        let registry = solver::default_registry();
+        let options = PolicyOptions {
+            backfill: backfill == 1,
+            preempt_queued: true,
+            preempt_running: true,
+        };
+        let kind = PolicyKind::Epoch { period: 1.0, solver: registry.get("mrt").unwrap() };
+        let mut policy = kind.build_with(options).unwrap();
+        let result = online::run(&trace, policy.as_mut()).unwrap();
+        // Extended simulator validation: per-segment feasibility + per-task
+        // work conservation within 1e-6.
+        let report = validate_piecewise_subset(&instance, &result.schedule, None);
+        prop_assert!(report.is_valid(), "{}: {:?}", result.policy, report.violations);
+        // Direct work-conservation recomputation, independent of the
+        // validator's implementation.
+        let mut executed = vec![0.0f64; trace.len()];
+        for e in result.schedule.entries() {
+            executed[e.task] += e.duration / instance.time(e.task, e.processors.count);
+        }
+        for (task, &fraction) in executed.iter().enumerate() {
+            if fraction > 0.0 {
+                prop_assert!(
+                    (fraction - 1.0).abs() <= 1e-6,
+                    "task {task} executed fraction {fraction}"
+                );
+            } else {
+                prop_assert!(trace.arrivals()[task].departs_at.is_some());
+            }
+        }
+        // Online conditions (arrival/departure bounds, processor overlaps).
+        let violations = online::validate_against_trace(&trace, &result.schedule);
+        prop_assert!(violations.is_empty(), "{}: {violations:?}", result.policy);
+        // Re-allotment never breaks the certified offline bound when no
+        // task departed (the executed set is then the full instance).
+        if result.departed == 0 {
+            let offline = malleable_core::mrt::schedule(&instance).unwrap();
+            prop_assert!(result.makespan >= offline.certified_lower_bound - 1e-9);
+        }
     }
 }
 
