@@ -1,13 +1,13 @@
 //! Competitive-ratio report: online policies vs the clairvoyant offline MRT
 //! run, per trace family, emitted as JSON for the perf trajectory
-//! (`BENCH_4.json` in CI).
+//! (`BENCH_6.json` in CI).
 //!
 //! ```text
 //! cargo run -p bench --release --bin online_report [seeds-per-cell]
 //! ```
 //!
-//! Four sections (the `BENCH_5.json` surface — a superset of the earlier
-//! `BENCH_4.json`):
+//! Five sections (the `BENCH_6.json` surface — a superset of the earlier
+//! `BENCH_4.json`/`BENCH_5.json`):
 //!
 //! * `cells` — every policy × family of the classical evaluation (the PR-1
 //!   surface, unchanged);
@@ -25,7 +25,11 @@
 //!   mean competitive ratio is strictly better than queued-only preemption,
 //!   every piecewise schedule passes the extended simulator validation
 //!   (per-segment feasibility + work conservation), and re-allotment
-//!   strictly beats queued-only preemption on the shipped scenario.
+//!   strictly beats queued-only preemption on the shipped scenario;
+//! * `telemetry` — a fully recorded bursty run through the re-allotting
+//!   engine: p50/p99 decision latency, epoch-solve spans, probes per solve,
+//!   tasks/sec placed, and the time-weighted utilisation figure.  **Gate:**
+//!   the recorded stream contains zero `invariant_violation` events.
 //!
 //! Runs whose tasks *all* departed have no competitive ratio
 //! (`ratio_vs_lower_bound = null`); such seeds are excluded from every mean
@@ -70,7 +74,7 @@ fn run_family(
     };
     for seed in 0..seeds {
         let trace = family.trace(seed);
-        let mut policy = kind.build_with(options).expect("valid policy");
+        let mut policy = kind.build_with(options.clone()).expect("valid policy");
         let result = online::run(&trace, policy.as_mut()).expect("engine run succeeds");
         assert!(
             online::validate_against_trace(&trace, &result.schedule).is_empty(),
@@ -365,13 +369,51 @@ fn main() {
         "reallotted_commitments": scenario_reallotted,
     }));
 
+    // Section 5: one fully recorded run through the re-allotting engine —
+    // the decision-latency and throughput surface of the telemetry
+    // subsystem, gated on a clean (violation-free) event stream.
+    let mut telemetry_cells: Vec<Value> = Vec::new();
+    for family in bursty_suite().iter().filter(|f| !f.has_departures()) {
+        let recorder = telemetry::CollectingRecorder::shared();
+        let kind = PolicyKind::Epoch {
+            period: 1.0,
+            solver: registry.get("mrt").expect("registered"),
+        };
+        let mut policy = kind
+            .build_with(PolicyOptions {
+                preempt_queued: true,
+                preempt_running: true,
+                recorder: Some(recorder.clone() as telemetry::SharedRecorder),
+                ..PolicyOptions::default()
+            })
+            .expect("valid policy");
+        let trace = family.trace(0);
+        let epoch_period = policy.epoch();
+        let result = online::run_recorded(&trace, policy.as_mut(), recorder.as_ref())
+            .expect("recorded engine run succeeds");
+        let summary = online::summarize(&recorder, &result, epoch_period);
+        if summary.invariant_violations != 0 {
+            gate_failures.push(format!(
+                "telemetry gate: {} recorded {} invariant violation(s)",
+                family.name, summary.invariant_violations
+            ));
+        }
+        telemetry_cells.push(json!({
+            "family": family.name,
+            "tasks": trace.len(),
+            "summary": summary.to_json(),
+        }));
+    }
+
     let backfill_gate_ok = !gate_failures.iter().any(|f| f.starts_with("backfill"));
     let preemption_gate_ok = !gate_failures.iter().any(|f| f.starts_with("preemption"));
     let reallotment_gate_ok = !gate_failures.iter().any(|f| f.starts_with("reallotment"));
+    let telemetry_gate_ok = !gate_failures.iter().any(|f| f.starts_with("telemetry"));
     let gates = json!({
         "backfill_mean_ratio_not_worse_on_bursty_suite": backfill_gate_ok,
         "preemption_beats_plain_on_scenario": preemption_gate_ok,
         "reallotment_beats_preempt_queued_on_bursty_overload": reallotment_gate_ok,
+        "telemetry_zero_invariant_violations": telemetry_gate_ok,
     });
     let doc = json!({
         "report": "online-competitive-ratio",
@@ -379,6 +421,7 @@ fn main() {
         "backfill": backfill_cells,
         "preemption": preemption_cells,
         "reallotment": reallotment_cells,
+        "telemetry": telemetry_cells,
         "gates": gates,
     });
     println!(

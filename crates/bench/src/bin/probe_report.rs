@@ -15,6 +15,10 @@
 //!   events of a steady-state workspace (must be 0).
 //! * **online** — end-to-end epoch-replan runs, cold bisection vs
 //!   warm-started exact, with makespans, probe totals and wall time.
+//! * **overhead** — the cost of the telemetry instrumentation when nothing
+//!   records: `online::run` (uninstrumented path) vs
+//!   `online::run_recorded(&NoopRecorder)` on the same trace,
+//!   min-of-repetitions per variant.
 //!
 //! The binary *gates* the PR's acceptance criteria itself and exits
 //! non-zero when they fail, so CI can run it directly:
@@ -22,7 +26,9 @@
 //! * exact mode uses ≥ 2× fewer oracle probes than bisection on the
 //!   `n = 200 / m = 64` cells;
 //! * steady-state probes perform zero workspace-buffer growth;
-//! * online competitive ratios agree within the search slack.
+//! * online competitive ratios agree within the search slack;
+//! * the `NoopRecorder` run is within 2% of the uninstrumented run (plus a
+//!   1 ms absolute floor to absorb scheduler jitter on loaded CI hosts).
 
 use std::time::Instant;
 
@@ -228,11 +234,65 @@ fn main() {
         }));
     }
 
+    // ---- Overhead: uninstrumented run vs NoopRecorder-recorded run ------
+    // Both paths share `run_inner`; the recorded one additionally branches
+    // on the (noop) recorder per event.  Min-of-repetitions, interleaved so
+    // slow host phases hit both variants alike.
+    let overhead_trace = ArrivalTrace::generate(&TraceConfig {
+        workload: WorkloadConfig::mixed(400, 32, 0),
+        pattern: ArrivalPattern::Bursty {
+            burst_size: 16,
+            burst_gap: 4.0,
+        },
+    })
+    .expect("trace generation");
+    let noop = telemetry::NoopRecorder;
+    let mut plain_ns = Vec::new();
+    let mut noop_ns = Vec::new();
+    for _ in 0..7 {
+        let mut policy = EpochReplan::mrt(1.0).expect("policy");
+        let start = Instant::now();
+        let plain = online::run(&overhead_trace, &mut policy).expect("plain run");
+        plain_ns.push(start.elapsed().as_nanos() as f64);
+
+        let mut policy = EpochReplan::mrt(1.0).expect("policy");
+        let start = Instant::now();
+        let recorded =
+            online::run_recorded(&overhead_trace, &mut policy, &noop).expect("recorded run");
+        noop_ns.push(start.elapsed().as_nanos() as f64);
+        assert_eq!(
+            plain.makespan, recorded.makespan,
+            "the noop-recorded run must be behaviourally identical"
+        );
+    }
+    let min_of = |samples: &[f64]| samples.iter().copied().fold(f64::INFINITY, f64::min);
+    let plain_min = min_of(&plain_ns);
+    let noop_min = min_of(&noop_ns);
+    let overhead = noop_min / plain_min - 1.0;
+    if noop_min > plain_min * 1.02 + 1e6 {
+        failures.push(format!(
+            "noop telemetry overhead {:.2}% exceeds the 2% budget ({:.3} ms vs {:.3} ms)",
+            overhead * 100.0,
+            noop_min / 1e6,
+            plain_min / 1e6
+        ));
+    }
+    let overhead_section = json!({
+        "tasks": overhead_trace.len(),
+        "processors": overhead_trace.processors(),
+        "repetitions": plain_ns.len(),
+        "plain_min_ns": plain_min,
+        "noop_min_ns": noop_min,
+        "overhead_fraction": overhead,
+        "budget_fraction": 0.02,
+    });
+
     let doc = json!({
         "report": "probe-workspace-perf",
         "offline": offline_cells,
         "workspace": workspace_section,
         "online": online_cells,
+        "overhead": overhead_section,
         "gates_failed": failures.clone(),
     });
     println!(

@@ -142,6 +142,9 @@ pub enum Command {
         /// Mean patience for the inline-generated trace (None = no
         /// departures; ignored when --trace is given).
         departure_patience: Option<f64>,
+        /// Record structured telemetry and write the event stream to this
+        /// JSONL file; also prints the decision-latency/throughput summary.
+        telemetry: Option<String>,
         json: bool,
         no_validate: bool,
         output: Option<String>,
@@ -239,7 +242,8 @@ USAGE:
   malleable-sched online   [--trace FILE] --policy <greedy|epoch-mrt|epoch-ludwig|epoch-list|batch-idle>
                            [--epoch D] [--solver NAME] [--search <exact|bisect>]
                            [--backfill] [--preempt-queued] [--preempt-running]
-                           [--json] [--no-validate] [--output schedule.json]
+                           [--telemetry events.jsonl] [--json] [--no-validate]
+                           [--output schedule.json]
                            (without --trace, the trace flags of `trace` generate one
                            inline; --backfill first-fits placements into idle holes
                            below the frontier; --preempt-queued makes epoch policies
@@ -247,7 +251,9 @@ USAGE:
                            and re-solve them with the pending set; --preempt-running
                            additionally truncates running commitments at the boundary
                            and re-solves their residuals — mid-execution re-allotment,
-                           work conserved under the speed-up model)
+                           work conserved under the speed-up model; --telemetry records
+                           the structured event stream as JSONL and prints decision-
+                           latency percentiles, tasks/sec and the utilisation timeline)
   malleable-sched schedule <instance.json> [--solver NAME]
                            [--search <exact|bisect>] [--parallel-branches]
                            [--gantt] [--output schedule.json]
@@ -426,6 +432,7 @@ impl Cli {
         let mut processors = 32usize;
         let mut seed = 0u64;
         let mut departure_patience = None;
+        let mut telemetry = None;
         let mut json = false;
         let mut no_validate = false;
         let mut output = None;
@@ -484,6 +491,7 @@ impl Cli {
                         stream.value_for("--departure-patience")?,
                     )?)
                 }
+                "--telemetry" => telemetry = Some(stream.value_for("--telemetry")?.to_string()),
                 "--json" => json = true,
                 "--no-validate" => no_validate = true,
                 "--output" | "-o" => output = Some(stream.value_for("--output")?.to_string()),
@@ -508,6 +516,7 @@ impl Cli {
             processors,
             seed,
             departure_patience,
+            telemetry,
             json,
             no_validate,
             output,

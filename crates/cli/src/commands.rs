@@ -11,8 +11,9 @@ use online::{
     competitive_report, validate_against_trace, EpochReplan, OnlinePolicy, PolicyKind,
     PolicyOptions,
 };
-use serde_json::json;
+use serde_json::{json, Value};
 use simulator::{render_gantt, simulate, validate_schedule};
+use telemetry::{CollectingRecorder, SharedRecorder};
 use workload::{
     describe, instance_from_json, instance_to_json, trace_from_json, trace_to_json, ArrivalPattern,
     ArrivalTrace, DeparturePolicy, TraceConfig, WorkloadConfig, WorkloadGenerator,
@@ -129,6 +130,7 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             processors,
             seed,
             departure_patience,
+            telemetry,
             json,
             no_validate,
             output,
@@ -147,6 +149,7 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             processors: *processors,
             seed: *seed,
             departure_patience: *departure_patience,
+            telemetry: telemetry.as_deref(),
             json: *json,
             no_validate: *no_validate,
             output: output.as_deref(),
@@ -243,6 +246,7 @@ struct OnlineArgs<'a> {
     processors: usize,
     seed: u64,
     departure_patience: Option<f64>,
+    telemetry: Option<&'a str>,
     json: bool,
     no_validate: bool,
     output: Option<&'a str>,
@@ -265,10 +269,14 @@ fn run_online(args: OnlineArgs) -> Result<String, CliError> {
     };
 
     let solver = resolve_solver(args.solver)?;
+    // One recorder handle shared between the engine and the policy, so the
+    // workspace counters and the engine events land in the same stream.
+    let recorder = args.telemetry.map(|_| CollectingRecorder::shared());
     let options = PolicyOptions {
         backfill: args.backfill,
         preempt_queued: args.preempt_queued,
         preempt_running: args.preempt_running,
+        recorder: recorder.clone().map(|handle| handle as SharedRecorder),
     };
     let mut policy: Box<dyn OnlinePolicy> = match args.policy {
         PolicyChoice::Greedy => PolicyKind::Greedy
@@ -276,22 +284,46 @@ fn run_online(args: OnlineArgs) -> Result<String, CliError> {
             .map_err(|e| CliError::Invalid(e.to_string()))?,
         // The epoch policy is built directly so warm-start-capable solvers
         // can honour the --search flag.
-        PolicyChoice::Epoch => Box::new(
-            EpochReplan::with_solver(args.epoch, solver)
+        PolicyChoice::Epoch => {
+            let mut epoch_policy = EpochReplan::with_solver(args.epoch, solver)
                 .map_err(|e| CliError::Invalid(e.to_string()))?
                 .with_search(search_mode(args.search))
                 .with_backfill(args.backfill)
                 .with_preempt_queued(args.preempt_queued)
-                .with_preempt_running(args.preempt_running),
-        ),
+                .with_preempt_running(args.preempt_running);
+            if let Some(handle) = &recorder {
+                epoch_policy = epoch_policy.with_recorder(handle.clone() as SharedRecorder);
+            }
+            Box::new(epoch_policy)
+        }
         PolicyChoice::Batch => PolicyKind::Batch { solver }
             .build_with(options)
             .map_err(|e| CliError::Invalid(e.to_string()))?,
     };
-    let result =
-        online::run(&trace, policy.as_mut()).map_err(|e| CliError::Scheduling(e.to_string()))?;
+    let epoch_period = policy.epoch();
+    let result = match &recorder {
+        Some(handle) => online::run_recorded(&trace, policy.as_mut(), handle.as_ref()),
+        None => online::run(&trace, policy.as_mut()),
+    }
+    .map_err(|e| CliError::Scheduling(e.to_string()))?;
     let report =
         competitive_report(&trace, &result).map_err(|e| CliError::Scheduling(e.to_string()))?;
+
+    // Write the event stream and build the summary both output modes share.
+    let summary = match (&recorder, args.telemetry) {
+        (Some(handle), Some(path)) => {
+            let mut buffer = Vec::new();
+            handle.write_jsonl(&mut buffer).map_err(|e| CliError::Io {
+                path: path.to_string(),
+                message: e.to_string(),
+            })?;
+            let text = String::from_utf8(buffer)
+                .expect("JSONL telemetry streams are UTF-8 by construction");
+            write_file(path, &text)?;
+            Some(online::summarize(handle, &result, epoch_period))
+        }
+        _ => None,
+    };
 
     let validation = if args.no_validate {
         None
@@ -333,8 +365,11 @@ fn run_online(args: OnlineArgs) -> Result<String, CliError> {
             "departed": result.departed,
             "preempted": result.preempted,
             "reallotted": result.reallotted,
+            "time_weighted_utilization": result.time_weighted_utilization(),
             "validated": validation.is_some(),
             "schedule_file": args.output,
+            "telemetry_file": args.telemetry,
+            "telemetry": summary.as_ref().map_or(Value::Null, |s| s.to_json()),
         });
         let mut text = serde_json::to_string_pretty(&doc).expect("report serialisation");
         text.push('\n');
@@ -345,7 +380,7 @@ fn run_online(args: OnlineArgs) -> Result<String, CliError> {
             Some(r) => format!("{r:.4}"),
             None => "n/a (all tasks departed)".to_string(),
         };
-        format!(
+        let mut text = format!(
             "policy           : {}\ntrace            : {} tasks on {} processors (last arrival {:.4})\nonline makespan  : {:.4}\noffline mrt      : {:.4}\ncertified LB     : {:.4}\nratio vs offline : {}\nratio vs LB      : {}\nmean flow time   : {:.4}\nmax flow time    : {:.4}\nutilisation      : {:.1}%\nreplans          : {}\nevents           : {}\ndeparted         : {}\npreempted        : {}\nreallotted       : {}\nvalidation       : {}\n",
             result.policy,
             trace.len(),
@@ -365,7 +400,19 @@ fn run_online(args: OnlineArgs) -> Result<String, CliError> {
             result.preempted,
             result.reallotted,
             if validation.is_some() { "OK" } else { "skipped" },
-        )
+        );
+        if let Some(summary) = &summary {
+            text.push_str("\ntelemetry\n");
+            for line in summary.render_table() {
+                text.push_str("  ");
+                text.push_str(&line);
+                text.push('\n');
+            }
+            if let Some(path) = args.telemetry {
+                text.push_str(&format!("telemetry stream written to {path}\n"));
+            }
+        }
+        text
     };
     match args.output {
         Some(path) if !args.json => Ok(out + &format!("schedule written to {path}\n")),

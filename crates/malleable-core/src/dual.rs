@@ -81,6 +81,11 @@ pub struct SearchResult {
     /// Whether the wall-clock budget ([`DualSearch::time_budget`]) expired
     /// and truncated the search.
     pub time_budget_exhausted: bool,
+    /// Wall time of the whole search, measured on the workspace-wide
+    /// monotonic clock ([`telemetry::SpanTimer`]) — the same timer that
+    /// enforces [`DualSearch::time_budget`], so budget checks and the
+    /// reported duration can never disagree.
+    pub wall_time: std::time::Duration,
 }
 
 impl SearchResult {
@@ -172,8 +177,9 @@ struct SearchState<'a> {
     best: Option<Schedule>,
     best_makespan: f64,
     feasible_omega: f64,
-    /// When the solve started, for the wall-clock budget.
-    started: std::time::Instant,
+    /// When the solve started — one [`telemetry::SpanTimer`] serves both the
+    /// wall-clock budget checks and the reported [`SearchResult::wall_time`].
+    started: telemetry::SpanTimer,
     /// Set once the wall-clock budget truncated a phase.
     time_budget_exhausted: bool,
 }
@@ -195,7 +201,7 @@ impl<'a> SearchState<'a> {
             best: None,
             best_makespan: f64::INFINITY,
             feasible_omega: f64::INFINITY,
-            started: std::time::Instant::now(),
+            started: telemetry::SpanTimer::start(),
             time_budget_exhausted: false,
         }
     }
@@ -241,6 +247,7 @@ impl<'a> SearchState<'a> {
             feasible_omega: self.feasible_omega,
             probes: self.probes,
             time_budget_exhausted: self.time_budget_exhausted,
+            wall_time: self.started.elapsed(),
         })
     }
 }

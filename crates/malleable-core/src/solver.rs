@@ -54,7 +54,7 @@
 
 use std::fmt;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crate::allotment::Allotment;
 use crate::bounds;
@@ -317,7 +317,6 @@ impl Solver for MrtSolver {
         request: &SolveRequest<'_>,
         workspace: &mut ProbeWorkspace,
     ) -> Result<SolveOutcome> {
-        let timer = Instant::now();
         let mut scheduler = match request.lambda {
             Some(lambda) => MrtScheduler::with_lambda(lambda)?,
             None => MrtScheduler::default(),
@@ -349,7 +348,10 @@ impl Solver for MrtSolver {
             certified: true,
             feasible_omega: Some(result.feasible_omega),
             probes: result.probes,
-            wall_time: timer.elapsed(),
+            // The search measures its own span on the shared monotonic clock
+            // (the same timer that enforces the time budget); re-timing it
+            // here would double up clock sources.
+            wall_time: result.wall_time,
             time_budget_exhausted: result.time_budget_exhausted,
         })
     }
@@ -371,7 +373,7 @@ impl Solver for CanonicalListSolver {
     }
 
     fn solve(&self, request: &SolveRequest<'_>) -> Result<SolveOutcome> {
-        let timer = Instant::now();
+        let timer = telemetry::SpanTimer::start();
         let instance = request.instance;
         let omega = bounds::upper_bound(instance);
         let allotment = Allotment::canonical(instance, omega)?;

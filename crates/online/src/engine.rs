@@ -44,6 +44,7 @@
 use crate::event::{EventKind, EventQueue};
 use crate::machine::MachineState;
 use crate::policy::{Commitment, OnlinePolicy, PendingTask, Trigger};
+use ::telemetry::{names, Recorder, SpanTimer, TelemetryEvent};
 use malleable_core::prelude::*;
 use workload::ArrivalTrace;
 
@@ -72,12 +73,31 @@ pub struct OnlineResult {
     /// Number of running commitments truncated for mid-execution
     /// re-allotment (each adds one executed segment to the schedule).
     pub reallotted: usize,
+    /// Integral of busy processors over the horizon: the sum of
+    /// `duration × allotment` over every executed segment.  Divides by
+    /// `m × makespan` to give [`OnlineResult::time_weighted_utilization`].
+    pub busy_integral: f64,
 }
 
 impl OnlineResult {
     /// Machine utilisation over the makespan horizon.
     pub fn utilization(&self) -> f64 {
         self.schedule.utilization()
+    }
+
+    /// Time-weighted utilisation: the busy-processor integral over the whole
+    /// horizon divided by `m × makespan`.  Unlike a sampled end-of-run
+    /// scalar this weights every interval by its length, so idle stretches
+    /// between epochs count against the figure.  Equal to
+    /// [`OnlineResult::utilization`] by construction (both integrate the
+    /// piecewise-constant allotments exactly); kept as a stored integral so
+    /// telemetry can re-bin it per epoch without re-walking the schedule.
+    pub fn time_weighted_utilization(&self) -> f64 {
+        let horizon = self.schedule.makespan();
+        if horizon <= 0.0 {
+            return 0.0;
+        }
+        self.busy_integral / (self.schedule.processors() as f64 * horizon)
     }
 }
 
@@ -184,6 +204,36 @@ struct RunningTask {
 
 /// Run a policy over a trace.
 pub fn run(trace: &ArrivalTrace, policy: &mut dyn OnlinePolicy) -> Result<OnlineResult> {
+    run_inner(trace, policy, None)
+}
+
+/// Run a policy over a trace with telemetry.
+///
+/// Every engine decision is recorded: per-event-loop decision latency and
+/// hole-scan histograms, per-epoch solve spans (solver name, probe count,
+/// warm-start flag), structured placement/revocation/truncation/completion/
+/// departure events, reservation-timeline operation counts, and a per-epoch
+/// time-weighted utilisation timeline.  Pass a `NoopRecorder` to measure
+/// instrumentation overhead against [`run`] (the `probe_report` bench gates
+/// the difference at ≤ 2%); pass a
+/// [`CollectingRecorder`](::telemetry::CollectingRecorder) — with a clone of
+/// the same handle in
+/// [`crate::policy::PolicyOptions::recorder`] so the policy's workspace
+/// counters land in the same sink — to collect the stream.
+pub fn run_recorded(
+    trace: &ArrivalTrace,
+    policy: &mut dyn OnlinePolicy,
+    recorder: &dyn Recorder,
+) -> Result<OnlineResult> {
+    run_inner(trace, policy, Some(recorder))
+}
+
+fn run_inner(
+    trace: &ArrivalTrace,
+    policy: &mut dyn OnlinePolicy,
+    recorder: Option<&dyn Recorder>,
+) -> Result<OnlineResult> {
+    let run_timer = recorder.map(|_| SpanTimer::start());
     let instance = trace.instance()?;
     let n = trace.len();
     let mut machine = if policy.backfill() {
@@ -214,9 +264,14 @@ pub fn run(trace: &ArrivalTrace, policy: &mut dyn OnlinePolicy) -> Result<Online
     let mut preempted = 0usize;
     let mut reallotted = 0usize;
     let mut tick_scheduled = false;
+    // Running maximum of committed start times, for the backfill telemetry
+    // flag: a placement beginning strictly before it filled an earlier hole.
+    let mut latest_committed_start = 0.0f64;
 
     while let Some(event) = queue.pop() {
         events += 1;
+        let decision_timer = recorder.map(|_| SpanTimer::start());
+        let holes_before = recorder.map(|_| machine.timeline_stats().holes_scanned);
         machine.advance_to(event.time);
         let trigger = match event.kind {
             EventKind::Arrival(index) => {
@@ -249,6 +304,15 @@ pub fn run(trace: &ArrivalTrace, policy: &mut dyn OnlinePolicy) -> Result<Online
                             finished_at: c.start + c.duration,
                         };
                         machine.complete_one();
+                        if let Some(rec) = recorder {
+                            rec.add(names::COMPLETIONS, 1);
+                            if rec.enabled() {
+                                rec.event(TelemetryEvent::Complete {
+                                    time: event.time,
+                                    task: task as u64,
+                                });
+                            }
+                        }
                         Some(Trigger::Completion)
                     }
                     _ => None,
@@ -266,6 +330,16 @@ pub fn run(trace: &ArrivalTrace, policy: &mut dyn OnlinePolicy) -> Result<Online
                         pending.remove(pos);
                         states[index] = TaskState::Departed;
                         departed += 1;
+                        if let Some(rec) = recorder {
+                            rec.add(names::DEPARTURES, 1);
+                            if rec.enabled() {
+                                rec.event(TelemetryEvent::Depart {
+                                    time: event.time,
+                                    task: index as u64,
+                                    completed: false,
+                                });
+                            }
+                        }
                         Some(Trigger::Departure)
                     } else {
                         // Departure before arrival cannot happen (validated
@@ -282,6 +356,21 @@ pub fn run(trace: &ArrivalTrace, policy: &mut dyn OnlinePolicy) -> Result<Online
                         .expect("queued commitments are revocable");
                     states[index] = TaskState::Departed;
                     departed += 1;
+                    if let Some(rec) = recorder {
+                        rec.add(names::REVOCATIONS, 1);
+                        rec.add(names::DEPARTURES, 1);
+                        if rec.enabled() {
+                            rec.event(TelemetryEvent::Revoke {
+                                time: event.time,
+                                task: index as u64,
+                            });
+                            rec.event(TelemetryEvent::Depart {
+                                time: event.time,
+                                task: index as u64,
+                                completed: false,
+                            });
+                        }
+                    }
                     Some(Trigger::Departure)
                 }
                 // Running, finished, already departed, or a residual that
@@ -330,6 +419,15 @@ pub fn run(trace: &ArrivalTrace, policy: &mut dyn OnlinePolicy) -> Result<Online
                                 remaining: remaining[task],
                             });
                             preempted += 1;
+                            if let Some(rec) = recorder {
+                                rec.add(names::REVOCATIONS, 1);
+                                if rec.enabled() {
+                                    rec.event(TelemetryEvent::Revoke {
+                                        time: now,
+                                        task: task as u64,
+                                    });
+                                }
+                            }
                         }
                     }
                 }
@@ -389,6 +487,27 @@ pub fn run(trace: &ArrivalTrace, policy: &mut dyn OnlinePolicy) -> Result<Online
                             } else {
                                 preempted += 1;
                             }
+                            if let Some(rec) = recorder {
+                                if truncated {
+                                    rec.add(names::TRUNCATIONS, 1);
+                                } else {
+                                    rec.add(names::REVOCATIONS, 1);
+                                }
+                                if rec.enabled() {
+                                    rec.event(if truncated {
+                                        TelemetryEvent::Truncate {
+                                            time: now,
+                                            task: task as u64,
+                                            at: now,
+                                        }
+                                    } else {
+                                        TelemetryEvent::Revoke {
+                                            time: now,
+                                            task: task as u64,
+                                        }
+                                    });
+                                }
+                            }
                         }
                     }
                 }
@@ -397,7 +516,37 @@ pub fn run(trace: &ArrivalTrace, policy: &mut dyn OnlinePolicy) -> Result<Online
             }
 
             if !pending.is_empty() && policy.should_plan(trigger, &machine) {
+                let probes_before = policy.probes_issued();
+                let warm_start = policy.warm_start();
+                if let Some(rec) = recorder {
+                    if rec.enabled() {
+                        rec.event(TelemetryEvent::SolveStart {
+                            time: machine.now(),
+                            solver: policy.solver_name(),
+                            pending: pending.len(),
+                            warm_start,
+                        });
+                    }
+                }
+                let solve_timer = recorder.map(|_| SpanTimer::start());
                 let commitments = policy.plan(&instance, &pending, &mut machine)?;
+                if let Some(rec) = recorder {
+                    let wall_ns = solve_timer.as_ref().map_or(0, SpanTimer::elapsed_ns);
+                    let probes = policy.probes_issued().saturating_sub(probes_before) as u64;
+                    rec.sample(names::SOLVE_NS, wall_ns);
+                    rec.sample(names::SOLVE_PROBES, probes);
+                    rec.add(names::REPLANS, 1);
+                    if rec.enabled() {
+                        rec.event(TelemetryEvent::SolveEnd {
+                            time: machine.now(),
+                            solver: policy.solver_name(),
+                            probes,
+                            wall_ns,
+                            scheduled: commitments.len(),
+                            warm_start,
+                        });
+                    }
+                }
                 replans += 1;
                 pending.clear();
                 for c in commitments {
@@ -406,6 +555,18 @@ pub fn run(trace: &ArrivalTrace, policy: &mut dyn OnlinePolicy) -> Result<Online
                         // A correct policy can never commit into a task's
                         // past; treat it as a hard model violation rather
                         // than a bad schedule.
+                        if let Some(rec) = recorder {
+                            rec.add(names::INVARIANT_VIOLATIONS, 1);
+                            if rec.enabled() {
+                                rec.event(TelemetryEvent::InvariantViolation {
+                                    time: machine.now(),
+                                    detail: format!(
+                                        "task {} committed at {} before its arrival at {arrived_at}",
+                                        c.task, c.start
+                                    ),
+                                });
+                            }
+                        }
                         return Err(Error::InvalidParameter {
                             name: "start-before-arrival",
                             value: c.start,
@@ -413,6 +574,24 @@ pub fn run(trace: &ArrivalTrace, policy: &mut dyn OnlinePolicy) -> Result<Online
                     }
                     queue.push(c.start + c.duration, EventKind::Completion(c.task));
                     states[c.task] = TaskState::Committed(c);
+                    if let Some(rec) = recorder {
+                        let backfilled = c.start + 1e-9 < latest_committed_start;
+                        rec.add(names::PLACEMENTS, 1);
+                        if backfilled {
+                            rec.add(names::BACKFILLS, 1);
+                        }
+                        if rec.enabled() {
+                            rec.event(TelemetryEvent::Place {
+                                time: machine.now(),
+                                task: c.task as u64,
+                                start: c.start,
+                                duration: c.duration,
+                                processors: c.count,
+                                backfilled,
+                            });
+                        }
+                    }
+                    latest_committed_start = latest_committed_start.max(c.start);
                 }
             }
 
@@ -427,18 +606,38 @@ pub fn run(trace: &ArrivalTrace, policy: &mut dyn OnlinePolicy) -> Result<Online
                 }
             }
         }
+
+        if let Some(rec) = recorder {
+            if let Some(timer) = &decision_timer {
+                rec.sample(names::DECISION_NS, timer.elapsed_ns());
+            }
+            rec.add(names::EVENTS, 1);
+            let scanned = machine.timeline_stats().holes_scanned - holes_before.unwrap_or(0);
+            if scanned > 0 {
+                rec.sample(names::HOLE_SCAN, scanned);
+            }
+        }
     }
 
     // Defensive: a policy that never planned its last tasks would leave the
     // queue non-empty here (no such policy ships, but fail loudly if one
     // appears).
     if !pending.is_empty() {
+        record_violation(
+            recorder,
+            machine.now(),
+            format!(
+                "{} task(s) still pending after the heap drained",
+                pending.len()
+            ),
+        );
         return Err(Error::NoFeasibleSchedule);
     }
 
     let mut schedule = Schedule::new(instance.processors());
     let mut flow_sum = 0.0f64;
     let mut flow_max = 0.0f64;
+    let mut busy_integral = 0.0f64;
     let mut executed = 0usize;
     for (task, state) in states.iter().enumerate() {
         let finished_at = match state {
@@ -447,7 +646,14 @@ pub fn run(trace: &ArrivalTrace, policy: &mut dyn OnlinePolicy) -> Result<Online
             // A policy that commits only part of the pending set it was
             // handed (the `plan` contract requires all of it) leaves tasks
             // waiting forever; surface that as an error, not a panic.
-            TaskState::Waiting => return Err(Error::NoFeasibleSchedule),
+            TaskState::Waiting => {
+                record_violation(
+                    recorder,
+                    machine.now(),
+                    format!("task {task} ended the run still waiting"),
+                );
+                return Err(Error::NoFeasibleSchedule);
+            }
             // Every commitment has a completion event, and the loop only
             // ends once the heap drained.
             other => unreachable!("task {task} ended the run as {other:?}"),
@@ -456,6 +662,7 @@ pub fn run(trace: &ArrivalTrace, policy: &mut dyn OnlinePolicy) -> Result<Online
         // running re-allotment split it).
         for segment in &segments[task] {
             schedule.push(*segment);
+            busy_integral += segment.duration * segment.processors.count as f64;
         }
         let flow = finished_at - trace.arrivals()[task].at;
         flow_sum += flow;
@@ -463,7 +670,7 @@ pub fn run(trace: &ArrivalTrace, policy: &mut dyn OnlinePolicy) -> Result<Online
         executed += 1;
     }
 
-    Ok(OnlineResult {
+    let result = OnlineResult {
         policy: policy.name(),
         makespan: schedule.makespan(),
         mean_flow_time: flow_sum / executed.max(1) as f64,
@@ -473,8 +680,45 @@ pub fn run(trace: &ArrivalTrace, policy: &mut dyn OnlinePolicy) -> Result<Online
         departed,
         preempted,
         reallotted,
+        busy_integral,
         schedule,
-    })
+    };
+
+    if let Some(rec) = recorder {
+        if rec.enabled() {
+            // Per-epoch utilisation: re-bin the executed schedule on the
+            // policy's epoch grid (whole horizon for epoch-free policies).
+            let period = policy.epoch().unwrap_or(result.makespan);
+            for sample in crate::telemetry::utilization_timeline(&result.schedule, period) {
+                rec.event(TelemetryEvent::EpochUtilization {
+                    start: sample.start,
+                    end: sample.end,
+                    busy: sample.busy,
+                });
+            }
+        }
+        let stats = machine.timeline_stats();
+        rec.add(names::TIMELINE_RESERVATIONS, stats.reservations);
+        rec.add(names::TIMELINE_CANCELS, stats.cancels);
+        rec.add(names::TIMELINE_TRUNCATIONS, stats.truncations);
+        rec.add(names::TIMELINE_HOLES_SCANNED, stats.holes_scanned);
+        if let Some(timer) = &run_timer {
+            rec.add(names::RUN_NS, timer.elapsed_ns());
+        }
+    }
+
+    Ok(result)
+}
+
+/// Record an engine invariant violation (the quantity CI gates to zero) on
+/// the way out of an error path.
+fn record_violation(recorder: Option<&dyn Recorder>, time: f64, detail: String) {
+    if let Some(rec) = recorder {
+        rec.add(names::INVARIANT_VIOLATIONS, 1);
+        if rec.enabled() {
+            rec.event(TelemetryEvent::InvariantViolation { time, detail });
+        }
+    }
 }
 
 /// Validate an online schedule against its trace: the structural checks of

@@ -92,10 +92,11 @@ pub mod engine;
 pub mod event;
 pub mod machine;
 pub mod policy;
+pub mod telemetry;
 
 pub use engine::{
-    competitive_report, queued_reallotment_scenario, run, running_reallotment_scenario,
-    validate_against_trace, CompetitiveReport, OnlineResult,
+    competitive_report, queued_reallotment_scenario, run, run_recorded,
+    running_reallotment_scenario, validate_against_trace, CompetitiveReport, OnlineResult,
 };
 pub use event::{Event, EventKind, EventQueue};
 pub use machine::{MachineState, Placement, ReservationError, ReservationId};
@@ -103,3 +104,4 @@ pub use policy::{
     BatchUntilIdle, Commitment, EpochReplan, GreedyList, OnlinePolicy, PendingTask, PolicyKind,
     PolicyOptions, Trigger,
 };
+pub use telemetry::{summarize, utilization_timeline, RunTelemetry, UtilizationSample};

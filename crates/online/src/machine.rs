@@ -104,6 +104,13 @@ impl MachineState {
         self.unfinished
     }
 
+    /// Operation counters of the underlying reservation timeline (window
+    /// queries, hole-scan steps, reservations, cancels, truncations) — the
+    /// engine diffs snapshots to attribute work to individual decisions.
+    pub fn timeline_stats(&self) -> packing::reservations::TimelineStats {
+        self.timeline.stats()
+    }
+
     /// The earliest time every current commitment is finished — the horizon
     /// after which the whole machine is free.
     pub fn free_horizon(&self) -> f64 {

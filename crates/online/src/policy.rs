@@ -36,6 +36,7 @@
 use std::sync::Arc;
 
 use crate::machine::{MachineState, ReservationId};
+use ::telemetry::{names, SharedRecorder};
 use malleable_core::prelude::*;
 
 /// A task waiting in the pending queue.
@@ -155,6 +156,33 @@ pub trait OnlinePolicy {
         pending: &[PendingTask],
         machine: &mut MachineState,
     ) -> Result<Vec<Commitment>>;
+
+    /// Attach a telemetry recorder.  Policies with an inner solve pipeline
+    /// ([`EpochReplan`]) feed it probe and workspace counters; the default
+    /// implementation ignores the handle.
+    fn set_recorder(&mut self, recorder: SharedRecorder) {
+        let _ = recorder;
+    }
+
+    /// Registry name of the offline solver behind this policy — the
+    /// telemetry identity stamped on solve-span events.  Policies without an
+    /// inner solver report their own name.
+    fn solver_name(&self) -> String {
+        self.name()
+    }
+
+    /// Whether the *next* solve will be seeded from cross-epoch warm state
+    /// (telemetry only; `false` for policies without warm starts).
+    fn warm_start(&self) -> bool {
+        false
+    }
+
+    /// Cumulative oracle probes issued by this policy's solves so far
+    /// (0 for probe-free policies).  The engine diffs consecutive values to
+    /// attribute probes to individual solve spans.
+    fn probes_issued(&self) -> usize {
+        0
+    }
 }
 
 /// Build the offline sub-instance of the pending tasks, as if released
@@ -339,6 +367,9 @@ pub struct EpochReplan {
     /// `feasible ω / lower bound` of the previous epoch's solve, used to seed
     /// the next search interval.
     previous_omega_ratio: Option<f64>,
+    /// Optional telemetry sink: per-solve probe and workspace-growth counter
+    /// deltas flow through it (see [`telemetry::names::WORKSPACE_PROBES`]).
+    recorder: Option<SharedRecorder>,
 }
 
 impl std::fmt::Debug for EpochReplan {
@@ -380,6 +411,7 @@ impl EpochReplan {
             preempt_running: false,
             workspace: ProbeWorkspace::new(),
             previous_omega_ratio: None,
+            recorder: None,
         })
     }
 
@@ -412,6 +444,13 @@ impl EpochReplan {
     /// epoch boundaries (builder style).  Implies queued preemption.
     pub fn with_preempt_running(mut self, preempt_running: bool) -> Self {
         self.preempt_running = preempt_running;
+        self
+    }
+
+    /// Attach a telemetry recorder (builder style); see
+    /// [`OnlinePolicy::set_recorder`].
+    pub fn with_recorder(mut self, recorder: SharedRecorder) -> Self {
+        self.recorder = Some(recorder);
         self
     }
 
@@ -462,6 +501,7 @@ impl OnlinePolicy for EpochReplan {
         pending: &[PendingTask],
         machine: &mut MachineState,
     ) -> Result<Vec<Commitment>> {
+        let counters_before = (self.workspace.probes(), self.workspace.grow_events());
         let sub_instance = pending_sub_instance(instance, pending, machine.processors())?;
         let mut request = SolveRequest::new(&sub_instance).with_mode(self.search);
         // Seed the upper end slightly above the previous epoch's accepted
@@ -486,7 +526,37 @@ impl OnlinePolicy for EpochReplan {
                 self.previous_omega_ratio = Some(omega / static_lb);
             }
         }
+        if let Some(recorder) = &self.recorder {
+            // `ProbeWorkspace` counters are cumulative (they survive
+            // `clear()`), so per-solve deltas are plain differences.
+            recorder.add(
+                names::WORKSPACE_PROBES,
+                (self.workspace.probes() - counters_before.0) as u64,
+            );
+            recorder.add(
+                names::WORKSPACE_GROW_EVENTS,
+                (self.workspace.grow_events() - counters_before.1) as u64,
+            );
+        }
         Ok(replay_offline(&outcome.schedule, pending, machine))
+    }
+
+    fn set_recorder(&mut self, recorder: SharedRecorder) {
+        self.recorder = Some(recorder);
+    }
+
+    fn solver_name(&self) -> String {
+        self.solver.name().to_string()
+    }
+
+    fn warm_start(&self) -> bool {
+        self.warm_start
+            && self.solver.capabilities().supports_warm_start
+            && self.previous_omega_ratio.is_some()
+    }
+
+    fn probes_issued(&self) -> usize {
+        self.workspace.probes()
     }
 }
 
@@ -594,8 +664,9 @@ impl std::fmt::Debug for PolicyKind {
 
 /// Cross-cutting policy options applied by [`PolicyKind::build_with`]: the
 /// resource-model knobs the CLI exposes as `--backfill`, `--preempt-queued`
-/// and `--preempt-running`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// and `--preempt-running`, plus an optional telemetry recorder handed to
+/// the built policy (CLI `--telemetry`).
+#[derive(Clone, Default)]
 pub struct PolicyOptions {
     /// First-fit placements into idle holes below the frontier.
     pub backfill: bool,
@@ -606,6 +677,21 @@ pub struct PolicyOptions {
     /// residuals jointly with the pending set — mid-execution re-allotment
     /// (epoch policies only; implies `preempt_queued`).
     pub preempt_running: bool,
+    /// Telemetry recorder attached to the built policy via
+    /// [`OnlinePolicy::set_recorder`]; pass a clone of the handle given to
+    /// [`crate::run_recorded`] so policy-side counters land in the same sink.
+    pub recorder: Option<SharedRecorder>,
+}
+
+impl std::fmt::Debug for PolicyOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PolicyOptions")
+            .field("backfill", &self.backfill)
+            .field("preempt_queued", &self.preempt_queued)
+            .field("preempt_running", &self.preempt_running)
+            .field("recorder", &self.recorder.is_some())
+            .finish()
+    }
 }
 
 impl PolicyKind {
@@ -617,7 +703,7 @@ impl PolicyKind {
 
     /// Instantiate the policy with explicit resource-model options.
     pub fn build_with(&self, options: PolicyOptions) -> Result<Box<dyn OnlinePolicy>> {
-        Ok(match self {
+        let mut policy: Box<dyn OnlinePolicy> = match self {
             PolicyKind::Greedy => Box::new(GreedyList {
                 backfill: options.backfill,
             }),
@@ -631,7 +717,11 @@ impl PolicyKind {
                 solver: Arc::clone(solver),
                 backfill: options.backfill,
             }),
-        })
+        };
+        if let Some(recorder) = options.recorder {
+            policy.set_recorder(recorder);
+        }
+        Ok(policy)
     }
 }
 

@@ -45,7 +45,7 @@ pub mod timeline;
 
 pub use bin_packing::{best_fit, first_fit, first_fit_decreasing, next_fit, BinPacking};
 pub use rect::Rect;
-pub use reservations::{HolePolicy, ReservationId, ReservationTimeline};
+pub use reservations::{HolePolicy, ReservationId, ReservationTimeline, TimelineStats};
 pub use shelf::Shelf;
 pub use strip::{ffdh, nfdh, Placement, StripPacking};
 pub use timeline::ProcessorTimeline;

@@ -35,6 +35,8 @@
 //! ([`ReservationTimeline::advance_to`]), so steady-state query cost is
 //! proportional to the number of *live* reservations, not to history.
 
+use std::cell::Cell;
+
 use crate::timeline::{earliest_frontier_window, TieBreak, Window};
 
 /// Opaque handle to one reservation, returned by
@@ -148,9 +150,57 @@ struct Reservation {
     end: f64,
 }
 
+/// Monotone operation counters for one timeline: how many window queries ran,
+/// how many busy intervals the hole scans stepped over, and how many
+/// reservations were committed, cancelled, and truncated.  Pure observability
+/// metadata — two timelines with identical busy state compare equal even
+/// when their counters differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TimelineStats {
+    /// `earliest_window` queries answered.
+    pub window_queries: u64,
+    /// Busy intervals examined (cursor steps) across all hole-scan queries;
+    /// stays 0 in frontier-only mode, where no holes are scanned.
+    pub holes_scanned: u64,
+    /// Reservations committed via [`ReservationTimeline::reserve`].
+    pub reservations: u64,
+    /// Reservations revoked via [`ReservationTimeline::cancel`].
+    pub cancels: u64,
+    /// Reservations shortened via [`ReservationTimeline::truncate_at`]
+    /// (only cuts that actually freed a tail are counted).
+    pub truncations: u64,
+}
+
+/// Interior-mutable counter cells: window queries are `&self`, so the stats
+/// must be updatable without `&mut`.
+#[derive(Debug, Clone, Default)]
+struct StatsCells {
+    window_queries: Cell<u64>,
+    holes_scanned: Cell<u64>,
+    reservations: Cell<u64>,
+    cancels: Cell<u64>,
+    truncations: Cell<u64>,
+}
+
+impl StatsCells {
+    fn snapshot(&self) -> TimelineStats {
+        TimelineStats {
+            window_queries: self.window_queries.get(),
+            holes_scanned: self.holes_scanned.get(),
+            reservations: self.reservations.get(),
+            cancels: self.cancels.get(),
+            truncations: self.truncations.get(),
+        }
+    }
+
+    fn bump(cell: &Cell<u64>, delta: u64) {
+        cell.set(cell.get() + delta);
+    }
+}
+
 /// Per-processor sorted busy-interval sets with contiguous-window queries,
 /// revocable reservations and a frontier-compatible query mode.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct ReservationTimeline {
     policy: HolePolicy,
     /// Nothing may be reserved before this time (the simulation clock).
@@ -162,6 +212,18 @@ pub struct ReservationTimeline {
     busy: Vec<Vec<BusyInterval>>,
     /// Reservation records by id; `None` once cancelled.
     reservations: Vec<Option<Reservation>>,
+    /// Operation counters (observability only; excluded from `PartialEq`).
+    stats: StatsCells,
+}
+
+impl PartialEq for ReservationTimeline {
+    fn eq(&self, other: &Self) -> bool {
+        self.policy == other.policy
+            && self.floor == other.floor
+            && self.frontier == other.frontier
+            && self.busy == other.busy
+            && self.reservations == other.reservations
+    }
 }
 
 impl ReservationTimeline {
@@ -174,7 +236,14 @@ impl ReservationTimeline {
             frontier: vec![0.0; processors],
             busy: vec![Vec::new(); processors],
             reservations: Vec::new(),
+            stats: StatsCells::default(),
         }
+    }
+
+    /// A snapshot of the monotone operation counters — callers diff two
+    /// snapshots to attribute hole-scan work to individual decisions.
+    pub fn stats(&self) -> TimelineStats {
+        self.stats.snapshot()
     }
 
     /// Number of processors tracked.
@@ -250,6 +319,7 @@ impl ReservationTimeline {
     /// [`HolePolicy::Backfill`] mode the earliest gap of length `duration` at
     /// or after the floor is found per window position, first-fitting holes.
     pub fn earliest_window(&self, count: usize, duration: f64, tie: TieBreak) -> Window {
+        StatsCells::bump(&self.stats.window_queries, 1);
         match self.policy {
             HolePolicy::FrontierOnly => earliest_frontier_window(&self.frontier, count, tie),
             HolePolicy::Backfill => self.earliest_hole_window(count, duration, tie),
@@ -274,6 +344,7 @@ impl ReservationTimeline {
         let mut best_start = f64::INFINITY;
         let mut candidates: Vec<(usize, f64)> = Vec::with_capacity(m + 1 - count);
         let mut cursors: Vec<usize> = vec![0; count];
+        let mut scanned = 0u64;
         for first in 0..=m - count {
             for (i, p) in (first..first + count).enumerate() {
                 // Skip intervals entirely in the past (ends are sorted too).
@@ -301,6 +372,7 @@ impl ReservationTimeline {
                             start = end;
                         }
                         cursors[i] += 1;
+                        scanned += 1;
                     }
                     // Either no intervals remain or the gap fits.
                     _ => break,
@@ -311,6 +383,7 @@ impl ReservationTimeline {
                 best_start = start;
             }
         }
+        StatsCells::bump(&self.stats.holes_scanned, scanned);
         // The same tie-breaking convention the frontier search uses.
         let effective_tie = match tie {
             TieBreak::PaperConvention => {
@@ -396,6 +469,7 @@ impl ReservationTimeline {
             start,
             end,
         }));
+        StatsCells::bump(&self.stats.reservations, 1);
         id
     }
 
@@ -432,6 +506,7 @@ impl ReservationTimeline {
             self.busy[p].retain(|iv| iv.id != id);
             self.recompute_frontier(p);
         }
+        StatsCells::bump(&self.stats.cancels, 1);
         Ok(())
     }
 
@@ -478,6 +553,7 @@ impl ReservationTimeline {
             }
             self.recompute_frontier(p);
         }
+        StatsCells::bump(&self.stats.truncations, 1);
         Ok(true)
     }
 

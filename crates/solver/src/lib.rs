@@ -30,7 +30,6 @@
 #![warn(missing_docs)]
 
 use std::sync::Arc;
-use std::time::Instant;
 
 use baselines::{gang_schedule, sequential_lpt, RigidScheduler, TwoPhaseScheduler};
 use malleable_core::bounds;
@@ -48,7 +47,7 @@ fn heuristic_outcome(
     instance: &Instance,
     build: impl FnOnce() -> malleable_core::Result<Schedule>,
 ) -> malleable_core::Result<SolveOutcome> {
-    let timer = Instant::now();
+    let timer = telemetry::SpanTimer::start();
     let schedule = build()?;
     Ok(SolveOutcome {
         solver: name,

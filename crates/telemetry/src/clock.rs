@@ -1,0 +1,65 @@
+//! The workspace-wide monotonic clock source.
+//!
+//! Every wall-time figure in the repository — `SolveOutcome::wall_time`, the
+//! dual-search time budget, engine decision latency, epoch solve spans — is
+//! measured through [`SpanTimer`] so that all durations come from one
+//! monotonic clock and are directly comparable.
+
+use std::time::{Duration, Instant};
+
+/// A span timer over the process-wide monotonic clock.
+///
+/// `SpanTimer` is a thin wrapper around [`std::time::Instant`]; its value is
+/// not the mechanism but the convention: call sites that used to construct
+/// ad-hoc `Instant::now()` pairs now share this one type, so a span recorded
+/// by the solver and a span recorded by the engine are guaranteed to use the
+/// same clock source and the same nanosecond scale.
+#[derive(Debug, Clone, Copy)]
+pub struct SpanTimer {
+    started: Instant,
+}
+
+impl SpanTimer {
+    /// Starts a new span at the current monotonic instant.
+    #[inline]
+    pub fn start() -> Self {
+        Self {
+            started: Instant::now(),
+        }
+    }
+
+    /// Elapsed wall time since the span started.
+    #[inline]
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// Elapsed wall time in whole nanoseconds, saturating at `u64::MAX`.
+    ///
+    /// Histogram samples and JSONL records use nanoseconds as the canonical
+    /// unit; the saturation bound is ~584 years and never binds in practice.
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+impl Default for SpanTimer {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotone() {
+        let timer = SpanTimer::start();
+        let first = timer.elapsed_ns();
+        let second = timer.elapsed_ns();
+        assert!(second >= first);
+        assert!(timer.elapsed() >= Duration::from_nanos(first));
+    }
+}

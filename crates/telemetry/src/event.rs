@@ -1,0 +1,348 @@
+//! Structured event records for the online engine and the epoch solvers.
+//!
+//! Each event serialises to one JSON object (one line of a JSONL stream) via
+//! the vendored `serde_json`, tagged by a `"type"` field, and parses back
+//! with [`TelemetryEvent::from_json`] — the stream is a lossless round trip
+//! (simulated-clock times are `f64` and survive the shortest-round-trip
+//! float formatting; wall times are integer nanoseconds well below 2^53).
+
+use serde_json::{json, Value};
+
+/// One structured telemetry record emitted by the engine or a policy.
+///
+/// Times named `time`/`start`/`end`/`at` are simulated clock values (the
+/// trace's time unit); `wall_ns` is wall-clock nanoseconds from the shared
+/// monotonic [`SpanTimer`](crate::SpanTimer) source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TelemetryEvent {
+    /// An epoch solve is starting: the policy hands `pending` queued tasks to
+    /// the named offline solver, warm-started or not.
+    SolveStart {
+        /// Simulated time of the replan trigger.
+        time: f64,
+        /// Registry name of the offline solver.
+        solver: String,
+        /// Queued tasks in the sub-instance.
+        pending: usize,
+        /// Whether the dual search was seeded from the previous epoch's ω.
+        warm_start: bool,
+    },
+    /// The epoch solve finished.
+    SolveEnd {
+        /// Simulated time of the replan trigger.
+        time: f64,
+        /// Registry name of the offline solver.
+        solver: String,
+        /// Oracle probes consumed by this solve.
+        probes: u64,
+        /// Wall-clock nanoseconds spent in the solve span.
+        wall_ns: u64,
+        /// Commitments produced by the plan.
+        scheduled: usize,
+        /// Whether the dual search was seeded from the previous epoch's ω.
+        warm_start: bool,
+    },
+    /// A task was committed to the reservation timeline.
+    Place {
+        /// Simulated time of the decision.
+        time: f64,
+        /// Task id from the arrival trace.
+        task: u64,
+        /// Committed start time.
+        start: f64,
+        /// Committed duration at the chosen allotment.
+        duration: f64,
+        /// Processors allotted.
+        processors: usize,
+        /// True when the commitment begins before the latest committed start
+        /// seen so far — i.e. the placement filled an earlier hole.
+        backfilled: bool,
+    },
+    /// A queued (not yet running) commitment was revoked during preemption.
+    Revoke {
+        /// Simulated time of the revocation.
+        time: f64,
+        /// Task id from the arrival trace.
+        task: u64,
+    },
+    /// A running task's reservation was truncated for re-allotment.
+    Truncate {
+        /// Simulated time of the truncation.
+        time: f64,
+        /// Task id from the arrival trace.
+        task: u64,
+        /// Simulated time the reservation now ends at.
+        at: f64,
+    },
+    /// A task finished executing.
+    Complete {
+        /// Simulated completion time.
+        time: f64,
+        /// Task id from the arrival trace.
+        task: u64,
+    },
+    /// A task departed (served or abandoned at its patience deadline).
+    Depart {
+        /// Simulated departure time.
+        time: f64,
+        /// Task id from the arrival trace.
+        task: u64,
+        /// True when the task had already completed service.
+        completed: bool,
+    },
+    /// Time-weighted utilisation over one epoch interval: the integral of
+    /// busy processors over `[start, end)` divided by `m · (end - start)`.
+    EpochUtilization {
+        /// Interval start (simulated time).
+        start: f64,
+        /// Interval end (simulated time).
+        end: f64,
+        /// Mean busy fraction in `[0, 1]` over the interval.
+        busy: f64,
+    },
+    /// An engine invariant was violated — always a bug; CI gates on zero.
+    InvariantViolation {
+        /// Simulated time the violation was detected.
+        time: f64,
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl TelemetryEvent {
+    /// The `"type"` tag used in the JSON encoding.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TelemetryEvent::SolveStart { .. } => "solve_start",
+            TelemetryEvent::SolveEnd { .. } => "solve_end",
+            TelemetryEvent::Place { .. } => "place",
+            TelemetryEvent::Revoke { .. } => "revoke",
+            TelemetryEvent::Truncate { .. } => "truncate",
+            TelemetryEvent::Complete { .. } => "complete",
+            TelemetryEvent::Depart { .. } => "depart",
+            TelemetryEvent::EpochUtilization { .. } => "epoch_utilization",
+            TelemetryEvent::InvariantViolation { .. } => "invariant_violation",
+        }
+    }
+
+    /// Encodes the event as one JSON object (one JSONL line).
+    pub fn to_json(&self) -> Value {
+        match self {
+            TelemetryEvent::SolveStart {
+                time,
+                solver,
+                pending,
+                warm_start,
+            } => json!({
+                "type": "solve_start",
+                "time": *time,
+                "solver": solver.as_str(),
+                "pending": *pending,
+                "warm_start": *warm_start,
+            }),
+            TelemetryEvent::SolveEnd {
+                time,
+                solver,
+                probes,
+                wall_ns,
+                scheduled,
+                warm_start,
+            } => json!({
+                "type": "solve_end",
+                "time": *time,
+                "solver": solver.as_str(),
+                "probes": *probes,
+                "wall_ns": *wall_ns,
+                "scheduled": *scheduled,
+                "warm_start": *warm_start,
+            }),
+            TelemetryEvent::Place {
+                time,
+                task,
+                start,
+                duration,
+                processors,
+                backfilled,
+            } => json!({
+                "type": "place",
+                "time": *time,
+                "task": *task,
+                "start": *start,
+                "duration": *duration,
+                "processors": *processors,
+                "backfilled": *backfilled,
+            }),
+            TelemetryEvent::Revoke { time, task } => json!({
+                "type": "revoke",
+                "time": *time,
+                "task": *task,
+            }),
+            TelemetryEvent::Truncate { time, task, at } => json!({
+                "type": "truncate",
+                "time": *time,
+                "task": *task,
+                "at": *at,
+            }),
+            TelemetryEvent::Complete { time, task } => json!({
+                "type": "complete",
+                "time": *time,
+                "task": *task,
+            }),
+            TelemetryEvent::Depart {
+                time,
+                task,
+                completed,
+            } => json!({
+                "type": "depart",
+                "time": *time,
+                "task": *task,
+                "completed": *completed,
+            }),
+            TelemetryEvent::EpochUtilization { start, end, busy } => json!({
+                "type": "epoch_utilization",
+                "start": *start,
+                "end": *end,
+                "busy": *busy,
+            }),
+            TelemetryEvent::InvariantViolation { time, detail } => json!({
+                "type": "invariant_violation",
+                "time": *time,
+                "detail": detail.as_str(),
+            }),
+        }
+    }
+
+    /// Parses an event back from its JSON encoding.  Returns `None` when the
+    /// value is not an object, the `"type"` tag is unknown, or a required
+    /// field is missing or mistyped.
+    pub fn from_json(value: &Value) -> Option<TelemetryEvent> {
+        let kind = value.get("type")?.as_str()?;
+        let time = |key: &str| value.get(key).and_then(Value::as_f64);
+        let int = |key: &str| value.get(key).and_then(Value::as_u64);
+        let flag = |key: &str| value.get(key).and_then(Value::as_bool);
+        let text = |key: &str| value.get(key).and_then(Value::as_str).map(str::to_string);
+        Some(match kind {
+            "solve_start" => TelemetryEvent::SolveStart {
+                time: time("time")?,
+                solver: text("solver")?,
+                pending: int("pending")? as usize,
+                warm_start: flag("warm_start")?,
+            },
+            "solve_end" => TelemetryEvent::SolveEnd {
+                time: time("time")?,
+                solver: text("solver")?,
+                probes: int("probes")?,
+                wall_ns: int("wall_ns")?,
+                scheduled: int("scheduled")? as usize,
+                warm_start: flag("warm_start")?,
+            },
+            "place" => TelemetryEvent::Place {
+                time: time("time")?,
+                task: int("task")?,
+                start: time("start")?,
+                duration: time("duration")?,
+                processors: int("processors")? as usize,
+                backfilled: flag("backfilled")?,
+            },
+            "revoke" => TelemetryEvent::Revoke {
+                time: time("time")?,
+                task: int("task")?,
+            },
+            "truncate" => TelemetryEvent::Truncate {
+                time: time("time")?,
+                task: int("task")?,
+                at: time("at")?,
+            },
+            "complete" => TelemetryEvent::Complete {
+                time: time("time")?,
+                task: int("task")?,
+            },
+            "depart" => TelemetryEvent::Depart {
+                time: time("time")?,
+                task: int("task")?,
+                completed: flag("completed")?,
+            },
+            "epoch_utilization" => TelemetryEvent::EpochUtilization {
+                start: time("start")?,
+                end: time("end")?,
+                busy: time("busy")?,
+            },
+            "invariant_violation" => TelemetryEvent::InvariantViolation {
+                time: time("time")?,
+                detail: text("detail")?,
+            },
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<TelemetryEvent> {
+        vec![
+            TelemetryEvent::SolveStart {
+                time: 0.1,
+                solver: "mrt".into(),
+                pending: 3,
+                warm_start: false,
+            },
+            TelemetryEvent::SolveEnd {
+                time: 0.1,
+                solver: "mrt".into(),
+                probes: 17,
+                wall_ns: 812_345,
+                scheduled: 3,
+                warm_start: true,
+            },
+            TelemetryEvent::Place {
+                time: 0.1,
+                task: 4,
+                start: 0.25,
+                duration: 1.5,
+                processors: 2,
+                backfilled: true,
+            },
+            TelemetryEvent::Revoke { time: 1.0, task: 4 },
+            TelemetryEvent::Truncate {
+                time: 1.5,
+                task: 2,
+                at: 2.0,
+            },
+            TelemetryEvent::Complete { time: 2.0, task: 2 },
+            TelemetryEvent::Depart {
+                time: 2.5,
+                task: 9,
+                completed: false,
+            },
+            TelemetryEvent::EpochUtilization {
+                start: 0.0,
+                end: 1.0,
+                busy: 0.875,
+            },
+            TelemetryEvent::InvariantViolation {
+                time: 3.0,
+                detail: "task 9 started before arrival".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn events_round_trip_through_jsonl() {
+        for event in samples() {
+            let line = serde_json::to_string(&event.to_json()).unwrap();
+            let parsed = serde_json::from_str(&line).unwrap();
+            assert_eq!(TelemetryEvent::from_json(&parsed), Some(event));
+        }
+    }
+
+    #[test]
+    fn unknown_or_malformed_records_parse_to_none() {
+        let unknown = serde_json::from_str(r#"{"type": "warp", "time": 1.0}"#).unwrap();
+        assert_eq!(TelemetryEvent::from_json(&unknown), None);
+        let missing = serde_json::from_str(r#"{"type": "revoke", "time": 1.0}"#).unwrap();
+        assert_eq!(TelemetryEvent::from_json(&missing), None);
+        assert_eq!(TelemetryEvent::from_json(&json!([1, 2])), None);
+    }
+}

@@ -1,0 +1,282 @@
+//! Fixed-bucket log-scale histogram with exact percentile extraction at the
+//! bucket resolution.
+//!
+//! The bucket layout follows the classic high-dynamic-range scheme: values
+//! below `2^SUB_BITS` get one bucket each (exact), and every octave above
+//! that is subdivided into `2^(SUB_BITS-1)` sub-buckets, giving a worst-case
+//! relative resolution of `2^(1-SUB_BITS)` (≈ 3.1% with the 6 sub-bucket
+//! bits used here) across the full `u64` range.  The bucket count is a
+//! compile-time constant, so recording is a single index computation and an
+//! increment — no allocation, no floating point.
+
+/// Sub-bucket bits: values under `2^SUB_BITS` are exact; each octave above is
+/// split into `2^(SUB_BITS-1)` sub-buckets.
+const SUB_BITS: u32 = 6;
+/// Buckets in the exact low range `[0, 2^SUB_BITS)`.
+const EXACT_BUCKETS: usize = 1 << SUB_BITS;
+/// Sub-buckets per octave above the exact range.
+const OCTAVE_BUCKETS: usize = 1 << (SUB_BITS - 1);
+/// Octaves needed to cover bit lengths `SUB_BITS+1 ..= 64`.
+const OCTAVES: usize = 64 - SUB_BITS as usize;
+/// Total bucket count (1920 with `SUB_BITS = 6`).
+const NUM_BUCKETS: usize = EXACT_BUCKETS + OCTAVES * OCTAVE_BUCKETS;
+
+/// Bucket index for a value: identity in the exact range, then
+/// (octave, top mantissa bits) above it.
+#[inline]
+fn index_of(value: u64) -> usize {
+    let bits = 64 - value.leading_zeros();
+    if bits <= SUB_BITS {
+        value as usize
+    } else {
+        let shift = bits - SUB_BITS;
+        let sub = (value >> shift) as usize - OCTAVE_BUCKETS;
+        EXACT_BUCKETS + (shift as usize - 1) * OCTAVE_BUCKETS + sub
+    }
+}
+
+/// Lower bound of the value range covered by a bucket index.
+#[inline]
+fn bucket_low(index: usize) -> u64 {
+    if index < EXACT_BUCKETS {
+        index as u64
+    } else {
+        let k = index - EXACT_BUCKETS;
+        let shift = (k / OCTAVE_BUCKETS + 1) as u32;
+        ((OCTAVE_BUCKETS + k % OCTAVE_BUCKETS) as u64) << shift
+    }
+}
+
+/// A fixed-size log-scale histogram over `u64` samples (canonically
+/// nanoseconds, but any non-negative integer quantity works — probe counts
+/// and hole-scan lengths use the same type).
+///
+/// Percentiles are extracted by nearest rank: [`LogHistogram::quantile`]
+/// returns the lower bound of the bucket containing the rank-`⌈q·n⌉` sample,
+/// which is within one bucket width (≤ 3.2% relative error) of the exact
+/// order statistic.  Two histograms [`merge`](LogHistogram::merge) losslessly:
+/// the merge equals the histogram of the concatenated sample streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: vec![0; NUM_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        self.counts[index_of(value)] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded sample (exact), or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.is_empty() {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample (exact), or 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the recorded samples (exact sum / count), or 0.0
+    /// when empty.
+    pub fn mean(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank quantile, `q ∈ [0, 1]`: the lower bound of the bucket
+    /// containing the sample of rank `⌈q·n⌉` (rank 1 for `q = 0`).
+    ///
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.is_empty() {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (index, &bucket) in self.counts.iter().enumerate() {
+            cumulative += bucket;
+            if cumulative >= rank {
+                return bucket_low(index);
+            }
+        }
+        self.max
+    }
+
+    /// The median (p50) by nearest rank, at bucket resolution.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// The 90th percentile by nearest rank, at bucket resolution.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// The 99th percentile by nearest rank, at bucket resolution.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Adds every sample of `other` into `self`.  The result is identical to
+    /// the histogram of the concatenated sample streams.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The bucket index a value falls into — exposed so tests can assert the
+    /// "same bucket as the exact order statistic" contract.
+    pub fn bucket_index(value: u64) -> usize {
+        index_of(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Naive nearest-rank quantile over the raw samples.
+    fn oracle(samples: &[u64], q: f64) -> u64 {
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn buckets_are_contiguous_and_monotone() {
+        // Every bucket's lower bound must map back to its own index, and the
+        // predecessor of that bound must map to the previous bucket.
+        for index in 0..NUM_BUCKETS {
+            let low = bucket_low(index);
+            assert_eq!(index_of(low), index, "low {low} not in bucket {index}");
+            if index > 0 {
+                assert_eq!(index_of(low - 1), index - 1);
+            }
+        }
+        assert_eq!(index_of(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn exact_range_is_exact() {
+        let mut hist = LogHistogram::new();
+        for v in 0..EXACT_BUCKETS as u64 {
+            hist.record(v);
+        }
+        assert_eq!(hist.quantile(0.0), 0);
+        assert_eq!(hist.quantile(1.0), EXACT_BUCKETS as u64 - 1);
+        assert_eq!(hist.p50(), (EXACT_BUCKETS as u64) / 2 - 1);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeroes() {
+        let hist = LogHistogram::new();
+        assert!(hist.is_empty());
+        assert_eq!(hist.p50(), 0);
+        assert_eq!(hist.min(), 0);
+        assert_eq!(hist.max(), 0);
+        assert_eq!(hist.mean(), 0.0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// Nearest-rank quantiles from the histogram land in the same bucket
+        /// as the exact order statistic from a sorted-vector oracle — the
+        /// "within bucket resolution" contract.
+        #[test]
+        fn quantiles_match_sorted_oracle(
+            samples in prop::collection::vec(0u64..(1u64 << 44), 1..300),
+            q in 0u64..=100,
+        ) {
+            let mut hist = LogHistogram::new();
+            for &s in &samples {
+                hist.record(s);
+            }
+            let q = q as f64 / 100.0;
+            let exact = oracle(&samples, q);
+            let approx = hist.quantile(q);
+            prop_assert_eq!(
+                LogHistogram::bucket_index(approx),
+                LogHistogram::bucket_index(exact),
+                "quantile {} returned {} (bucket {}), oracle {} (bucket {})",
+                q, approx, LogHistogram::bucket_index(approx),
+                exact, LogHistogram::bucket_index(exact)
+            );
+            prop_assert!(approx <= exact, "lower bucket bound must not exceed the sample");
+        }
+
+        /// Merging two histograms gives exactly the histogram of the
+        /// concatenated sample streams.
+        #[test]
+        fn merge_equals_concatenation(
+            left in prop::collection::vec(0u64..(1u64 << 44), 0..200),
+            right in prop::collection::vec(0u64..(1u64 << 44), 0..200),
+        ) {
+            let mut a = LogHistogram::new();
+            for &s in &left {
+                a.record(s);
+            }
+            let mut b = LogHistogram::new();
+            for &s in &right {
+                b.record(s);
+            }
+            a.merge(&b);
+            let mut concat = LogHistogram::new();
+            for &s in left.iter().chain(right.iter()) {
+                concat.record(s);
+            }
+            prop_assert_eq!(a, concat);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Dependency-light observability layer for the malleable-scheduling stack.
+//!
+//! The crate provides four small building blocks, designed so the hot paths
+//! of the online engine and the dual-approximation solver can stay
+//! allocation-free when telemetry is disabled:
+//!
+//! * [`SpanTimer`] — the single monotonic clock source used by every wall-time
+//!   measurement in the workspace (`SolveOutcome::wall_time`, engine decision
+//!   latency, epoch solve spans).
+//! * [`LogHistogram`] — a fixed-bucket log-scale histogram (no external
+//!   dependencies, vendored-style) with exact p50/p90/p99 extraction at the
+//!   bucket resolution and lossless merging.
+//! * [`TelemetryEvent`] — structured event records (epoch solve start/end,
+//!   placement, revocation, truncation, departure, invariant violation)
+//!   that serialise to JSONL via the vendored `serde_json` and round-trip
+//!   back through [`TelemetryEvent::from_json`].
+//! * [`Recorder`] — the sink trait. [`NoopRecorder`] is the zero-cost
+//!   default; [`CollectingRecorder`] accumulates events, named counters, and
+//!   named histograms behind interior mutability so one instance can be
+//!   shared between the engine and the planning policy.
+
+#![warn(missing_docs)]
+
+mod clock;
+mod event;
+mod histogram;
+mod recorder;
+
+pub use clock::SpanTimer;
+pub use event::TelemetryEvent;
+pub use histogram::LogHistogram;
+pub use recorder::{names, CollectingRecorder, NoopRecorder, Recorder, SharedRecorder};

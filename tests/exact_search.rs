@@ -130,28 +130,40 @@ fn exact_uses_at_most_half_the_probes_of_bisection() {
 
 #[test]
 fn workspace_probes_are_allocation_free_in_steady_state() {
-    let scheduler = MrtScheduler::default();
-    let search = DualSearch::default();
-    let inst = mixed_instance(40, 16, 7);
-    let mut workspace = ProbeWorkspace::new();
+    // The invariant is observed purely through the telemetry counters that
+    // `EpochReplan` publishes per solve (`workspace.probes` /
+    // `workspace.grow_events` deltas) — the same path the CLI and the
+    // probe report read — rather than by poking the workspace directly.
+    use online::policy::EpochReplan;
+    use telemetry::{names, CollectingRecorder, SharedRecorder};
+    use workload::{ArrivalPattern, ArrivalTrace, TraceConfig};
 
-    // Warm-up: one full solve per mode sizes every buffer (the two modes
-    // probe different ω sequences, hence different partition sizes).
-    search
-        .solve_exact_in(&inst, &scheduler, &mut workspace)
-        .unwrap();
-    search.solve_in(&inst, &scheduler, &mut workspace).unwrap();
-    assert!(workspace.probes() > 0);
+    let trace = ArrivalTrace::generate(&TraceConfig {
+        workload: WorkloadConfig::mixed(40, 16, 7),
+        pattern: ArrivalPattern::Bursty {
+            burst_size: 8,
+            burst_gap: 2.0,
+        },
+    })
+    .unwrap();
 
-    // Steady state: repeating both solves must not grow any buffer.
-    workspace.reset_counters();
-    search
-        .solve_exact_in(&inst, &scheduler, &mut workspace)
-        .unwrap();
-    search.solve_in(&inst, &scheduler, &mut workspace).unwrap();
-    assert!(workspace.probes() > 0);
+    // Warm-up run: the first epochs size every workspace buffer.
+    let warmup = CollectingRecorder::shared();
+    let mut policy = EpochReplan::mrt(1.0)
+        .unwrap()
+        .with_recorder(warmup.clone() as SharedRecorder);
+    online::run_recorded(&trace, &mut policy, warmup.as_ref()).unwrap();
+    assert!(warmup.counter(names::WORKSPACE_PROBES) > 0);
+
+    // Steady state: replaying the identical trace on the warm policy (the
+    // engine is deterministic, so every epoch's pending set recurs) must
+    // not grow a single buffer.
+    let steady = CollectingRecorder::shared();
+    let mut policy = policy.with_recorder(steady.clone() as SharedRecorder);
+    online::run_recorded(&trace, &mut policy, steady.as_ref()).unwrap();
+    assert!(steady.counter(names::WORKSPACE_PROBES) > 0);
     assert_eq!(
-        workspace.grow_events(),
+        steady.counter(names::WORKSPACE_GROW_EVENTS),
         0,
         "steady-state probes grew workspace buffers"
     );

@@ -56,8 +56,8 @@ proptest! {
             PolicyKind::Epoch { period: 1.0, solver: registry.get("mrt").unwrap() },
             PolicyKind::Batch { solver: registry.get("list").unwrap() },
         ] {
-            for options in combos {
-                let mut policy = kind.build_with(options).unwrap();
+            for options in &combos {
+                let mut policy = kind.build_with(options.clone()).unwrap();
                 let result = online::run(&trace, policy.as_mut()).unwrap();
                 let report = validate_schedule_subset(&instance, &result.schedule, None);
                 prop_assert!(
@@ -294,6 +294,7 @@ proptest! {
             backfill: backfill == 1,
             preempt_queued: true,
             preempt_running: true,
+            ..PolicyOptions::default()
         };
         let kind = PolicyKind::Epoch { period: 1.0, solver: registry.get("mrt").unwrap() };
         let mut policy = kind.build_with(options).unwrap();
