@@ -1,13 +1,13 @@
 //! Competitive-ratio report: online policies vs the clairvoyant offline MRT
 //! run, per trace family, emitted as JSON for the perf trajectory
-//! (`BENCH_6.json` in CI).
+//! (`BENCH_7.json` in CI).
 //!
 //! ```text
 //! cargo run -p bench --release --bin online_report [seeds-per-cell]
 //! ```
 //!
-//! Five sections (the `BENCH_6.json` surface — a superset of the earlier
-//! `BENCH_4.json`/`BENCH_5.json`):
+//! Six sections (the `BENCH_7.json` surface — a superset of the earlier
+//! `BENCH_4.json`/`BENCH_5.json`/`BENCH_6.json`):
 //!
 //! * `cells` — every policy × family of the classical evaluation (the PR-1
 //!   surface, unchanged);
@@ -29,7 +29,18 @@
 //! * `telemetry` — a fully recorded bursty run through the re-allotting
 //!   engine: p50/p99 decision latency, epoch-solve spans, probes per solve,
 //!   tasks/sec placed, and the time-weighted utilisation figure.  **Gate:**
-//!   the recorded stream contains zero `invariant_violation` events.
+//!   the recorded stream contains zero `invariant_violation` events;
+//! * `faults` — graceful degradation: the bursty suite replayed through the
+//!   fault-tolerant engine under seeded fault plans of increasing intensity
+//!   (crash MTBF + per-attempt task-failure rate), against its own
+//!   fault-free baseline, plus one recorded run whose epoch solver is
+//!   forced to fail once behind the `solver::FallbackSolver` ladder.
+//!   **Gates:** every faulted run passes `validate_fault_run` (no overlap
+//!   among executed or wasted segments, nothing scheduled inside an
+//!   outage), every task is accounted for (completed + departed +
+//!   abandoned = submitted), on the departure-free family the mean faulted
+//!   makespan stays within 2× of the fault-free mean, and the forced solver
+//!   fault degrades exactly one epoch with zero invariant violations.
 //!
 //! Runs whose tasks *all* departed have no competitive ratio
 //! (`ratio_vs_lower_bound = null`); such seeds are excluded from every mean
@@ -37,12 +48,17 @@
 //!
 //! The process exits non-zero when a gate fails, so CI catches regressions.
 
+use std::collections::HashSet;
+use std::sync::Arc;
+
 use mrt_bench::online_traces::{
     bursty_overload_suite, bursty_suite, online_policies, trace_families, TraceFamily,
 };
 use mrt_bench::summarize;
 use online::policy::{EpochReplan, PolicyKind, PolicyOptions};
 use serde_json::{json, Value};
+use solver::{FallbackSolver, FaultInjectingSolver, SolverFaultMode};
+use workload::{FaultConfig, FaultPlan, RetryPolicy};
 
 /// The seed-sweep observations of one (family, policy, options) cell.
 struct FamilyRuns {
@@ -405,15 +421,169 @@ fn main() {
         }));
     }
 
+    // Section 6: graceful degradation under faults.  Each bursty family is
+    // replayed through the fault-tolerant engine at three intensities —
+    // fault-free (the baseline of the 2× gate), light, and heavy — under
+    // seeded crash/repair outages plus per-attempt task failures, with the
+    // default retry policy.  The fault-aware validator runs on every seed.
+    let mut fault_cells: Vec<Value> = Vec::new();
+    let intensities: [(&str, Option<f64>, f64); 3] = [
+        ("fault-free", None, 0.0),
+        ("light", Some(24.0), 0.05),
+        ("heavy", Some(10.0), 0.2),
+    ];
+    for family in bursty_suite() {
+        let mut fault_free_makespans: Vec<f64> = Vec::new();
+        for (label, mtbf, failure_rate) in intensities {
+            let retry = RetryPolicy::default();
+            let mut makespans: Vec<f64> = Vec::new();
+            let mut goodputs: Vec<f64> = Vec::new();
+            let (mut crashes, mut failures, mut abandoned) = (0usize, 0usize, 0usize);
+            let mut wasted = 0.0f64;
+            for seed in 0..seeds_per_cell {
+                let trace = family.trace(seed);
+                // Same horizon rule as the CLI: comfortably past the last
+                // arrival so repairs land inside the run.
+                let horizon = (trace.last_arrival() + 1.0) * 4.0;
+                let plan = match mtbf {
+                    Some(mtbf) => {
+                        let mut config =
+                            FaultConfig::new(trace.processors(), trace.len(), horizon, seed)
+                                .with_crashes(mtbf, 2.0);
+                        if failure_rate > 0.0 {
+                            config = config.with_task_failures(failure_rate, retry.max_attempts);
+                        }
+                        FaultPlan::generate(&config).expect("valid fault config")
+                    }
+                    None => FaultPlan::empty(trace.processors(), horizon),
+                };
+                let mut policy = EpochReplan::mrt(1.0).expect("valid period");
+                let result = online::run_with_faults(&trace, &mut policy, &plan, retry, None)
+                    .expect("faulted engine run succeeds");
+                let violations = online::validate_fault_run(&trace, &result);
+                if !violations.is_empty() {
+                    gate_failures.push(format!(
+                        "faults gate: {} {label} seed {seed} invalid: {}",
+                        family.name,
+                        violations.join("; ")
+                    ));
+                }
+                // No lost tasks: every submission either ran to completion,
+                // departed, or was abandoned after exhausting its retries.
+                let completed: HashSet<usize> =
+                    result.schedule.entries().iter().map(|e| e.task).collect();
+                if completed.len() + result.departed + result.abandoned.len() != trace.len() {
+                    gate_failures.push(format!(
+                        "faults gate: {} {label} seed {seed} lost tasks ({} completed + {} \
+                         departed + {} abandoned != {})",
+                        family.name,
+                        completed.len(),
+                        result.departed,
+                        result.abandoned.len(),
+                        trace.len()
+                    ));
+                }
+                makespans.push(result.makespan);
+                goodputs.push(result.goodput_fraction());
+                crashes += result.crashes;
+                failures += result.failures;
+                abandoned += result.abandoned.len();
+                wasted += result.wasted_integral;
+            }
+            let mean_makespan = summarize(&makespans).mean;
+            if label == "fault-free" {
+                fault_free_makespans = makespans.clone();
+            } else if !family.has_departures() {
+                // Graceful degradation: even the heavy intensity must stay
+                // within 2× of the machine's own fault-free makespan.
+                let baseline = summarize(&fault_free_makespans).mean;
+                if mean_makespan > 2.0 * baseline + 1e-9 {
+                    gate_failures.push(format!(
+                        "faults gate: {} {label} mean makespan {mean_makespan:.4} exceeds 2x \
+                         fault-free {baseline:.4}",
+                        family.name
+                    ));
+                }
+            }
+            fault_cells.push(json!({
+                "family": family.name,
+                "intensity": label,
+                "seeds": seeds_per_cell,
+                "mtbf": mtbf,
+                "task_failure_rate": failure_rate,
+                "mean_makespan": mean_makespan,
+                "mean_goodput": summarize(&goodputs).mean,
+                "crashes": crashes,
+                "task_failures": failures,
+                "abandoned": abandoned,
+                "wasted_integral": wasted,
+            }));
+        }
+    }
+    // The solver-degradation cell: the second epoch solve of a recorded
+    // bursty run is forced to fail, and the `FallbackSolver` ladder must
+    // absorb it — one degraded epoch, a valid schedule, no violations.
+    {
+        let recorder = telemetry::CollectingRecorder::shared();
+        let ladder = Arc::new(
+            FallbackSolver::new(Arc::new(FaultInjectingSolver::new(
+                registry.get("mrt").expect("registered"),
+                1,
+                SolverFaultMode::Error,
+            )))
+            .with_recorder(recorder.clone() as telemetry::SharedRecorder),
+        );
+        let kind = PolicyKind::Epoch {
+            period: 1.0,
+            solver: ladder.clone(),
+        };
+        let mut policy = kind
+            .build_with(PolicyOptions::default())
+            .expect("valid policy");
+        let family = &bursty_suite()[0];
+        let trace = family.trace(0);
+        let epoch_period = policy.epoch();
+        let result = online::run_recorded(&trace, policy.as_mut(), recorder.as_ref())
+            .expect("degraded engine run succeeds");
+        assert!(
+            online::validate_against_trace(&trace, &result.schedule).is_empty(),
+            "invalid schedule from the degraded run"
+        );
+        let summary = online::summarize(&recorder, &result, epoch_period);
+        if ladder.degraded() != 1 || summary.solver_degraded != 1 {
+            gate_failures.push(format!(
+                "faults gate: forced solver fault degraded {} epoch(s) (recorded {}), expected 1",
+                ladder.degraded(),
+                summary.solver_degraded
+            ));
+        }
+        if summary.invariant_violations != 0 {
+            gate_failures.push(format!(
+                "faults gate: degraded run recorded {} invariant violation(s)",
+                summary.invariant_violations
+            ));
+        }
+        fault_cells.push(json!({
+            "family": family.name,
+            "intensity": "solver-fault",
+            "tasks": trace.len(),
+            "solver_degraded": summary.solver_degraded,
+            "makespan": result.makespan,
+            "invariant_violations": summary.invariant_violations,
+        }));
+    }
+
     let backfill_gate_ok = !gate_failures.iter().any(|f| f.starts_with("backfill"));
     let preemption_gate_ok = !gate_failures.iter().any(|f| f.starts_with("preemption"));
     let reallotment_gate_ok = !gate_failures.iter().any(|f| f.starts_with("reallotment"));
     let telemetry_gate_ok = !gate_failures.iter().any(|f| f.starts_with("telemetry"));
+    let faults_gate_ok = !gate_failures.iter().any(|f| f.starts_with("faults"));
     let gates = json!({
         "backfill_mean_ratio_not_worse_on_bursty_suite": backfill_gate_ok,
         "preemption_beats_plain_on_scenario": preemption_gate_ok,
         "reallotment_beats_preempt_queued_on_bursty_overload": reallotment_gate_ok,
         "telemetry_zero_invariant_violations": telemetry_gate_ok,
+        "faults_degrade_gracefully_on_bursty_suite": faults_gate_ok,
     });
     let doc = json!({
         "report": "online-competitive-ratio",
@@ -422,6 +592,7 @@ fn main() {
         "preemption": preemption_cells,
         "reallotment": reallotment_cells,
         "telemetry": telemetry_cells,
+        "faults": fault_cells,
         "gates": gates,
     });
     println!(

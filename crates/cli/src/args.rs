@@ -142,6 +142,21 @@ pub enum Command {
         /// Mean patience for the inline-generated trace (None = no
         /// departures; ignored when --trace is given).
         departure_patience: Option<f64>,
+        /// Mean time between crashes per processor (None = no crashes).
+        mtbf: Option<f64>,
+        /// Mean repair time for crashed processors.
+        mttr: f64,
+        /// Probability each (task, attempt) pair is killed mid-segment.
+        task_failure_rate: f64,
+        /// Attempts budget per task before it is abandoned.
+        max_attempts: usize,
+        /// Base backoff before the first retry (doubles per failure, capped).
+        retry_backoff: f64,
+        /// Seed of the deterministic fault plan (defaults to --seed).
+        fault_seed: Option<u64>,
+        /// Force the primary solver to fault on this 1-based solve index,
+        /// degrading that epoch to the greedy-list fallback.
+        solver_fault: Option<usize>,
         /// Record structured telemetry and write the event stream to this
         /// JSONL file; also prints the decision-latency/throughput summary.
         telemetry: Option<String>,
@@ -242,6 +257,9 @@ USAGE:
   malleable-sched online   [--trace FILE] --policy <greedy|epoch-mrt|epoch-ludwig|epoch-list|batch-idle>
                            [--epoch D] [--solver NAME] [--search <exact|bisect>]
                            [--backfill] [--preempt-queued] [--preempt-running]
+                           [--mtbf T [--mttr T]] [--task-failure-rate P]
+                           [--max-attempts N] [--retry-backoff T] [--fault-seed S]
+                           [--solver-fault K]
                            [--telemetry events.jsonl] [--json] [--no-validate]
                            [--output schedule.json]
                            (without --trace, the trace flags of `trace` generate one
@@ -253,7 +271,13 @@ USAGE:
                            and re-solves their residuals — mid-execution re-allotment,
                            work conserved under the speed-up model; --telemetry records
                            the structured event stream as JSONL and prints decision-
-                           latency percentiles, tasks/sec and the utilisation timeline)
+                           latency percentiles, tasks/sec and the utilisation timeline;
+                           --mtbf injects seeded processor crashes with mean uptime T
+                           and mean repair --mttr, --task-failure-rate kills each task
+                           attempt with probability P and retries it with capped
+                           exponential backoff up to --max-attempts, --solver-fault
+                           forces the K-th epoch solve to fail and degrade to the
+                           greedy-list fallback — all deterministic per --fault-seed)
   malleable-sched schedule <instance.json> [--solver NAME]
                            [--search <exact|bisect>] [--parallel-branches]
                            [--gantt] [--output schedule.json]
@@ -432,6 +456,13 @@ impl Cli {
         let mut processors = 32usize;
         let mut seed = 0u64;
         let mut departure_patience = None;
+        let mut mtbf = None;
+        let mut mttr = 2.0f64;
+        let mut task_failure_rate = 0.0f64;
+        let mut max_attempts = 4usize;
+        let mut retry_backoff = 0.5f64;
+        let mut fault_seed = None;
+        let mut solver_fault = None;
         let mut telemetry = None;
         let mut json = false;
         let mut no_validate = false;
@@ -491,6 +522,34 @@ impl Cli {
                         stream.value_for("--departure-patience")?,
                     )?)
                 }
+                "--mtbf" => mtbf = Some(parse_number("--mtbf", stream.value_for("--mtbf")?)?),
+                "--mttr" => mttr = parse_number("--mttr", stream.value_for("--mttr")?)?,
+                "--task-failure-rate" => {
+                    task_failure_rate = parse_number(
+                        "--task-failure-rate",
+                        stream.value_for("--task-failure-rate")?,
+                    )?
+                }
+                "--max-attempts" => {
+                    max_attempts =
+                        parse_number("--max-attempts", stream.value_for("--max-attempts")?)?
+                }
+                "--retry-backoff" => {
+                    retry_backoff =
+                        parse_number("--retry-backoff", stream.value_for("--retry-backoff")?)?
+                }
+                "--fault-seed" => {
+                    fault_seed = Some(parse_number(
+                        "--fault-seed",
+                        stream.value_for("--fault-seed")?,
+                    )?)
+                }
+                "--solver-fault" => {
+                    solver_fault = Some(parse_number(
+                        "--solver-fault",
+                        stream.value_for("--solver-fault")?,
+                    )?)
+                }
                 "--telemetry" => telemetry = Some(stream.value_for("--telemetry")?.to_string()),
                 "--json" => json = true,
                 "--no-validate" => no_validate = true,
@@ -516,6 +575,13 @@ impl Cli {
             processors,
             seed,
             departure_patience,
+            mtbf,
+            mttr,
+            task_failure_rate,
+            max_attempts,
+            retry_backoff,
+            fault_seed,
+            solver_fault,
             telemetry,
             json,
             no_validate,
@@ -905,6 +971,79 @@ mod tests {
             ]))
             .unwrap_err(),
             ParseError::MissingValue(_)
+        ));
+    }
+
+    #[test]
+    fn parses_online_fault_flags() {
+        // Defaults: faults entirely off.
+        match Cli::parse(&args(&["online", "--policy", "greedy"]))
+            .unwrap()
+            .command
+        {
+            Command::Online {
+                mtbf,
+                mttr,
+                task_failure_rate,
+                max_attempts,
+                retry_backoff,
+                fault_seed,
+                solver_fault,
+                ..
+            } => {
+                assert!(mtbf.is_none() && fault_seed.is_none() && solver_fault.is_none());
+                assert_eq!(mttr, 2.0);
+                assert_eq!(task_failure_rate, 0.0);
+                assert_eq!(max_attempts, 4);
+                assert_eq!(retry_backoff, 0.5);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match Cli::parse(&args(&[
+            "online",
+            "--policy",
+            "epoch-mrt",
+            "--mtbf",
+            "20",
+            "--mttr",
+            "3",
+            "--task-failure-rate",
+            "0.05",
+            "--max-attempts",
+            "3",
+            "--retry-backoff",
+            "1.5",
+            "--fault-seed",
+            "9",
+            "--solver-fault",
+            "2",
+        ]))
+        .unwrap()
+        .command
+        {
+            Command::Online {
+                mtbf,
+                mttr,
+                task_failure_rate,
+                max_attempts,
+                retry_backoff,
+                fault_seed,
+                solver_fault,
+                ..
+            } => {
+                assert_eq!(mtbf, Some(20.0));
+                assert_eq!(mttr, 3.0);
+                assert_eq!(task_failure_rate, 0.05);
+                assert_eq!(max_attempts, 3);
+                assert_eq!(retry_backoff, 1.5);
+                assert_eq!(fault_seed, Some(9));
+                assert_eq!(solver_fault, Some(2));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            Cli::parse(&args(&["online", "--policy", "greedy", "--mtbf", "often"])).unwrap_err(),
+            ParseError::InvalidValue { .. }
         ));
     }
 

@@ -8,15 +8,17 @@ use std::result::Result;
 
 use malleable_core::prelude::*;
 use online::{
-    competitive_report, validate_against_trace, EpochReplan, OnlinePolicy, PolicyKind,
-    PolicyOptions,
+    competitive_report, validate_against_trace, validate_fault_run, EpochReplan, OnlinePolicy,
+    PolicyKind, PolicyOptions,
 };
 use serde_json::{json, Value};
 use simulator::{render_gantt, simulate, validate_schedule};
-use telemetry::{CollectingRecorder, SharedRecorder};
+use solver::{FallbackSolver, FaultInjectingSolver, SolverFaultMode};
+use telemetry::{CollectingRecorder, Recorder, SharedRecorder};
 use workload::{
     describe, instance_from_json, instance_to_json, trace_from_json, trace_to_json, ArrivalPattern,
-    ArrivalTrace, DeparturePolicy, TraceConfig, WorkloadConfig, WorkloadGenerator,
+    ArrivalTrace, DeparturePolicy, FaultConfig, FaultPlan, RetryPolicy, TraceConfig,
+    WorkloadConfig, WorkloadGenerator,
 };
 
 use crate::args::{
@@ -130,6 +132,13 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             processors,
             seed,
             departure_patience,
+            mtbf,
+            mttr,
+            task_failure_rate,
+            max_attempts,
+            retry_backoff,
+            fault_seed,
+            solver_fault,
             telemetry,
             json,
             no_validate,
@@ -149,6 +158,13 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             processors: *processors,
             seed: *seed,
             departure_patience: *departure_patience,
+            mtbf: *mtbf,
+            mttr: *mttr,
+            task_failure_rate: *task_failure_rate,
+            max_attempts: *max_attempts,
+            retry_backoff: *retry_backoff,
+            fault_seed: *fault_seed,
+            solver_fault: *solver_fault,
             telemetry: telemetry.as_deref(),
             json: *json,
             no_validate: *no_validate,
@@ -246,6 +262,13 @@ struct OnlineArgs<'a> {
     processors: usize,
     seed: u64,
     departure_patience: Option<f64>,
+    mtbf: Option<f64>,
+    mttr: f64,
+    task_failure_rate: f64,
+    max_attempts: usize,
+    retry_backoff: f64,
+    fault_seed: Option<u64>,
+    solver_fault: Option<usize>,
     telemetry: Option<&'a str>,
     json: bool,
     no_validate: bool,
@@ -268,10 +291,60 @@ fn run_online(args: OnlineArgs) -> Result<String, CliError> {
         )?,
     };
 
-    let solver = resolve_solver(args.solver)?;
+    // The engine-level fault plan (crashes and task failures) is built only
+    // when a fault flag asks for one; the forced solver fault degrades
+    // through the solver wrap below and needs no plan.
+    let faults_enabled =
+        args.mtbf.is_some() || args.task_failure_rate > 0.0 || args.solver_fault.is_some();
+    let fault_plan = if args.mtbf.is_some() || args.task_failure_rate > 0.0 {
+        // Outages renew over a horizon generously past the last arrival so
+        // late work still sees crashes.
+        let horizon = (trace.last_arrival() + 1.0) * 4.0;
+        let mut config = FaultConfig::new(
+            trace.processors(),
+            trace.len(),
+            horizon,
+            args.fault_seed.unwrap_or(args.seed),
+        );
+        if let Some(mtbf) = args.mtbf {
+            config = config.with_crashes(mtbf, args.mttr);
+        }
+        if args.task_failure_rate > 0.0 {
+            config = config.with_task_failures(args.task_failure_rate, args.max_attempts);
+        }
+        Some(FaultPlan::generate(&config).map_err(|e| CliError::Invalid(e.to_string()))?)
+    } else {
+        None
+    };
+    let retry = RetryPolicy {
+        max_attempts: args.max_attempts,
+        base_backoff: args.retry_backoff,
+        multiplier: 2.0,
+        max_backoff: args.retry_backoff * 16.0,
+    };
+
+    let mut solver = resolve_solver(args.solver)?;
     // One recorder handle shared between the engine and the policy, so the
     // workspace counters and the engine events land in the same stream.
-    let recorder = args.telemetry.map(|_| CollectingRecorder::shared());
+    // Fault runs always record (the chaos gates read the counters) even
+    // when no --telemetry path was given.
+    let recorder = (args.telemetry.is_some() || faults_enabled).then(CollectingRecorder::shared);
+    if faults_enabled {
+        // Degradation ladder: an optional forced fault on the K-th solve,
+        // then the greedy-list fallback catching errors and budget blows.
+        if let Some(target) = args.solver_fault {
+            solver = std::sync::Arc::new(FaultInjectingSolver::new(
+                solver,
+                target.saturating_sub(1),
+                SolverFaultMode::Error,
+            ));
+        }
+        let mut fallback = FallbackSolver::new(solver);
+        if let Some(handle) = &recorder {
+            fallback = fallback.with_recorder(handle.clone() as SharedRecorder);
+        }
+        solver = std::sync::Arc::new(fallback);
+    }
     let options = PolicyOptions {
         backfill: args.backfill,
         preempt_queued: args.preempt_queued,
@@ -301,32 +374,44 @@ fn run_online(args: OnlineArgs) -> Result<String, CliError> {
             .map_err(|e| CliError::Invalid(e.to_string()))?,
     };
     let epoch_period = policy.epoch();
-    let result = match &recorder {
-        Some(handle) => online::run_recorded(&trace, policy.as_mut(), handle.as_ref()),
-        None => online::run(&trace, policy.as_mut()),
+    let result = match (&fault_plan, &recorder) {
+        (Some(plan), handle) => online::run_with_faults(
+            &trace,
+            policy.as_mut(),
+            plan,
+            retry,
+            handle.as_ref().map(|h| h.as_ref() as &dyn Recorder),
+        ),
+        (None, Some(handle)) => online::run_recorded(&trace, policy.as_mut(), handle.as_ref()),
+        (None, None) => online::run(&trace, policy.as_mut()),
     }
     .map_err(|e| CliError::Scheduling(e.to_string()))?;
     let report =
         competitive_report(&trace, &result).map_err(|e| CliError::Scheduling(e.to_string()))?;
 
-    // Write the event stream and build the summary both output modes share.
-    let summary = match (&recorder, args.telemetry) {
-        (Some(handle), Some(path)) => {
-            let mut buffer = Vec::new();
-            handle.write_jsonl(&mut buffer).map_err(|e| CliError::Io {
-                path: path.to_string(),
-                message: e.to_string(),
-            })?;
-            let text = String::from_utf8(buffer)
-                .expect("JSONL telemetry streams are UTF-8 by construction");
-            write_file(path, &text)?;
-            Some(online::summarize(handle, &result, epoch_period))
-        }
-        _ => None,
-    };
+    // Write the event stream when asked, and build the summary both output
+    // modes share whenever a recorder ran.
+    if let (Some(handle), Some(path)) = (&recorder, args.telemetry) {
+        let mut buffer = Vec::new();
+        handle.write_jsonl(&mut buffer).map_err(|e| CliError::Io {
+            path: path.to_string(),
+            message: e.to_string(),
+        })?;
+        let text =
+            String::from_utf8(buffer).expect("JSONL telemetry streams are UTF-8 by construction");
+        write_file(path, &text)?;
+    }
+    let summary = recorder
+        .as_ref()
+        .map(|handle| online::summarize(handle, &result, epoch_period));
 
     let validation = if args.no_validate {
         None
+    } else if fault_plan.is_some() {
+        // The fault-aware validator: abandoned tasks may be unscheduled,
+        // and wasted segments must not overlap anything (including
+        // outages).
+        Some(validate_fault_run(&trace, &result))
     } else {
         Some(validate_against_trace(&trace, &result.schedule))
     };
@@ -366,6 +451,14 @@ fn run_online(args: OnlineArgs) -> Result<String, CliError> {
             "preempted": result.preempted,
             "reallotted": result.reallotted,
             "time_weighted_utilization": result.time_weighted_utilization(),
+            "nominal_utilization": result.nominal_utilization(),
+            "completed": trace.len() - result.departed - result.abandoned.len(),
+            "crashes": result.crashes,
+            "repairs": result.repairs,
+            "task_failures": result.failures,
+            "retries_exhausted": result.retries_exhausted,
+            "wasted_integral": result.wasted_integral,
+            "goodput": result.goodput_fraction(),
             "validated": validation.is_some(),
             "schedule_file": args.output,
             "telemetry_file": args.telemetry,
@@ -401,6 +494,17 @@ fn run_online(args: OnlineArgs) -> Result<String, CliError> {
             result.reallotted,
             if validation.is_some() { "OK" } else { "skipped" },
         );
+        if faults_enabled {
+            text.push_str(&format!(
+                "faults           : {} crashes, {} repairs, {} task failures, {} abandoned\ngoodput          : {:.3} ({:.3} processor-time wasted)\n",
+                result.crashes,
+                result.repairs,
+                result.failures,
+                result.retries_exhausted,
+                result.goodput_fraction(),
+                result.wasted_integral,
+            ));
+        }
         if let Some(summary) = &summary {
             text.push_str("\ntelemetry\n");
             for line in summary.render_table() {
@@ -925,6 +1029,52 @@ mod tests {
         assert!(doc.get("online_makespan").unwrap().as_f64().unwrap() > 0.0);
         assert!(doc.get("ratio_vs_lower_bound").unwrap().as_f64().unwrap() >= 1.0 - 1e-9);
         assert_eq!(doc.get("tasks").unwrap().as_u64(), Some(18));
+    }
+
+    #[test]
+    fn online_runs_with_faults_and_reports_goodput() {
+        // A seeded fault run: crashes + task failures + a forced fault on
+        // the first epoch solve.  The run must validate (the fault-aware
+        // validator runs by default) and report the goodput split.
+        let out = run_args(&args(&[
+            "online",
+            "--policy",
+            "epoch-mrt",
+            "--tasks",
+            "30",
+            "--processors",
+            "8",
+            "--seed",
+            "5",
+            "--mtbf",
+            "6",
+            "--mttr",
+            "1.5",
+            "--task-failure-rate",
+            "0.2",
+            "--fault-seed",
+            "7",
+            "--solver-fault",
+            "1",
+            "--json",
+        ]))
+        .unwrap();
+        let doc: Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(doc.get("validated").unwrap().as_bool(), Some(true));
+        let goodput = doc.get("goodput").unwrap().as_f64().unwrap();
+        assert!((0.0..=1.0).contains(&goodput), "goodput {goodput}");
+        let telemetry = doc.get("telemetry").unwrap();
+        assert_eq!(
+            telemetry.get("invariant_violations").unwrap().as_u64(),
+            Some(0)
+        );
+        assert_eq!(telemetry.get("solver_degraded").unwrap().as_u64(), Some(1));
+        let completed = doc.get("completed").unwrap().as_u64().unwrap();
+        let departed = doc.get("departed").unwrap().as_u64().unwrap();
+        let exhausted = doc.get("retries_exhausted").unwrap().as_u64().unwrap();
+        // `completed` already subtracts departures and abandonments, so the
+        // three partition the trace.
+        assert_eq!(completed + departed + exhausted, 30);
     }
 
     #[test]

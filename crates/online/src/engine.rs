@@ -40,13 +40,50 @@
 //! per-task work conservation, and [`validate_against_trace`] accepts both
 //! shapes plus the release-date and departure conditions specific to the
 //! online setting.
+//!
+//! # Fault tolerance
+//!
+//! [`run_with_faults`] replays the same trace under a deterministic
+//! [`workload::FaultPlan`]:
+//!
+//! * **processor crashes** — a `ProcessorDown` event takes the processor
+//!   offline in the reservation timeline.  Every commitment still using it
+//!   is displaced: queued reservations are revoked whole, running ones are
+//!   truncated at the clock so the executed head stays on the books as a
+//!   *conserved* segment, and the task re-enters the pending set as a
+//!   residual (work is conserved, exactly as in mid-execution
+//!   re-allotment).  `ProcessorUp` brings the processor back for future
+//!   placements.
+//! * **task failures** — a fault plan may kill a specific `(task, attempt)`
+//!   pair a fraction of the way through its segment.  Unlike a crash the
+//!   segment's work is *lost*: the executed head moves to the run's wasted
+//!   list, the task's remaining fraction reverts to what it was when the
+//!   segment started, and the task retries after a capped exponential
+//!   backoff ([`workload::RetryPolicy`]) until its attempts budget is
+//!   exhausted and it is abandoned.  Per-attempt accounting keeps work
+//!   conserved: every attempt's processor-time lands either in the executed
+//!   schedule or in the wasted list.  A failed task whose departure deadline
+//!   already passed (the deadline event had found it protected by the
+//!   in-flight commitment) departs instead of retrying — with the attempt's
+//!   work lost nothing is conserved, and a retry could only start late.
+//! * **stale-event filtering** — each commit bumps the task's generation
+//!   counter and failure events carry the generation they were scheduled
+//!   against, so failures aimed at revoked or re-planned commitments are
+//!   ignored.
+//!
+//! [`validate_fault_run`] extends [`validate_against_trace`] with the
+//! fault-specific conditions (abandoned tasks may be unscheduled, executed
+//! and wasted segments must not overlap each other or any outage), and the
+//! goodput split ([`OnlineResult::wasted_integral`] vs
+//! [`OnlineResult::busy_integral`] over [`OnlineResult::capacity_integral`])
+//! quantifies graceful degradation.
 
 use crate::event::{EventKind, EventQueue};
 use crate::machine::MachineState;
 use crate::policy::{Commitment, OnlinePolicy, PendingTask, Trigger};
 use ::telemetry::{names, Recorder, SpanTimer, TelemetryEvent};
 use malleable_core::prelude::*;
-use workload::ArrivalTrace;
+use workload::{ArrivalTrace, FaultPlan, Outage, RetryPolicy};
 
 /// The outcome of one engine run.
 #[derive(Debug, Clone)]
@@ -75,8 +112,33 @@ pub struct OnlineResult {
     pub reallotted: usize,
     /// Integral of busy processors over the horizon: the sum of
     /// `duration × allotment` over every executed segment.  Divides by
-    /// `m × makespan` to give [`OnlineResult::time_weighted_utilization`].
+    /// [`OnlineResult::capacity_integral`] to give
+    /// [`OnlineResult::time_weighted_utilization`].
     pub busy_integral: f64,
+    /// Injected task-attempt failures observed during the run.
+    pub failures: usize,
+    /// Tasks abandoned after exhausting their retry budget.
+    pub retries_exhausted: usize,
+    /// Ids of the abandoned tasks (their lost segments are in
+    /// [`OnlineResult::wasted`], never in the schedule).
+    pub abandoned: Vec<usize>,
+    /// Processor crashes applied during the run.
+    pub crashes: usize,
+    /// Processor repairs applied during the run.
+    pub repairs: usize,
+    /// Executed-but-lost segments: the heads of failed attempts plus the
+    /// conserved segments of abandoned tasks.  Disjoint from the schedule.
+    pub wasted: Vec<ScheduledTask>,
+    /// Integral of `duration × allotment` over [`OnlineResult::wasted`] —
+    /// processor-time burned without contributing to any completed task.
+    pub wasted_integral: f64,
+    /// Integral of *online* processors over `[0, makespan]`:
+    /// `m × makespan` minus the outage overlaps.  Equal to `m × makespan`
+    /// in a fault-free run.
+    pub capacity_integral: f64,
+    /// Outage intervals applied during the run, with open-ended outages
+    /// left at `end = f64::INFINITY`.
+    pub outages: Vec<Outage>,
 }
 
 impl OnlineResult {
@@ -85,19 +147,44 @@ impl OnlineResult {
         self.schedule.utilization()
     }
 
-    /// Time-weighted utilisation: the busy-processor integral over the whole
-    /// horizon divided by `m × makespan`.  Unlike a sampled end-of-run
-    /// scalar this weights every interval by its length, so idle stretches
-    /// between epochs count against the figure.  Equal to
-    /// [`OnlineResult::utilization`] by construction (both integrate the
-    /// piecewise-constant allotments exactly); kept as a stored integral so
-    /// telemetry can re-bin it per epoch without re-walking the schedule.
+    /// Time-weighted utilisation against the capacity that actually
+    /// existed: the busy-processor integral divided by the *online*
+    /// processor integral ([`OnlineResult::capacity_integral`]).  Unlike a
+    /// sampled end-of-run scalar this weights every interval by its length,
+    /// so idle stretches between epochs count against the figure — but time
+    /// a crashed processor spent offline does not (the scheduler could not
+    /// have used it).  In a fault-free run the capacity integral is exactly
+    /// `m × makespan` and this equals
+    /// [`OnlineResult::nominal_utilization`].
     pub fn time_weighted_utilization(&self) -> f64 {
+        if self.capacity_integral <= 0.0 {
+            return 0.0;
+        }
+        self.busy_integral / self.capacity_integral
+    }
+
+    /// The historical utilisation figure: the busy-processor integral over
+    /// `m × makespan`, as if every processor had been online for the whole
+    /// horizon.  Under faults this under-reports the scheduler (offline
+    /// time it could never use counts against it); kept for comparability
+    /// across fault-free reports.
+    pub fn nominal_utilization(&self) -> f64 {
         let horizon = self.schedule.makespan();
         if horizon <= 0.0 {
             return 0.0;
         }
         self.busy_integral / (self.schedule.processors() as f64 * horizon)
+    }
+
+    /// Fraction of all executed processor-time that landed in completed
+    /// tasks: `busy / (busy + wasted)`.  `1.0` when nothing was wasted
+    /// (including the degenerate empty run).
+    pub fn goodput_fraction(&self) -> f64 {
+        let total = self.busy_integral + self.wasted_integral;
+        if total <= 0.0 {
+            return 1.0;
+        }
+        self.busy_integral / total
     }
 }
 
@@ -187,6 +274,9 @@ enum TaskState {
     },
     /// Left the system without executing any work.
     Departed,
+    /// Gave up after exhausting its retry budget (fault runs only); its
+    /// lost segments are accounted in the wasted list.
+    Abandoned,
 }
 
 /// The in-flight segment of a running task.
@@ -202,9 +292,45 @@ struct RunningTask {
     remaining_at_start: f64,
 }
 
+/// The fault model of one engine run: the deterministic plan plus the
+/// retry discipline.
+struct FaultContext<'a> {
+    plan: &'a FaultPlan,
+    retry: RetryPolicy,
+}
+
 /// Run a policy over a trace.
 pub fn run(trace: &ArrivalTrace, policy: &mut dyn OnlinePolicy) -> Result<OnlineResult> {
-    run_inner(trace, policy, None)
+    run_inner(trace, policy, None, None)
+}
+
+/// Run a policy over a trace under a deterministic fault plan.
+///
+/// Processor outages and per-attempt task failures from `plan` are injected
+/// as first-class events (see the module docs for the recovery semantics);
+/// `retry` governs the backoff and attempts budget of failed tasks.  Pass a
+/// recorder to capture the fault telemetry stream
+/// (`processor_down`/`processor_up`/`task_failure`/`retry_scheduled`
+/// events and the matching counters).
+///
+/// The plan must target the trace's machine (`plan.processors() ==
+/// trace.processors()`) and `retry` must be valid; a quiet plan
+/// ([`FaultPlan::is_quiet`]) reproduces [`run`] exactly.
+pub fn run_with_faults(
+    trace: &ArrivalTrace,
+    policy: &mut dyn OnlinePolicy,
+    plan: &FaultPlan,
+    retry: RetryPolicy,
+    recorder: Option<&dyn Recorder>,
+) -> Result<OnlineResult> {
+    if plan.processors() != trace.processors() {
+        return Err(Error::InvalidParameter {
+            name: "fault-plan-processors",
+            value: plan.processors() as f64,
+        });
+    }
+    retry.validate()?;
+    run_inner(trace, policy, recorder, Some(FaultContext { plan, retry }))
 }
 
 /// Run a policy over a trace with telemetry.
@@ -225,13 +351,14 @@ pub fn run_recorded(
     policy: &mut dyn OnlinePolicy,
     recorder: &dyn Recorder,
 ) -> Result<OnlineResult> {
-    run_inner(trace, policy, Some(recorder))
+    run_inner(trace, policy, Some(recorder), None)
 }
 
 fn run_inner(
     trace: &ArrivalTrace,
     policy: &mut dyn OnlinePolicy,
     recorder: Option<&dyn Recorder>,
+    faults: Option<FaultContext<'_>>,
 ) -> Result<OnlineResult> {
     let run_timer = recorder.map(|_| SpanTimer::start());
     let instance = trace.instance()?;
@@ -246,6 +373,17 @@ fn run_inner(
         queue.push(arrival.at, EventKind::Arrival(index));
         if let Some(departs_at) = arrival.departs_at {
             queue.push(departs_at, EventKind::Departure(index));
+        }
+    }
+    if let Some(ctx) = &faults {
+        // Outages are known up-front (the plan is deterministic): both edges
+        // enter the heap now, interleaving with task events by the
+        // documented equal-timestamp order.
+        for outage in ctx.plan.outages() {
+            queue.push(outage.start, EventKind::ProcessorDown(outage.processor));
+            if outage.end.is_finite() {
+                queue.push(outage.end, EventKind::ProcessorUp(outage.processor));
+            }
         }
     }
 
@@ -263,6 +401,24 @@ fn run_inner(
     let mut departed = 0usize;
     let mut preempted = 0usize;
     let mut reallotted = 0usize;
+    // Fault-run bookkeeping (all quiescent without a fault context).
+    // Failed attempts per task; indexes the plan's per-attempt failure table.
+    let mut attempts: Vec<usize> = vec![0; n];
+    // Commitment generation per task: bumped on every commit, carried by
+    // failure events so stale ones (aimed at revoked or re-planned
+    // commitments) are filtered.
+    let mut generation: Vec<u64> = vec![0; n];
+    // Executed-but-lost segments: failed attempts' heads and the conserved
+    // segments of abandoned tasks.
+    let mut wasted: Vec<ScheduledTask> = Vec::new();
+    let mut abandoned: Vec<usize> = Vec::new();
+    let mut failures = 0usize;
+    let mut retries_exhausted = 0usize;
+    let mut crashes = 0usize;
+    let mut repairs = 0usize;
+    // Applied outages; an entry stays open (`end = INFINITY`) until its
+    // repair event fires.
+    let mut outage_log: Vec<Outage> = Vec::new();
     let mut tick_scheduled = false;
     // Running maximum of committed start times, for the backfill telemetry
     // flag: a placement beginning strictly before it filled an earlier hole.
@@ -275,12 +431,21 @@ fn run_inner(
         machine.advance_to(event.time);
         let trigger = match event.kind {
             EventKind::Arrival(index) => {
-                pending.push(PendingTask {
-                    id: index,
-                    arrived_at: event.time,
-                    remaining: 1.0,
-                });
-                Some(Trigger::Arrival)
+                // Retries re-enter through a fresh arrival event; one queued
+                // mid-backoff when the task departed or was abandoned is
+                // stale and must be dropped here.
+                if matches!(states[index], TaskState::Departed | TaskState::Abandoned) {
+                    None
+                } else {
+                    pending.push(PendingTask {
+                        id: index,
+                        arrived_at: event.time,
+                        // 1.0 for a first arrival; a retry resumes at the
+                        // task's conserved remaining fraction.
+                        remaining: remaining[index],
+                    });
+                    Some(Trigger::Arrival)
+                }
             }
             EventKind::Completion(task) => {
                 // A completion is only real when it matches the task's
@@ -341,9 +506,28 @@ fn run_inner(
                             }
                         }
                         Some(Trigger::Departure)
+                    } else if faults.is_some() && attempts[index] > 0 {
+                        // Waiting out a retry backoff (its re-arrival is
+                        // still in the heap): no conserved work exists, so
+                        // the deadline takes it.  The queued retry arrival
+                        // goes stale via the arrival-handler guard.
+                        states[index] = TaskState::Departed;
+                        departed += 1;
+                        if let Some(rec) = recorder {
+                            rec.add(names::DEPARTURES, 1);
+                            if rec.enabled() {
+                                rec.event(TelemetryEvent::Depart {
+                                    time: event.time,
+                                    task: index as u64,
+                                    completed: false,
+                                });
+                            }
+                        }
+                        Some(Trigger::Departure)
                     } else {
                         // Departure before arrival cannot happen (validated
-                        // by the trace); a Waiting task is always pending.
+                        // by the trace); a fault-free Waiting task is always
+                        // pending.
                         None
                     }
                 }
@@ -377,6 +561,210 @@ fn run_inner(
                 // already executed work: nothing to do.
                 _ => None,
             },
+            EventKind::TaskFailure {
+                task,
+                generation: scheduled_generation,
+            } => {
+                let ctx = faults
+                    .as_ref()
+                    .expect("failure events exist only in fault runs");
+                // Only the commitment the failure was scheduled against may
+                // die: every commit bumps the generation, so failures aimed
+                // at revoked or re-planned commitments are stale.
+                let current = match states[task] {
+                    TaskState::Committed(c) => Some((c, remaining[task])),
+                    TaskState::Running(r) => Some((r.commitment, r.remaining_at_start)),
+                    _ => None,
+                };
+                match current {
+                    Some((c, remaining_at_start)) if generation[task] == scheduled_generation => {
+                        let now = event.time;
+                        let elapsed = now - c.start;
+                        if elapsed > 1e-9 {
+                            machine
+                                .truncate_at(c.reservation, now)
+                                .expect("failing segments are truncatable at the clock");
+                            // Unlike a crash the head is *lost* work: the
+                            // processors were burned but the task must redo
+                            // it, so the segment lands in the wasted list
+                            // and `remaining` reverts below.
+                            wasted.push(ScheduledTask {
+                                task,
+                                start: c.start,
+                                duration: elapsed,
+                                processors: ProcessorRange::new(c.first, c.count),
+                            });
+                        } else {
+                            machine
+                                .revoke(c.reservation)
+                                .expect("zero-elapsed commitments are revocable");
+                        }
+                        remaining[task] = remaining_at_start;
+                        attempts[task] += 1;
+                        failures += 1;
+                        if let Some(rec) = recorder {
+                            rec.add(names::TASK_FAILURES, 1);
+                            if rec.enabled() {
+                                rec.event(TelemetryEvent::TaskFailure {
+                                    time: now,
+                                    task: task as u64,
+                                    attempt: attempts[task] - 1,
+                                    lost_work: elapsed.max(0.0) * c.count as f64,
+                                });
+                            }
+                        }
+                        if attempts[task] >= ctx.retry.max_attempts {
+                            // Retry budget exhausted: abandon the task and
+                            // move its conserved segments to the wasted list
+                            // (they can no longer sum to a whole task).
+                            wasted.append(&mut segments[task]);
+                            states[task] = TaskState::Abandoned;
+                            abandoned.push(task);
+                            retries_exhausted += 1;
+                            if let Some(rec) = recorder {
+                                rec.add(names::RETRIES_EXHAUSTED, 1);
+                            }
+                        } else if segments[task].is_empty()
+                            && trace.arrivals()[task]
+                                .departs_at
+                                .is_some_and(|d| d <= now + 1e-9)
+                        {
+                            // The deadline passed while the attempt ran (its
+                            // departure event found the task protected by the
+                            // in-flight commitment and left it alone).  The
+                            // failure lost that work, so nothing is conserved
+                            // any more and the expired deadline takes the
+                            // task: a retry could only ever start late.
+                            states[task] = TaskState::Departed;
+                            departed += 1;
+                            if let Some(rec) = recorder {
+                                rec.add(names::DEPARTURES, 1);
+                                if rec.enabled() {
+                                    rec.event(TelemetryEvent::Depart {
+                                        time: now,
+                                        task: task as u64,
+                                        completed: false,
+                                    });
+                                }
+                            }
+                        } else {
+                            states[task] = TaskState::Waiting;
+                            let at = now + ctx.retry.backoff(attempts[task]);
+                            queue.push(at, EventKind::Arrival(task));
+                            if let Some(rec) = recorder {
+                                rec.add(names::RETRIES_SCHEDULED, 1);
+                                if rec.enabled() {
+                                    rec.event(TelemetryEvent::RetryScheduled {
+                                        time: now,
+                                        task: task as u64,
+                                        attempt: attempts[task],
+                                        at,
+                                    });
+                                }
+                            }
+                        }
+                        Some(Trigger::Fault)
+                    }
+                    _ => None,
+                }
+            }
+            EventKind::ProcessorDown(processor) => {
+                if !machine.is_online(processor) {
+                    // Overlapping outage edges in a hand-built plan: the
+                    // processor is already down.
+                    None
+                } else {
+                    let now = event.time;
+                    let displaced = machine.set_offline(processor, now);
+                    crashes += 1;
+                    outage_log.push(Outage {
+                        processor,
+                        start: now,
+                        end: f64::INFINITY,
+                    });
+                    let displaced_count = displaced.len();
+                    for reservation in displaced {
+                        let task = states
+                            .iter()
+                            .position(|state| match state {
+                                TaskState::Committed(c) => c.reservation == reservation,
+                                TaskState::Running(r) => r.commitment.reservation == reservation,
+                                _ => false,
+                            })
+                            .expect("displaced reservations back live commitments");
+                        let (c, remaining_at_start) = match states[task] {
+                            TaskState::Committed(c) => (c, remaining[task]),
+                            TaskState::Running(r) => (r.commitment, r.remaining_at_start),
+                            _ => unreachable!(),
+                        };
+                        let elapsed = now - c.start;
+                        if elapsed > 1e-9 {
+                            // Running when the processor died: `set_offline`
+                            // already truncated the reservation at the
+                            // clock, so the executed head is *conserved* —
+                            // close it as a segment and requeue the
+                            // residual, exactly as mid-execution
+                            // re-allotment does.
+                            segments[task].push(ScheduledTask {
+                                task,
+                                start: c.start,
+                                duration: elapsed,
+                                processors: ProcessorRange::new(c.first, c.count),
+                            });
+                            remaining[task] = (remaining_at_start
+                                - workload::executed_fraction(
+                                    &instance.task(task).profile,
+                                    c.count,
+                                    elapsed,
+                                ))
+                            .max(1e-12);
+                        }
+                        states[task] = TaskState::Waiting;
+                        pending.push(PendingTask {
+                            id: task,
+                            arrived_at: trace.arrivals()[task].at,
+                            remaining: remaining[task],
+                        });
+                    }
+                    if let Some(rec) = recorder {
+                        rec.add(names::PROCESSOR_DOWNS, 1);
+                        if rec.enabled() {
+                            rec.event(TelemetryEvent::ProcessorDown {
+                                time: now,
+                                processor,
+                                displaced: displaced_count,
+                            });
+                        }
+                    }
+                    Some(Trigger::Fault)
+                }
+            }
+            EventKind::ProcessorUp(processor) => {
+                if machine.is_online(processor) {
+                    // Matching guard for the overlapping-edges case above.
+                    None
+                } else {
+                    machine.set_online(processor, event.time);
+                    repairs += 1;
+                    if let Some(open) = outage_log
+                        .iter_mut()
+                        .rev()
+                        .find(|o| o.processor == processor && o.end.is_infinite())
+                    {
+                        open.end = event.time;
+                    }
+                    if let Some(rec) = recorder {
+                        rec.add(names::PROCESSOR_UPS, 1);
+                        if rec.enabled() {
+                            rec.event(TelemetryEvent::ProcessorUp {
+                                time: event.time,
+                                processor,
+                            });
+                        }
+                    }
+                    Some(Trigger::Fault)
+                }
+            }
             EventKind::EpochTick => {
                 tick_scheduled = false;
                 Some(Trigger::EpochTick)
@@ -572,8 +960,44 @@ fn run_inner(
                             value: c.start,
                         });
                     }
+                    if !(c.start.is_finite() && c.duration.is_finite()) {
+                        // A window query against a machine with too few
+                        // online processors reports an infinite start; a
+                        // policy that commits it anyway (instead of
+                        // clamping its width by `max_contiguous_online`)
+                        // violated the capacity model.
+                        record_violation(
+                            recorder,
+                            machine.now(),
+                            format!(
+                                "task {} committed with non-finite placement [{}, {} + {})",
+                                c.task, c.start, c.start, c.duration
+                            ),
+                        );
+                        return Err(Error::InvalidParameter {
+                            name: "non-finite-commitment",
+                            value: c.start,
+                        });
+                    }
                     queue.push(c.start + c.duration, EventKind::Completion(c.task));
                     states[c.task] = TaskState::Committed(c);
+                    generation[c.task] = generation[c.task].wrapping_add(1);
+                    if let Some(ctx) = &faults {
+                        // The plan may kill this (task, attempt) pair a
+                        // fraction of the way through the segment; the
+                        // event carries the generation so it goes stale if
+                        // the commitment is revoked or re-planned first.
+                        if let Some(fraction) = ctx.plan.failure_fraction(c.task, attempts[c.task])
+                        {
+                            queue.push(
+                                c.start + fraction * c.duration,
+                                EventKind::TaskFailure {
+                                    task: c.task,
+                                    generation: generation[c.task],
+                                },
+                            );
+                        }
+                    }
                     if let Some(rec) = recorder {
                         let backfilled = c.start + 1e-9 < latest_committed_start;
                         rec.add(names::PLACEMENTS, 1);
@@ -643,6 +1067,8 @@ fn run_inner(
         let finished_at = match state {
             TaskState::Done { finished_at } => *finished_at,
             TaskState::Departed => continue,
+            // Its lost segments are already in the wasted list.
+            TaskState::Abandoned => continue,
             // A policy that commits only part of the pending set it was
             // handed (the `plan` contract requires all of it) leaves tasks
             // waiting forever; surface that as an error, not a panic.
@@ -670,9 +1096,26 @@ fn run_inner(
         executed += 1;
     }
 
+    let makespan = schedule.makespan();
+    let wasted_integral: f64 = wasted
+        .iter()
+        .map(|segment| segment.duration * segment.processors.count as f64)
+        .sum();
+    // Online capacity over [0, makespan]: the full machine minus every
+    // outage's overlap with the horizon (`m × makespan` exactly when the
+    // run saw no crash).
+    let mut capacity_integral = instance.processors() as f64 * makespan;
+    for outage in &outage_log {
+        let overlap = outage.end.min(makespan) - outage.start.min(makespan);
+        if overlap > 0.0 {
+            capacity_integral -= overlap;
+        }
+    }
+    capacity_integral = capacity_integral.max(0.0);
+
     let result = OnlineResult {
         policy: policy.name(),
-        makespan: schedule.makespan(),
+        makespan,
         mean_flow_time: flow_sum / executed.max(1) as f64,
         max_flow_time: flow_max,
         events,
@@ -681,6 +1124,15 @@ fn run_inner(
         preempted,
         reallotted,
         busy_integral,
+        failures,
+        retries_exhausted,
+        abandoned,
+        crashes,
+        repairs,
+        wasted,
+        wasted_integral,
+        capacity_integral,
+        outages: outage_log,
         schedule,
     };
 
@@ -858,6 +1310,71 @@ pub fn validate_against_trace(trace: &ArrivalTrace, schedule: &Schedule) -> Vec<
             if start < finish - 1e-9 {
                 messages.push(format!(
                     "tasks {first_task} and {second_task} overlap on processor {processor}"
+                ));
+            }
+        }
+    }
+
+    messages
+}
+
+/// Validate a fault run: [`validate_against_trace`] with the
+/// fault-specific conditions layered on.
+///
+/// * Abandoned tasks (retry budget exhausted) may legitimately be absent
+///   from the schedule — their "not scheduled" messages are filtered.
+/// * Executed **and** wasted segments together must be disjoint per
+///   processor: a failed attempt's head really occupied its processors, so
+///   nothing else may have run there at the time.
+/// * No executed or wasted segment may overlap an outage on any of its
+///   processors — offline capacity must never be used.
+///
+/// Returns human-readable violation messages (empty = valid).
+pub fn validate_fault_run(trace: &ArrivalTrace, result: &OnlineResult) -> Vec<String> {
+    let mut messages: Vec<String> = validate_against_trace(trace, &result.schedule)
+        .into_iter()
+        .filter(|message| {
+            !result
+                .abandoned
+                .iter()
+                .any(|&task| message == &format!("task {task} is not scheduled"))
+        })
+        .collect();
+
+    let m = trace.processors();
+    let all_segments = || result.schedule.entries().iter().chain(result.wasted.iter());
+
+    // Per-processor interval sweep over executed ∪ wasted segments.
+    let mut per_processor: Vec<Vec<(f64, f64, usize)>> = vec![Vec::new(); m];
+    for entry in all_segments() {
+        for intervals in &mut per_processor[entry.processors.first..entry.processors.end().min(m)] {
+            intervals.push((entry.start, entry.finish(), entry.task));
+        }
+    }
+    for (processor, intervals) in per_processor.iter_mut().enumerate() {
+        intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for pair in intervals.windows(2) {
+            let (_, finish, first_task) = pair[0];
+            let (start, _, second_task) = pair[1];
+            if start < finish - 1e-9 {
+                messages.push(format!(
+                    "tasks {first_task} and {second_task} overlap on processor {processor} \
+                     (executed or wasted segments)"
+                ));
+            }
+        }
+    }
+
+    // No segment may use a processor while it was offline.
+    for entry in all_segments() {
+        for outage in &result.outages {
+            if outage.processor >= entry.processors.first
+                && outage.processor < entry.processors.end()
+                && outage.overlaps(entry.start, entry.finish())
+            {
+                messages.push(format!(
+                    "task {} runs on processor {} during its outage [{}, {})",
+                    entry.task, outage.processor, outage.start, outage.end
                 ));
             }
         }
@@ -1460,6 +1977,228 @@ mod tests {
         }
         let trace = sequential_trace(&[(0.0, 1.0), (0.0, 1.0)], 2);
         assert!(run(&trace, &mut FirstOnly).is_err());
+    }
+
+    #[test]
+    fn crash_conserves_executed_work_and_restarts_narrower() {
+        // Hand-computed: the malleable task ([8, 4.5]) takes both processors
+        // over [0, 4.5).  Processor 1 crashes at t=2: the head [0, 2) × 2 is
+        // conserved (executed fraction 2/4.5 = 4/9, remaining 5/9) and the
+        // residual restarts *narrower* on the surviving processor —
+        // [2, 2 + 8·5/9) × 1 — for a makespan of 58/9.
+        let trace = ArrivalTrace::new(
+            2,
+            vec![Arrival::new(
+                0.0,
+                MalleableTask::new(SpeedupProfile::new(vec![8.0, 4.5]).unwrap()),
+            )],
+        )
+        .unwrap();
+        let plan = FaultPlan::empty(2, 16.0).with_outage(1, 2.0, 10.0);
+        let recorder = ::telemetry::CollectingRecorder::new();
+        let result = run_with_faults(
+            &trace,
+            &mut GreedyList::new(),
+            &plan,
+            RetryPolicy::default(),
+            Some(&recorder),
+        )
+        .unwrap();
+        assert_eq!((result.crashes, result.repairs), (1, 1));
+        assert_eq!(result.failures, 0);
+        let expected = 2.0 + 8.0 * (5.0 / 9.0);
+        assert!(
+            (result.makespan - expected).abs() < 1e-9,
+            "makespan {} (expected {expected})",
+            result.makespan
+        );
+        let entries = result.schedule.entries();
+        assert_eq!(entries.len(), 2, "conserved head + residual restart");
+        assert_eq!(entries[0].processors.count, 2);
+        assert!((entries[0].duration - 2.0).abs() < 1e-9);
+        assert_eq!(entries[1].processors.count, 1, "residual restarts narrower");
+        assert!((entries[1].start - 2.0).abs() < 1e-9);
+        // Capacity integral: 2·(58/9) − (58/9 − 2) = 76/9, which is exactly
+        // the busy integral — the scheduler never idled online capacity.
+        assert!((result.capacity_integral - 76.0 / 9.0).abs() < 1e-9);
+        assert!((result.time_weighted_utilization() - 1.0).abs() < 1e-9);
+        assert!((result.nominal_utilization() - 76.0 / 116.0).abs() < 1e-9);
+        assert_eq!(result.goodput_fraction(), 1.0, "crashes waste nothing");
+        assert!(
+            validate_fault_run(&trace, &result).is_empty(),
+            "{:?}",
+            validate_fault_run(&trace, &result)
+        );
+        assert_eq!(recorder.counter(::telemetry::names::PROCESSOR_DOWNS), 1);
+        assert_eq!(recorder.counter(::telemetry::names::PROCESSOR_UPS), 1);
+        assert_eq!(recorder.invariant_violations(), 0);
+    }
+
+    #[test]
+    fn task_failures_lose_the_segment_and_retry_with_backoff() {
+        // Hand-computed: the sequential 4.0 task starts at 0 and is killed
+        // halfway (t=2).  Unlike a crash the head [0, 2) is *lost*: it lands
+        // in the wasted list, the retry fires after the 1.0 backoff at t=3,
+        // and the full task re-runs over [3, 7).
+        let trace = sequential_trace(&[(0.0, 4.0)], 1);
+        let plan = FaultPlan::empty(1, 16.0).with_task_failure(0, 0, 0.5);
+        let retry = RetryPolicy {
+            max_attempts: 4,
+            base_backoff: 1.0,
+            multiplier: 2.0,
+            max_backoff: 8.0,
+        };
+        let recorder = ::telemetry::CollectingRecorder::new();
+        let result = run_with_faults(
+            &trace,
+            &mut GreedyList::new(),
+            &plan,
+            retry,
+            Some(&recorder),
+        )
+        .unwrap();
+        assert_eq!(result.failures, 1);
+        assert_eq!(result.retries_exhausted, 0);
+        assert!((result.makespan - 7.0).abs() < 1e-9, "{}", result.makespan);
+        assert_eq!(result.schedule.len(), 1, "only the successful attempt");
+        assert!((result.schedule.entries()[0].start - 3.0).abs() < 1e-9);
+        assert_eq!(result.wasted.len(), 1);
+        assert!((result.wasted[0].duration - 2.0).abs() < 1e-9);
+        assert!((result.wasted_integral - 2.0).abs() < 1e-9);
+        assert!((result.goodput_fraction() - 4.0 / 6.0).abs() < 1e-9);
+        assert!(
+            validate_fault_run(&trace, &result).is_empty(),
+            "{:?}",
+            validate_fault_run(&trace, &result)
+        );
+        assert_eq!(recorder.counter(::telemetry::names::TASK_FAILURES), 1);
+        assert_eq!(recorder.counter(::telemetry::names::RETRIES_SCHEDULED), 1);
+        assert_eq!(recorder.invariant_violations(), 0);
+    }
+
+    #[test]
+    fn exhausted_retries_abandon_the_task() {
+        // Both attempts die halfway under a 2-attempt budget: the task is
+        // abandoned, every segment it burned is wasted, and the run still
+        // validates (abandoned tasks may be unscheduled).
+        let trace = sequential_trace(&[(0.0, 2.0)], 1);
+        let plan = FaultPlan::empty(1, 16.0)
+            .with_task_failure(0, 0, 0.5)
+            .with_task_failure(0, 1, 0.5);
+        let retry = RetryPolicy {
+            max_attempts: 2,
+            ..RetryPolicy::default()
+        };
+        let result = run_with_faults(&trace, &mut GreedyList::new(), &plan, retry, None).unwrap();
+        assert_eq!(result.failures, 2);
+        assert_eq!(result.retries_exhausted, 1);
+        assert_eq!(result.abandoned, vec![0]);
+        assert!(result.schedule.is_empty());
+        assert_eq!(result.wasted.len(), 2);
+        assert_eq!(result.goodput_fraction(), 0.0);
+        assert!(
+            validate_fault_run(&trace, &result).is_empty(),
+            "{:?}",
+            validate_fault_run(&trace, &result)
+        );
+    }
+
+    #[test]
+    fn quiet_fault_plans_reproduce_the_fault_free_run() {
+        let trace = poisson_trace(40, 8, 3.0, 11);
+        let baseline = run(&trace, &mut EpochReplan::mrt(1.0).unwrap()).unwrap();
+        let plan = FaultPlan::empty(8, trace.last_arrival() + 100.0);
+        assert!(plan.is_quiet());
+        let faulted = run_with_faults(
+            &trace,
+            &mut EpochReplan::mrt(1.0).unwrap(),
+            &plan,
+            RetryPolicy::default(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(faulted.makespan, baseline.makespan);
+        assert_eq!(faulted.schedule.len(), baseline.schedule.len());
+        assert_eq!(faulted.crashes + faulted.failures, 0);
+        // Satellite pin: with nothing offline the capacity integral is
+        // exactly m × makespan, so the corrected utilisation equals the
+        // nominal one.
+        assert!(
+            (faulted.capacity_integral - 8.0 * faulted.makespan).abs() < 1e-9,
+            "{} vs {}",
+            faulted.capacity_integral,
+            8.0 * faulted.makespan
+        );
+        assert!(
+            (faulted.time_weighted_utilization() - faulted.nominal_utilization()).abs() < 1e-12
+        );
+        assert!(
+            (baseline.time_weighted_utilization() - baseline.nominal_utilization()).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn mid_backoff_departures_retire_the_task() {
+        // The task fails at t=1, waits out its 4.0 backoff, and its deadline
+        // (t=2) fires mid-backoff: it departs, and the queued retry arrival
+        // goes stale instead of resurrecting it.
+        let trace = ArrivalTrace::new(
+            1,
+            vec![Arrival::new(
+                0.0,
+                MalleableTask::new(SpeedupProfile::sequential(2.0).unwrap()),
+            )
+            .departing_at(2.0)],
+        )
+        .unwrap();
+        let plan = FaultPlan::empty(1, 16.0).with_task_failure(0, 0, 0.5);
+        let retry = RetryPolicy {
+            max_attempts: 4,
+            base_backoff: 4.0,
+            multiplier: 2.0,
+            max_backoff: 8.0,
+        };
+        let result = run_with_faults(&trace, &mut GreedyList::new(), &plan, retry, None).unwrap();
+        assert_eq!(result.failures, 1);
+        assert_eq!(result.departed, 1);
+        assert!(result.schedule.is_empty());
+        assert_eq!(result.wasted.len(), 1);
+    }
+
+    #[test]
+    fn expired_deadlines_take_failed_tasks_instead_of_retrying() {
+        // The task starts at t=0 (before its t=1 deadline, so the departure
+        // event finds it protected by the running commitment), then fails at
+        // t=2 losing all its work.  With nothing conserved and the deadline
+        // already past, the failure retires the task instead of scheduling a
+        // retry that could only start late.
+        let trace = ArrivalTrace::new(
+            1,
+            vec![Arrival::new(
+                0.0,
+                MalleableTask::new(SpeedupProfile::sequential(4.0).unwrap()),
+            )
+            .departing_at(1.0)],
+        )
+        .unwrap();
+        let plan = FaultPlan::empty(1, 16.0).with_task_failure(0, 0, 0.5);
+        let result = run_with_faults(
+            &trace,
+            &mut GreedyList::new(),
+            &plan,
+            RetryPolicy::default(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(result.failures, 1);
+        assert_eq!(result.departed, 1);
+        assert!(result.abandoned.is_empty());
+        assert!(result.schedule.is_empty());
+        // The lost attempt [0, 2) is the only processor time spent.
+        assert_eq!(result.wasted.len(), 1);
+        assert!((result.wasted_integral - 2.0).abs() < 1e-9);
+        assert!(result.goodput_fraction().abs() < 1e-9);
+        assert!(validate_fault_run(&trace, &result).is_empty());
     }
 
     #[test]

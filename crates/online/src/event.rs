@@ -1,17 +1,23 @@
 //! The engine's event queue: a binary min-heap over timestamped events.
 //!
-//! Four event kinds drive the engine: task arrivals, task completions, task
-//! departures and epoch ticks.  Events at the same timestamp pop in a
-//! deterministic, documented order — **arrival → completion → departure →
-//! tick** — so traces replay identically across runs:
+//! Seven event kinds drive the engine: task arrivals, task completions, task
+//! failures, task departures, processor crashes/repairs and epoch ticks.
+//! Events at the same timestamp pop in a deterministic, documented order —
+//! **arrival → completion → failure → departure → down → up → tick** — so
+//! traces replay identically across runs:
 //!
 //! * *arrivals first*, so any planning round triggered at time `t` sees every
 //!   task that is available at `t`;
-//! * *completions before departures*, so a task finishing exactly at its
-//!   departure time counts as completed, not departed;
+//! * *completions before failures*, so a task finishing exactly when its
+//!   injected fault would fire counts as completed, not failed;
+//! * *failures before departures*, so the retry decision for a failed
+//!   attempt is made before any same-instant deadline processing;
+//! * *processor crashes and repairs after the task-level events*, so
+//!   displacement acts on the settled task states, and *down before up*, so
+//!   a zero-length outage is a crash followed by a repair, not the reverse;
 //! * *epoch ticks last*, so a tick observes the fully updated machine state
 //!   (simultaneous arrivals enqueued, finished tasks released, departed tasks
-//!   withdrawn);
+//!   withdrawn, capacity changes applied);
 //! * ties beyond the kind are broken by insertion order.
 
 use malleable_core::TaskId;
@@ -25,10 +31,24 @@ pub enum EventKind {
     Arrival(usize),
     /// A committed task finished (payload: its global task id).
     Completion(TaskId),
+    /// An injected fault kills the current attempt of a task (fault runs
+    /// only).  `generation` snapshots the task's commitment generation at
+    /// scheduling time, so a failure aimed at a commitment that was since
+    /// revoked or re-planned is recognised as stale and ignored.
+    TaskFailure {
+        /// Global id of the failing task.
+        task: TaskId,
+        /// Commitment generation the failure belongs to.
+        generation: u64,
+    },
     /// Arrival `index` departs: if the task has not started yet it leaves the
     /// system (its queued reservation, if any, is revoked); a running task is
     /// unaffected (non-preemptive execution).
     Departure(usize),
+    /// The processor crashes and goes offline (fault runs only).
+    ProcessorDown(usize),
+    /// The processor is repaired and comes back online (fault runs only).
+    ProcessorUp(usize),
     /// An epoch boundary of an epoch-driven policy.
     EpochTick,
 }
@@ -39,8 +59,11 @@ impl EventKind {
         match self {
             EventKind::Arrival(_) => 0,
             EventKind::Completion(_) => 1,
-            EventKind::Departure(_) => 2,
-            EventKind::EpochTick => 3,
+            EventKind::TaskFailure { .. } => 2,
+            EventKind::Departure(_) => 3,
+            EventKind::ProcessorDown(_) => 4,
+            EventKind::ProcessorUp(_) => 5,
+            EventKind::EpochTick => 6,
         }
     }
 }
@@ -136,10 +159,19 @@ mod tests {
     }
 
     #[test]
-    fn equal_times_order_arrival_completion_departure_tick() {
+    fn equal_times_order_arrival_completion_failure_departure_down_up_tick() {
         let mut q = EventQueue::new();
         q.push(1.0, EventKind::EpochTick);
+        q.push(1.0, EventKind::ProcessorUp(2));
+        q.push(1.0, EventKind::ProcessorDown(2));
         q.push(1.0, EventKind::Departure(4));
+        q.push(
+            1.0,
+            EventKind::TaskFailure {
+                task: 5,
+                generation: 1,
+            },
+        );
         q.push(1.0, EventKind::Arrival(3));
         q.push(1.0, EventKind::Completion(9));
         let kinds: Vec<EventKind> = std::iter::from_fn(|| q.pop()).map(|e| e.kind).collect();
@@ -148,7 +180,13 @@ mod tests {
             vec![
                 EventKind::Arrival(3),
                 EventKind::Completion(9),
+                EventKind::TaskFailure {
+                    task: 5,
+                    generation: 1
+                },
                 EventKind::Departure(4),
+                EventKind::ProcessorDown(2),
+                EventKind::ProcessorUp(2),
                 EventKind::EpochTick
             ]
         );

@@ -87,6 +87,19 @@
 //! price of online operation against the dual-search certificate (computed
 //! over the executed task set when tasks departed; `None` when every task
 //! departed — an empty subset has no baseline).
+//!
+//! ## Fault tolerance
+//!
+//! [`run_with_faults`] replays a trace under a deterministic
+//! [`workload::FaultPlan`]: processor crashes take capacity offline and
+//! displace the commitments using it (running work is conserved as
+//! residuals, exactly like mid-execution re-allotment), per-attempt task
+//! failures *lose* the attempt's work and retry under a capped exponential
+//! backoff ([`workload::RetryPolicy`]) until abandoned, and
+//! [`validate_fault_run`] checks the fault-specific invariants (no
+//! executed or wasted segment overlaps another or any outage).  See
+//! [`engine`]'s module docs for the full recovery semantics and
+//! [`OnlineResult::goodput_fraction`] for the graceful-degradation figure.
 
 pub mod engine;
 pub mod event;
@@ -95,8 +108,9 @@ pub mod policy;
 pub mod telemetry;
 
 pub use engine::{
-    competitive_report, queued_reallotment_scenario, run, run_recorded,
-    running_reallotment_scenario, validate_against_trace, CompetitiveReport, OnlineResult,
+    competitive_report, queued_reallotment_scenario, run, run_recorded, run_with_faults,
+    running_reallotment_scenario, validate_against_trace, validate_fault_run, CompetitiveReport,
+    OnlineResult,
 };
 pub use event::{Event, EventKind, EventQueue};
 pub use machine::{MachineState, Placement, ReservationError, ReservationId};

@@ -217,6 +217,43 @@ impl MachineState {
         assert!(self.unfinished > 0, "completion without a commitment");
         self.unfinished -= 1;
     }
+
+    /// Whether one processor is currently online.
+    pub fn is_online(&self, processor: usize) -> bool {
+        self.timeline.is_online(processor)
+    }
+
+    /// Number of currently online processors.
+    pub fn online_processors(&self) -> usize {
+        self.timeline.online_processors()
+    }
+
+    /// Width of the largest run of consecutive online processors — the
+    /// widest placement the machine can currently serve.  Equals
+    /// [`MachineState::processors`] while nothing is offline.
+    pub fn max_contiguous_online(&self) -> usize {
+        self.timeline.max_contiguous_online()
+    }
+
+    /// Take `processor` offline as of `from` (a crash).  Every commitment
+    /// still using it beyond `from` is displaced — queued reservations are
+    /// cancelled whole, running ones are truncated at `from` so the executed
+    /// head stays on the books — and no longer counts as unfinished.
+    /// Returns the displaced reservation handles for the caller to re-queue.
+    pub fn set_offline(&mut self, processor: usize, from: f64) -> Vec<ReservationId> {
+        let displaced = self.timeline.set_offline(processor, from);
+        for _ in &displaced {
+            assert!(self.unfinished > 0, "displacement without a commitment");
+            self.unfinished -= 1;
+        }
+        displaced
+    }
+
+    /// Bring `processor` back online as of `at` (a repair); placements may
+    /// use it from `at` on.
+    pub fn set_online(&mut self, processor: usize, at: f64) {
+        self.timeline.set_online(processor, at);
+    }
 }
 
 #[cfg(test)]

@@ -99,6 +99,11 @@ pub enum Trigger {
     /// A task departed (withdrawn from the pending queue or revoked while
     /// still queued).
     Departure,
+    /// A fault event fired (a task attempt failed, a processor crashed and
+    /// displaced work, or a processor was repaired) — fault runs only.
+    /// Immediate policies treat it like an arrival so displaced work is
+    /// re-placed at once; epoch policies wait for the next tick.
+    Fault,
     /// An epoch boundary fired.
     EpochTick,
 }
@@ -277,7 +282,7 @@ impl OnlinePolicy for GreedyList {
     }
 
     fn should_plan(&self, trigger: Trigger, _machine: &MachineState) -> bool {
-        trigger == Trigger::Arrival
+        matches!(trigger, Trigger::Arrival | Trigger::Fault)
     }
 
     fn plan(
@@ -299,7 +304,11 @@ impl OnlinePolicy for GreedyList {
             } else {
                 &instance.task(task.id).profile
             };
-            let widest = profile.max_processors().min(machine.processors());
+            // Clamp to the widest contiguous *online* block so crashes never
+            // leave a width with no feasible window.
+            let widest = profile
+                .max_processors()
+                .min(machine.max_contiguous_online().max(1));
             // Minimise the completion time over all processor counts; prefer
             // the narrower count on ties (it wastes less work).
             let mut best = (1usize, f64::INFINITY);
@@ -502,7 +511,11 @@ impl OnlinePolicy for EpochReplan {
         machine: &mut MachineState,
     ) -> Result<Vec<Commitment>> {
         let counters_before = (self.workspace.probes(), self.workspace.grow_events());
-        let sub_instance = pending_sub_instance(instance, pending, machine.processors())?;
+        // Plan against the widest contiguous online block: during an outage
+        // the offline oracle must not allot more processors than any window
+        // the machine can actually serve.
+        let capacity = machine.max_contiguous_online().max(1);
+        let sub_instance = pending_sub_instance(instance, pending, capacity)?;
         let mut request = SolveRequest::new(&sub_instance).with_mode(self.search);
         // Seed the upper end slightly above the previous epoch's accepted
         // guess, rescaled to the new pending set.  An over-optimistic seed
@@ -610,7 +623,10 @@ impl OnlinePolicy for BatchUntilIdle {
     }
 
     fn should_plan(&self, trigger: Trigger, machine: &MachineState) -> bool {
-        matches!(trigger, Trigger::Arrival | Trigger::Completion) && machine.is_idle()
+        matches!(
+            trigger,
+            Trigger::Arrival | Trigger::Completion | Trigger::Fault
+        ) && machine.is_idle()
     }
 
     fn plan(
@@ -619,7 +635,8 @@ impl OnlinePolicy for BatchUntilIdle {
         pending: &[PendingTask],
         machine: &mut MachineState,
     ) -> Result<Vec<Commitment>> {
-        let sub_instance = pending_sub_instance(instance, pending, machine.processors())?;
+        let capacity = machine.max_contiguous_online().max(1);
+        let sub_instance = pending_sub_instance(instance, pending, capacity)?;
         let outcome = self.solver.solve(&SolveRequest::new(&sub_instance))?;
         Ok(replay_offline(&outcome.schedule, pending, machine))
     }

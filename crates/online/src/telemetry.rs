@@ -5,7 +5,7 @@
 //! The raw signals are recorded by the engine (see [`crate::run_recorded`])
 //! into a [`CollectingRecorder`]; this module turns them into one
 //! [`RunTelemetry`] value so every surface — CLI text table, CLI JSON,
-//! `BENCH_6.json` — reports identical numbers.
+//! `BENCH_7.json` — reports identical numbers.
 
 use ::telemetry::{names, CollectingRecorder};
 use malleable_core::Schedule;
@@ -128,9 +128,28 @@ pub struct RunTelemetry {
     pub tasks_per_sec: f64,
     /// Invariant violations recorded (events or counter; CI gates on 0).
     pub invariant_violations: u64,
-    /// Time-weighted utilisation over the whole horizon (busy-processor
-    /// integral / `m · makespan`).
+    /// Time-weighted utilisation against the capacity that actually existed
+    /// (busy-processor integral / online-capacity integral; see
+    /// [`OnlineResult::time_weighted_utilization`]).
     pub utilization: f64,
+    /// The historical figure: busy integral over `m · makespan` as if every
+    /// processor had stayed online ([`OnlineResult::nominal_utilization`]).
+    pub nominal_utilization: f64,
+    /// Fraction of executed processor-time that landed in completed tasks
+    /// ([`OnlineResult::goodput_fraction`]; 1.0 in a fault-free run).
+    pub goodput: f64,
+    /// Processor-time burned by failed attempts and abandoned tasks.
+    pub wasted_integral: f64,
+    /// Processor crashes applied during the run.
+    pub processor_downs: u64,
+    /// Injected task-attempt failures.
+    pub task_failures: u64,
+    /// Retries scheduled for failed attempts.
+    pub retries_scheduled: u64,
+    /// Tasks abandoned after exhausting their retry budget.
+    pub retries_exhausted: u64,
+    /// Epoch solves degraded from the primary to the fallback solver.
+    pub solver_degraded: u64,
     /// Per-epoch utilisation timeline.
     pub utilization_timeline: Vec<UtilizationSample>,
 }
@@ -163,6 +182,14 @@ pub fn summarize(
         },
         invariant_violations: recorder.invariant_violations(),
         utilization: result.time_weighted_utilization(),
+        nominal_utilization: result.nominal_utilization(),
+        goodput: result.goodput_fraction(),
+        wasted_integral: result.wasted_integral,
+        processor_downs: recorder.counter(names::PROCESSOR_DOWNS),
+        task_failures: recorder.counter(names::TASK_FAILURES),
+        retries_scheduled: recorder.counter(names::RETRIES_SCHEDULED),
+        retries_exhausted: recorder.counter(names::RETRIES_EXHAUSTED),
+        solver_degraded: recorder.counter(names::SOLVER_DEGRADED),
         utilization_timeline: utilization_timeline(&result.schedule, period),
     }
 }
@@ -204,6 +231,14 @@ impl RunTelemetry {
             "tasks_per_sec": self.tasks_per_sec,
             "invariant_violations": self.invariant_violations,
             "time_weighted_utilization": self.utilization,
+            "nominal_utilization": self.nominal_utilization,
+            "goodput": self.goodput,
+            "wasted_integral": self.wasted_integral,
+            "processor_downs": self.processor_downs,
+            "task_failures": self.task_failures,
+            "retries_scheduled": self.retries_scheduled,
+            "retries_exhausted": self.retries_exhausted,
+            "solver_degraded": self.solver_degraded,
             "utilization_timeline": Value::Array(timeline),
         })
     }
@@ -251,10 +286,26 @@ impl RunTelemetry {
                 self.revocations, self.truncations
             ),
             format!(
-                "utilisation        {:.3} time-weighted over the horizon",
-                self.utilization
+                "utilisation        {:.3} time-weighted over online capacity ({:.3} nominal)",
+                self.utilization, self.nominal_utilization
             ),
         ];
+        let faulted = self.processor_downs + self.task_failures + self.solver_degraded > 0;
+        if faulted || self.wasted_integral > 0.0 {
+            lines.push(format!(
+                "faults             {} crashes, {} task failures, {} retries, {} abandoned, \
+                 {} degraded solves",
+                self.processor_downs,
+                self.task_failures,
+                self.retries_scheduled,
+                self.retries_exhausted,
+                self.solver_degraded
+            ));
+            lines.push(format!(
+                "goodput            {:.3} of executed processor-time ({:.3} wasted)",
+                self.goodput, self.wasted_integral
+            ));
+        }
         if !self.utilization_timeline.is_empty() {
             let spark: String = self
                 .utilization_timeline

@@ -210,6 +210,9 @@ pub struct ReservationTimeline {
     frontier: Vec<f64>,
     /// Per-processor busy intervals, sorted by start, non-overlapping.
     busy: Vec<Vec<BusyInterval>>,
+    /// Per-processor offline flag — window queries skip offline processors
+    /// and [`ReservationTimeline::reserve`] rejects them.
+    offline: Vec<bool>,
     /// Reservation records by id; `None` once cancelled.
     reservations: Vec<Option<Reservation>>,
     /// Operation counters (observability only; excluded from `PartialEq`).
@@ -222,6 +225,7 @@ impl PartialEq for ReservationTimeline {
             && self.floor == other.floor
             && self.frontier == other.frontier
             && self.busy == other.busy
+            && self.offline == other.offline
             && self.reservations == other.reservations
     }
 }
@@ -235,6 +239,7 @@ impl ReservationTimeline {
             floor: 0.0,
             frontier: vec![0.0; processors],
             busy: vec![Vec::new(); processors],
+            offline: vec![false; processors],
             reservations: Vec::new(),
             stats: StatsCells::default(),
         }
@@ -318,10 +323,29 @@ impl ReservationTimeline {
     /// bit-identical to [`crate::timeline::ProcessorTimeline`].  In
     /// [`HolePolicy::Backfill`] mode the earliest gap of length `duration` at
     /// or after the floor is found per window position, first-fitting holes.
+    /// Offline processors are skipped: a window containing one is reported
+    /// with an **infinite** start, so the overall answer is infinite exactly
+    /// when no all-online window of `count` processors exists — callers must
+    /// bound `count` by [`ReservationTimeline::max_contiguous_online`]
+    /// before reserving.
     pub fn earliest_window(&self, count: usize, duration: f64, tie: TieBreak) -> Window {
         StatsCells::bump(&self.stats.window_queries, 1);
         match self.policy {
-            HolePolicy::FrontierOnly => earliest_frontier_window(&self.frontier, count, tie),
+            HolePolicy::FrontierOnly => {
+                if self.offline.iter().any(|&off| off) {
+                    // Offline processors get an infinite frontier so the
+                    // sliding-window search never picks them.
+                    let effective: Vec<f64> = self
+                        .frontier
+                        .iter()
+                        .zip(&self.offline)
+                        .map(|(&f, &off)| if off { f64::INFINITY } else { f })
+                        .collect();
+                    earliest_frontier_window(&effective, count, tie)
+                } else {
+                    earliest_frontier_window(&self.frontier, count, tie)
+                }
+            }
             HolePolicy::Backfill => self.earliest_hole_window(count, duration, tie),
         }
     }
@@ -346,6 +370,10 @@ impl ReservationTimeline {
         let mut cursors: Vec<usize> = vec![0; count];
         let mut scanned = 0u64;
         for first in 0..=m - count {
+            // A window touching an offline processor is not a candidate.
+            if self.offline[first..first + count].iter().any(|&off| off) {
+                continue;
+            }
             for (i, p) in (first..first + count).enumerate() {
                 // Skip intervals entirely in the past (ends are sorted too).
                 cursors[i] = self.busy[p].partition_point(|iv| iv.end <= self.floor + 1e-12);
@@ -434,6 +462,7 @@ impl ReservationTimeline {
         let end = start + duration;
         let id = ReservationId(self.reservations.len());
         for p in first..first + count {
+            assert!(!self.offline[p], "processor {p} is offline");
             if self.policy == HolePolicy::FrontierOnly {
                 assert!(
                     self.frontier[p] <= start + 1e-9,
@@ -557,6 +586,95 @@ impl ReservationTimeline {
         Ok(true)
     }
 
+    /// Whether one processor is currently online.
+    pub fn is_online(&self, processor: usize) -> bool {
+        !self.offline[processor]
+    }
+
+    /// Number of currently online processors.
+    pub fn online_processors(&self) -> usize {
+        self.offline.iter().filter(|&&off| !off).count()
+    }
+
+    /// Width of the largest run of consecutive online processors — the
+    /// widest window [`ReservationTimeline::earliest_window`] can currently
+    /// serve with a finite start.
+    pub fn max_contiguous_online(&self) -> usize {
+        let mut best = 0usize;
+        let mut run = 0usize;
+        for &off in &self.offline {
+            if off {
+                run = 0;
+            } else {
+                run += 1;
+                best = best.max(run);
+            }
+        }
+        best
+    }
+
+    /// Take `processor` offline as of `from` (a crash): window queries stop
+    /// offering it and every reservation still using it beyond `from` is
+    /// displaced — queued reservations (starting at or after `from`) are
+    /// [`ReservationTimeline::cancel`]led whole, running ones (started
+    /// before `from`) are [`ReservationTimeline::truncate_at`] the crash, so
+    /// the executed head stays on the books.  Returns the displaced handles
+    /// in busy order, for the caller to re-queue.
+    ///
+    /// Panics when the processor is unknown or already offline, or when
+    /// `from` precedes the floor — crashes happen at the clock.
+    pub fn set_offline(&mut self, processor: usize, from: f64) -> Vec<ReservationId> {
+        assert!(processor < self.processors(), "unknown processor");
+        assert!(
+            !self.offline[processor],
+            "processor {processor} is already offline"
+        );
+        assert!(
+            from >= self.floor - 1e-9,
+            "crash at {from} is before the floor {}",
+            self.floor
+        );
+        self.offline[processor] = true;
+        let hit: Vec<ReservationId> = self.busy[processor]
+            .iter()
+            .filter(|iv| iv.end > from + 1e-9)
+            .map(|iv| iv.id)
+            .collect();
+        let mut displaced = Vec::with_capacity(hit.len());
+        for id in hit {
+            let record = self.reservations[id.0].expect("busy intervals index live records");
+            if record.start >= from - 1e-9 {
+                self.cancel(id)
+                    .expect("queued reservations at or after the crash are cancellable");
+            } else {
+                let freed = self
+                    .truncate_at(id, from)
+                    .expect("running reservations truncate at the crash");
+                debug_assert!(freed, "the interval extends past the crash");
+            }
+            displaced.push(id);
+        }
+        displaced
+    }
+
+    /// Bring `processor` back online as of `at` (a repair): its frontier is
+    /// restored to `max(floor, at, latest busy end)` and window queries
+    /// offer it again.
+    ///
+    /// Panics when the processor is unknown or already online.
+    pub fn set_online(&mut self, processor: usize, at: f64) {
+        assert!(processor < self.processors(), "unknown processor");
+        assert!(
+            self.offline[processor],
+            "processor {processor} is already online"
+        );
+        self.offline[processor] = false;
+        self.recompute_frontier(processor);
+        if self.frontier[processor] < at {
+            self.frontier[processor] = at;
+        }
+    }
+
     /// Restore `frontier[p] = max(floor, latest busy end on p)` after a
     /// cancellation or truncation lowered the latest end.
     ///
@@ -586,6 +704,64 @@ mod tests {
             assert_eq!((w.first, w.start), (0, 0.0));
             assert_eq!(tl.makespan(), 0.0);
         }
+    }
+
+    #[test]
+    fn offline_processors_are_skipped_by_window_queries() {
+        for policy in [HolePolicy::FrontierOnly, HolePolicy::Backfill] {
+            let mut tl = ReservationTimeline::new(4, policy);
+            tl.set_offline(1, 0.0);
+            assert_eq!(tl.online_processors(), 3);
+            assert_eq!(tl.max_contiguous_online(), 2);
+            // Width 2 must land on the online run [2, 4).
+            let w = tl.earliest_window(2, 1.0, TieBreak::Leftmost);
+            assert_eq!((w.first, w.start), (2, 0.0));
+            // Width 3 cannot avoid the offline processor: infinite start.
+            let wide = tl.earliest_window(3, 1.0, TieBreak::Leftmost);
+            assert!(wide.start.is_infinite());
+            // Repair restores the full machine.
+            tl.set_online(1, 2.5);
+            assert_eq!(tl.online_processors(), 4);
+            assert!(
+                (tl.free_at(1) - 2.5).abs() < 1e-12,
+                "repair sets the frontier"
+            );
+            let wide = tl.earliest_window(4, 1.0, TieBreak::Leftmost);
+            assert!(wide.start.is_finite());
+        }
+    }
+
+    #[test]
+    fn crash_cancels_queued_and_truncates_running_reservations() {
+        let mut tl = ReservationTimeline::new(2, HolePolicy::FrontierOnly);
+        // Running across both processors over [0, 4), queued tail on p1.
+        let running = tl.reserve(0, 2, 0.0, 4.0);
+        let queued = tl.reserve(1, 1, 4.0, 2.0);
+        let untouched = tl.reserve(0, 1, 4.0, 1.0);
+        tl.advance_to(2.0);
+        let displaced = tl.set_offline(1, 2.0);
+        assert_eq!(displaced, vec![running, queued]);
+        // The running reservation kept its executed head [0, 2).
+        assert_eq!(tl.truncate_at(running, 2.0), Ok(false), "already cut");
+        // The queued one is gone entirely.
+        assert_eq!(
+            tl.cancel(queued),
+            Err(ReservationError::AlreadyCancelled { id: queued })
+        );
+        // The reservation on the surviving processor is untouched and the
+        // crashed processor accepts nothing.
+        assert_eq!(tl.cancel(untouched), Ok(()));
+        let w = tl.earliest_window(1, 1.0, TieBreak::Leftmost);
+        assert_eq!(w.first, 0);
+        assert_eq!(tl.max_contiguous_online(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "offline")]
+    fn reserving_an_offline_processor_panics() {
+        let mut tl = ReservationTimeline::new(2, HolePolicy::Backfill);
+        tl.set_offline(0, 0.0);
+        tl.reserve(0, 1, 0.0, 1.0);
     }
 
     #[test]

@@ -29,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use baselines::{gang_schedule, sequential_lpt, RigidScheduler, TwoPhaseScheduler};
@@ -38,26 +39,33 @@ pub use malleable_core::solver::{
     CanonicalListSolver, MrtSolver, SolveOutcome, SolveRequest, Solver, SolverCapabilities,
     SolverHandle, SolverRegistry,
 };
-use malleable_core::{Instance, Schedule};
+use malleable_core::workspace::ProbeWorkspace;
+use malleable_core::Schedule;
+use telemetry::{names, SharedRecorder, TelemetryEvent};
 
 /// Wrap a one-shot construction into a [`SolveOutcome`], timing it and
-/// pairing the schedule with the static lower bound.
+/// pairing the schedule with the static lower bound.  The request's
+/// `time_budget` is honoured *post hoc*, uniformly across every heuristic:
+/// a one-shot construction cannot stop midway, but an overrun is reported
+/// through [`SolveOutcome::time_budget_exhausted`] so wrappers (the online
+/// fallback ladder) can react to any registry solver blowing its budget.
 fn heuristic_outcome(
     name: &'static str,
-    instance: &Instance,
+    request: &SolveRequest<'_>,
     build: impl FnOnce() -> malleable_core::Result<Schedule>,
 ) -> malleable_core::Result<SolveOutcome> {
     let timer = telemetry::SpanTimer::start();
     let schedule = build()?;
+    let wall_time = timer.elapsed();
     Ok(SolveOutcome {
         solver: name,
         schedule,
-        lower_bound: bounds::lower_bound(instance),
+        lower_bound: bounds::lower_bound(request.instance),
         certified: false,
         feasible_omega: None,
         probes: 0,
-        wall_time: timer.elapsed(),
-        time_budget_exhausted: false,
+        wall_time,
+        time_budget_exhausted: request.time_budget.is_some_and(|budget| wall_time > budget),
     })
 }
 
@@ -102,7 +110,7 @@ impl Solver for TwoPhaseSolver {
     }
 
     fn solve(&self, request: &SolveRequest<'_>) -> malleable_core::Result<SolveOutcome> {
-        heuristic_outcome(self.name(), request.instance, || {
+        heuristic_outcome(self.name(), request, || {
             TwoPhaseScheduler { rigid: self.rigid }.schedule(request.instance)
         })
     }
@@ -123,9 +131,7 @@ impl Solver for GangSolver {
     }
 
     fn solve(&self, request: &SolveRequest<'_>) -> malleable_core::Result<SolveOutcome> {
-        heuristic_outcome(self.name(), request.instance, || {
-            Ok(gang_schedule(request.instance))
-        })
+        heuristic_outcome(self.name(), request, || Ok(gang_schedule(request.instance)))
     }
 }
 
@@ -153,7 +159,7 @@ impl Solver for PrecedenceSolver {
     }
 
     fn solve(&self, request: &SolveRequest<'_>) -> malleable_core::Result<SolveOutcome> {
-        heuristic_outcome(self.name(), request.instance, || {
+        heuristic_outcome(self.name(), request, || {
             let graph = precedence::TaskGraph::independent(request.instance.tasks().to_vec())?;
             let pinstance =
                 precedence::PrecedenceInstance::new(graph, request.instance.processors())?;
@@ -177,9 +183,192 @@ impl Solver for SequentialLptSolver {
     }
 
     fn solve(&self, request: &SolveRequest<'_>) -> malleable_core::Result<SolveOutcome> {
-        heuristic_outcome(self.name(), request.instance, || {
+        heuristic_outcome(self.name(), request, || {
             Ok(sequential_lpt(request.instance))
         })
+    }
+}
+
+/// How [`FaultInjectingSolver`] fails its targeted solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverFaultMode {
+    /// The targeted solve returns an error.
+    Error,
+    /// The targeted solve succeeds but reports
+    /// [`SolveOutcome::time_budget_exhausted`] — a simulated budget blow.
+    BudgetExhausted,
+}
+
+/// Deterministic solver-fault injection: delegates every call to the wrapped
+/// solver except the `target`-th one (0-based across `solve` and
+/// `solve_with_workspace`), which faults in the configured
+/// [`SolverFaultMode`].  Used by the chaos harness to exercise the
+/// [`FallbackSolver`] ladder; not registered in the registry.
+pub struct FaultInjectingSolver {
+    inner: SolverHandle,
+    target: u64,
+    mode: SolverFaultMode,
+    solves: AtomicU64,
+}
+
+impl FaultInjectingSolver {
+    /// Fault the `target`-th solve (0-based) of `inner` in the given mode.
+    pub fn new(inner: SolverHandle, target: usize, mode: SolverFaultMode) -> Self {
+        FaultInjectingSolver {
+            inner,
+            target: target as u64,
+            mode,
+            solves: AtomicU64::new(0),
+        }
+    }
+
+    fn apply(
+        &self,
+        outcome: malleable_core::Result<SolveOutcome>,
+    ) -> malleable_core::Result<SolveOutcome> {
+        let index = self.solves.fetch_add(1, Ordering::Relaxed);
+        if index != self.target {
+            return outcome;
+        }
+        match self.mode {
+            SolverFaultMode::Error => Err(malleable_core::Error::InvalidParameter {
+                name: "injected-solver-fault",
+                value: index as f64,
+            }),
+            SolverFaultMode::BudgetExhausted => outcome.map(|mut o| {
+                o.time_budget_exhausted = true;
+                o
+            }),
+        }
+    }
+}
+
+impl Solver for FaultInjectingSolver {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn capabilities(&self) -> SolverCapabilities {
+        self.inner.capabilities()
+    }
+
+    fn solve(&self, request: &SolveRequest<'_>) -> malleable_core::Result<SolveOutcome> {
+        let outcome = self.inner.solve(request);
+        self.apply(outcome)
+    }
+
+    fn solve_with_workspace(
+        &self,
+        request: &SolveRequest<'_>,
+        workspace: &mut ProbeWorkspace,
+    ) -> malleable_core::Result<SolveOutcome> {
+        let outcome = self.inner.solve_with_workspace(request, workspace);
+        self.apply(outcome)
+    }
+}
+
+/// The degradation ladder: try the primary solver; when it errors or blows
+/// its [`SolveRequest::time_budget`], serve the epoch from the fallback (by
+/// default the greedy [`CanonicalListSolver`]) instead of dropping it, and
+/// emit a `solver_degraded` telemetry event.
+///
+/// The wrapper reports the *primary's* name and capabilities, so planning
+/// policies (warm starts, telemetry spans) treat it as the primary; only the
+/// degraded epochs differ.  Not registered in the registry — construct it
+/// around any registry handle.
+pub struct FallbackSolver {
+    primary: SolverHandle,
+    fallback: SolverHandle,
+    recorder: Option<SharedRecorder>,
+    solves: AtomicU64,
+    degraded_count: AtomicU64,
+}
+
+impl FallbackSolver {
+    /// Wrap `primary` with the greedy canonical-list fallback.
+    pub fn new(primary: SolverHandle) -> Self {
+        FallbackSolver {
+            primary,
+            fallback: Arc::new(CanonicalListSolver),
+            recorder: None,
+            solves: AtomicU64::new(0),
+            degraded_count: AtomicU64::new(0),
+        }
+    }
+
+    /// Use an explicit fallback solver instead of the canonical list.
+    pub fn with_fallback(mut self, fallback: SolverHandle) -> Self {
+        self.fallback = fallback;
+        self
+    }
+
+    /// Emit `solver_degraded` telemetry through this recorder.
+    pub fn with_recorder(mut self, recorder: SharedRecorder) -> Self {
+        self.recorder = Some(recorder);
+        self
+    }
+
+    /// Epoch solves degraded to the fallback so far.
+    pub fn degraded(&self) -> u64 {
+        self.degraded_count.load(Ordering::Relaxed)
+    }
+
+    fn note_degraded(&self, solve_index: u64, reason: String) {
+        self.degraded_count.fetch_add(1, Ordering::Relaxed);
+        if let Some(recorder) = &self.recorder {
+            if recorder.enabled() {
+                recorder.event(TelemetryEvent::SolverDegraded {
+                    solve_index,
+                    solver: self.primary.name().to_string(),
+                    fallback: self.fallback.name().to_string(),
+                    reason,
+                });
+            }
+            recorder.add(names::SOLVER_DEGRADED, 1);
+        }
+    }
+
+    fn finish(
+        &self,
+        request: &SolveRequest<'_>,
+        primary_outcome: malleable_core::Result<SolveOutcome>,
+    ) -> malleable_core::Result<SolveOutcome> {
+        let index = self.solves.fetch_add(1, Ordering::Relaxed);
+        match primary_outcome {
+            Ok(outcome) if !outcome.time_budget_exhausted => Ok(outcome),
+            Ok(_) => {
+                self.note_degraded(index, "time budget".to_string());
+                self.fallback.solve(request)
+            }
+            Err(err) => {
+                self.note_degraded(index, err.to_string());
+                self.fallback.solve(request)
+            }
+        }
+    }
+}
+
+impl Solver for FallbackSolver {
+    fn name(&self) -> &'static str {
+        self.primary.name()
+    }
+
+    fn capabilities(&self) -> SolverCapabilities {
+        self.primary.capabilities()
+    }
+
+    fn solve(&self, request: &SolveRequest<'_>) -> malleable_core::Result<SolveOutcome> {
+        let outcome = self.primary.solve(request);
+        self.finish(request, outcome)
+    }
+
+    fn solve_with_workspace(
+        &self,
+        request: &SolveRequest<'_>,
+        workspace: &mut ProbeWorkspace,
+    ) -> malleable_core::Result<SolveOutcome> {
+        let outcome = self.primary.solve_with_workspace(request, workspace);
+        self.finish(request, outcome)
     }
 }
 
@@ -215,6 +404,7 @@ pub fn default_registry() -> SolverRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use malleable_core::Instance;
     use workload::{WorkloadConfig, WorkloadGenerator};
 
     fn instance(seed: u64) -> Instance {
@@ -290,6 +480,72 @@ mod tests {
                 .schedule(&pinstance)
                 .unwrap()
         );
+    }
+
+    #[test]
+    fn heuristics_report_time_budget_overruns_uniformly() {
+        let inst = instance(9);
+        // A zero budget is always overrun; no budget never is.
+        for handle in default_registry().solvers() {
+            let strict = SolveRequest::new(&inst).with_time_budget(std::time::Duration::ZERO);
+            let outcome = handle.solve(&strict).unwrap();
+            // The core canonical list solver is exempt by its documented
+            // contract ("one-shot solvers ignore the knob"); every workspace
+            // heuristic reports the overrun.
+            if handle.name() != "list" {
+                assert!(outcome.time_budget_exhausted, "{}", handle.name());
+            }
+            let relaxed = handle.solve(&SolveRequest::new(&inst)).unwrap();
+            assert!(!relaxed.time_budget_exhausted, "{}", handle.name());
+        }
+    }
+
+    #[test]
+    fn fallback_solver_degrades_on_error_and_budget_blow() {
+        use telemetry::CollectingRecorder;
+        let inst = instance(11);
+        for mode in [SolverFaultMode::Error, SolverFaultMode::BudgetExhausted] {
+            let primary = default_registry().get("mrt").unwrap();
+            let faulty: SolverHandle = Arc::new(FaultInjectingSolver::new(primary, 1, mode));
+            let recorder = CollectingRecorder::shared();
+            let ladder = FallbackSolver::new(faulty).with_recorder(recorder.clone());
+            assert_eq!(ladder.name(), "mrt", "wrapper keeps the primary name");
+            // Solve 0 passes through, solve 1 faults and degrades, solve 2
+            // recovers.
+            for i in 0..3u64 {
+                let outcome = ladder.solve(&SolveRequest::new(&inst)).unwrap();
+                assert!(outcome.schedule.validate(&inst).is_ok(), "solve {i}");
+                if i == 1 {
+                    assert_eq!(outcome.solver, "list", "degraded epoch uses the fallback");
+                }
+            }
+            assert_eq!(ladder.degraded(), 1);
+            assert_eq!(
+                recorder.counter(telemetry::names::SOLVER_DEGRADED),
+                1,
+                "{mode:?}"
+            );
+            let degraded: Vec<_> = recorder
+                .events()
+                .into_iter()
+                .filter(|e| e.kind() == "solver_degraded")
+                .collect();
+            assert_eq!(degraded.len(), 1);
+            if let TelemetryEvent::SolverDegraded {
+                solve_index,
+                solver,
+                fallback,
+                ..
+            } = &degraded[0]
+            {
+                assert_eq!(
+                    (*solve_index, solver.as_str(), fallback.as_str()),
+                    (1, "mrt", "list")
+                );
+            } else {
+                unreachable!();
+            }
+        }
     }
 
     #[test]

@@ -107,6 +107,57 @@ pub enum TelemetryEvent {
         /// Human-readable description.
         detail: String,
     },
+    /// A processor crashed and went offline (fault runs only).
+    ProcessorDown {
+        /// Simulated crash time.
+        time: f64,
+        /// Processor index.
+        processor: usize,
+        /// Commitments displaced off the crashed processor.
+        displaced: usize,
+    },
+    /// A crashed processor was repaired and came back online.
+    ProcessorUp {
+        /// Simulated repair time.
+        time: f64,
+        /// Processor index.
+        processor: usize,
+    },
+    /// An injected fault killed the current attempt of a task; the work of
+    /// the failed segment is lost.
+    TaskFailure {
+        /// Simulated failure time.
+        time: f64,
+        /// Task id from the arrival trace.
+        task: u64,
+        /// 1-based count of failures of this task so far.
+        attempt: usize,
+        /// Processor·time integral of the lost segment.
+        lost_work: f64,
+    },
+    /// A failed task was scheduled for retry after its backoff.
+    RetryScheduled {
+        /// Simulated time of the failure that triggered the retry.
+        time: f64,
+        /// Task id from the arrival trace.
+        task: u64,
+        /// 1-based count of failures of this task so far.
+        attempt: usize,
+        /// Simulated time the retry re-enters the queue.
+        at: f64,
+    },
+    /// The primary solver faulted and the epoch was degraded to the
+    /// fallback solver.
+    SolverDegraded {
+        /// 0-based index of the faulted solve.
+        solve_index: u64,
+        /// Registry name of the primary solver.
+        solver: String,
+        /// Registry name of the fallback that served the epoch.
+        fallback: String,
+        /// Why the primary was bypassed (error text or "time budget").
+        reason: String,
+    },
 }
 
 impl TelemetryEvent {
@@ -122,6 +173,11 @@ impl TelemetryEvent {
             TelemetryEvent::Depart { .. } => "depart",
             TelemetryEvent::EpochUtilization { .. } => "epoch_utilization",
             TelemetryEvent::InvariantViolation { .. } => "invariant_violation",
+            TelemetryEvent::ProcessorDown { .. } => "processor_down",
+            TelemetryEvent::ProcessorUp { .. } => "processor_up",
+            TelemetryEvent::TaskFailure { .. } => "task_failure",
+            TelemetryEvent::RetryScheduled { .. } => "retry_scheduled",
+            TelemetryEvent::SolverDegraded { .. } => "solver_degraded",
         }
     }
 
@@ -209,6 +265,57 @@ impl TelemetryEvent {
                 "time": *time,
                 "detail": detail.as_str(),
             }),
+            TelemetryEvent::ProcessorDown {
+                time,
+                processor,
+                displaced,
+            } => json!({
+                "type": "processor_down",
+                "time": *time,
+                "processor": *processor,
+                "displaced": *displaced,
+            }),
+            TelemetryEvent::ProcessorUp { time, processor } => json!({
+                "type": "processor_up",
+                "time": *time,
+                "processor": *processor,
+            }),
+            TelemetryEvent::TaskFailure {
+                time,
+                task,
+                attempt,
+                lost_work,
+            } => json!({
+                "type": "task_failure",
+                "time": *time,
+                "task": *task,
+                "attempt": *attempt,
+                "lost_work": *lost_work,
+            }),
+            TelemetryEvent::RetryScheduled {
+                time,
+                task,
+                attempt,
+                at,
+            } => json!({
+                "type": "retry_scheduled",
+                "time": *time,
+                "task": *task,
+                "attempt": *attempt,
+                "at": *at,
+            }),
+            TelemetryEvent::SolverDegraded {
+                solve_index,
+                solver,
+                fallback,
+                reason,
+            } => json!({
+                "type": "solver_degraded",
+                "solve_index": *solve_index,
+                "solver": solver.as_str(),
+                "fallback": fallback.as_str(),
+                "reason": reason.as_str(),
+            }),
         }
     }
 
@@ -271,6 +378,33 @@ impl TelemetryEvent {
                 time: time("time")?,
                 detail: text("detail")?,
             },
+            "processor_down" => TelemetryEvent::ProcessorDown {
+                time: time("time")?,
+                processor: int("processor")? as usize,
+                displaced: int("displaced")? as usize,
+            },
+            "processor_up" => TelemetryEvent::ProcessorUp {
+                time: time("time")?,
+                processor: int("processor")? as usize,
+            },
+            "task_failure" => TelemetryEvent::TaskFailure {
+                time: time("time")?,
+                task: int("task")?,
+                attempt: int("attempt")? as usize,
+                lost_work: time("lost_work")?,
+            },
+            "retry_scheduled" => TelemetryEvent::RetryScheduled {
+                time: time("time")?,
+                task: int("task")?,
+                attempt: int("attempt")? as usize,
+                at: time("at")?,
+            },
+            "solver_degraded" => TelemetryEvent::SolverDegraded {
+                solve_index: int("solve_index")?,
+                solver: text("solver")?,
+                fallback: text("fallback")?,
+                reason: text("reason")?,
+            },
             _ => return None,
         })
     }
@@ -324,6 +458,33 @@ mod tests {
             TelemetryEvent::InvariantViolation {
                 time: 3.0,
                 detail: "task 9 started before arrival".into(),
+            },
+            TelemetryEvent::ProcessorDown {
+                time: 3.5,
+                processor: 2,
+                displaced: 1,
+            },
+            TelemetryEvent::ProcessorUp {
+                time: 4.5,
+                processor: 2,
+            },
+            TelemetryEvent::TaskFailure {
+                time: 5.0,
+                task: 7,
+                attempt: 1,
+                lost_work: 2.25,
+            },
+            TelemetryEvent::RetryScheduled {
+                time: 5.0,
+                task: 7,
+                attempt: 1,
+                at: 5.5,
+            },
+            TelemetryEvent::SolverDegraded {
+                solve_index: 3,
+                solver: "mrt".into(),
+                fallback: "list".into(),
+                reason: "time budget".into(),
             },
         ]
     }

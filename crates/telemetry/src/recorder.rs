@@ -60,6 +60,19 @@ pub mod names {
     pub const TIMELINE_TRUNCATIONS: &str = "timeline.truncations";
     /// Counter: hole candidates examined across all placement queries.
     pub const TIMELINE_HOLES_SCANNED: &str = "timeline.holes_scanned";
+    /// Counter: processor crashes applied to the machine (fault runs).
+    pub const PROCESSOR_DOWNS: &str = "engine.processor_downs";
+    /// Counter: processor repairs applied to the machine (fault runs).
+    pub const PROCESSOR_UPS: &str = "engine.processor_ups";
+    /// Counter: task attempts killed by injected faults.
+    pub const TASK_FAILURES: &str = "engine.task_failures";
+    /// Counter: retries scheduled for failed task attempts.
+    pub const RETRIES_SCHEDULED: &str = "engine.retries_scheduled";
+    /// Counter: tasks abandoned after exhausting their retry budget.
+    pub const RETRIES_EXHAUSTED: &str = "engine.retries_exhausted";
+    /// Counter: epoch solves degraded from the primary to the fallback
+    /// solver.
+    pub const SOLVER_DEGRADED: &str = "solver.degraded";
 }
 
 /// A sink for telemetry signals.

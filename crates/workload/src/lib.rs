@@ -31,10 +31,13 @@
 //! For the online engine (crate `online`), the [`arrivals`] module extends
 //! the same populations with *arrival times* — Poisson and bursty
 //! [`ArrivalPattern`]s — producing [`ArrivalTrace`]s with their own JSON
-//! representation.
+//! representation.  The [`faults`] module adds seeded, deterministic fault
+//! scenarios ([`FaultPlan`]: processor outages, per-attempt task failures,
+//! forced solver faults) that the engine replays without randomness.
 
 pub mod arrivals;
 pub mod families;
+pub mod faults;
 pub mod generator;
 pub mod io;
 pub mod residual;
@@ -45,6 +48,7 @@ pub use arrivals::{
     TraceConfig,
 };
 pub use families::SpeedupFamily;
+pub use faults::{FaultConfig, FaultPlan, Outage, RetryPolicy};
 pub use generator::{WorkMix, WorkloadConfig, WorkloadGenerator};
 pub use io::{instance_from_json, instance_to_json, instances_approx_equal};
 pub use residual::{executed_fraction, residual_profile, residual_task};
