@@ -46,6 +46,15 @@
 //! (`ratio_vs_lower_bound = null`); such seeds are excluded from every mean
 //! and gate rather than poisoning them with NaN.
 //!
+//! Passing the token `hetero` after the seed count switches to the
+//! heterogeneous surface (`BENCH_8.json` in CI): the classed epoch engine on
+//! a strongly asymmetric two-class cluster, the LP assignment vs the
+//! speed-blind ablation on the same machine (equal total capacity), plus the
+//! greedy-density baseline and the homogeneous-equivalent reference run.
+//! **Gates:** every classed run passes `ClassedRunResult::check`, and on
+//! every task count the LP assignment's mean ratio vs the classed lower
+//! bound strictly beats the speed-blind ablation's.
+//!
 //! The process exits non-zero when a gate fails, so CI catches regressions.
 
 use std::collections::HashSet;
@@ -133,11 +142,146 @@ fn gated_mean(values: &[f64]) -> Option<f64> {
     (!values.is_empty()).then(|| summarize(values).mean)
 }
 
+/// The `hetero` mode: classed-engine assignment strategies on an
+/// asymmetric two-class cluster, gated on the LP assignment strictly
+/// beating the speed-blind ablation at equal total capacity.
+fn hetero_report(seeds_per_cell: u64) {
+    let spec = "old=8x1.0,new=4x2.5";
+    let cluster = hetero::ClassedCluster::from_spec(spec).expect("valid cluster spec");
+    let classes = workload::parse_class_specs(spec).expect("valid class spec");
+    let flat = cluster.homogeneous_equivalent();
+    let mut gate_failures: Vec<String> = Vec::new();
+    let mut cells: Vec<Value> = Vec::new();
+
+    let run = |trace: &workload::ArrivalTrace,
+               on: &hetero::ClassedCluster,
+               strategy: hetero::AssignStrategy|
+     -> hetero::ClassedRunResult {
+        let options = hetero::ClassedEngineOptions {
+            strategy,
+            ..hetero::ClassedEngineOptions::default()
+        };
+        hetero::run_classed(trace, on, &options).expect("classed engine run succeeds")
+    };
+
+    for tasks in [28usize, 48] {
+        let mut lp_ratios: Vec<f64> = Vec::new();
+        let mut greedy_ratios: Vec<f64> = Vec::new();
+        let mut blind_ratios: Vec<f64> = Vec::new();
+        let mut flat_makespans: Vec<f64> = Vec::new();
+        let mut lp_makespans: Vec<f64> = Vec::new();
+        let mut blind_makespans: Vec<f64> = Vec::new();
+        let mut lp_flows: Vec<f64> = Vec::new();
+        let mut blind_flows: Vec<f64> = Vec::new();
+        let mut migrations = 0usize;
+        let mut utilization = vec![0.0f64; cluster.classes().len()];
+        for seed in 0..seeds_per_cell {
+            let trace = workload::classed_trace(&classes, tasks, seed).expect("valid trace");
+            let instance = trace.instance().expect("trace instance");
+            let lower_bound = hetero::HeteroInstance::from_instance(&instance, cluster.clone())
+                .expect("classed instance")
+                .lower_bound();
+            let lp = run(&trace, &cluster, hetero::AssignStrategy::Lp);
+            let greedy = run(&trace, &cluster, hetero::AssignStrategy::GreedyDensity);
+            let blind = run(&trace, &cluster, hetero::AssignStrategy::ClassBlind);
+            // The homogeneous-equivalent reference: one uniform class of the
+            // same total capacity — the class-free machine the classed runs
+            // are measured against.
+            let uniform = run(&trace, &flat, hetero::AssignStrategy::Lp);
+            for (label, result) in [("lp", &lp), ("greedy", &greedy), ("blind", &blind)] {
+                let violations = result.check(&trace);
+                if !violations.is_empty() {
+                    gate_failures.push(format!(
+                        "hetero gate: {label} tasks {tasks} seed {seed} invalid: {}",
+                        violations.join("; ")
+                    ));
+                }
+            }
+            lp_ratios.push(lp.makespan / lower_bound);
+            greedy_ratios.push(greedy.makespan / lower_bound);
+            blind_ratios.push(blind.makespan / lower_bound);
+            lp_makespans.push(lp.makespan);
+            blind_makespans.push(blind.makespan);
+            flat_makespans.push(uniform.makespan);
+            lp_flows.push(lp.mean_flow_time);
+            blind_flows.push(blind.mean_flow_time);
+            migrations += lp.migrations;
+            for (class, busy) in utilization.iter_mut().enumerate() {
+                *busy += lp.class_utilization(class);
+            }
+        }
+        let lp_mean = summarize(&lp_ratios).mean;
+        let blind_mean = summarize(&blind_ratios).mean;
+        if lp_mean >= blind_mean - 1e-9 {
+            gate_failures.push(format!(
+                "hetero gate: tasks {tasks} lp mean ratio {lp_mean:.4} does not beat \
+                 class-blind {blind_mean:.4}"
+            ));
+        }
+        let class_utilization: Vec<Value> = cluster
+            .classes()
+            .iter()
+            .zip(&utilization)
+            .map(|(class, busy)| {
+                json!({
+                    "class": class.name.clone(),
+                    "count": class.count,
+                    "speed": class.speed,
+                    "lp_utilization_mean": busy / seeds_per_cell as f64,
+                })
+            })
+            .collect();
+        cells.push(json!({
+            "cluster": spec,
+            "tasks": tasks,
+            "seeds": seeds_per_cell,
+            "lp_ratio_vs_lb_mean": lp_mean,
+            "greedy_ratio_vs_lb_mean": summarize(&greedy_ratios).mean,
+            "blind_ratio_vs_lb_mean": blind_mean,
+            "improvement_vs_blind": blind_mean - lp_mean,
+            "lp_makespan_mean": summarize(&lp_makespans).mean,
+            "blind_makespan_mean": summarize(&blind_makespans).mean,
+            "homogeneous_equivalent_makespan_mean": summarize(&flat_makespans).mean,
+            "lp_mean_flow": summarize(&lp_flows).mean,
+            "blind_mean_flow": summarize(&blind_flows).mean,
+            "lp_migrations": migrations,
+            "class_utilization": class_utilization,
+        }));
+    }
+
+    let gate_ok = gate_failures.is_empty();
+    let gates = json!({
+        "hetero_lp_beats_class_blind_at_equal_capacity": gate_ok,
+    });
+    let doc = json!({
+        "report": "hetero-classed-online",
+        "cluster": spec,
+        "total_capacity": cluster.total_capacity(),
+        "cells": cells,
+        "gates": gates,
+    });
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&doc).expect("report serialisation")
+    );
+    if !gate_failures.is_empty() {
+        for failure in &gate_failures {
+            eprintln!("GATE FAILURE: {failure}");
+        }
+        std::process::exit(1);
+    }
+}
+
 fn main() {
-    let seeds_per_cell: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let seeds_per_cell: u64 = args
+        .iter()
+        .find_map(|token| token.parse().ok())
         .unwrap_or(5);
+    if args.iter().any(|token| token == "hetero") {
+        hetero_report(seeds_per_cell);
+        return;
+    }
     let mut gate_failures: Vec<String> = Vec::new();
 
     // Section 1: the classical policy × family sweep.

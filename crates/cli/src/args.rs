@@ -134,6 +134,10 @@ pub enum Command {
         /// their residuals — mid-execution re-allotment (epoch policies
         /// only; implies --preempt-queued).
         preempt_running: bool,
+        /// Machine-class spec (`old=8x1.0,new=4x2.0`): run the classed
+        /// engine over per-class pools instead of the identical-machines
+        /// engine (epoch policies only).
+        machine_classes: Option<String>,
         family: FamilyChoice,
         pattern: PatternChoice,
         tasks: usize,
@@ -171,6 +175,9 @@ pub enum Command {
         solver: String,
         search: SearchChoice,
         parallel_branches: bool,
+        /// Machine-class spec, forwarded to the classed solvers as their
+        /// `machine-classes` config key (hetero solvers only).
+        machine_classes: Option<String>,
         gantt: bool,
         output: Option<String>,
     },
@@ -257,6 +264,7 @@ USAGE:
   malleable-sched online   [--trace FILE] --policy <greedy|epoch-mrt|epoch-ludwig|epoch-list|batch-idle>
                            [--epoch D] [--solver NAME] [--search <exact|bisect>]
                            [--backfill] [--preempt-queued] [--preempt-running]
+                           [--machine-classes old=8x1.0,new=4x2.0]
                            [--mtbf T [--mttr T]] [--task-failure-rate P]
                            [--max-attempts N] [--retry-backoff T] [--fault-seed S]
                            [--solver-fault K]
@@ -277,21 +285,30 @@ USAGE:
                            attempt with probability P and retries it with capped
                            exponential backoff up to --max-attempts, --solver-fault
                            forces the K-th epoch solve to fail and degrade to the
-                           greedy-list fallback — all deterministic per --fault-seed)
+                           greedy-list fallback — all deterministic per --fault-seed;
+                           --machine-classes splits the machine into named speed
+                           classes and runs the classed epoch engine: per-class
+                           solves, queued tasks may migrate between classes at
+                           epoch boundaries — epoch policies only, and not
+                           combinable with fault, departure or preemption flags)
   malleable-sched schedule <instance.json> [--solver NAME]
                            [--search <exact|bisect>] [--parallel-branches]
+                           [--machine-classes old=8x1.0,new=4x2.0]
                            [--gantt] [--output schedule.json]
                            (--algorithm is a deprecated alias of --solver; --search and
                            --parallel-branches only affect the mrt solver: `exact` bisects
                            over the oracle's breakpoints, `bisect` is the classical
-                           midpoint search of the paper)
+                           midpoint search of the paper; --machine-classes needs a
+                           classed solver — `--solver hetero-lp` or `hetero-greedy` —
+                           whose class counts must sum to the instance's processors)
   malleable-sched solvers  (list every registered solver: names, aliases, guarantees)
   malleable-sched validate <instance.json> <schedule.json>
   malleable-sched bounds   <instance.json>
   malleable-sched help
 
 Solver NAMEs are resolved through the workspace solver registry
-(mrt, list, ludwig, twy-list, twy-nfdh, gang, lpt, plus aliases — see `solvers`).
+(mrt, list, ludwig, twy-list, twy-nfdh, gang, lpt, hetero-lp, hetero-greedy,
+plus aliases — see `solvers`).
 ";
 
 struct TokenStream<'a> {
@@ -321,6 +338,17 @@ fn parse_number<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, Pars
         flag: flag.to_string(),
         value: value.to_string(),
     })
+}
+
+/// Validate a `--machine-classes` spec (`old=8x1.0,new=4x2.0`) at parse
+/// time so malformed class lists fail before any file is read.
+fn parse_class_spec(value: &str) -> Result<String, ParseError> {
+    workload::parse_class_specs(value)
+        .map(|_| value.to_string())
+        .map_err(|_| ParseError::InvalidValue {
+            flag: "--machine-classes".into(),
+            value: value.to_string(),
+        })
 }
 
 impl Cli {
@@ -447,6 +475,7 @@ impl Cli {
         let mut backfill = false;
         let mut preempt_queued = false;
         let mut preempt_running = false;
+        let mut machine_classes = None;
         let mut family = FamilyChoice::Mixed;
         let mut pattern_name = "poisson".to_string();
         let mut rate = 4.0f64;
@@ -502,6 +531,10 @@ impl Cli {
                 "--backfill" => backfill = true,
                 "--preempt-queued" => preempt_queued = true,
                 "--preempt-running" => preempt_running = true,
+                "--machine-classes" => {
+                    machine_classes =
+                        Some(parse_class_spec(stream.value_for("--machine-classes")?)?)
+                }
                 "--family" => family = FamilyChoice::parse(stream.value_for("--family")?)?,
                 "--pattern" => pattern_name = stream.value_for("--pattern")?.to_string(),
                 "--rate" => rate = parse_number("--rate", stream.value_for("--rate")?)?,
@@ -569,6 +602,7 @@ impl Cli {
             backfill,
             preempt_queued,
             preempt_running,
+            machine_classes,
             family,
             pattern,
             tasks,
@@ -594,6 +628,7 @@ impl Cli {
         let mut solver = "mrt".to_string();
         let mut search = SearchChoice::default();
         let mut parallel_branches = false;
+        let mut machine_classes = None;
         let mut gantt = false;
         let mut output = None;
         while let Some(token) = stream.next() {
@@ -608,6 +643,10 @@ impl Cli {
                 }
                 "--search" => search = SearchChoice::parse(stream.value_for("--search")?)?,
                 "--parallel-branches" => parallel_branches = true,
+                "--machine-classes" => {
+                    machine_classes =
+                        Some(parse_class_spec(stream.value_for("--machine-classes")?)?)
+                }
                 "--gantt" => gantt = true,
                 "--output" | "-o" => output = Some(stream.value_for("--output")?.to_string()),
                 other if other.starts_with('-') => {
@@ -621,6 +660,7 @@ impl Cli {
             solver,
             search,
             parallel_branches,
+            machine_classes,
             gantt,
             output,
         })
@@ -724,6 +764,7 @@ mod tests {
                     solver: "ludwig".into(),
                     search: SearchChoice::Exact,
                     parallel_branches: false,
+                    machine_classes: None,
                     gantt: true,
                     output: None,
                 }
@@ -1125,6 +1166,65 @@ mod tests {
             Cli::parse(&args(&["online", "--policy", "psychic"])).unwrap_err(),
             ParseError::InvalidValue { .. }
         ));
+    }
+
+    #[test]
+    fn parses_machine_classes_on_schedule_and_online() {
+        match Cli::parse(&args(&[
+            "schedule",
+            "i.json",
+            "--solver",
+            "hetero-lp",
+            "--machine-classes",
+            "old=8x1.0,new=4x2.0",
+        ]))
+        .unwrap()
+        .command
+        {
+            Command::Schedule {
+                solver,
+                machine_classes,
+                ..
+            } => {
+                assert_eq!(solver, "hetero-lp");
+                assert_eq!(machine_classes.as_deref(), Some("old=8x1.0,new=4x2.0"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The `hetero` alias resolves to the classed solver.
+        match Cli::parse(&args(&["schedule", "i.json", "--solver", "hetero"]))
+            .unwrap()
+            .command
+        {
+            Command::Schedule { solver, .. } => assert_eq!(solver, "hetero-lp"),
+            other => panic!("unexpected {other:?}"),
+        }
+        match Cli::parse(&args(&[
+            "online",
+            "--policy",
+            "epoch-mrt",
+            "--machine-classes",
+            "a=2x1.0,b=2x2.0",
+        ]))
+        .unwrap()
+        .command
+        {
+            Command::Online {
+                machine_classes, ..
+            } => assert_eq!(machine_classes.as_deref(), Some("a=2x1.0,b=2x2.0")),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Malformed specs are rejected at parse time, before any file IO.
+        for bad in ["old=8", "old=0x1.0", "=8x1.0", "old=8x-1", ""] {
+            assert!(
+                matches!(
+                    Cli::parse(&args(&["schedule", "i.json", "--machine-classes", bad]))
+                        .unwrap_err(),
+                    ParseError::InvalidValue { .. }
+                ),
+                "{bad:?} should be rejected"
+            );
+        }
     }
 
     #[test]

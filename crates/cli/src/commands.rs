@@ -87,6 +87,7 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             solver,
             search,
             parallel_branches,
+            machine_classes,
             gantt,
             output,
         } => schedule(
@@ -94,6 +95,7 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             solver,
             *search,
             *parallel_branches,
+            machine_classes.as_deref(),
             *gantt,
             output.as_deref(),
         ),
@@ -126,6 +128,7 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             backfill,
             preempt_queued,
             preempt_running,
+            machine_classes,
             family,
             pattern,
             tasks,
@@ -152,6 +155,7 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             backfill: *backfill,
             preempt_queued: *preempt_queued,
             preempt_running: *preempt_running,
+            machine_classes: machine_classes.as_deref(),
             family: *family,
             pattern: *pattern,
             tasks: *tasks,
@@ -256,6 +260,7 @@ struct OnlineArgs<'a> {
     backfill: bool,
     preempt_queued: bool,
     preempt_running: bool,
+    machine_classes: Option<&'a str>,
     family: FamilyChoice,
     pattern: PatternChoice,
     tasks: usize,
@@ -276,6 +281,9 @@ struct OnlineArgs<'a> {
 }
 
 fn run_online(args: OnlineArgs) -> Result<String, CliError> {
+    if let Some(spec) = args.machine_classes {
+        return run_online_classed(&args, spec);
+    }
     let trace = match args.trace {
         Some(path) => {
             let text = read_file(path)?;
@@ -524,6 +532,190 @@ fn run_online(args: OnlineArgs) -> Result<String, CliError> {
     }
 }
 
+/// The `--machine-classes` branch of `online`: run the classed epoch
+/// engine (per-class pools, queued-task migration between classes) over
+/// the trace and report per-class utilisation next to the usual metrics.
+fn run_online_classed(args: &OnlineArgs, spec: &str) -> Result<String, CliError> {
+    if args.policy != PolicyChoice::Epoch {
+        return Err(CliError::Invalid(
+            "--machine-classes runs the classed epoch engine; pick an epoch policy \
+             (--policy epoch-mrt)"
+                .to_string(),
+        ));
+    }
+    if args.mtbf.is_some() || args.task_failure_rate > 0.0 || args.solver_fault.is_some() {
+        return Err(CliError::Invalid(
+            "--machine-classes cannot be combined with the fault-injection flags \
+             (--mtbf, --task-failure-rate, --solver-fault)"
+                .to_string(),
+        ));
+    }
+    if args.backfill || args.preempt_queued || args.preempt_running {
+        return Err(CliError::Invalid(
+            "--machine-classes cannot be combined with --backfill or the preemption \
+             flags; the classed engine replans queued tasks at every epoch"
+                .to_string(),
+        ));
+    }
+    if args.departure_patience.is_some() {
+        return Err(CliError::Invalid(
+            "--machine-classes cannot be combined with --departure-patience".to_string(),
+        ));
+    }
+    let trace = match args.trace {
+        Some(path) => {
+            let text = read_file(path)?;
+            trace_from_json(&text).map_err(|e| CliError::Invalid(format!("{path}: {e}")))?
+        }
+        None => build_trace(
+            args.family,
+            args.pattern,
+            args.tasks,
+            args.processors,
+            args.seed,
+            None,
+        )?,
+    };
+    if trace.has_departures() {
+        return Err(CliError::Invalid(
+            "the classed engine does not model departures; re-generate the trace \
+             without them"
+                .to_string(),
+        ));
+    }
+    let cluster =
+        hetero::ClassedCluster::from_spec(spec).map_err(|e| CliError::Invalid(e.to_string()))?;
+    // `--solver hetero-greedy` picks the density baseline; every other
+    // solver token (including the epoch-policy default `mrt`) gets the LP
+    // assignment — the per-class allotment solves are always MRT.
+    let strategy = if args.solver == "hetero-greedy" {
+        hetero::AssignStrategy::GreedyDensity
+    } else {
+        hetero::AssignStrategy::Lp
+    };
+    let recorder = args.telemetry.is_some().then(CollectingRecorder::shared);
+    let options = hetero::ClassedEngineOptions {
+        epoch: args.epoch,
+        strategy,
+        search: search_mode(args.search),
+        recorder: recorder.clone().map(|handle| handle as SharedRecorder),
+    };
+    let result = hetero::run_classed(&trace, &cluster, &options)
+        .map_err(|e| CliError::Scheduling(e.to_string()))?;
+
+    let validation = (!args.no_validate).then(|| result.check(&trace));
+    if let Some(violations) = &validation {
+        if !violations.is_empty() {
+            let mut out = String::from("INVALID classed online schedule:\n");
+            for violation in violations {
+                out.push_str(&format!("  - {violation}\n"));
+            }
+            return Err(CliError::Invalid(out));
+        }
+    }
+
+    // The classed lower bound (critical path over best classes ∨ weighted
+    // area) plays the role the certified LB plays in the flat report.
+    let instance = trace
+        .instance()
+        .map_err(|e| CliError::Invalid(e.to_string()))?;
+    let lower_bound = hetero::HeteroInstance::from_instance(&instance, cluster.clone())
+        .map_err(|e| CliError::Invalid(e.to_string()))?
+        .lower_bound();
+    let ratio = (lower_bound > 0.0).then(|| result.makespan / lower_bound);
+
+    if let (Some(handle), Some(path)) = (&recorder, args.telemetry) {
+        let mut buffer = Vec::new();
+        handle.write_jsonl(&mut buffer).map_err(|e| CliError::Io {
+            path: path.to_string(),
+            message: e.to_string(),
+        })?;
+        let text =
+            String::from_utf8(buffer).expect("JSONL telemetry streams are UTF-8 by construction");
+        write_file(path, &text)?;
+    }
+    if let Some(path) = args.output {
+        write_file(path, &schedule_to_json(&result.schedule))?;
+    }
+
+    let out = if args.json {
+        let classes: Vec<Value> = cluster
+            .classes()
+            .iter()
+            .enumerate()
+            .map(|(index, class)| {
+                json!({
+                    "name": class.name.clone(),
+                    "count": class.count,
+                    "speed": class.speed,
+                    "utilization": result.class_utilization(index),
+                })
+            })
+            .collect();
+        let doc = json!({
+            "policy": format!("classed-epoch ({})", strategy.name()),
+            "machine_classes": cluster.spec(),
+            "tasks": trace.len(),
+            "processors": trace.processors(),
+            "last_arrival": trace.last_arrival(),
+            "online_makespan": result.makespan,
+            "lower_bound": lower_bound,
+            "ratio_vs_lower_bound": ratio,
+            "mean_flow_time": result.mean_flow_time,
+            "migrations": result.migrations,
+            "replans": result.replans,
+            "classes": classes,
+            "validated": validation.is_some(),
+            "schedule_file": args.output,
+            "telemetry_file": args.telemetry,
+        });
+        let mut text = serde_json::to_string_pretty(&doc).expect("report serialisation");
+        text.push('\n');
+        text
+    } else {
+        let mut text = format!(
+            "policy           : classed-epoch ({})\ncluster          : {} ({} processors, capacity {:.1})\ntrace            : {} tasks (last arrival {:.4})\nonline makespan  : {:.4}\nclassed LB       : {:.4}\nratio vs LB      : {}\nmean flow time   : {:.4}\nmigrations       : {}\nreplans          : {}\n",
+            strategy.name(),
+            cluster.spec(),
+            cluster.total_processors(),
+            cluster.total_capacity(),
+            trace.len(),
+            trace.last_arrival(),
+            result.makespan,
+            lower_bound,
+            ratio.map_or_else(|| "n/a".to_string(), |r| format!("{r:.4}")),
+            result.mean_flow_time,
+            result.migrations,
+            result.replans,
+        );
+        for (index, class) in cluster.classes().iter().enumerate() {
+            text.push_str(&format!(
+                "  class {:<8} : {} × speed {:.2}, utilisation {:.1}%\n",
+                class.name,
+                class.count,
+                class.speed,
+                100.0 * result.class_utilization(index),
+            ));
+        }
+        text.push_str(&format!(
+            "validation       : {}\n",
+            if validation.is_some() {
+                "OK"
+            } else {
+                "skipped"
+            },
+        ));
+        if let Some(path) = args.telemetry {
+            text.push_str(&format!("telemetry stream written to {path}\n"));
+        }
+        text
+    };
+    match args.output {
+        Some(path) if !args.json => Ok(out + &format!("schedule written to {path}\n")),
+        _ => Ok(out),
+    }
+}
+
 fn generate(
     family: FamilyChoice,
     tasks: usize,
@@ -574,14 +766,14 @@ fn resolve_solver(name: &str) -> Result<SolverHandle, CliError> {
 fn list_solvers() -> String {
     let registry = solver::default_registry();
     let mut out = format!(
-        "{:<10} {:>9} {:>12} {:>8} {:>10}  {}\n",
+        "{:<13} {:>9} {:>12} {:>8} {:>10}  {}\n",
         "solver", "guarantee", "certified-LB", "anytime", "warm-start", "aliases"
     );
     for handle in registry.solvers() {
         let caps = handle.capabilities();
         let yes_no = |b: bool| if b { "yes" } else { "no" };
         out.push_str(&format!(
-            "{:<10} {:>9} {:>12} {:>8} {:>10}  {}\n",
+            "{:<13} {:>9} {:>12} {:>8} {:>10}  {}\n",
             handle.name(),
             caps.guarantee
                 .map_or_else(|| "-".to_string(), |g| format!("{g:.3}")),
@@ -599,11 +791,16 @@ fn run_solver(
     instance: &Instance,
     search: SearchChoice,
     parallel_branches: bool,
+    machine_classes: Option<&str>,
 ) -> Result<SolveOutcome, CliError> {
     let handle = resolve_solver(name)?;
-    let request = SolveRequest::new(instance)
+    let config = machine_classes.map(|spec| SolverConfig::new().with_text("machine-classes", spec));
+    let mut request = SolveRequest::new(instance)
         .with_mode(search_mode(search))
         .with_parallel_branches(parallel_branches);
+    if let Some(config) = &config {
+        request = request.with_config(config);
+    }
     handle
         .solve(&request)
         .map_err(|e| CliError::Scheduling(e.to_string()))
@@ -614,11 +811,26 @@ fn schedule(
     solver_name: &str,
     search: SearchChoice,
     parallel_branches: bool,
+    machine_classes: Option<&str>,
     gantt: bool,
     output: Option<&str>,
 ) -> Result<String, CliError> {
+    // Only the classed solvers read the `machine-classes` config key;
+    // silently ignoring the spec elsewhere would misreport the makespan.
+    if machine_classes.is_some() && !solver_name.starts_with("hetero") {
+        return Err(CliError::Invalid(format!(
+            "--machine-classes needs a classed solver, got `{solver_name}` \
+             (use --solver hetero-lp or --solver hetero-greedy)"
+        )));
+    }
     let instance = load_instance(instance_path)?;
-    let outcome = run_solver(solver_name, &instance, search, parallel_branches)?;
+    let outcome = run_solver(
+        solver_name,
+        &instance,
+        search,
+        parallel_branches,
+        machine_classes,
+    )?;
     let trace = simulate(&instance, &outcome.schedule);
 
     let mut report = String::new();
@@ -1075,6 +1287,129 @@ mod tests {
         // `completed` already subtracts departures and abandonments, so the
         // three partition the trace.
         assert_eq!(completed + departed + exhausted, 30);
+    }
+
+    #[test]
+    fn schedule_runs_the_classed_solvers_end_to_end() {
+        let instance_path = temp_path("classed-instance.json");
+        run_args(&args(&[
+            "generate",
+            "--tasks",
+            "14",
+            "--processors",
+            "12",
+            "--seed",
+            "8",
+            "--output",
+            &instance_path,
+        ]))
+        .unwrap();
+        for solver in ["hetero-lp", "hetero-greedy"] {
+            let out = run_args(&args(&[
+                "schedule",
+                &instance_path,
+                "--solver",
+                solver,
+                "--machine-classes",
+                "old=8x1.0,new=4x2.0",
+            ]))
+            .unwrap();
+            assert!(out.contains(solver), "{solver}: {out}");
+            assert!(out.contains("ratio"), "{solver}: {out}");
+        }
+        // A spec whose counts do not sum to the machine is rejected by the
+        // solver, and a flat solver refuses the flag outright.
+        let err = run_args(&args(&[
+            "schedule",
+            &instance_path,
+            "--solver",
+            "hetero-lp",
+            "--machine-classes",
+            "old=4x1.0",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("machine-classes"), "{err}");
+        let err = run_args(&args(&[
+            "schedule",
+            &instance_path,
+            "--solver",
+            "mrt",
+            "--machine-classes",
+            "old=8x1.0,new=4x2.0",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("hetero-lp"), "{err}");
+        fs::remove_file(instance_path).ok();
+    }
+
+    #[test]
+    fn online_runs_the_classed_engine() {
+        let out = run_args(&args(&[
+            "online",
+            "--policy",
+            "epoch-mrt",
+            "--machine-classes",
+            "old=6x1.0,new=2x2.0",
+            "--tasks",
+            "24",
+            "--processors",
+            "8",
+            "--seed",
+            "3",
+            "--rate",
+            "5",
+        ]))
+        .unwrap();
+        assert!(out.contains("classed-epoch (hetero-lp)"), "{out}");
+        assert!(out.contains("validation       : OK"), "{out}");
+        assert!(out.contains("class old"), "{out}");
+
+        // JSON mode is a parseable document with per-class utilisation.
+        let out = run_args(&args(&[
+            "online",
+            "--policy",
+            "epoch-mrt",
+            "--machine-classes",
+            "old=6x1.0,new=2x2.0",
+            "--tasks",
+            "24",
+            "--processors",
+            "8",
+            "--seed",
+            "3",
+            "--rate",
+            "5",
+            "--json",
+        ]))
+        .unwrap();
+        let doc: Value = serde_json::from_str(&out).unwrap();
+        assert!(doc.get("online_makespan").unwrap().as_f64().unwrap() > 0.0);
+        assert!(doc.get("ratio_vs_lower_bound").unwrap().as_f64().unwrap() >= 1.0 - 1e-9);
+        assert_eq!(doc.get("classes").unwrap().as_array().unwrap().len(), 2);
+
+        // Classed runs exclude the fault and preemption machinery.
+        for extra in [
+            vec!["--mtbf", "5"],
+            vec!["--preempt-queued"],
+            vec!["--departure-patience", "2"],
+            vec!["--policy", "greedy"],
+        ] {
+            let mut argv = vec![
+                "online",
+                "--policy",
+                "epoch-mrt",
+                "--machine-classes",
+                "old=6x1.0,new=2x2.0",
+                "--processors",
+                "8",
+            ];
+            argv.extend(extra.iter().copied());
+            let err = run_args(&args(&argv)).unwrap_err();
+            assert!(
+                err.to_string().contains("--machine-classes"),
+                "{argv:?}: {err}"
+            );
+        }
     }
 
     #[test]

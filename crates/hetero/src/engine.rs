@@ -1,0 +1,444 @@
+//! The classed online engine: epoch-driven scheduling of an arrival trace
+//! over per-class reservation pools.
+//!
+//! Each machine class owns one [`MachineState`] (its contiguous slice of
+//! the global processor axis).  Arrivals queue until the next epoch
+//! boundary; every epoch with new arrivals re-solves the whole queued set —
+//! assignment (which class) and allotment (how many processors within the
+//! class) — and commits the plan.  Commitments that have not started by the
+//! next re-solve are revoked and re-planned, so **queued tasks may migrate
+//! between classes** as the arrival picture changes; commitments that are
+//! already executing stay where they are (running tasks never migrate).
+//!
+//! Telemetry: every cross-class re-assignment emits a
+//! [`TelemetryEvent::ClassMigration`] and bumps
+//! [`names::CLASS_MIGRATIONS`]; the end of the run emits one
+//! [`TelemetryEvent::ClassUtilization`] per class.
+
+use malleable_core::dual::SearchMode;
+use malleable_core::{
+    MrtSolver, ProcessorRange, Result, Schedule, ScheduledTask, SolveRequest, Solver,
+};
+use online::MachineState;
+use telemetry::{names, SharedRecorder, TelemetryEvent};
+use workload::ArrivalTrace;
+
+use crate::cluster::ClassedCluster;
+use crate::instance::HeteroInstance;
+use crate::profile::ClassedSpeedupProfile;
+use crate::solver::AssignStrategy;
+
+/// Tuning knobs of one classed engine run.
+#[derive(Clone)]
+pub struct ClassedEngineOptions {
+    /// Re-solve period (simulated time).
+    pub epoch: f64,
+    /// Task → class assignment strategy used at every re-solve.
+    pub strategy: AssignStrategy,
+    /// Dual-search mode of the per-class allotment solves.
+    pub search: SearchMode,
+    /// Optional telemetry sink.
+    pub recorder: Option<SharedRecorder>,
+}
+
+impl Default for ClassedEngineOptions {
+    fn default() -> Self {
+        ClassedEngineOptions {
+            epoch: 1.0,
+            strategy: AssignStrategy::Lp,
+            search: SearchMode::Exact,
+            recorder: None,
+        }
+    }
+}
+
+/// The outcome of one classed engine run.
+#[derive(Debug, Clone)]
+pub struct ClassedRunResult {
+    /// The cluster the run executed on.
+    pub cluster: ClassedCluster,
+    /// Final commitments on the global processor axis (durations are
+    /// class-scaled, so the identical-machines `Schedule::validate` does
+    /// not apply; see [`ClassedRunResult::check`]).
+    pub schedule: Schedule,
+    /// Completion time of the last task.
+    pub makespan: f64,
+    /// Mean flow time (completion − arrival).
+    pub mean_flow_time: f64,
+    /// Queued-task re-assignments between classes across all re-solves.
+    pub migrations: usize,
+    /// Planning rounds (epochs that re-solved).
+    pub replans: usize,
+    /// Per-class integral of busy processors (Σ `count × duration` of the
+    /// final commitments inside the class).
+    pub class_busy: Vec<f64>,
+}
+
+impl ClassedRunResult {
+    /// Utilisation of class `class` over the makespan horizon.
+    pub fn class_utilization(&self, class: usize) -> f64 {
+        let count = self.cluster.classes()[class].count as f64;
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        self.class_busy[class] / (count * self.makespan)
+    }
+
+    /// Structural validation of a classed run against its trace: every
+    /// task scheduled exactly once, inside its assigned class's pool, not
+    /// before its arrival, with the class-scaled duration, and without
+    /// processor-time overlap.  Returns human-readable violations (empty =
+    /// valid).
+    pub fn check(&self, trace: &ArrivalTrace) -> Vec<String> {
+        let mut messages = Vec::new();
+        let mut seen = vec![false; trace.len()];
+        for entry in self.schedule.entries() {
+            if entry.task >= trace.len() || seen[entry.task] {
+                messages.push(format!("task {} is duplicated or unknown", entry.task));
+                continue;
+            }
+            seen[entry.task] = true;
+            let arrival = &trace.arrivals()[entry.task];
+            if entry.start < arrival.at - 1e-9 {
+                messages.push(format!(
+                    "task {} starts at {} before its arrival {}",
+                    entry.task, entry.start, arrival.at
+                ));
+            }
+            let class = self.cluster.processor_class(entry.processors.first);
+            let range = self.cluster.class_range(class);
+            if entry.processors.end() > range.end() {
+                messages.push(format!(
+                    "task {} spans classes: {:?} exceeds {:?}",
+                    entry.task, entry.processors, range
+                ));
+            }
+            let expected =
+                ClassedSpeedupProfile::from_speeds(arrival.task.profile.clone(), &self.cluster)
+                    .time(class, entry.processors.count);
+            if (entry.duration - expected).abs() > 1e-6 {
+                messages.push(format!(
+                    "task {} runs {} but class {} needs {}",
+                    entry.task, entry.duration, class, expected
+                ));
+            }
+        }
+        for (task, &s) in seen.iter().enumerate() {
+            if !s {
+                messages.push(format!("task {task} is not scheduled"));
+            }
+        }
+        let entries = self.schedule.entries();
+        for (i, a) in entries.iter().enumerate() {
+            for b in entries.iter().skip(i + 1) {
+                if a.conflicts_with(b) {
+                    messages.push(format!(
+                        "tasks {} and {} overlap in processor-time",
+                        a.task, b.task
+                    ));
+                }
+            }
+        }
+        messages
+    }
+}
+
+struct Committed {
+    class: usize,
+    reservation: packing::ReservationId,
+    first: usize,
+    count: usize,
+    start: f64,
+    duration: f64,
+}
+
+enum TaskState {
+    Queued { last_class: Option<usize> },
+    Committed(Committed),
+}
+
+/// Run an arrival trace through the classed engine.  The trace's machine
+/// size must equal the cluster's total processor count.
+pub fn run_classed(
+    trace: &ArrivalTrace,
+    cluster: &ClassedCluster,
+    options: &ClassedEngineOptions,
+) -> Result<ClassedRunResult> {
+    if trace.processors() != cluster.total_processors() {
+        return Err(malleable_core::Error::InvalidConfig {
+            key: "machine-classes",
+            message: format!(
+                "cluster has {} processors but the trace has {}",
+                cluster.total_processors(),
+                trace.processors()
+            ),
+        });
+    }
+    assert!(
+        options.epoch.is_finite() && options.epoch > 0.0,
+        "epoch must be positive, got {}",
+        options.epoch
+    );
+    let recorder: SharedRecorder = options
+        .recorder
+        .clone()
+        .unwrap_or_else(|| std::sync::Arc::new(telemetry::NoopRecorder));
+    let n = trace.len();
+    let mut machines: Vec<MachineState> = cluster
+        .classes()
+        .iter()
+        .map(|c| MachineState::new(c.count))
+        .collect();
+    let mut states: Vec<Option<TaskState>> = (0..n).map(|_| None).collect();
+    let mut admitted = 0usize;
+    let mut replans = 0usize;
+    let mut migrations = 0usize;
+    let mut now = 0.0f64;
+
+    while admitted < n || states.iter().any(|s| s.is_none()) {
+        for machine in &mut machines {
+            machine.advance_to(now);
+        }
+        // Admit everything that has arrived by this epoch boundary.
+        let mut fresh = 0usize;
+        while admitted < n && trace.arrivals()[admitted].at <= now + 1e-9 {
+            states[admitted] = Some(TaskState::Queued { last_class: None });
+            admitted += 1;
+            fresh += 1;
+        }
+        if fresh > 0 {
+            // Revoke commitments that have not started: they re-enter the
+            // queue and may land in a different class.
+            for (task, state) in states.iter_mut().enumerate() {
+                if let Some(TaskState::Committed(c)) = state {
+                    if c.start > now + 1e-9 {
+                        machines[c.class]
+                            .revoke(c.reservation)
+                            .unwrap_or_else(|e| panic!("revoking queued task {task}: {e:?}"));
+                        *state = Some(TaskState::Queued {
+                            last_class: Some(c.class),
+                        });
+                    }
+                }
+            }
+            // Re-solve the queued set: assignment, then per-class allotment.
+            let queued: Vec<usize> = states
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| matches!(s, Some(TaskState::Queued { .. })))
+                .map(|(task, _)| task)
+                .collect();
+            let profiles: Vec<ClassedSpeedupProfile> = queued
+                .iter()
+                .map(|&task| {
+                    ClassedSpeedupProfile::from_speeds(
+                        trace.arrivals()[task].task.profile.clone(),
+                        cluster,
+                    )
+                })
+                .collect();
+            let hetero = HeteroInstance::new(cluster.clone(), profiles)?;
+            let assignment = options.strategy.assign(&hetero);
+            replans += 1;
+            for (local, &task) in queued.iter().enumerate() {
+                let Some(TaskState::Queued { last_class }) = &states[task] else {
+                    unreachable!("queued list was just built from the states")
+                };
+                if let Some(prev) = last_class {
+                    if *prev != assignment[local] {
+                        migrations += 1;
+                        recorder.add(names::CLASS_MIGRATIONS, 1);
+                        if recorder.enabled() {
+                            recorder.event(TelemetryEvent::ClassMigration {
+                                time: now,
+                                task: task as u64,
+                                from_class: cluster.classes()[*prev].name.clone(),
+                                to_class: cluster.classes()[assignment[local]].name.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+            for (class, machine) in machines.iter_mut().enumerate() {
+                let locals: Vec<usize> = (0..queued.len())
+                    .filter(|&local| assignment[local] == class)
+                    .collect();
+                if locals.is_empty() {
+                    continue;
+                }
+                let ids: Vec<usize> = locals.iter().map(|&local| queued[local]).collect();
+                let class_instance = hetero.class_instance(class, &locals)?;
+                let request = SolveRequest::new(&class_instance).with_mode(options.search);
+                let outcome = MrtSolver.solve(&request)?;
+                // Commit in the offline plan's start order so the relative
+                // shape survives the greedy re-packing.
+                let mut entries: Vec<&ScheduledTask> = outcome.schedule.entries().iter().collect();
+                entries.sort_by(|a, b| a.start.total_cmp(&b.start).then(a.task.cmp(&b.task)));
+                for entry in entries {
+                    let placement = machine.place_earliest(entry.processors.count, entry.duration);
+                    recorder.add(names::PLACEMENTS, 1);
+                    states[ids[entry.task]] = Some(TaskState::Committed(Committed {
+                        class,
+                        reservation: placement.reservation,
+                        first: placement.first,
+                        count: placement.count,
+                        start: placement.start,
+                        duration: entry.duration,
+                    }));
+                }
+            }
+        }
+        now += options.epoch;
+    }
+
+    // Assemble the final schedule on the global axis.
+    let mut schedule = Schedule::new(cluster.total_processors());
+    let mut class_busy = vec![0.0f64; cluster.class_count()];
+    let mut makespan = 0.0f64;
+    let mut flow_sum = 0.0f64;
+    for (task, state) in states.iter().enumerate() {
+        let Some(TaskState::Committed(c)) = state else {
+            unreachable!("the loop only terminates once every task is committed")
+        };
+        let global_first = cluster.class_range(c.class).first + c.first;
+        schedule.push(ScheduledTask {
+            task,
+            start: c.start,
+            duration: c.duration,
+            processors: ProcessorRange::new(global_first, c.count),
+        });
+        class_busy[c.class] += c.count as f64 * c.duration;
+        makespan = makespan.max(c.start + c.duration);
+        flow_sum += c.start + c.duration - trace.arrivals()[task].at;
+    }
+    if recorder.enabled() {
+        for (class, busy) in class_busy.iter().enumerate() {
+            recorder.event(TelemetryEvent::ClassUtilization {
+                class: cluster.classes()[class].name.clone(),
+                busy: *busy,
+                capacity: cluster.classes()[class].count as f64 * makespan,
+            });
+        }
+    }
+    recorder.add(names::REPLANS, replans as u64);
+    Ok(ClassedRunResult {
+        cluster: cluster.clone(),
+        schedule,
+        makespan,
+        mean_flow_time: if n > 0 { flow_sum / n as f64 } else { 0.0 },
+        migrations,
+        replans,
+        class_busy,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use telemetry::CollectingRecorder;
+    use workload::{classed_trace, parse_class_specs};
+
+    fn cluster(spec: &str) -> ClassedCluster {
+        ClassedCluster::from_spec(spec).unwrap()
+    }
+
+    fn trace(spec: &str, tasks: usize, seed: u64) -> ArrivalTrace {
+        classed_trace(&parse_class_specs(spec).unwrap(), tasks, seed).unwrap()
+    }
+
+    #[test]
+    fn classed_run_is_valid_and_deterministic() {
+        let spec = "old=8x1.0,new=4x2.0";
+        let cluster = cluster(spec);
+        let trace = trace(spec, 24, 3);
+        let a = run_classed(&trace, &cluster, &ClassedEngineOptions::default()).unwrap();
+        let b = run_classed(&trace, &cluster, &ClassedEngineOptions::default()).unwrap();
+        assert!(a.check(&trace).is_empty(), "{:?}", a.check(&trace));
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.migrations, b.migrations);
+        assert_eq!(a.schedule.len(), trace.len());
+        assert!(a.replans > 0);
+        assert!(a.makespan > 0.0);
+    }
+
+    #[test]
+    fn uniform_cluster_run_matches_identical_machine_durations() {
+        let cluster = ClassedCluster::uniform(8).unwrap();
+        let trace = trace("only=8x1.0", 16, 5);
+        let result = run_classed(&trace, &cluster, &ClassedEngineOptions::default()).unwrap();
+        assert!(result.check(&trace).is_empty());
+        for entry in result.schedule.entries() {
+            let base = trace.arrivals()[entry.task]
+                .task
+                .profile
+                .time(entry.processors.count);
+            assert_eq!(entry.duration, base);
+        }
+    }
+
+    #[test]
+    fn recorder_sees_migrations_and_per_class_utilisation() {
+        let spec = "old=8x1.0,new=4x2.5";
+        let cluster = cluster(spec);
+        let trace = trace(spec, 32, 11);
+        let recorder = CollectingRecorder::shared();
+        let options = ClassedEngineOptions {
+            recorder: Some(recorder.clone() as SharedRecorder),
+            ..ClassedEngineOptions::default()
+        };
+        let result = run_classed(&trace, &cluster, &options).unwrap();
+        assert!(result.check(&trace).is_empty());
+        let events = recorder.events();
+        let utilisations = events
+            .iter()
+            .filter(|e| matches!(e, TelemetryEvent::ClassUtilization { .. }))
+            .count();
+        assert_eq!(utilisations, 2);
+        let migrations = events
+            .iter()
+            .filter(|e| matches!(e, TelemetryEvent::ClassMigration { .. }))
+            .count();
+        assert_eq!(migrations, result.migrations);
+        assert_eq!(recorder.counter(names::CLASS_MIGRATIONS), migrations as u64);
+        for class in 0..2 {
+            let u = result.class_utilization(class);
+            assert!((0.0..=1.0 + 1e-9).contains(&u), "class {class}: {u}");
+        }
+    }
+
+    #[test]
+    fn lp_strategy_beats_the_class_blind_baseline_on_an_asymmetric_cluster() {
+        let spec = "old=8x1.0,new=4x2.5";
+        let cluster = cluster(spec);
+        let mut lp_wins = 0.0f64;
+        let mut blind_wins = 0.0f64;
+        for seed in 0..4 {
+            let trace = trace(spec, 28, seed);
+            let lp = run_classed(&trace, &cluster, &ClassedEngineOptions::default()).unwrap();
+            let blind = run_classed(
+                &trace,
+                &cluster,
+                &ClassedEngineOptions {
+                    strategy: AssignStrategy::ClassBlind,
+                    ..ClassedEngineOptions::default()
+                },
+            )
+            .unwrap();
+            assert!(lp.check(&trace).is_empty());
+            assert!(blind.check(&trace).is_empty());
+            lp_wins += lp.makespan;
+            blind_wins += blind.makespan;
+        }
+        assert!(
+            lp_wins < blind_wins - 1e-9,
+            "lp mean {lp_wins} vs blind mean {blind_wins}"
+        );
+    }
+
+    #[test]
+    fn mismatched_trace_and_cluster_are_rejected() {
+        let cluster = cluster("old=8x1.0,new=4x2.0");
+        let trace = trace("only=8x1.0", 8, 1);
+        assert!(run_classed(&trace, &cluster, &ClassedEngineOptions::default()).is_err());
+    }
+}

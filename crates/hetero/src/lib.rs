@@ -1,0 +1,72 @@
+//! # hetero
+//!
+//! Heterogeneous machine classes for malleable scheduling: the
+//! identical-processors model of Mounié–Rapine–Trystram extended to
+//! clusters whose processors come in named *classes* with per-class speed
+//! factors (an old partition next to a new one, CPU nodes next to
+//! fat nodes).
+//!
+//! The model factors the classed problem into **assignment** (which class
+//! runs each task) and **allotment** (how many processors within the
+//! class), in the LP-rounding tradition of malleable scheduling on
+//! unrelated machines (Jansen & Land, arXiv 1903.11016): a dual
+//! approximation binary-searches the target makespan and greedily rounds
+//! each guess's canonical-allotment relaxation into per-class capacity
+//! areas.  Once tasks are assigned, each class pool is an ordinary
+//! identical-machines instance — the existing breakpoint-exact MRT search
+//! runs per class, unchanged.
+//!
+//! * [`ClassedCluster`] / [`MachineClass`] — named classes with counts and
+//!   speed factors, laid out contiguously on one global processor axis;
+//!   parsed from the `old=8x1.0,new=4x2.0` spec syntax shared with the CLI.
+//! * [`ClassedSpeedupProfile`] — the
+//!   [`SpeedupProfile`](malleable_core::SpeedupProfile) generalised to
+//!   class-dependent rates; identical machines are the strict special case
+//!   (unit rates project back to the base profile bit-for-bit).
+//! * [`HeteroInstance`] — classed tasks + cluster, with per-class
+//!   projections and the classed lower bound.
+//! * [`assign`] — the LP-rounding assignment, a greedy density baseline,
+//!   and the speed-blind ablation the benchmarks gate against.
+//! * [`HeteroSolver`] — the above behind the unified `Solver` trait
+//!   (registered as `hetero-lp` / `hetero-greedy` in the workspace
+//!   registry); on a uniform one-class cluster it reproduces the `mrt`
+//!   solver exactly.
+//! * [`engine`] — the classed online engine: per-class reservation pools,
+//!   epoch re-solves that may migrate *queued* tasks between classes
+//!   (running tasks stay put), migration and per-class-utilisation
+//!   telemetry.
+//!
+//! ```rust
+//! use hetero::{ClassedCluster, HeteroSolver};
+//! use malleable_core::prelude::*;
+//!
+//! let instance = Instance::from_profiles(
+//!     vec![
+//!         SpeedupProfile::linear(6.0, 4).unwrap(),
+//!         SpeedupProfile::sequential(1.0).unwrap(),
+//!     ],
+//!     12,
+//! )
+//! .unwrap();
+//! let config = SolverConfig::new().with_text("machine-classes", "old=8x1.0,new=4x2.0");
+//! let outcome = HeteroSolver::lp()
+//!     .solve(&SolveRequest::new(&instance).with_config(&config))
+//!     .unwrap();
+//! assert!(outcome.makespan() >= outcome.lower_bound);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod assign;
+pub mod cluster;
+pub mod engine;
+pub mod instance;
+pub mod profile;
+pub mod solver;
+
+pub use assign::{class_blind_assign, greedy_density_assign, lp_assign, Assignment};
+pub use cluster::{ClassedCluster, MachineClass};
+pub use engine::{run_classed, ClassedEngineOptions, ClassedRunResult};
+pub use instance::HeteroInstance;
+pub use profile::ClassedSpeedupProfile;
+pub use solver::{solve_classed, AssignStrategy, HeteroSolver};

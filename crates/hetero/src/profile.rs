@@ -1,0 +1,148 @@
+//! Class-dependent speed-up profiles: the identical-machines
+//! [`SpeedupProfile`] generalised to per-class execution rates.
+
+use malleable_core::{Error, Result, SpeedupProfile};
+
+use crate::cluster::ClassedCluster;
+
+/// A speed-up profile over a classed cluster: a base (reference-speed)
+/// profile plus one multiplicative *rate* per machine class.  The execution
+/// time of the task on `p` processors of class `c` is
+/// `base.time(p) / rates[c]`.
+///
+/// With every rate at 1.0 this is exactly the identical-machines model —
+/// [`ClassedSpeedupProfile::projected`] then returns the base profile
+/// unchanged (bit-for-bit), which is what makes the homogeneous parity
+/// tests exact rather than approximate.
+///
+/// Rates usually equal the class speed factors
+/// ([`ClassedSpeedupProfile::from_speeds`]), but they are per-task, so a
+/// workload can also express affinity (a task that vectorises well gaining
+/// more than the nominal factor on a newer class).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassedSpeedupProfile {
+    base: SpeedupProfile,
+    rates: Vec<f64>,
+}
+
+impl ClassedSpeedupProfile {
+    /// Build a classed profile from a base profile and one rate per class.
+    /// Rates must be positive and finite and the list non-empty.
+    pub fn new(base: SpeedupProfile, rates: Vec<f64>) -> Result<Self> {
+        if rates.is_empty() {
+            return Err(Error::InvalidConfig {
+                key: "machine-classes",
+                message: "a classed profile needs at least one class rate".to_string(),
+            });
+        }
+        for (class, &rate) in rates.iter().enumerate() {
+            if !(rate.is_finite() && rate > 0.0) {
+                return Err(Error::InvalidConfig {
+                    key: "machine-classes",
+                    message: format!("class {class} has invalid rate {rate}"),
+                });
+            }
+        }
+        Ok(ClassedSpeedupProfile { base, rates })
+    }
+
+    /// The common case: the task speeds up by exactly each class's nominal
+    /// speed factor.
+    pub fn from_speeds(base: SpeedupProfile, cluster: &ClassedCluster) -> Self {
+        ClassedSpeedupProfile {
+            base,
+            rates: cluster.classes().iter().map(|c| c.speed).collect(),
+        }
+    }
+
+    /// The reference-speed base profile.
+    pub fn base(&self) -> &SpeedupProfile {
+        &self.base
+    }
+
+    /// The per-class rates.
+    pub fn rates(&self) -> &[f64] {
+        &self.rates
+    }
+
+    /// Execution time on `p` processors of class `class`.
+    pub fn time(&self, class: usize, p: usize) -> f64 {
+        self.base.time(p) / self.rates[class]
+    }
+
+    /// Work (`p · time`) on `p` processors of class `class`.
+    pub fn work(&self, class: usize, p: usize) -> f64 {
+        p as f64 * self.time(class, p)
+    }
+
+    /// The fastest the task can possibly finish in class `class` when the
+    /// class has `count` processors: its time on the whole class pool
+    /// (monotone profiles are fastest at the largest allotment).
+    pub fn best_time(&self, class: usize, count: usize) -> f64 {
+        let p = count.min(self.base.max_processors()).max(1);
+        self.time(class, p)
+    }
+
+    /// Project the task into class `class` of `count` processors: an
+    /// ordinary identical-machines [`SpeedupProfile`] whose entry `p` is
+    /// `base.time(p) / rates[class]`, truncated to the class pool size.
+    /// The per-class allotment solvers run unchanged on these projections.
+    ///
+    /// At rate exactly 1.0 the scaling multiplies every entry by 1.0, which
+    /// is exact in IEEE arithmetic — the projection returns the base
+    /// profile bit-for-bit.
+    pub fn projected(&self, class: usize, count: usize) -> Result<SpeedupProfile> {
+        Ok(self.base.scaled(1.0 / self.rates[class])?.truncated(count))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> SpeedupProfile {
+        SpeedupProfile::new(vec![4.0, 2.5, 2.0]).unwrap()
+    }
+
+    #[test]
+    fn times_scale_by_the_class_rate() {
+        let cluster = ClassedCluster::from_spec("old=4x1.0,new=2x2.0").unwrap();
+        let profile = ClassedSpeedupProfile::from_speeds(base(), &cluster);
+        assert_eq!(profile.time(0, 1), 4.0);
+        assert_eq!(profile.time(1, 1), 2.0);
+        assert_eq!(profile.time(1, 3), 1.0);
+        assert_eq!(profile.work(1, 2), 2.5);
+        assert_eq!(profile.best_time(0, 2), 2.5);
+        // The pool is wider than the profile: best time saturates.
+        assert_eq!(profile.best_time(0, 9), 2.0);
+    }
+
+    #[test]
+    fn unit_rate_projection_is_bit_identical_to_the_base() {
+        let cluster = ClassedCluster::uniform(3).unwrap();
+        let profile = ClassedSpeedupProfile::from_speeds(base(), &cluster);
+        assert_eq!(profile.projected(0, 3).unwrap(), base());
+        // Truncation to a narrower pool keeps the prefix.
+        assert_eq!(
+            profile.projected(0, 2).unwrap(),
+            SpeedupProfile::new(vec![4.0, 2.5]).unwrap()
+        );
+    }
+
+    #[test]
+    fn projection_divides_every_entry_by_the_rate() {
+        let cluster = ClassedCluster::from_spec("old=4x1.0,new=2x2.0").unwrap();
+        let profile = ClassedSpeedupProfile::from_speeds(base(), &cluster);
+        let projected = profile.projected(1, 2).unwrap();
+        assert_eq!(projected.max_processors(), 2);
+        assert!((projected.time(1) - 2.0).abs() < 1e-12);
+        assert!((projected.time(2) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_rates_are_rejected() {
+        assert!(ClassedSpeedupProfile::new(base(), vec![]).is_err());
+        assert!(ClassedSpeedupProfile::new(base(), vec![1.0, 0.0]).is_err());
+        assert!(ClassedSpeedupProfile::new(base(), vec![f64::NAN]).is_err());
+    }
+}

@@ -25,6 +25,13 @@ pub enum Error {
     DeadlineUnreachable { task: usize, deadline: f64 },
     /// A scheduler was asked for a guarantee parameter outside its valid range.
     InvalidParameter { name: &'static str, value: f64 },
+    /// A `SolverConfig` knob carried a value the addressed solver rejects.
+    InvalidConfig {
+        /// The config key.
+        key: &'static str,
+        /// Why the value was rejected.
+        message: String,
+    },
     /// The dual-approximation search could not find any feasible schedule.
     NoFeasibleSchedule,
 }
@@ -62,6 +69,9 @@ impl fmt::Display for Error {
             ),
             Error::InvalidParameter { name, value } => {
                 write!(f, "parameter {name} has invalid value {value}")
+            }
+            Error::InvalidConfig { key, message } => {
+                write!(f, "config key `{key}` rejected: {message}")
             }
             Error::NoFeasibleSchedule => {
                 write!(f, "no feasible schedule could be constructed")

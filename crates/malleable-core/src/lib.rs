@@ -69,8 +69,8 @@ pub use error::{Error, Result};
 pub use instance::{Instance, InstanceSummary};
 pub use schedule::{ProcessorRange, Schedule, ScheduledTask};
 pub use solver::{
-    CanonicalListSolver, MrtSolver, SolveOutcome, SolveRequest, Solver, SolverCapabilities,
-    SolverHandle, SolverRegistry,
+    CanonicalListSolver, ConfigValue, MrtSolver, SolveOutcome, SolveRequest, Solver,
+    SolverCapabilities, SolverConfig, SolverHandle, SolverRegistry,
 };
 pub use task::{MalleableTask, SpeedupProfile, TaskId};
 pub use workspace::ProbeWorkspace;

@@ -70,6 +70,138 @@ use crate::workspace::ProbeWorkspace;
 /// what the online policies hold).
 pub type SolverHandle = Arc<dyn Solver>;
 
+/// A typed value in a [`SolverConfig`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigValue {
+    /// A boolean switch.
+    Flag(bool),
+    /// An integer knob.
+    Int(i64),
+    /// A floating-point knob.
+    Float(f64),
+    /// A free-form text knob (a sub-strategy name, a cluster spec, …).
+    Text(String),
+}
+
+/// Per-solver configuration carried by a [`SolveRequest`]: a small ordered
+/// map of typed key/value knobs that only the addressed solver interprets.
+///
+/// The shared request fields ([`SolveRequest::mode`], λ, budgets, …) cover
+/// the knobs every dual-search solver understands; solver-*specific* knobs —
+/// the two-phase method's rigid-packing strategy, the hetero solvers'
+/// machine-class spec — used to live in constructor state, which made them
+/// unreachable through the registry (factories take no arguments).  Putting
+/// them on the request keeps solvers stateless values and makes every knob a
+/// per-call parameter:
+///
+/// ```rust
+/// use malleable_core::solver::SolverConfig;
+///
+/// let config = SolverConfig::new()
+///     .with_text("rigid", "steinberg")
+///     .with_flag("strict", true);
+/// assert_eq!(config.text("rigid"), Some("steinberg"));
+/// assert_eq!(config.flag("strict"), Some(true));
+/// assert_eq!(config.text("absent"), None);
+/// ```
+///
+/// Unknown keys are ignored by solvers (same contract as unknown request
+/// knobs); a key set twice keeps the last value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SolverConfig {
+    entries: Vec<(String, ConfigValue)>,
+}
+
+impl SolverConfig {
+    /// An empty configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set `key` to `value` (builder style), replacing any earlier value.
+    pub fn with(mut self, key: &str, value: ConfigValue) -> Self {
+        match self.entries.iter_mut().find(|(k, _)| k == key) {
+            Some((_, stored)) => *stored = value,
+            None => self.entries.push((key.to_string(), value)),
+        }
+        self
+    }
+
+    /// Set a boolean switch (builder style).
+    pub fn with_flag(self, key: &str, value: bool) -> Self {
+        self.with(key, ConfigValue::Flag(value))
+    }
+
+    /// Set an integer knob (builder style).
+    pub fn with_int(self, key: &str, value: i64) -> Self {
+        self.with(key, ConfigValue::Int(value))
+    }
+
+    /// Set a floating-point knob (builder style).
+    pub fn with_float(self, key: &str, value: f64) -> Self {
+        self.with(key, ConfigValue::Float(value))
+    }
+
+    /// Set a text knob (builder style).
+    pub fn with_text(self, key: &str, value: &str) -> Self {
+        self.with(key, ConfigValue::Text(value.to_string()))
+    }
+
+    /// The raw value under `key`, if any.
+    pub fn get(&self, key: &str) -> Option<&ConfigValue> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// The boolean under `key` (None when absent or a different type).
+    pub fn flag(&self, key: &str) -> Option<bool> {
+        match self.get(key) {
+            Some(ConfigValue::Flag(b)) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The integer under `key` (None when absent or a different type).
+    pub fn int(&self, key: &str) -> Option<i64> {
+        match self.get(key) {
+            Some(ConfigValue::Int(i)) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The float under `key`; an integer value is widened (None when absent
+    /// or text/flag).
+    pub fn float(&self, key: &str) -> Option<f64> {
+        match self.get(key) {
+            Some(ConfigValue::Float(x)) => Some(*x),
+            Some(ConfigValue::Int(i)) => Some(*i as f64),
+            _ => None,
+        }
+    }
+
+    /// The text under `key` (None when absent or a different type).
+    pub fn text(&self, key: &str) -> Option<&str> {
+        match self.get(key) {
+            Some(ConfigValue::Text(s)) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Number of keys set.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no keys are set.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The keys, in insertion order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> + '_ {
+        self.entries.iter().map(|(k, _)| k.as_str())
+    }
+}
+
 /// A typed solve request: the instance plus every tuning knob a solver may
 /// honour.  Build one with [`SolveRequest::new`] and the `with_*` methods;
 /// knobs a solver does not understand are ignored (gang scheduling has no
@@ -117,6 +249,10 @@ pub struct SolveRequest<'a> {
     pub time_budget: Option<Duration>,
     /// Evaluate independent oracle branches on scoped threads.
     pub parallel_branches: bool,
+    /// Solver-specific knobs (see [`SolverConfig`]); solvers ignore keys they
+    /// do not understand, and `None` means every solver default applies.
+    /// Borrowed so the request stays `Copy`.
+    pub config: Option<&'a SolverConfig>,
 }
 
 impl<'a> SolveRequest<'a> {
@@ -131,6 +267,7 @@ impl<'a> SolveRequest<'a> {
             probe_budget: None,
             time_budget: None,
             parallel_branches: false,
+            config: None,
         }
     }
 
@@ -176,6 +313,18 @@ impl<'a> SolveRequest<'a> {
     pub fn with_parallel_branches(mut self, parallel: bool) -> Self {
         self.parallel_branches = parallel;
         self
+    }
+
+    /// Attach solver-specific knobs (builder style).  The config outlives the
+    /// request (it is borrowed, keeping the request `Copy`).
+    pub fn with_config(mut self, config: &'a SolverConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// The text knob under `key`, when a config is attached and carries one.
+    pub fn config_text(&self, key: &str) -> Option<&'a str> {
+        self.config.and_then(|c| c.text(key))
     }
 }
 
@@ -536,6 +685,7 @@ mod tests {
     #[test]
     fn request_builder_sets_every_knob() {
         let inst = instance();
+        let config = SolverConfig::new().with_text("rigid", "ffdh");
         let req = SolveRequest::new(&inst)
             .with_mode(SearchMode::Exact)
             .with_branches(BranchSet::lists_only())
@@ -543,7 +693,8 @@ mod tests {
             .with_warm_start_hint(3.0)
             .with_probe_budget(7)
             .with_time_budget(Duration::from_millis(250))
-            .with_parallel_branches(true);
+            .with_parallel_branches(true)
+            .with_config(&config);
         assert_eq!(req.mode, SearchMode::Exact);
         assert_eq!(req.branches, BranchSet::lists_only());
         assert_eq!(req.lambda, Some(0.9));
@@ -551,6 +702,38 @@ mod tests {
         assert_eq!(req.probe_budget, Some(7));
         assert_eq!(req.time_budget, Some(Duration::from_millis(250)));
         assert!(req.parallel_branches);
+        assert_eq!(req.config_text("rigid"), Some("ffdh"));
+        assert_eq!(req.config_text("absent"), None);
+        // The request stays `Copy` with a config attached.
+        let copied = req;
+        assert_eq!(copied.config_text("rigid"), req.config_text("rigid"));
+    }
+
+    #[test]
+    fn solver_config_is_a_typed_last_write_wins_map() {
+        let config = SolverConfig::new()
+            .with_flag("strict", true)
+            .with_int("pool", 3)
+            .with_float("scale", 1.5)
+            .with_text("rigid", "steinberg")
+            .with_text("rigid", "ffdh"); // last write wins
+        assert_eq!(config.len(), 4);
+        assert!(!config.is_empty());
+        assert_eq!(config.flag("strict"), Some(true));
+        assert_eq!(config.int("pool"), Some(3));
+        assert_eq!(config.float("scale"), Some(1.5));
+        assert_eq!(config.float("pool"), Some(3.0), "ints widen to float");
+        assert_eq!(config.text("rigid"), Some("ffdh"));
+        // Type mismatches and absent keys read as None, never panic.
+        assert_eq!(config.flag("pool"), None);
+        assert_eq!(config.int("scale"), None);
+        assert_eq!(config.text("strict"), None);
+        assert_eq!(config.get("absent"), None);
+        assert_eq!(
+            config.keys().collect::<Vec<_>>(),
+            vec!["strict", "pool", "scale", "rigid"]
+        );
+        assert!(SolverConfig::default().is_empty());
     }
 
     #[test]

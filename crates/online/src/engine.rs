@@ -1383,6 +1383,98 @@ pub fn validate_fault_run(trace: &ArrivalTrace, result: &OnlineResult) -> Vec<St
     messages
 }
 
+/// Validate a fault run on a classed cluster: [`validate_fault_run`] with
+/// per-class capacity accounting layered on.
+///
+/// `class_counts` gives the processor count of each contiguous machine
+/// class in global processor order — class `c` owns processors
+/// `[offset_c, offset_c + count_c)`, matching the layout of
+/// `hetero::ClassedCluster`.  On top of the fault-run checks:
+///
+/// * The counts must partition the trace's machine exactly.
+/// * No executed or wasted segment may straddle a class boundary — a
+///   classed engine never co-allocates processors from two classes.
+/// * Per class, the busy integral (executed + wasted processor-time inside
+///   the class range) must fit in the class's capacity integral:
+///   `count_c × makespan` minus the outage time charged to the class.
+///
+/// Returns human-readable violation messages (empty = valid).
+pub fn validate_fault_run_classed(
+    trace: &ArrivalTrace,
+    result: &OnlineResult,
+    class_counts: &[usize],
+) -> Vec<String> {
+    let mut messages = validate_fault_run(trace, result);
+
+    let total: usize = class_counts.iter().sum();
+    if total != trace.processors() {
+        messages.push(format!(
+            "class counts sum to {total} processors but the trace has {}",
+            trace.processors()
+        ));
+        return messages;
+    }
+
+    // Contiguous class ranges in declaration order.
+    let mut ranges: Vec<(usize, usize)> = Vec::with_capacity(class_counts.len());
+    let mut offset = 0;
+    for &count in class_counts {
+        ranges.push((offset, offset + count));
+        offset += count;
+    }
+    let class_of = |processor: usize| {
+        ranges
+            .iter()
+            .position(|&(first, end)| first <= processor && processor < end)
+            .expect("counts partition the machine")
+    };
+
+    // Segments must stay inside one class, and their processor-time
+    // accumulates into that class's busy integral.
+    let mut busy = vec![0.0_f64; class_counts.len()];
+    for entry in result.schedule.entries().iter().chain(result.wasted.iter()) {
+        let class = class_of(entry.processors.first);
+        let (_, end) = ranges[class];
+        if entry.processors.end() > end {
+            messages.push(format!(
+                "task {} spans processors [{}, {}) across the class boundary at {}",
+                entry.task,
+                entry.processors.first,
+                entry.processors.end(),
+                end
+            ));
+            continue;
+        }
+        busy[class] += entry.duration * entry.processors.count as f64;
+    }
+
+    // Capacity integral per class: count × makespan, less outage time on
+    // the class's processors (open-ended outages clamp at the makespan).
+    let makespan = result.makespan;
+    let mut lost = vec![0.0_f64; class_counts.len()];
+    for outage in &result.outages {
+        let end = outage.end.min(makespan);
+        if end > outage.start {
+            lost[class_of(outage.processor)] += end - outage.start;
+        }
+    }
+    for (class, ((&count, &used), &down)) in class_counts
+        .iter()
+        .zip(busy.iter())
+        .zip(lost.iter())
+        .enumerate()
+    {
+        let capacity = count as f64 * makespan - down;
+        if used > capacity + 1e-6 {
+            messages.push(format!(
+                "class {class} executes {used} processor-time but only {capacity} was available"
+            ));
+        }
+    }
+
+    messages
+}
+
 /// Offline-vs-online comparison for one run: the competitive-ratio surface
 /// the benchmark suite tracks.
 #[derive(Debug, Clone)]
@@ -2032,6 +2124,73 @@ mod tests {
         assert_eq!(recorder.counter(::telemetry::names::PROCESSOR_DOWNS), 1);
         assert_eq!(recorder.counter(::telemetry::names::PROCESSOR_UPS), 1);
         assert_eq!(recorder.invariant_violations(), 0);
+    }
+
+    #[test]
+    fn classed_validator_accepts_a_fault_run_partitioned_by_class() {
+        // Two sequential tasks on a [1, 1] class split; the outage is
+        // confined to the second class's only processor, so its lost
+        // capacity is charged to class 1 and the run still validates.
+        let trace = sequential_trace(&[(0.0, 1.0), (0.0, 1.0)], 2);
+        let plan = FaultPlan::empty(2, 16.0).with_outage(1, 0.5, 10.0);
+        let result = run_with_faults(
+            &trace,
+            &mut GreedyList::new(),
+            &plan,
+            RetryPolicy::default(),
+            None,
+        )
+        .unwrap();
+        assert!(
+            validate_fault_run_classed(&trace, &result, &[1, 1]).is_empty(),
+            "{:?}",
+            validate_fault_run_classed(&trace, &result, &[1, 1])
+        );
+        assert!(
+            validate_fault_run_classed(&trace, &result, &[2]).is_empty(),
+            "the single-class split is the plain fault validation"
+        );
+        // Counts that do not partition the machine are rejected outright.
+        let messages = validate_fault_run_classed(&trace, &result, &[1, 2]);
+        assert_eq!(messages.len(), 1, "{messages:?}");
+        assert!(messages[0].contains("sum to 3"), "{messages:?}");
+    }
+
+    #[test]
+    fn classed_validator_flags_boundary_straddles_and_capacity_overruns() {
+        // The two-processor malleable task occupies [0, 2) × 2: under a
+        // [1, 1] split it straddles the class boundary at processor 1.
+        let trace = ArrivalTrace::new(
+            2,
+            vec![Arrival::new(
+                0.0,
+                MalleableTask::new(SpeedupProfile::new(vec![8.0, 4.5]).unwrap()),
+            )],
+        )
+        .unwrap();
+        let plan = FaultPlan::empty(2, 16.0);
+        let mut result = run_with_faults(
+            &trace,
+            &mut GreedyList::new(),
+            &plan,
+            RetryPolicy::default(),
+            None,
+        )
+        .unwrap();
+        assert!(validate_fault_run_classed(&trace, &result, &[2]).is_empty());
+        let messages = validate_fault_run_classed(&trace, &result, &[1, 1]);
+        assert!(
+            messages.iter().any(|m| m.contains("class boundary")),
+            "{messages:?}"
+        );
+        // Shrinking the reported makespan leaves more busy integral than the
+        // single class could have supplied — the capacity sweep catches it.
+        result.makespan /= 2.0;
+        let messages = validate_fault_run_classed(&trace, &result, &[2]);
+        assert!(
+            messages.iter().any(|m| m.contains("was available")),
+            "{messages:?}"
+        );
     }
 
     #[test]

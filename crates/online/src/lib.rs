@@ -109,8 +109,8 @@ pub mod telemetry;
 
 pub use engine::{
     competitive_report, queued_reallotment_scenario, run, run_recorded, run_with_faults,
-    running_reallotment_scenario, validate_against_trace, validate_fault_run, CompetitiveReport,
-    OnlineResult,
+    running_reallotment_scenario, validate_against_trace, validate_fault_run,
+    validate_fault_run_classed, CompetitiveReport, OnlineResult,
 };
 pub use event::{Event, EventKind, EventQueue};
 pub use machine::{MachineState, Placement, ReservationError, ReservationId};

@@ -36,8 +36,8 @@ use baselines::{gang_schedule, sequential_lpt, RigidScheduler, TwoPhaseScheduler
 use malleable_core::bounds;
 use malleable_core::solver::core_registry;
 pub use malleable_core::solver::{
-    CanonicalListSolver, MrtSolver, SolveOutcome, SolveRequest, Solver, SolverCapabilities,
-    SolverHandle, SolverRegistry,
+    CanonicalListSolver, ConfigValue, MrtSolver, SolveOutcome, SolveRequest, Solver,
+    SolverCapabilities, SolverConfig, SolverHandle, SolverRegistry,
 };
 use malleable_core::workspace::ProbeWorkspace;
 use malleable_core::Schedule;
@@ -84,15 +84,38 @@ impl TwoPhaseSolver {
             rigid: RigidScheduler::Ffdh,
         }
     }
-}
 
-impl Solver for TwoPhaseSolver {
-    fn name(&self) -> &'static str {
-        match self.rigid {
+    /// The rigid phase this request selects: the `rigid` config key
+    /// (`ffdh`/`nfdh`/`list`) when present, the constructor state otherwise —
+    /// so one registered handle can serve any phase per call.
+    fn effective_rigid(
+        &self,
+        request: &SolveRequest<'_>,
+    ) -> malleable_core::Result<RigidScheduler> {
+        match request.config_text("rigid") {
+            None => Ok(self.rigid),
+            Some("ffdh") => Ok(RigidScheduler::Ffdh),
+            Some("nfdh") => Ok(RigidScheduler::Nfdh),
+            Some("list") => Ok(RigidScheduler::List),
+            Some(other) => Err(malleable_core::Error::InvalidConfig {
+                key: "rigid",
+                message: format!("`{other}` is not one of ffdh, nfdh, list"),
+            }),
+        }
+    }
+
+    fn rigid_name(rigid: RigidScheduler) -> &'static str {
+        match rigid {
             RigidScheduler::Ffdh => "ludwig",
             RigidScheduler::Nfdh => "twy-nfdh",
             RigidScheduler::List => "twy-list",
         }
+    }
+}
+
+impl Solver for TwoPhaseSolver {
+    fn name(&self) -> &'static str {
+        Self::rigid_name(self.rigid)
     }
 
     fn capabilities(&self) -> SolverCapabilities {
@@ -110,8 +133,9 @@ impl Solver for TwoPhaseSolver {
     }
 
     fn solve(&self, request: &SolveRequest<'_>) -> malleable_core::Result<SolveOutcome> {
-        heuristic_outcome(self.name(), request, || {
-            TwoPhaseScheduler { rigid: self.rigid }.schedule(request.instance)
+        let rigid = self.effective_rigid(request)?;
+        heuristic_outcome(Self::rigid_name(rigid), request, || {
+            TwoPhaseScheduler { rigid }.schedule(request.instance)
         })
     }
 }
@@ -373,9 +397,11 @@ impl Solver for FallbackSolver {
 }
 
 /// The full workspace registry: the core solvers (`mrt`, `list`) plus every
-/// baseline (`ludwig`, `twy-list`, `twy-nfdh`, `gang`, `lpt`) and the
-/// `precedence` extension scheduler, with the legacy CLI spellings
-/// registered as aliases.
+/// baseline (`ludwig`, `twy-list`, `twy-nfdh`, `gang`, `lpt`), the
+/// `precedence` extension scheduler, and the heterogeneous-cluster solvers
+/// (`hetero-lp`, `hetero-greedy` — cluster selected per request via the
+/// `machine-classes` config key), with the legacy CLI spellings registered
+/// as aliases.
 pub fn default_registry() -> SolverRegistry {
     let mut registry = core_registry();
     registry.register("ludwig", &["two-phase", "ludwig-2phase"], || {
@@ -397,6 +423,12 @@ pub fn default_registry() -> SolverRegistry {
     });
     registry.register("precedence", &["cpa", "precedence-cpa"], || {
         Arc::new(PrecedenceSolver)
+    });
+    registry.register("hetero-lp", &["hetero"], || {
+        Arc::new(hetero::HeteroSolver::lp())
+    });
+    registry.register("hetero-greedy", &[], || {
+        Arc::new(hetero::HeteroSolver::greedy())
     });
     registry
 }
@@ -426,7 +458,9 @@ mod tests {
                 "twy-nfdh",
                 "gang",
                 "lpt",
-                "precedence"
+                "precedence",
+                "hetero-lp",
+                "hetero-greedy"
             ]
         );
         for (alias, canonical) in [
@@ -435,6 +469,7 @@ mod tests {
             ("sequential", "lpt"),
             ("canonical-list", "list"),
             ("cpa", "precedence"),
+            ("hetero", "hetero-lp"),
         ] {
             assert_eq!(registry.resolve(alias), Some(canonical), "{alias}");
         }
@@ -480,6 +515,78 @@ mod tests {
                 .schedule(&pinstance)
                 .unwrap()
         );
+    }
+
+    #[test]
+    fn rigid_config_key_overrides_constructor_state() {
+        let inst = instance(7);
+        let ludwig = TwoPhaseSolver::ludwig();
+        // Without a config the constructor state decides.
+        let plain = ludwig.solve(&SolveRequest::new(&inst)).unwrap();
+        assert_eq!(plain.solver, "ludwig");
+        // The `rigid` key re-targets the phase-2 scheduler per call; the
+        // outcome matches the handle that has the phase as constructor state.
+        for (key, name, rigid) in [
+            ("ffdh", "ludwig", RigidScheduler::Ffdh),
+            ("nfdh", "twy-nfdh", RigidScheduler::Nfdh),
+            ("list", "twy-list", RigidScheduler::List),
+        ] {
+            let config = SolverConfig::new().with_text("rigid", key);
+            let outcome = ludwig
+                .solve(&SolveRequest::new(&inst).with_config(&config))
+                .unwrap();
+            assert_eq!(outcome.solver, name, "{key}");
+            let dedicated = TwoPhaseSolver { rigid }
+                .solve(&SolveRequest::new(&inst))
+                .unwrap();
+            assert_eq!(outcome.schedule, dedicated.schedule, "{key}");
+        }
+        // Unknown rigid phases are rejected with a typed config error.
+        let bad = SolverConfig::new().with_text("rigid", "magic");
+        match ludwig.solve(&SolveRequest::new(&inst).with_config(&bad)) {
+            Err(malleable_core::Error::InvalidConfig { key, .. }) => assert_eq!(key, "rigid"),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        // Solvers that do not understand the key ignore it (the documented
+        // unknown-knob contract).
+        let outcome = GangSolver
+            .solve(&SolveRequest::new(&inst).with_config(&bad))
+            .unwrap();
+        assert!(outcome.schedule.validate(&inst).is_ok());
+    }
+
+    #[test]
+    fn hetero_lp_reproduces_mrt_on_a_uniform_cluster() {
+        // The identical-machines parity guarantee, exercised through the
+        // registry: without a `machine-classes` key the classed solver runs
+        // on the uniform single-class cluster and must reproduce the `mrt`
+        // schedule exactly — same makespan, same probes, bit for bit.
+        let registry = default_registry();
+        let classed = registry.get("hetero-lp").expect("registered");
+        let mrt = registry.get("mrt").expect("registered");
+        for seed in [3, 5, 11] {
+            let inst = instance(seed);
+            let request =
+                SolveRequest::new(&inst).with_mode(malleable_core::prelude::SearchMode::Exact);
+            let a = classed.solve(&request).unwrap();
+            let b = mrt.solve(&request).unwrap();
+            assert_eq!(a.schedule, b.schedule, "seed {seed}");
+            assert_eq!(a.makespan(), b.makespan(), "seed {seed}");
+            assert_eq!(a.probes, b.probes, "seed {seed}");
+        }
+        // With a classed spec the same handle splits the machine; the
+        // LP assignment must not lose to the speed-blind ablation.
+        let inst = instance(7);
+        let run = |assign: &str| {
+            let config = SolverConfig::new()
+                .with_text("machine-classes", "old=4x1.0,new=4x2.5")
+                .with_text("assign", assign);
+            classed
+                .solve(&SolveRequest::new(&inst).with_config(&config))
+                .unwrap()
+                .makespan()
+        };
+        assert!(run("lp") <= run("blind") + 1e-9);
     }
 
     #[test]

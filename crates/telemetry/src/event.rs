@@ -146,6 +146,29 @@ pub enum TelemetryEvent {
         /// Simulated time the retry re-enters the queue.
         at: f64,
     },
+    /// Per-machine-class utilisation over a classed run: the integral of
+    /// busy processors within the class pool against the capacity the pool
+    /// offered over the horizon.
+    ClassUtilization {
+        /// Machine-class name (from the cluster spec).
+        class: String,
+        /// Integral of busy processors within the class over the horizon.
+        busy: f64,
+        /// `count × horizon` — the processor-time the class offered.
+        capacity: f64,
+    },
+    /// A queued task was re-assigned from one machine class to another by
+    /// an epoch re-solve (running tasks never migrate).
+    ClassMigration {
+        /// Simulated time of the re-assignment.
+        time: f64,
+        /// Task id from the arrival trace.
+        task: u64,
+        /// Class the task was previously assigned to.
+        from_class: String,
+        /// Class the task is now assigned to.
+        to_class: String,
+    },
     /// The primary solver faulted and the epoch was degraded to the
     /// fallback solver.
     SolverDegraded {
@@ -177,6 +200,8 @@ impl TelemetryEvent {
             TelemetryEvent::ProcessorUp { .. } => "processor_up",
             TelemetryEvent::TaskFailure { .. } => "task_failure",
             TelemetryEvent::RetryScheduled { .. } => "retry_scheduled",
+            TelemetryEvent::ClassUtilization { .. } => "class_utilization",
+            TelemetryEvent::ClassMigration { .. } => "class_migration",
             TelemetryEvent::SolverDegraded { .. } => "solver_degraded",
         }
     }
@@ -304,6 +329,28 @@ impl TelemetryEvent {
                 "attempt": *attempt,
                 "at": *at,
             }),
+            TelemetryEvent::ClassUtilization {
+                class,
+                busy,
+                capacity,
+            } => json!({
+                "type": "class_utilization",
+                "class": class.as_str(),
+                "busy": *busy,
+                "capacity": *capacity,
+            }),
+            TelemetryEvent::ClassMigration {
+                time,
+                task,
+                from_class,
+                to_class,
+            } => json!({
+                "type": "class_migration",
+                "time": *time,
+                "task": *task,
+                "from_class": from_class.as_str(),
+                "to_class": to_class.as_str(),
+            }),
             TelemetryEvent::SolverDegraded {
                 solve_index,
                 solver,
@@ -399,6 +446,17 @@ impl TelemetryEvent {
                 attempt: int("attempt")? as usize,
                 at: time("at")?,
             },
+            "class_utilization" => TelemetryEvent::ClassUtilization {
+                class: text("class")?,
+                busy: time("busy")?,
+                capacity: time("capacity")?,
+            },
+            "class_migration" => TelemetryEvent::ClassMigration {
+                time: time("time")?,
+                task: int("task")?,
+                from_class: text("from_class")?,
+                to_class: text("to_class")?,
+            },
             "solver_degraded" => TelemetryEvent::SolverDegraded {
                 solve_index: int("solve_index")?,
                 solver: text("solver")?,
@@ -485,6 +543,17 @@ mod tests {
                 solver: "mrt".into(),
                 fallback: "list".into(),
                 reason: "time budget".into(),
+            },
+            TelemetryEvent::ClassUtilization {
+                class: "new".into(),
+                busy: 18.5,
+                capacity: 24.0,
+            },
+            TelemetryEvent::ClassMigration {
+                time: 6.0,
+                task: 11,
+                from_class: "old".into(),
+                to_class: "new".into(),
             },
         ]
     }

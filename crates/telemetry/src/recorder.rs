@@ -73,6 +73,9 @@ pub mod names {
     /// Counter: epoch solves degraded from the primary to the fallback
     /// solver.
     pub const SOLVER_DEGRADED: &str = "solver.degraded";
+    /// Counter: queued tasks re-assigned between machine classes by an
+    /// epoch re-solve of the classed engine.
+    pub const CLASS_MIGRATIONS: &str = "engine.class_migrations";
 }
 
 /// A sink for telemetry signals.

@@ -39,6 +39,7 @@ pub mod arrivals;
 pub mod families;
 pub mod faults;
 pub mod generator;
+pub mod hetero;
 pub mod io;
 pub mod residual;
 pub mod stats;
@@ -50,6 +51,7 @@ pub use arrivals::{
 pub use families::SpeedupFamily;
 pub use faults::{FaultConfig, FaultPlan, Outage, RetryPolicy};
 pub use generator::{WorkMix, WorkloadConfig, WorkloadGenerator};
+pub use hetero::{classed_trace, parse_class_specs, total_class_processors, ClassSpec};
 pub use io::{instance_from_json, instance_to_json, instances_approx_equal};
 pub use residual::{executed_fraction, residual_profile, residual_task};
 pub use stats::{describe, InstanceStats};

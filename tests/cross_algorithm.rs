@@ -187,6 +187,15 @@ fn registry_solvers_match_their_legacy_entry_points() {
                 .unwrap(),
                 "gang" => baselines::gang_schedule(&instance),
                 "lpt" => baselines::sequential_lpt(&instance),
+                // Without a `machine-classes` config the classed solvers run
+                // on the uniform single-class cluster — the identical-machines
+                // special case, which must reproduce the paper's solver.
+                "hetero-lp" | "hetero-greedy" => {
+                    MrtScheduler::default()
+                        .schedule(&instance)
+                        .unwrap()
+                        .schedule
+                }
                 "precedence" => {
                     let graph =
                         precedence::TaskGraph::independent(instance.tasks().to_vec()).unwrap();
