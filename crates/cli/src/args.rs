@@ -125,6 +125,14 @@ pub enum Command {
         solver: String,
         search: SearchChoice,
         epoch: f64,
+        /// Partition the cluster into this many per-shard timelines and run
+        /// the sharded parallel engine (epoch policies only; 1 = the
+        /// event-driven engine).
+        shards: usize,
+        /// Plan arrival-only epochs as deltas against the surviving
+        /// schedule, falling back to a full re-solve after departures or
+        /// faults (epoch policies with a preemption flag only).
+        delta_plan: bool,
         /// First-fit placements into idle holes below the frontier.
         backfill: bool,
         /// Revoke queued commitments at epoch boundaries and re-solve them
@@ -263,6 +271,7 @@ USAGE:
                            patience with mean P: tasks not started in time depart)
   malleable-sched online   [--trace FILE] --policy <greedy|epoch-mrt|epoch-ludwig|epoch-list|batch-idle>
                            [--epoch D] [--solver NAME] [--search <exact|bisect>]
+                           [--shards N] [--delta-plan]
                            [--backfill] [--preempt-queued] [--preempt-running]
                            [--machine-classes old=8x1.0,new=4x2.0]
                            [--mtbf T [--mttr T]] [--task-failure-rate P]
@@ -271,7 +280,16 @@ USAGE:
                            [--telemetry events.jsonl] [--json] [--no-validate]
                            [--output schedule.json]
                            (without --trace, the trace flags of `trace` generate one
-                           inline; --backfill first-fits placements into idle holes
+                           inline; --shards N partitions the cluster into N per-shard
+                           timelines and runs the sharded parallel engine — epoch
+                           solves for different shards run concurrently and queued
+                           tasks are stolen from overloaded shards at epoch
+                           boundaries; epoch policies only, not combinable with the
+                           fault, departure, class or preemption flags; --delta-plan
+                           makes preemptive epoch policies plan arrival-only epochs
+                           as deltas (no revocations), falling back to a full
+                           re-solve after departures or faults;
+                           --backfill first-fits placements into idle holes
                            below the frontier; --preempt-queued makes epoch policies
                            revoke not-yet-started commitments at every epoch boundary
                            and re-solve them with the pending set; --preempt-running
@@ -472,6 +490,8 @@ impl Cli {
         let mut solver_from_policy: Option<String> = None;
         let mut search = SearchChoice::default();
         let mut epoch = 1.0f64;
+        let mut shards = 1usize;
+        let mut delta_plan = false;
         let mut backfill = false;
         let mut preempt_queued = false;
         let mut preempt_running = false;
@@ -528,6 +548,8 @@ impl Cli {
                 }
                 "--search" => search = SearchChoice::parse(stream.value_for("--search")?)?,
                 "--epoch" => epoch = parse_number("--epoch", stream.value_for("--epoch")?)?,
+                "--shards" => shards = parse_number("--shards", stream.value_for("--shards")?)?,
+                "--delta-plan" => delta_plan = true,
                 "--backfill" => backfill = true,
                 "--preempt-queued" => preempt_queued = true,
                 "--preempt-running" => preempt_running = true,
@@ -599,6 +621,8 @@ impl Cli {
                 .unwrap_or_else(|| "mrt".to_string()),
             search,
             epoch,
+            shards,
+            delta_plan,
             backfill,
             preempt_queued,
             preempt_running,

@@ -8,8 +8,8 @@ use std::result::Result;
 
 use malleable_core::prelude::*;
 use online::{
-    competitive_report, validate_against_trace, validate_fault_run, EpochReplan, OnlinePolicy,
-    PolicyKind, PolicyOptions,
+    competitive_report, run_sharded, validate_against_trace, validate_fault_run, CollectingSink,
+    EpochReplan, OnlinePolicy, PolicyKind, PolicyOptions, ShardedConfig,
 };
 use serde_json::{json, Value};
 use simulator::{render_gantt, simulate, validate_schedule};
@@ -125,6 +125,8 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             solver,
             search,
             epoch,
+            shards,
+            delta_plan,
             backfill,
             preempt_queued,
             preempt_running,
@@ -152,6 +154,8 @@ pub fn run(cli: &Cli) -> Result<String, CliError> {
             solver,
             search: *search,
             epoch: *epoch,
+            shards: *shards,
+            delta_plan: *delta_plan,
             backfill: *backfill,
             preempt_queued: *preempt_queued,
             preempt_running: *preempt_running,
@@ -257,6 +261,8 @@ struct OnlineArgs<'a> {
     solver: &'a str,
     search: SearchChoice,
     epoch: f64,
+    shards: usize,
+    delta_plan: bool,
     backfill: bool,
     preempt_queued: bool,
     preempt_running: bool,
@@ -281,8 +287,34 @@ struct OnlineArgs<'a> {
 }
 
 fn run_online(args: OnlineArgs) -> Result<String, CliError> {
+    if args.shards == 0 {
+        return Err(CliError::Invalid(
+            "--shards must be at least 1 (use --shards 1 for the single-shard \
+             event-driven engine)"
+                .to_string(),
+        ));
+    }
+    if args.delta_plan
+        && (args.policy != PolicyChoice::Epoch || !(args.preempt_queued || args.preempt_running))
+    {
+        return Err(CliError::Invalid(
+            "--delta-plan only affects preemptive epoch policies; combine it with an \
+             epoch policy (--policy epoch-mrt) and --preempt-queued or --preempt-running"
+                .to_string(),
+        ));
+    }
     if let Some(spec) = args.machine_classes {
+        if args.shards > 1 {
+            return Err(CliError::Invalid(
+                "--shards cannot be combined with --machine-classes; the classed engine \
+                 has its own per-class pools"
+                    .to_string(),
+            ));
+        }
         return run_online_classed(&args, spec);
+    }
+    if args.shards > 1 {
+        return run_online_sharded(&args);
     }
     let trace = match args.trace {
         Some(path) => {
@@ -357,6 +389,7 @@ fn run_online(args: OnlineArgs) -> Result<String, CliError> {
         backfill: args.backfill,
         preempt_queued: args.preempt_queued,
         preempt_running: args.preempt_running,
+        delta_plan: args.delta_plan,
         recorder: recorder.clone().map(|handle| handle as SharedRecorder),
     };
     let mut policy: Box<dyn OnlinePolicy> = match args.policy {
@@ -371,7 +404,8 @@ fn run_online(args: OnlineArgs) -> Result<String, CliError> {
                 .with_search(search_mode(args.search))
                 .with_backfill(args.backfill)
                 .with_preempt_queued(args.preempt_queued)
-                .with_preempt_running(args.preempt_running);
+                .with_preempt_running(args.preempt_running)
+                .with_delta_planning(args.delta_plan);
             if let Some(handle) = &recorder {
                 epoch_policy = epoch_policy.with_recorder(handle.clone() as SharedRecorder);
             }
@@ -523,6 +557,186 @@ fn run_online(args: OnlineArgs) -> Result<String, CliError> {
             if let Some(path) = args.telemetry {
                 text.push_str(&format!("telemetry stream written to {path}\n"));
             }
+        }
+        text
+    };
+    match args.output {
+        Some(path) if !args.json => Ok(out + &format!("schedule written to {path}\n")),
+        _ => Ok(out),
+    }
+}
+
+/// The `--shards N` branch of `online`: partition the cluster into N
+/// per-shard timelines and run the sharded parallel engine (concurrent
+/// epoch solves, work stealing at epoch boundaries), reporting the
+/// shard-level breakdown next to the usual metrics.
+fn run_online_sharded(args: &OnlineArgs) -> Result<String, CliError> {
+    if args.policy != PolicyChoice::Epoch {
+        return Err(CliError::Invalid(
+            "--shards runs the sharded epoch engine; pick an epoch policy \
+             (--policy epoch-mrt)"
+                .to_string(),
+        ));
+    }
+    if args.mtbf.is_some() || args.task_failure_rate > 0.0 || args.solver_fault.is_some() {
+        return Err(CliError::Invalid(
+            "--shards cannot be combined with the fault-injection flags \
+             (--mtbf, --task-failure-rate, --solver-fault)"
+                .to_string(),
+        ));
+    }
+    if args.preempt_queued || args.preempt_running || args.delta_plan {
+        return Err(CliError::Invalid(
+            "--shards cannot be combined with the preemption flags or --delta-plan; \
+             shard epochs plan arrivals only"
+                .to_string(),
+        ));
+    }
+    if args.departure_patience.is_some() {
+        return Err(CliError::Invalid(
+            "--shards cannot be combined with --departure-patience; the sharded \
+             engine does not model departures"
+                .to_string(),
+        ));
+    }
+    let trace = match args.trace {
+        Some(path) => {
+            let text = read_file(path)?;
+            trace_from_json(&text).map_err(|e| CliError::Invalid(format!("{path}: {e}")))?
+        }
+        None => build_trace(
+            args.family,
+            args.pattern,
+            args.tasks,
+            args.processors,
+            args.seed,
+            None,
+        )?,
+    };
+    if trace.has_departures() {
+        return Err(CliError::Invalid(
+            "the sharded engine does not model departures; re-generate the trace \
+             without them"
+                .to_string(),
+        ));
+    }
+    let solver = resolve_solver(args.solver)?;
+    let mut config =
+        ShardedConfig::new(args.shards, args.epoch, solver).with_backfill(args.backfill);
+    config.search = search_mode(args.search);
+    let recorder = args.telemetry.is_some().then(CollectingRecorder::shared);
+    let mut sink = CollectingSink::new(trace.processors());
+    let result = run_sharded(
+        &trace,
+        &config,
+        &mut sink,
+        recorder.clone().map(|handle| handle as SharedRecorder),
+    )
+    .map_err(|e| CliError::Scheduling(e.to_string()))?;
+    let schedule = sink.into_schedule();
+
+    let validation = (!args.no_validate).then(|| validate_against_trace(&trace, &schedule));
+    if let Some(violations) = &validation {
+        if !violations.is_empty() {
+            let mut out = String::from("INVALID sharded online schedule:\n");
+            for violation in violations {
+                out.push_str(&format!("  - {violation}\n"));
+            }
+            return Err(CliError::Invalid(out));
+        }
+    }
+    if let (Some(handle), Some(path)) = (&recorder, args.telemetry) {
+        let mut buffer = Vec::new();
+        handle.write_jsonl(&mut buffer).map_err(|e| CliError::Io {
+            path: path.to_string(),
+            message: e.to_string(),
+        })?;
+        let text =
+            String::from_utf8(buffer).expect("JSONL telemetry streams are UTF-8 by construction");
+        write_file(path, &text)?;
+    }
+    if let Some(path) = args.output {
+        write_file(path, &schedule_to_json(&schedule))?;
+    }
+
+    let out = if args.json {
+        let per_shard: Vec<Value> = result
+            .per_shard
+            .iter()
+            .map(|s| {
+                json!({
+                    "shard": s.shard,
+                    "first_processor": s.first_processor,
+                    "processors": s.processors,
+                    "placements": s.placements,
+                    "solves": s.solves,
+                    "solve_ns": s.solve_ns,
+                    "probes": s.probes,
+                    "steals_in": s.steals_in,
+                    "steals_out": s.steals_out,
+                    "makespan": s.makespan,
+                })
+            })
+            .collect();
+        let doc = json!({
+            "policy": result.policy.clone(),
+            "shards": result.shards,
+            "tasks": trace.len(),
+            "processors": trace.processors(),
+            "last_arrival": trace.last_arrival(),
+            "placed": result.placed,
+            "online_makespan": result.makespan,
+            "mean_flow_time": result.mean_flow_time,
+            "max_flow_time": result.max_flow_time,
+            "utilization": result.utilization(trace.processors()),
+            "rounds": result.rounds,
+            "solves": result.solves,
+            "steals": result.steals,
+            "solve_critical_ns": result.solve_critical_ns,
+            "solve_total_ns": result.solve_total_ns,
+            "run_ns": result.run_ns,
+            "invariant_violations": result.invariant_violations,
+            "per_shard": per_shard,
+            "validated": validation.is_some(),
+            "schedule_file": args.output,
+            "telemetry_file": args.telemetry,
+        });
+        let mut text = serde_json::to_string_pretty(&doc).expect("report serialisation");
+        text.push('\n');
+        text
+    } else {
+        let mut text = format!(
+            "policy           : {}\ntrace            : {} tasks on {} processors (last arrival {:.4})\nonline makespan  : {:.4}\nmean flow time   : {:.4}\nmax flow time    : {:.4}\nutilisation      : {:.1}%\nrounds           : {}\nsolves           : {}\nsteals           : {}\nsolve critical   : {:.3} ms (total {:.3} ms across shards)\nvalidation       : {}\n",
+            result.policy,
+            trace.len(),
+            trace.processors(),
+            trace.last_arrival(),
+            result.makespan,
+            result.mean_flow_time,
+            result.max_flow_time,
+            100.0 * result.utilization(trace.processors()),
+            result.rounds,
+            result.solves,
+            result.steals,
+            result.solve_critical_ns as f64 / 1e6,
+            result.solve_total_ns as f64 / 1e6,
+            if validation.is_some() { "OK" } else { "skipped" },
+        );
+        for s in &result.per_shard {
+            text.push_str(&format!(
+                "  shard {}: p{}..p{} — {} placed over {} solves, {} stolen in / {} out, makespan {:.4}\n",
+                s.shard,
+                s.first_processor,
+                s.first_processor + s.processors - 1,
+                s.placements,
+                s.solves,
+                s.steals_in,
+                s.steals_out,
+                s.makespan,
+            ));
+        }
+        if let Some(path) = args.telemetry {
+            text.push_str(&format!("telemetry stream written to {path}\n"));
         }
         text
     };
@@ -1048,6 +1262,149 @@ mod tests {
             .unwrap();
             assert!(out.contains("validation       : OK"), "{search}: {out}");
         }
+    }
+
+    #[test]
+    fn online_sharded_runs_validate_and_report_shards() {
+        for shards in ["2", "4"] {
+            let out = run_args(&args(&[
+                "online",
+                "--policy",
+                "epoch-mrt",
+                "--shards",
+                shards,
+                "--pattern",
+                "bursty",
+                "--burst-size",
+                "10",
+                "--burst-gap",
+                "2",
+                "--tasks",
+                "40",
+                "--processors",
+                "8",
+                "--seed",
+                "5",
+            ]))
+            .unwrap();
+            assert!(out.contains("validation       : OK"), "{shards}: {out}");
+            assert!(
+                out.contains(&format!("sharded-epoch-mrt(d=1)x{shards}")),
+                "{out}"
+            );
+            assert!(out.contains("shard 0: p0..p"), "{out}");
+        }
+        // --shards 1 stays on the event-driven engine (full report).
+        let out = run_args(&args(&[
+            "online",
+            "--policy",
+            "epoch-mrt",
+            "--shards",
+            "1",
+            "--tasks",
+            "20",
+            "--processors",
+            "8",
+            "--seed",
+            "5",
+        ]))
+        .unwrap();
+        assert!(out.contains("ratio vs LB"), "{out}");
+    }
+
+    #[test]
+    fn online_sharded_json_reports_per_shard_breakdown() {
+        let out = run_args(&args(&[
+            "online",
+            "--policy",
+            "epoch-mrt",
+            "--shards",
+            "4",
+            "--tasks",
+            "32",
+            "--processors",
+            "8",
+            "--seed",
+            "9",
+            "--json",
+        ]))
+        .unwrap();
+        let doc: Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(doc.get("shards").unwrap().as_u64(), Some(4));
+        assert_eq!(doc.get("placed").unwrap().as_u64(), Some(32));
+        assert_eq!(doc.get("invariant_violations").unwrap().as_u64(), Some(0));
+        assert_eq!(doc.get("per_shard").unwrap().as_array().unwrap().len(), 4);
+        assert!(doc.get("solve_critical_ns").unwrap().as_u64().unwrap() > 0);
+    }
+
+    #[test]
+    fn sharded_and_delta_flags_reject_unsupported_combinations() {
+        for argv in [
+            // --shards needs an epoch policy and at least one shard.
+            vec!["online", "--policy", "greedy", "--shards", "2"],
+            vec!["online", "--policy", "epoch-mrt", "--shards", "0"],
+            // ... and cannot mix with faults, classes, preemption or departures.
+            vec![
+                "online",
+                "--policy",
+                "epoch-mrt",
+                "--shards",
+                "2",
+                "--mtbf",
+                "4",
+            ],
+            vec![
+                "online",
+                "--policy",
+                "epoch-mrt",
+                "--shards",
+                "2",
+                "--machine-classes",
+                "old=4x1.0,new=4x2.0",
+            ],
+            vec![
+                "online",
+                "--policy",
+                "epoch-mrt",
+                "--shards",
+                "2",
+                "--preempt-queued",
+            ],
+            vec![
+                "online",
+                "--policy",
+                "epoch-mrt",
+                "--shards",
+                "2",
+                "--departure-patience",
+                "3",
+            ],
+            // --delta-plan needs a preemptive epoch policy.
+            vec!["online", "--policy", "greedy", "--delta-plan"],
+            vec!["online", "--policy", "epoch-mrt", "--delta-plan"],
+        ] {
+            assert!(run_args(&args(&argv)).is_err(), "{argv:?} should fail");
+        }
+    }
+
+    #[test]
+    fn online_delta_plan_runs_with_preemption() {
+        let out = run_args(&args(&[
+            "online",
+            "--policy",
+            "epoch-mrt",
+            "--preempt-queued",
+            "--delta-plan",
+            "--tasks",
+            "24",
+            "--processors",
+            "8",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+        assert!(out.contains("validation       : OK"), "{out}");
+        assert!(out.contains("+delta"), "{out}");
     }
 
     #[test]

@@ -420,6 +420,12 @@ fn run_inner(
     // repair event fires.
     let mut outage_log: Vec<Outage> = Vec::new();
     let mut tick_scheduled = false;
+    // Structural delta-planning bookkeeping (policies opting in via
+    // `OnlinePolicy::delta_planning`): set on departures and fault events,
+    // cleared after a planned epoch tick.  While clean, epoch boundaries
+    // skip the preemptive revocation pass and plan only fresh arrivals
+    // against the surviving schedule.
+    let mut structural_dirty = false;
     // Running maximum of committed start times, for the backfill telemetry
     // flag: a placement beginning strictly before it filled an earlier hole.
     let mut latest_committed_start = 0.0f64;
@@ -771,6 +777,12 @@ fn run_inner(
             }
         };
 
+        if matches!(trigger, Some(Trigger::Departure | Trigger::Fault)) {
+            // The committed schedule lost structure (a departure or fault
+            // disturbed it): the next epoch tick must re-solve in full.
+            structural_dirty = true;
+        }
+
         if let Some(trigger) = trigger {
             if trigger == Trigger::EpochTick {
                 let now = machine.now();
@@ -794,7 +806,20 @@ fn run_inner(
                 // backlog as one instance.  Running re-allotment subsumes
                 // this — a frozen queued placement would defeat the joint
                 // re-solve.
-                if policy.preempt_queued() || policy.preempt_running() {
+                // Structural delta-planning: while no departure or fault has
+                // disturbed the committed schedule since the last planned
+                // tick, an opted-in policy keeps every surviving commitment
+                // and plans only the fresh arrivals — the whole preemptive
+                // pass below is skipped for this epoch.
+                let delta_epoch = policy.delta_planning()
+                    && !structural_dirty
+                    && (policy.preempt_queued() || policy.preempt_running());
+                if delta_epoch && !pending.is_empty() {
+                    if let Some(rec) = recorder {
+                        rec.add(names::DELTA_PLANS, 1);
+                    }
+                }
+                if !delta_epoch && (policy.preempt_queued() || policy.preempt_running()) {
                     for (task, state) in states.iter_mut().enumerate() {
                         if let TaskState::Committed(c) = *state {
                             machine
@@ -826,7 +851,7 @@ fn run_inner(
                 // fraction).  Only worthwhile when there is fresh or
                 // re-queued work to co-schedule: with an empty pending set
                 // the re-solve could only replay the same tails.
-                if policy.preempt_running() && !pending.is_empty() {
+                if !delta_epoch && policy.preempt_running() && !pending.is_empty() {
                     for (task, state) in states.iter_mut().enumerate() {
                         if let TaskState::Running(r) = *state {
                             let c = r.commitment;
@@ -1016,6 +1041,11 @@ fn run_inner(
                         }
                     }
                     latest_committed_start = latest_committed_start.max(c.start);
+                }
+                if trigger == Trigger::EpochTick {
+                    // The tick was planned (in full or as an arrival-only
+                    // delta): the surviving schedule is fresh again.
+                    structural_dirty = false;
                 }
             }
 
@@ -1828,6 +1858,61 @@ mod tests {
             assert!(report.is_valid(), "{:?}", report.violations);
             assert_eq!(result.schedule.len(), trace.len());
         }
+    }
+
+    #[test]
+    fn delta_planning_skips_revocations_on_arrival_only_epochs() {
+        // Same scenario as above, but with structural delta-planning on: the
+        // trace has no departures or faults, so *every* epoch is
+        // arrival-only, the revocation sweep is skipped wholesale and the
+        // run degrades to the non-preemptive outcome (makespan 9, nothing
+        // preempted) while counting its delta plans.
+        let trace = queued_reallotment_scenario();
+        let recorder = ::telemetry::CollectingRecorder::shared();
+        let mut policy = EpochReplan::mrt(1.0)
+            .unwrap()
+            .with_preempt_queued(true)
+            .with_delta_planning(true);
+        assert!(policy.name().ends_with("+delta"), "{}", policy.name());
+        let result = run_recorded(&trace, &mut policy, recorder.as_ref()).unwrap();
+        assert_eq!(result.preempted, 0, "delta epochs must not revoke");
+        assert!((result.makespan - 9.0).abs() < 1e-9, "{}", result.makespan);
+        // Both planning ticks (the {A, B, C} epoch and the {E} epoch) were
+        // arrival-only deltas.
+        assert_eq!(recorder.counter(::telemetry::names::DELTA_PLANS), 2);
+        assert_eq!(recorder.counter(::telemetry::names::REVOCATIONS), 0);
+        assert!(validate_against_trace(&trace, &result.schedule).is_empty());
+    }
+
+    #[test]
+    fn delta_planning_falls_back_to_full_resolve_after_a_departure() {
+        // The queued-reallotment scenario plus a doomed task that arrives
+        // between the two epochs (t = 1.1) and departs while queued
+        // (t = 1.4).  The departure marks the plan structurally dirty, so
+        // the {E} epoch at t = 2 falls back to the full preemptive
+        // re-solve — revoking the queued C and recovering the preemptive
+        // makespan of 7.5 — even though delta-planning is on.  Only the
+        // first (clean) epoch counts as a delta plan.
+        let mut arrivals = queued_reallotment_scenario().arrivals().to_vec();
+        arrivals.push(
+            Arrival::new(
+                1.1,
+                MalleableTask::new(SpeedupProfile::sequential(3.0).unwrap()),
+            )
+            .departing_at(1.4),
+        );
+        let trace = ArrivalTrace::new(2, arrivals).unwrap();
+        let recorder = ::telemetry::CollectingRecorder::shared();
+        let mut policy = EpochReplan::mrt(1.0)
+            .unwrap()
+            .with_preempt_queued(true)
+            .with_delta_planning(true);
+        let result = run_recorded(&trace, &mut policy, recorder.as_ref()).unwrap();
+        assert_eq!(result.departed, 1);
+        assert!(result.preempted >= 1, "the dirty epoch must re-solve fully");
+        assert!((result.makespan - 7.5).abs() < 1e-9, "{}", result.makespan);
+        assert_eq!(recorder.counter(::telemetry::names::DELTA_PLANS), 1);
+        assert!(validate_against_trace(&trace, &result.schedule).is_empty());
     }
 
     #[test]

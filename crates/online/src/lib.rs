@@ -105,6 +105,7 @@ pub mod engine;
 pub mod event;
 pub mod machine;
 pub mod policy;
+pub mod shard;
 pub mod telemetry;
 
 pub use engine::{
@@ -117,5 +118,9 @@ pub use machine::{MachineState, Placement, ReservationError, ReservationId};
 pub use policy::{
     BatchUntilIdle, Commitment, EpochReplan, GreedyList, OnlinePolicy, PendingTask, PolicyKind,
     PolicyOptions, Trigger,
+};
+pub use shard::{
+    run_sharded, run_sharded_stream, CollectingSink, NullSink, PlacementSink, ShardStats,
+    ShardedConfig, ShardedResult, StreamedPlacement, TimedSolver,
 };
 pub use telemetry::{summarize, utilization_timeline, RunTelemetry, UtilizationSample};

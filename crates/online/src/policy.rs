@@ -149,6 +149,18 @@ pub trait OnlinePolicy {
         false
     }
 
+    /// Whether the engine should apply *structural delta-planning* at epoch
+    /// boundaries: when an epoch added only new arrivals since the previous
+    /// plan (no departures, no faults), skip the preemptive
+    /// revocation/truncation pass and plan just the fresh arrivals against
+    /// the surviving schedule.  Epochs that saw structural changes fall back
+    /// to the full preemptive re-solve.  Only meaningful together with
+    /// [`OnlinePolicy::preempt_queued`]/[`OnlinePolicy::preempt_running`];
+    /// off by default.
+    fn delta_planning(&self) -> bool {
+        false
+    }
+
     /// Whether the pending queue should be planned in reaction to `trigger`.
     fn should_plan(&self, trigger: Trigger, machine: &MachineState) -> bool;
 
@@ -371,6 +383,12 @@ pub struct EpochReplan {
     /// re-allotment mid-execution.  Implies the queued preemption of
     /// [`EpochReplan::preempt_queued`].
     pub preempt_running: bool,
+    /// Structural delta-planning: epochs that added only new arrivals plan
+    /// them against the surviving schedule instead of revoking and
+    /// re-solving the whole backlog; departures and faults force the full
+    /// preemptive re-solve.  Meaningful only with one of the preemption
+    /// flags set.
+    pub delta_plan: bool,
     /// Probe workspace kept across epochs (the warm state).
     workspace: ProbeWorkspace,
     /// `feasible ω / lower bound` of the previous epoch's solve, used to seed
@@ -391,6 +409,7 @@ impl std::fmt::Debug for EpochReplan {
             .field("backfill", &self.backfill)
             .field("preempt_queued", &self.preempt_queued)
             .field("preempt_running", &self.preempt_running)
+            .field("delta_plan", &self.delta_plan)
             .finish()
     }
 }
@@ -418,6 +437,7 @@ impl EpochReplan {
             backfill: false,
             preempt_queued: false,
             preempt_running: false,
+            delta_plan: false,
             workspace: ProbeWorkspace::new(),
             previous_omega_ratio: None,
             recorder: None,
@@ -456,6 +476,13 @@ impl EpochReplan {
         self
     }
 
+    /// Enable or disable structural delta-planning at epoch boundaries
+    /// (builder style); see [`OnlinePolicy::delta_planning`].
+    pub fn with_delta_planning(mut self, delta_plan: bool) -> Self {
+        self.delta_plan = delta_plan;
+        self
+    }
+
     /// Attach a telemetry recorder (builder style); see
     /// [`OnlinePolicy::set_recorder`].
     pub fn with_recorder(mut self, recorder: SharedRecorder) -> Self {
@@ -481,6 +508,9 @@ impl OnlinePolicy for EpochReplan {
         } else if self.preempt_queued {
             name.push_str("+preempt");
         }
+        if self.delta_plan {
+            name.push_str("+delta");
+        }
         name
     }
 
@@ -498,6 +528,10 @@ impl OnlinePolicy for EpochReplan {
 
     fn preempt_running(&self) -> bool {
         self.preempt_running
+    }
+
+    fn delta_planning(&self) -> bool {
+        self.delta_plan
     }
 
     fn should_plan(&self, trigger: Trigger, _machine: &MachineState) -> bool {
@@ -694,6 +728,10 @@ pub struct PolicyOptions {
     /// residuals jointly with the pending set — mid-execution re-allotment
     /// (epoch policies only; implies `preempt_queued`).
     pub preempt_running: bool,
+    /// Structural delta-planning: arrival-only epochs skip the preemptive
+    /// revocation pass and plan just the fresh arrivals (epoch policies
+    /// only; meaningful with a preemption flag set).
+    pub delta_plan: bool,
     /// Telemetry recorder attached to the built policy via
     /// [`OnlinePolicy::set_recorder`]; pass a clone of the handle given to
     /// [`crate::run_recorded`] so policy-side counters land in the same sink.
@@ -706,6 +744,7 @@ impl std::fmt::Debug for PolicyOptions {
             .field("backfill", &self.backfill)
             .field("preempt_queued", &self.preempt_queued)
             .field("preempt_running", &self.preempt_running)
+            .field("delta_plan", &self.delta_plan)
             .field("recorder", &self.recorder.is_some())
             .finish()
     }
@@ -728,7 +767,8 @@ impl PolicyKind {
                 EpochReplan::with_solver(*period, Arc::clone(solver))?
                     .with_backfill(options.backfill)
                     .with_preempt_queued(options.preempt_queued)
-                    .with_preempt_running(options.preempt_running),
+                    .with_preempt_running(options.preempt_running)
+                    .with_delta_planning(options.delta_plan),
             ),
             PolicyKind::Batch { solver } => Box::new(BatchUntilIdle {
                 solver: Arc::clone(solver),

@@ -1,0 +1,1364 @@
+//! The sharded parallel online engine.
+//!
+//! The event-driven engine in [`crate::engine`] is single-threaded over one
+//! global event heap and one [`MachineState`] — per-event cost is small, but
+//! a million-task trace pays it a million times over, serially.  This module
+//! trades the per-event engine for an **epoch-driven coordinator over
+//! per-shard timelines**:
+//!
+//! * the cluster's `m` processors are partitioned into `N` contiguous
+//!   shards, each owning its own [`MachineState`] (reservation timeline), a
+//!   private `ProbeWorkspace`, and its own cross-epoch warm-start state;
+//! * arrivals are ingested **in batches through a bounded staging queue**
+//!   (see [`ShardedConfig::batch`]) directly off a lazy iterator — a
+//!   [`workload::ArrivalStream`] feeds a million-task trace without ever
+//!   materialising it;
+//! * on every epoch boundary the coordinator assigns the fresh arrivals
+//!   round-robin to shards, **rebalances queued tasks from overloaded shards
+//!   to idle ones** (work stealing, below), and dispatches one epoch solve
+//!   per non-empty shard to long-lived worker threads under a single
+//!   [`std::thread::scope`] — different shards solve concurrently;
+//! * placements **stream incrementally** into a [`PlacementSink`] as each
+//!   epoch resolves, instead of accumulating a full [`Schedule`] in memory
+//!   (use [`CollectingSink`] when a schedule is wanted, [`NullSink`] when
+//!   only the aggregate statistics matter).
+//!
+//! ## Work stealing
+//!
+//! Before dispatching an epoch, the coordinator estimates each shard's load
+//! as its committed backlog beyond the clock (`free_horizon − now`) plus the
+//! optimistic runtime of its queued tasks (sequential work over shard
+//! width).  It then repeatedly moves one queued task from the most-loaded
+//! shard to the least-loaded one — picking the task that minimises the
+//! resulting maximum load, ties broken towards the lowest task id — until no
+//! single move strictly improves the balance.  Every move is counted
+//! (`engine.steals`) and emitted as a [`TelemetryEvent::Steal`].
+//!
+//! ## Equivalence contract
+//!
+//! With `shards == 1` the coordinator **delegates to the event-driven
+//! engine** with an [`EpochReplan`] policy built from the same
+//! configuration, so the single-shard behaviour is bit-for-bit identical to
+//! the existing engine by construction — the equivalence suite in the
+//! benchmark gates on it.  With `shards > 1` the partitioned run is a
+//! different (parallel) algorithm: every placement still respects arrival
+//! times and shard-local capacity (validated per round), but makespans may
+//! differ from the single-shard run in either direction, Graham anomalies
+//! included.
+//!
+//! Departures, faults and preemption are deliberately out of scope for the
+//! partitioned path; [`run_sharded`] rejects traces that use them.
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread;
+
+use crate::engine::{self, OnlineResult};
+use crate::machine::MachineState;
+use crate::policy::EpochReplan;
+use ::telemetry::{names, SharedRecorder, SpanTimer, TelemetryEvent};
+use malleable_core::prelude::*;
+use packing::reservations::TimelineStats;
+use workload::{Arrival, ArrivalTrace};
+
+/// Configuration of a sharded run: the cluster partition plus the epoch
+/// policy every shard runs locally.
+#[derive(Clone)]
+pub struct ShardedConfig {
+    /// Number of shards the cluster is partitioned into (`1 ..= m`; with 1
+    /// the run delegates to the event-driven engine).
+    pub shards: usize,
+    /// Epoch period of the per-shard re-planning grid.
+    pub period: f64,
+    /// The offline solver each shard invokes on its epoch batches.
+    pub solver: SolverHandle,
+    /// Search mode of warm-start-capable solvers.
+    pub search: SearchMode,
+    /// Keep each shard's probe workspace and interval hint across epochs.
+    pub warm_start: bool,
+    /// Run shard machines in backfill mode (placements first-fit into idle
+    /// holes below the frontier).
+    pub backfill: bool,
+    /// Capacity of the bounded arrival staging queue: how many undispatched
+    /// arrivals the coordinator holds in memory at once.  Ingestion refills
+    /// the queue from the trace iterator as epochs drain it, so peak memory
+    /// is `O(batch + arrivals per epoch)` regardless of trace length.
+    pub batch: usize,
+    /// Rebalance queued tasks from overloaded shards to idle ones at epoch
+    /// boundaries (on by default; meaningless with one shard).
+    pub steal: bool,
+}
+
+impl std::fmt::Debug for ShardedConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedConfig")
+            .field("shards", &self.shards)
+            .field("period", &self.period)
+            .field("solver", &self.solver.name())
+            .field("search", &self.search)
+            .field("warm_start", &self.warm_start)
+            .field("backfill", &self.backfill)
+            .field("batch", &self.batch)
+            .field("steal", &self.steal)
+            .finish()
+    }
+}
+
+impl ShardedConfig {
+    /// A sharded configuration with the given partition, epoch period and
+    /// solver, and the defaults of the event-driven epoch policy (exact
+    /// search, warm starts on, no backfill, stealing on, 4096-arrival
+    /// staging queue).
+    pub fn new(shards: usize, period: f64, solver: SolverHandle) -> Self {
+        ShardedConfig {
+            shards,
+            period,
+            solver,
+            search: SearchMode::Exact,
+            warm_start: true,
+            backfill: false,
+            batch: 4096,
+            steal: true,
+        }
+    }
+
+    /// Enable or disable work stealing (builder style).
+    pub fn with_steal(mut self, steal: bool) -> Self {
+        self.steal = steal;
+        self
+    }
+
+    /// Set the bounded ingestion queue capacity (builder style).
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Enable or disable backfill mode on the shard machines (builder
+    /// style).
+    pub fn with_backfill(mut self, backfill: bool) -> Self {
+        self.backfill = backfill;
+        self
+    }
+
+    /// Report-facing name of the configured engine.
+    pub fn policy_name(&self) -> String {
+        let mut name = format!(
+            "sharded-epoch-{}(d={})x{}",
+            self.solver.name(),
+            self.period,
+            self.shards
+        );
+        if self.backfill {
+            name.push_str("+backfill");
+        }
+        if !self.steal && self.shards > 1 {
+            name.push_str("-nosteal");
+        }
+        name
+    }
+
+    fn validate(&self, processors: usize) -> Result<()> {
+        if self.shards == 0 || self.shards > processors {
+            return Err(Error::InvalidParameter {
+                name: "shards",
+                value: self.shards as f64,
+            });
+        }
+        if !(self.period.is_finite() && self.period > 0.0) {
+            return Err(Error::InvalidParameter {
+                name: "epoch",
+                value: self.period,
+            });
+        }
+        if self.batch == 0 {
+            return Err(Error::InvalidParameter {
+                name: "batch",
+                value: 0.0,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One placement streamed out of the sharded engine, on the *global*
+/// processor numbering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamedPlacement {
+    /// Global task id (= arrival index of the trace).
+    pub task: TaskId,
+    /// When the task arrived.
+    pub arrived_at: f64,
+    /// Start time on the global timeline.
+    pub start: f64,
+    /// Execution time at the committed processor count.
+    pub duration: f64,
+    /// First processor of the contiguous block (global numbering).
+    pub first: usize,
+    /// Number of processors.
+    pub count: usize,
+    /// Shard that served the placement (0 for the single-shard delegation).
+    pub shard: usize,
+}
+
+/// A streaming consumer of placements: the sharded engine calls
+/// [`PlacementSink::place`] once per committed task, in commit order, so a
+/// million-task run never has to materialise its schedule.
+pub trait PlacementSink {
+    /// Accept one committed placement.
+    fn place(&mut self, placement: &StreamedPlacement);
+}
+
+/// A sink that discards placements — the aggregate statistics in
+/// [`ShardedResult`] are all that survives.  Use for throughput benchmarks
+/// where the schedule itself would dominate memory.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl PlacementSink for NullSink {
+    fn place(&mut self, _placement: &StreamedPlacement) {}
+}
+
+/// A sink that materialises the full [`Schedule`] (global processor
+/// numbering) — use when the run's output feeds validation or a report.
+#[derive(Debug, Clone)]
+pub struct CollectingSink {
+    schedule: Schedule,
+}
+
+impl CollectingSink {
+    /// An empty sink for a machine with `processors` processors.
+    pub fn new(processors: usize) -> Self {
+        CollectingSink {
+            schedule: Schedule::new(processors),
+        }
+    }
+
+    /// The collected schedule, in commit order.
+    pub fn into_schedule(self) -> Schedule {
+        self.schedule
+    }
+
+    /// Borrow the collected schedule.
+    pub fn schedule(&self) -> &Schedule {
+        &self.schedule
+    }
+}
+
+impl PlacementSink for CollectingSink {
+    fn place(&mut self, placement: &StreamedPlacement) {
+        self.schedule.push(ScheduledTask {
+            task: placement.task,
+            start: placement.start,
+            duration: placement.duration,
+            processors: ProcessorRange::new(placement.first, placement.count),
+        });
+    }
+}
+
+/// Per-shard statistics of a sharded run.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// First processor of the shard's contiguous block (global numbering).
+    pub first_processor: usize,
+    /// Number of processors the shard owns.
+    pub processors: usize,
+    /// Placements the shard committed.
+    pub placements: usize,
+    /// Epoch solves the shard served.
+    pub solves: usize,
+    /// Total wall nanoseconds spent inside the shard's solver.
+    pub solve_ns: u64,
+    /// Oracle probes issued through the shard's workspace.
+    pub probes: usize,
+    /// Queued tasks stolen *into* this shard.
+    pub steals_in: usize,
+    /// Queued tasks stolen *out of* this shard.
+    pub steals_out: usize,
+    /// Completion time of the shard's last placement.
+    pub makespan: f64,
+    /// The shard timeline's own operation counters.  Per-timeline by
+    /// construction — [`ShardedResult::timeline`] carries the correct
+    /// cross-shard aggregate (see [`TimelineStats::aggregate`]).
+    pub timeline: TimelineStats,
+}
+
+/// The outcome of one sharded run.
+#[derive(Debug, Clone)]
+pub struct ShardedResult {
+    /// Name of the engine configuration that produced the run.
+    pub policy: String,
+    /// Number of shards (1 for the delegated single-shard run).
+    pub shards: usize,
+    /// Number of tasks placed (every arrival, absent departures).
+    pub placed: usize,
+    /// Completion time of the last task on the global timeline.
+    pub makespan: f64,
+    /// Mean flow time (completion − arrival) over the placed tasks.
+    pub mean_flow_time: f64,
+    /// Largest flow time over the placed tasks.
+    pub max_flow_time: f64,
+    /// Integral of busy processors: `Σ duration × allotment`.
+    pub busy_integral: f64,
+    /// Epoch rounds the coordinator drove (planning rounds of the delegated
+    /// engine when `shards == 1`).
+    pub rounds: usize,
+    /// Per-shard epoch solves across the run (= `rounds` when one shard).
+    pub solves: usize,
+    /// Queued tasks moved between shards by work stealing.
+    pub steals: usize,
+    /// Solve-phase **critical path**: the sum over rounds of the slowest
+    /// shard's solve wall time — what a machine with one core per shard
+    /// would spend in the solve phase.  Equal to
+    /// [`ShardedResult::solve_total_ns`] when one shard.
+    pub solve_critical_ns: u64,
+    /// Total solver wall nanoseconds summed over every shard solve.
+    pub solve_total_ns: u64,
+    /// Wall nanoseconds for the whole run.
+    pub run_ns: u64,
+    /// Engine invariant violations observed (0 on every healthy run).
+    pub invariant_violations: usize,
+    /// Per-shard statistics (empty for the single-shard delegation, whose
+    /// timeline counters flow through the recorder instead).
+    pub per_shard: Vec<ShardStats>,
+    /// Timeline operation counters **aggregated across every shard** — the
+    /// figure telemetry summaries must use (each shard's own counters only
+    /// see that shard's queries).
+    pub timeline: TimelineStats,
+}
+
+impl ShardedResult {
+    /// Time-weighted utilisation over the makespan horizon (`m × makespan`
+    /// capacity; the sharded path injects no faults).
+    pub fn utilization(&self, processors: usize) -> f64 {
+        if self.makespan <= 0.0 {
+            return 0.0;
+        }
+        self.busy_integral / (processors as f64 * self.makespan)
+    }
+}
+
+/// A solver wrapper that measures wall time spent inside `solve` /
+/// `solve_with_workspace` — pure pass-through otherwise, so wrapping cannot
+/// change any outcome.  Used by the single-shard delegation (and the
+/// benchmark baselines) to get an exact solve-phase total where log-scale
+/// histograms would lose precision.
+pub struct TimedSolver {
+    inner: SolverHandle,
+    total_ns: AtomicU64,
+    solves: AtomicU64,
+}
+
+impl std::fmt::Debug for TimedSolver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TimedSolver")
+            .field("inner", &self.inner.name())
+            .field("total_ns", &self.total_ns())
+            .field("solves", &self.solves())
+            .finish()
+    }
+}
+
+impl TimedSolver {
+    /// Wrap a solver handle.
+    pub fn new(inner: SolverHandle) -> Arc<Self> {
+        Arc::new(TimedSolver {
+            inner,
+            total_ns: AtomicU64::new(0),
+            solves: AtomicU64::new(0),
+        })
+    }
+
+    /// Total wall nanoseconds spent inside the wrapped solver so far.
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns.load(Ordering::Relaxed)
+    }
+
+    /// Number of solves served so far.
+    pub fn solves(&self) -> u64 {
+        self.solves.load(Ordering::Relaxed)
+    }
+}
+
+impl Solver for TimedSolver {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn capabilities(&self) -> SolverCapabilities {
+        self.inner.capabilities()
+    }
+
+    fn solve(&self, request: &SolveRequest<'_>) -> Result<SolveOutcome> {
+        let timer = SpanTimer::start();
+        let outcome = self.inner.solve(request);
+        self.total_ns
+            .fetch_add(timer.elapsed_ns(), Ordering::Relaxed);
+        self.solves.fetch_add(1, Ordering::Relaxed);
+        outcome
+    }
+
+    fn solve_with_workspace(
+        &self,
+        request: &SolveRequest<'_>,
+        workspace: &mut ProbeWorkspace,
+    ) -> Result<SolveOutcome> {
+        let timer = SpanTimer::start();
+        let outcome = self.inner.solve_with_workspace(request, workspace);
+        self.total_ns
+            .fetch_add(timer.elapsed_ns(), Ordering::Relaxed);
+        self.solves.fetch_add(1, Ordering::Relaxed);
+        outcome
+    }
+}
+
+/// A task queued on a shard, carrying its (cloned) profile so shard workers
+/// never touch shared trace state.
+#[derive(Debug, Clone)]
+struct ShardTask {
+    id: TaskId,
+    arrived_at: f64,
+    task: MalleableTask,
+}
+
+/// Coordinator → worker messages.
+enum ToShard {
+    /// Solve this epoch's batch at the given boundary time.
+    Epoch { time: f64, tasks: Vec<ShardTask> },
+    /// Report final statistics and exit.
+    Finish,
+}
+
+/// One epoch's reply from a shard worker.
+struct EpochReply {
+    placements: Vec<StreamedPlacement>,
+    solve_ns: u64,
+    probes: usize,
+    free_horizon: f64,
+}
+
+/// Worker → coordinator messages.
+enum FromShard {
+    Epoch(Result<EpochReply>),
+    Final(Box<ShardStats>),
+}
+
+/// Bounded, batched arrival ingestion: at most `capacity` undispatched
+/// arrivals are staged in memory; the queue refills from the (lazy) source
+/// as epochs drain it.
+struct BoundedIngest<I> {
+    source: I,
+    staged: VecDeque<Arrival>,
+    capacity: usize,
+    next_id: usize,
+    last_at: f64,
+}
+
+impl<I: Iterator<Item = Result<Arrival>>> BoundedIngest<I> {
+    fn new(source: I, capacity: usize) -> Self {
+        BoundedIngest {
+            source,
+            staged: VecDeque::with_capacity(capacity),
+            capacity,
+            next_id: 0,
+            last_at: 0.0,
+        }
+    }
+
+    /// Pull from the source until the staging queue is full or the source
+    /// is exhausted, validating that arrivals come sorted by time.
+    fn refill(&mut self) -> Result<()> {
+        while self.staged.len() < self.capacity {
+            match self.source.next() {
+                Some(arrival) => {
+                    let arrival = arrival?;
+                    if !(arrival.at.is_finite() && arrival.at >= self.last_at - 1e-9) {
+                        return Err(Error::InvalidParameter {
+                            name: "unsorted-arrival",
+                            value: arrival.at,
+                        });
+                    }
+                    if arrival.departs_at.is_some() {
+                        return Err(Error::InvalidParameter {
+                            name: "sharded-departures",
+                            value: arrival.at,
+                        });
+                    }
+                    self.last_at = self.last_at.max(arrival.at);
+                    self.staged.push_back(arrival);
+                }
+                None => break,
+            }
+        }
+        Ok(())
+    }
+
+    /// Arrival time of the next undispatched task, if any.
+    fn next_arrival_time(&mut self) -> Result<Option<f64>> {
+        if self.staged.is_empty() {
+            self.refill()?;
+        }
+        Ok(self.staged.front().map(|a| a.at))
+    }
+
+    /// Move every arrival due at or before `time` into `out` (with its
+    /// global task id), refilling the staging queue as it drains.
+    fn drain_due(&mut self, time: f64, out: &mut Vec<(usize, Arrival)>) -> Result<()> {
+        loop {
+            if self.staged.is_empty() {
+                self.refill()?;
+                if self.staged.is_empty() {
+                    return Ok(());
+                }
+            }
+            match self.staged.front() {
+                Some(front) if front.at <= time + 1e-9 => {
+                    let arrival = self.staged.pop_front().expect("front exists");
+                    out.push((self.next_id, arrival));
+                    self.next_id += 1;
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+}
+
+/// Run the sharded engine over a materialised trace.
+///
+/// With `config.shards == 1` this delegates to the event-driven engine
+/// ([`engine::run`] / [`engine::run_recorded`]) with an [`EpochReplan`]
+/// policy built from the same configuration — bit-for-bit the existing
+/// behaviour.  With more shards the cluster is partitioned and epochs solve
+/// concurrently; see the module docs.  The trace must be fault-free and
+/// departure-free.
+pub fn run_sharded(
+    trace: &ArrivalTrace,
+    config: &ShardedConfig,
+    sink: &mut dyn PlacementSink,
+    recorder: Option<SharedRecorder>,
+) -> Result<ShardedResult> {
+    if trace.has_departures() {
+        return Err(Error::InvalidParameter {
+            name: "sharded-departures",
+            value: trace.len() as f64,
+        });
+    }
+    config.validate(trace.processors())?;
+    if config.shards == 1 {
+        return run_single(trace, config, sink, recorder);
+    }
+    run_partitioned(
+        trace.arrivals().iter().cloned().map(Ok),
+        trace.processors(),
+        config,
+        sink,
+        recorder,
+    )
+}
+
+/// Run the sharded engine directly off a lazy arrival iterator (sorted by
+/// time, e.g. a [`workload::ArrivalStream`]) — the million-task ingestion
+/// path, which never materialises the trace.  `shards == 1` falls back to
+/// collecting the stream and delegating to the event-driven engine, which
+/// needs the materialised trace.
+pub fn run_sharded_stream<I>(
+    arrivals: I,
+    processors: usize,
+    config: &ShardedConfig,
+    sink: &mut dyn PlacementSink,
+    recorder: Option<SharedRecorder>,
+) -> Result<ShardedResult>
+where
+    I: Iterator<Item = Result<Arrival>>,
+{
+    config.validate(processors)?;
+    if config.shards == 1 {
+        let collected = arrivals.collect::<Result<Vec<_>>>()?;
+        let trace = ArrivalTrace::new(processors, collected)?;
+        return run_single(&trace, config, sink, recorder);
+    }
+    run_partitioned(arrivals, processors, config, sink, recorder)
+}
+
+/// The single-shard delegation: the event-driven engine with an equivalent
+/// [`EpochReplan`] policy, its schedule streamed into the sink.
+fn run_single(
+    trace: &ArrivalTrace,
+    config: &ShardedConfig,
+    sink: &mut dyn PlacementSink,
+    recorder: Option<SharedRecorder>,
+) -> Result<ShardedResult> {
+    let run_timer = SpanTimer::start();
+    let timed = TimedSolver::new(Arc::clone(&config.solver));
+    let handle: SolverHandle = Arc::clone(&timed) as SolverHandle;
+    let mut policy = EpochReplan::with_solver(config.period, handle)?
+        .with_search(config.search)
+        .with_warm_start(config.warm_start)
+        .with_backfill(config.backfill);
+    let result: OnlineResult = match &recorder {
+        Some(rec) => {
+            policy = policy.with_recorder(Arc::clone(rec));
+            engine::run_recorded(trace, &mut policy, rec.as_ref())?
+        }
+        None => engine::run(trace, &mut policy)?,
+    };
+    for entry in result.schedule.entries() {
+        sink.place(&StreamedPlacement {
+            task: entry.task,
+            arrived_at: trace.arrivals()[entry.task].at,
+            start: entry.start,
+            duration: entry.duration,
+            first: entry.processors.first,
+            count: entry.processors.count,
+            shard: 0,
+        });
+    }
+    let solve_ns = timed.total_ns();
+    Ok(ShardedResult {
+        policy: result.policy.clone(),
+        shards: 1,
+        placed: result.schedule.entries().len(),
+        makespan: result.makespan,
+        mean_flow_time: result.mean_flow_time,
+        max_flow_time: result.max_flow_time,
+        busy_integral: result.busy_integral,
+        rounds: result.replans,
+        solves: timed.solves() as usize,
+        steals: 0,
+        solve_critical_ns: solve_ns,
+        solve_total_ns: solve_ns,
+        run_ns: run_timer.elapsed_ns(),
+        invariant_violations: 0,
+        per_shard: Vec::new(),
+        timeline: TimelineStats::default(),
+    })
+}
+
+/// Width of shard `s` in an `m`-processor, `n`-shard partition (the first
+/// `m mod n` shards take the remainder).
+fn shard_width(processors: usize, shards: usize, shard: usize) -> usize {
+    processors / shards + usize::from(shard < processors % shards)
+}
+
+/// The state a shard worker owns for the whole run.
+struct ShardWorker {
+    shard: usize,
+    first_processor: usize,
+    width: usize,
+    machine: MachineState,
+    workspace: ProbeWorkspace,
+    previous_omega_ratio: Option<f64>,
+    solver: SolverHandle,
+    search: SearchMode,
+    warm_start: bool,
+    stats: ShardStats,
+}
+
+impl ShardWorker {
+    /// Serve one epoch: advance the clock, solve the batch as an offline
+    /// sub-instance on the shard's width (the same warm-started pipeline as
+    /// [`EpochReplan`]), and replay the offline schedule onto the shard
+    /// timeline in offline start order.
+    fn epoch(&mut self, time: f64, batch: &[ShardTask]) -> Result<EpochReply> {
+        self.machine.advance_to(time);
+        let probes_before = self.workspace.probes();
+        let tasks: Vec<MalleableTask> = batch.iter().map(|t| t.task.clone()).collect();
+        let sub = Instance::new(tasks, self.width)?;
+        let mut request = SolveRequest::new(&sub).with_mode(self.search);
+        let mut static_lb = 0.0;
+        if self.warm_start && self.solver.capabilities().supports_warm_start {
+            static_lb = malleable_core::bounds::lower_bound(&sub);
+            if static_lb > 0.0 {
+                request.warm_start_hint = self.previous_omega_ratio.map(|r| r * static_lb * 1.05);
+            }
+        }
+        if !self.warm_start {
+            self.workspace.clear();
+        }
+        let timer = SpanTimer::start();
+        let outcome = self
+            .solver
+            .solve_with_workspace(&request, &mut self.workspace)?;
+        let solve_ns = timer.elapsed_ns();
+        if let Some(omega) = outcome.feasible_omega {
+            if static_lb > 0.0 {
+                self.previous_omega_ratio = Some(omega / static_lb);
+            }
+        }
+        // Replay in offline start order (ties: wider first, then task id),
+        // exactly like the event-driven engine's `replay_offline`.
+        let mut entries: Vec<&ScheduledTask> = outcome.schedule.entries().iter().collect();
+        entries.sort_by(|a, b| {
+            a.start
+                .total_cmp(&b.start)
+                .then(b.processors.count.cmp(&a.processors.count))
+                .then(a.task.cmp(&b.task))
+        });
+        let mut placements = Vec::with_capacity(entries.len());
+        for entry in entries {
+            let placement = self
+                .machine
+                .place_earliest(entry.processors.count, entry.duration);
+            self.machine.complete_one();
+            let end = placement.start + entry.duration;
+            self.stats.makespan = self.stats.makespan.max(end);
+            placements.push(StreamedPlacement {
+                task: batch[entry.task].id,
+                arrived_at: batch[entry.task].arrived_at,
+                start: placement.start,
+                duration: entry.duration,
+                first: self.first_processor + placement.first,
+                count: entry.processors.count,
+                shard: self.shard,
+            });
+        }
+        let probes = self.workspace.probes() - probes_before;
+        self.stats.placements += placements.len();
+        self.stats.solves += 1;
+        self.stats.solve_ns += solve_ns;
+        self.stats.probes += probes;
+        Ok(EpochReply {
+            placements,
+            solve_ns,
+            probes,
+            free_horizon: self.machine.free_horizon(),
+        })
+    }
+
+    fn run(mut self, requests: Receiver<ToShard>, replies: Sender<FromShard>) {
+        for request in requests {
+            match request {
+                ToShard::Epoch { time, tasks } => {
+                    let reply = self.epoch(time, &tasks);
+                    if replies.send(FromShard::Epoch(reply)).is_err() {
+                        return;
+                    }
+                }
+                ToShard::Finish => {
+                    self.stats.timeline = self.machine.timeline_stats();
+                    let _ = replies.send(FromShard::Final(Box::new(self.stats)));
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// The work-stealing rebalance: move queued tasks from the most-loaded
+/// shard to the least-loaded one while a single move strictly lowers the
+/// maximum estimated load.  Deterministic: ties break towards the lower
+/// shard index and the lower task id.  Returns `(task, from, to)` for every
+/// move applied.
+fn rebalance(
+    queued: &mut [Vec<ShardTask>],
+    horizons: &[f64],
+    widths: &[usize],
+    now: f64,
+) -> Vec<(TaskId, usize, usize)> {
+    let shards = queued.len();
+    let mut loads: Vec<f64> = (0..shards)
+        .map(|s| {
+            let backlog = (horizons[s] - now).max(0.0);
+            let queued_work: f64 = queued[s]
+                .iter()
+                .map(|t| t.task.profile.time(1) / widths[s] as f64)
+                .sum();
+            backlog + queued_work
+        })
+        .collect();
+    let mut moves = Vec::new();
+    // One move per queued task is a natural ceiling; the strict-improvement
+    // rule stops far earlier in practice.
+    let cap = queued.iter().map(Vec::len).sum::<usize>();
+    for _ in 0..cap {
+        let donor = (0..shards)
+            .max_by(|&a, &b| loads[a].total_cmp(&loads[b]).then(b.cmp(&a)))
+            .expect("at least one shard");
+        let receiver = (0..shards)
+            .min_by(|&a, &b| loads[a].total_cmp(&loads[b]).then(a.cmp(&b)))
+            .expect("at least one shard");
+        if donor == receiver || queued[donor].is_empty() {
+            break;
+        }
+        let before = loads[donor];
+        // The best single move: minimise max(donor', receiver') over the
+        // donor's queue, ties towards the lowest task id.
+        let mut best: Option<(usize, f64, TaskId)> = None;
+        for (index, task) in queued[donor].iter().enumerate() {
+            let work = task.task.profile.time(1);
+            let donor_after = loads[donor] - work / widths[donor] as f64;
+            let receiver_after = loads[receiver] + work / widths[receiver] as f64;
+            let peak = donor_after.max(receiver_after);
+            let better = match &best {
+                None => true,
+                Some((_, best_peak, best_id)) => {
+                    peak < best_peak - 1e-12
+                        || ((peak - best_peak).abs() <= 1e-12 && task.id < *best_id)
+                }
+            };
+            if better {
+                best = Some((index, peak, task.id));
+            }
+        }
+        let (index, peak, _) = best.expect("donor queue is non-empty");
+        if peak >= before - 1e-12 {
+            break;
+        }
+        let task = queued[donor].remove(index);
+        let work = task.task.profile.time(1);
+        loads[donor] -= work / widths[donor] as f64;
+        loads[receiver] += work / widths[receiver] as f64;
+        moves.push((task.id, donor, receiver));
+        queued[receiver].push(task);
+    }
+    moves
+}
+
+/// The partitioned (`shards ≥ 2`) coordinator.
+fn run_partitioned<I>(
+    arrivals: I,
+    processors: usize,
+    config: &ShardedConfig,
+    sink: &mut dyn PlacementSink,
+    recorder: Option<SharedRecorder>,
+) -> Result<ShardedResult>
+where
+    I: Iterator<Item = Result<Arrival>>,
+{
+    let run_timer = SpanTimer::start();
+    let shards = config.shards;
+    let widths: Vec<usize> = (0..shards)
+        .map(|s| shard_width(processors, shards, s))
+        .collect();
+    let firsts: Vec<usize> = widths
+        .iter()
+        .scan(0usize, |acc, &w| {
+            let first = *acc;
+            *acc += w;
+            Some(first)
+        })
+        .collect();
+
+    thread::scope(|scope| -> Result<ShardedResult> {
+        let mut to_shards: Vec<Sender<ToShard>> = Vec::with_capacity(shards);
+        let mut from_shards: Vec<Receiver<FromShard>> = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let (req_tx, req_rx) = channel::<ToShard>();
+            let (rep_tx, rep_rx) = channel::<FromShard>();
+            let width = widths[shard];
+            let worker = ShardWorker {
+                shard,
+                first_processor: firsts[shard],
+                width,
+                machine: if config.backfill {
+                    MachineState::with_backfill(width)
+                } else {
+                    MachineState::new(width)
+                },
+                workspace: ProbeWorkspace::new(),
+                previous_omega_ratio: None,
+                solver: Arc::clone(&config.solver),
+                search: config.search,
+                warm_start: config.warm_start,
+                stats: ShardStats {
+                    shard,
+                    first_processor: firsts[shard],
+                    processors: width,
+                    placements: 0,
+                    solves: 0,
+                    solve_ns: 0,
+                    probes: 0,
+                    steals_in: 0,
+                    steals_out: 0,
+                    makespan: 0.0,
+                    timeline: TimelineStats::default(),
+                },
+            };
+            scope.spawn(move || worker.run(req_rx, rep_tx));
+            to_shards.push(req_tx);
+            from_shards.push(rep_rx);
+        }
+
+        // The coordinator proper, separated so every exit path below still
+        // drops the request senders (ending the workers) before the scope
+        // joins them.
+        let coordinated = coordinate(
+            arrivals,
+            config,
+            &widths,
+            sink,
+            recorder.as_deref(),
+            &to_shards,
+            &from_shards,
+        );
+
+        // Collect final stats (on success) and release the workers.
+        let mut per_shard = Vec::with_capacity(shards);
+        let mut finish_ok = true;
+        for tx in &to_shards {
+            finish_ok &= tx.send(ToShard::Finish).is_ok();
+        }
+        if coordinated.is_ok() && finish_ok {
+            for rx in &from_shards {
+                match rx.recv() {
+                    Ok(FromShard::Final(stats)) => per_shard.push(*stats),
+                    _ => {
+                        return Err(Error::NoFeasibleSchedule);
+                    }
+                }
+            }
+        }
+        drop(to_shards);
+
+        let mut tally = coordinated?;
+        for (stats, steals) in per_shard.iter_mut().zip(&tally.shard_steals) {
+            stats.steals_in = steals.0;
+            stats.steals_out = steals.1;
+        }
+        let timeline = TimelineStats::aggregate(per_shard.iter().map(|s| s.timeline));
+        if let Some(rec) = recorder.as_deref() {
+            rec.add(names::TIMELINE_RESERVATIONS, timeline.reservations);
+            rec.add(names::TIMELINE_CANCELS, timeline.cancels);
+            rec.add(names::TIMELINE_TRUNCATIONS, timeline.truncations);
+            rec.add(names::TIMELINE_HOLES_SCANNED, timeline.holes_scanned);
+            rec.add(names::RUN_NS, run_timer.elapsed_ns());
+        }
+        tally.result.per_shard = per_shard;
+        tally.result.timeline = timeline;
+        tally.result.run_ns = run_timer.elapsed_ns();
+        Ok(tally.result)
+    })
+}
+
+/// What [`coordinate`] accumulates for [`run_partitioned`] to finish.
+struct CoordinatorTally {
+    result: ShardedResult,
+    /// Per-shard `(steals_in, steals_out)`.
+    shard_steals: Vec<(usize, usize)>,
+}
+
+/// Drive the epoch rounds: batch-ingest arrivals, assign round-robin,
+/// rebalance, dispatch to the shard workers, and stream the placements.
+#[allow(clippy::too_many_arguments)]
+fn coordinate<I>(
+    arrivals: I,
+    config: &ShardedConfig,
+    widths: &[usize],
+    sink: &mut dyn PlacementSink,
+    recorder: Option<&dyn ::telemetry::Recorder>,
+    to_shards: &[Sender<ToShard>],
+    from_shards: &[Receiver<FromShard>],
+) -> Result<CoordinatorTally>
+where
+    I: Iterator<Item = Result<Arrival>>,
+{
+    let shards = widths.len();
+    let period = config.period;
+    let mut ingest = BoundedIngest::new(arrivals, config.batch);
+    let mut queued: Vec<Vec<ShardTask>> = vec![Vec::new(); shards];
+    let mut horizons: Vec<f64> = vec![0.0; shards];
+    let mut shard_steals: Vec<(usize, usize)> = vec![(0, 0); shards];
+    let mut due: Vec<(usize, Arrival)> = Vec::new();
+
+    let mut result = ShardedResult {
+        policy: config.policy_name(),
+        shards,
+        placed: 0,
+        makespan: 0.0,
+        mean_flow_time: 0.0,
+        max_flow_time: 0.0,
+        busy_integral: 0.0,
+        rounds: 0,
+        solves: 0,
+        steals: 0,
+        solve_critical_ns: 0,
+        solve_total_ns: 0,
+        run_ns: 0,
+        invariant_violations: 0,
+        per_shard: Vec::new(),
+        timeline: TimelineStats::default(),
+    };
+    let mut flow_sum = 0.0f64;
+
+    // Next epoch boundary: the first grid point after the next arrival
+    // (the same `floor(now / period) + 1` grid the event-driven engine
+    // uses; rounds only fire when there is work to plan).
+    while let Some(at) = ingest.next_arrival_time()? {
+        let tick = (at / period).floor() * period + period;
+        due.clear();
+        ingest.drain_due(tick, &mut due)?;
+        debug_assert!(!due.is_empty(), "a tick was scheduled without arrivals");
+
+        let round_timer = SpanTimer::start();
+        // Round-robin assignment by arrival index keeps the partition
+        // deterministic; the rebalance below corrects imbalance.
+        for (id, arrival) in due.drain(..) {
+            queued[id % shards].push(ShardTask {
+                id,
+                arrived_at: arrival.at,
+                task: arrival.task,
+            });
+        }
+        if config.steal && shards > 1 {
+            for (task, from, to) in rebalance(&mut queued, &horizons, widths, tick) {
+                result.steals += 1;
+                shard_steals[from].1 += 1;
+                shard_steals[to].0 += 1;
+                if let Some(rec) = recorder {
+                    rec.add(names::STEALS, 1);
+                    if rec.enabled() {
+                        rec.event(TelemetryEvent::Steal {
+                            time: tick,
+                            task: task as u64,
+                            from_shard: from,
+                            to_shard: to,
+                        });
+                    }
+                }
+            }
+        }
+
+        // Dispatch non-empty shards, then collect replies in shard order so
+        // the run is deterministic regardless of worker timing.
+        let mut dispatched = Vec::new();
+        for shard in 0..shards {
+            if queued[shard].is_empty() {
+                continue;
+            }
+            let tasks = std::mem::take(&mut queued[shard]);
+            if to_shards[shard]
+                .send(ToShard::Epoch { time: tick, tasks })
+                .is_err()
+            {
+                return Err(Error::NoFeasibleSchedule);
+            }
+            dispatched.push(shard);
+        }
+        let mut round_max_ns = 0u64;
+        for &shard in &dispatched {
+            let reply = match from_shards[shard].recv() {
+                Ok(FromShard::Epoch(reply)) => reply?,
+                _ => return Err(Error::NoFeasibleSchedule),
+            };
+            horizons[shard] = reply.free_horizon;
+            round_max_ns = round_max_ns.max(reply.solve_ns);
+            result.solve_total_ns += reply.solve_ns;
+            result.solves += 1;
+            if let Some(rec) = recorder {
+                rec.sample(names::SOLVE_NS, reply.solve_ns);
+                rec.sample(names::SOLVE_PROBES, reply.probes as u64);
+                rec.add(names::REPLANS, 1);
+                rec.add(names::WORKSPACE_PROBES, reply.probes as u64);
+            }
+            for placement in &reply.placements {
+                // The shard planned at the boundary, so a start before the
+                // arrival or outside the shard block is an engine invariant
+                // violation, not a bad schedule.
+                let first = firsts_of(widths, placement.shard);
+                if placement.start < placement.arrived_at - 1e-9
+                    || !placement.start.is_finite()
+                    || placement.first < first
+                    || placement.first + placement.count > first + widths[placement.shard]
+                {
+                    result.invariant_violations += 1;
+                    if let Some(rec) = recorder {
+                        rec.add(names::INVARIANT_VIOLATIONS, 1);
+                        if rec.enabled() {
+                            rec.event(TelemetryEvent::InvariantViolation {
+                                time: tick,
+                                detail: format!(
+                                    "task {} placed at [{}, p{}+{}) outside its contract",
+                                    placement.task,
+                                    placement.start,
+                                    placement.first,
+                                    placement.count
+                                ),
+                            });
+                        }
+                    }
+                    return Err(Error::InvalidParameter {
+                        name: "sharded-placement",
+                        value: placement.start,
+                    });
+                }
+                let finish = placement.start + placement.duration;
+                let flow = finish - placement.arrived_at;
+                result.placed += 1;
+                result.makespan = result.makespan.max(finish);
+                result.busy_integral += placement.duration * placement.count as f64;
+                flow_sum += flow;
+                result.max_flow_time = result.max_flow_time.max(flow);
+                if let Some(rec) = recorder {
+                    rec.add(names::PLACEMENTS, 1);
+                }
+                sink.place(placement);
+            }
+        }
+        result.solve_critical_ns += round_max_ns;
+        result.rounds += 1;
+        if let Some(rec) = recorder {
+            rec.add(names::SHARD_ROUNDS, 1);
+            rec.sample(names::DECISION_NS, round_timer.elapsed_ns());
+        }
+    }
+
+    result.mean_flow_time = if result.placed > 0 {
+        flow_sum / result.placed as f64
+    } else {
+        0.0
+    };
+    Ok(CoordinatorTally {
+        result,
+        shard_steals,
+    })
+}
+
+/// First global processor of shard `s` given the partition widths.
+fn firsts_of(widths: &[usize], shard: usize) -> usize {
+    widths[..shard].iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ::telemetry::CollectingRecorder;
+    use proptest::prelude::*;
+    use workload::{ArrivalPattern, TraceConfig, WorkloadConfig};
+
+    fn mrt() -> SolverHandle {
+        Arc::new(MrtSolver)
+    }
+
+    fn trace(tasks: usize, processors: usize, seed: u64) -> ArrivalTrace {
+        ArrivalTrace::generate(&TraceConfig {
+            workload: WorkloadConfig::mixed(tasks, processors, seed),
+            pattern: ArrivalPattern::Poisson { rate: 3.0 },
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn single_shard_delegation_is_bit_exact_with_the_engine() {
+        for seed in [1, 5, 9] {
+            let trace = trace(24, 8, seed);
+            let mut policy = EpochReplan::mrt(1.0).unwrap();
+            let expected = engine::run(&trace, &mut policy).unwrap();
+            let config = ShardedConfig::new(1, 1.0, mrt());
+            let mut sink = CollectingSink::new(trace.processors());
+            let result = run_sharded(&trace, &config, &mut sink, None).unwrap();
+            assert_eq!(sink.into_schedule(), expected.schedule, "seed {seed}");
+            assert_eq!(result.makespan, expected.makespan, "seed {seed}");
+            assert_eq!(result.rounds, expected.replans, "seed {seed}");
+            assert_eq!(result.shards, 1);
+            assert!(result.solve_total_ns > 0, "timed solver must observe work");
+        }
+    }
+
+    #[test]
+    fn partitioned_runs_validate_and_place_every_task() {
+        let trace = trace(40, 8, 3);
+        for shards in [2, 4, 8] {
+            let config = ShardedConfig::new(shards, 1.0, mrt());
+            let mut sink = CollectingSink::new(trace.processors());
+            let result = run_sharded(&trace, &config, &mut sink, None).unwrap();
+            assert_eq!(result.placed, trace.len(), "{shards} shards");
+            assert_eq!(result.invariant_violations, 0);
+            let schedule = sink.into_schedule();
+            let issues = crate::validate_against_trace(&trace, &schedule);
+            assert!(issues.is_empty(), "{shards} shards: {issues:?}");
+            // Per-shard stats add up to the run's totals, including the
+            // cross-shard timeline aggregation (satellite: the per-timeline
+            // counters would undercount).
+            assert_eq!(result.per_shard.len(), shards);
+            assert_eq!(
+                result.per_shard.iter().map(|s| s.placements).sum::<usize>(),
+                result.placed
+            );
+            let aggregated = TimelineStats::aggregate(result.per_shard.iter().map(|s| s.timeline));
+            assert_eq!(result.timeline, aggregated);
+            assert!(
+                result.timeline.reservations
+                    >= result
+                        .per_shard
+                        .iter()
+                        .map(|s| s.timeline.reservations)
+                        .max()
+                        .unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_stealing_rebalances_a_lopsided_round() {
+        // Two single-processor shards; four sequential tasks arrive at time
+        // 0 with works [4, 1, 4, 1].  Round-robin puts {t0, t2} (load 8) on
+        // shard 0 and {t1, t3} (load 2) on shard 1.  The rebalance moves t0
+        // (ties break towards the lowest id: donor peak 8 → 6 either way),
+        // then t1 back (6 → 5), and stops — no single move beats a 5/5
+        // split.  Everything dispatches at the first grid point t = 1, so
+        // the stolen run finishes at 1 + 5 = 6 while the unstolen one ends
+        // at 1 + 8 = 9.
+        let works = [4.0, 1.0, 4.0, 1.0];
+        let trace = ArrivalTrace::new(
+            2,
+            works
+                .iter()
+                .map(|&w| {
+                    Arrival::new(
+                        0.0,
+                        MalleableTask::new(SpeedupProfile::sequential(w).unwrap()),
+                    )
+                })
+                .collect(),
+        )
+        .unwrap();
+        let run = |steal: bool| {
+            let config = ShardedConfig::new(2, 1.0, mrt()).with_steal(steal);
+            let recorder = CollectingRecorder::shared();
+            let mut sink = CollectingSink::new(2);
+            let result = run_sharded(
+                &trace,
+                &config,
+                &mut sink,
+                Some(recorder.clone() as SharedRecorder),
+            )
+            .unwrap();
+            (result, sink.into_schedule(), recorder)
+        };
+        let (stolen, schedule, recorder) = run(true);
+        assert_eq!(stolen.steals, 2);
+        assert_eq!(recorder.counter(names::STEALS), 2);
+        assert!((stolen.makespan - 6.0).abs() < 1e-9, "{}", stolen.makespan);
+        assert!(crate::validate_against_trace(&trace, &schedule).is_empty());
+        let steal_events: Vec<(u64, usize, usize)> = recorder
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TelemetryEvent::Steal {
+                    task,
+                    from_shard,
+                    to_shard,
+                    ..
+                } => Some((*task, *from_shard, *to_shard)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(steal_events, vec![(0, 0, 1), (1, 1, 0)]);
+        let (unstolen, _, _) = run(false);
+        assert_eq!(unstolen.steals, 0);
+        assert!(
+            (unstolen.makespan - 9.0).abs() < 1e-9,
+            "{}",
+            unstolen.makespan
+        );
+    }
+
+    #[test]
+    fn streaming_ingestion_matches_the_materialised_run() {
+        // A tiny bounded queue forces many refills; the run must not depend
+        // on the staging capacity.
+        let config = TraceConfig {
+            workload: WorkloadConfig::mixed(60, 8, 17),
+            pattern: ArrivalPattern::Bursty {
+                burst_size: 10,
+                burst_gap: 2.0,
+            },
+        };
+        let trace = ArrivalTrace::generate(&config).unwrap();
+        let sharded = ShardedConfig::new(4, 1.0, mrt()).with_batch(3);
+        let mut from_trace = CollectingSink::new(8);
+        let a = run_sharded(&trace, &sharded, &mut from_trace, None).unwrap();
+        let mut from_stream = CollectingSink::new(8);
+        let stream = workload::ArrivalStream::new(&config).unwrap();
+        let b = run_sharded_stream(stream, 8, &sharded, &mut from_stream, None).unwrap();
+        assert_eq!(from_trace.into_schedule(), from_stream.into_schedule());
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.steals, b.steals);
+        assert_eq!(a.rounds, b.rounds);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        /// On arbitrary small traces, every shard count places every task
+        /// into a schedule that validates against the trace, never beats
+        /// the physical lower bound, and reports zero invariant violations;
+        /// with one shard the delegated run is bit-exact with the
+        /// event-driven engine.
+        #[test]
+        fn partitioning_preserves_the_engine_contract(
+            seed in 0u64..10_000,
+            tasks in 4usize..28,
+            rate in 0.5f64..6.0,
+        ) {
+            let trace = ArrivalTrace::generate(&TraceConfig {
+                workload: WorkloadConfig::mixed(tasks, 8, seed),
+                pattern: ArrivalPattern::Poisson { rate },
+            })
+            .unwrap();
+            // The physical floor: a task cannot finish before its arrival
+            // plus its fastest possible execution on the whole machine.
+            let floor = trace
+                .arrivals()
+                .iter()
+                .map(|a| a.at + a.task.profile.time(trace.processors()))
+                .fold(0.0f64, f64::max);
+            let mut policy = EpochReplan::mrt(1.0).unwrap();
+            let legacy = engine::run(&trace, &mut policy).unwrap();
+            for shards in [1usize, 2, 4, 8] {
+                let config = ShardedConfig::new(shards, 1.0, mrt());
+                let mut sink = CollectingSink::new(trace.processors());
+                let result = run_sharded(&trace, &config, &mut sink, None).unwrap();
+                let schedule = sink.into_schedule();
+                prop_assert_eq!(result.placed, trace.len(), "{} shards", shards);
+                prop_assert_eq!(result.invariant_violations, 0);
+                let issues = crate::validate_against_trace(&trace, &schedule);
+                prop_assert!(issues.is_empty(), "{} shards: {:?}", shards, issues);
+                prop_assert!(
+                    result.makespan >= floor - 1e-9,
+                    "{} shards beat the lower bound: {} < {}",
+                    shards,
+                    result.makespan,
+                    floor
+                );
+                if shards == 1 {
+                    prop_assert_eq!(&schedule, &legacy.schedule);
+                    prop_assert_eq!(result.makespan, legacy.makespan);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_configs_are_validated() {
+        let trace = trace(10, 4, 1);
+        let mut sink = NullSink;
+        for config in [
+            ShardedConfig::new(0, 1.0, mrt()),
+            ShardedConfig::new(5, 1.0, mrt()),
+            ShardedConfig::new(2, 0.0, mrt()),
+            ShardedConfig::new(2, 1.0, mrt()).with_batch(0),
+        ] {
+            assert!(
+                run_sharded(&trace, &config, &mut sink, None).is_err(),
+                "{config:?}"
+            );
+        }
+        // Departures are out of scope for the partitioned path.
+        let departing = trace
+            .clone()
+            .with_departures(workload::DeparturePolicy::Patience { mean: 5.0 }, 1)
+            .unwrap();
+        assert!(run_sharded(
+            &departing,
+            &ShardedConfig::new(2, 1.0, mrt()),
+            &mut sink,
+            None
+        )
+        .is_err());
+    }
+}

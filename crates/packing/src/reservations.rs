@@ -171,6 +171,33 @@ pub struct TimelineStats {
     pub truncations: u64,
 }
 
+impl TimelineStats {
+    /// Fold another timeline's counters into this one.
+    ///
+    /// The counters are **per-timeline**: a sharded engine runs one
+    /// [`ReservationTimeline`] per shard, so reporting any single shard's
+    /// snapshot — or only the last shard's — undercounts the run.  Summing
+    /// is the correct aggregation for every field (they are all monotone
+    /// operation counts, not gauges).
+    pub fn merge(&mut self, other: TimelineStats) {
+        self.window_queries += other.window_queries;
+        self.holes_scanned += other.holes_scanned;
+        self.reservations += other.reservations;
+        self.cancels += other.cancels;
+        self.truncations += other.truncations;
+    }
+
+    /// Sum a collection of per-timeline snapshots (see
+    /// [`TimelineStats::merge`]).
+    pub fn aggregate<I: IntoIterator<Item = TimelineStats>>(stats: I) -> TimelineStats {
+        let mut total = TimelineStats::default();
+        for snapshot in stats {
+            total.merge(snapshot);
+        }
+        total
+    }
+}
+
 /// Interior-mutable counter cells: window queries are `&self`, so the stats
 /// must be updatable without `&mut`.
 #[derive(Debug, Clone, Default)]

@@ -71,36 +71,78 @@ fn heuristic_outcome(
 
 /// The Turek–Wolf–Yu / Ludwig two-phase method behind the [`Solver`] trait:
 /// TWY allotment selection followed by the configured rigid phase.
-#[derive(Debug, Clone, Copy)]
+///
+/// The rigid (phase 2) scheduler is selected through the typed
+/// [`SolverConfig`] payload — the same `rigid` key a [`SolveRequest`] may
+/// carry (`ffdh`/`nfdh`/`list`).  The solver holds *default* config applied
+/// when the request carries no `rigid` key, so one registered handle serves
+/// any phase per call and there is no bespoke configuration path beside the
+/// typed one.
+#[derive(Debug, Clone)]
 pub struct TwoPhaseSolver {
-    /// The rigid (phase 2) scheduler run on the selected allotment.
-    pub rigid: RigidScheduler,
+    /// Defaults applied when the request carries no `rigid` key.
+    defaults: SolverConfig,
 }
 
 impl TwoPhaseSolver {
     /// The Ludwig-style default: TWY allotment + FFDH level packing.
     pub fn ludwig() -> Self {
-        TwoPhaseSolver {
-            rigid: RigidScheduler::Ffdh,
+        Self::with_defaults(SolverConfig::new().with_text("rigid", "ffdh"))
+            .expect("ffdh is a valid rigid phase")
+    }
+
+    /// TWY allotment + NFDH level packing.
+    pub fn nfdh() -> Self {
+        Self::with_defaults(SolverConfig::new().with_text("rigid", "nfdh"))
+            .expect("nfdh is a valid rigid phase")
+    }
+
+    /// TWY allotment + greedy list scheduling of the selected allotment.
+    pub fn list() -> Self {
+        Self::with_defaults(SolverConfig::new().with_text("rigid", "list"))
+            .expect("list is a valid rigid phase")
+    }
+
+    /// A two-phase solver with an explicit default config.  The `rigid` key
+    /// selects the phase-2 scheduler (absent means FFDH); an unknown value
+    /// is rejected here, at construction, with the same typed error a bad
+    /// request-level key produces at solve time.
+    pub fn with_defaults(defaults: SolverConfig) -> malleable_core::Result<Self> {
+        if let Some(value) = defaults.text("rigid") {
+            Self::parse_rigid(value)?;
+        }
+        Ok(TwoPhaseSolver { defaults })
+    }
+
+    fn parse_rigid(value: &str) -> malleable_core::Result<RigidScheduler> {
+        match value {
+            "ffdh" => Ok(RigidScheduler::Ffdh),
+            "nfdh" => Ok(RigidScheduler::Nfdh),
+            "list" => Ok(RigidScheduler::List),
+            other => Err(malleable_core::Error::InvalidConfig {
+                key: "rigid",
+                message: format!("`{other}` is not one of ffdh, nfdh, list"),
+            }),
         }
     }
 
-    /// The rigid phase this request selects: the `rigid` config key
-    /// (`ffdh`/`nfdh`/`list`) when present, the constructor state otherwise —
-    /// so one registered handle can serve any phase per call.
+    /// The phase the defaults select (validated at construction).
+    fn default_rigid(&self) -> RigidScheduler {
+        self.defaults
+            .text("rigid")
+            .map(|value| Self::parse_rigid(value).expect("defaults validated at construction"))
+            .unwrap_or(RigidScheduler::Ffdh)
+    }
+
+    /// The rigid phase this request selects: the request's `rigid` config
+    /// key when present, the solver's defaults otherwise.
     fn effective_rigid(
         &self,
         request: &SolveRequest<'_>,
     ) -> malleable_core::Result<RigidScheduler> {
         match request.config_text("rigid") {
-            None => Ok(self.rigid),
-            Some("ffdh") => Ok(RigidScheduler::Ffdh),
-            Some("nfdh") => Ok(RigidScheduler::Nfdh),
-            Some("list") => Ok(RigidScheduler::List),
-            Some(other) => Err(malleable_core::Error::InvalidConfig {
-                key: "rigid",
-                message: format!("`{other}` is not one of ffdh, nfdh, list"),
-            }),
+            None => Ok(self.default_rigid()),
+            Some(value) => Self::parse_rigid(value),
         }
     }
 
@@ -115,7 +157,7 @@ impl TwoPhaseSolver {
 
 impl Solver for TwoPhaseSolver {
     fn name(&self) -> &'static str {
-        Self::rigid_name(self.rigid)
+        Self::rigid_name(self.default_rigid())
     }
 
     fn capabilities(&self) -> SolverCapabilities {
@@ -124,7 +166,7 @@ impl Solver for TwoPhaseSolver {
             // which the default FFDH phase stands in for (the substitution is
             // documented in DESIGN.md and measured in EXPERIMENTS.md); the
             // NFDH/list phases carry no claimed bound.
-            guarantee: match self.rigid {
+            guarantee: match self.default_rigid() {
                 RigidScheduler::Ffdh => Some(2.0),
                 RigidScheduler::Nfdh | RigidScheduler::List => None,
             },
@@ -407,16 +449,8 @@ pub fn default_registry() -> SolverRegistry {
     registry.register("ludwig", &["two-phase", "ludwig-2phase"], || {
         Arc::new(TwoPhaseSolver::ludwig())
     });
-    registry.register("twy-list", &[], || {
-        Arc::new(TwoPhaseSolver {
-            rigid: RigidScheduler::List,
-        })
-    });
-    registry.register("twy-nfdh", &[], || {
-        Arc::new(TwoPhaseSolver {
-            rigid: RigidScheduler::Nfdh,
-        })
-    });
+    registry.register("twy-list", &[], || Arc::new(TwoPhaseSolver::list()));
+    registry.register("twy-nfdh", &[], || Arc::new(TwoPhaseSolver::nfdh()));
     registry.register("gang", &[], || Arc::new(GangSolver));
     registry.register("lpt", &["sequential", "sequential-lpt"], || {
         Arc::new(SequentialLptSolver)
@@ -521,25 +555,32 @@ mod tests {
     fn rigid_config_key_overrides_constructor_state() {
         let inst = instance(7);
         let ludwig = TwoPhaseSolver::ludwig();
-        // Without a config the constructor state decides.
+        // Without a config the solver's defaults decide.
         let plain = ludwig.solve(&SolveRequest::new(&inst)).unwrap();
         assert_eq!(plain.solver, "ludwig");
         // The `rigid` key re-targets the phase-2 scheduler per call; the
-        // outcome matches the handle that has the phase as constructor state.
-        for (key, name, rigid) in [
-            ("ffdh", "ludwig", RigidScheduler::Ffdh),
-            ("nfdh", "twy-nfdh", RigidScheduler::Nfdh),
-            ("list", "twy-list", RigidScheduler::List),
+        // outcome matches the handle that has the phase as its default.
+        for (key, name) in [
+            ("ffdh", "ludwig"),
+            ("nfdh", "twy-nfdh"),
+            ("list", "twy-list"),
         ] {
             let config = SolverConfig::new().with_text("rigid", key);
             let outcome = ludwig
                 .solve(&SolveRequest::new(&inst).with_config(&config))
                 .unwrap();
             assert_eq!(outcome.solver, name, "{key}");
-            let dedicated = TwoPhaseSolver { rigid }
+            let dedicated = TwoPhaseSolver::with_defaults(config)
+                .unwrap()
                 .solve(&SolveRequest::new(&inst))
                 .unwrap();
             assert_eq!(outcome.schedule, dedicated.schedule, "{key}");
+        }
+        // The defaults themselves are validated at construction with the
+        // same typed error a bad request-level key produces at solve time.
+        match TwoPhaseSolver::with_defaults(SolverConfig::new().with_text("rigid", "magic")) {
+            Err(malleable_core::Error::InvalidConfig { key, .. }) => assert_eq!(key, "rigid"),
+            other => panic!("expected InvalidConfig, got {other:?}"),
         }
         // Unknown rigid phases are rejected with a typed config error.
         let bad = SolverConfig::new().with_text("rigid", "magic");

@@ -181,6 +181,19 @@ pub enum TelemetryEvent {
         /// Why the primary was bypassed (error text or "time budget").
         reason: String,
     },
+    /// A queued task was moved from an overloaded shard to a less loaded
+    /// one by the work-stealing rebalance at an epoch boundary (sharded
+    /// engine only).
+    Steal {
+        /// Simulated time of the epoch boundary.
+        time: f64,
+        /// Task id from the arrival trace.
+        task: u64,
+        /// Shard the task was queued on before the steal.
+        from_shard: usize,
+        /// Shard that executes the task after the steal.
+        to_shard: usize,
+    },
 }
 
 impl TelemetryEvent {
@@ -203,6 +216,7 @@ impl TelemetryEvent {
             TelemetryEvent::ClassUtilization { .. } => "class_utilization",
             TelemetryEvent::ClassMigration { .. } => "class_migration",
             TelemetryEvent::SolverDegraded { .. } => "solver_degraded",
+            TelemetryEvent::Steal { .. } => "steal",
         }
     }
 
@@ -363,6 +377,18 @@ impl TelemetryEvent {
                 "fallback": fallback.as_str(),
                 "reason": reason.as_str(),
             }),
+            TelemetryEvent::Steal {
+                time,
+                task,
+                from_shard,
+                to_shard,
+            } => json!({
+                "type": "steal",
+                "time": *time,
+                "task": *task,
+                "from_shard": *from_shard,
+                "to_shard": *to_shard,
+            }),
         }
     }
 
@@ -463,6 +489,12 @@ impl TelemetryEvent {
                 fallback: text("fallback")?,
                 reason: text("reason")?,
             },
+            "steal" => TelemetryEvent::Steal {
+                time: time("time")?,
+                task: int("task")?,
+                from_shard: int("from_shard")? as usize,
+                to_shard: int("to_shard")? as usize,
+            },
             _ => return None,
         })
     }
@@ -554,6 +586,12 @@ mod tests {
                 task: 11,
                 from_class: "old".into(),
                 to_class: "new".into(),
+            },
+            TelemetryEvent::Steal {
+                time: 7.0,
+                task: 13,
+                from_shard: 2,
+                to_shard: 0,
             },
         ]
     }

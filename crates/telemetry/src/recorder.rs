@@ -76,6 +76,16 @@ pub mod names {
     /// Counter: queued tasks re-assigned between machine classes by an
     /// epoch re-solve of the classed engine.
     pub const CLASS_MIGRATIONS: &str = "engine.class_migrations";
+    /// Counter: queued tasks moved between shards by the work-stealing
+    /// rebalance at epoch boundaries (sharded engine).
+    pub const STEALS: &str = "engine.steals";
+    /// Counter: epoch boundaries served by structural delta-planning — the
+    /// preemptive revocation pass was skipped because the epoch added only
+    /// new arrivals, so the policy planned them against the surviving
+    /// schedule instead of re-solving the whole backlog.
+    pub const DELTA_PLANS: &str = "engine.delta_plans";
+    /// Counter: epoch super-step rounds driven by the sharded coordinator.
+    pub const SHARD_ROUNDS: &str = "engine.shard_rounds";
 }
 
 /// A sink for telemetry signals.

@@ -19,7 +19,7 @@
 //! from an independent, seed-derived stream, so a `(config, seed)` pair
 //! always produces the same trace.
 
-use crate::generator::{WorkloadConfig, WorkloadGenerator};
+use crate::generator::{TaskStream, WorkloadConfig, WorkloadGenerator};
 use crate::io::task_from_value;
 use malleable_core::{Instance, MalleableTask, Result};
 use rand_chacha::rand_core::SeedableRng;
@@ -263,6 +263,90 @@ impl ArrivalTrace {
     }
 }
 
+/// A lazy arrival stream: yields the arrivals of
+/// [`ArrivalTrace::generate`] one at a time, in trace order, without
+/// materialising the task population or the trace.
+///
+/// Tasks come from the same seeded [`TaskStream`] the generator collects and
+/// arrival times from the same independent clock stream, and both patterns
+/// produce non-decreasing times (a Poisson clock accumulates, bursts step
+/// forward), so the stream's order *is* the sorted trace order: arrival `j`
+/// of the stream is arrival `j` of the materialised trace, bit for bit.
+/// This is the ingestion path for million-task traces — the sharded online
+/// engine batches directly off it.
+#[derive(Debug, Clone)]
+pub struct ArrivalStream {
+    tasks: TaskStream,
+    pattern: ArrivalPattern,
+    clock_rng: ChaCha8Rng,
+    clock: f64,
+    index: usize,
+    processors: usize,
+}
+
+impl ArrivalStream {
+    /// Open the stream described by `config` (deterministic per seed;
+    /// validates the pattern and the machine up front).
+    pub fn new(config: &TraceConfig) -> Result<Self> {
+        config.pattern.validate()?;
+        if config.workload.processors == 0 {
+            return Err(malleable_core::Error::NoProcessors);
+        }
+        if config.workload.tasks == 0 {
+            return Err(malleable_core::Error::EmptyInstance);
+        }
+        Ok(ArrivalStream {
+            tasks: WorkloadGenerator::new(config.workload.clone()).stream(),
+            pattern: config.pattern,
+            clock_rng: ChaCha8Rng::seed_from_u64(config.workload.seed ^ 0xA5A5_5A5A_0F0F_F0F0),
+            clock: 0.0,
+            index: 0,
+            processors: config.workload.processors,
+        })
+    }
+
+    /// Number of processors of the target machine.
+    pub fn processors(&self) -> usize {
+        self.processors
+    }
+
+    /// Total number of arrivals this stream yields over its lifetime.
+    pub fn total(&self) -> usize {
+        self.tasks.total()
+    }
+}
+
+impl Iterator for ArrivalStream {
+    type Item = Result<Arrival>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        use rand::Rng;
+        let task = match self.tasks.next()? {
+            Ok(task) => task,
+            Err(e) => return Some(Err(e)),
+        };
+        let at = match self.pattern {
+            ArrivalPattern::Poisson { rate } => {
+                let u: f64 = self.clock_rng.gen();
+                self.clock += -(1.0 - u).ln() / rate;
+                self.clock
+            }
+            ArrivalPattern::Bursty {
+                burst_size,
+                burst_gap,
+            } => (self.index / burst_size) as f64 * burst_gap,
+        };
+        self.index += 1;
+        Some(Ok(Arrival::new(at, task)))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.tasks.size_hint()
+    }
+}
+
+impl ExactSizeIterator for ArrivalStream {}
+
 fn sample_arrival_times(pattern: &ArrivalPattern, count: usize, rng: &mut ChaCha8Rng) -> Vec<f64> {
     use rand::Rng;
     match *pattern {
@@ -410,6 +494,34 @@ mod tests {
             times,
             vec![0.0, 0.0, 0.0, 0.0, 5.0, 5.0, 5.0, 5.0, 10.0, 10.0]
         );
+    }
+
+    #[test]
+    fn streaming_reproduces_generation_bit_for_bit() {
+        for config in [
+            poisson_config(60, 11),
+            TraceConfig {
+                workload: WorkloadConfig::wide_tasks(45, 16, 4),
+                pattern: ArrivalPattern::Bursty {
+                    burst_size: 7,
+                    burst_gap: 3.0,
+                },
+            },
+        ] {
+            let trace = ArrivalTrace::generate(&config).unwrap();
+            let stream = ArrivalStream::new(&config).unwrap();
+            assert_eq!(stream.processors(), trace.processors());
+            assert_eq!(stream.total(), trace.len());
+            let streamed: Vec<Arrival> = stream.map(|a| a.unwrap()).collect();
+            assert_eq!(streamed, trace.arrivals(), "{:?}", config.pattern);
+        }
+        // Degenerate configs are rejected at open time like at generate time.
+        let mut bad = poisson_config(10, 1);
+        bad.pattern = ArrivalPattern::Poisson { rate: 0.0 };
+        assert!(ArrivalStream::new(&bad).is_err());
+        let mut empty = poisson_config(10, 1);
+        empty.workload.tasks = 0;
+        assert!(ArrivalStream::new(&empty).is_err());
     }
 
     #[test]

@@ -154,20 +154,23 @@ impl WorkloadGenerator {
 
     /// Generate the instance described by the configuration.
     pub fn generate(&self) -> Result<Instance> {
-        let cfg = &self.config;
-        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-        let mut tasks = Vec::with_capacity(cfg.tasks);
-        for index in 0..cfg.tasks {
-            let work = cfg.work_mix.sample(&mut rng).max(1e-6);
-            let family = cfg.families[rng.gen_range(0..cfg.families.len())];
-            let family = jitter(family, &mut rng);
-            let profile = family.profile(work, cfg.processors)?;
-            tasks.push(MalleableTask::named(
-                format!("{}-{index}", family.name()),
-                profile,
-            ));
+        let tasks = self.stream().collect::<Result<Vec<_>>>()?;
+        Instance::new(tasks, self.config.processors)
+    }
+
+    /// Stream the configured tasks lazily, in generation order.
+    ///
+    /// The stream draws from the same seeded generator state task by task,
+    /// so collecting it reproduces [`WorkloadGenerator::generate`] bit for
+    /// bit — `generate` is implemented on top of it.  Use the stream to feed
+    /// million-task traces into the online engine without materialising the
+    /// whole instance first.
+    pub fn stream(&self) -> TaskStream {
+        TaskStream {
+            rng: ChaCha8Rng::seed_from_u64(self.config.seed),
+            config: self.config.clone(),
+            next_index: 0,
         }
-        Instance::new(tasks, cfg.processors)
     }
 
     /// Generate a batch of instances with consecutive seeds (for sweeps).
@@ -181,6 +184,50 @@ impl WorkloadGenerator {
             .collect()
     }
 }
+
+/// A lazy iterator over the tasks of a [`WorkloadConfig`], yielding exactly
+/// the tasks [`WorkloadGenerator::generate`] would put in its instance, one
+/// at a time (see [`WorkloadGenerator::stream`]).
+#[derive(Debug, Clone)]
+pub struct TaskStream {
+    config: WorkloadConfig,
+    rng: ChaCha8Rng,
+    next_index: usize,
+}
+
+impl TaskStream {
+    /// Total number of tasks this stream yields over its lifetime.
+    pub fn total(&self) -> usize {
+        self.config.tasks
+    }
+}
+
+impl Iterator for TaskStream {
+    type Item = Result<MalleableTask>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next_index >= self.config.tasks {
+            return None;
+        }
+        let index = self.next_index;
+        self.next_index += 1;
+        let work = self.config.work_mix.sample(&mut self.rng).max(1e-6);
+        let family = self.config.families[self.rng.gen_range(0..self.config.families.len())];
+        let family = jitter(family, &mut self.rng);
+        Some(
+            family
+                .profile(work, self.config.processors)
+                .map(|profile| MalleableTask::named(format!("{}-{index}", family.name()), profile)),
+        )
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.config.tasks - self.next_index;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for TaskStream {}
 
 /// Jitter family parameters per task so instances are not degenerate.
 fn jitter(family: SpeedupFamily, rng: &mut ChaCha8Rng) -> SpeedupFamily {

@@ -45,12 +45,12 @@ pub mod residual;
 pub mod stats;
 
 pub use arrivals::{
-    trace_from_json, trace_to_json, Arrival, ArrivalPattern, ArrivalTrace, DeparturePolicy,
-    TraceConfig,
+    trace_from_json, trace_to_json, Arrival, ArrivalPattern, ArrivalStream, ArrivalTrace,
+    DeparturePolicy, TraceConfig,
 };
 pub use families::SpeedupFamily;
 pub use faults::{FaultConfig, FaultPlan, Outage, RetryPolicy};
-pub use generator::{WorkMix, WorkloadConfig, WorkloadGenerator};
+pub use generator::{TaskStream, WorkMix, WorkloadConfig, WorkloadGenerator};
 pub use hetero::{classed_trace, parse_class_specs, total_class_processors, ClassSpec};
 pub use io::{instance_from_json, instance_to_json, instances_approx_equal};
 pub use residual::{executed_fraction, residual_profile, residual_task};
