@@ -395,7 +395,7 @@ fn main() {
     }
     // The shipped deterministic scenario (shared with the engine's
     // hand-computed unit test): preemption must strictly win.
-    let scenario = online::queued_reallotment_scenario();
+    let scenario = online::queued_reallotment_scenario().expect("valid scenario");
     let scenario_makespan = |preempt: bool| {
         let mut policy = EpochReplan::mrt(1.0)
             .expect("valid period")
@@ -495,7 +495,7 @@ fn main() {
     // hand-computed unit test): re-allotment of the running task must
     // strictly beat queued-only preemption, which cannot help here because
     // nothing is ever queued.
-    let scenario = online::running_reallotment_scenario();
+    let scenario = online::running_reallotment_scenario().expect("valid scenario");
     let scenario_makespan = |preempt_running: bool| {
         let mut policy = EpochReplan::mrt(1.0)
             .expect("valid period")

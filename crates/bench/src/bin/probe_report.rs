@@ -30,8 +30,6 @@
 //! * the `NoopRecorder` run is within 2% of the uninstrumented run (plus a
 //!   1 ms absolute floor to absorb scheduler jitter on loaded CI hosts).
 
-use std::time::Instant;
-
 use std::sync::Arc;
 
 use malleable_core::prelude::*;
@@ -47,11 +45,11 @@ fn solve_timed(
     mode: SearchMode,
     workspace: &mut ProbeWorkspace,
 ) -> (SearchResult, f64) {
-    let start = Instant::now();
+    let start = telemetry::SpanTimer::start();
     let result = search
         .solve_guided(instance, scheduler, mode, None, workspace)
         .expect("solve succeeds");
-    (result, start.elapsed().as_nanos() as f64)
+    (result, start.elapsed_ns() as f64)
 }
 
 fn main() {
@@ -203,12 +201,12 @@ fn main() {
             .expect("policy")
             .with_search(SearchMode::Bisect)
             .with_warm_start(false);
-        let start = Instant::now();
+        let start = telemetry::SpanTimer::start();
         let cold = online::run(&trace, &mut cold_policy).expect("cold run");
         let cold_ms = start.elapsed().as_secs_f64() * 1e3;
 
         let mut warm_policy = EpochReplan::mrt(1.0).expect("policy");
-        let start = Instant::now();
+        let start = telemetry::SpanTimer::start();
         let warm = online::run(&trace, &mut warm_policy).expect("warm run");
         let warm_ms = start.elapsed().as_secs_f64() * 1e3;
 
@@ -251,15 +249,15 @@ fn main() {
     let mut noop_ns = Vec::new();
     for _ in 0..7 {
         let mut policy = EpochReplan::mrt(1.0).expect("policy");
-        let start = Instant::now();
+        let start = telemetry::SpanTimer::start();
         let plain = online::run(&overhead_trace, &mut policy).expect("plain run");
-        plain_ns.push(start.elapsed().as_nanos() as f64);
+        plain_ns.push(start.elapsed_ns() as f64);
 
         let mut policy = EpochReplan::mrt(1.0).expect("policy");
-        let start = Instant::now();
+        let start = telemetry::SpanTimer::start();
         let recorded =
             online::run_recorded(&overhead_trace, &mut policy, &noop).expect("recorded run");
-        noop_ns.push(start.elapsed().as_nanos() as f64);
+        noop_ns.push(start.elapsed_ns() as f64);
         assert_eq!(
             plain.makespan, recorded.makespan,
             "the noop-recorded run must be behaviourally identical"

@@ -7,8 +7,6 @@
 //! cargo run -p mrt-bench --release --bin scaling_report
 //! ```
 
-use std::time::Instant;
-
 use malleable_core::bounds;
 use malleable_core::canonical::CanonicalListAlgorithm;
 use malleable_core::dual::DualApproximation;
@@ -17,7 +15,7 @@ use mrt_bench::Family;
 
 fn time_probe(algorithm: &dyn DualApproximation, instance: &malleable_core::Instance) -> f64 {
     let omega = bounds::upper_bound(instance);
-    let start = Instant::now();
+    let start = telemetry::SpanTimer::start();
     let outcome = algorithm.probe(instance, omega);
     assert!(outcome.is_feasible());
     start.elapsed().as_secs_f64() * 1e3

@@ -25,6 +25,7 @@
 //! exact.
 
 use crate::instance::HeteroInstance;
+use malleable_core::eps::{approx_ge, EPS};
 
 /// A class assignment: `assignment[task]` is the class index the task runs
 /// in.
@@ -41,11 +42,11 @@ pub fn lp_assign(instance: &HeteroInstance) -> Assignment {
     }
     let mut lo = instance.lower_bound();
     if lo <= 0.0 {
-        lo = 1e-9;
+        lo = EPS;
     }
     // Grow an upper bound until a guess rounds feasibly (everything fits
     // sequentially in the fastest class eventually, so this terminates).
-    let mut hi = lo.max(1e-9);
+    let mut hi = lo.max(EPS);
     let mut best: Option<Assignment> = None;
     for _ in 0..64 {
         if let Some(assignment) = try_round(instance, hi) {
@@ -124,7 +125,7 @@ fn try_round(instance: &HeteroInstance, t: f64) -> Option<Assignment> {
         let mut chosen: Option<usize> = None;
         for (c, work) in options[task].iter().enumerate() {
             let Some(work) = work else { continue };
-            if remaining[c] + 1e-9 < *work {
+            if !approx_ge(remaining[c], *work) {
                 continue;
             }
             let better = match chosen {

@@ -16,6 +16,7 @@
 //! [`TelemetryEvent::ClassUtilization`] per class.
 
 use malleable_core::dual::SearchMode;
+use malleable_core::eps::{approx_ge, approx_le, EPS_ACCUM};
 use malleable_core::{
     MrtSolver, ProcessorRange, Result, Schedule, ScheduledTask, SolveRequest, Solver,
 };
@@ -99,7 +100,7 @@ impl ClassedRunResult {
             }
             seen[entry.task] = true;
             let arrival = &trace.arrivals()[entry.task];
-            if entry.start < arrival.at - 1e-9 {
+            if !approx_ge(entry.start, arrival.at) {
                 messages.push(format!(
                     "task {} starts at {} before its arrival {}",
                     entry.task, entry.start, arrival.at
@@ -116,7 +117,7 @@ impl ClassedRunResult {
             let expected =
                 ClassedSpeedupProfile::from_speeds(arrival.task.profile.clone(), &self.cluster)
                     .time(class, entry.processors.count);
-            if (entry.duration - expected).abs() > 1e-6 {
+            if (entry.duration - expected).abs() > EPS_ACCUM {
                 messages.push(format!(
                     "task {} runs {} but class {} needs {}",
                     entry.task, entry.duration, class, expected
@@ -201,7 +202,7 @@ pub fn run_classed(
         }
         // Admit everything that has arrived by this epoch boundary.
         let mut fresh = 0usize;
-        while admitted < n && trace.arrivals()[admitted].at <= now + 1e-9 {
+        while admitted < n && approx_le(trace.arrivals()[admitted].at, now) {
             states[admitted] = Some(TaskState::Queued { last_class: None });
             admitted += 1;
             fresh += 1;
@@ -211,10 +212,13 @@ pub fn run_classed(
             // queue and may land in a different class.
             for (task, state) in states.iter_mut().enumerate() {
                 if let Some(TaskState::Committed(c)) = state {
-                    if c.start > now + 1e-9 {
-                        machines[c.class]
-                            .revoke(c.reservation)
-                            .unwrap_or_else(|e| panic!("revoking queued task {task}: {e:?}"));
+                    if !approx_le(c.start, now) {
+                        machines[c.class].revoke(c.reservation).map_err(|e| {
+                            malleable_core::Error::InvariantViolated {
+                                context: "classed-revoke-queued",
+                                message: format!("task {task}: {e}"),
+                            }
+                        })?;
                         *state = Some(TaskState::Queued {
                             last_class: Some(c.class),
                         });

@@ -1,0 +1,3 @@
+//! Fixture: gated crate root — `missing-docs-gate` stays quiet.
+
+#![warn(missing_docs)]

@@ -1,0 +1,4 @@
+//! Fixture: ungated crate root — `missing-docs-gate` fires at 1:1.
+// The gate mentioned here — #![warn(missing_docs)] — is commented out.
+
+pub struct Undocumented;

@@ -1,0 +1,17 @@
+//! Fixture: `float-exact-compare` — see `tests/fixtures.rs`.
+
+pub fn same_makespan(makespan: f64, target: f64) -> bool {
+    makespan == target
+}
+
+pub fn not_one(ratio: f64) -> bool {
+    ratio != 1.0
+}
+
+pub fn same_len(xs: &[f64], ys: &[f64]) -> bool {
+    xs.len() == ys.len()
+}
+
+pub fn allowed(omega: f64) -> bool {
+    omega == 0.0 // lint:allow(float-exact-compare)
+}

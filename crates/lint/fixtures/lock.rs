@@ -1,0 +1,10 @@
+//! Fixture: `no-send-under-lock` — see `tests/fixtures.rs`.
+
+pub fn hazardous(tx: &std::sync::mpsc::Sender<u64>, state: &std::sync::Mutex<u64>) {
+    tx.send(*state.lock().expect("poisoned")).ok();
+}
+
+pub fn safe(tx: &std::sync::mpsc::Sender<u64>, state: &std::sync::Mutex<u64>) {
+    let value = *state.lock().expect("poisoned");
+    tx.send(value).ok();
+}

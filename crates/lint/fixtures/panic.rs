@@ -1,0 +1,30 @@
+//! Fixture: `no-panic-in-engine` — see `tests/fixtures.rs`.
+
+pub fn lookup(values: &[u32], index: usize) -> u32 {
+    let first = values.first().unwrap();
+    let second = values.get(index).expect("index in range");
+    if *first > 10 {
+        panic!("too big");
+    }
+    todo!()
+}
+
+pub fn planned() -> u32 {
+    unimplemented!()
+}
+
+// a comment mentioning x.unwrap() must not fire
+pub fn doc_mention() -> &'static str {
+    "calling .unwrap() here would be wrong"
+}
+
+pub fn allowed(values: &[u32]) -> u32 {
+    *values.first().unwrap() // lint:allow(no-panic-in-engine)
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn in_tests(values: &[u32]) -> u32 {
+        *values.first().unwrap()
+    }
+}

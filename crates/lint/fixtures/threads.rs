@@ -1,0 +1,12 @@
+//! Fixture: `scoped-threads-only` — see `tests/fixtures.rs`.
+
+pub fn detached() {
+    let handle = std::thread::spawn(|| {});
+    handle.join().ok();
+}
+
+pub fn bracketed(xs: &mut [u64]) {
+    std::thread::scope(|scope| {
+        scope.spawn(|| xs.iter_mut().for_each(|x| *x += 1));
+    });
+}

@@ -1,0 +1,216 @@
+//! The recorded-baseline workflow: pre-existing debt is tracked, new
+//! violations fail.
+//!
+//! `lint-baseline.json` records every violation present when the rule set
+//! first ran (`first_recorded_total` preserves that initial count across
+//! updates, so burn-down is measurable forever).  On later runs each
+//! finding is matched against the baseline **multiset** keyed by
+//! `(rule, path, snippet)` — line numbers drift as files are edited, but a
+//! pre-existing `.unwrap()` keeps its text, so matching by trimmed snippet
+//! keeps the baseline stable without pinning lines.  Findings beyond the
+//! baseline are *new* and fail `--ci`; baseline entries that no longer
+//! match are *fixed* and `--update-baseline` drops them.
+
+use std::collections::HashMap;
+
+use crate::Violation;
+use serde_json::{json, Value};
+
+/// One recorded baseline entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Rule name.
+    pub rule: String,
+    /// Workspace-relative path.
+    pub path: String,
+    /// Line recorded at capture time (informational; matching is by
+    /// snippet).
+    pub line: usize,
+    /// Column recorded at capture time (informational).
+    pub column: usize,
+    /// Trimmed offending source line — the matching key.
+    pub snippet: String,
+}
+
+/// The recorded baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    /// Total findings when the baseline was *first* recorded; preserved by
+    /// updates so the burn-down is visible (`entries.len()` must only ever
+    /// shrink relative to it).
+    pub first_recorded_total: usize,
+    /// The recorded entries.
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// The outcome of matching a run's findings against a baseline.
+#[derive(Debug, Clone, Default)]
+pub struct BaselineDiff {
+    /// Findings covered by the baseline.
+    pub baselined: Vec<Violation>,
+    /// Findings not covered — the CI-failing set.
+    pub new: Vec<Violation>,
+    /// Baseline entries that no longer fire (fixed debt).
+    pub fixed: Vec<BaselineEntry>,
+}
+
+fn key(rule: &str, path: &str, snippet: &str) -> (String, String, String) {
+    (rule.to_string(), path.to_string(), snippet.to_string())
+}
+
+impl Baseline {
+    /// Capture a fresh baseline from `violations`, preserving the
+    /// first-recorded total of `previous` when one exists.
+    pub fn capture(violations: &[Violation], previous: Option<&Baseline>) -> Baseline {
+        let entries: Vec<BaselineEntry> = violations
+            .iter()
+            .map(|v| BaselineEntry {
+                rule: v.rule.to_string(),
+                path: v.path.clone(),
+                line: v.line,
+                column: v.column,
+                snippet: v.snippet.clone(),
+            })
+            .collect();
+        let first_recorded_total = previous
+            .map(|b| b.first_recorded_total)
+            .filter(|&n| n > 0)
+            .unwrap_or(entries.len());
+        Baseline {
+            first_recorded_total,
+            entries,
+        }
+    }
+
+    /// Match `violations` against the baseline multiset.
+    pub fn diff(&self, violations: &[Violation]) -> BaselineDiff {
+        let mut budget: HashMap<(String, String, String), usize> = HashMap::new();
+        for entry in &self.entries {
+            *budget
+                .entry(key(&entry.rule, &entry.path, &entry.snippet))
+                .or_insert(0) += 1;
+        }
+        let mut diff = BaselineDiff::default();
+        for violation in violations {
+            let k = key(violation.rule, &violation.path, &violation.snippet);
+            match budget.get_mut(&k) {
+                Some(count) if *count > 0 => {
+                    *count -= 1;
+                    diff.baselined.push(violation.clone());
+                }
+                _ => diff.new.push(violation.clone()),
+            }
+        }
+        // Whatever budget remains was recorded but no longer fires.
+        for entry in &self.entries {
+            let k = key(&entry.rule, &entry.path, &entry.snippet);
+            if let Some(count) = budget.get_mut(&k) {
+                if *count > 0 {
+                    *count -= 1;
+                    diff.fixed.push(entry.clone());
+                }
+            }
+        }
+        diff
+    }
+
+    /// Serialise to the committed JSON layout.
+    pub fn to_json(&self) -> Value {
+        let entries: Vec<Value> = self
+            .entries
+            .iter()
+            .map(|e| {
+                json!({
+                    "rule": e.rule.as_str(),
+                    "path": e.path.as_str(),
+                    "line": e.line as u64,
+                    "column": e.column as u64,
+                    "snippet": e.snippet.as_str(),
+                })
+            })
+            .collect();
+        json!({
+            "version": 1u64,
+            "first_recorded_total": self.first_recorded_total as u64,
+            "total": self.entries.len() as u64,
+            "entries": Value::Array(entries),
+        })
+    }
+
+    /// Parse the committed JSON layout.  Returns `None` on any shape
+    /// mismatch (a corrupt baseline must fail loudly at the call site, not
+    /// silently pass everything).
+    pub fn from_json(value: &Value) -> Option<Baseline> {
+        let first_recorded_total = value.get("first_recorded_total")?.as_u64()? as usize;
+        let mut entries = Vec::new();
+        for entry in value.get("entries")?.as_array()? {
+            entries.push(BaselineEntry {
+                rule: entry.get("rule")?.as_str()?.to_string(),
+                path: entry.get("path")?.as_str()?.to_string(),
+                line: entry.get("line")?.as_u64()? as usize,
+                column: entry.get("column")?.as_u64()? as usize,
+                snippet: entry.get("snippet")?.as_str()?.to_string(),
+            });
+        }
+        Some(Baseline {
+            first_recorded_total,
+            entries,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn violation(rule: &'static str, path: &str, snippet: &str) -> Violation {
+        Violation {
+            rule,
+            path: path.to_string(),
+            line: 1,
+            column: 1,
+            message: String::new(),
+            snippet: snippet.to_string(),
+        }
+    }
+
+    #[test]
+    fn multiset_matching_handles_duplicates_and_drift() {
+        let recorded = vec![
+            violation("r", "a.rs", "x.unwrap();"),
+            violation("r", "a.rs", "x.unwrap();"),
+            violation("r", "b.rs", "y.unwrap();"),
+        ];
+        let baseline = Baseline::capture(&recorded, None);
+        assert_eq!(baseline.first_recorded_total, 3);
+
+        // One duplicate fixed, one survives (at a drifted line), one new
+        // finding appears elsewhere.
+        let mut survivor = violation("r", "a.rs", "x.unwrap();");
+        survivor.line = 99;
+        let now = vec![survivor, violation("r", "c.rs", "z.unwrap();")];
+        let diff = baseline.diff(&now);
+        assert_eq!(diff.baselined.len(), 1);
+        assert_eq!(diff.new.len(), 1);
+        assert_eq!(diff.new[0].path, "c.rs");
+        assert_eq!(diff.fixed.len(), 2);
+    }
+
+    #[test]
+    fn capture_preserves_first_recorded_total() {
+        let recorded = vec![violation("r", "a.rs", "x.unwrap();")];
+        let first = Baseline::capture(&recorded, None);
+        let shrunk = Baseline::capture(&[], Some(&first));
+        assert_eq!(shrunk.first_recorded_total, 1);
+        assert!(shrunk.entries.is_empty());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let baseline = Baseline::capture(&[violation("r", "a.rs", "x.unwrap();")], None);
+        let text = serde_json::to_string(&baseline.to_json()).unwrap();
+        let parsed = Baseline::from_json(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(parsed.first_recorded_total, 1);
+        assert_eq!(parsed.entries, baseline.entries);
+    }
+}

@@ -1,0 +1,457 @@
+//! A comment/string/raw-string-aware Rust lexer.
+//!
+//! Rules must never fire inside comments or literals — a doc sentence
+//! mentioning `unwrap()` is not a panic site.  The lexer walks a file once
+//! with a small state machine (nested `/* */` blocks, `//` comments, plain
+//! and byte strings with escapes, raw strings `r#"…"#` with any number of
+//! hashes, char literals vs lifetimes) and hands rules a per-line **masked
+//! view**: [`LexedLine::code`] keeps only code characters (everything else
+//! blanked to spaces, so character columns line up with the raw line), and
+//! [`LexedLine::comment`] keeps only comment text, which is where
+//! `lint:allow(<rule>)` suppressions live.
+//!
+//! Test regions are classified structurally: a top-level `#[cfg(test)]` or
+//! `#[test]` attribute marks the item it precedes (brace-matched over the
+//! masked code, so braces in strings cannot confuse it), and rules that
+//! exempt test code skip those lines.
+
+/// One lexed source line.
+#[derive(Debug, Clone)]
+pub struct LexedLine {
+    /// The raw line (no trailing newline).
+    pub raw: String,
+    /// The line with every non-code character blanked to a space.
+    /// Character indices match `raw`.
+    pub code: String,
+    /// The line with every non-comment character blanked to a space.
+    pub comment: String,
+    /// Whether the line sits inside a `#[cfg(test)]` / `#[test]` item.
+    pub in_test: bool,
+    /// Rules suppressed on this line via `// lint:allow(rule-a, rule-b)`.
+    pub allows: Vec<String>,
+}
+
+/// A lexed source file, the unit rules operate on.
+#[derive(Debug, Clone)]
+pub struct LexedFile {
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// The crate directory name when the path is `crates/<name>/…`.
+    pub crate_name: Option<String>,
+    /// The lexed lines, in order.
+    pub lines: Vec<LexedLine>,
+}
+
+/// Character classes assigned by the state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    Code,
+    Comment,
+    Literal,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Code,
+    LineComment,
+    BlockComment { depth: usize },
+    Str { raw_hashes: Option<usize> },
+    Char,
+}
+
+/// Lex `text` into per-line masked views.
+pub fn lex(path: &str, text: &str) -> LexedFile {
+    let chars: Vec<char> = text.chars().collect();
+    let mut classes: Vec<Class> = vec![Class::Code; chars.len()];
+    let mut state = State::Code;
+    let mut i = 0usize;
+
+    let at = |i: usize| chars.get(i).copied();
+    while i < chars.len() {
+        let c = chars[i];
+        match state {
+            State::Code => {
+                if c == '/' && at(i + 1) == Some('/') {
+                    state = State::LineComment;
+                    classes[i] = Class::Comment;
+                } else if c == '/' && at(i + 1) == Some('*') {
+                    state = State::BlockComment { depth: 1 };
+                    classes[i] = Class::Comment;
+                    classes[i + 1] = Class::Comment;
+                    i += 2;
+                    continue;
+                } else if let Some(consumed) = raw_string_prefix(&chars, i) {
+                    // r"…", r#"…"#, br#"…"#: `consumed` covers the prefix
+                    // through the opening quote; hashes = consumed minus
+                    // prefix letters and the quote.
+                    let hashes = chars[i..i + consumed].iter().filter(|&&p| p == '#').count();
+                    for class in classes.iter_mut().skip(i).take(consumed) {
+                        *class = Class::Literal;
+                    }
+                    state = State::Str {
+                        raw_hashes: Some(hashes),
+                    };
+                    i += consumed;
+                    continue;
+                } else if c == '"' {
+                    state = State::Str { raw_hashes: None };
+                    classes[i] = Class::Literal;
+                } else if c == 'b' && at(i + 1) == Some('"') && !prev_is_ident(&chars, i) {
+                    classes[i] = Class::Literal;
+                    classes[i + 1] = Class::Literal;
+                    state = State::Str { raw_hashes: None };
+                    i += 2;
+                    continue;
+                } else if c == '\'' {
+                    // Char literal or lifetime?  `'x'`, `'\n'`, `b'x'` are
+                    // literals; `'static` (ident not followed by a closing
+                    // quote) is a lifetime and stays code.
+                    let next = at(i + 1);
+                    let is_literal = match next {
+                        Some('\\') => true,
+                        Some(n) if n != '\'' => at(i + 2) == Some('\''),
+                        _ => false,
+                    };
+                    if is_literal {
+                        classes[i] = Class::Literal;
+                        state = State::Char;
+                    }
+                }
+            }
+            State::LineComment => {
+                if c == '\n' {
+                    state = State::Code;
+                } else {
+                    classes[i] = Class::Comment;
+                }
+            }
+            State::BlockComment { depth } => {
+                if c == '/' && at(i + 1) == Some('*') {
+                    classes[i] = Class::Comment;
+                    classes[i + 1] = Class::Comment;
+                    state = State::BlockComment { depth: depth + 1 };
+                    i += 2;
+                    continue;
+                } else if c == '*' && at(i + 1) == Some('/') {
+                    classes[i] = Class::Comment;
+                    classes[i + 1] = Class::Comment;
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment { depth: depth - 1 }
+                    };
+                    i += 2;
+                    continue;
+                } else if c != '\n' {
+                    classes[i] = Class::Comment;
+                }
+            }
+            State::Str { raw_hashes: None } => {
+                classes[i] = Class::Literal;
+                if c == '\\' {
+                    if let Some(slot) = classes.get_mut(i + 1) {
+                        *slot = Class::Literal;
+                    }
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    state = State::Code;
+                }
+            }
+            State::Str {
+                raw_hashes: Some(hashes),
+            } => {
+                classes[i] = Class::Literal;
+                if c == '"'
+                    && chars[i + 1..]
+                        .iter()
+                        .take(hashes)
+                        .filter(|&&h| h == '#')
+                        .count()
+                        == hashes
+                {
+                    for class in classes.iter_mut().skip(i + 1).take(hashes) {
+                        *class = Class::Literal;
+                    }
+                    state = State::Code;
+                    i += 1 + hashes;
+                    continue;
+                }
+            }
+            State::Char => {
+                classes[i] = Class::Literal;
+                if c == '\\' {
+                    if let Some(slot) = classes.get_mut(i + 1) {
+                        *slot = Class::Literal;
+                    }
+                    i += 2;
+                    continue;
+                }
+                if c == '\'' {
+                    state = State::Code;
+                }
+            }
+        }
+        i += 1;
+    }
+
+    // Newlines always separate lines, whatever state they were scanned in.
+    let mut lines = Vec::new();
+    let mut raw = String::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    for (index, &c) in chars.iter().enumerate() {
+        if c == '\n' {
+            lines.push(make_line(&raw, &code, &comment));
+            raw.clear();
+            code.clear();
+            comment.clear();
+            continue;
+        }
+        raw.push(c);
+        code.push(if classes[index] == Class::Code {
+            c
+        } else {
+            ' '
+        });
+        comment.push(if classes[index] == Class::Comment {
+            c
+        } else {
+            ' '
+        });
+    }
+    if !raw.is_empty() {
+        lines.push(make_line(&raw, &code, &comment));
+    }
+
+    mark_test_regions(&mut lines);
+
+    LexedFile {
+        path: path.to_string(),
+        crate_name: crate_of(path),
+        lines,
+    }
+}
+
+/// The crate directory name for paths of the form `crates/<name>/…`.
+fn crate_of(path: &str) -> Option<String> {
+    let mut parts = path.split('/');
+    if parts.next() == Some("crates") {
+        parts.next().map(str::to_string)
+    } else {
+        None
+    }
+}
+
+fn make_line(raw: &str, code: &str, comment: &str) -> LexedLine {
+    LexedLine {
+        raw: raw.to_string(),
+        code: code.to_string(),
+        comment: comment.to_string(),
+        in_test: false,
+        allows: parse_allows(comment),
+    }
+}
+
+/// Rules named by `lint:allow(a, b)` groups inside a comment.
+fn parse_allows(comment: &str) -> Vec<String> {
+    let mut allows = Vec::new();
+    let mut rest = comment;
+    while let Some(at) = rest.find("lint:allow(") {
+        rest = &rest[at + "lint:allow(".len()..];
+        let Some(close) = rest.find(')') else { break };
+        for rule in rest[..close].split(',') {
+            let rule = rule.trim();
+            if !rule.is_empty() {
+                allows.push(rule.to_string());
+            }
+        }
+        rest = &rest[close + 1..];
+    }
+    allows
+}
+
+/// Does a raw-string prefix (`r"`, `r#…#"`, `br"`, `br#…#"`) start at `i`?
+/// Returns the number of characters through the opening quote.
+fn raw_string_prefix(chars: &[char], i: usize) -> Option<usize> {
+    if prev_is_ident(chars, i) {
+        return None;
+    }
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some(j + 1 - i)
+    } else {
+        None
+    }
+}
+
+/// Whether the character before `i` continues an identifier — in that case
+/// an `r` / `b` at `i` is the tail of a name, not a literal prefix.
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// Mark the lines of every `#[cfg(test)]`- or `#[test]`-attributed item.
+///
+/// From each attribute, the item extends to the first top-level `;` or to
+/// the close of the first `{ … }` block, brace-matched over the *masked*
+/// code so literals cannot unbalance it.
+fn mark_test_regions(lines: &mut [LexedLine]) {
+    let starts: Vec<usize> = lines
+        .iter()
+        .enumerate()
+        .filter(|(_, line)| {
+            let squeezed: String = line.code.chars().filter(|c| !c.is_whitespace()).collect();
+            squeezed.contains("#[cfg(test)]")
+                || squeezed.contains("#[cfg(all(test")
+                || squeezed.contains("#[test]")
+        })
+        .map(|(index, _)| index)
+        .collect();
+    for start in starts {
+        let mut depth = 0usize;
+        let mut opened = false;
+        'scan: for index in start..lines.len() {
+            let code: Vec<char> = lines[index].code.chars().collect();
+            for c in code {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        if opened && depth == 0 {
+                            mark(lines, start, index);
+                            break 'scan;
+                        }
+                    }
+                    ';' if !opened => {
+                        mark(lines, start, index);
+                        break 'scan;
+                    }
+                    _ => {}
+                }
+            }
+            if index == lines.len() - 1 {
+                mark(lines, start, index);
+            }
+        }
+    }
+}
+
+fn mark(lines: &mut [LexedLine], from: usize, to: usize) {
+    for line in &mut lines[from..=to] {
+        line.in_test = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(text: &str) -> Vec<String> {
+        lex("crates/demo/src/lib.rs", text)
+            .lines
+            .iter()
+            .map(|l| l.code.clone())
+            .collect()
+    }
+
+    #[test]
+    fn line_comments_are_masked() {
+        let code = code_of("let x = 1; // x.unwrap()\nlet y = 2;");
+        assert_eq!(code[0].trim_end(), "let x = 1;");
+        assert!(!code[0].contains("unwrap"));
+        assert_eq!(code[1], "let y = 2;");
+    }
+
+    #[test]
+    fn nested_block_comments_are_masked() {
+        let code = code_of("a /* one /* two */ still */ b");
+        assert_eq!(code[0].chars().next(), Some('a'));
+        assert_eq!(code[0].chars().last(), Some('b'));
+        assert!(
+            !code[0].contains("still"),
+            "inner close must not end the comment"
+        );
+    }
+
+    #[test]
+    fn strings_and_escapes_are_masked() {
+        let code = code_of(r#"let s = "a \" b"; t()"#);
+        assert!(code[0].starts_with("let s ="));
+        assert!(
+            code[0].ends_with("; t()"),
+            "escaped quote must not end the string: {:?}",
+            code[0]
+        );
+        assert!(!code[0].contains('a') || !code[0].contains('b'));
+    }
+
+    #[test]
+    fn raw_strings_span_lines_and_keep_hashes() {
+        let text = "let s = r#\"line \"one\"\nunwrap()\"# ; done()";
+        let code = code_of(text);
+        assert_eq!(
+            code[0].trim_end(),
+            "let s =",
+            "interior quote must not close r#\"…\"#"
+        );
+        assert!(!code[1].contains("unwrap"));
+        assert!(code[1].ends_with("; done()"));
+    }
+
+    #[test]
+    fn identifier_ending_in_r_is_not_a_raw_string() {
+        // The `r` of `var` continues an identifier, while a free `r"…"`
+        // after a non-ident char opens a raw string.
+        let code = code_of("let var = 1; let s = r\"text\"; var");
+        assert!(code[0].starts_with("let var = 1; let s ="));
+        assert!(!code[0].contains("text"));
+        assert!(code[0].ends_with("; var"));
+    }
+
+    #[test]
+    fn char_literals_mask_but_lifetimes_stay_code() {
+        let code = code_of("let c = 'x'; fn f<'a>(v: &'a str) {}");
+        assert!(!code[0].contains('x'));
+        assert!(
+            code[0].contains("<'a>"),
+            "lifetimes must stay code: {:?}",
+            code[0]
+        );
+        assert!(code[0].contains("&'a str"));
+    }
+
+    #[test]
+    fn comment_channel_carries_allows() {
+        let file = lex(
+            "crates/demo/src/lib.rs",
+            "x.unwrap(); // lint:allow(no-panic-in-engine, single-clock)\n",
+        );
+        assert_eq!(
+            file.lines[0].allows,
+            vec!["no-panic-in-engine".to_string(), "single-clock".to_string()]
+        );
+    }
+
+    #[test]
+    fn cfg_test_region_is_brace_matched() {
+        let text = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let file = lex("crates/demo/src/lib.rs", text);
+        let flags: Vec<bool> = file.lines.iter().map(|l| l.in_test).collect();
+        assert_eq!(flags, vec![false, true, true, true, true, false]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Text and JSON rendering of a lint run, with telemetry-style counters.
+
+use std::fmt::Write as _;
+
+use crate::baseline::BaselineDiff;
+use crate::names;
+use serde_json::{json, Value};
+use telemetry::{CollectingRecorder, Recorder};
+
+/// Everything one `lint check` run produced, ready to render.
+#[derive(Debug)]
+pub struct Report {
+    /// Source files scanned.
+    pub files: usize,
+    /// Manifests scanned.
+    pub manifests: usize,
+    /// Total source lines lexed.
+    pub lines: usize,
+    /// Findings silenced by inline `lint:allow` suppressions.
+    pub suppressed: usize,
+    /// The baseline diff (all kept findings, partitioned).
+    pub diff: BaselineDiff,
+}
+
+impl Report {
+    /// Total kept findings (baselined + new).
+    pub fn total(&self) -> usize {
+        self.diff.baselined.len() + self.diff.new.len()
+    }
+
+    /// Record this run's counters on a telemetry recorder, mirroring the
+    /// engine's counter discipline so lint figures land in the same
+    /// dashboards.
+    pub fn record(&self, recorder: &CollectingRecorder) {
+        recorder.add(names::LINT_FILES, self.files as u64);
+        recorder.add(names::LINT_MANIFESTS, self.manifests as u64);
+        recorder.add(names::LINT_LINES, self.lines as u64);
+        recorder.add(names::LINT_VIOLATIONS, self.total() as u64);
+        recorder.add(names::LINT_SUPPRESSED, self.suppressed as u64);
+        recorder.add(names::LINT_BASELINED, self.diff.baselined.len() as u64);
+        recorder.add(names::LINT_NEW, self.diff.new.len() as u64);
+        recorder.add(names::LINT_FIXED, self.diff.fixed.len() as u64);
+    }
+
+    /// Human-readable report text.
+    pub fn render_text(&self, verbose: bool) -> String {
+        let mut out = String::new();
+        for violation in &self.diff.new {
+            let _ = writeln!(
+                out,
+                "error[{}]: {}\n  --> {}:{}:{}\n   | {}",
+                violation.rule,
+                violation.message,
+                violation.path,
+                violation.line,
+                violation.column,
+                violation.snippet
+            );
+        }
+        if verbose {
+            for violation in &self.diff.baselined {
+                let _ = writeln!(
+                    out,
+                    "baselined[{}]: {}:{}:{} {}",
+                    violation.rule,
+                    violation.path,
+                    violation.line,
+                    violation.column,
+                    violation.snippet
+                );
+            }
+        }
+        for entry in &self.diff.fixed {
+            let _ = writeln!(
+                out,
+                "fixed[{}]: {} no longer fires ({}) — run with --update-baseline to drop it",
+                entry.rule, entry.path, entry.snippet
+            );
+        }
+        let _ = writeln!(
+            out,
+            "lint: {} files, {} manifests, {} lines; {} findings \
+             ({} baselined, {} new, {} suppressed, {} fixed)",
+            self.files,
+            self.manifests,
+            self.lines,
+            self.total(),
+            self.diff.baselined.len(),
+            self.diff.new.len(),
+            self.suppressed,
+            self.diff.fixed.len()
+        );
+        out
+    }
+
+    /// Machine-readable JSON for the CI artifact.
+    pub fn render_json(&self) -> Value {
+        let recorder = CollectingRecorder::new();
+        self.record(&recorder);
+        let counters: Vec<Value> = recorder
+            .counters()
+            .into_iter()
+            .map(|(name, value)| {
+                json!({
+                    "name": name.as_str(),
+                    "value": value,
+                })
+            })
+            .collect();
+        let violation_json = |v: &crate::Violation| {
+            json!({
+                "rule": v.rule,
+                "path": v.path.as_str(),
+                "line": v.line as u64,
+                "column": v.column as u64,
+                "message": v.message.as_str(),
+                "snippet": v.snippet.as_str(),
+            })
+        };
+        let new: Vec<Value> = self.diff.new.iter().map(violation_json).collect();
+        let baselined: Vec<Value> = self.diff.baselined.iter().map(violation_json).collect();
+        let fixed: Vec<Value> = self
+            .diff
+            .fixed
+            .iter()
+            .map(|e| {
+                json!({
+                    "rule": e.rule.as_str(),
+                    "path": e.path.as_str(),
+                    "snippet": e.snippet.as_str(),
+                })
+            })
+            .collect();
+        json!({
+            "new": Value::Array(new),
+            "baselined": Value::Array(baselined),
+            "fixed": Value::Array(fixed),
+            "counters": Value::Array(counters),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Violation;
+
+    fn report() -> Report {
+        Report {
+            files: 2,
+            manifests: 1,
+            lines: 100,
+            suppressed: 1,
+            diff: BaselineDiff {
+                baselined: vec![],
+                new: vec![Violation {
+                    rule: "no-panic-in-engine",
+                    path: "crates/online/src/engine.rs".to_string(),
+                    line: 7,
+                    column: 9,
+                    message: "call to .unwrap()".to_string(),
+                    snippet: "x.unwrap();".to_string(),
+                }],
+                fixed: vec![],
+            },
+        }
+    }
+
+    #[test]
+    fn text_report_names_the_finding() {
+        let text = report().render_text(false);
+        assert!(text.contains("error[no-panic-in-engine]"));
+        assert!(text.contains("crates/online/src/engine.rs:7:9"));
+        assert!(text.contains("1 new"));
+    }
+
+    #[test]
+    fn counters_follow_the_telemetry_discipline() {
+        let recorder = CollectingRecorder::new();
+        report().record(&recorder);
+        assert_eq!(recorder.counter(names::LINT_FILES), 2);
+        assert_eq!(recorder.counter(names::LINT_NEW), 1);
+        assert_eq!(recorder.counter(names::LINT_SUPPRESSED), 1);
+    }
+
+    #[test]
+    fn json_report_has_the_failing_set() {
+        let value = report().render_json();
+        let new = value.get("new").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(new.len(), 1);
+        assert_eq!(
+            new[0].get("rule").and_then(|v| v.as_str()),
+            Some("no-panic-in-engine")
+        );
+    }
+}

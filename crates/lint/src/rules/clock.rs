@@ -1,0 +1,55 @@
+//! `single-clock`: all wall time flows through `telemetry::SpanTimer`.
+//!
+//! Decision-latency percentiles, solve spans, bench figures and the dual
+//! search's time budget are only comparable because they come from one
+//! monotonic clock behind one type.  A stray `Instant::now()` reintroduces
+//! ad-hoc timing that silently drifts from the telemetry pipeline, so the
+//! only permitted call site is `SpanTimer::start` itself
+//! (`crates/telemetry/src/clock.rs`).  A `clippy.toml`
+//! `disallowed-methods` entry mirrors this rule as defense in depth.
+
+use super::{path_positions, violation, Rule};
+use crate::{Violation, Workspace};
+
+/// See the module docs.
+pub struct SingleClock;
+
+/// The one file allowed to touch the raw clock.
+const EXEMPT: &[&str] = &["crates/telemetry/src/clock.rs"];
+
+impl Rule for SingleClock {
+    fn name(&self) -> &'static str {
+        "single-clock"
+    }
+
+    fn description(&self) -> &'static str {
+        "no Instant::now() outside telemetry::SpanTimer — one monotonic clock"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for file in &ws.sources {
+            if EXEMPT.contains(&file.path.as_str()) {
+                continue;
+            }
+            for (line0, line) in file.lines.iter().enumerate() {
+                if line.in_test {
+                    continue;
+                }
+                for col0 in path_positions(&line.code, &["Instant", "now"]) {
+                    out.push(violation(
+                        self.name(),
+                        &file.path,
+                        &line.raw,
+                        line0,
+                        col0,
+                        "Instant::now() outside telemetry::SpanTimer; start a SpanTimer \
+                         so the span shares the workspace clock"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,54 @@
+//! `missing-docs-gate`: every crate root opts into `#![warn(missing_docs)]`.
+//!
+//! The workspace's documented-API discipline is only durable if each crate
+//! root carries the gate — CI denies warnings, so the attribute is what
+//! turns "please document" into "does not merge undocumented".  This rule
+//! checks the root source file of every `crates/*` member for
+//! `#![warn(missing_docs)]` (or `deny`); the vendored stand-ins under
+//! `vendor/` mirror external crates and are exempt.
+
+use super::{violation, Rule};
+use crate::{Violation, Workspace};
+
+/// See the module docs.
+pub struct MissingDocsGate;
+
+impl Rule for MissingDocsGate {
+    fn name(&self) -> &'static str {
+        "missing-docs-gate"
+    }
+
+    fn description(&self) -> &'static str {
+        "every crate root carries #![warn(missing_docs)]"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for root in &ws.crate_roots {
+            let Some(file) = ws.sources.iter().find(|f| f.path == root.path) else {
+                continue;
+            };
+            let gated = file.lines.iter().any(|line| {
+                let squeezed: String = line.code.chars().filter(|c| !c.is_whitespace()).collect();
+                squeezed.contains("#![warn(missing_docs)]")
+                    || squeezed.contains("#![deny(missing_docs)]")
+            });
+            if !gated {
+                let raw = file.lines.first().map(|l| l.raw.as_str()).unwrap_or("");
+                out.push(violation(
+                    self.name(),
+                    &file.path,
+                    raw,
+                    0,
+                    0,
+                    format!(
+                        "crate `{}` root lacks #![warn(missing_docs)]; add the gate (and \
+                         docs) so the CI doc gate covers it",
+                        root.name
+                    ),
+                ));
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,53 @@
+//! `no-send-under-lock`: never send on a channel while holding a lock.
+//!
+//! The shard coordinator's deadlock-freedom argument assumes a strict
+//! lock → release → send order: a bounded channel's `send` can block, and
+//! blocking while a `Mutex` guard is live inverts the coordinator's
+//! acquisition order the moment the receiver needs that same lock to make
+//! progress.  The lexical approximation of "holding a guard" is a `.send(…)`
+//! on a line that also takes a `.lock(…)` — the temporary guard lives to the
+//! end of the statement, which is exactly the hazardous shape
+//! (`state.lock().unwrap().queue.send(x)`).
+
+use super::{method_call_positions, violation, Rule};
+use crate::{Violation, Workspace};
+
+/// See the module docs.
+pub struct NoSendUnderLock;
+
+impl Rule for NoSendUnderLock {
+    fn name(&self) -> &'static str {
+        "no-send-under-lock"
+    }
+
+    fn description(&self) -> &'static str {
+        "no channel send on a line holding a .lock() guard — deadlock risk"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for file in &ws.sources {
+            for (line0, line) in file.lines.iter().enumerate() {
+                if line.in_test {
+                    continue;
+                }
+                if method_call_positions(&line.code, "lock").is_empty() {
+                    continue;
+                }
+                for col0 in method_call_positions(&line.code, "send") {
+                    out.push(violation(
+                        self.name(),
+                        &file.path,
+                        &line.raw,
+                        line0,
+                        col0,
+                        "channel send on a line that takes a .lock() guard; bind and drop \
+                         the guard before sending"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,73 @@
+//! `no-panic-in-engine`: the crates carrying the scheduler's guarantees
+//! must not panic on library paths.
+//!
+//! The engine's contracts — the dual-approximation bound, work conservation
+//! under re-allotment, deterministic sharded solves — are only worth
+//! stating if a malformed input or a rejected timeline operation surfaces
+//! as a typed error (`malleable_core::Error`, `ReservationError`) instead
+//! of tearing the process down mid-run.  This rule flags `.unwrap()`,
+//! `.expect(…)`, `panic!`, `todo!` and `unimplemented!` in the non-test
+//! `src/` trees of the engine crates.  `assert!`/`unreachable!` are left to
+//! reviewers: they document impossibilities rather than shortcut error
+//! handling.
+
+use super::{in_crate_src, macro_positions, method_call_positions, violation, Rule, ENGINE_CRATES};
+use crate::{Violation, Workspace};
+
+/// See the module docs.
+pub struct NoPanicInEngine;
+
+const METHODS: &[&str] = &["unwrap", "expect"];
+const MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+
+impl Rule for NoPanicInEngine {
+    fn name(&self) -> &'static str {
+        "no-panic-in-engine"
+    }
+
+    fn description(&self) -> &'static str {
+        "engine crates must return typed errors, not unwrap/expect/panic, outside tests"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for file in &ws.sources {
+            if !in_crate_src(&file.path, ENGINE_CRATES) {
+                continue;
+            }
+            for (line0, line) in file.lines.iter().enumerate() {
+                if line.in_test {
+                    continue;
+                }
+                for method in METHODS {
+                    for col0 in method_call_positions(&line.code, method) {
+                        out.push(violation(
+                            self.name(),
+                            &file.path,
+                            &line.raw,
+                            line0,
+                            col0,
+                            format!(
+                                ".{method}() on an engine path; return a typed error \
+                                 (malleable_core::Error / ReservationError) instead"
+                            ),
+                        ));
+                    }
+                }
+                for mac in MACROS {
+                    for col0 in macro_positions(&line.code, mac) {
+                        out.push(violation(
+                            self.name(),
+                            &file.path,
+                            &line.raw,
+                            line0,
+                            col0,
+                            format!("{mac}! on an engine path; return a typed error instead"),
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,63 @@
+//! `scoped-threads-only`: no detached `std::thread::spawn`.
+//!
+//! The sharded engine's determinism argument leans on `std::thread::scope`:
+//! worker lifetimes are bracketed by the coordinator, panics propagate at
+//! the scope exit, and borrowed shard state cannot outlive the solve.  A
+//! bare `thread::spawn` escapes that discipline — detached workers, `'static`
+//! bounds pushing state into `Arc<Mutex<…>>`, and silent thread leaks on
+//! early returns — so it is banned workspace-wide outside tests.
+
+use super::{is_ident, violation, Rule};
+use crate::{Violation, Workspace};
+
+/// See the module docs.
+pub struct ScopedThreadsOnly;
+
+impl Rule for ScopedThreadsOnly {
+    fn name(&self) -> &'static str {
+        "scoped-threads-only"
+    }
+
+    fn description(&self) -> &'static str {
+        "no bare std::thread::spawn — use std::thread::scope like the shard engine"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for file in &ws.sources {
+            for (line0, line) in file.lines.iter().enumerate() {
+                if line.in_test {
+                    continue;
+                }
+                let chars: Vec<char> = line.code.chars().collect();
+                let pattern: Vec<char> = "thread::spawn".chars().collect();
+                if chars.len() < pattern.len() {
+                    continue;
+                }
+                for start in 0..=chars.len() - pattern.len() {
+                    if chars[start..start + pattern.len()] != pattern[..] {
+                        continue;
+                    }
+                    if start > 0 && is_ident(chars[start - 1]) {
+                        continue;
+                    }
+                    let after = start + pattern.len();
+                    if after < chars.len() && is_ident(chars[after]) {
+                        continue;
+                    }
+                    out.push(violation(
+                        self.name(),
+                        &file.path,
+                        &line.raw,
+                        line0,
+                        start,
+                        "bare thread::spawn; use std::thread::scope so worker lifetimes \
+                         stay bracketed (see online::shard)"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}

@@ -1,0 +1,133 @@
+//! `vendor-hygiene`: every dependency resolves to a workspace or `vendor/`
+//! path.
+//!
+//! The build container has no crate-registry access: a version requirement
+//! (`foo = "1.0"`), a `git = …` source or a registry entry compiles on a
+//! developer machine with a warm cache and then breaks the hermetic build.
+//! Every `[dependencies]` / `[dev-dependencies]` / `[build-dependencies]`
+//! entry (and `[workspace.dependencies]` in the root manifest) must carry
+//! `workspace = true` or an explicit `path = …`.
+
+use super::Rule;
+use crate::{Violation, Workspace};
+
+/// See the module docs.
+pub struct VendorHygiene;
+
+/// Is this `[section]` one whose entries are inline dependency specs?
+fn is_dep_section(section: &str) -> bool {
+    matches!(
+        section,
+        "dependencies" | "dev-dependencies" | "build-dependencies" | "workspace.dependencies"
+    ) || (section.starts_with("target.")
+        && (section.ends_with(".dependencies")
+            || section.ends_with(".dev-dependencies")
+            || section.ends_with(".build-dependencies")))
+}
+
+/// Is this a `[dependencies.foo]`-style per-dependency table?  Returns the
+/// dependency name.
+fn dep_table_name(section: &str) -> Option<&str> {
+    let (head, name) = section.rsplit_once('.')?;
+    if is_dep_section(head) && head != "workspace.dependencies" {
+        Some(name)
+    } else {
+        None
+    }
+}
+
+/// Does an inline spec resolve locally?
+fn spec_is_local(spec: &str) -> bool {
+    spec.contains("workspace = true")
+        || spec.contains("workspace=true")
+        || spec.contains("path =")
+        || spec.contains("path=")
+}
+
+impl Rule for VendorHygiene {
+    fn name(&self) -> &'static str {
+        "vendor-hygiene"
+    }
+
+    fn description(&self) -> &'static str {
+        "every Cargo.toml dependency resolves to a vendor/ or workspace path"
+    }
+
+    fn check(&self, ws: &Workspace) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for manifest in &ws.manifests {
+            let mut section = String::new();
+            // Open `[dependencies.foo]` table: (name, header line, header
+            // raw, satisfied?).
+            let mut table: Option<(String, usize, String, bool)> = None;
+            for (line0, raw) in manifest.text.lines().enumerate() {
+                let line = raw.split('#').next().unwrap_or("").trim();
+                if line.starts_with('[') {
+                    if let Some((name, at, header, ok)) = table.take() {
+                        if !ok {
+                            out.push(self.table_violation(&manifest.path, &name, at, &header));
+                        }
+                    }
+                    section = line.trim_matches(['[', ']']).to_string();
+                    if let Some(name) = dep_table_name(&section) {
+                        table = Some((name.to_string(), line0, raw.to_string(), false));
+                    }
+                    continue;
+                }
+                if let Some(entry) = table.as_mut() {
+                    if spec_is_local(line) {
+                        entry.3 = true;
+                    }
+                    continue;
+                }
+                if !is_dep_section(&section) || line.is_empty() {
+                    continue;
+                }
+                let Some((key, spec)) = line.split_once('=') else {
+                    continue;
+                };
+                let key = key.trim();
+                // `foo.workspace = true` dotted-key form.
+                if key.ends_with(".workspace") && spec.trim() == "true" {
+                    continue;
+                }
+                if !spec_is_local(spec) {
+                    out.push(Violation {
+                        rule: self.name(),
+                        path: manifest.path.clone(),
+                        line: line0 + 1,
+                        column: 1,
+                        message: format!(
+                            "dependency `{key}` does not resolve to a workspace or vendor/ \
+                             path ({}); the container has no registry access",
+                            spec.trim()
+                        ),
+                        snippet: raw.trim().to_string(),
+                    });
+                }
+            }
+            if let Some((name, at, header, ok)) = table.take() {
+                if !ok {
+                    out.push(self.table_violation(&manifest.path, &name, at, &header));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl VendorHygiene {
+    fn table_violation(&self, path: &str, name: &str, line0: usize, raw: &str) -> Violation {
+        Violation {
+            rule: self.name(),
+            path: path.to_string(),
+            line: line0 + 1,
+            column: 1,
+            message: format!(
+                "dependency table `{name}` has neither `workspace = true` nor a `path = …`; \
+                 the container has no registry access"
+            ),
+            snippet: raw.trim().to_string(),
+        }
+    }
+}

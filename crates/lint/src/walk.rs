@@ -1,0 +1,141 @@
+//! Filesystem discovery: build a [`Workspace`] from a checkout on disk.
+//!
+//! The walk is deliberately explicit about scope:
+//!
+//! * **Sources**: every `.rs` file under `crates/` (including each crate's
+//!   `tests/`, `benches/` and `src/bin/`), excluding `crates/lint/fixtures/`
+//!   (those files *intentionally* violate rules) and any `target/` output.
+//!   `vendor/` sources are exempt — they mirror external crates.
+//! * **Manifests**: the root `Cargo.toml` plus every `crates/*/Cargo.toml`
+//!   and `vendor/*/Cargo.toml` (vendored manifests must still resolve
+//!   locally, or the hermetic build breaks one level down).
+//! * **Crate roots**: `crates/*/src/lib.rs` (or `src/main.rs` for binary
+//!   crates) — the files `missing-docs-gate` checks.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::{lexer, CrateRoot, ManifestFile, Workspace};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", ".git", "fixtures"];
+
+/// Recursively collect `.rs` files under `dir`, sorted for deterministic
+/// reports.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative forward-slash rendering of `path` under `root`.
+fn relative(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Load the full workspace rooted at `root` (the directory holding the
+/// workspace `Cargo.toml`).
+pub fn load(root: &Path) -> io::Result<Workspace> {
+    let mut ws = Workspace::default();
+
+    // Sources: crates/**/*.rs (fixtures and target pruned by SKIP_DIRS).
+    let crates_dir = root.join("crates");
+    let mut rs_files = Vec::new();
+    if crates_dir.is_dir() {
+        collect_rs(&crates_dir, &mut rs_files)?;
+    }
+    for path in rs_files {
+        let text = fs::read_to_string(&path)?;
+        ws.sources.push(lexer::lex(&relative(root, &path), &text));
+    }
+
+    // Manifests: root + crates/* + vendor/*.
+    let mut manifest_paths = vec![root.join("Cargo.toml")];
+    for dir in ["crates", "vendor"] {
+        let base = root.join(dir);
+        if !base.is_dir() {
+            continue;
+        }
+        let mut members: Vec<PathBuf> = fs::read_dir(&base)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        for member in members {
+            let manifest = member.join("Cargo.toml");
+            if manifest.is_file() {
+                manifest_paths.push(manifest);
+            }
+        }
+    }
+    for path in manifest_paths {
+        if !path.is_file() {
+            continue;
+        }
+        ws.manifests.push(ManifestFile {
+            path: relative(root, &path),
+            text: fs::read_to_string(&path)?,
+        });
+    }
+
+    // Crate roots under crates/: lib.rs, else main.rs.
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        members.sort();
+        for member in members {
+            let name = member
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or("")
+                .to_string();
+            for candidate in ["src/lib.rs", "src/main.rs"] {
+                let path = member.join(candidate);
+                if path.is_file() {
+                    ws.crate_roots.push(CrateRoot {
+                        name,
+                        path: relative(root, &path),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+
+    Ok(ws)
+}
+
+/// Locate the workspace root by walking up from `start` until a directory
+/// holding both `Cargo.toml` and `crates/` appears.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! Property tests for the lexer/rule contract.
+//!
+//! Three invariants, each exercised over generated sources:
+//!
+//! 1. A hazard token placed in *any* comment, string-literal, or test
+//!    context never fires any rule, and the lexer's masked channels stay
+//!    column-aligned with the raw line.
+//! 2. The same token in plain code fires exactly its rule, once, at the
+//!    exact line/column, wherever it sits in the file.
+//! 3. `// lint:allow(<rule>)` suppresses precisely its own rule and
+//!    nothing else.
+
+use lint::rules::registry;
+use lint::Workspace;
+use proptest::prelude::*;
+
+/// `(token, rule that fires on it, 0-based column offset of the finding
+/// within the token)`.  Tokens avoid `"` so every string context can embed
+/// them verbatim.
+const TOKENS: &[(&str, &str, usize)] = &[
+    ("x.unwrap()", "no-panic-in-engine", 2),
+    ("panic!(boom)", "no-panic-in-engine", 0),
+    ("std::time::Instant::now()", "single-clock", 11),
+    ("thread::spawn(f)", "scoped-threads-only", 0),
+    ("makespan == 1.0", "float-exact-compare", 9),
+    ("q.lock().send(v)", "no-send-under-lock", 9),
+];
+
+/// Lexed as an engine crate so the strictest rule set applies.
+const PATH: &str = "crates/online/src/generated.rs";
+
+/// Embed `token` in a context where no rule may ever fire.
+fn quiet_context(ctx: usize, token: &str) -> String {
+    match ctx {
+        0 => format!("// {token}\n"),
+        1 => format!("/// {token}\nfn documented() {{}}\n"),
+        2 => format!("//! {token}\n"),
+        3 => format!("/* {token} */\n"),
+        4 => format!("/* outer /* {token} */ still comment */\n"),
+        5 => format!("let s = \"{token}\";\n"),
+        6 => format!("let s = r#\"{token}\"#;\n"),
+        7 => format!("let s = r##\"{token}\"##;\n"),
+        8 => format!("let s = b\"{token}\";\n"),
+        9 => format!("#[cfg(test)]\nmod tests {{\n    fn f() {{\n        {token};\n    }}\n}}\n"),
+        _ => format!("#[test]\nfn t() {{\n    {token};\n}}\n"),
+    }
+}
+
+proptest! {
+    #[test]
+    fn quiet_contexts_never_fire(
+        token_idx in 0usize..6,
+        ctx in 0usize..11,
+        pad_before in 0usize..4,
+        pad_after in 0usize..4,
+    ) {
+        let (token, _, _) = TOKENS[token_idx];
+        let mut text = String::new();
+        for _ in 0..pad_before {
+            text.push_str("let y = 1;\n");
+        }
+        text.push_str(&quiet_context(ctx, token));
+        for _ in 0..pad_after {
+            text.push_str("let z = 2;\n");
+        }
+        let ws = Workspace::from_sources(&[(PATH, &text)]);
+        for line in &ws.sources[0].lines {
+            prop_assert_eq!(line.raw.chars().count(), line.code.chars().count());
+            prop_assert_eq!(line.raw.chars().count(), line.comment.chars().count());
+        }
+        let (kept, suppressed) = ws.check(&registry());
+        prop_assert_eq!(suppressed, 0);
+        prop_assert!(kept.is_empty(), "unexpected findings: {:?}", kept);
+    }
+
+    #[test]
+    fn plain_code_fires_exactly_once_at_the_exact_position(
+        token_idx in 0usize..6,
+        indent in 0usize..9,
+        pad_before in 0usize..4,
+    ) {
+        let (token, rule, offset) = TOKENS[token_idx];
+        let mut text = String::new();
+        for _ in 0..pad_before {
+            text.push_str("let y = 1;\n");
+        }
+        text.push_str(&format!("{}{token};\n", " ".repeat(indent)));
+        let ws = Workspace::from_sources(&[(PATH, &text)]);
+        let (kept, suppressed) = ws.check(&registry());
+        prop_assert_eq!(suppressed, 0);
+        prop_assert_eq!(kept.len(), 1, "expected one finding, got {:?}", kept);
+        prop_assert_eq!(kept[0].rule, rule);
+        prop_assert_eq!(kept[0].line, pad_before + 1);
+        prop_assert_eq!(kept[0].column, indent + offset + 1);
+    }
+
+    #[test]
+    fn lint_allow_suppresses_only_its_own_rule(
+        token_idx in 0usize..6,
+        matching in 0usize..2,
+    ) {
+        let (token, rule, _) = TOKENS[token_idx];
+        let allow = if matching == 1 { rule } else { "some-other-rule" };
+        let text = format!("{token}; // lint:allow({allow})\n");
+        let ws = Workspace::from_sources(&[(PATH, &text)]);
+        let (kept, suppressed) = ws.check(&registry());
+        if matching == 1 {
+            prop_assert_eq!(kept.len(), 0, "allow({}) must suppress: {:?}", allow, kept);
+            prop_assert_eq!(suppressed, 1);
+        } else {
+            prop_assert_eq!(kept.len(), 1, "allow({}) must not suppress {}", allow, rule);
+            prop_assert_eq!(suppressed, 0);
+        }
+    }
+}

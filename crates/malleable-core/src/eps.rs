@@ -1,0 +1,75 @@
+//! Epsilon-guarded comparisons for floating scheduling quantities.
+//!
+//! Makespans, allotment times and work integrals are chains of `f64`
+//! arithmetic; comparing them bit-exactly is how work-conservation checks
+//! and feasibility gates silently diverge between solvers.  Every tolerance
+//! in the workspace routes through these helpers so the epsilon is a single
+//! reviewable constant instead of scattered `1e-9` literals, and so the
+//! `float-exact-compare` lint has a sanctioned replacement to point at.
+
+/// The workspace tolerance for absolute comparisons of scheduling
+/// quantities (times, makespans, work).  Matches the `1e-9` historically
+/// used by the bound checks.
+pub const EPS: f64 = 1e-9;
+
+/// A coarser tolerance for quantities accumulated over many operations
+/// (work integrals, utilization sums), where `EPS`-level noise compounds.
+pub const EPS_ACCUM: f64 = 1e-6;
+
+/// `a` equals `b` within [`EPS`].
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= EPS
+}
+
+/// `a` differs from `b` by more than [`EPS`].
+#[inline]
+pub fn approx_ne(a: f64, b: f64) -> bool {
+    !approx_eq(a, b)
+}
+
+/// `a <= b` up to [`EPS`] slack — the feasibility-gate comparison
+/// (`makespan <= deadline + EPS`).
+#[inline]
+pub fn approx_le(a: f64, b: f64) -> bool {
+    a <= b + EPS
+}
+
+/// `a >= b` up to [`EPS`] slack.
+#[inline]
+pub fn approx_ge(a: f64, b: f64) -> bool {
+    a + EPS >= b
+}
+
+/// `a` is zero within [`EPS`].
+#[inline]
+pub fn approx_zero(a: f64) -> bool {
+    a.abs() <= EPS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_tolerates_eps_noise() {
+        assert!(approx_eq(1.0, 1.0 + 0.5 * EPS));
+        assert!(approx_ne(1.0, 1.0 + 3.0 * EPS));
+        assert!(approx_eq(0.1 + 0.2, 0.3));
+    }
+
+    #[test]
+    fn ordering_helpers_allow_slack_one_way_only() {
+        assert!(approx_le(1.0 + 0.5 * EPS, 1.0));
+        assert!(!approx_le(1.0 + 3.0 * EPS, 1.0));
+        assert!(approx_ge(1.0 - 0.5 * EPS, 1.0));
+        assert!(!approx_ge(1.0 - 3.0 * EPS, 1.0));
+    }
+
+    #[test]
+    fn zero_check_is_symmetric() {
+        assert!(approx_zero(0.5 * EPS));
+        assert!(approx_zero(-0.5 * EPS));
+        assert!(!approx_zero(2.0 * EPS));
+    }
+}

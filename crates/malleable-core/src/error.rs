@@ -34,6 +34,15 @@ pub enum Error {
     },
     /// The dual-approximation search could not find any feasible schedule.
     NoFeasibleSchedule,
+    /// An internal invariant the engine relies on was observed broken at
+    /// run time.  Raised instead of panicking on engine paths so a
+    /// corrupted run degrades into a reported error.
+    InvariantViolated {
+        /// Which invariant (a short static label, e.g. `"revoke-queued"`).
+        context: &'static str,
+        /// What was actually observed.
+        message: String,
+    },
 }
 
 impl fmt::Display for Error {
@@ -75,6 +84,9 @@ impl fmt::Display for Error {
             }
             Error::NoFeasibleSchedule => {
                 write!(f, "no feasible schedule could be constructed")
+            }
+            Error::InvariantViolated { context, message } => {
+                write!(f, "engine invariant `{context}` violated: {message}")
             }
         }
     }
@@ -127,6 +139,13 @@ mod tests {
                 "lambda",
             ),
             (Error::NoFeasibleSchedule, "no feasible schedule"),
+            (
+                Error::InvariantViolated {
+                    context: "revoke-queued",
+                    message: "reservation already cancelled".to_string(),
+                },
+                "revoke-queued",
+            ),
         ];
         for (err, needle) in cases {
             assert!(

@@ -51,6 +51,7 @@ pub mod bounds;
 pub mod breakpoints;
 pub mod canonical;
 pub mod dual;
+pub mod eps;
 pub mod error;
 pub mod instance;
 pub mod list;

@@ -13,6 +13,7 @@ pub use crate::allotment::Allotment;
 pub use crate::bounds::{area_bound, critical_task_bound, lower_bound, upper_bound};
 pub use crate::canonical::{CanonicalAllotment, CanonicalListAlgorithm};
 pub use crate::dual::{DualApproximation, DualOutcome, DualSearch, SearchMode, SearchResult};
+pub use crate::eps::{approx_eq, approx_ge, approx_le, approx_ne, approx_zero, EPS};
 pub use crate::error::{Error, Result};
 pub use crate::instance::{Instance, InstanceSummary};
 pub use crate::list::{schedule_rigid, ListOrder};

@@ -196,31 +196,24 @@ impl OnlineResult {
 /// non-preemptive run (makespan 7.5 vs 9 with `EpochReplan::mrt(1.0)`).
 ///
 /// Shared by the engine's hand-computed unit test and the `online_report`
-/// benchmark gate so the two can never drift apart.
-pub fn queued_reallotment_scenario() -> ArrivalTrace {
+/// benchmark gate so the two can never drift apart.  The profiles are
+/// hand-written constants, but the builder still returns the constructor
+/// errors instead of panicking — the engine crate's non-test paths stay
+/// panic-free.
+pub fn queued_reallotment_scenario() -> Result<ArrivalTrace> {
     use workload::Arrival;
     ArrivalTrace::new(
         2,
         vec![
+            Arrival::new(0.1, MalleableTask::new(SpeedupProfile::sequential(4.0)?)),
+            Arrival::new(0.1, MalleableTask::new(SpeedupProfile::sequential(4.0)?)),
             Arrival::new(
                 0.1,
-                MalleableTask::new(SpeedupProfile::sequential(4.0).expect("valid profile")),
+                MalleableTask::new(SpeedupProfile::new(vec![4.0, 2.0])?),
             ),
-            Arrival::new(
-                0.1,
-                MalleableTask::new(SpeedupProfile::sequential(4.0).expect("valid profile")),
-            ),
-            Arrival::new(
-                0.1,
-                MalleableTask::new(SpeedupProfile::new(vec![4.0, 2.0]).expect("valid profile")),
-            ),
-            Arrival::new(
-                1.5,
-                MalleableTask::new(SpeedupProfile::sequential(0.5).expect("valid profile")),
-            ),
+            Arrival::new(1.5, MalleableTask::new(SpeedupProfile::sequential(0.5)?)),
         ],
     )
-    .expect("valid scenario trace")
 }
 
 /// The shipped **running-reallotment scenario**: a malleable task is planned
@@ -234,23 +227,21 @@ pub fn queued_reallotment_scenario() -> ArrivalTrace {
 /// queued).
 ///
 /// Shared by the engine's hand-computed unit test and the `online_report`
-/// benchmark gate so the two can never drift apart.
-pub fn running_reallotment_scenario() -> ArrivalTrace {
+/// benchmark gate so the two can never drift apart.  Returns the
+/// constructor errors instead of panicking, like
+/// [`queued_reallotment_scenario`].
+pub fn running_reallotment_scenario() -> Result<ArrivalTrace> {
     use workload::Arrival;
     ArrivalTrace::new(
         2,
         vec![
             Arrival::new(
                 0.1,
-                MalleableTask::new(SpeedupProfile::new(vec![8.0, 4.5]).expect("valid profile")),
+                MalleableTask::new(SpeedupProfile::new(vec![8.0, 4.5])?),
             ),
-            Arrival::new(
-                1.5,
-                MalleableTask::new(SpeedupProfile::sequential(6.0).expect("valid profile")),
-            ),
+            Arrival::new(1.5, MalleableTask::new(SpeedupProfile::sequential(6.0)?)),
         ],
     )
-    .expect("valid scenario trace")
 }
 
 /// Per-task lifecycle state tracked by the engine.
@@ -541,9 +532,14 @@ fn run_inner(
                     if segments[index].is_empty() && c.start > event.time + 1e-9 =>
                 {
                     // Committed but not started: revoke the reservation.
-                    machine
-                        .revoke(c.reservation)
-                        .expect("queued commitments are revocable");
+                    machine.revoke(c.reservation).map_err(|e| {
+                        invariant_error(
+                            recorder,
+                            event.time,
+                            "revoke-queued-departure",
+                            format!("task {index}: {e}"),
+                        )
+                    })?;
                     states[index] = TaskState::Departed;
                     departed += 1;
                     if let Some(rec) = recorder {
@@ -571,9 +567,14 @@ fn run_inner(
                 task,
                 generation: scheduled_generation,
             } => {
-                let ctx = faults
-                    .as_ref()
-                    .expect("failure events exist only in fault runs");
+                let Some(ctx) = faults.as_ref() else {
+                    return Err(invariant_error(
+                        recorder,
+                        event.time,
+                        "fault-context",
+                        format!("failure event for task {task} in a fault-free run"),
+                    ));
+                };
                 // Only the commitment the failure was scheduled against may
                 // die: every commit bumps the generation, so failures aimed
                 // at revoked or re-planned commitments are stale.
@@ -587,9 +588,14 @@ fn run_inner(
                         let now = event.time;
                         let elapsed = now - c.start;
                         if elapsed > 1e-9 {
-                            machine
-                                .truncate_at(c.reservation, now)
-                                .expect("failing segments are truncatable at the clock");
+                            machine.truncate_at(c.reservation, now).map_err(|e| {
+                                invariant_error(
+                                    recorder,
+                                    now,
+                                    "truncate-failed-segment",
+                                    format!("task {task}: {e}"),
+                                )
+                            })?;
                             // Unlike a crash the head is *lost* work: the
                             // processors were burned but the task must redo
                             // it, so the segment lands in the wasted list
@@ -601,9 +607,14 @@ fn run_inner(
                                 processors: ProcessorRange::new(c.first, c.count),
                             });
                         } else {
-                            machine
-                                .revoke(c.reservation)
-                                .expect("zero-elapsed commitments are revocable");
+                            machine.revoke(c.reservation).map_err(|e| {
+                                invariant_error(
+                                    recorder,
+                                    now,
+                                    "revoke-failed-commitment",
+                                    format!("task {task}: {e}"),
+                                )
+                            })?;
                         }
                         remaining[task] = remaining_at_start;
                         attempts[task] += 1;
@@ -681,7 +692,14 @@ fn run_inner(
                     None
                 } else {
                     let now = event.time;
-                    let displaced = machine.set_offline(processor, now);
+                    let displaced = machine.set_offline(processor, now).map_err(|e| {
+                        invariant_error(
+                            recorder,
+                            now,
+                            "crash-displacement",
+                            format!("processor {processor}: {e}"),
+                        )
+                    })?;
                     crashes += 1;
                     outage_log.push(Outage {
                         processor,
@@ -690,14 +708,20 @@ fn run_inner(
                     });
                     let displaced_count = displaced.len();
                     for reservation in displaced {
-                        let task = states
-                            .iter()
-                            .position(|state| match state {
-                                TaskState::Committed(c) => c.reservation == reservation,
-                                TaskState::Running(r) => r.commitment.reservation == reservation,
-                                _ => false,
-                            })
-                            .expect("displaced reservations back live commitments");
+                        let Some(task) = states.iter().position(|state| match state {
+                            TaskState::Committed(c) => c.reservation == reservation,
+                            TaskState::Running(r) => r.commitment.reservation == reservation,
+                            _ => false,
+                        }) else {
+                            return Err(invariant_error(
+                                recorder,
+                                now,
+                                "crash-displacement",
+                                format!(
+                                    "displaced reservation {reservation:?} backs no live                                      commitment"
+                                ),
+                            ));
+                        };
                         let (c, remaining_at_start) = match states[task] {
                             TaskState::Committed(c) => (c, remaining[task]),
                             TaskState::Running(r) => (r.commitment, r.remaining_at_start),
@@ -822,9 +846,14 @@ fn run_inner(
                 if !delta_epoch && (policy.preempt_queued() || policy.preempt_running()) {
                     for (task, state) in states.iter_mut().enumerate() {
                         if let TaskState::Committed(c) = *state {
-                            machine
-                                .revoke(c.reservation)
-                                .expect("queued commitments are revocable");
+                            machine.revoke(c.reservation).map_err(|e| {
+                                invariant_error(
+                                    recorder,
+                                    now,
+                                    "preempt-queued",
+                                    format!("task {task}: {e}"),
+                                )
+                            })?;
                             *state = TaskState::Waiting;
                             pending.push(PendingTask {
                                 id: task,
@@ -865,13 +894,24 @@ fn run_inner(
                             if !truncated {
                                 // Started exactly now — nothing executed
                                 // yet, a plain revocation.
-                                machine
-                                    .revoke(c.reservation)
-                                    .expect("zero-elapsed commitments are revocable");
+                                machine.revoke(c.reservation).map_err(|e| {
+                                    invariant_error(
+                                        recorder,
+                                        now,
+                                        "preempt-running-zero-elapsed",
+                                        format!("task {task}: {e}"),
+                                    )
+                                })?;
                             } else {
-                                let freed = machine
-                                    .truncate_at(c.reservation, now)
-                                    .expect("running commitments are truncatable at the clock");
+                                let freed =
+                                    machine.truncate_at(c.reservation, now).map_err(|e| {
+                                        invariant_error(
+                                            recorder,
+                                            now,
+                                            "preempt-running-truncate",
+                                            format!("task {task}: {e}"),
+                                        )
+                                    })?;
                                 // The about-to-finish guard above ensures the
                                 // cut lands strictly inside the reservation.
                                 assert!(freed, "truncation at the clock freed no tail");
@@ -1192,6 +1232,20 @@ fn run_inner(
     Ok(result)
 }
 
+/// Record an engine invariant violation and build the typed error carrying
+/// it — the panic-free engine idiom: observe, count, and surface a broken
+/// internal invariant as [`Error::InvariantViolated`] instead of tearing
+/// the process down.
+fn invariant_error(
+    recorder: Option<&dyn Recorder>,
+    time: f64,
+    context: &'static str,
+    message: String,
+) -> Error {
+    record_violation(recorder, time, format!("{context}: {message}"));
+    Error::InvariantViolated { context, message }
+}
+
 /// Record an engine invariant violation (the quantity CI gates to zero) on
 /// the way out of an error path.
 fn record_violation(recorder: Option<&dyn Recorder>, time: f64, detail: String) {
@@ -1456,14 +1510,19 @@ pub fn validate_fault_run_classed(
         ranges
             .iter()
             .position(|&(first, end)| first <= processor && processor < end)
-            .expect("counts partition the machine")
     };
 
     // Segments must stay inside one class, and their processor-time
     // accumulates into that class's busy integral.
     let mut busy = vec![0.0_f64; class_counts.len()];
     for entry in result.schedule.entries().iter().chain(result.wasted.iter()) {
-        let class = class_of(entry.processors.first);
+        let Some(class) = class_of(entry.processors.first) else {
+            messages.push(format!(
+                "task {} starts on processor {} outside the classed machine [0, {total})",
+                entry.task, entry.processors.first
+            ));
+            continue;
+        };
         let (_, end) = ranges[class];
         if entry.processors.end() > end {
             messages.push(format!(
@@ -1485,7 +1544,13 @@ pub fn validate_fault_run_classed(
     for outage in &result.outages {
         let end = outage.end.min(makespan);
         if end > outage.start {
-            lost[class_of(outage.processor)] += end - outage.start;
+            match class_of(outage.processor) {
+                Some(class) => lost[class] += end - outage.start,
+                None => messages.push(format!(
+                    "outage on processor {} outside the classed machine [0, {total})",
+                    outage.processor
+                )),
+            }
         }
     }
     for (class, ((&count, &used), &down)) in class_counts
@@ -1836,7 +1901,7 @@ mod tests {
         // jointly — on that pending set the bound drops to ~2.25, C widens
         // to both processors ([5, 7)) and E rides behind it ([7, 7.5)),
         // beating the non-preemptive makespan of 9.
-        let trace = queued_reallotment_scenario();
+        let trace = queued_reallotment_scenario().expect("valid scenario");
         let run_with = |preempt: bool| {
             let mut policy = EpochReplan::mrt(1.0).unwrap().with_preempt_queued(preempt);
             run(&trace, &mut policy).unwrap()
@@ -1867,7 +1932,7 @@ mod tests {
         // arrival-only, the revocation sweep is skipped wholesale and the
         // run degrades to the non-preemptive outcome (makespan 9, nothing
         // preempted) while counting its delta plans.
-        let trace = queued_reallotment_scenario();
+        let trace = queued_reallotment_scenario().expect("valid scenario");
         let recorder = ::telemetry::CollectingRecorder::shared();
         let mut policy = EpochReplan::mrt(1.0)
             .unwrap()
@@ -1893,7 +1958,10 @@ mod tests {
         // re-solve — revoking the queued C and recovering the preemptive
         // makespan of 7.5 — even though delta-planning is on.  Only the
         // first (clean) epoch counts as a delta plan.
-        let mut arrivals = queued_reallotment_scenario().arrivals().to_vec();
+        let mut arrivals = queued_reallotment_scenario()
+            .expect("valid scenario")
+            .arrivals()
+            .to_vec();
         arrivals.push(
             Arrival::new(
                 1.1,
@@ -1925,7 +1993,7 @@ mod tests {
         // tick 2 (elapsed 1.0 of 4.5 → remaining 7/9), re-solves
         // {A' = [8, 4.5]·7/9, B} and runs them side by side at one
         // processor each: A' finishes at 2 + 8·7/9 ≈ 8.22.
-        let trace = running_reallotment_scenario();
+        let trace = running_reallotment_scenario().expect("valid scenario");
         let run_with = |running: bool| {
             let mut policy = EpochReplan::mrt(1.0)
                 .unwrap()

@@ -239,14 +239,21 @@ impl MachineState {
     /// still using it beyond `from` is displaced — queued reservations are
     /// cancelled whole, running ones are truncated at `from` so the executed
     /// head stays on the books — and no longer counts as unfinished.
-    /// Returns the displaced reservation handles for the caller to re-queue.
-    pub fn set_offline(&mut self, processor: usize, from: f64) -> Vec<ReservationId> {
-        let displaced = self.timeline.set_offline(processor, from);
+    /// Returns the displaced reservation handles for the caller to
+    /// re-queue, or the timeline's typed error when a displaced record is
+    /// inconsistent (in which case the machine is left as the timeline left
+    /// it and the engine reports the violation).
+    pub fn set_offline(
+        &mut self,
+        processor: usize,
+        from: f64,
+    ) -> Result<Vec<ReservationId>, ReservationError> {
+        let displaced = self.timeline.set_offline(processor, from)?;
         for _ in &displaced {
             assert!(self.unfinished > 0, "displacement without a commitment");
             self.unfinished -= 1;
         }
-        displaced
+        Ok(displaced)
     }
 
     /// Bring `processor` back online as of `at` (a repair); placements may

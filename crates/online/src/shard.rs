@@ -518,7 +518,10 @@ impl<I: Iterator<Item = Result<Arrival>>> BoundedIngest<I> {
             }
             match self.staged.front() {
                 Some(front) if front.at <= time + 1e-9 => {
-                    let arrival = self.staged.pop_front().expect("front exists");
+                    // The front was just checked; pop_front cannot miss.
+                    let Some(arrival) = self.staged.pop_front() else {
+                        return Ok(());
+                    };
                     out.push((self.next_id, arrival));
                     self.next_id += 1;
                 }
@@ -776,12 +779,18 @@ fn rebalance(
     // rule stops far earlier in practice.
     let cap = queued.iter().map(Vec::len).sum::<usize>();
     for _ in 0..cap {
-        let donor = (0..shards)
-            .max_by(|&a, &b| loads[a].total_cmp(&loads[b]).then(b.cmp(&a)))
-            .expect("at least one shard");
-        let receiver = (0..shards)
-            .min_by(|&a, &b| loads[a].total_cmp(&loads[b]).then(a.cmp(&b)))
-            .expect("at least one shard");
+        // `max_by`/`min_by` only return None on an empty range, i.e. a
+        // zero-shard coordinator, which cannot rebalance anything.
+        let Some(donor) =
+            (0..shards).max_by(|&a, &b| loads[a].total_cmp(&loads[b]).then(b.cmp(&a)))
+        else {
+            break;
+        };
+        let Some(receiver) =
+            (0..shards).min_by(|&a, &b| loads[a].total_cmp(&loads[b]).then(a.cmp(&b)))
+        else {
+            break;
+        };
         if donor == receiver || queued[donor].is_empty() {
             break;
         }
@@ -805,7 +814,11 @@ fn rebalance(
                 best = Some((index, peak, task.id));
             }
         }
-        let (index, peak, _) = best.expect("donor queue is non-empty");
+        // The donor's queue was just checked non-empty, so a best move
+        // exists; bail out of the rebalance rather than panic if not.
+        let Some((index, peak, _)) = best else {
+            break;
+        };
         if peak >= before - 1e-12 {
             break;
         }

@@ -36,6 +36,8 @@
 //! numbers (`f64` sizes/heights, `usize` widths) so it can be reused and
 //! tested in isolation.
 
+#![warn(missing_docs)]
+
 pub mod bin_packing;
 pub mod rect;
 pub mod reservations;

@@ -629,7 +629,9 @@ impl ReservationTimeline {
         if cut >= record.end {
             return Ok(false);
         }
-        let stored = self.reservations[id.0].as_mut().expect("checked live");
+        let Some(stored) = self.reservations.get_mut(id.0).and_then(Option::as_mut) else {
+            return Err(ReservationError::AlreadyCancelled { id });
+        };
         stored.end = cut;
         for p in record.first..record.first + record.count {
             if let Some(iv) = self.busy[p].iter_mut().find(|iv| iv.id == id) {
@@ -677,8 +679,16 @@ impl ReservationTimeline {
     /// in busy order, for the caller to re-queue.
     ///
     /// Panics when the processor is unknown or already offline, or when
-    /// `from` precedes the floor — crashes happen at the clock.
-    pub fn set_offline(&mut self, processor: usize, from: f64) -> Vec<ReservationId> {
+    /// `from` precedes the floor — crashes happen at the clock.  Fails with
+    /// a typed [`ReservationError`] if the displacement itself hits an
+    /// inconsistent record (a busy interval indexing a dead reservation), so
+    /// a corrupted timeline degrades into a reported error instead of
+    /// tearing the engine down.
+    pub fn set_offline(
+        &mut self,
+        processor: usize,
+        from: f64,
+    ) -> Result<Vec<ReservationId>, ReservationError> {
         assert!(processor < self.processors(), "unknown processor");
         assert!(
             !self.offline[processor],
@@ -697,19 +707,20 @@ impl ReservationTimeline {
             .collect();
         let mut displaced = Vec::with_capacity(hit.len());
         for id in hit {
-            let record = self.reservations[id.0].expect("busy intervals index live records");
+            let Some(record) = self.reservations.get(id.0).copied().flatten() else {
+                return Err(ReservationError::AlreadyCancelled { id });
+            };
             if record.start >= from - 1e-9 {
-                self.cancel(id)
-                    .expect("queued reservations at or after the crash are cancellable");
+                // Queued at or after the crash: cancellable whole.
+                self.cancel(id)?;
             } else {
-                let freed = self
-                    .truncate_at(id, from)
-                    .expect("running reservations truncate at the crash");
+                // Running across the crash: truncate, keeping the head.
+                let freed = self.truncate_at(id, from)?;
                 debug_assert!(freed, "the interval extends past the crash");
             }
             displaced.push(id);
         }
-        displaced
+        Ok(displaced)
     }
 
     /// Bring `processor` back online as of `at` (a repair): its frontier is
@@ -767,7 +778,7 @@ mod tests {
     fn offline_processors_are_skipped_by_window_queries() {
         for policy in [HolePolicy::FrontierOnly, HolePolicy::Backfill] {
             let mut tl = ReservationTimeline::new(4, policy);
-            tl.set_offline(1, 0.0);
+            tl.set_offline(1, 0.0).unwrap();
             assert_eq!(tl.online_processors(), 3);
             assert_eq!(tl.max_contiguous_online(), 2);
             // Width 2 must land on the online run [2, 4).
@@ -796,7 +807,7 @@ mod tests {
         // entirely — placing work on a processor before its repair.
         for policy in [HolePolicy::FrontierOnly, HolePolicy::Backfill] {
             let mut tl = ReservationTimeline::new(2, policy);
-            tl.set_offline(0, 0.0);
+            tl.set_offline(0, 0.0).unwrap();
             tl.set_online(0, 5.0);
             assert_eq!(tl.available_from(0), 5.0);
             assert!((tl.free_at(0) - 5.0).abs() < 1e-12);
@@ -831,7 +842,7 @@ mod tests {
         let queued = tl.reserve(1, 1, 4.0, 2.0);
         let untouched = tl.reserve(0, 1, 4.0, 1.0);
         tl.advance_to(2.0);
-        let displaced = tl.set_offline(1, 2.0);
+        let displaced = tl.set_offline(1, 2.0).unwrap();
         assert_eq!(displaced, vec![running, queued]);
         // The running reservation kept its executed head [0, 2).
         assert_eq!(tl.truncate_at(running, 2.0), Ok(false), "already cut");
@@ -852,7 +863,7 @@ mod tests {
     #[should_panic(expected = "offline")]
     fn reserving_an_offline_processor_panics() {
         let mut tl = ReservationTimeline::new(2, HolePolicy::Backfill);
-        tl.set_offline(0, 0.0);
+        tl.set_offline(0, 0.0).unwrap();
         tl.reserve(0, 1, 0.0, 1.0);
     }
 
@@ -1156,7 +1167,7 @@ mod tests {
                 // at a time above the clock.
                 for &(p, ahead) in &repairs {
                     let p = p % m;
-                    tl.set_offline(p, clock);
+                    tl.set_offline(p, clock).unwrap();
                     tl.set_online(p, clock + ahead);
                 }
                 for &(count, duration, advance) in &ops {
@@ -1171,7 +1182,7 @@ mod tests {
                     for p in 0..m {
                         let before = tl.clone();
                         let mut probe = tl.clone();
-                        if !probe.set_offline(p, clock).is_empty() {
+                        if !probe.set_offline(p, clock).unwrap().is_empty() {
                             // Not quiet: the crash displaced reservations,
                             // which legitimately mutates the timeline.
                             continue;

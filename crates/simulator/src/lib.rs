@@ -24,6 +24,8 @@
 //!   with start/finish events and a per-processor busy/idle profile;
 //! * [`gantt`] — a plain-text Gantt rendering used by the examples.
 
+#![warn(missing_docs)]
+
 pub mod engine;
 pub mod gantt;
 pub mod validate;

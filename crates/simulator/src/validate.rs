@@ -18,47 +18,85 @@ use malleable_core::{Instance, Schedule};
 #[derive(Debug, Clone, PartialEq)]
 pub enum Violation {
     /// A task of the instance does not appear in the schedule.
-    MissingTask { task: usize },
+    MissingTask {
+        /// The absent task.
+        task: usize,
+    },
     /// A task appears more than once.
-    DuplicatedTask { task: usize },
+    DuplicatedTask {
+        /// The duplicated task.
+        task: usize,
+    },
     /// The schedule references a task outside the instance.
-    UnknownTask { task: usize },
+    UnknownTask {
+        /// The out-of-range task index.
+        task: usize,
+    },
     /// A placement uses processors outside `0..m`.
     OutOfMachine {
+        /// The offending task.
         task: usize,
+        /// First processor of the placement.
         first: usize,
+        /// Processors allotted.
         count: usize,
     },
     /// A placement starts before time zero or at a non-finite time.
-    InvalidStart { task: usize, start: f64 },
+    InvalidStart {
+        /// The offending task.
+        task: usize,
+        /// The recorded start time.
+        start: f64,
+    },
     /// The recorded duration disagrees with the task's profile.
     DurationMismatch {
+        /// The offending task.
         task: usize,
+        /// The profile time at the allotted count.
         expected: f64,
+        /// The duration the schedule records.
         actual: f64,
     },
     /// Two placements overlap in time on a shared processor.
     Overlap {
+        /// The earlier of the two overlapping tasks.
         first_task: usize,
+        /// The later of the two overlapping tasks.
         second_task: usize,
     },
     /// A task finishes after the supplied horizon.
     DeadlineExceeded {
+        /// The offending task.
         task: usize,
+        /// When the task actually finishes.
         finish: f64,
+        /// The horizon it had to meet.
         horizon: f64,
     },
     /// A segment's duration is non-finite or not positive (piecewise
     /// schedules only — a degenerate duration would also poison the work
     /// conservation sum into an unreportable NaN).
-    InvalidDuration { task: usize, duration: f64 },
+    InvalidDuration {
+        /// The offending task.
+        task: usize,
+        /// The degenerate segment duration.
+        duration: f64,
+    },
     /// Two segments of the same task overlap in time (a malleable task runs
     /// at one allotment at a time; piecewise schedules only).
-    ConcurrentSegments { task: usize },
+    ConcurrentSegments {
+        /// The offending task.
+        task: usize,
+    },
     /// The executed fractions of a task's segments do not sum to one
     /// (work conservation under the speed-up model; piecewise schedules
     /// only).
-    WorkNotConserved { task: usize, executed: f64 },
+    WorkNotConserved {
+        /// The offending task.
+        task: usize,
+        /// The executed fraction its segments sum to (should be 1).
+        executed: f64,
+    },
 }
 
 impl std::fmt::Display for Violation {

@@ -80,27 +80,33 @@ fn heuristic_outcome(
 /// typed one.
 #[derive(Debug, Clone)]
 pub struct TwoPhaseSolver {
-    /// Defaults applied when the request carries no `rigid` key.
-    defaults: SolverConfig,
+    /// The rigid phase the defaults select, parsed once at construction so
+    /// no later call has to re-validate (and possibly fail on) the config.
+    default_rigid: RigidScheduler,
 }
 
 impl TwoPhaseSolver {
+    /// A solver whose default phase is `rigid` (infallible: the config text
+    /// is derived from the known-valid variant, not parsed).
+    fn for_rigid(rigid: RigidScheduler) -> Self {
+        TwoPhaseSolver {
+            default_rigid: rigid,
+        }
+    }
+
     /// The Ludwig-style default: TWY allotment + FFDH level packing.
     pub fn ludwig() -> Self {
-        Self::with_defaults(SolverConfig::new().with_text("rigid", "ffdh"))
-            .expect("ffdh is a valid rigid phase")
+        Self::for_rigid(RigidScheduler::Ffdh)
     }
 
     /// TWY allotment + NFDH level packing.
     pub fn nfdh() -> Self {
-        Self::with_defaults(SolverConfig::new().with_text("rigid", "nfdh"))
-            .expect("nfdh is a valid rigid phase")
+        Self::for_rigid(RigidScheduler::Nfdh)
     }
 
     /// TWY allotment + greedy list scheduling of the selected allotment.
     pub fn list() -> Self {
-        Self::with_defaults(SolverConfig::new().with_text("rigid", "list"))
-            .expect("list is a valid rigid phase")
+        Self::for_rigid(RigidScheduler::List)
     }
 
     /// A two-phase solver with an explicit default config.  The `rigid` key
@@ -108,10 +114,11 @@ impl TwoPhaseSolver {
     /// is rejected here, at construction, with the same typed error a bad
     /// request-level key produces at solve time.
     pub fn with_defaults(defaults: SolverConfig) -> malleable_core::Result<Self> {
-        if let Some(value) = defaults.text("rigid") {
-            Self::parse_rigid(value)?;
-        }
-        Ok(TwoPhaseSolver { defaults })
+        let default_rigid = match defaults.text("rigid") {
+            Some(value) => Self::parse_rigid(value)?,
+            None => RigidScheduler::Ffdh,
+        };
+        Ok(TwoPhaseSolver { default_rigid })
     }
 
     fn parse_rigid(value: &str) -> malleable_core::Result<RigidScheduler> {
@@ -126,12 +133,9 @@ impl TwoPhaseSolver {
         }
     }
 
-    /// The phase the defaults select (validated at construction).
+    /// The phase the defaults select (parsed at construction).
     fn default_rigid(&self) -> RigidScheduler {
-        self.defaults
-            .text("rigid")
-            .map(|value| Self::parse_rigid(value).expect("defaults validated at construction"))
-            .unwrap_or(RigidScheduler::Ffdh)
+        self.default_rigid
     }
 
     /// The rigid phase this request selects: the request's `rigid` config

@@ -11,21 +11,38 @@ use rand_chacha::ChaCha8Rng;
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum WorkMix {
     /// Works drawn uniformly from `[min, max]`.
-    Uniform { min: f64, max: f64 },
+    Uniform {
+        /// Smallest sequential work.
+        min: f64,
+        /// Largest sequential work.
+        max: f64,
+    },
     /// A bimodal mix: a fraction `wide_fraction` of "wide" tasks with works in
     /// `[wide_min, wide_max]`, the rest with works in `[min, max]`.  This is
     /// the shape that stresses the knapsack branch of the paper (a few tasks
     /// whose canonical allotment exceeds the machine, plus background noise).
     Bimodal {
+        /// Smallest background work.
         min: f64,
+        /// Largest background work.
         max: f64,
+        /// Smallest wide-task work.
         wide_min: f64,
+        /// Largest wide-task work.
         wide_max: f64,
+        /// Fraction of tasks drawn from the wide band.
         wide_fraction: f64,
     },
     /// Works following a truncated power law (many small tasks, few huge
     /// ones), the classical shape of batch workloads.
-    PowerLaw { min: f64, max: f64, exponent: f64 },
+    PowerLaw {
+        /// Smallest work.
+        min: f64,
+        /// Largest work (the truncation point).
+        max: f64,
+        /// The power-law exponent (larger skews smaller).
+        exponent: f64,
+    },
 }
 
 impl WorkMix {

@@ -35,6 +35,8 @@
 //! scenarios ([`FaultPlan`]: processor outages, per-attempt task failures,
 //! forced solver faults) that the engine replays without randomness.
 
+#![warn(missing_docs)]
+
 pub mod arrivals;
 pub mod families;
 pub mod faults;

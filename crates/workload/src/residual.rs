@@ -20,6 +20,7 @@
 //! by construction — the executed fractions of the segments sum to one
 //! (pinned by the workspace proptests).
 
+use malleable_core::eps::{approx_eq, approx_le};
 use malleable_core::{Error, MalleableTask, Result, SpeedupProfile};
 
 /// Fraction of the *whole task* completed by running `elapsed` time units at
@@ -36,7 +37,7 @@ pub fn executed_fraction(profile: &SpeedupProfile, allotment: usize, elapsed: f6
 /// above 1 beyond rounding slack).
 pub fn residual_profile(profile: &SpeedupProfile, remaining: f64) -> Result<SpeedupProfile> {
     check_fraction(remaining)?;
-    if remaining == 1.0 {
+    if approx_eq(remaining, 1.0) {
         return Ok(profile.clone());
     }
     profile.scaled(remaining)
@@ -52,7 +53,7 @@ pub fn residual_task(task: &MalleableTask, remaining: f64) -> Result<MalleableTa
 }
 
 fn check_fraction(remaining: f64) -> Result<()> {
-    if !(remaining.is_finite() && remaining > 0.0 && remaining <= 1.0 + 1e-9) {
+    if !(remaining.is_finite() && remaining > 0.0 && approx_le(remaining, 1.0)) {
         return Err(Error::InvalidParameter {
             name: "remaining",
             value: remaining,

@@ -12,7 +12,7 @@ use telemetry::{names, CollectingRecorder, NoopRecorder, SharedRecorder, Telemet
 /// Run the running-reallotment scenario fully recorded and return the
 /// recorder plus the engine result.
 fn recorded_scenario() -> (std::sync::Arc<CollectingRecorder>, online::OnlineResult) {
-    let trace = online::running_reallotment_scenario();
+    let trace = online::running_reallotment_scenario().expect("valid scenario");
     let recorder = CollectingRecorder::shared();
     let mut policy = EpochReplan::mrt(1.0)
         .unwrap()
@@ -225,7 +225,7 @@ fn summary_reports_the_scenario_figures() {
 
 #[test]
 fn noop_recorded_run_matches_the_unrecorded_run() {
-    let trace = online::running_reallotment_scenario();
+    let trace = online::running_reallotment_scenario().expect("valid scenario");
     let build = || {
         EpochReplan::mrt(1.0)
             .unwrap()
@@ -246,7 +246,7 @@ fn noop_recorded_run_matches_the_unrecorded_run() {
 fn policy_options_thread_the_recorder_through_build_with() {
     // The registry path the CLI and bench use: `PolicyKind::build_with`
     // must hand the recorder to the policy so workspace counters appear.
-    let trace = online::running_reallotment_scenario();
+    let trace = online::running_reallotment_scenario().expect("valid scenario");
     let recorder = CollectingRecorder::shared();
     let registry = solver::default_registry();
     let kind = PolicyKind::Epoch {

@@ -59,6 +59,11 @@ pub struct Bencher {
 
 impl Bencher {
     /// Time `routine` over the configured number of iterations.
+    ///
+    /// Mirrors the real criterion, which reads the raw clock; the
+    /// workspace-wide `clippy.toml` ban on `Instant::now` exempts this
+    /// vendored timing loop explicitly.
+    #[allow(clippy::disallowed_methods)]
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Warm-up: a few untimed runs so lazy initialisation is excluded.
         for _ in 0..self.iterations.min(3) {
